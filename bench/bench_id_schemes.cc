@@ -1,0 +1,172 @@
+// Ablation C — identifier-scheme orthogonality (paper Section 6): the
+// storage model works with any id scheme; what differs is label size,
+// comparison cost, and — decisively — what happens under skewed
+// inserts. Insert-time integers are stable but not comparable across
+// insert units; Dewey is comparable but relabels siblings on middle
+// inserts; ORDPATH (paper ref [17]) is stable AND comparable with zero
+// relabeling, at the price of label growth under adversarial careting.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ids/dewey.h"
+#include "ids/ordpath.h"
+#include "workload/doc_generator.h"
+
+namespace laxml {
+namespace {
+
+using bench::KbPerSec;
+using bench::Timer;
+
+constexpr int kDocNodes = 20000;
+constexpr int kMidInserts = 2000;
+
+void LabelingCostTable() {
+  Random rng(7);
+  TokenSequence doc = GenerateRandomTree(&rng, kDocNodes, 8);
+  uint64_t nodes = CountNodeBegins(doc);
+
+  // Integer scheme: 8 bytes, assignment is a counter bump.
+  Timer t_int;
+  uint64_t int_bytes = nodes * 8;
+  volatile uint64_t sink = 0;
+  uint64_t next = 0;
+  for (const Token& t : doc) {
+    if (t.BeginsNode()) sink = ++next;
+  }
+  double int_secs = t_int.Seconds();
+  (void)sink;
+
+  Timer t_dewey;
+  std::vector<DeweyLabel> dewey = AssignDeweyLabels(doc, DeweyLabel());
+  double dewey_secs = t_dewey.Seconds();
+  uint64_t dewey_bytes = 0;
+  size_t dewey_max_depth = 0;
+  for (const DeweyLabel& l : dewey) {
+    dewey_bytes += l.EncodedSize();
+    dewey_max_depth = std::max(dewey_max_depth, l.depth());
+  }
+
+  Timer t_ordpath;
+  std::vector<OrdpathLabel> ordpath =
+      AssignOrdpathLabels(doc, OrdpathLabel::Root());
+  double ordpath_secs = t_ordpath.Seconds();
+  uint64_t ordpath_bytes = 0;
+  for (const OrdpathLabel& l : ordpath) ordpath_bytes += l.EncodedSize();
+
+  std::printf("--- labeling a %" PRIu64 "-node document ---\n", nodes);
+  std::printf("%10s %14s %12s %16s\n", "scheme", "bytes/node",
+              "label kb/s", "doc-order cmp?");
+  std::printf("%10s %14.2f %12.1f %16s\n", "integer",
+              static_cast<double>(int_bytes) / nodes,
+              KbPerSec(int_bytes, int_secs), "within-range");
+  std::printf("%10s %14.2f %12.1f %16s\n", "dewey",
+              static_cast<double>(dewey_bytes) / nodes,
+              KbPerSec(dewey_bytes, dewey_secs), "global");
+  std::printf("%10s %14.2f %12.1f %16s\n", "ordpath",
+              static_cast<double>(ordpath_bytes) / nodes,
+              KbPerSec(ordpath_bytes, ordpath_secs), "global");
+}
+
+void SkewedInsertTable() {
+  // Repeatedly insert a sibling at the FRONT of a growing child list —
+  // the adversarial case for positional labels.
+  std::printf(
+      "\n--- %d repeated front-of-list sibling inserts "
+      "(relabels + label growth) ---\n",
+      kMidInserts);
+
+  // Dewey: every existing sibling must shift.
+  uint64_t dewey_relabels = 0;
+  for (int i = 0; i < kMidInserts; ++i) {
+    dewey_relabels += DeweyRelabelCost(i, 0);
+  }
+
+  // ORDPATH: PrevSibling careting, nothing relabels.
+  Timer t_ord;
+  OrdpathLabel front = OrdpathLabel::FirstChild(OrdpathLabel::Root());
+  size_t max_comps = front.components().size();
+  for (int i = 0; i < kMidInserts; ++i) {
+    front = OrdpathLabel::PrevSibling(front);
+    max_comps = std::max(max_comps, front.components().size());
+  }
+  double ord_front_secs = t_ord.Seconds();
+
+  // ORDPATH worst case: always insert in the SAME gap (forces carets).
+  Timer t_mid;
+  OrdpathLabel lo = OrdpathLabel::FirstChild(OrdpathLabel::Root());
+  OrdpathLabel hi = OrdpathLabel::NextSibling(lo);
+  OrdpathLabel mid = lo;
+  size_t mid_max_comps = 0;
+  size_t mid_max_bytes = 0;
+  for (int i = 0; i < kMidInserts; ++i) {
+    auto between = OrdpathLabel::Between(mid.components().empty() ? lo : mid,
+                                         hi);
+    if (!between.ok()) {
+      std::fprintf(stderr, "FATAL between: %s\n",
+                   between.status().ToString().c_str());
+      std::exit(1);
+    }
+    mid = std::move(between).value();
+    mid_max_comps = std::max(mid_max_comps, mid.components().size());
+    mid_max_bytes = std::max(mid_max_bytes, mid.EncodedSize());
+  }
+  double ord_mid_secs = t_mid.Seconds();
+
+  std::printf("%24s %14s %16s %14s\n", "scheme/pattern", "relabels",
+              "max label comps", "inserts/ms");
+  std::printf("%24s %14" PRIu64 " %16s %14s\n", "dewey front-insert",
+              dewey_relabels, "2", "-");
+  std::printf("%24s %14d %16zu %14.1f\n", "ordpath front-insert", 0,
+              max_comps,
+              kMidInserts / (ord_front_secs * 1000.0 + 1e-9));
+  std::printf("%24s %14d %16zu %14.1f  (max label %zu bytes)\n",
+              "ordpath same-gap", 0, mid_max_comps,
+              kMidInserts / (ord_mid_secs * 1000.0 + 1e-9),
+              mid_max_bytes);
+  std::printf(
+      "\nExpected: dewey pays O(n^2) total relabels under front inserts;"
+      "\nordpath relabels nothing ever. Its same-gap pattern carets once"
+      "\nand then walks the caret's ordinal upward, so labels stay short"
+      "\n(component values grow instead; varint coding absorbs that).\n");
+}
+
+void ComparisonThroughput() {
+  Random rng(11);
+  TokenSequence doc = GenerateRandomTree(&rng, kDocNodes, 8);
+  std::vector<OrdpathLabel> ordpath =
+      AssignOrdpathLabels(doc, OrdpathLabel::Root());
+  std::vector<DeweyLabel> dewey = AssignDeweyLabels(doc, DeweyLabel());
+
+  // Sort both label sets (comparison-heavy workload).
+  std::vector<OrdpathLabel> o = ordpath;
+  Timer t_o;
+  std::sort(o.begin(), o.end(),
+            [](const OrdpathLabel& a, const OrdpathLabel& b) {
+              return a < b;
+            });
+  double o_secs = t_o.Seconds();
+  std::vector<DeweyLabel> d = dewey;
+  Timer t_d;
+  std::sort(d.begin(), d.end());
+  double d_secs = t_d.Seconds();
+  std::printf("\n--- sorting %zu labels (comparison cost) ---\n",
+              ordpath.size());
+  std::printf("dewey:   %8.2f ms\nordpath: %8.2f ms\n", d_secs * 1000,
+              o_secs * 1000);
+}
+
+}  // namespace
+}  // namespace laxml
+
+int main() {
+  std::printf("=== Ablation C: identifier scheme orthogonality ===\n");
+  laxml::LabelingCostTable();
+  laxml::SkewedInsertTable();
+  laxml::ComparisonThroughput();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared helpers for the laxml benchmark binaries: wall-clock timing,
+// temp database files, workload assembly, and kb/s arithmetic.
+//
+// Bench binaries print paper-shaped tables (rows/series matching the
+// evaluation artifacts indexed in DESIGN.md) on stdout; machine-oriented
+// counters go on the same line so EXPERIMENTS.md can quote them.
+
+#ifndef LAXML_BENCH_BENCH_UTIL_H_
+#define LAXML_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "xml/token_codec.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+namespace bench {
+
+/// Monotonic wall clock in seconds.
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple scope timer.
+class Timer {
+ public:
+  Timer() : start_(NowSeconds()) {}
+  double Seconds() const { return NowSeconds() - start_; }
+  void Restart() { start_ = NowSeconds(); }
+
+ private:
+  double start_;
+};
+
+/// kb/s with divide-by-zero safety.
+inline double KbPerSec(uint64_t bytes, double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<double>(bytes) / 1024.0 / seconds;
+}
+
+/// Total encoded byte size of a token sequence (the unit the paper's
+/// kb/s metric counts).
+inline uint64_t EncodedBytes(const TokenSequence& tokens) {
+  uint64_t n = 0;
+  for (const Token& t : tokens) n += EncodedTokenSize(t);
+  return n;
+}
+
+/// A temp database path removed on destruction (plus WAL sidecar).
+class TempDb {
+ public:
+  explicit TempDb(const std::string& tag) {
+    const char* dir = std::getenv("TMPDIR");
+    path_ = std::string(dir != nullptr ? dir : "/tmp") + "/laxml_bench_" +
+            tag + "_" + std::to_string(reinterpret_cast<uintptr_t>(this)) +
+            ".db";
+    Remove();
+  }
+  ~TempDb() { Remove(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void Remove() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+  std::string path_;
+};
+
+}  // namespace bench
+}  // namespace laxml
+
+#endif  // LAXML_BENCH_BENCH_UTIL_H_

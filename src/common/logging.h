@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr. Engine code logs sparingly (recovery
+// progress, corruption detection); benches keep it off via the level.
+
+#ifndef LAXML_COMMON_LOGGING_H_
+#define LAXML_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace laxml {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr (thread-safe at line granularity).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace internal {
+/// Stream-building helper behind the LAXML_LOG macro.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define LAXML_LOG(level)                                              \
+  if (::laxml::GetLogLevel() <= ::laxml::LogLevel::level)             \
+  ::laxml::internal::LogStream(::laxml::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace laxml
+
+#endif  // LAXML_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#include "common/random.h"
+
+namespace laxml {
+
+uint64_t Random::Next64() {
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+uint64_t Random::Uniform(uint64_t n) { return n == 0 ? 0 : Next64() % n; }
+
+uint64_t Random::Range(uint64_t lo, uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::string Random::NextName(size_t len) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(kAlpha[Uniform(26)]);
+  }
+  return s;
+}
+
+std::string Random::NextText(size_t len) {
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(kChars[Uniform(sizeof(kChars) - 1)]);
+  }
+  return s;
+}
+
+}  // namespace laxml

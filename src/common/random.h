@@ -1,0 +1,48 @@
+// Deterministic PRNG for workload generators and property tests. A fixed
+// algorithm (xorshift*) rather than std::mt19937 so that generated
+// workloads are reproducible across standard libraries and platforms.
+
+#ifndef LAXML_COMMON_RANDOM_H_
+#define LAXML_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace laxml {
+
+/// Small, fast, seedable PRNG (xorshift64*).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {
+    if (state_ == 0) state_ = 1;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII identifier of the given length (first char is
+  /// a letter, suitable as an XML name).
+  std::string NextName(size_t len);
+
+  /// Random printable text of the given length (letters, digits, spaces).
+  std::string NextText(size_t len);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_COMMON_RANDOM_H_

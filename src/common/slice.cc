@@ -1,0 +1,52 @@
+#include "common/slice.h"
+
+namespace laxml {
+
+void EncodeFixed16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void EncodeFixed32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void EncodeFixed64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void PutFixed16(std::vector<uint8_t>* dst, uint16_t v) {
+  uint8_t buf[2];
+  EncodeFixed16(buf, v);
+  dst->insert(dst->end(), buf, buf + 2);
+}
+
+void PutFixed32(std::vector<uint8_t>* dst, uint32_t v) {
+  uint8_t buf[4];
+  EncodeFixed32(buf, v);
+  dst->insert(dst->end(), buf, buf + 4);
+}
+
+void PutFixed64(std::vector<uint8_t>* dst, uint64_t v) {
+  uint8_t buf[8];
+  EncodeFixed64(buf, v);
+  dst->insert(dst->end(), buf, buf + 8);
+}
+
+uint16_t DecodeFixed16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+uint32_t DecodeFixed32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t DecodeFixed64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace laxml

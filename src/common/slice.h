@@ -1,0 +1,82 @@
+// A non-owning view over contiguous bytes, plus small helpers for
+// building byte buffers. Similar in spirit to rocksdb::Slice, kept
+// minimal because std::string_view covers most text cases.
+
+#ifndef LAXML_COMMON_SLICE_H_
+#define LAXML_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace laxml {
+
+/// Non-owning pointer+length view over raw bytes.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  /// From a string; the string must outlive the slice.
+  explicit Slice(const std::string& s) : Slice(s.data(), s.size()) {}
+  /// From a byte vector; the vector must outlive the slice.
+  explicit Slice(const std::vector<uint8_t>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first `n` bytes from the view.
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns the view as a string_view (callers must know the bytes are
+  /// text).
+  std::string_view AsStringView() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+
+  /// Copies the bytes into an owned string.
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+/// Appends fixed-width little-endian integers to a byte buffer.
+void PutFixed16(std::vector<uint8_t>* dst, uint16_t v);
+void PutFixed32(std::vector<uint8_t>* dst, uint32_t v);
+void PutFixed64(std::vector<uint8_t>* dst, uint64_t v);
+
+/// Reads fixed-width little-endian integers from raw memory. The caller
+/// guarantees the buffer holds enough bytes.
+uint16_t DecodeFixed16(const uint8_t* p);
+uint32_t DecodeFixed32(const uint8_t* p);
+uint64_t DecodeFixed64(const uint8_t* p);
+
+/// Writes fixed-width little-endian integers into raw memory.
+void EncodeFixed16(uint8_t* p, uint16_t v);
+void EncodeFixed32(uint8_t* p, uint32_t v);
+void EncodeFixed64(uint8_t* p, uint64_t v);
+
+}  // namespace laxml
+
+#endif  // LAXML_COMMON_SLICE_H_

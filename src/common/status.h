@@ -1,0 +1,169 @@
+// laxml — Adaptive (lazy) XML storage engine.
+//
+// Status / Result error model, following the RocksDB/Arrow idiom: engine
+// code never throws; every fallible operation returns a Status (or a
+// Result<T> when it also produces a value).
+
+#ifndef LAXML_COMMON_STATUS_H_
+#define LAXML_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace laxml {
+
+/// Error taxonomy for the engine. Kept deliberately small; the message
+/// string carries the detail.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kNotFound = 1,        ///< A key / node id / page does not exist.
+  kInvalidArgument = 2, ///< Caller passed something malformed.
+  kCorruption = 3,      ///< On-disk data failed validation (checksum, magic).
+  kIOError = 4,         ///< The underlying file layer failed.
+  kNotSupported = 5,    ///< Feature intentionally unimplemented.
+  kAborted = 6,         ///< Operation gave up (lock timeout, conflict).
+  kParseError = 7,      ///< XML / XPath / schema text failed to parse.
+  kResourceExhausted = 8, ///< Out of pages, frames, ids, or capacity.
+};
+
+/// Return value of every fallible engine operation.
+///
+/// A Status is cheap to copy in the OK case (no allocation). Use the
+/// factory functions (`Status::OK()`, `Status::NotFound(...)`) rather than
+/// constructing codes directly, and the LAXML_RETURN_IF_ERROR macro to
+/// propagate.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// @name Factory functions
+  /// @{
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. `Result<T>` is either a `T` or a non-OK
+/// Status; accessing the value of an errored result asserts in debug
+/// builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;` works in a Result<int> function.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. Must not be OK (an OK status carries
+  /// no value and would leave the Result empty).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status w/o value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define LAXML_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::laxml::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or binding its
+/// value to `lhs`.
+#define LAXML_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define LAXML_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define LAXML_ASSIGN_OR_RETURN_CONCAT(a, b) \
+  LAXML_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define LAXML_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  LAXML_ASSIGN_OR_RETURN_IMPL(                                              \
+      LAXML_ASSIGN_OR_RETURN_CONCAT(_laxml_result_, __LINE__), lhs, rexpr)
+
+}  // namespace laxml
+
+#endif  // LAXML_COMMON_STATUS_H_

@@ -1,0 +1,64 @@
+#include "common/varint.h"
+
+namespace laxml {
+
+size_t EncodeVarint64(uint8_t* dst, uint64_t v) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    dst[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  dst[n++] = static_cast<uint8_t>(v);
+  return n;
+}
+
+void PutVarint64(std::vector<uint8_t>* dst, uint64_t v) {
+  uint8_t buf[kMaxVarint64Bytes];
+  size_t n = EncodeVarint64(buf, v);
+  dst->insert(dst->end(), buf, buf + n);
+}
+
+void PutVarint32(std::vector<uint8_t>* dst, uint32_t v) {
+  PutVarint64(dst, v);
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+const uint8_t* GetVarint64(const uint8_t* p, const uint8_t* limit,
+                           uint64_t* v) {
+  uint64_t result = 0;
+  for (unsigned shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = *p++;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      // Reject non-canonical (over-long) encodings: a zero final byte
+      // after a continuation encodes redundant high bits. The encoder
+      // never produces them, so their presence means corruption, and
+      // accepting them would break byte-exact round trips.
+      if (byte == 0 && shift > 0) return nullptr;
+      result |= byte << shift;
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;  // truncated or > 10 bytes
+}
+
+const uint8_t* GetVarint32(const uint8_t* p, const uint8_t* limit,
+                           uint32_t* v) {
+  uint64_t v64;
+  const uint8_t* q = GetVarint64(p, limit, &v64);
+  if (q == nullptr || v64 > UINT32_MAX) return nullptr;
+  *v = static_cast<uint32_t>(v64);
+  return q;
+}
+
+}  // namespace laxml

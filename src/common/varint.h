@@ -1,0 +1,41 @@
+// LEB128-style variable-length integer coding. Token records and range
+// headers use varints so that the serialized form of typical XML (short
+// names, small type ids) stays compact — one of the paper's desiderata is
+// low storage overhead (Section 2, requirement 6).
+
+#ifndef LAXML_COMMON_VARINT_H_
+#define LAXML_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace laxml {
+
+/// Maximum encoded size of a 64-bit varint.
+inline constexpr size_t kMaxVarint64Bytes = 10;
+/// Maximum encoded size of a 32-bit varint.
+inline constexpr size_t kMaxVarint32Bytes = 5;
+
+/// Appends `v` to `dst` in LEB128 form.
+void PutVarint32(std::vector<uint8_t>* dst, uint32_t v);
+void PutVarint64(std::vector<uint8_t>* dst, uint64_t v);
+
+/// Encodes `v` into `dst` (which must have room for kMaxVarint64Bytes);
+/// returns the number of bytes written.
+size_t EncodeVarint64(uint8_t* dst, uint64_t v);
+
+/// Returns the encoded size of `v` without encoding it.
+size_t VarintLength(uint64_t v);
+
+/// Decodes a varint from [p, limit). On success stores the value in *v and
+/// returns the pointer one past the last consumed byte; on malformed or
+/// truncated input returns nullptr.
+const uint8_t* GetVarint32(const uint8_t* p, const uint8_t* limit,
+                           uint32_t* v);
+const uint8_t* GetVarint64(const uint8_t* p, const uint8_t* limit,
+                           uint64_t* v);
+
+}  // namespace laxml
+
+#endif  // LAXML_COMMON_VARINT_H_

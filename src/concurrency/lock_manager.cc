@@ -1,0 +1,172 @@
+#include "concurrency/lock_manager.h"
+
+#include <algorithm>
+
+namespace laxml {
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+bool LockCompatible(LockMode held, LockMode requested) {
+  // Classic multi-granularity matrix.
+  static constexpr bool kMatrix[4][4] = {
+      //            IS     IX     S      X
+      /* IS */ {true, true, true, false},
+      /* IX */ {true, true, false, false},
+      /* S  */ {true, false, true, false},
+      /* X  */ {false, false, false, false},
+  };
+  return kMatrix[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+namespace {
+/// Upgrade lattice: result of holding `a` and asking for `b`.
+LockMode Supremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  auto is = [](LockMode m, LockMode v) { return m == v; };
+  // X dominates everything.
+  if (is(a, LockMode::kX) || is(b, LockMode::kX)) return LockMode::kX;
+  // S + IX = SIX; without a SIX mode we conservatively use X.
+  if ((is(a, LockMode::kS) && is(b, LockMode::kIX)) ||
+      (is(a, LockMode::kIX) && is(b, LockMode::kS))) {
+    return LockMode::kX;
+  }
+  if (is(a, LockMode::kS) || is(b, LockMode::kS)) return LockMode::kS;
+  if (is(a, LockMode::kIX) || is(b, LockMode::kIX)) return LockMode::kIX;
+  return LockMode::kIS;
+}
+}  // namespace
+
+bool LockManager::CanGrantLocked(const Entry& entry, TxnId txn,
+                                 LockMode mode) const {
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) continue;  // self-compatibility via upgrade
+    if (!LockCompatible(h.mode, mode)) return false;
+  }
+  return true;
+}
+
+Status LockManager::Acquire(TxnId txn, const LockResource& resource,
+                            LockMode mode) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.acquisitions;
+  Entry& entry = table_[resource];
+
+  // Upgrade path: already holding something on this resource.
+  auto self = std::find_if(entry.holders.begin(), entry.holders.end(),
+                           [txn](const Holder& h) { return h.txn == txn; });
+  LockMode effective = mode;
+  if (self != entry.holders.end()) {
+    effective = Supremum(self->mode, mode);
+    if (effective == self->mode) {
+      ++stats_.immediate_grants;
+      return Status::OK();  // already strong enough
+    }
+  }
+
+  if (CanGrantLocked(entry, txn, effective)) {
+    if (self != entry.holders.end()) {
+      self->mode = effective;
+    } else {
+      entry.holders.push_back({txn, effective});
+    }
+    ++stats_.immediate_grants;
+    return Status::OK();
+  }
+
+  ++stats_.waits;
+  ++entry.waiters;
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  bool granted = cv_.wait_until(lock, deadline, [&] {
+    Entry& e = table_[resource];
+    return CanGrantLocked(e, txn, effective);
+  });
+  Entry& e = table_[resource];
+  --e.waiters;
+  if (!granted) {
+    ++stats_.timeouts;
+    return Status::Aborted("lock timeout on " +
+                           std::string(LockModeName(mode)) +
+                           " (possible deadlock)");
+  }
+  auto self2 = std::find_if(e.holders.begin(), e.holders.end(),
+                            [txn](const Holder& h) { return h.txn == txn; });
+  if (self2 != e.holders.end()) {
+    self2->mode = effective;
+  } else {
+    e.holders.push_back({txn, effective});
+  }
+  return Status::OK();
+}
+
+Status LockManager::Release(TxnId txn, const LockResource& resource) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = table_.find(resource);
+  if (it == table_.end()) {
+    return Status::NotFound("no such lock resource");
+  }
+  auto& holders = it->second.holders;
+  auto self = std::find_if(holders.begin(), holders.end(),
+                           [txn](const Holder& h) { return h.txn == txn; });
+  if (self == holders.end()) {
+    return Status::NotFound("txn does not hold this lock");
+  }
+  holders.erase(self);
+  ++stats_.releases;
+  if (holders.empty() && it->second.waiters == 0) {
+    table_.erase(it);
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool any = false;
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& holders = it->second.holders;
+    auto self =
+        std::find_if(holders.begin(), holders.end(),
+                     [txn](const Holder& h) { return h.txn == txn; });
+    if (self != holders.end()) {
+      holders.erase(self);
+      ++stats_.releases;
+      any = true;
+    }
+    if (holders.empty() && it->second.waiters == 0) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (any) cv_.notify_all();
+}
+
+size_t LockManager::HeldCount(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [resource, entry] : table_) {
+    for (const Holder& h : entry.holders) {
+      if (h.txn == txn) ++n;
+    }
+  }
+  return n;
+}
+
+LockManagerStats LockManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace laxml

@@ -1,0 +1,132 @@
+// Hierarchical lock manager for the paper's future-work concurrency
+// model (Section 9): "a three-layer architecture: blocks, ranges and
+// tokens ... the issue that differs from the relational world is the
+// necessity to always maintain the order between ranges."
+//
+// Implemented layers: the document (the whole data source) and Ranges.
+// Intent modes on the document (IS/IX) let transactions lock individual
+// ranges S/X without scanning each other's range sets, exactly as in
+// relational multi-granularity locking. Token-level locks collapse into
+// their containing range (the range is the insert/update unit, so the
+// paper's model makes the range the natural lockable grain).
+//
+// Deadlock handling: bounded waits. An acquisition that cannot be
+// granted within the timeout aborts with Status::Aborted, and the caller
+// releases and retries — the standard timeout scheme for low-conflict
+// engines.
+
+#ifndef LAXML_CONCURRENCY_LOCK_MANAGER_H_
+#define LAXML_CONCURRENCY_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "index/range_index.h"
+
+namespace laxml {
+
+/// Transaction identity (caller-chosen; thread id works).
+using TxnId = uint64_t;
+
+/// Lock modes, multi-granularity.
+enum class LockMode : uint8_t { kIS = 0, kIX = 1, kS = 2, kX = 3 };
+
+const char* LockModeName(LockMode mode);
+
+/// True when `held` and `requested` can coexist on one resource.
+bool LockCompatible(LockMode held, LockMode requested);
+
+/// A lockable resource: the document, or one range.
+struct LockResource {
+  enum class Level : uint8_t { kDocument = 0, kRange = 1 };
+  Level level = Level::kDocument;
+  RangeId range = kInvalidRangeId;
+
+  bool operator<(const LockResource& o) const {
+    if (level != o.level) return level < o.level;
+    return range < o.range;
+  }
+  static LockResource Document() { return {}; }
+  static LockResource Range(RangeId id) {
+    return {Level::kRange, id};
+  }
+};
+
+/// Counters for the concurrency bench.
+struct LockManagerStats {
+  uint64_t acquisitions = 0;
+  uint64_t immediate_grants = 0;
+  uint64_t waits = 0;
+  uint64_t timeouts = 0;
+  uint64_t releases = 0;
+};
+
+/// The lock table. Thread-safe.
+class LockManager {
+ public:
+  explicit LockManager(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(200))
+      : timeout_(timeout) {}
+
+  /// Acquires (or upgrades to) `mode` on `resource` for `txn`.
+  /// Hierarchical discipline is the caller's job: take an intent mode on
+  /// the document before locking ranges. Aborts on timeout.
+  Status Acquire(TxnId txn, const LockResource& resource, LockMode mode);
+
+  /// Releases one lock.
+  Status Release(TxnId txn, const LockResource& resource);
+
+  /// Releases everything `txn` holds (commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  /// Locks held by a transaction (tests).
+  size_t HeldCount(TxnId txn) const;
+
+  LockManagerStats stats() const;
+
+ private:
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+  };
+  struct Entry {
+    std::vector<Holder> holders;
+    uint64_t waiters = 0;
+  };
+
+  bool CanGrantLocked(const Entry& entry, TxnId txn, LockMode mode) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<LockResource, Entry> table_;
+  std::chrono::milliseconds timeout_;
+  LockManagerStats stats_;
+};
+
+/// RAII lock scope: releases everything the txn acquired through it.
+class LockScope {
+ public:
+  LockScope(LockManager* manager, TxnId txn)
+      : manager_(manager), txn_(txn) {}
+  ~LockScope() { manager_->ReleaseAll(txn_); }
+  LockScope(const LockScope&) = delete;
+  LockScope& operator=(const LockScope&) = delete;
+
+  Status Acquire(const LockResource& resource, LockMode mode) {
+    return manager_->Acquire(txn_, resource, mode);
+  }
+
+ private:
+  LockManager* manager_;
+  TxnId txn_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_CONCURRENCY_LOCK_MANAGER_H_

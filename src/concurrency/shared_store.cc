@@ -1,0 +1,5 @@
+// SharedStore is header-only; this translation unit exists so the
+// concurrency module always has a compiled artifact (and a place for
+// future out-of-line definitions).
+
+#include "concurrency/shared_store.h"

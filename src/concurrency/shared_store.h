@@ -1,0 +1,101 @@
+// SharedStore: a thread-safe facade over Store. The engine core is
+// single-threaded by design (buffer pool, partial index and range chain
+// are unsynchronized); SharedStore serializes writers and lets readers
+// run concurrently with each other via a reader-writer latch.
+//
+// Note the honest division of labor: SharedStore gives *safety*;
+// the range-granularity LockManager models the paper's future-work
+// *concurrency protocol* and is exercised/benchmarked separately
+// (bench_concurrency) — integrating range locks beneath a truly
+// multi-threaded engine core would additionally require latching every
+// shared structure, which is beyond the paper's scope.
+//
+// Caveat for readers: Store::Read(id) mutates the Partial Index
+// (memoization) and buffer-pool recency — both unsynchronized — so in
+// kRangeWithPartial / kFullIndex modes *all* operations take the
+// exclusive latch; genuinely concurrent readers are only possible in
+// plain kRangeIndex mode with memoization off. SharedStore handles this
+// automatically.
+
+#ifndef LAXML_CONCURRENCY_SHARED_STORE_H_
+#define LAXML_CONCURRENCY_SHARED_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "store/store.h"
+
+namespace laxml {
+
+/// Thread-safe wrapper owning a Store.
+class SharedStore {
+ public:
+  explicit SharedStore(std::unique_ptr<Store> store)
+      : store_(std::move(store)) {}
+
+  /// @name Table-1 interface, serialized.
+  /// @{
+  Result<NodeId> InsertBefore(NodeId id, const TokenSequence& data) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->InsertBefore(id, data);
+  }
+  Result<NodeId> InsertAfter(NodeId id, const TokenSequence& data) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->InsertAfter(id, data);
+  }
+  Result<NodeId> InsertIntoFirst(NodeId id, const TokenSequence& data) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->InsertIntoFirst(id, data);
+  }
+  Result<NodeId> InsertIntoLast(NodeId id, const TokenSequence& data) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->InsertIntoLast(id, data);
+  }
+  Result<NodeId> InsertTopLevel(const TokenSequence& data) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->InsertTopLevel(data);
+  }
+  Status DeleteNode(NodeId id) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->DeleteNode(id);
+  }
+  Result<NodeId> ReplaceNode(NodeId id, const TokenSequence& data) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->ReplaceNode(id, data);
+  }
+  Result<NodeId> ReplaceContent(NodeId id, const TokenSequence& data) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->ReplaceContent(id, data);
+  }
+  Result<TokenSequence> Read() {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->Read();
+  }
+  Result<TokenSequence> Read(NodeId id) {
+    // Read(id) memoizes into the partial index and touches buffer-pool
+    // recency: exclusive unless nothing mutable is involved.
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return store_->Read(id);
+  }
+  /// @}
+
+  /// Runs `fn(Store&)` under the exclusive latch (multi-op atomicity).
+  template <typename Fn>
+  auto WithExclusive(Fn fn) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return fn(*store_);
+  }
+
+  /// Access to the underlying store for single-threaded phases (setup,
+  /// verification). Caller must ensure no other thread is active.
+  Store* UnsafeStore() { return store_.get(); }
+
+ private:
+  std::shared_mutex mutex_;
+  std::unique_ptr<Store> store_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_CONCURRENCY_SHARED_STORE_H_

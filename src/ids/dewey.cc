@@ -1,0 +1,112 @@
+#include "ids/dewey.h"
+
+#include "common/varint.h"
+
+namespace laxml {
+
+int DeweyLabel::Compare(const DeweyLabel& other) const {
+  size_t n = components_.size() < other.components_.size()
+                 ? components_.size()
+                 : other.components_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] < other.components_[i] ? -1 : 1;
+    }
+  }
+  if (components_.size() == other.components_.size()) return 0;
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+bool DeweyLabel::IsAncestorOf(const DeweyLabel& other) const {
+  if (components_.size() >= other.components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+DeweyLabel DeweyLabel::Parent() const {
+  if (components_.empty()) return DeweyLabel();
+  return DeweyLabel(std::vector<uint32_t>(components_.begin(),
+                                          components_.end() - 1));
+}
+
+DeweyLabel DeweyLabel::Child(uint32_t ordinal) const {
+  std::vector<uint32_t> c = components_;
+  c.push_back(ordinal);
+  return DeweyLabel(std::move(c));
+}
+
+std::string DeweyLabel::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+Result<DeweyLabel> DeweyLabel::Parse(const std::string& text) {
+  std::vector<uint32_t> c;
+  uint64_t cur = 0;
+  bool have_digit = false;
+  for (char ch : text) {
+    if (ch >= '0' && ch <= '9') {
+      cur = cur * 10 + (ch - '0');
+      if (cur > UINT32_MAX) {
+        return Status::InvalidArgument("dewey component overflow");
+      }
+      have_digit = true;
+    } else if (ch == '.') {
+      if (!have_digit) {
+        return Status::InvalidArgument("empty dewey component");
+      }
+      c.push_back(static_cast<uint32_t>(cur));
+      cur = 0;
+      have_digit = false;
+    } else {
+      return Status::InvalidArgument("bad character in dewey label");
+    }
+  }
+  if (!have_digit && !text.empty()) {
+    return Status::InvalidArgument("trailing dot in dewey label");
+  }
+  if (have_digit) c.push_back(static_cast<uint32_t>(cur));
+  return DeweyLabel(std::move(c));
+}
+
+size_t DeweyLabel::EncodedSize() const {
+  size_t n = VarintLength(components_.size());
+  for (uint32_t c : components_) n += VarintLength(c);
+  return n;
+}
+
+std::vector<DeweyLabel> AssignDeweyLabels(const TokenSequence& seq,
+                                          const DeweyLabel& base) {
+  std::vector<DeweyLabel> out;
+  out.reserve(seq.size());
+  // Stack of (label-of-open-scope); child counters per open scope.
+  std::vector<DeweyLabel> scope{base};
+  std::vector<uint32_t> child_count{0};
+  for (const Token& t : seq) {
+    if (t.BeginsNode()) {
+      uint32_t ordinal = ++child_count.back();
+      DeweyLabel label = scope.back().Child(ordinal);
+      out.push_back(label);
+      if (t.OpensScope()) {
+        scope.push_back(std::move(label));
+        child_count.push_back(0);
+      }
+    } else if (t.ClosesScope() && scope.size() > 1) {
+      scope.pop_back();
+      child_count.pop_back();
+    }
+  }
+  return out;
+}
+
+uint64_t DeweyRelabelCost(uint64_t sibling_count, uint64_t position) {
+  return position >= sibling_count ? 0 : sibling_count - position;
+}
+
+}  // namespace laxml

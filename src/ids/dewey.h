@@ -1,0 +1,74 @@
+// Dewey labels: the classic hierarchical identifier (1.2.3 = third child
+// of the second child of the root). Stable under appends but requires
+// relabeling of following siblings (and their subtrees) on arbitrary
+// inserts — the weakness ORDPATH fixes and the id-scheme ablation bench
+// quantifies.
+
+#ifndef LAXML_IDS_DEWEY_H_
+#define LAXML_IDS_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+
+/// A Dewey label: path of 1-based sibling ordinals from the root.
+class DeweyLabel {
+ public:
+  DeweyLabel() = default;
+  explicit DeweyLabel(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+
+  /// Document order: ancestors before descendants, siblings by ordinal.
+  int Compare(const DeweyLabel& other) const;
+  bool operator<(const DeweyLabel& other) const { return Compare(other) < 0; }
+  bool operator==(const DeweyLabel& other) const {
+    return components_ == other.components_;
+  }
+
+  /// True when this label is a proper ancestor of `other`.
+  bool IsAncestorOf(const DeweyLabel& other) const;
+
+  /// Parent label (empty for the root).
+  DeweyLabel Parent() const;
+
+  /// Child with the given 1-based ordinal.
+  DeweyLabel Child(uint32_t ordinal) const;
+
+  /// "1.2.3" rendering.
+  std::string ToString() const;
+
+  /// Parses "1.2.3".
+  static Result<DeweyLabel> Parse(const std::string& text);
+
+  /// Bytes of a compact varint encoding (for size comparisons).
+  size_t EncodedSize() const;
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+/// Assigns Dewey labels to every node-beginning token of a fragment,
+/// in document order. Labels are relative to `base` (children of the
+/// fragment's virtual parent get base.Child(1), base.Child(2), ...).
+/// Returns one label per node-beginning token, in token order.
+std::vector<DeweyLabel> AssignDeweyLabels(const TokenSequence& seq,
+                                          const DeweyLabel& base);
+
+/// Counts how many existing sibling labels (plus their entire subtrees)
+/// must be relabeled when inserting a new child at `position` (0-based)
+/// among `sibling_count` existing children: everything at or after the
+/// position shifts. This is the update cost the ablation bench reports.
+uint64_t DeweyRelabelCost(uint64_t sibling_count, uint64_t position);
+
+}  // namespace laxml
+
+#endif  // LAXML_IDS_DEWEY_H_

@@ -1,0 +1,16 @@
+#include "ids/id_scheme.h"
+
+namespace laxml {
+
+NodeId RegenerateIdAt(const IdScheme& scheme, NodeId start_minus_one,
+                      const TokenSequence& seq, size_t index) {
+  NodeId prev = start_minus_one;
+  for (size_t i = 0; i < seq.size() && i <= index; ++i) {
+    NodeId id = scheme.IdFor(prev, seq[i]);
+    if (i == index) return id;
+    if (id != kInvalidNodeId) prev = id;
+  }
+  return kInvalidNodeId;
+}
+
+}  // namespace laxml

@@ -1,0 +1,66 @@
+// Identifier schemes (paper Section 6). The store's *physical* addressing
+// uses stable insert-time integers — the paper's default — and exploits
+// the idFactory property:
+//
+//     idfactory : {ID} x {token} -> {ID}
+//
+// i.e. the id of the next token is a pure function of the previous id
+// and the token, which is what lets a Range store only its start id and
+// regenerate the rest by scanning (Section 6.1, "low storage overhead").
+//
+// Richer logical schemes — Dewey and ORDPATH (stable AND comparable in
+// document order, Section 6.2) — live beside it and are orthogonal to
+// the storage model: they can be maintained as secondary label maps on
+// top of the stable integer ids without touching range/index layout.
+
+#ifndef LAXML_IDS_ID_SCHEME_H_
+#define LAXML_IDS_ID_SCHEME_H_
+
+#include <string>
+
+#include "xml/token.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+
+/// Abstract sequential id factory over a token stream.
+class IdScheme {
+ public:
+  virtual ~IdScheme() = default;
+
+  /// Scheme name for diagnostics ("monotonic", ...).
+  virtual std::string name() const = 0;
+
+  /// The idFactory function: id consumed by `token` given that the last
+  /// consumed id was `prev`. Tokens that do not begin a node return
+  /// kInvalidNodeId (they consume nothing).
+  virtual NodeId IdFor(NodeId prev, const Token& token) const = 0;
+
+  /// The value `prev` advances to after `token` (== IdFor result when
+  /// the token consumes an id, unchanged otherwise).
+  NodeId Advance(NodeId prev, const Token& token) const {
+    NodeId id = IdFor(prev, token);
+    return id == kInvalidNodeId ? prev : id;
+  }
+};
+
+/// The default scheme: unique integers assigned at insert time. Stable
+/// (never reassigned); comparable only *within* a Range / insert unit,
+/// which is exactly the property the Range Index relies on.
+class MonotonicIdScheme : public IdScheme {
+ public:
+  std::string name() const override { return "monotonic"; }
+  NodeId IdFor(NodeId prev, const Token& token) const override {
+    return token.BeginsNode() ? prev + 1 : kInvalidNodeId;
+  }
+};
+
+/// Walks a token sequence assigning ids from `start`; returns the id of
+/// the token at `index` (kInvalidNodeId if that token begins no node).
+/// This is the regeneration procedure of Section 4.3 in its purest form.
+NodeId RegenerateIdAt(const IdScheme& scheme, NodeId start_minus_one,
+                      const TokenSequence& seq, size_t index);
+
+}  // namespace laxml
+
+#endif  // LAXML_IDS_ID_SCHEME_H_

@@ -1,0 +1,184 @@
+#include "ids/ordpath.h"
+
+#include "common/varint.h"
+
+namespace laxml {
+
+namespace {
+bool IsOdd(int64_t v) { return (v & 1) != 0; }
+
+/// Zigzag map preserving nothing but compactness (order is compared on
+/// decoded components, not bytes).
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+}  // namespace
+
+size_t OrdpathLabel::Level() const {
+  size_t n = 0;
+  for (int64_t c : components_) {
+    if (IsOdd(c)) ++n;
+  }
+  return n;
+}
+
+int OrdpathLabel::Compare(const OrdpathLabel& other) const {
+  size_t n = components_.size() < other.components_.size()
+                 ? components_.size()
+                 : other.components_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] < other.components_[i] ? -1 : 1;
+    }
+  }
+  if (components_.size() == other.components_.size()) return 0;
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+bool OrdpathLabel::IsAncestorOf(const OrdpathLabel& other) const {
+  if (components_.size() >= other.components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return Level() < other.Level();
+}
+
+std::string OrdpathLabel::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> OrdpathLabel::Encode() const {
+  std::vector<uint8_t> out;
+  PutVarint64(&out, components_.size());
+  for (int64_t c : components_) PutVarint64(&out, ZigZag(c));
+  return out;
+}
+
+Result<OrdpathLabel> OrdpathLabel::Decode(
+    const std::vector<uint8_t>& bytes) {
+  const uint8_t* p = bytes.data();
+  const uint8_t* limit = p + bytes.size();
+  uint64_t n;
+  p = GetVarint64(p, limit, &n);
+  if (p == nullptr) return Status::Corruption("ordpath count truncated");
+  // Each component takes at least one byte: an untrusted count larger
+  // than the remaining input is corrupt (and must not drive a reserve).
+  if (n > static_cast<uint64_t>(limit - p)) {
+    return Status::Corruption("ordpath count exceeds input");
+  }
+  std::vector<int64_t> comps;
+  comps.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t z;
+    p = GetVarint64(p, limit, &z);
+    if (p == nullptr) return Status::Corruption("ordpath comp truncated");
+    comps.push_back(UnZigZag(z));
+  }
+  return OrdpathLabel(std::move(comps));
+}
+
+OrdpathLabel OrdpathLabel::Root() { return OrdpathLabel({1}); }
+
+OrdpathLabel OrdpathLabel::FirstChild(const OrdpathLabel& parent) {
+  std::vector<int64_t> c = parent.components_;
+  c.push_back(1);
+  return OrdpathLabel(std::move(c));
+}
+
+OrdpathLabel OrdpathLabel::NextSibling(const OrdpathLabel& last) {
+  std::vector<int64_t> c = last.components_;
+  c.back() += 2;
+  return OrdpathLabel(std::move(c));
+}
+
+OrdpathLabel OrdpathLabel::PrevSibling(const OrdpathLabel& first) {
+  std::vector<int64_t> c = first.components_;
+  c.back() -= 2;
+  return OrdpathLabel(std::move(c));
+}
+
+Result<OrdpathLabel> OrdpathLabel::Between(const OrdpathLabel& a,
+                                           const OrdpathLabel& b) {
+  if (!(a < b)) {
+    return Status::InvalidArgument("Between requires a < b");
+  }
+  const auto& ac = a.components_;
+  const auto& bc = b.components_;
+  size_t i = 0;
+  while (i < ac.size() && i < bc.size() && ac[i] == bc[i]) ++i;
+  if (i == ac.size() || i == bc.size()) {
+    return Status::InvalidArgument(
+        "Between on prefix-related labels (not siblings)");
+  }
+  int64_t x = ac[i];
+  int64_t y = bc[i];
+  std::vector<int64_t> prefix(ac.begin(), ac.begin() + i);
+  if (y - x >= 2) {
+    // An odd value strictly between x and y, if one exists.
+    int64_t v = IsOdd(x) ? x + 2 : x + 1;
+    if (v < y) {
+      prefix.push_back(v);
+      return OrdpathLabel(std::move(prefix));
+    }
+    // y == x + 2 with x odd: no odd fits; caret at the even x + 1.
+    prefix.push_back(x + 1);
+    prefix.push_back(1);
+    return OrdpathLabel(std::move(prefix));
+  }
+  // y == x + 1: squeeze inside one of the two caret subtrees.
+  if (i == bc.size() - 1) {
+    // b terminates at y (odd); a must continue past x (even). Bump a's
+    // final component: stays > a, still < b at position i.
+    std::vector<int64_t> c = ac;
+    if (IsOdd(c.back())) {
+      c.back() += 2;
+    } else {
+      // a ends even only for malformed labels; extend instead.
+      c.push_back(1);
+    }
+    return OrdpathLabel(std::move(c));
+  }
+  // b continues past y: come in just below b's continuation.
+  prefix.push_back(y);
+  int64_t t0 = bc[i + 1];
+  int64_t nt = t0 - 2;
+  prefix.push_back(nt);
+  if (!IsOdd(nt)) prefix.push_back(1);
+  return OrdpathLabel(std::move(prefix));
+}
+
+std::vector<OrdpathLabel> AssignOrdpathLabels(const TokenSequence& seq,
+                                              const OrdpathLabel& base) {
+  std::vector<OrdpathLabel> out;
+  out.reserve(seq.size());
+  std::vector<OrdpathLabel> scope{base};
+  std::vector<OrdpathLabel> last_child{OrdpathLabel()};
+  for (const Token& t : seq) {
+    if (t.BeginsNode()) {
+      OrdpathLabel label = last_child.back().empty()
+                               ? OrdpathLabel::FirstChild(scope.back())
+                               : OrdpathLabel::NextSibling(last_child.back());
+      last_child.back() = label;
+      out.push_back(label);
+      if (t.OpensScope()) {
+        scope.push_back(std::move(label));
+        last_child.emplace_back();
+      }
+    } else if (t.ClosesScope() && scope.size() > 1) {
+      scope.pop_back();
+      last_child.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace laxml

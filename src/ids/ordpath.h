@@ -1,0 +1,95 @@
+// ORDPATH labels (O'Neil et al., SIGMOD 2004 — the paper's reference
+// [17] for ids that are both stable and fully comparable in document
+// order). Labels are sequences of signed components. Odd components are
+// ordinal steps (each contributes one tree level); even components are
+// "carets" that extend a position between two odds without adding a
+// level, which is what makes insertion between any two adjacent labels
+// possible *without relabeling anything* — the insert-friendliness the
+// title advertises.
+//
+//   root            = 1
+//   children        = 1.1, 1.3, 1.5, ...
+//   insert between 1.3 and 1.5             -> none fits? (gap 2, odd ends)
+//                                             caret: 1.4.1
+//   insert between 1.4.1 and 1.5           -> 1.4.3
+//   level(label)    = number of odd components
+
+#ifndef LAXML_IDS_ORDPATH_H_
+#define LAXML_IDS_ORDPATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+
+/// An ORDPATH label.
+class OrdpathLabel {
+ public:
+  OrdpathLabel() = default;
+  explicit OrdpathLabel(std::vector<int64_t> components)
+      : components_(std::move(components)) {}
+
+  const std::vector<int64_t>& components() const { return components_; }
+  bool empty() const { return components_.empty(); }
+
+  /// Tree level: the count of odd components (carets do not count).
+  size_t Level() const;
+
+  /// Document order (ancestors first, then left-to-right).
+  int Compare(const OrdpathLabel& other) const;
+  bool operator<(const OrdpathLabel& other) const {
+    return Compare(other) < 0;
+  }
+  bool operator==(const OrdpathLabel& other) const {
+    return components_ == other.components_;
+  }
+
+  /// True when this label is a proper ancestor of `other` (prefix with a
+  /// strictly smaller level).
+  bool IsAncestorOf(const OrdpathLabel& other) const;
+
+  /// "1.4.1" rendering.
+  std::string ToString() const;
+
+  /// Compact zigzag-varint encoding (size comparisons / persistence).
+  std::vector<uint8_t> Encode() const;
+  static Result<OrdpathLabel> Decode(const std::vector<uint8_t>& bytes);
+  size_t EncodedSize() const { return Encode().size(); }
+
+  /// The root label, `1`.
+  static OrdpathLabel Root();
+
+  /// First child of `parent` (ordinal 1).
+  static OrdpathLabel FirstChild(const OrdpathLabel& parent);
+
+  /// A sibling after `last` (last odd component + 2).
+  static OrdpathLabel NextSibling(const OrdpathLabel& last);
+
+  /// A sibling before `first` (last component - 2; components may go
+  /// negative, which ORDPATH permits).
+  static OrdpathLabel PrevSibling(const OrdpathLabel& first);
+
+  /// A label strictly between adjacent same-level siblings `a` < `b`,
+  /// at the same level, relabeling nothing. This is the careting-in
+  /// operation. Fails with InvalidArgument when a >= b or the labels are
+  /// not order-adjacent-compatible (one a prefix of the other).
+  static Result<OrdpathLabel> Between(const OrdpathLabel& a,
+                                      const OrdpathLabel& b);
+
+ private:
+  std::vector<int64_t> components_;
+};
+
+/// Assigns ORDPATH labels to every node-beginning token of a fragment in
+/// document order, children of the fragment root starting at `base`'s
+/// first child. Returns one label per node-beginning token.
+std::vector<OrdpathLabel> AssignOrdpathLabels(const TokenSequence& seq,
+                                              const OrdpathLabel& base);
+
+}  // namespace laxml
+
+#endif  // LAXML_IDS_ORDPATH_H_

@@ -1,0 +1,66 @@
+#include "index/full_index.h"
+
+#include <vector>
+
+namespace laxml {
+
+namespace {
+constexpr uint32_t kValueSize = 16;
+
+void EncodeLocation(const TokenLocation& loc, uint8_t* v) {
+  EncodeFixed64(v, loc.range_id);
+  EncodeFixed32(v + 8, loc.byte_offset);
+  EncodeFixed32(v + 12, loc.token_index);
+}
+
+TokenLocation DecodeLocation(const uint8_t* v) {
+  TokenLocation loc;
+  loc.range_id = DecodeFixed64(v);
+  loc.byte_offset = DecodeFixed32(v + 8);
+  loc.token_index = DecodeFixed32(v + 12);
+  return loc;
+}
+}  // namespace
+
+Result<std::unique_ptr<FullIndex>> FullIndex::Create(Pager* pager) {
+  LAXML_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pager, kValueSize));
+  return std::unique_ptr<FullIndex>(new FullIndex(std::move(tree)));
+}
+
+Result<std::unique_ptr<FullIndex>> FullIndex::Open(Pager* pager,
+                                                   PageId root) {
+  LAXML_ASSIGN_OR_RETURN(BTree tree, BTree::Open(pager, root, kValueSize));
+  return std::unique_ptr<FullIndex>(new FullIndex(std::move(tree)));
+}
+
+Status FullIndex::Put(NodeId id, const TokenLocation& location) {
+  uint8_t v[kValueSize];
+  EncodeLocation(location, v);
+  return tree_.Insert(id, Slice(v, kValueSize));
+}
+
+Result<TokenLocation> FullIndex::Get(NodeId id) const {
+  uint8_t v[kValueSize];
+  LAXML_ASSIGN_OR_RETURN(bool found, tree_.Get(id, v));
+  if (!found) return Status::NotFound("node id not in full index");
+  return DecodeLocation(v);
+}
+
+Status FullIndex::Delete(NodeId id) { return tree_.Delete(id); }
+
+Status FullIndex::DeleteInterval(NodeId first, NodeId last) {
+  // Collect then delete: the iterator is invalidated by mutations.
+  std::vector<NodeId> doomed;
+  BTree::Iterator it = tree_.NewIterator();
+  LAXML_RETURN_IF_ERROR(it.Seek(first));
+  while (it.Valid() && it.key() <= last) {
+    doomed.push_back(it.key());
+    LAXML_RETURN_IF_ERROR(it.Next());
+  }
+  for (NodeId id : doomed) {
+    LAXML_RETURN_IF_ERROR(tree_.Delete(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace laxml

@@ -1,0 +1,69 @@
+// The Full Index baseline (paper Section 4.1): every node id mapped
+// eagerly to the exact location of its begin token. This is the
+// structure the paper argues *against* — quick lookups, but (a) every
+// insert of N nodes pays N index-maintenance operations and (b) storage
+// overhead is proportional to the node count. The Table-5 bench
+// measures exactly that trade-off against the Range (+Partial) design.
+//
+// Backed by the disk-resident B+-tree, like the id indexes of the
+// relational-mapping approaches the paper cites.
+
+#ifndef LAXML_INDEX_FULL_INDEX_H_
+#define LAXML_INDEX_FULL_INDEX_H_
+
+#include <memory>
+
+#include "btree/btree.h"
+#include "common/status.h"
+#include "index/range_index.h"
+#include "xml/token.h"
+
+namespace laxml {
+
+/// Exact location of a node's begin token.
+struct TokenLocation {
+  RangeId range_id = kInvalidRangeId;
+  /// Byte offset of the begin token within the range payload.
+  uint32_t byte_offset = 0;
+  /// Ordinal of the token within the range (0-based).
+  uint32_t token_index = 0;
+
+  bool operator==(const TokenLocation& o) const {
+    return range_id == o.range_id && byte_offset == o.byte_offset &&
+           token_index == o.token_index;
+  }
+};
+
+/// Eager NodeId -> TokenLocation index.
+class FullIndex {
+ public:
+  static Result<std::unique_ptr<FullIndex>> Create(Pager* pager);
+  static Result<std::unique_ptr<FullIndex>> Open(Pager* pager, PageId root);
+
+  /// Inserts or overwrites the location of `id`.
+  Status Put(NodeId id, const TokenLocation& location);
+
+  /// Looks up `id`. NotFound when unindexed.
+  Result<TokenLocation> Get(NodeId id) const;
+
+  /// Removes `id`.
+  Status Delete(NodeId id);
+
+  /// Removes every id in [first, last] that is present. Used when a
+  /// subtree is deleted or a range is rewritten.
+  Status DeleteInterval(NodeId first, NodeId last);
+
+  /// Number of indexed nodes.
+  uint64_t size() const { return tree_.size(); }
+
+  /// Root page to persist in the meta area.
+  PageId root() const { return tree_.root(); }
+
+ private:
+  explicit FullIndex(BTree tree) : tree_(std::move(tree)) {}
+  mutable BTree tree_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_INDEX_FULL_INDEX_H_

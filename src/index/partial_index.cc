@@ -1,0 +1,161 @@
+#include "index/partial_index.h"
+
+namespace laxml {
+
+void PartialIndex::Touch(Node& node, NodeId id) {
+  lru_.erase(node.lru_pos);
+  node.lru_pos = lru_.insert(lru_.end(), id);
+}
+
+const PartialEntry* PartialIndex::Lookup(NodeId id) {
+  if (!enabled()) return nullptr;
+  ++stats_.lookups;
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  ++stats_.hits;
+  Touch(it->second, id);
+  return &it->second.entry;
+}
+
+PartialEntry* PartialIndex::GetOrCreate(NodeId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    Touch(it->second, id);
+    return &it->second.entry;
+  }
+  EvictIfNeeded();
+  Node& node = entries_[id];
+  node.lru_pos = lru_.insert(lru_.end(), id);
+  return &node.entry;
+}
+
+void PartialIndex::EvictIfNeeded() {
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    NodeId victim = lru_.front();
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      Unregister(victim, it->second.entry);
+      entries_.erase(it);
+    }
+    lru_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+void PartialIndex::RegisterRange(RangeId range, NodeId id) {
+  by_range_[range].insert(id);
+}
+
+void PartialIndex::Unregister(NodeId id, const PartialEntry& entry) {
+  auto drop = [this, id](RangeId range) {
+    auto it = by_range_.find(range);
+    if (it != by_range_.end()) {
+      it->second.erase(id);
+      if (it->second.empty()) by_range_.erase(it);
+    }
+  };
+  if (entry.has_begin) drop(entry.begin_range);
+  if (entry.has_end && (!entry.has_begin ||
+                        entry.end_range != entry.begin_range)) {
+    drop(entry.end_range);
+  }
+}
+
+void PartialIndex::RecordBegin(NodeId id, RangeId range,
+                               uint32_t byte_offset, uint32_t token_index) {
+  if (!enabled()) return;
+  PartialEntry* e = GetOrCreate(id);
+  if (e->has_begin && e->begin_range != range) {
+    // Re-registration under a new range: clean the old reverse entry
+    // unless the end half still uses it.
+    if (!e->has_end || e->end_range != e->begin_range) {
+      auto it = by_range_.find(e->begin_range);
+      if (it != by_range_.end()) {
+        it->second.erase(id);
+        if (it->second.empty()) by_range_.erase(it);
+      }
+    }
+  }
+  e->has_begin = true;
+  e->begin_range = range;
+  e->begin_offset = byte_offset;
+  e->begin_token_index = token_index;
+  RegisterRange(range, id);
+  ++stats_.begin_records;
+}
+
+void PartialIndex::RecordEnd(NodeId id, RangeId range, uint32_t byte_offset,
+                             uint32_t token_index,
+                             uint32_t begins_before) {
+  if (!enabled()) return;
+  PartialEntry* e = GetOrCreate(id);
+  if (e->has_end && e->end_range != range) {
+    if (!e->has_begin || e->begin_range != e->end_range) {
+      auto it = by_range_.find(e->end_range);
+      if (it != by_range_.end()) {
+        it->second.erase(id);
+        if (it->second.empty()) by_range_.erase(it);
+      }
+    }
+  }
+  e->has_end = true;
+  e->end_range = range;
+  e->end_offset = byte_offset;
+  e->end_token_index = token_index;
+  e->end_begins_before = begins_before;
+  RegisterRange(range, id);
+  ++stats_.end_records;
+}
+
+void PartialIndex::InvalidateRange(RangeId range) {
+  auto it = by_range_.find(range);
+  if (it == by_range_.end()) return;
+  // An entry may keep its other half if that half lives in a different
+  // range; drop the whole entry only when nothing valid remains.
+  auto ids = std::move(it->second);
+  by_range_.erase(it);
+  for (NodeId id : ids) {
+    auto eit = entries_.find(id);
+    if (eit == entries_.end()) continue;
+    PartialEntry& e = eit->second.entry;
+    if (e.has_begin && e.begin_range == range) e.has_begin = false;
+    if (e.has_end && e.end_range == range) e.has_end = false;
+    ++stats_.invalidations;
+    if (!e.has_begin && !e.has_end) {
+      lru_.erase(eit->second.lru_pos);
+      entries_.erase(eit);
+    } else {
+      // Keep the reverse registration for the surviving half.
+      RangeId keep = e.has_begin ? e.begin_range : e.end_range;
+      by_range_[keep].insert(id);
+    }
+  }
+}
+
+void PartialIndex::Invalidate(NodeId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Unregister(id, it->second.entry);
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  ++stats_.invalidations;
+}
+
+void PartialIndex::Clear() {
+  entries_.clear();
+  lru_.clear();
+  by_range_.clear();
+}
+
+std::string PartialIndex::ToTableString() const {
+  std::string out = "NodeID  BeginToken(Range)  EndToken(Range)\n";
+  for (const auto& [id, node] : entries_) {
+    const PartialEntry& e = node.entry;
+    out += std::to_string(id) + "  " +
+           (e.has_begin ? std::to_string(e.begin_range) : "-") + "  " +
+           (e.has_end ? std::to_string(e.end_range) : "-") + "\n";
+  }
+  return out;
+}
+
+}  // namespace laxml

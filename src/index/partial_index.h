@@ -1,0 +1,115 @@
+// The Partial (lazy) Index — paper Section 5, after Stonebraker's "The
+// Case for Partial Indexes". "A combination between a real index ... and
+// a cache": whenever an update or read has to *locate* a node the hard
+// way (range-index probe + in-range scan), the discovered locations of
+// the node's begin and end tokens are memoized here, so a repeated
+// search for the same logical position jumps straight to them. Nothing
+// is ever indexed eagerly; the index's content is exactly the lookup
+// history — laziness as a feature.
+//
+// Memory-resident (as in the paper's prototype) with a bounded capacity
+// and LRU eviction. Entries tied to a range are invalidated when that
+// range splits, shrinks or dies.
+
+#ifndef LAXML_INDEX_PARTIAL_INDEX_H_
+#define LAXML_INDEX_PARTIAL_INDEX_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "index/range_index.h"
+#include "xml/token.h"
+
+namespace laxml {
+
+/// Counters for benches and tests.
+struct PartialIndexStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;          ///< Lookup found a usable entry.
+  uint64_t begin_records = 0;
+  uint64_t end_records = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;  ///< Entries dropped by range mutations.
+};
+
+/// One memoized node: where its begin token and (when known) its end
+/// token live. Either half may be present independently — the paper's
+/// worked example (Table 4) records them as separate discoveries.
+struct PartialEntry {
+  bool has_begin = false;
+  RangeId begin_range = kInvalidRangeId;
+  uint32_t begin_offset = 0;  ///< Byte offset within the range payload.
+  uint32_t begin_token_index = 0;
+
+  bool has_end = false;
+  RangeId end_range = kInvalidRangeId;
+  uint32_t end_offset = 0;
+  uint32_t end_token_index = 0;
+  /// Node-beginning tokens in end_range strictly before the end token;
+  /// lets a split at the end-token boundary skip the counting scan.
+  uint32_t end_begins_before = 0;
+};
+
+/// Bounded, lazily-populated NodeId -> PartialEntry map.
+class PartialIndex {
+ public:
+  /// `capacity` = maximum number of node entries; 0 disables the index
+  /// entirely (every Lookup misses, every Record is a no-op), which is
+  /// how the plain range-index configurations of Table 5 run.
+  explicit PartialIndex(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry for `id`, or nullptr on miss. Bumps LRU recency.
+  const PartialEntry* Lookup(NodeId id);
+
+  /// Memoizes the begin-token location of `id`.
+  void RecordBegin(NodeId id, RangeId range, uint32_t byte_offset,
+                   uint32_t token_index);
+
+  /// Memoizes the end-token location of `id`.
+  void RecordEnd(NodeId id, RangeId range, uint32_t byte_offset,
+                 uint32_t token_index, uint32_t begins_before);
+
+  /// Drops every entry that references `range` (called when the range
+  /// splits, is rewritten, or is deleted — its offsets are stale).
+  void InvalidateRange(RangeId range);
+
+  /// Drops a single node's entry (node deleted).
+  void Invalidate(NodeId id);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+  const PartialIndexStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PartialIndexStats{}; }
+
+  /// Debug rendering in the shape of the paper's Table 4.
+  std::string ToTableString() const;
+
+ private:
+  struct Node {
+    PartialEntry entry;
+    std::list<NodeId>::iterator lru_pos;
+  };
+
+  void Touch(Node& node, NodeId id);
+  PartialEntry* GetOrCreate(NodeId id);
+  void Unregister(NodeId id, const PartialEntry& entry);
+  void RegisterRange(RangeId range, NodeId id);
+  void EvictIfNeeded();
+
+  size_t capacity_;
+  std::unordered_map<NodeId, Node> entries_;
+  std::list<NodeId> lru_;  // front = least recently used
+  // Reverse map for invalidation: range -> node ids with entries there.
+  std::unordered_map<RangeId, std::unordered_set<NodeId>> by_range_;
+  PartialIndexStats stats_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_INDEX_PARTIAL_INDEX_H_

@@ -1,0 +1,54 @@
+#include "query/xpath_ast.h"
+
+namespace laxml {
+
+std::string XPathStep::ToString() const {
+  std::string out;
+  if (axis == XPathAxis::kAttribute) out += "@";
+  switch (test) {
+    case NodeTestKind::kName:
+      out += name;
+      break;
+    case NodeTestKind::kWildcard:
+      out += "*";
+      break;
+    case NodeTestKind::kText:
+      out += "text()";
+      break;
+    case NodeTestKind::kComment:
+      out += "comment()";
+      break;
+    case NodeTestKind::kAnyNode:
+      out += "node()";
+      break;
+  }
+  for (const XPathPredicate& p : predicates) out += p.ToString();
+  return out;
+}
+
+std::string XPathPredicate::ToString() const {
+  switch (kind) {
+    case Kind::kPosition:
+      return "[" + std::to_string(position) + "]";
+    case Kind::kExists:
+      return "[" + path.ToString() + "]";
+    case Kind::kEquals:
+      return "[" + path.ToString() + "='" + literal + "']";
+  }
+  return "[?]";
+}
+
+std::string XPathPath::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].axis == XPathAxis::kDescendant) {
+      out += "//";
+    } else if (i > 0 || absolute) {
+      out += "/";
+    }
+    out += steps[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace laxml

@@ -1,0 +1,217 @@
+#include "query/xpath_eval.h"
+
+#include <algorithm>
+
+#include "query/xpath_parser.h"
+#include "store/cursor.h"
+
+namespace laxml {
+
+namespace {
+/// Virtual-root context (parent of the top-level sequence).
+constexpr int64_t kRootContext = -1;
+}  // namespace
+
+Status XPathEvaluator::Refresh() {
+  nodes_.clear();
+  id_index_.clear();
+  auto cursor = store_->NewCursor();
+  LAXML_RETURN_IF_ERROR(cursor->SeekToFirst());
+  std::vector<uint32_t> stack;  // open scope node indices
+  while (cursor->Valid()) {
+    const Token& t = cursor->token();
+    if (t.BeginsNode()) {
+      SNode node;
+      node.id = cursor->node_id();
+      node.type = t.type;
+      node.name = t.name;
+      node.value = t.value;
+      node.parent = stack.empty() ? -1 : static_cast<int32_t>(stack.back());
+      uint32_t index = static_cast<uint32_t>(nodes_.size());
+      node.subtree_end = index + 1;
+      nodes_.push_back(std::move(node));
+      if (t.OpensScope()) {
+        stack.push_back(index);
+      }
+    } else if (t.ClosesScope()) {
+      if (stack.empty()) {
+        return Status::Corruption("negative nesting while snapshotting");
+      }
+      nodes_[stack.back()].subtree_end =
+          static_cast<uint32_t>(nodes_.size());
+      stack.pop_back();
+    }
+    LAXML_RETURN_IF_ERROR(cursor->Next());
+  }
+  if (!stack.empty()) {
+    return Status::Corruption("unclosed scope while snapshotting");
+  }
+  id_index_.reserve(nodes_.size());
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    id_index_.emplace_back(nodes_[i].id, i);
+  }
+  std::sort(id_index_.begin(), id_index_.end());
+  fresh_ = true;
+  return Status::OK();
+}
+
+bool XPathEvaluator::TestMatches(const XPathStep& step,
+                                 const SNode& node) const {
+  if (step.axis == XPathAxis::kAttribute) {
+    if (node.type != TokenType::kBeginAttribute) return false;
+    return step.test == NodeTestKind::kWildcard || node.name == step.name;
+  }
+  // Non-attribute axes never select attribute nodes.
+  if (node.type == TokenType::kBeginAttribute) return false;
+  switch (step.test) {
+    case NodeTestKind::kName:
+      return node.type == TokenType::kBeginElement &&
+             node.name == step.name;
+    case NodeTestKind::kWildcard:
+      return node.type == TokenType::kBeginElement;
+    case NodeTestKind::kText:
+      return node.type == TokenType::kText;
+    case NodeTestKind::kComment:
+      return node.type == TokenType::kComment;
+    case NodeTestKind::kAnyNode:
+      return true;
+  }
+  return false;
+}
+
+std::string XPathEvaluator::StringValueOf(uint32_t index) const {
+  const SNode& node = nodes_[index];
+  if (node.type != TokenType::kBeginElement &&
+      node.type != TokenType::kBeginDocument) {
+    return node.value;
+  }
+  std::string out;
+  for (uint32_t i = index + 1; i < node.subtree_end; ++i) {
+    if (nodes_[i].type == TokenType::kText) out += nodes_[i].value;
+  }
+  return out;
+}
+
+std::vector<int64_t> XPathEvaluator::EvaluateRelative(
+    const XPathPath& path, int64_t context) const {
+  std::vector<int64_t> frontier{context};
+  for (const XPathStep& step : path.steps) {
+    frontier = ApplyStep(step, frontier);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+bool XPathEvaluator::PredicatesHold(const XPathStep& step,
+                                    uint32_t candidate,
+                                    uint64_t position) const {
+  for (const XPathPredicate& pred : step.predicates) {
+    switch (pred.kind) {
+      case XPathPredicate::Kind::kPosition:
+        if (position != pred.position) return false;
+        break;
+      case XPathPredicate::Kind::kExists: {
+        auto hits = EvaluateRelative(pred.path,
+                                     static_cast<int64_t>(candidate));
+        if (hits.empty()) return false;
+        break;
+      }
+      case XPathPredicate::Kind::kEquals: {
+        auto hits = EvaluateRelative(pred.path,
+                                     static_cast<int64_t>(candidate));
+        bool any = false;
+        for (int64_t h : hits) {
+          if (h >= 0 &&
+              StringValueOf(static_cast<uint32_t>(h)) == pred.literal) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<int64_t> XPathEvaluator::ApplyStep(
+    const XPathStep& step, const std::vector<int64_t>& frontier) const {
+  std::vector<int64_t> out;
+  auto consider = [&](uint32_t idx, uint64_t* position) {
+    if (!TestMatches(step, nodes_[idx])) return;
+    ++*position;
+    if (PredicatesHold(step, idx, *position)) {
+      out.push_back(static_cast<int64_t>(idx));
+    }
+  };
+  for (int64_t ctx : frontier) {
+    uint64_t position = 0;
+    uint32_t begin, end;
+    if (ctx == kRootContext) {
+      begin = 0;
+      end = static_cast<uint32_t>(nodes_.size());
+    } else {
+      begin = static_cast<uint32_t>(ctx) + 1;
+      end = nodes_[static_cast<uint32_t>(ctx)].subtree_end;
+    }
+    if (step.axis == XPathAxis::kChild ||
+        (step.axis == XPathAxis::kAttribute && !step.descendant_attr)) {
+      // Direct children only.
+      int32_t parent = ctx == kRootContext ? -1 : static_cast<int32_t>(ctx);
+      uint32_t i = begin;
+      while (i < end) {
+        if (nodes_[i].parent == parent) {
+          consider(i, &position);
+          i = nodes_[i].subtree_end;  // skip the child's subtree
+        } else {
+          ++i;
+        }
+      }
+    } else {
+      // Descendants (elements/text/comments at any depth below ctx),
+      // including '//@attr'.
+      for (uint32_t i = begin; i < end; ++i) {
+        consider(i, &position);
+      }
+    }
+  }
+  // Document order + dedup (frontiers can overlap under '//').
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::Evaluate(
+    const XPathPath& path) {
+  if (!fresh_) {
+    LAXML_RETURN_IF_ERROR(Refresh());
+  }
+  std::vector<int64_t> frontier = EvaluateRelative(path, kRootContext);
+  std::vector<NodeId> ids;
+  ids.reserve(frontier.size());
+  for (int64_t idx : frontier) {
+    if (idx >= 0) ids.push_back(nodes_[static_cast<uint32_t>(idx)].id);
+  }
+  return ids;
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::Evaluate(
+    std::string_view expr) {
+  LAXML_ASSIGN_OR_RETURN(XPathPath path, ParseXPath(expr));
+  return Evaluate(path);
+}
+
+Result<std::string> XPathEvaluator::StringValue(NodeId id) {
+  if (!fresh_) {
+    LAXML_RETURN_IF_ERROR(Refresh());
+  }
+  auto it = std::lower_bound(
+      id_index_.begin(), id_index_.end(), std::make_pair(id, 0u));
+  if (it == id_index_.end() || it->first != id) {
+    return Status::NotFound("node not in snapshot");
+  }
+  return StringValueOf(it->second);
+}
+
+}  // namespace laxml

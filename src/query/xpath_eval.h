@@ -1,0 +1,80 @@
+// XPath evaluation over the store. The evaluator takes one streaming
+// pass over the store (TokenCursor) to build a transient structural
+// snapshot — ids, kinds, names, values, parent/subtree extents — and
+// evaluates location paths set-wise against it with standard XPath
+// node-set semantics (document order, duplicates removed, existential
+// '=' comparisons, per-context positions).
+//
+// Trade-off, documented: the snapshot is O(live nodes) transient memory
+// and must be Refresh()ed after store mutations. A fully streaming
+// evaluator is a possible optimization for structural-only paths; value
+// predicates would still need buffering, so the snapshot keeps the
+// implementation small and exactly right.
+
+#ifndef LAXML_QUERY_XPATH_EVAL_H_
+#define LAXML_QUERY_XPATH_EVAL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/xpath_ast.h"
+#include "store/store.h"
+
+namespace laxml {
+
+/// Evaluates XPath expressions against a Store.
+class XPathEvaluator {
+ public:
+  explicit XPathEvaluator(Store* store) : store_(store) {}
+
+  /// (Re)builds the structural snapshot from the current store content.
+  /// Called automatically by the first Evaluate; call again after
+  /// mutating the store.
+  Status Refresh();
+
+  /// Evaluates a parsed path; returns matching node ids in document
+  /// order, duplicate-free.
+  Result<std::vector<NodeId>> Evaluate(const XPathPath& path);
+
+  /// Parses and evaluates.
+  Result<std::vector<NodeId>> Evaluate(std::string_view expr);
+
+  /// XPath string-value of a node (concatenated descendant text for
+  /// elements; the value itself for text/comment/attribute nodes).
+  Result<std::string> StringValue(NodeId id);
+
+  /// Number of nodes in the snapshot.
+  size_t snapshot_size() const { return nodes_.size(); }
+
+ private:
+  struct SNode {
+    NodeId id;
+    TokenType type;
+    std::string name;
+    std::string value;
+    int32_t parent;        ///< Index of parent; -1 for top level.
+    uint32_t subtree_end;  ///< One past the last descendant index.
+  };
+
+  bool TestMatches(const XPathStep& step, const SNode& node) const;
+  std::string StringValueOf(uint32_t index) const;
+  /// Applies one step to a sorted frontier of node indices. `root_ctx`
+  /// signals the virtual root is in the frontier (encoded as index -1).
+  std::vector<int64_t> ApplyStep(const XPathStep& step,
+                                 const std::vector<int64_t>& frontier) const;
+  bool PredicatesHold(const XPathStep& step, uint32_t candidate,
+                      uint64_t position) const;
+  std::vector<int64_t> EvaluateRelative(const XPathPath& path,
+                                        int64_t context) const;
+
+  Store* store_;
+  bool fresh_ = false;
+  std::vector<SNode> nodes_;
+  std::vector<std::pair<NodeId, uint32_t>> id_index_;  // sorted by id
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_QUERY_XPATH_EVAL_H_

@@ -1,0 +1,109 @@
+#include "query/xpath_lexer.h"
+
+#include <cctype>
+
+namespace laxml {
+
+namespace {
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+}  // namespace
+
+Result<std::vector<XPathToken>> LexXPath(std::string_view expr) {
+  std::vector<XPathToken> out;
+  size_t i = 0;
+  while (i < expr.size()) {
+    char c = expr[i];
+    if (c == ' ' || c == '\t' || c == '\n') {
+      ++i;
+      continue;
+    }
+    if (c == '/') {
+      if (i + 1 < expr.size() && expr[i + 1] == '/') {
+        out.push_back({XPathTokenType::kDoubleSlash, "", 0});
+        i += 2;
+      } else {
+        out.push_back({XPathTokenType::kSlash, "", 0});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '@') {
+      out.push_back({XPathTokenType::kAt, "", 0});
+      ++i;
+      continue;
+    }
+    if (c == '*') {
+      out.push_back({XPathTokenType::kStar, "", 0});
+      ++i;
+      continue;
+    }
+    if (c == '[') {
+      out.push_back({XPathTokenType::kLBracket, "", 0});
+      ++i;
+      continue;
+    }
+    if (c == ']') {
+      out.push_back({XPathTokenType::kRBracket, "", 0});
+      ++i;
+      continue;
+    }
+    if (c == '=') {
+      out.push_back({XPathTokenType::kEquals, "", 0});
+      ++i;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      size_t end = expr.find(c, i + 1);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated string literal in XPath");
+      }
+      out.push_back({XPathTokenType::kString,
+                     std::string(expr.substr(i + 1, end - i - 1)), 0});
+      i = end + 1;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t v = 0;
+      while (i < expr.size() &&
+             std::isdigit(static_cast<unsigned char>(expr[i]))) {
+        v = v * 10 + (expr[i] - '0');
+        ++i;
+      }
+      out.push_back({XPathTokenType::kInteger, "", v});
+      continue;
+    }
+    if (IsNameStart(c)) {
+      size_t start = i;
+      while (i < expr.size() && IsNameChar(expr[i])) ++i;
+      std::string name(expr.substr(start, i - start));
+      // Kind tests read the trailing "()".
+      if (expr.substr(i, 2) == "()") {
+        if (name == "text") {
+          out.push_back({XPathTokenType::kTextTest, "", 0});
+        } else if (name == "comment") {
+          out.push_back({XPathTokenType::kCommentTest, "", 0});
+        } else if (name == "node") {
+          out.push_back({XPathTokenType::kNodeTest, "", 0});
+        } else {
+          return Status::ParseError("unknown kind test '" + name + "()'");
+        }
+        i += 2;
+      } else {
+        out.push_back({XPathTokenType::kName, std::move(name), 0});
+      }
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in XPath");
+  }
+  out.push_back({XPathTokenType::kEnd, "", 0});
+  return out;
+}
+
+}  // namespace laxml

@@ -1,0 +1,42 @@
+// Tokenizer for XPath expressions.
+
+#ifndef LAXML_QUERY_XPATH_LEXER_H_
+#define LAXML_QUERY_XPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace laxml {
+
+enum class XPathTokenType {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kAt,           // @
+  kStar,         // *
+  kLBracket,     // [
+  kRBracket,     // ]
+  kEquals,       // =
+  kName,         // identifier
+  kString,       // 'lit' or "lit"
+  kInteger,      // 123
+  kTextTest,     // text()
+  kCommentTest,  // comment()
+  kNodeTest,     // node()
+  kEnd,
+};
+
+struct XPathToken {
+  XPathTokenType type;
+  std::string text;    // kName / kString
+  uint64_t number = 0; // kInteger
+};
+
+/// Tokenizes the whole expression up front.
+Result<std::vector<XPathToken>> LexXPath(std::string_view expr);
+
+}  // namespace laxml
+
+#endif  // LAXML_QUERY_XPATH_LEXER_H_

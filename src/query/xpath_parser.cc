@@ -1,0 +1,146 @@
+#include "query/xpath_parser.h"
+
+#include "query/xpath_lexer.h"
+
+namespace laxml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<XPathToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<XPathPath> ParsePath(bool top_level) {
+    XPathPath path;
+    XPathAxis next_axis = XPathAxis::kChild;
+    if (Peek().type == XPathTokenType::kSlash) {
+      path.absolute = true;
+      Advance();
+    } else if (Peek().type == XPathTokenType::kDoubleSlash) {
+      path.absolute = true;
+      next_axis = XPathAxis::kDescendant;
+      Advance();
+    }
+    while (true) {
+      LAXML_ASSIGN_OR_RETURN(XPathStep step, ParseStep(next_axis));
+      path.steps.push_back(std::move(step));
+      if (Peek().type == XPathTokenType::kSlash) {
+        next_axis = XPathAxis::kChild;
+        Advance();
+      } else if (Peek().type == XPathTokenType::kDoubleSlash) {
+        next_axis = XPathAxis::kDescendant;
+        Advance();
+      } else {
+        break;
+      }
+    }
+    if (top_level && Peek().type != XPathTokenType::kEnd) {
+      return Status::ParseError("trailing tokens after XPath expression");
+    }
+    if (path.steps.empty()) {
+      return Status::ParseError("empty XPath expression");
+    }
+    return path;
+  }
+
+ private:
+  const XPathToken& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Result<XPathStep> ParseStep(XPathAxis axis) {
+    XPathStep step;
+    step.axis = axis;
+    if (Peek().type == XPathTokenType::kAt) {
+      if (axis == XPathAxis::kDescendant) {
+        // '//@id' = any attribute named id anywhere; model as a
+        // descendant step whose test is attribute.
+        step.axis = XPathAxis::kAttribute;
+        step.descendant_attr = true;
+      } else {
+        step.axis = XPathAxis::kAttribute;
+      }
+      Advance();
+    }
+    switch (Peek().type) {
+      case XPathTokenType::kName:
+        step.test = NodeTestKind::kName;
+        step.name = Peek().text;
+        Advance();
+        break;
+      case XPathTokenType::kStar:
+        step.test = NodeTestKind::kWildcard;
+        Advance();
+        break;
+      case XPathTokenType::kTextTest:
+        step.test = NodeTestKind::kText;
+        Advance();
+        break;
+      case XPathTokenType::kCommentTest:
+        step.test = NodeTestKind::kComment;
+        Advance();
+        break;
+      case XPathTokenType::kNodeTest:
+        step.test = NodeTestKind::kAnyNode;
+        Advance();
+        break;
+      default:
+        return Status::ParseError("expected node test in XPath step");
+    }
+    while (Peek().type == XPathTokenType::kLBracket) {
+      Advance();
+      LAXML_ASSIGN_OR_RETURN(XPathPredicate pred, ParsePredicate());
+      step.predicates.push_back(std::move(pred));
+      if (Peek().type != XPathTokenType::kRBracket) {
+        return Status::ParseError("expected ']' after predicate");
+      }
+      Advance();
+    }
+    return step;
+  }
+
+  Result<XPathPredicate> ParsePredicate() {
+    XPathPredicate pred;
+    if (Peek().type == XPathTokenType::kInteger) {
+      pred.kind = XPathPredicate::Kind::kPosition;
+      pred.position = Peek().number;
+      if (pred.position == 0) {
+        return Status::ParseError("positions are 1-based in XPath");
+      }
+      Advance();
+      return pred;
+    }
+    LAXML_ASSIGN_OR_RETURN(pred.path, ParsePath(/*top_level=*/false));
+    if (pred.path.absolute) {
+      return Status::ParseError("predicate paths must be relative");
+    }
+    if (Peek().type == XPathTokenType::kEquals) {
+      Advance();
+      if (Peek().type != XPathTokenType::kString &&
+          Peek().type != XPathTokenType::kInteger) {
+        return Status::ParseError("expected literal after '='");
+      }
+      pred.kind = XPathPredicate::Kind::kEquals;
+      pred.literal = Peek().type == XPathTokenType::kString
+                         ? Peek().text
+                         : std::to_string(Peek().number);
+      Advance();
+    } else {
+      pred.kind = XPathPredicate::Kind::kExists;
+    }
+    return pred;
+  }
+
+  std::vector<XPathToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XPathPath> ParseXPath(std::string_view expr) {
+  LAXML_ASSIGN_OR_RETURN(auto tokens, LexXPath(expr));
+  Parser parser(std::move(tokens));
+  return parser.ParsePath(/*top_level=*/true);
+}
+
+}  // namespace laxml

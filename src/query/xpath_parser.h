@@ -1,0 +1,19 @@
+// Recursive-descent parser for the XPath subset (see xpath_ast.h for the
+// grammar).
+
+#ifndef LAXML_QUERY_XPATH_PARSER_H_
+#define LAXML_QUERY_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/xpath_ast.h"
+
+namespace laxml {
+
+/// Parses an XPath expression into an AST.
+Result<XPathPath> ParseXPath(std::string_view expr);
+
+}  // namespace laxml
+
+#endif  // LAXML_QUERY_XPATH_PARSER_H_

@@ -1,0 +1,112 @@
+#include "query/xpath_stream.h"
+
+#include "query/xpath_parser.h"
+#include "store/cursor.h"
+
+namespace laxml {
+
+namespace {
+
+/// Does `token` (a node-beginning token) satisfy the step's node test,
+/// given the step's axis? Mirrors the snapshot evaluator's semantics:
+/// the attribute axis selects only attribute nodes; every other axis
+/// never does.
+bool StepMatches(const XPathStep& step, const Token& token) {
+  if (step.axis == XPathAxis::kAttribute) {
+    if (token.type != TokenType::kBeginAttribute) return false;
+    return step.test == NodeTestKind::kWildcard || token.name == step.name;
+  }
+  if (token.type == TokenType::kBeginAttribute) return false;
+  switch (step.test) {
+    case NodeTestKind::kName:
+      return token.type == TokenType::kBeginElement &&
+             token.name == step.name;
+    case NodeTestKind::kWildcard:
+      return token.type == TokenType::kBeginElement;
+    case NodeTestKind::kText:
+      return token.type == TokenType::kText;
+    case NodeTestKind::kComment:
+      return token.type == TokenType::kComment;
+    case NodeTestKind::kAnyNode:
+      return true;
+  }
+  return false;
+}
+
+/// True when step `i` stays pending through arbitrarily deep descent
+/// ('//' semantics, including '//@attr').
+bool Recursive(const XPathStep& step) {
+  return step.axis == XPathAxis::kDescendant || step.descendant_attr;
+}
+
+}  // namespace
+
+Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,
+                                                   const XPathPath& path) {
+  if (path.steps.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  for (const XPathStep& step : path.steps) {
+    if (!step.predicates.empty()) {
+      return Status::NotSupported(
+          "predicates require buffering; use XPathEvaluator");
+    }
+  }
+
+  // Active state-set machine. `active` holds, per open scope level, the
+  // step indices that may match at that level ("looking for step i
+  // here"). A matched non-final step arms i+1 one level down; a
+  // recursive step re-arms itself at every level below where it became
+  // pending.
+  using StateSet = std::vector<uint8_t>;  // bitset over step indices
+  const size_t nsteps = path.steps.size();
+  StateSet root_states(nsteps, 0);
+  root_states[0] = 1;
+
+  std::vector<StateSet> stack;  // one per open scope
+  std::vector<NodeId> out;
+
+  auto cursor = store.NewCursor();
+  LAXML_RETURN_IF_ERROR(cursor->SeekToFirst());
+  while (cursor->Valid()) {
+    const Token& token = cursor->token();
+    if (token.BeginsNode()) {
+      const StateSet& context = stack.empty() ? root_states : stack.back();
+      StateSet below(nsteps, 0);
+      for (size_t i = 0; i < nsteps; ++i) {
+        if (!context[i]) continue;
+        if (Recursive(path.steps[i])) {
+          below[i] = 1;  // stays pending at deeper levels
+        }
+        if (StepMatches(path.steps[i], token)) {
+          if (i + 1 == nsteps) {
+            out.push_back(cursor->node_id());
+          } else {
+            below[i + 1] = 1;
+          }
+        }
+      }
+      if (token.OpensScope()) {
+        stack.push_back(std::move(below));
+      }
+    } else if (token.ClosesScope()) {
+      if (stack.empty()) {
+        return Status::Corruption("negative nesting in stream");
+      }
+      stack.pop_back();
+    }
+    LAXML_RETURN_IF_ERROR(cursor->Next());
+  }
+  // Cursor order IS document order, and the final step index is a
+  // single bit per context, so each node is reported at most once: the
+  // result needs no sorting or dedup.
+  return out;
+}
+
+Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,
+                                                   std::string_view expr) {
+  LAXML_ASSIGN_OR_RETURN(XPathPath path, ParseXPath(expr));
+  return EvaluateXPathStreaming(store, path);
+}
+
+}  // namespace laxml

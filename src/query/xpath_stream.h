@@ -1,0 +1,39 @@
+// Streaming XPath evaluation: structural location paths evaluated in a
+// single pass over the store's token cursor with O(depth × steps)
+// state — no materialized snapshot. This is the evaluation style the
+// flat token representation exists to serve (the paper builds on the
+// BEA/XQRL streaming processor's model [7], and cites the
+// adaptive-streaming line of work [4]).
+//
+// Scope: all axes and node tests of the AST (child, descendant,
+// attribute, name/wildcard/text()/comment()/node()), any number of
+// steps. Predicates require buffering and are NOT supported here —
+// expressions with predicates return NotSupported, and callers fall
+// back to the snapshot-based XPathEvaluator. The two evaluators agree
+// exactly on the shared fragment (enforced by property tests).
+
+#ifndef LAXML_QUERY_XPATH_STREAM_H_
+#define LAXML_QUERY_XPATH_STREAM_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/xpath_ast.h"
+#include "store/store.h"
+
+namespace laxml {
+
+/// Evaluates a predicate-free path in one streaming pass. Returns
+/// matching node ids in document order (duplicate-free by
+/// construction). NotSupported when the path contains predicates.
+Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,
+                                                   const XPathPath& path);
+
+/// Parses, then evaluates streamingly.
+Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,
+                                                   std::string_view expr);
+
+}  // namespace laxml
+
+#endif  // LAXML_QUERY_XPATH_STREAM_H_

@@ -1,0 +1,290 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace laxml {
+
+// ---------------------------------------------------------------------------
+// PageHandle
+
+PageHandle::PageHandle(BufferPool* pool, size_t frame)
+    : pool_(pool), frame_(frame) {}
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+uint8_t* PageHandle::data() {
+  assert(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+const uint8_t* PageHandle::data() const {
+  assert(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+PageId PageHandle::id() const {
+  assert(valid());
+  return pool_->frames_[frame_].page_id;
+}
+
+PageView PageHandle::view() {
+  return PageView(data(), pool_->page_size());
+}
+
+void PageHandle::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+BufferPool::BufferPool(PageFile* file, size_t frame_count)
+    : file_(file), page_size_(file->page_size()) {
+  assert(frame_count >= 4 && "buffer pool needs at least a few frames");
+  frames_.resize(frame_count);
+  free_frames_.reserve(frame_count);
+  for (size_t i = 0; i < frame_count; ++i) {
+    frames_[i].data = std::make_unique<uint8_t[]>(page_size_);
+    frames_[i].lru_pos = lru_.end();
+    free_frames_.push_back(frame_count - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  if (discarded_) return;
+  // Best-effort flush; errors here have nowhere to go.
+  Status st = FlushAll();
+  if (!st.ok()) {
+    LAXML_LOG(kError) << "buffer pool flush on destroy: " << st.ToString();
+  }
+}
+
+void BufferPool::Pin(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  ++f.pin_count;
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  assert(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    f.lru_pos = lru_.insert(lru_.end(), frame);
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::WriteBack(size_t frame) {
+  Frame& f = frames_[frame];
+  if (!f.dirty) return Status::OK();
+  PageView view(f.data.get(), page_size_);
+  view.SealChecksum();
+  LAXML_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.data.get()));
+  ++stats_.page_writes;
+  f.dirty = false;
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: every frame is pinned");
+  }
+  auto victim_it = lru_.begin();
+  if (no_steal_) {
+    while (victim_it != lru_.end() && frames_[*victim_it].dirty) {
+      ++victim_it;
+    }
+    if (victim_it == lru_.end()) {
+      return Status::ResourceExhausted(
+          "buffer pool exhausted: no clean evictable frame (no-steal); "
+          "checkpoint or enlarge the pool");
+    }
+  }
+  size_t victim = *victim_it;
+  lru_.erase(victim_it);
+  Frame& f = frames_[victim];
+  f.in_lru = false;
+  LAXML_RETURN_IF_ERROR(WriteBack(victim));
+  page_table_.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  if (id == 0 || id == kInvalidPageId) {
+    return Status::InvalidArgument("fetch of invalid page id");
+  }
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Pin(it->second);
+    return PageHandle(this, it->second);
+  }
+  ++stats_.misses;
+  LAXML_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  Status st = file_->ReadPage(id, f.data.get());
+  if (!st.ok()) {
+    free_frames_.push_back(frame);
+    return st;
+  }
+  ++stats_.page_reads;
+  PageView view(f.data.get(), page_size_);
+  if (!view.VerifyChecksum(id)) {
+    ++stats_.checksum_failures;
+    free_frames_.push_back(frame);
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  f.page_id = id;
+  f.dirty = false;
+  f.pin_count = 0;
+  page_table_[id] = frame;
+  Pin(frame);
+  return PageHandle(this, frame);
+}
+
+Result<PageHandle> BufferPool::New(PageType type) {
+  LAXML_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
+  LAXML_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  PageView view(f.data.get(), page_size_);
+  view.Format(id, type);
+  f.page_id = id;
+  f.dirty = true;
+  f.pin_count = 0;
+  page_table_[id] = frame;
+  Pin(frame);
+  return PageHandle(this, frame);
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  return WriteBack(it->second);
+}
+
+Status BufferPool::FlushAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page_id != kInvalidPageId) {
+      LAXML_RETURN_IF_ERROR(WriteBack(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Evict(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  size_t frame = it->second;
+  Frame& f = frames_[frame];
+  if (f.pin_count > 0) {
+    return Status::Aborted("evict of pinned page " + std::to_string(id));
+  }
+  LAXML_RETURN_IF_ERROR(WriteBack(frame));
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  page_table_.erase(it);
+  f.page_id = kInvalidPageId;
+  free_frames_.push_back(frame);
+  return Status::OK();
+}
+
+Status BufferPool::DiscardPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  size_t frame = it->second;
+  Frame& f = frames_[frame];
+  if (f.pin_count > 0) {
+    return Status::Aborted("discard of pinned page " + std::to_string(id));
+  }
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  f.dirty = false;
+  page_table_.erase(it);
+  f.page_id = kInvalidPageId;
+  free_frames_.push_back(frame);
+  return Status::OK();
+}
+
+void BufferPool::DiscardAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    frames_[i].dirty = false;
+    frames_[i].page_id = kInvalidPageId;
+    frames_[i].pin_count = 0;
+    frames_[i].in_lru = false;
+  }
+  lru_.clear();
+  page_table_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < frames_.size(); ++i) free_frames_.push_back(i);
+  discarded_ = true;
+}
+
+size_t BufferPool::dirty_count() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) ++n;
+  }
+  return n;
+}
+
+Status BufferPool::Reset() {
+  LAXML_RETURN_IF_ERROR(FlushAll());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId) continue;
+    if (f.pin_count > 0) {
+      return Status::Aborted("reset with pinned pages outstanding");
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    page_table_.erase(f.page_id);
+    f.page_id = kInvalidPageId;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace laxml

@@ -1,0 +1,153 @@
+// Buffer pool: a fixed set of in-memory frames caching pages, with
+// pin/unpin reference counting, LRU eviction of unpinned frames, dirty
+// tracking and write-back, and checksum verification on fetch.
+//
+// The pool is deliberately single-threaded (like the rest of the engine
+// core); `laxml::SharedStore` provides thread safety one level up, which
+// matches the paper's placement of concurrency control at the
+// block/range/token granularity rather than inside the page cache.
+
+#ifndef LAXML_STORAGE_BUFFER_POOL_H_
+#define LAXML_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace laxml {
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a PageHandle is alive the frame
+/// cannot be evicted. Move-only; unpins on destruction.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, size_t frame);
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  uint8_t* data();
+  const uint8_t* data() const;
+  PageId id() const;
+  PageView view();
+
+  /// Marks the frame dirty so it is written back before eviction.
+  void MarkDirty();
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+};
+
+/// Counters exposed for benches and tests.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t checksum_failures = 0;
+};
+
+/// The pool itself. Owns `frame_count` buffers of `page_size` bytes.
+class BufferPool {
+ public:
+  BufferPool(PageFile* file, size_t frame_count);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches an existing page, reading it from the file on a miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a new page in the file, formats it with the given type,
+  /// and returns it pinned and dirty.
+  Result<PageHandle> New(PageType type);
+
+  /// Flushes one page if cached and dirty.
+  Status FlushPage(PageId id);
+
+  /// Writes back every dirty frame. Does not evict.
+  Status FlushAll();
+
+  /// Drops a page from the cache (flushing first if dirty). The page
+  /// must not be pinned. Used before freeing a page in the file.
+  Status Evict(PageId id);
+
+  /// Drops one page from the cache WITHOUT write-back (the page is
+  /// being freed; its content is dead). Must not be pinned.
+  Status DiscardPage(PageId id);
+
+  /// Flushes and drops everything; used by close paths and tests.
+  Status Reset();
+
+  /// Drops every frame WITHOUT writing dirty pages back — simulates a
+  /// crash (fault-injection tests, WAL recovery tests). No pins may be
+  /// outstanding.
+  void DiscardAll();
+
+  /// No-steal mode: dirty frames are never evicted (required by logical
+  /// WAL replay — see wal/recovery.h). When only dirty frames remain,
+  /// GrabFrame fails with ResourceExhausted and the owner must
+  /// checkpoint.
+  void set_no_steal(bool v) { no_steal_ = v; }
+  bool no_steal() const { return no_steal_; }
+
+  /// Number of dirty resident frames (checkpoint-pressure signal).
+  size_t dirty_count() const;
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  size_t frame_count() const { return frames_.size(); }
+  uint32_t page_size() const { return page_size_; }
+  PageFile* file() { return file_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<uint8_t[]> data;
+    // Position in lru_ when unpinned and resident; lru_.end() otherwise.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Pin(size_t frame);
+  void Unpin(size_t frame);
+  Status WriteBack(size_t frame);
+  /// Finds a frame to (re)use: a never-used frame or the LRU unpinned
+  /// victim (flushed if dirty, then detached from the page table).
+  Result<size_t> GrabFrame();
+
+  PageFile* file_;
+  uint32_t page_size_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = least recently used
+  std::unordered_map<PageId, size_t> page_table_;
+  BufferPoolStats stats_;
+  bool no_steal_ = false;
+  bool discarded_ = false;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORAGE_BUFFER_POOL_H_

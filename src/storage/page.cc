@@ -1,0 +1,38 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace laxml {
+
+void PageView::SealChecksum() {
+  uint32_t crc = crc32c::Value(data_ + 4, page_size_ - 4);
+  EncodeFixed32(data_ + kPageCrcOffset, crc32c::Mask(crc));
+}
+
+bool PageView::VerifyChecksum(PageId expected_id) const {
+  // A page of all zeroes is one that was allocated (file extended) but
+  // never flushed; treat as valid empty page.
+  bool all_zero = true;
+  for (uint32_t i = 0; i < page_size_; ++i) {
+    if (data_[i] != 0) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) return true;
+
+  uint32_t stored = crc32c::Unmask(DecodeFixed32(data_ + kPageCrcOffset));
+  uint32_t actual = crc32c::Value(data_ + 4, page_size_ - 4);
+  if (stored != actual) return false;
+  return id() == expected_id;
+}
+
+void PageView::Format(PageId id, PageType type) {
+  std::memset(data_, 0, page_size_);
+  set_id(id);
+  set_type(type);
+}
+
+}  // namespace laxml

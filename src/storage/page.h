@@ -1,0 +1,107 @@
+// Page-level definitions shared by the whole storage substrate: page ids,
+// the common page header (type tag + checksum), and page-size constants.
+//
+// The paper's storage model is "token sequences serialized in sequential
+// blocks/pages, in document order" (Section 3.3); these pages are the
+// blocks. Everything persistent in laxml — range payloads, overflow
+// chains, B+-tree nodes, the meta page — lives in fixed-size pages
+// beneath a buffer pool.
+
+#ifndef LAXML_STORAGE_PAGE_H_
+#define LAXML_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace laxml {
+
+/// Identifies a page within a page file. Page 0 is the meta page and is
+/// owned exclusively by the PageFile layer (allocator state + client
+/// metadata); it never passes through the buffer pool.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Default page (block) size in bytes.
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+/// Minimum supported page size (must hold a header plus a useful payload).
+inline constexpr uint32_t kMinPageSize = 512;
+
+/// What a page holds; stored in the common header for sanity checking.
+enum class PageType : uint8_t {
+  kFree = 0,          ///< On the allocator free chain.
+  kMeta = 1,          ///< Page 0 only.
+  kSlotted = 2,       ///< Slotted record page (range payload segments).
+  kOverflow = 3,      ///< Overflow chain page for large records.
+  kBTreeInternal = 4, ///< B+-tree inner node.
+  kBTreeLeaf = 5,     ///< B+-tree leaf node.
+};
+
+/// Byte layout of the header at the start of every page:
+///
+///   [0..4)   masked CRC32-C over bytes [4, page_size)
+///   [4..8)   page id (self-check against torn/misdirected writes)
+///   [8]      PageType
+///   [9]      flags (unused, reserved)
+///   [10..12) reserved
+///   [12..20) LSN of the last WAL record that touched the page
+inline constexpr uint32_t kPageHeaderSize = 20;
+
+inline constexpr uint32_t kPageCrcOffset = 0;
+inline constexpr uint32_t kPageIdOffset = 4;
+inline constexpr uint32_t kPageTypeOffset = 8;
+inline constexpr uint32_t kPageLsnOffset = 12;
+
+/// Typed accessors over a raw page buffer. PageView does not own the
+/// bytes; it is a convenience wrapper used by the buffer pool and the
+/// structures built on top of it.
+class PageView {
+ public:
+  PageView(uint8_t* data, uint32_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  uint32_t page_size() const { return page_size_; }
+
+  PageId id() const { return DecodeFixed32(data_ + kPageIdOffset); }
+  void set_id(PageId id) { EncodeFixed32(data_ + kPageIdOffset, id); }
+
+  PageType type() const {
+    return static_cast<PageType>(data_[kPageTypeOffset]);
+  }
+  void set_type(PageType t) {
+    data_[kPageTypeOffset] = static_cast<uint8_t>(t);
+  }
+
+  uint64_t lsn() const { return DecodeFixed64(data_ + kPageLsnOffset); }
+  void set_lsn(uint64_t lsn) { EncodeFixed64(data_ + kPageLsnOffset, lsn); }
+
+  /// Payload area after the common header.
+  uint8_t* payload() { return data_ + kPageHeaderSize; }
+  const uint8_t* payload() const { return data_ + kPageHeaderSize; }
+  uint32_t payload_size() const { return page_size_ - kPageHeaderSize; }
+
+  /// Computes and stores the masked checksum (done by the pool on flush).
+  void SealChecksum();
+
+  /// Verifies the stored checksum; also checks the self page id.
+  /// Returns false on mismatch. Pages that are all zero (never written)
+  /// are accepted and typed kFree.
+  bool VerifyChecksum(PageId expected_id) const;
+
+  /// Zeroes the page and stamps header fields for a freshly allocated
+  /// page of the given type.
+  void Format(PageId id, PageType type);
+
+ private:
+  uint8_t* data_;
+  uint32_t page_size_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORAGE_PAGE_H_

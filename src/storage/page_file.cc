@@ -1,0 +1,276 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace laxml {
+
+namespace {
+constexpr uint32_t kFileMagic = 0x4C41584Du;  // "LAXM"
+constexpr uint32_t kFileVersion = 1;
+
+// Offsets within the meta page payload (after the common page header).
+constexpr uint32_t kMagicOff = 0;
+constexpr uint32_t kVersionOff = 4;
+constexpr uint32_t kPageSizeOff = 8;
+constexpr uint32_t kPageCountOff = 12;
+constexpr uint32_t kFreeHeadOff = 16;
+constexpr uint32_t kFreeCountOff = 20;
+constexpr uint32_t kMetaLenOff = 24;
+constexpr uint32_t kMetaBytesOff = 28;
+}  // namespace
+
+uint32_t PageFile::MaxMetaSize(uint32_t page_size) {
+  return page_size - kPageHeaderSize - kMetaBytesOff;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryPageFile
+
+MemoryPageFile::MemoryPageFile(uint32_t page_size) : page_size_(page_size) {
+  pages_.emplace_back();  // slot 0: meta page placeholder, never accessed
+}
+
+Status MemoryPageFile::ReadPage(PageId id, uint8_t* buf) {
+  if (id == 0 || id >= pages_.size()) {
+    return Status::IOError("read past end of memory page file");
+  }
+  if (pages_[id].empty()) {
+    std::memset(buf, 0, page_size_);
+  } else {
+    std::memcpy(buf, pages_[id].data(), page_size_);
+  }
+  return Status::OK();
+}
+
+Status MemoryPageFile::WritePage(PageId id, const uint8_t* buf) {
+  if (id == 0 || id >= pages_.size()) {
+    return Status::IOError("write past end of memory page file");
+  }
+  pages_[id].assign(buf, buf + page_size_);
+  return Status::OK();
+}
+
+Result<PageId> MemoryPageFile::AllocatePage() {
+  if (!free_.empty()) {
+    PageId id = free_.back();
+    free_.pop_back();
+    return id;
+  }
+  pages_.emplace_back();
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemoryPageFile::FreePage(PageId id) {
+  if (id == 0 || id >= pages_.size()) {
+    return Status::InvalidArgument("free of invalid page id");
+  }
+  pages_[id].clear();
+  free_.push_back(id);
+  return Status::OK();
+}
+
+uint32_t MemoryPageFile::page_count() const {
+  return static_cast<uint32_t>(pages_.size());
+}
+
+Status MemoryPageFile::WriteMeta(Slice meta) {
+  if (meta.size() > MaxMetaSize(page_size_)) {
+    return Status::InvalidArgument("meta area overflow");
+  }
+  meta_.assign(meta.data(), meta.data() + meta.size());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PosixPageFile
+
+PosixPageFile::PosixPageFile(int fd, std::string path, uint32_t page_size)
+    : fd_(fd), path_(std::move(path)), page_size_(page_size) {}
+
+PosixPageFile::~PosixPageFile() {
+  if (fd_ >= 0) {
+    // Best effort: persist allocator state on close.
+    PersistHeader();
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<PosixPageFile>> PosixPageFile::Open(
+    const std::string& path, uint32_t page_size) {
+  if (page_size < kMinPageSize || (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument("page size must be a power of two >= 512");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open '" + path + "': " + std::strerror(errno));
+  }
+  off_t len = ::lseek(fd, 0, SEEK_END);
+  auto file = std::unique_ptr<PosixPageFile>(
+      new PosixPageFile(fd, path, page_size));
+  if (len == 0) {
+    Status st = file->InitNewFile();
+    if (!st.ok()) return st;
+  } else {
+    Status st = file->LoadHeader();
+    if (!st.ok()) return st;
+  }
+  return file;
+}
+
+Status PosixPageFile::InitNewFile() {
+  page_count_ = 1;
+  free_head_ = kInvalidPageId;
+  free_count_ = 0;
+  meta_.clear();
+  return PersistHeader();
+}
+
+Status PosixPageFile::LoadHeader() {
+  // Read a provisional header with the default page size to learn the
+  // real one, then re-read if it differs.
+  std::vector<uint8_t> buf(page_size_);
+  ssize_t n = ::pread(fd_, buf.data(), page_size_, 0);
+  if (n < static_cast<ssize_t>(kPageHeaderSize + kMetaBytesOff)) {
+    return Status::Corruption("page file header truncated");
+  }
+  const uint8_t* p = buf.data() + kPageHeaderSize;
+  if (DecodeFixed32(p + kMagicOff) != kFileMagic) {
+    return Status::Corruption("bad magic in '" + path_ + "'");
+  }
+  if (DecodeFixed32(p + kVersionOff) != kFileVersion) {
+    return Status::Corruption("unsupported page file version");
+  }
+  uint32_t stored_page_size = DecodeFixed32(p + kPageSizeOff);
+  if (stored_page_size != page_size_) {
+    page_size_ = stored_page_size;
+    buf.assign(page_size_, 0);
+    n = ::pread(fd_, buf.data(), page_size_, 0);
+    if (n < static_cast<ssize_t>(page_size_)) {
+      return Status::Corruption("page file header truncated");
+    }
+    p = buf.data() + kPageHeaderSize;
+  }
+  PageView view(buf.data(), page_size_);
+  if (!view.VerifyChecksum(0)) {
+    return Status::Corruption("meta page checksum mismatch");
+  }
+  page_count_ = DecodeFixed32(p + kPageCountOff);
+  free_head_ = DecodeFixed32(p + kFreeHeadOff);
+  free_count_ = DecodeFixed32(p + kFreeCountOff);
+  uint32_t meta_len = DecodeFixed32(p + kMetaLenOff);
+  if (meta_len > MaxMetaSize(page_size_)) {
+    return Status::Corruption("meta length out of bounds");
+  }
+  meta_.assign(p + kMetaBytesOff, p + kMetaBytesOff + meta_len);
+  return Status::OK();
+}
+
+Status PosixPageFile::PersistHeader() {
+  std::vector<uint8_t> buf(page_size_, 0);
+  PageView view(buf.data(), page_size_);
+  view.Format(0, PageType::kMeta);
+  uint8_t* p = buf.data() + kPageHeaderSize;
+  EncodeFixed32(p + kMagicOff, kFileMagic);
+  EncodeFixed32(p + kVersionOff, kFileVersion);
+  EncodeFixed32(p + kPageSizeOff, page_size_);
+  EncodeFixed32(p + kPageCountOff, page_count_);
+  EncodeFixed32(p + kFreeHeadOff, free_head_);
+  EncodeFixed32(p + kFreeCountOff, free_count_);
+  EncodeFixed32(p + kMetaLenOff, static_cast<uint32_t>(meta_.size()));
+  if (!meta_.empty()) {
+    std::memcpy(p + kMetaBytesOff, meta_.data(), meta_.size());
+  }
+  view.SealChecksum();
+  ssize_t n = ::pwrite(fd_, buf.data(), page_size_, 0);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError("meta page write failed");
+  }
+  return Status::OK();
+}
+
+Status PosixPageFile::ReadPage(PageId id, uint8_t* buf) {
+  if (id == 0 || id >= page_count_) {
+    return Status::IOError("read of out-of-range page");
+  }
+  off_t off = static_cast<off_t>(id) * page_size_;
+  ssize_t n = ::pread(fd_, buf, page_size_, off);
+  if (n < 0) {
+    return Status::IOError(std::string("pread: ") + std::strerror(errno));
+  }
+  // Reading a page that was allocated (count bumped) but never written
+  // returns short/zero data; surface it as a zero page.
+  if (n < static_cast<ssize_t>(page_size_)) {
+    std::memset(buf + n, 0, page_size_ - n);
+  }
+  return Status::OK();
+}
+
+Status PosixPageFile::WritePage(PageId id, const uint8_t* buf) {
+  if (id == 0 || id >= page_count_) {
+    return Status::IOError("write of out-of-range page");
+  }
+  off_t off = static_cast<off_t>(id) * page_size_;
+  ssize_t n = ::pwrite(fd_, buf, page_size_, off);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<PageId> PosixPageFile::AllocatePage() {
+  if (free_head_ != kInvalidPageId) {
+    PageId id = free_head_;
+    // The next pointer lives in the first 4 payload bytes of the free
+    // page.
+    std::vector<uint8_t> buf(page_size_);
+    LAXML_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+    free_head_ = DecodeFixed32(buf.data() + kPageHeaderSize);
+    --free_count_;
+    return id;
+  }
+  if (page_count_ == kInvalidPageId) {
+    return Status::ResourceExhausted("page file full");
+  }
+  return page_count_++;
+}
+
+Status PosixPageFile::FreePage(PageId id) {
+  if (id == 0 || id >= page_count_) {
+    return Status::InvalidArgument("free of invalid page id");
+  }
+  std::vector<uint8_t> buf(page_size_, 0);
+  PageView view(buf.data(), page_size_);
+  view.Format(id, PageType::kFree);
+  EncodeFixed32(buf.data() + kPageHeaderSize, free_head_);
+  view.SealChecksum();
+  LAXML_RETURN_IF_ERROR(WritePage(id, buf.data()));
+  free_head_ = id;
+  ++free_count_;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> PosixPageFile::ReadMeta() { return meta_; }
+
+Status PosixPageFile::WriteMeta(Slice meta) {
+  if (meta.size() > MaxMetaSize(page_size_)) {
+    return Status::InvalidArgument("meta area overflow");
+  }
+  meta_.assign(meta.data(), meta.data() + meta.size());
+  return PersistHeader();
+}
+
+Status PosixPageFile::Sync() {
+  LAXML_RETURN_IF_ERROR(PersistHeader());
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace laxml

@@ -1,0 +1,136 @@
+// Page files: the lowest layer of the substrate. A PageFile is an array
+// of fixed-size pages with an allocator (free chain) and a small client
+// metadata area, both persisted in page 0 (the meta page).
+//
+// Two implementations:
+//   * MemoryPageFile — a vector of pages; used by tests and by benches
+//     that want to isolate CPU cost from the filesystem.
+//   * PosixPageFile  — a real file accessed with pread/pwrite.
+//
+// Page 0 layout (after the common page header):
+//   magic u32 | version u32 | page_size u32 | page_count u32 |
+//   free_head u32 | free_count u32 | meta_len u32 | meta bytes ...
+//
+// Freed pages form a singly-linked chain: the first 4 payload bytes of a
+// free page hold the next free page id.
+
+#ifndef LAXML_STORAGE_PAGE_FILE_H_
+#define LAXML_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace laxml {
+
+/// Abstract page array + allocator + meta area.
+class PageFile {
+ public:
+  virtual ~PageFile() = default;
+
+  /// Reads page `id` into `buf` (page_size bytes).
+  virtual Status ReadPage(PageId id, uint8_t* buf) = 0;
+
+  /// Writes page `id` from `buf` (page_size bytes).
+  virtual Status WritePage(PageId id, const uint8_t* buf) = 0;
+
+  /// Allocates a page (reusing the free chain when possible). The new
+  /// page's on-disk content is unspecified; callers must format it.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Returns a page to the free chain. The page must not be in use.
+  virtual Status FreePage(PageId id) = 0;
+
+  /// Number of pages in the file, including the meta page and freed
+  /// pages.
+  virtual uint32_t page_count() const = 0;
+
+  /// Number of pages currently on the free chain.
+  virtual uint32_t free_page_count() const = 0;
+
+  virtual uint32_t page_size() const = 0;
+
+  /// Reads the client metadata area (engine bootstrap state: tree roots,
+  /// id counters, range chain endpoints).
+  virtual Result<std::vector<uint8_t>> ReadMeta() = 0;
+
+  /// Replaces the client metadata area. Limited to roughly half a page.
+  virtual Status WriteMeta(Slice meta) = 0;
+
+  /// Flushes everything to durable storage.
+  virtual Status Sync() = 0;
+
+  /// Maximum client metadata size for a given page size.
+  static uint32_t MaxMetaSize(uint32_t page_size);
+};
+
+/// In-memory page file.
+class MemoryPageFile : public PageFile {
+ public:
+  explicit MemoryPageFile(uint32_t page_size = kDefaultPageSize);
+
+  Status ReadPage(PageId id, uint8_t* buf) override;
+  Status WritePage(PageId id, const uint8_t* buf) override;
+  Result<PageId> AllocatePage() override;
+  Status FreePage(PageId id) override;
+  uint32_t page_count() const override;
+  uint32_t free_page_count() const override {
+    return static_cast<uint32_t>(free_.size());
+  }
+  uint32_t page_size() const override { return page_size_; }
+  Result<std::vector<uint8_t>> ReadMeta() override { return meta_; }
+  Status WriteMeta(Slice meta) override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  uint32_t page_size_;
+  std::vector<std::vector<uint8_t>> pages_;  // index 0 unused (meta)
+  std::vector<PageId> free_;
+  std::vector<uint8_t> meta_;
+};
+
+/// File-backed page file using POSIX pread/pwrite.
+class PosixPageFile : public PageFile {
+ public:
+  ~PosixPageFile() override;
+
+  /// Opens (or creates) a page file at `path`. When creating,
+  /// `page_size` is used; when opening an existing file the stored page
+  /// size wins and `page_size` is ignored.
+  static Result<std::unique_ptr<PosixPageFile>> Open(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  Status ReadPage(PageId id, uint8_t* buf) override;
+  Status WritePage(PageId id, const uint8_t* buf) override;
+  Result<PageId> AllocatePage() override;
+  Status FreePage(PageId id) override;
+  uint32_t page_count() const override { return page_count_; }
+  uint32_t free_page_count() const override { return free_count_; }
+  uint32_t page_size() const override { return page_size_; }
+  Result<std::vector<uint8_t>> ReadMeta() override;
+  Status WriteMeta(Slice meta) override;
+  Status Sync() override;
+
+ private:
+  PosixPageFile(int fd, std::string path, uint32_t page_size);
+
+  Status LoadHeader();
+  Status InitNewFile();
+  Status PersistHeader();
+
+  int fd_;
+  std::string path_;
+  uint32_t page_size_;
+  uint32_t page_count_ = 1;  // meta page
+  PageId free_head_ = kInvalidPageId;
+  uint32_t free_count_ = 0;
+  std::vector<uint8_t> meta_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,54 @@
+#include "storage/pager.h"
+
+namespace laxml {
+
+Pager::Pager(std::unique_ptr<PageFile> file, size_t frames)
+    : file_(std::move(file)) {
+  pool_ = std::make_unique<BufferPool>(file_.get(), frames);
+}
+
+Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path,
+                                               const PagerOptions& options) {
+  if (options.page_size > 32768) {
+    return Status::InvalidArgument(
+        "page size above 32768 not supported (16-bit slot offsets)");
+  }
+  LAXML_ASSIGN_OR_RETURN(auto file,
+                         PosixPageFile::Open(path, options.page_size));
+  return std::unique_ptr<Pager>(
+      new Pager(std::move(file), options.pool_frames));
+}
+
+Result<std::unique_ptr<Pager>> Pager::OpenInMemory(
+    const PagerOptions& options) {
+  if (options.page_size > 32768 || options.page_size < kMinPageSize ||
+      (options.page_size & (options.page_size - 1)) != 0) {
+    return Status::InvalidArgument("bad page size");
+  }
+  auto file = std::make_unique<MemoryPageFile>(options.page_size);
+  return std::unique_ptr<Pager>(
+      new Pager(std::move(file), options.pool_frames));
+}
+
+Status Pager::FreePage(PageId id) {
+  if (defer_frees_) {
+    LAXML_RETURN_IF_ERROR(pool_->DiscardPage(id));
+    deferred_frees_.push_back(id);
+    return Status::OK();
+  }
+  LAXML_RETURN_IF_ERROR(pool_->Evict(id));
+  return file_->FreePage(id);
+}
+
+Status Pager::Sync() {
+  LAXML_RETURN_IF_ERROR(pool_->FlushAll());
+  // Checkpoint boundary: pages freed during the epoch may now join the
+  // file's free chain — nothing in the new checkpoint references them.
+  for (PageId id : deferred_frees_) {
+    LAXML_RETURN_IF_ERROR(file_->FreePage(id));
+  }
+  deferred_frees_.clear();
+  return file_->Sync();
+}
+
+}  // namespace laxml

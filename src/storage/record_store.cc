@@ -1,0 +1,488 @@
+#include "storage/record_store.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace laxml {
+
+namespace {
+constexpr uint16_t kKindInline = 0;
+constexpr uint16_t kKindOverflow = 1;
+constexpr uint32_t kDirValueSize = 16;
+
+void EncodeDirValue(uint8_t* v, PageId page, uint16_t slot, uint16_t kind,
+                    uint32_t len) {
+  EncodeFixed32(v, page);
+  EncodeFixed16(v + 4, slot);
+  EncodeFixed16(v + 6, kind);
+  EncodeFixed32(v + 8, len);
+  EncodeFixed32(v + 12, 0);
+}
+
+struct DirValue {
+  PageId page;
+  uint16_t slot;
+  uint16_t kind;
+  uint32_t len;
+};
+
+DirValue DecodeDirValue(const uint8_t* v) {
+  return DirValue{DecodeFixed32(v), DecodeFixed16(v + 4),
+                  DecodeFixed16(v + 6), DecodeFixed32(v + 8)};
+}
+}  // namespace
+
+RecordStore::RecordStore(Pager* pager, BTree directory,
+                         RecordStoreState state)
+    : pager_(pager),
+      directory_(std::move(directory)),
+      next_record_id_(state.next_record_id),
+      data_head_(state.data_head) {}
+
+Result<std::unique_ptr<RecordStore>> RecordStore::Create(Pager* pager) {
+  LAXML_ASSIGN_OR_RETURN(BTree dir, BTree::Create(pager, kDirValueSize));
+  RecordStoreState state;
+  state.directory_root = dir.root();
+  return std::unique_ptr<RecordStore>(
+      new RecordStore(pager, std::move(dir), state));
+}
+
+Result<std::unique_ptr<RecordStore>> RecordStore::Open(
+    Pager* pager, const RecordStoreState& state) {
+  LAXML_ASSIGN_OR_RETURN(
+      BTree dir, BTree::Open(pager, state.directory_root, kDirValueSize));
+  auto store = std::unique_ptr<RecordStore>(
+      new RecordStore(pager, std::move(dir), state));
+  LAXML_RETURN_IF_ERROR(store->RebuildFreeSpaceMap());
+  return store;
+}
+
+RecordStoreState RecordStore::state() const {
+  RecordStoreState s;
+  s.directory_root = directory_.root();
+  s.next_record_id = next_record_id_;
+  s.data_head = data_head_;
+  return s;
+}
+
+Status RecordStore::RebuildFreeSpaceMap() {
+  page_free_.clear();
+  free_index_.clear();
+  stats_.data_pages = 0;
+  PageId page = data_head_;
+  while (page != kInvalidPageId) {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(page));
+    SlottedPage sp(h.view());
+    NoteFreeSpace(page, sp.FreeSpace());
+    ++stats_.data_pages;
+    page = sp.next_page();
+  }
+  return Status::OK();
+}
+
+void RecordStore::NoteFreeSpace(PageId page, uint32_t free) {
+  auto it = page_free_.find(page);
+  if (it != page_free_.end()) {
+    // Drop the stale inverted entry.
+    auto range = free_index_.equal_range(it->second);
+    for (auto fit = range.first; fit != range.second; ++fit) {
+      if (fit->second == page) {
+        free_index_.erase(fit);
+        break;
+      }
+    }
+    it->second = free;
+  } else {
+    page_free_[page] = free;
+  }
+  free_index_.emplace(free, page);
+}
+
+void RecordStore::ForgetFreeSpace(PageId page) {
+  auto it = page_free_.find(page);
+  if (it == page_free_.end()) return;
+  auto range = free_index_.equal_range(it->second);
+  for (auto fit = range.first; fit != range.second; ++fit) {
+    if (fit->second == page) {
+      free_index_.erase(fit);
+      break;
+    }
+  }
+  page_free_.erase(it);
+}
+
+Result<PageId> RecordStore::PageWithSpace(uint32_t need) {
+  // Smallest page whose free space covers the need (best fit keeps big
+  // holes available for big records).
+  auto it = free_index_.lower_bound(need);
+  if (it != free_index_.end()) {
+    return it->second;
+  }
+  // Allocate a fresh heap page and push it at the head of the chain.
+  LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->New(PageType::kSlotted));
+  SlottedPage sp(h.view());
+  sp.Init();
+  sp.set_next_page(data_head_);
+  h.MarkDirty();
+  PageId id = h.id();
+  if (data_head_ != kInvalidPageId) {
+    LAXML_ASSIGN_OR_RETURN(PageHandle old, pager_->Fetch(data_head_));
+    SlottedPage old_sp(old.view());
+    old_sp.set_prev_page(id);
+    old.MarkDirty();
+  }
+  data_head_ = id;
+  NoteFreeSpace(id, sp.FreeSpace());
+  ++stats_.data_pages;
+  return id;
+}
+
+Status RecordStore::ReleaseHeapPage(PageId page) {
+  PageId prev, next;
+  {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(page));
+    SlottedPage sp(h.view());
+    prev = sp.prev_page();
+    next = sp.next_page();
+  }
+  if (prev != kInvalidPageId) {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(prev));
+    SlottedPage sp(h.view());
+    sp.set_next_page(next);
+    h.MarkDirty();
+  } else {
+    data_head_ = next;
+  }
+  if (next != kInvalidPageId) {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(next));
+    SlottedPage sp(h.view());
+    sp.set_prev_page(prev);
+    h.MarkDirty();
+  }
+  ForgetFreeSpace(page);
+  --stats_.data_pages;
+  return pager_->FreePage(page);
+}
+
+Status RecordStore::WriteOverflowChain(Slice payload, PageId* first_page) {
+  uint32_t piece_cap = pager_->page_size() - kPageHeaderSize - 4;
+  size_t remaining = payload.size();
+  const uint8_t* src = payload.data();
+  PageId prev = kInvalidPageId;
+  *first_page = kInvalidPageId;
+  while (remaining > 0 || *first_page == kInvalidPageId) {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->New(PageType::kOverflow));
+    uint8_t* p = h.view().payload();
+    EncodeFixed32(p, kInvalidPageId);
+    size_t piece = remaining < piece_cap ? remaining : piece_cap;
+    std::memcpy(p + 4, src, piece);
+    h.MarkDirty();
+    PageId id = h.id();
+    h.Release();
+    if (prev == kInvalidPageId) {
+      *first_page = id;
+    } else {
+      LAXML_ASSIGN_OR_RETURN(PageHandle ph, pager_->Fetch(prev));
+      EncodeFixed32(ph.view().payload(), id);
+      ph.MarkDirty();
+    }
+    prev = id;
+    src += piece;
+    remaining -= piece;
+  }
+  return Status::OK();
+}
+
+Status RecordStore::FreeOverflowChain(PageId first_page) {
+  PageId page = first_page;
+  while (page != kInvalidPageId) {
+    PageId next;
+    {
+      LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(page));
+      next = DecodeFixed32(h.view().payload());
+    }
+    LAXML_RETURN_IF_ERROR(pager_->FreePage(page));
+    page = next;
+  }
+  return Status::OK();
+}
+
+Result<RecordId> RecordStore::Insert(Slice payload) {
+  RecordId id = next_record_id_++;
+  uint8_t dir_value[kDirValueSize];
+  // Inline threshold: leave headroom so a page can host several records.
+  uint32_t inline_max = SlottedPage::MaxRecordSize(pager_->page_size());
+  if (payload.size() <= inline_max) {
+    LAXML_ASSIGN_OR_RETURN(
+        PageId page,
+        PageWithSpace(static_cast<uint32_t>(payload.size())));
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(page));
+    SlottedPage sp(h.view());
+    LAXML_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(payload));
+    h.MarkDirty();
+    NoteFreeSpace(page, sp.FreeSpace());
+    EncodeDirValue(dir_value, page, slot, kKindInline,
+                   static_cast<uint32_t>(payload.size()));
+  } else {
+    PageId first;
+    LAXML_RETURN_IF_ERROR(WriteOverflowChain(payload, &first));
+    // Anchor slot records the chain head so PageOf() still answers.
+    uint8_t anchor[4];
+    EncodeFixed32(anchor, first);
+    LAXML_ASSIGN_OR_RETURN(PageId page, PageWithSpace(4));
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(page));
+    SlottedPage sp(h.view());
+    LAXML_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(Slice(anchor, 4)));
+    h.MarkDirty();
+    NoteFreeSpace(page, sp.FreeSpace());
+    EncodeDirValue(dir_value, page, slot, kKindOverflow,
+                   static_cast<uint32_t>(payload.size()));
+    ++stats_.overflow_records;
+  }
+  LAXML_RETURN_IF_ERROR(
+      directory_.Insert(id, Slice(dir_value, kDirValueSize)));
+  ++stats_.inserts;
+  return id;
+}
+
+Status RecordStore::ReadDirectory(RecordId id, uint8_t* value16) const {
+  LAXML_ASSIGN_OR_RETURN(bool found, directory_.Get(id, value16));
+  if (!found) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> RecordStore::Read(RecordId id) const {
+  return ReadPrefix(id, SIZE_MAX);
+}
+
+Result<std::vector<uint8_t>> RecordStore::ReadPrefix(
+    RecordId id, size_t prefix_len) const {
+  uint8_t dv[kDirValueSize];
+  LAXML_RETURN_IF_ERROR(ReadDirectory(id, dv));
+  DirValue loc = DecodeDirValue(dv);
+  size_t want = prefix_len < loc.len ? prefix_len : loc.len;
+  std::vector<uint8_t> out;
+  out.reserve(want);
+  ++stats_.reads;
+  if (loc.kind == kKindInline) {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(loc.page));
+    SlottedPage sp(h.view());
+    LAXML_ASSIGN_OR_RETURN(Slice rec, sp.Get(loc.slot));
+    out.assign(rec.data(), rec.data() + want);
+    return out;
+  }
+  // Overflow: anchor slot -> chain head.
+  PageId chain;
+  {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(loc.page));
+    SlottedPage sp(h.view());
+    LAXML_ASSIGN_OR_RETURN(Slice rec, sp.Get(loc.slot));
+    chain = DecodeFixed32(rec.data());
+  }
+  uint32_t piece_cap = pager_->page_size() - kPageHeaderSize - 4;
+  size_t remaining_total = loc.len;
+  while (chain != kInvalidPageId && out.size() < want) {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(chain));
+    const uint8_t* p = h.view().payload();
+    PageId next = DecodeFixed32(p);
+    size_t piece =
+        remaining_total < piece_cap ? remaining_total : piece_cap;
+    size_t take = out.size() + piece > want ? want - out.size() : piece;
+    out.insert(out.end(), p + 4, p + 4 + take);
+    remaining_total -= piece;
+    chain = next;
+  }
+  if (out.size() < want) {
+    return Status::Corruption("overflow chain shorter than directory len");
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> RecordStore::ReadSlice(RecordId id,
+                                                    size_t offset,
+                                                    size_t len) const {
+  uint8_t dv[kDirValueSize];
+  LAXML_RETURN_IF_ERROR(ReadDirectory(id, dv));
+  DirValue loc = DecodeDirValue(dv);
+  if (offset >= loc.len) return std::vector<uint8_t>{};
+  size_t want = offset + len > loc.len ? loc.len - offset : len;
+  std::vector<uint8_t> out;
+  out.reserve(want);
+  ++stats_.reads;
+  if (loc.kind == kKindInline) {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(loc.page));
+    SlottedPage sp(h.view());
+    LAXML_ASSIGN_OR_RETURN(Slice rec, sp.Get(loc.slot));
+    out.assign(rec.data() + offset, rec.data() + offset + want);
+    return out;
+  }
+  PageId chain;
+  {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(loc.page));
+    SlottedPage sp(h.view());
+    LAXML_ASSIGN_OR_RETURN(Slice rec, sp.Get(loc.slot));
+    chain = DecodeFixed32(rec.data());
+  }
+  uint32_t piece_cap = pager_->page_size() - kPageHeaderSize - 4;
+  size_t pos = 0;  // byte position of the current piece's start
+  size_t remaining_total = loc.len;
+  while (chain != kInvalidPageId && out.size() < want) {
+    size_t piece = remaining_total < piece_cap ? remaining_total : piece_cap;
+    if (pos + piece <= offset) {
+      // Entirely before the slice: follow the link without copying.
+      LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(chain));
+      chain = DecodeFixed32(h.view().payload());
+      pos += piece;
+      remaining_total -= piece;
+      continue;
+    }
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(chain));
+    const uint8_t* p = h.view().payload();
+    PageId next = DecodeFixed32(p);
+    size_t start_in_piece = offset > pos ? offset - pos : 0;
+    size_t avail = piece - start_in_piece;
+    size_t take = out.size() + avail > want ? want - out.size() : avail;
+    out.insert(out.end(), p + 4 + start_in_piece,
+               p + 4 + start_in_piece + take);
+    pos += piece;
+    remaining_total -= piece;
+    chain = next;
+  }
+  if (out.size() < want) {
+    return Status::Corruption("overflow chain shorter than directory len");
+  }
+  return out;
+}
+
+Result<uint32_t> RecordStore::Length(RecordId id) const {
+  uint8_t dv[kDirValueSize];
+  LAXML_RETURN_IF_ERROR(ReadDirectory(id, dv));
+  return DecodeDirValue(dv).len;
+}
+
+Result<PageId> RecordStore::PageOf(RecordId id) const {
+  uint8_t dv[kDirValueSize];
+  LAXML_RETURN_IF_ERROR(ReadDirectory(id, dv));
+  return DecodeDirValue(dv).page;
+}
+
+Result<bool> RecordStore::Exists(RecordId id) const {
+  uint8_t dv[kDirValueSize];
+  LAXML_ASSIGN_OR_RETURN(bool found, directory_.Get(id, dv));
+  return found;
+}
+
+Status RecordStore::Delete(RecordId id) {
+  uint8_t dv[kDirValueSize];
+  LAXML_RETURN_IF_ERROR(ReadDirectory(id, dv));
+  DirValue loc = DecodeDirValue(dv);
+  if (loc.kind == kKindOverflow) {
+    PageId chain;
+    {
+      LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(loc.page));
+      SlottedPage sp(h.view());
+      LAXML_ASSIGN_OR_RETURN(Slice rec, sp.Get(loc.slot));
+      chain = DecodeFixed32(rec.data());
+    }
+    LAXML_RETURN_IF_ERROR(FreeOverflowChain(chain));
+  }
+  bool page_empty = false;
+  {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(loc.page));
+    SlottedPage sp(h.view());
+    LAXML_RETURN_IF_ERROR(sp.Delete(loc.slot));
+    h.MarkDirty();
+    page_empty = sp.Empty();
+    if (!page_empty) NoteFreeSpace(loc.page, sp.FreeSpace());
+  }
+  if (page_empty) {
+    LAXML_RETURN_IF_ERROR(ReleaseHeapPage(loc.page));
+  }
+  LAXML_RETURN_IF_ERROR(directory_.Delete(id));
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+Status RecordStore::Update(RecordId id, Slice payload) {
+  uint8_t dv[kDirValueSize];
+  LAXML_RETURN_IF_ERROR(ReadDirectory(id, dv));
+  DirValue loc = DecodeDirValue(dv);
+  uint32_t inline_max = SlottedPage::MaxRecordSize(pager_->page_size());
+
+  if (loc.kind == kKindInline && payload.size() <= inline_max) {
+    // Try in place first.
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(loc.page));
+    SlottedPage sp(h.view());
+    Status st = sp.Update(loc.slot, payload);
+    if (st.ok()) {
+      h.MarkDirty();
+      NoteFreeSpace(loc.page, sp.FreeSpace());
+      EncodeDirValue(dv, loc.page, loc.slot, kKindInline,
+                     static_cast<uint32_t>(payload.size()));
+      LAXML_RETURN_IF_ERROR(directory_.Insert(id, Slice(dv, 16)));
+      ++stats_.updates;
+      return Status::OK();
+    }
+    if (!st.IsResourceExhausted()) return st;
+    h.Release();
+  }
+  // Relocate: remove the old incarnation, insert the new one under the
+  // same id.
+  if (loc.kind == kKindOverflow) {
+    PageId chain;
+    {
+      LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(loc.page));
+      SlottedPage sp(h.view());
+      LAXML_ASSIGN_OR_RETURN(Slice rec, sp.Get(loc.slot));
+      chain = DecodeFixed32(rec.data());
+    }
+    LAXML_RETURN_IF_ERROR(FreeOverflowChain(chain));
+  }
+  bool page_empty = false;
+  {
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(loc.page));
+    SlottedPage sp(h.view());
+    LAXML_RETURN_IF_ERROR(sp.Delete(loc.slot));
+    h.MarkDirty();
+    page_empty = sp.Empty();
+    if (!page_empty) NoteFreeSpace(loc.page, sp.FreeSpace());
+  }
+  if (page_empty) {
+    LAXML_RETURN_IF_ERROR(ReleaseHeapPage(loc.page));
+  }
+  // Re-insert under the same id.
+  if (payload.size() <= inline_max) {
+    LAXML_ASSIGN_OR_RETURN(
+        PageId page,
+        PageWithSpace(static_cast<uint32_t>(payload.size())));
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(page));
+    SlottedPage sp(h.view());
+    LAXML_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(payload));
+    h.MarkDirty();
+    NoteFreeSpace(page, sp.FreeSpace());
+    EncodeDirValue(dv, page, slot, kKindInline,
+                   static_cast<uint32_t>(payload.size()));
+  } else {
+    PageId first;
+    LAXML_RETURN_IF_ERROR(WriteOverflowChain(payload, &first));
+    uint8_t anchor[4];
+    EncodeFixed32(anchor, first);
+    LAXML_ASSIGN_OR_RETURN(PageId page, PageWithSpace(4));
+    LAXML_ASSIGN_OR_RETURN(PageHandle h, pager_->Fetch(page));
+    SlottedPage sp(h.view());
+    LAXML_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(Slice(anchor, 4)));
+    h.MarkDirty();
+    NoteFreeSpace(page, sp.FreeSpace());
+    EncodeDirValue(dv, page, slot, kKindOverflow,
+                   static_cast<uint32_t>(payload.size()));
+    ++stats_.overflow_records;
+  }
+  LAXML_RETURN_IF_ERROR(directory_.Insert(id, Slice(dv, kDirValueSize)));
+  ++stats_.updates;
+  return Status::OK();
+}
+
+}  // namespace laxml

@@ -1,0 +1,131 @@
+// Record store: variable-length records (the serialized Range payloads)
+// on slotted heap pages, with overflow chains for records larger than a
+// page and a B+-tree directory mapping RecordId -> location.
+//
+// This is the substrate the paper assumes ("the principles of storage
+// already defined ... by relational database systems have an immediate
+// application here", Section 9): Ranges are records, and like relational
+// records they are sequences of variable-sized fields (tokens).
+//
+// Physical layout:
+//   * Inline record:   one slot on a kSlotted page.
+//   * Overflow record: the slot holds only [first_overflow_page u32];
+//     the bytes live on a chain of kOverflow pages, each of which is
+//     [next u32][piece bytes ...] in its payload.
+//
+// Directory value (16 bytes): [page u32][slot u16][kind u16][len u32]
+//                             [reserved u32]
+
+#ifndef LAXML_STORAGE_RECORD_STORE_H_
+#define LAXML_STORAGE_RECORD_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/status.h"
+#include "storage/pager.h"
+#include "storage/slotted_page.h"
+
+namespace laxml {
+
+/// Stable identifier of a record; never reused.
+using RecordId = uint64_t;
+inline constexpr RecordId kInvalidRecordId = 0;
+
+/// Persistent bootstrap state; the owner stores this in the meta area.
+struct RecordStoreState {
+  PageId directory_root = kInvalidPageId;
+  RecordId next_record_id = 1;
+  PageId data_head = kInvalidPageId;  ///< Heap page chain head.
+};
+
+/// Counters for benches and tests.
+struct RecordStoreStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t updates = 0;
+  uint64_t reads = 0;
+  uint64_t overflow_records = 0;
+  uint64_t data_pages = 0;  ///< Live heap pages (excludes overflow).
+};
+
+/// The record store. Single-threaded like the rest of the engine core.
+class RecordStore {
+ public:
+  /// Creates a fresh store (allocates the directory tree).
+  static Result<std::unique_ptr<RecordStore>> Create(Pager* pager);
+
+  /// Re-attaches to an existing store; rebuilds the in-memory free-space
+  /// map by walking the heap page chain.
+  static Result<std::unique_ptr<RecordStore>> Open(
+      Pager* pager, const RecordStoreState& state);
+
+  /// Inserts a record, assigning a fresh RecordId.
+  Result<RecordId> Insert(Slice payload);
+
+  /// Replaces the payload of an existing record.
+  Status Update(RecordId id, Slice payload);
+
+  /// Removes a record.
+  Status Delete(RecordId id);
+
+  /// Reads a record's payload.
+  Result<std::vector<uint8_t>> Read(RecordId id) const;
+
+  /// Reads only the first `prefix_len` bytes (cheap header peeks of
+  /// large ranges without materializing the whole payload).
+  Result<std::vector<uint8_t>> ReadPrefix(RecordId id,
+                                          size_t prefix_len) const;
+
+  /// Reads `len` bytes starting at `offset` (clamped to the record
+  /// end). For overflow records only the covering chain pages are
+  /// touched — this is what makes a Partial Index hit on a huge coarse
+  /// range cheap.
+  Result<std::vector<uint8_t>> ReadSlice(RecordId id, size_t offset,
+                                         size_t len) const;
+
+  /// Byte length of a record without reading it.
+  Result<uint32_t> Length(RecordId id) const;
+
+  /// Heap page that anchors the record (the paper's "BlockId" column of
+  /// the Range Index, Tables 2-3).
+  Result<PageId> PageOf(RecordId id) const;
+
+  /// True if the record exists.
+  Result<bool> Exists(RecordId id) const;
+
+  /// State to persist in the meta area (changes after mutations).
+  RecordStoreState state() const;
+
+  const RecordStoreStats& stats() const { return stats_; }
+
+ private:
+  RecordStore(Pager* pager, BTree directory, RecordStoreState state);
+
+  Status RebuildFreeSpaceMap();
+  /// Finds (or allocates) a heap page with >= `need` free bytes.
+  Result<PageId> PageWithSpace(uint32_t need);
+  void NoteFreeSpace(PageId page, uint32_t free);
+  void ForgetFreeSpace(PageId page);
+  Status WriteOverflowChain(Slice payload, PageId* first_page);
+  Status FreeOverflowChain(PageId first_page);
+  Status ReadDirectory(RecordId id, uint8_t* value16) const;
+  /// Unlinks and frees a heap page that has become empty.
+  Status ReleaseHeapPage(PageId page);
+
+  Pager* pager_;
+  mutable BTree directory_;
+  RecordId next_record_id_;
+  PageId data_head_;
+  // Free-space tracking: page -> free bytes, plus an inverted index for
+  // best-fit-ish lookup (smallest page that fits).
+  std::map<PageId, uint32_t> page_free_;
+  std::multimap<uint32_t, PageId> free_index_;
+  mutable RecordStoreStats stats_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORAGE_RECORD_STORE_H_

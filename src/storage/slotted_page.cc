@@ -1,0 +1,188 @@
+#include "storage/slotted_page.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace laxml {
+
+uint16_t SlottedPage::GetU16(uint32_t off) const {
+  return DecodeFixed16(view_.payload() + off);
+}
+void SlottedPage::PutU16(uint32_t off, uint16_t v) {
+  EncodeFixed16(view_.payload() + off, v);
+}
+uint32_t SlottedPage::GetU32(uint32_t off) const {
+  return DecodeFixed32(view_.payload() + off);
+}
+void SlottedPage::PutU32(uint32_t off, uint32_t v) {
+  EncodeFixed32(view_.payload() + off, v);
+}
+
+void SlottedPage::Init() {
+  PutU32(0, kInvalidPageId);  // prev
+  PutU32(4, kInvalidPageId);  // next
+  PutU16(8, 0);               // slot_count
+  set_free_start(kHeaderSize);
+  set_dead_bytes(0);
+  PutU16(14, 0);
+}
+
+uint16_t SlottedPage::slot_count() const { return GetU16(8); }
+
+PageId SlottedPage::prev_page() const { return GetU32(0); }
+void SlottedPage::set_prev_page(PageId id) { PutU32(0, id); }
+PageId SlottedPage::next_page() const { return GetU32(4); }
+void SlottedPage::set_next_page(PageId id) { PutU32(4, id); }
+
+uint32_t SlottedPage::ContiguousFree() const {
+  uint32_t dir_bottom = payload_size() - kSlotSize * slot_count();
+  uint32_t top = free_start();
+  return dir_bottom > top ? dir_bottom - top : 0;
+}
+
+uint32_t SlottedPage::FreeSpace() const {
+  uint32_t space = ContiguousFree() + dead_bytes();
+  // Reserve room for the directory entry a new record may need. A free
+  // (tombstone) slot can be reused without growing the directory, but we
+  // report conservatively.
+  bool has_free_slot = false;
+  uint16_t n = slot_count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (slot_offset(i) == kTombstoneOffset) {
+      has_free_slot = true;
+      break;
+    }
+  }
+  uint32_t need_dir = has_free_slot ? 0 : kSlotSize;
+  return space > need_dir ? space - need_dir : 0;
+}
+
+bool SlottedPage::Empty() const {
+  uint16_t n = slot_count();
+  for (uint16_t i = 0; i < n; ++i) {
+    if (slot_offset(i) != kTombstoneOffset) return false;
+  }
+  return true;
+}
+
+void SlottedPage::Compact() {
+  uint16_t n = slot_count();
+  // Collect live slots ordered by their heap offset so the rewrite is a
+  // stable left-shift.
+  std::vector<uint16_t> live;
+  live.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    if (slot_offset(i) != kTombstoneOffset) live.push_back(i);
+  }
+  std::sort(live.begin(), live.end(), [this](uint16_t a, uint16_t b) {
+    return slot_offset(a) < slot_offset(b);
+  });
+  uint8_t* base = view_.payload();
+  uint16_t write = kHeaderSize;
+  for (uint16_t s : live) {
+    uint16_t off = slot_offset(s);
+    uint16_t len = slot_len(s);
+    if (off != write) {
+      std::memmove(base + write, base + off, len);
+      set_slot(s, write, len);
+    }
+    write = static_cast<uint16_t>(write + len);
+  }
+  set_free_start(write);
+  set_dead_bytes(0);
+}
+
+Result<uint16_t> SlottedPage::Insert(Slice record) {
+  if (record.size() > 0xFFFE) {
+    return Status::InvalidArgument("record too large for a slotted page");
+  }
+  uint16_t n = slot_count();
+  // Reuse a tombstone slot when available.
+  uint16_t slot = n;
+  for (uint16_t i = 0; i < n; ++i) {
+    if (slot_offset(i) == kTombstoneOffset) {
+      slot = i;
+      break;
+    }
+  }
+  uint32_t dir_growth = (slot == n) ? kSlotSize : 0;
+  uint32_t need = static_cast<uint32_t>(record.size()) + dir_growth;
+  if (ContiguousFree() < need) {
+    if (ContiguousFree() + dead_bytes() < need) {
+      return Status::ResourceExhausted("slotted page full");
+    }
+    Compact();
+  }
+  if (slot == n) {
+    PutU16(8, static_cast<uint16_t>(n + 1));
+  }
+  uint16_t off = free_start();
+  std::memcpy(view_.payload() + off, record.data(), record.size());
+  set_slot(slot, off, static_cast<uint16_t>(record.size()));
+  set_free_start(static_cast<uint16_t>(off + record.size()));
+  return slot;
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count() || slot_offset(slot) == kTombstoneOffset) {
+    return Status::NotFound("slot not in use");
+  }
+  set_dead_bytes(static_cast<uint16_t>(dead_bytes() + slot_len(slot)));
+  set_slot(slot, kTombstoneOffset, 0);
+  // Shrink the directory when trailing slots are tombstones so the space
+  // returns to the heap.
+  uint16_t n = slot_count();
+  while (n > 0 && slot_offset(static_cast<uint16_t>(n - 1)) ==
+                      kTombstoneOffset) {
+    --n;
+  }
+  PutU16(8, n);
+  return Status::OK();
+}
+
+Result<Slice> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count() || slot_offset(slot) == kTombstoneOffset) {
+    return Status::NotFound("slot not in use");
+  }
+  return Slice(view_.payload() + slot_offset(slot), slot_len(slot));
+}
+
+Status SlottedPage::Update(uint16_t slot, Slice record) {
+  if (slot >= slot_count() || slot_offset(slot) == kTombstoneOffset) {
+    return Status::NotFound("slot not in use");
+  }
+  uint16_t old_len = slot_len(slot);
+  if (record.size() <= old_len) {
+    std::memcpy(view_.payload() + slot_offset(slot), record.data(),
+                record.size());
+    set_dead_bytes(
+        static_cast<uint16_t>(dead_bytes() + old_len - record.size()));
+    set_slot(slot, slot_offset(slot), static_cast<uint16_t>(record.size()));
+    return Status::OK();
+  }
+  // Grow: free the old bytes, then place the new copy. The slot number
+  // must survive, so this cannot go through Delete()/Insert() (trailing
+  // slot-count trimming could reassign it). Check space before mutating
+  // so failure leaves the page untouched.
+  uint32_t need = record.size();
+  if (ContiguousFree() + dead_bytes() + old_len < need) {
+    return Status::ResourceExhausted("slotted page full on update");
+  }
+  set_dead_bytes(static_cast<uint16_t>(dead_bytes() + old_len));
+  set_slot(slot, kTombstoneOffset, 0);
+  if (ContiguousFree() < need) {
+    Compact();
+  }
+  uint16_t off = free_start();
+  std::memcpy(view_.payload() + off, record.data(), record.size());
+  set_slot(slot, off, static_cast<uint16_t>(record.size()));
+  set_free_start(static_cast<uint16_t>(off + record.size()));
+  return Status::OK();
+}
+
+uint32_t SlottedPage::MaxRecordSize(uint32_t page_size) {
+  return page_size - kPageHeaderSize - kHeaderSize - kSlotSize;
+}
+
+}  // namespace laxml

@@ -1,0 +1,112 @@
+// Slotted page: variable-length records within one page, addressed by a
+// stable slot number. Records grow from the front of the payload; the
+// slot directory grows from the back. Deleting leaves a reusable
+// tombstone slot; fragmentation is repaired by Compact() when an insert
+// needs contiguous space that exists only in aggregate.
+//
+// Payload layout (offsets relative to PageView::payload()):
+//   [0..4)   prev data page (record-store heap chain)
+//   [4..8)   next data page
+//   [8..10)  slot_count
+//   [10..12) free_start   (offset of first unused byte in the heap area)
+//   [12..14) dead_bytes   (reclaimable bytes from deleted records)
+//   [14..16) reserved
+//   [16..)   record heap, growing upward
+//   [..end)  slot directory, growing downward: per slot [offset u16][len u16]
+//
+// A slot with offset == kTombstoneOffset is free for reuse.
+
+#ifndef LAXML_STORAGE_SLOTTED_PAGE_H_
+#define LAXML_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace laxml {
+
+/// View-style accessor over a kSlotted page's payload.
+class SlottedPage {
+ public:
+  static constexpr uint16_t kTombstoneOffset = 0xFFFF;
+  static constexpr uint32_t kHeaderSize = 16;
+  static constexpr uint32_t kSlotSize = 4;
+
+  explicit SlottedPage(PageView view) : view_(view) {}
+
+  /// Formats an empty slotted payload (call once after PageView::Format).
+  void Init();
+
+  uint16_t slot_count() const;
+
+  PageId prev_page() const;
+  void set_prev_page(PageId id);
+  PageId next_page() const;
+  void set_next_page(PageId id);
+
+  /// Inserts a record, compacting first if fragmentation requires it.
+  /// Fails with ResourceExhausted when the page genuinely lacks room.
+  Result<uint16_t> Insert(Slice record);
+
+  /// Marks a slot deleted. Its bytes become reclaimable.
+  Status Delete(uint16_t slot);
+
+  /// Returns a view of the record bytes. The view is invalidated by any
+  /// mutation of the page.
+  Result<Slice> Get(uint16_t slot) const;
+
+  /// Replaces the record in `slot`. Succeeds in place when the new size
+  /// fits the old footprint or the page has room (possibly after
+  /// compaction); otherwise ResourceExhausted and the caller relocates.
+  Status Update(uint16_t slot, Slice record);
+
+  /// Bytes available to a new record right now, accounting for the slot
+  /// directory entry it may need and for compactable dead space.
+  uint32_t FreeSpace() const;
+
+  /// True when no live records remain.
+  bool Empty() const;
+
+  /// Rewrites the heap area to squeeze out dead bytes. Slot numbers are
+  /// preserved (that is the point of the slot indirection).
+  void Compact();
+
+  /// The largest record Insert() can ever accept on an empty page of
+  /// this page size.
+  static uint32_t MaxRecordSize(uint32_t page_size);
+
+ private:
+  uint16_t GetU16(uint32_t off) const;
+  void PutU16(uint32_t off, uint16_t v);
+  uint32_t GetU32(uint32_t off) const;
+  void PutU32(uint32_t off, uint32_t v);
+
+  uint32_t payload_size() const { return view_.payload_size(); }
+  uint32_t SlotDirOffset(uint16_t slot) const {
+    return payload_size() - kSlotSize * (slot + 1);
+  }
+  uint16_t slot_offset(uint16_t slot) const {
+    return GetU16(SlotDirOffset(slot));
+  }
+  uint16_t slot_len(uint16_t slot) const {
+    return GetU16(SlotDirOffset(slot) + 2);
+  }
+  void set_slot(uint16_t slot, uint16_t offset, uint16_t len) {
+    PutU16(SlotDirOffset(slot), offset);
+    PutU16(SlotDirOffset(slot) + 2, len);
+  }
+  uint16_t free_start() const { return GetU16(10); }
+  void set_free_start(uint16_t v) { PutU16(10, v); }
+  uint16_t dead_bytes() const { return GetU16(12); }
+  void set_dead_bytes(uint16_t v) { PutU16(12, v); }
+
+  /// Contiguous bytes between heap top and directory bottom.
+  uint32_t ContiguousFree() const;
+
+  PageView view_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORAGE_SLOTTED_PAGE_H_

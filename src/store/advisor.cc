@@ -1,0 +1,84 @@
+#include "store/advisor.h"
+
+namespace laxml {
+
+namespace {
+// Thresholds, chosen from the ablation benches (EXPERIMENTS.md):
+// the full index only pays off when updates are essentially absent
+// (Ablation D shows lazy winning from ~0% updates onward on mixed
+// loads, so the bar is very low), and compaction is worthwhile once
+// ranges average far below a page.
+constexpr double kFullIndexMaxUpdateFraction = 0.01;
+constexpr double kExpensiveLocateTokens = 64.0;
+constexpr double kLowHitRate = 0.5;
+constexpr uint64_t kMinRangesForCompaction = 64;
+}  // namespace
+
+AdvisorReport AdviseConfiguration(const Store& store) {
+  const StoreStats& stats = store.stats();
+  const PartialIndexStats& partial = store.partial_index().stats();
+  AdvisorReport report;
+
+  uint64_t updates = stats.inserts + stats.deletes + stats.replaces;
+  uint64_t reads = stats.reads_by_id + stats.full_scans;
+  uint64_t ops = updates + reads;
+  report.update_fraction =
+      ops == 0 ? 0 : static_cast<double>(updates) / ops;
+  report.partial_hit_rate =
+      partial.lookups == 0
+          ? 0
+          : static_cast<double>(partial.hits) / partial.lookups;
+  report.locate_tokens_per_read =
+      stats.reads_by_id == 0
+          ? 0
+          : static_cast<double>(stats.locate_scan_tokens) /
+                stats.reads_by_id;
+  report.ranges = store.range_manager().range_count();
+  report.avg_range_bytes =
+      report.ranges == 0
+          ? 0
+          : static_cast<double>(stats.bytes_inserted) / report.ranges;
+
+  // Mode choice.
+  bool read_only_ish = report.update_fraction < kFullIndexMaxUpdateFraction;
+  bool scans_hurt = report.locate_tokens_per_read > kExpensiveLocateTokens;
+  bool memo_not_helping = report.partial_hit_rate < kLowHitRate;
+  if (ops > 0 && read_only_ish && scans_hurt && memo_not_helping) {
+    report.recommended_mode = IndexMode::kFullIndex;
+    report.rationale +=
+        "reads dominate, locate scans are long and repeat rarely: eager "
+        "indexing amortizes. ";
+  } else {
+    report.recommended_mode = IndexMode::kRangeWithPartial;
+    report.rationale +=
+        "updates present or accesses repeat: stay lazy and memoize. ";
+  }
+
+  // Partial capacity: enough for the distinct-node working set, with
+  // headroom; evictions signal undersizing.
+  size_t current = store.partial_index().capacity();
+  size_t live = store.partial_index().size();
+  if (partial.evictions > partial.hits / 4 && current > 0) {
+    report.recommended_partial_capacity = current * 4;
+    report.rationale +=
+        "partial index is thrashing (evictions rival hits): grow it. ";
+  } else if (current == 0) {
+    report.recommended_partial_capacity = 4096;
+  } else {
+    report.recommended_partial_capacity =
+        live * 2 > current ? current : (live * 2 > 64 ? live * 2 : 64);
+  }
+
+  // Compaction: many ranges far below a page each.
+  uint32_t page = 4096;
+  if (report.ranges >= kMinRangesForCompaction &&
+      report.avg_range_bytes < page / 8.0) {
+    report.recommend_compaction = true;
+    report.compaction_target_bytes = page;
+    report.rationale +=
+        "ranges average well under a page: coalesce split remnants. ";
+  }
+  return report;
+}
+
+}  // namespace laxml

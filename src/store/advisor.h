@@ -1,0 +1,50 @@
+// Workload advisor — the "automatic, application-specific tuning"
+// promised by the paper's introduction. The store's laziness means its
+// structures mirror the workload; the advisor reads those mirrors (op
+// mix, locate-scan volume, partial-index hit rate, range fragmentation)
+// and recommends a configuration for the *observed* usage pattern.
+//
+// It never mutates anything: recommendations are returned to the
+// application, which can apply the in-place ones (partial capacity,
+// compaction) immediately and the rebuild-required ones (index mode) at
+// the next reload.
+
+#ifndef LAXML_STORE_ADVISOR_H_
+#define LAXML_STORE_ADVISOR_H_
+
+#include <string>
+
+#include "store/store.h"
+
+namespace laxml {
+
+/// Advisor output.
+struct AdvisorReport {
+  /// Mode best matching the observed mix (a change requires reloading
+  /// into a fresh store — mode is pinned at creation).
+  IndexMode recommended_mode = IndexMode::kRangeWithPartial;
+  /// Partial-index capacity to use with kRangeWithPartial.
+  size_t recommended_partial_capacity = 0;
+  /// Whether a CompactRanges pass looks worthwhile, and the target.
+  bool recommend_compaction = false;
+  uint32_t compaction_target_bytes = 0;
+
+  /// @name Observations the recommendation is based on
+  /// @{
+  double update_fraction = 0;        ///< updates / (updates + reads)
+  double partial_hit_rate = 0;       ///< hits / lookups (0 when unused)
+  double locate_tokens_per_read = 0; ///< lazy-scan cost per id read
+  double avg_range_bytes = 0;        ///< fragmentation signal
+  uint64_t ranges = 0;
+  /// @}
+
+  /// Human-readable explanation of the recommendation.
+  std::string rationale;
+};
+
+/// Analyzes a store's counters and produces a recommendation.
+AdvisorReport AdviseConfiguration(const Store& store);
+
+}  // namespace laxml
+
+#endif  // LAXML_STORE_ADVISOR_H_

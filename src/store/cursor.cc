@@ -1,0 +1,55 @@
+#include "store/cursor.h"
+
+namespace laxml {
+
+Status TokenCursor::LoadRange(RangeId id) {
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(id));
+  LAXML_ASSIGN_OR_RETURN(payload_, ranges_->ReadPayload(id));
+  range_ = id;
+  next_range_ = meta.next;
+  next_id_ = meta.start_id;
+  reader_ = TokenReader(Slice(payload_));
+  return Status::OK();
+}
+
+Status TokenCursor::SeekToFirst() {
+  valid_ = false;
+  depth_ = 0;
+  RangeId first = ranges_->first_range();
+  if (first == kInvalidRangeId) return Status::OK();
+  LAXML_RETURN_IF_ERROR(LoadRange(first));
+  return Next();
+}
+
+Status TokenCursor::DecodeOne() {
+  LAXML_RETURN_IF_ERROR(reader_.Next(&token_));
+  if (token_.BeginsNode()) {
+    node_id_ = next_id_++;
+  } else {
+    node_id_ = kInvalidNodeId;
+  }
+  if (token_.ClosesScope()) {
+    --depth_;
+    depth_at_token_ = depth_;
+  } else {
+    depth_at_token_ = depth_;
+    if (token_.OpensScope()) ++depth_;
+  }
+  valid_ = true;
+  return Status::OK();
+}
+
+Status TokenCursor::Next() {
+  // First call after SeekToFirst arrives with valid_ == false and a
+  // loaded reader; subsequent calls continue the stream.
+  while (reader_.AtEnd()) {
+    if (next_range_ == kInvalidRangeId) {
+      valid_ = false;
+      return Status::OK();
+    }
+    LAXML_RETURN_IF_ERROR(LoadRange(next_range_));
+  }
+  return DecodeOne();
+}
+
+}  // namespace laxml

@@ -1,0 +1,74 @@
+// TokenCursor: streaming document-order iteration over the whole store
+// — token by token, with regenerated node ids and nesting depth. The
+// query layer evaluates XPath over this stream; Table 5's sequential
+// scan measures exactly this path.
+
+#ifndef LAXML_STORE_CURSOR_H_
+#define LAXML_STORE_CURSOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "store/range_manager.h"
+#include "xml/token.h"
+#include "xml/token_codec.h"
+
+namespace laxml {
+
+/// Forward-only cursor over every token in document order.
+///
+/// Usage:
+///   auto cursor = store->NewCursor();
+///   LAXML_RETURN_IF_ERROR(cursor->SeekToFirst());
+///   while (cursor->Valid()) {
+///     use(cursor->token(), cursor->node_id(), cursor->depth());
+///     LAXML_RETURN_IF_ERROR(cursor->Next());
+///   }
+///
+/// The cursor is invalidated by any store mutation.
+class TokenCursor {
+ public:
+  explicit TokenCursor(const RangeManager* ranges) : ranges_(ranges) {}
+
+  /// Positions at the first token of the store; Valid() is false on an
+  /// empty store.
+  Status SeekToFirst();
+
+  bool Valid() const { return valid_; }
+
+  /// Advances to the next token (crossing range boundaries as needed).
+  Status Next();
+
+  /// Current token.
+  const Token& token() const { return token_; }
+
+  /// Regenerated node id (kInvalidNodeId for end tokens).
+  NodeId node_id() const { return node_id_; }
+
+  /// Nesting depth of the current token (the depth *at* the token: a
+  /// begin-element at top level has depth 0, its children depth 1).
+  int64_t depth() const { return depth_at_token_; }
+
+  /// Range currently being streamed.
+  RangeId range() const { return range_; }
+
+ private:
+  Status LoadRange(RangeId id);
+  Status DecodeOne();
+
+  const RangeManager* ranges_;
+  bool valid_ = false;
+  RangeId range_ = kInvalidRangeId;
+  std::vector<uint8_t> payload_;
+  TokenReader reader_{Slice()};
+  RangeId next_range_ = kInvalidRangeId;
+  NodeId next_id_ = kInvalidNodeId;
+  Token token_;
+  NodeId node_id_ = kInvalidNodeId;
+  int64_t depth_ = 0;           // depth after consuming token_
+  int64_t depth_at_token_ = 0;  // depth at token_
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORE_CURSOR_H_

@@ -1,0 +1,290 @@
+#include "store/range_manager.h"
+
+namespace laxml {
+
+RangeManager::RangeManager(Pager* pager,
+                           std::unique_ptr<RecordStore> records,
+                           BTree meta_tree, const RangeManagerState& state)
+    : pager_(pager),
+      records_(std::move(records)),
+      meta_tree_(std::move(meta_tree)),
+      first_range_(state.first_range),
+      last_range_(state.last_range),
+      range_count_(state.range_count) {}
+
+Result<std::unique_ptr<RangeManager>> RangeManager::Create(Pager* pager) {
+  LAXML_ASSIGN_OR_RETURN(auto records, RecordStore::Create(pager));
+  LAXML_ASSIGN_OR_RETURN(BTree meta_tree,
+                         BTree::Create(pager, kRangeMetaValueSize));
+  RangeManagerState state;
+  return std::unique_ptr<RangeManager>(new RangeManager(
+      pager, std::move(records), std::move(meta_tree), state));
+}
+
+Result<std::unique_ptr<RangeManager>> RangeManager::Open(
+    Pager* pager, const RangeManagerState& state) {
+  LAXML_ASSIGN_OR_RETURN(auto records,
+                         RecordStore::Open(pager, state.records));
+  LAXML_ASSIGN_OR_RETURN(
+      BTree meta_tree,
+      BTree::Open(pager, state.meta_tree_root, kRangeMetaValueSize));
+  auto manager = std::unique_ptr<RangeManager>(new RangeManager(
+      pager, std::move(records), std::move(meta_tree), state));
+  LAXML_RETURN_IF_ERROR(manager->RebuildIndex());
+  return manager;
+}
+
+RangeManagerState RangeManager::state() const {
+  RangeManagerState s;
+  s.records = records_->state();
+  s.meta_tree_root = meta_tree_.root();
+  s.first_range = first_range_;
+  s.last_range = last_range_;
+  s.range_count = range_count_;
+  return s;
+}
+
+Status RangeManager::RebuildIndex() {
+  index_.Clear();
+  BTree::Iterator it = meta_tree_.NewIterator();
+  LAXML_RETURN_IF_ERROR(it.SeekToFirst());
+  while (it.Valid()) {
+    RangeMeta meta = DecodeRangeMeta(it.key(), it.value());
+    if (meta.has_ids()) {
+      LAXML_RETURN_IF_ERROR(
+          index_.Insert(meta.start_id, meta.end_id(), meta.id));
+    }
+    LAXML_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
+Result<RangeMeta> RangeManager::GetMeta(RangeId id) const {
+  uint8_t v[kRangeMetaValueSize];
+  LAXML_ASSIGN_OR_RETURN(bool found, meta_tree_.Get(id, v));
+  if (!found) {
+    return Status::NotFound("range " + std::to_string(id));
+  }
+  return DecodeRangeMeta(id, v);
+}
+
+Status RangeManager::PutMeta(const RangeMeta& meta) {
+  uint8_t v[kRangeMetaValueSize];
+  EncodeRangeMeta(meta, v);
+  return meta_tree_.Insert(meta.id, Slice(v, kRangeMetaValueSize));
+}
+
+Status RangeManager::UpdateMeta(const RangeMeta& meta) {
+  return PutMeta(meta);
+}
+
+Result<std::vector<uint8_t>> RangeManager::ReadPayload(RangeId id) const {
+  return records_->Read(id);
+}
+
+Status RangeManager::UpdatePayload(RangeId id, Slice payload) {
+  return records_->Update(id, payload);
+}
+
+Result<RangeId> RangeManager::InsertRangeAfter(RangeId left, Slice payload,
+                                               NodeId start_id,
+                                               uint64_t id_count,
+                                               uint32_t token_count) {
+  LAXML_ASSIGN_OR_RETURN(RecordId rid, records_->Insert(payload));
+  RangeMeta meta;
+  meta.id = rid;
+  meta.start_id = id_count > 0 ? start_id : kInvalidNodeId;
+  meta.id_count = id_count;
+  meta.token_count = token_count;
+  meta.byte_len = static_cast<uint32_t>(payload.size());
+  LAXML_RETURN_IF_ERROR(ComputeDepthProfile(
+      payload.data(), payload.size(), &meta.depth_delta, &meta.min_depth));
+  meta.prev = left;
+
+  if (left == kInvalidRangeId) {
+    meta.next = first_range_;
+  } else {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta left_meta, GetMeta(left));
+    meta.next = left_meta.next;
+    left_meta.next = rid;
+    LAXML_RETURN_IF_ERROR(PutMeta(left_meta));
+  }
+  if (meta.next != kInvalidRangeId) {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta next_meta, GetMeta(meta.next));
+    next_meta.prev = rid;
+    LAXML_RETURN_IF_ERROR(PutMeta(next_meta));
+  } else {
+    last_range_ = rid;
+  }
+  if (left == kInvalidRangeId) {
+    first_range_ = rid;
+  }
+  LAXML_RETURN_IF_ERROR(PutMeta(meta));
+  if (meta.has_ids()) {
+    LAXML_RETURN_IF_ERROR(
+        index_.Insert(meta.start_id, meta.end_id(), meta.id));
+  }
+  ++range_count_;
+  ++stats_.ranges_created;
+  return rid;
+}
+
+Result<RangeId> RangeManager::Split(RangeId id, uint32_t byte_offset,
+                                    uint32_t token_index,
+                                    uint64_t begins_before) {
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, GetMeta(id));
+  if (byte_offset == 0 || byte_offset >= meta.byte_len) {
+    return Status::InvalidArgument("split offset not strictly inside range");
+  }
+  LAXML_ASSIGN_OR_RETURN(std::vector<uint8_t> payload, ReadPayload(id));
+  if (payload.size() != meta.byte_len) {
+    return Status::Corruption("range payload length mismatch");
+  }
+
+  // Tail metadata.
+  uint64_t tail_id_count = meta.id_count - begins_before;
+  NodeId tail_start = tail_id_count > 0 ? meta.start_id + begins_before
+                                        : kInvalidNodeId;
+  Slice tail_bytes(payload.data() + byte_offset,
+                   payload.size() - byte_offset);
+  uint32_t tail_tokens = meta.token_count - token_index;
+
+  // Fix the index before structurally changing anything: the original
+  // interval shrinks (or disappears) and the tail interval appears.
+  if (meta.has_ids()) {
+    if (begins_before == 0) {
+      LAXML_RETURN_IF_ERROR(index_.Erase(meta.start_id));
+    } else if (begins_before < meta.id_count) {
+      LAXML_RETURN_IF_ERROR(index_.Truncate(
+          meta.start_id, meta.start_id + begins_before - 1));
+    }
+  }
+
+  // Create the tail range right after the head (InsertRangeAfter also
+  // registers the tail interval).
+  LAXML_ASSIGN_OR_RETURN(
+      RangeId tail,
+      InsertRangeAfter(id, tail_bytes, tail_start, tail_id_count,
+                       tail_tokens));
+
+  // Shrink the head payload and metadata.
+  LAXML_RETURN_IF_ERROR(
+      records_->Update(id, Slice(payload.data(), byte_offset)));
+  LAXML_ASSIGN_OR_RETURN(RangeMeta head, GetMeta(id));  // next updated
+  head.byte_len = byte_offset;
+  head.token_count = token_index;
+  head.id_count = begins_before;
+  if (begins_before == 0) head.start_id = kInvalidNodeId;
+  LAXML_RETURN_IF_ERROR(ComputeDepthProfile(
+      payload.data(), byte_offset, &head.depth_delta, &head.min_depth));
+  LAXML_RETURN_IF_ERROR(PutMeta(head));
+
+  ++stats_.splits;
+  return tail;
+}
+
+Result<bool> RangeManager::CanMergeWithNext(RangeId id) const {
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, GetMeta(id));
+  if (meta.next == kInvalidRangeId) return false;
+  LAXML_ASSIGN_OR_RETURN(RangeMeta next_meta, GetMeta(meta.next));
+  if (!meta.has_ids() || !next_meta.has_ids()) return true;
+  return next_meta.start_id == meta.start_id + meta.id_count;
+}
+
+Status RangeManager::MergeWithNext(RangeId id) {
+  LAXML_ASSIGN_OR_RETURN(bool mergeable, CanMergeWithNext(id));
+  if (!mergeable) {
+    return Status::InvalidArgument(
+        "ranges have non-contiguous id intervals");
+  }
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, GetMeta(id));
+  LAXML_ASSIGN_OR_RETURN(RangeMeta next_meta, GetMeta(meta.next));
+  LAXML_ASSIGN_OR_RETURN(auto head_payload, ReadPayload(id));
+  LAXML_ASSIGN_OR_RETURN(auto tail_payload, ReadPayload(meta.next));
+  head_payload.insert(head_payload.end(), tail_payload.begin(),
+                      tail_payload.end());
+  LAXML_RETURN_IF_ERROR(records_->Update(id, Slice(head_payload)));
+
+  // Index: both intervals collapse into one.
+  if (meta.has_ids()) {
+    LAXML_RETURN_IF_ERROR(index_.Erase(meta.start_id));
+  }
+  if (next_meta.has_ids()) {
+    LAXML_RETURN_IF_ERROR(index_.Erase(next_meta.start_id));
+  }
+
+  RangeId dead = meta.next;
+  meta.byte_len += next_meta.byte_len;
+  meta.token_count += next_meta.token_count;
+  if (!meta.has_ids()) meta.start_id = next_meta.start_id;
+  meta.id_count += next_meta.id_count;
+  // Depth profile composes: the tail's running minimum is offset by the
+  // head's net delta.
+  int32_t combined_min = meta.min_depth;
+  if (meta.depth_delta + next_meta.min_depth < combined_min) {
+    combined_min = meta.depth_delta + next_meta.min_depth;
+  }
+  meta.min_depth = combined_min;
+  meta.depth_delta += next_meta.depth_delta;
+  meta.next = next_meta.next;
+  LAXML_RETURN_IF_ERROR(PutMeta(meta));
+  if (meta.has_ids()) {
+    LAXML_RETURN_IF_ERROR(
+        index_.Insert(meta.start_id, meta.end_id(), meta.id));
+  }
+  if (meta.next != kInvalidRangeId) {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta after, GetMeta(meta.next));
+    after.prev = id;
+    LAXML_RETURN_IF_ERROR(PutMeta(after));
+  } else {
+    last_range_ = id;
+  }
+  LAXML_RETURN_IF_ERROR(records_->Delete(dead));
+  LAXML_RETURN_IF_ERROR(meta_tree_.Delete(dead));
+  --range_count_;
+  ++stats_.merges;
+  return Status::OK();
+}
+
+Status RangeManager::DeleteRange(RangeId id) {
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, GetMeta(id));
+  if (meta.prev != kInvalidRangeId) {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta prev_meta, GetMeta(meta.prev));
+    prev_meta.next = meta.next;
+    LAXML_RETURN_IF_ERROR(PutMeta(prev_meta));
+  } else {
+    first_range_ = meta.next;
+  }
+  if (meta.next != kInvalidRangeId) {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta next_meta, GetMeta(meta.next));
+    next_meta.prev = meta.prev;
+    LAXML_RETURN_IF_ERROR(PutMeta(next_meta));
+  } else {
+    last_range_ = meta.prev;
+  }
+  if (meta.has_ids()) {
+    LAXML_RETURN_IF_ERROR(index_.Erase(meta.start_id));
+  }
+  LAXML_RETURN_IF_ERROR(records_->Delete(id));
+  LAXML_RETURN_IF_ERROR(meta_tree_.Delete(id));
+  --range_count_;
+  ++stats_.ranges_deleted;
+  return Status::OK();
+}
+
+Status RangeManager::ForEachRange(
+    const std::function<bool(const RangeMeta&)>& fn) const {
+  RangeId cur = first_range_;
+  uint64_t guard = 0;
+  while (cur != kInvalidRangeId) {
+    if (++guard > range_count_ + 1) {
+      return Status::Corruption("range chain cycle detected");
+    }
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, GetMeta(cur));
+    if (!fn(meta)) break;
+    cur = meta.next;
+  }
+  return Status::OK();
+}
+
+}  // namespace laxml

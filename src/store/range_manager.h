@@ -1,0 +1,133 @@
+// RangeManager: owns the physical life of Ranges — payload records,
+// metadata directory, the document-order chain, and the coarse Range
+// Index — and exposes the three structural mutations the Store needs:
+// insert a range at a chain position, split a range at a token boundary,
+// delete a range. The revised storage model of paper Section 4.4
+// ("chained blocks, which contain ordered ranges") is realized here as
+// heap pages + an explicit range chain, which preserves document order
+// identically while letting pages be managed as a heap.
+
+#ifndef LAXML_STORE_RANGE_MANAGER_H_
+#define LAXML_STORE_RANGE_MANAGER_H_
+
+#include <functional>
+#include <memory>
+
+#include "btree/btree.h"
+#include "index/range_index.h"
+#include "storage/record_store.h"
+#include "store/range.h"
+
+namespace laxml {
+
+/// Persistent bootstrap state of the range layer.
+struct RangeManagerState {
+  RecordStoreState records;
+  PageId meta_tree_root = kInvalidPageId;
+  RangeId first_range = kInvalidRangeId;
+  RangeId last_range = kInvalidRangeId;
+  uint64_t range_count = 0;
+};
+
+/// Counters for benches and tests.
+struct RangeManagerStats {
+  uint64_t ranges_created = 0;
+  uint64_t ranges_deleted = 0;
+  uint64_t splits = 0;
+  uint64_t merges = 0;
+};
+
+class RangeManager {
+ public:
+  static Result<std::unique_ptr<RangeManager>> Create(Pager* pager);
+  static Result<std::unique_ptr<RangeManager>> Open(
+      Pager* pager, const RangeManagerState& state);
+
+  /// Reads a range's metadata.
+  Result<RangeMeta> GetMeta(RangeId id) const;
+
+  /// Reads a range's encoded token payload.
+  Result<std::vector<uint8_t>> ReadPayload(RangeId id) const;
+
+  /// Creates a new range from `payload` and links it into the chain
+  /// immediately after `left` (kInvalidRangeId = insert at chain head).
+  /// `start_id`/`id_count`/`token_count` describe the payload. Registers
+  /// the id interval in the Range Index when id_count > 0.
+  Result<RangeId> InsertRangeAfter(RangeId left, Slice payload,
+                                   NodeId start_id, uint64_t id_count,
+                                   uint32_t token_count);
+
+  /// Splits `id` at a token boundary: the head keeps the first
+  /// `token_index` tokens (`byte_offset` bytes, `begins_before` of the
+  /// range's node-beginning tokens); the rest moves to a fresh tail
+  /// range chained right after. Returns the tail's id. Both halves'
+  /// Range Index entries are fixed up. Fails on offset 0 or byte_len
+  /// (nothing to split).
+  Result<RangeId> Split(RangeId id, uint32_t byte_offset,
+                        uint32_t token_index, uint64_t begins_before);
+
+  /// Unlinks and destroys a range (payload, meta, index interval).
+  Status DeleteRange(RangeId id);
+
+  /// True when `id` and its chain successor can be merged without
+  /// breaking the consecutive-ids invariant: either side may be id-less,
+  /// or the successor's ids must continue exactly where `id`'s end.
+  Result<bool> CanMergeWithNext(RangeId id) const;
+
+  /// Merges the chain successor into `id` (payload concatenation, one
+  /// combined interval, successor destroyed). Caller must have checked
+  /// CanMergeWithNext. The inverse of Split.
+  Status MergeWithNext(RangeId id);
+
+  /// Rewrites a range's payload in place, keeping its chain position.
+  /// Used by splits; metadata must be updated via UpdateMeta.
+  Status UpdatePayload(RangeId id, Slice payload);
+
+  /// Persists modified metadata.
+  Status UpdateMeta(const RangeMeta& meta);
+
+  /// Heap page anchoring the range payload (paper's "BlockId").
+  Result<PageId> BlockOf(RangeId id) const { return records_->PageOf(id); }
+
+  RangeId first_range() const { return first_range_; }
+  RangeId last_range() const { return last_range_; }
+  uint64_t range_count() const { return range_count_; }
+
+  /// The coarse index (Section 4.3).
+  RangeIndex& index() { return index_; }
+  const RangeIndex& index() const { return index_; }
+
+  /// Visits ranges in document order. `fn` returns false to stop.
+  Status ForEachRange(
+      const std::function<bool(const RangeMeta&)>& fn) const;
+
+  /// Direct access to the underlying record store (partial reads of
+  /// large payloads).
+  RecordStore* range_records() const { return records_.get(); }
+
+  RangeManagerState state() const;
+  const RangeManagerStats& stats() const { return stats_; }
+  const RecordStoreStats& record_stats() const { return records_->stats(); }
+
+ private:
+  RangeManager(Pager* pager, std::unique_ptr<RecordStore> records,
+               BTree meta_tree, const RangeManagerState& state);
+
+  /// Rebuilds the in-memory Range Index from the metadata directory.
+  Status RebuildIndex();
+
+  Status PutMeta(const RangeMeta& meta);
+
+  Pager* pager_;
+  std::unique_ptr<RecordStore> records_;
+  mutable BTree meta_tree_;
+  RangeId first_range_;
+  RangeId last_range_;
+  uint64_t range_count_;
+  RangeIndex index_;
+  RangeManagerStats stats_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORE_RANGE_MANAGER_H_

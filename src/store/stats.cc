@@ -1,0 +1,21 @@
+#include "store/stats.h"
+
+namespace laxml {
+
+std::string StoreStats::ToString() const {
+  std::string out;
+  out += "inserts=" + std::to_string(inserts);
+  out += " deletes=" + std::to_string(deletes);
+  out += " replaces=" + std::to_string(replaces);
+  out += " reads_by_id=" + std::to_string(reads_by_id);
+  out += " full_scans=" + std::to_string(full_scans);
+  out += " tokens_inserted=" + std::to_string(tokens_inserted);
+  out += " bytes_inserted=" + std::to_string(bytes_inserted);
+  out += " nodes_inserted=" + std::to_string(nodes_inserted);
+  out += " nodes_deleted=" + std::to_string(nodes_deleted);
+  out += " locate_scan_tokens=" + std::to_string(locate_scan_tokens);
+  out += " full_index_maintenance=" + std::to_string(full_index_maintenance);
+  return out;
+}
+
+}  // namespace laxml

@@ -1,0 +1,35 @@
+// Operation counters the benches and adaptivity examples read.
+
+#ifndef LAXML_STORE_STATS_H_
+#define LAXML_STORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace laxml {
+
+/// Store-level counters. Substrate counters (buffer pool, record store,
+/// range manager, indexes) are exposed by their own structs.
+struct StoreStats {
+  uint64_t inserts = 0;        ///< Insert* calls.
+  uint64_t deletes = 0;        ///< DeleteNode calls.
+  uint64_t replaces = 0;       ///< ReplaceNode / ReplaceContent calls.
+  uint64_t reads_by_id = 0;    ///< Read(id) calls.
+  uint64_t full_scans = 0;     ///< Read() calls.
+  uint64_t tokens_inserted = 0;
+  uint64_t bytes_inserted = 0;
+  uint64_t nodes_inserted = 0;
+  uint64_t nodes_deleted = 0;
+  /// Tokens decoded while *locating* ids the lazy way — the measurable
+  /// price of coarse ranges that the Partial Index exists to amortize.
+  uint64_t locate_scan_tokens = 0;
+  /// Full-index maintenance operations (puts + deletes + split-rebasing
+  /// re-puts) — the measurable price of eagerness.
+  uint64_t full_index_maintenance = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORE_STATS_H_

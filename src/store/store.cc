@@ -1,0 +1,1054 @@
+#include "store/store.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/varint.h"
+#include "store/cursor.h"
+#include "wal/wal.h"
+#include "xml/token_codec.h"
+#include "xml/tokenizer.h"
+
+namespace laxml {
+
+namespace {
+constexpr uint32_t kStoreMagic = 0x4C585354u;  // "LXST"
+constexpr uint32_t kStoreVersion = 1;
+constexpr size_t kMetaBlobSize = 104;
+}  // namespace
+
+const char* IndexModeName(IndexMode mode) {
+  switch (mode) {
+    case IndexMode::kFullIndex:
+      return "full-index";
+    case IndexMode::kRangeIndex:
+      return "range-index";
+    case IndexMode::kRangeWithPartial:
+      return "range+partial";
+  }
+  return "?";
+}
+
+Store::Store(std::unique_ptr<Pager> pager, const StoreOptions& options)
+    : pager_(std::move(pager)),
+      options_(options),
+      partial_(options.index_mode == IndexMode::kRangeWithPartial
+                   ? options.partial_index_capacity
+                   : 0) {}
+
+Store::~Store() {
+  if (crashed_) {
+    pager_->pool()->DiscardAll();
+    return;
+  }
+  if (ranges_ == nullptr) return;  // bootstrap never completed
+  Status st = Sync();
+  if (!st.ok()) {
+    LAXML_LOG(kError) << "store sync on close: " << st.ToString();
+  }
+}
+
+void Store::TestOnlyCrash() {
+  pager_->pool()->DiscardAll();
+  crashed_ = true;
+}
+
+Result<std::unique_ptr<Store>> Store::Open(const std::string& path,
+                                           const StoreOptions& options) {
+  LAXML_ASSIGN_OR_RETURN(auto pager, Pager::OpenFile(path, options.pager));
+  LAXML_ASSIGN_OR_RETURN(auto meta, pager->ReadMeta());
+  bool fresh = meta.empty();
+  auto store =
+      std::unique_ptr<Store>(new Store(std::move(pager), options));
+  if (options.enable_wal) {
+    LAXML_ASSIGN_OR_RETURN(store->wal_, Wal::Open(path + ".wal"));
+    // The logical WAL can only replay against an unmodified checkpoint
+    // image: dirty frames must not be stolen and freed pages must not
+    // be clobbered until the next checkpoint.
+    store->pager_->pool()->set_no_steal(true);
+    store->pager_->set_defer_frees(true);
+  }
+  LAXML_RETURN_IF_ERROR(store->Bootstrap(fresh));
+  return store;
+}
+
+Result<std::unique_ptr<Store>> Store::OpenInMemory(
+    const StoreOptions& options) {
+  if (options.enable_wal) {
+    return Status::InvalidArgument(
+        "WAL requires a file-backed store (nothing survives an in-memory "
+        "crash anyway)");
+  }
+  LAXML_ASSIGN_OR_RETURN(auto pager, Pager::OpenInMemory(options.pager));
+  auto store =
+      std::unique_ptr<Store>(new Store(std::move(pager), options));
+  LAXML_RETURN_IF_ERROR(store->Bootstrap(/*fresh=*/true));
+  return store;
+}
+
+Status Store::Bootstrap(bool fresh) {
+  if (fresh) {
+    LAXML_ASSIGN_OR_RETURN(ranges_, RangeManager::Create(pager_.get()));
+    if (options_.index_mode == IndexMode::kFullIndex) {
+      LAXML_ASSIGN_OR_RETURN(full_, FullIndex::Create(pager_.get()));
+    }
+    // Full checkpoint, not just the meta blob: the initial structures
+    // (empty trees, heap chain) must be durable before the WAL can be
+    // replayed against them after a crash. This also truncates any
+    // stale WAL left beside a recreated store file.
+    LAXML_RETURN_IF_ERROR(Sync());
+  } else {
+    LAXML_ASSIGN_OR_RETURN(auto blob, pager_->ReadMeta());
+    LAXML_RETURN_IF_ERROR(LoadMeta(blob));
+  }
+  // Recovery: replay any journaled operations since the last checkpoint.
+  if (wal_ != nullptr) {
+    LAXML_ASSIGN_OR_RETURN(auto records, wal_->ReadAll());
+    if (!records.empty()) {
+      LAXML_LOG(kInfo) << "replaying " << records.size() << " WAL records";
+      replaying_wal_ = true;
+      for (const WalRecord& rec : records) {
+        TokenSequence data;
+        if (!rec.payload.empty()) {
+          auto decoded = DecodeTokens(Slice(rec.payload));
+          if (!decoded.ok()) {
+            replaying_wal_ = false;
+            return decoded.status();
+          }
+          data = std::move(decoded).value();
+        }
+        Status st;
+        switch (rec.op) {
+          case WalOp::kInsertBefore:
+            st = InsertBefore(rec.target, data).status();
+            break;
+          case WalOp::kInsertAfter:
+            st = InsertAfter(rec.target, data).status();
+            break;
+          case WalOp::kInsertIntoFirst:
+            st = InsertIntoFirst(rec.target, data).status();
+            break;
+          case WalOp::kInsertIntoLast:
+            st = InsertIntoLast(rec.target, data).status();
+            break;
+          case WalOp::kDeleteNode:
+            st = DeleteNode(rec.target);
+            break;
+          case WalOp::kReplaceNode:
+            st = ReplaceNode(rec.target, data).status();
+            break;
+          case WalOp::kReplaceContent:
+            st = ReplaceContent(rec.target, data).status();
+            break;
+          case WalOp::kInsertTopLevel:
+            st = InsertTopLevel(data).status();
+            break;
+        }
+        // Deterministic replay: an op that failed originally fails the
+        // same way now; only environmental errors abort recovery.
+        if (!st.ok() && (st.IsIOError() || st.IsCorruption() ||
+                         st.IsResourceExhausted())) {
+          replaying_wal_ = false;
+          return st;
+        }
+      }
+      replaying_wal_ = false;
+      LAXML_RETURN_IF_ERROR(Sync());  // checkpoint the recovered state
+    }
+  }
+  return Status::OK();
+}
+
+Status Store::PersistMeta() {
+  std::vector<uint8_t> blob;
+  blob.reserve(kMetaBlobSize);
+  PutFixed32(&blob, kStoreMagic);
+  PutFixed32(&blob, kStoreVersion);
+  PutFixed32(&blob, static_cast<uint32_t>(options_.index_mode));
+  PutFixed32(&blob, 0);  // flags
+  PutFixed64(&blob, next_node_id_);
+  RangeManagerState rs = ranges_->state();
+  PutFixed32(&blob, rs.records.directory_root);
+  PutFixed32(&blob, rs.records.data_head);
+  PutFixed64(&blob, rs.records.next_record_id);
+  PutFixed32(&blob, rs.meta_tree_root);
+  PutFixed32(&blob, full_ ? full_->root() : kInvalidPageId);
+  PutFixed64(&blob, rs.first_range);
+  PutFixed64(&blob, rs.last_range);
+  PutFixed64(&blob, rs.range_count);
+  PutFixed64(&blob, stats_.nodes_inserted);
+  PutFixed64(&blob, stats_.nodes_deleted);
+  PutFixed64(&blob, stats_.tokens_inserted);
+  PutFixed64(&blob, stats_.bytes_inserted);
+  return pager_->WriteMeta(Slice(blob));
+}
+
+Status Store::LoadMeta(const std::vector<uint8_t>& blob) {
+  if (blob.size() < kMetaBlobSize) {
+    return Status::Corruption("store meta blob truncated");
+  }
+  const uint8_t* p = blob.data();
+  if (DecodeFixed32(p) != kStoreMagic) {
+    return Status::Corruption("bad store magic");
+  }
+  if (DecodeFixed32(p + 4) != kStoreVersion) {
+    return Status::Corruption("unsupported store version");
+  }
+  IndexMode stored_mode = static_cast<IndexMode>(DecodeFixed32(p + 8));
+  if (stored_mode != options_.index_mode) {
+    return Status::InvalidArgument(
+        std::string("store was created with index mode ") +
+        IndexModeName(stored_mode) + ", reopen must match");
+  }
+  next_node_id_ = DecodeFixed64(p + 16);
+  RangeManagerState rs;
+  rs.records.directory_root = DecodeFixed32(p + 24);
+  rs.records.data_head = DecodeFixed32(p + 28);
+  rs.records.next_record_id = DecodeFixed64(p + 32);
+  rs.meta_tree_root = DecodeFixed32(p + 40);
+  PageId full_root = DecodeFixed32(p + 44);
+  rs.first_range = DecodeFixed64(p + 48);
+  rs.last_range = DecodeFixed64(p + 56);
+  rs.range_count = DecodeFixed64(p + 64);
+  stats_.nodes_inserted = DecodeFixed64(p + 72);
+  stats_.nodes_deleted = DecodeFixed64(p + 80);
+  stats_.tokens_inserted = DecodeFixed64(p + 88);
+  stats_.bytes_inserted = DecodeFixed64(p + 96);
+  LAXML_ASSIGN_OR_RETURN(ranges_, RangeManager::Open(pager_.get(), rs));
+  if (options_.index_mode == IndexMode::kFullIndex) {
+    if (full_root == kInvalidPageId) {
+      return Status::Corruption("full-index mode but no index root");
+    }
+    LAXML_ASSIGN_OR_RETURN(full_,
+                           FullIndex::Open(pager_.get(), full_root));
+  }
+  return Status::OK();
+}
+
+Status Store::Sync() {
+  LAXML_RETURN_IF_ERROR(PersistMeta());
+  LAXML_RETURN_IF_ERROR(pager_->Sync());
+  if (wal_ != nullptr) {
+    LAXML_RETURN_IF_ERROR(wal_->Truncate());
+  }
+  return Status::OK();
+}
+
+Status Store::MaybeSync() {
+  if (options_.sync_every_op) return Sync();
+  // Under WAL no-steal, checkpoint before the pool fills with dirt.
+  if (wal_ != nullptr) {
+    BufferPool* pool = pager_->pool();
+    if (pool->dirty_count() * 4 >= pool->frame_count() * 3) {
+      return Sync();
+    }
+  }
+  return Status::OK();
+}
+
+Status Store::LogOp(WalOp op, NodeId target, const TokenSequence& data) {
+  if (wal_ == nullptr || replaying_wal_) return Status::OK();
+  WalRecord rec;
+  rec.op = op;
+  rec.target = target;
+  rec.payload = EncodeTokens(data);
+  return wal_->Append(rec, options_.sync_every_op);
+}
+
+// ---------------------------------------------------------------------------
+// Locating
+
+Result<Token> Store::FetchTokenAt(RangeId range,
+                                  uint32_t byte_offset) const {
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(range));
+  if (byte_offset >= meta.byte_len) {
+    return Status::Corruption("token offset past range end");
+  }
+  size_t want = meta.byte_len - byte_offset;
+  size_t probe = want < 512 ? want : 512;
+  LAXML_ASSIGN_OR_RETURN(
+      auto bytes,
+      ranges_->range_records()->ReadSlice(range, byte_offset, probe));
+  Token token;
+  TokenReader reader{Slice(bytes)};
+  Status st = reader.Next(&token);
+  if (st.ok()) return token;
+  if (probe == want) return st;
+  // The token is longer than the probe; read the full remainder.
+  LAXML_ASSIGN_OR_RETURN(
+      bytes, ranges_->range_records()->ReadSlice(range, byte_offset, want));
+  TokenReader full_reader{Slice(bytes)};
+  LAXML_RETURN_IF_ERROR(full_reader.Next(&token));
+  return token;
+}
+
+Result<Store::Located> Store::LocateBegin(NodeId id,
+                                          bool need_begin_count) {
+  if (id == kInvalidNodeId || id >= next_node_id_) {
+    return Status::NotFound("node id was never allocated");
+  }
+  if (options_.index_mode == IndexMode::kFullIndex) {
+    LAXML_ASSIGN_OR_RETURN(TokenLocation tl, full_->Get(id));
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(tl.range_id));
+    Located loc;
+    loc.range = tl.range_id;
+    loc.byte_offset = tl.byte_offset;
+    loc.token_index = tl.token_index;
+    loc.begins_before = static_cast<uint32_t>(id - meta.start_id);
+    LAXML_ASSIGN_OR_RETURN(loc.token,
+                           FetchTokenAt(tl.range_id, tl.byte_offset));
+    return loc;
+  }
+  const PartialEntry* entry = partial_.Lookup(id);
+  if (entry != nullptr && entry->has_begin) {
+    Located loc;
+    loc.range = entry->begin_range;
+    loc.byte_offset = entry->begin_offset;
+    loc.token_index = entry->begin_token_index;
+    if (need_begin_count) {
+      LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(loc.range));
+      loc.begins_before = static_cast<uint32_t>(id - meta.start_id);
+    }
+    LAXML_ASSIGN_OR_RETURN(loc.token,
+                           FetchTokenAt(loc.range, loc.byte_offset));
+    return loc;
+  }
+  // The lazy path: coarse index probe + counting scan (Section 4.3).
+  LAXML_ASSIGN_OR_RETURN(RangeId rid, ranges_->index().Lookup(id));
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(rid));
+  LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(rid));
+  uint64_t target_ordinal = id - meta.start_id;
+  TokenReader reader{Slice(payload)};
+  uint64_t begins = 0;
+  uint32_t index = 0;
+  Token token;
+  while (!reader.AtEnd()) {
+    size_t offset = reader.offset();
+    LAXML_RETURN_IF_ERROR(reader.Next(&token));
+    ++stats_.locate_scan_tokens;
+    if (token.BeginsNode()) {
+      if (begins == target_ordinal) {
+        Located loc;
+        loc.range = rid;
+        loc.byte_offset = static_cast<uint32_t>(offset);
+        loc.token_index = index;
+        loc.begins_before = static_cast<uint32_t>(begins);
+        loc.token = std::move(token);
+        partial_.RecordBegin(id, rid, loc.byte_offset, loc.token_index);
+        return loc;
+      }
+      ++begins;
+    }
+    ++index;
+  }
+  return Status::Corruption("range index pointed at a range missing id " +
+                            std::to_string(id));
+}
+
+Result<Store::Located> Store::LocateEnd(NodeId id, const Located& begin) {
+  if (!begin.token.OpensScope()) {
+    return begin;  // single-token node: extent is the begin token itself
+  }
+  const PartialEntry* entry = partial_.Lookup(id);
+  if (entry != nullptr && entry->has_end) {
+    Located loc;
+    loc.range = entry->end_range;
+    loc.byte_offset = entry->end_offset;
+    loc.token_index = entry->end_token_index;
+    loc.begins_before = entry->end_begins_before;
+    LAXML_ASSIGN_OR_RETURN(loc.token,
+                           FetchTokenAt(loc.range, loc.byte_offset));
+    return loc;
+  }
+  // Scan forward from the begin token, tracking scope depth, across
+  // ranges when the subtree spans several.
+  RangeId cur = begin.range;
+  LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(cur));
+  TokenReader reader{Slice(payload)};
+  reader.SeekTo(begin.byte_offset);
+  Token token;
+  LAXML_RETURN_IF_ERROR(reader.Next(&token));  // the begin token
+  int64_t depth = 1;
+  uint32_t index = begin.token_index + 1;
+  uint64_t begins = begin.begins_before + 1;
+  while (true) {
+    while (!reader.AtEnd()) {
+      size_t offset = reader.offset();
+      LAXML_RETURN_IF_ERROR(reader.Next(&token));
+      ++stats_.locate_scan_tokens;
+      if (token.ClosesScope()) {
+        if (--depth == 0) {
+          Located loc;
+          loc.range = cur;
+          loc.byte_offset = static_cast<uint32_t>(offset);
+          loc.token_index = index;
+          loc.begins_before = static_cast<uint32_t>(begins);
+          loc.token = std::move(token);
+          partial_.RecordEnd(id, cur, loc.byte_offset, loc.token_index,
+                             loc.begins_before);
+          return loc;
+        }
+      } else if (token.OpensScope()) {
+        ++depth;
+      }
+      if (token.BeginsNode()) ++begins;
+      ++index;
+    }
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(cur));
+    if (meta.next == kInvalidRangeId) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                " never closes");
+    }
+    cur = meta.next;
+    // Depth-profile skip: when the running depth cannot reach zero
+    // inside this range, advance over it using metadata alone — no
+    // payload read, no token decoding. This is what keeps
+    // insertIntoLast(root) cheap on a store of thousands of ranges.
+    while (true) {
+      LAXML_ASSIGN_OR_RETURN(RangeMeta cur_meta, ranges_->GetMeta(cur));
+      if (depth + cur_meta.min_depth <= 0) break;  // end token inside
+      depth += cur_meta.depth_delta;
+      if (cur_meta.next == kInvalidRangeId) {
+        return Status::Corruption("node " + std::to_string(id) +
+                                  " never closes (skip scan)");
+      }
+      cur = cur_meta.next;
+    }
+    LAXML_ASSIGN_OR_RETURN(payload, ranges_->ReadPayload(cur));
+    reader = TokenReader{Slice(payload)};
+    index = 0;
+    begins = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structure modification
+
+Result<RangeId> Store::SplitRange(RangeId id, uint32_t byte_offset,
+                                  uint32_t token_index,
+                                  uint64_t begins_before) {
+  LAXML_ASSIGN_OR_RETURN(
+      RangeId tail, ranges_->Split(id, byte_offset, token_index,
+                                   begins_before));
+  // Offsets memoized for the split range may now be stale (those past
+  // the cut now live in the tail); drop them.
+  partial_.InvalidateRange(id);
+  if (full_ != nullptr) {
+    // Eager index maintenance: every id that moved into the tail must be
+    // re-pointed. This is the honest cost of the full-index baseline.
+    LAXML_ASSIGN_OR_RETURN(RangeMeta tail_meta, ranges_->GetMeta(tail));
+    if (tail_meta.has_ids()) {
+      LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(tail));
+      LAXML_RETURN_IF_ERROR(ReindexRange(tail, payload.data(),
+                                         payload.size(),
+                                         tail_meta.start_id));
+    }
+  }
+  return tail;
+}
+
+Status Store::ReindexRange(RangeId range, const uint8_t* payload,
+                           size_t len, NodeId start_id) {
+  TokenReader reader{Slice(payload, len)};
+  NodeId id = start_id;
+  uint32_t index = 0;
+  TokenType type;
+  while (!reader.AtEnd()) {
+    size_t offset = reader.offset();
+    LAXML_RETURN_IF_ERROR(reader.Skip(&type));
+    Token probe;
+    probe.type = type;
+    if (probe.BeginsNode()) {
+      TokenLocation tl;
+      tl.range_id = range;
+      tl.byte_offset = static_cast<uint32_t>(offset);
+      tl.token_index = index;
+      LAXML_RETURN_IF_ERROR(full_->Put(id, tl));
+      ++stats_.full_index_maintenance;
+      ++id;
+    }
+    ++index;
+  }
+  return Status::OK();
+}
+
+Result<Store::Boundary> Store::EnsureBoundaryBefore(const Located& loc) {
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(loc.range));
+  Boundary b;
+  if (loc.byte_offset == 0) {
+    b.left = meta.prev;
+    b.right = loc.range;
+    return b;
+  }
+  LAXML_ASSIGN_OR_RETURN(
+      RangeId tail, SplitRange(loc.range, loc.byte_offset, loc.token_index,
+                               loc.begins_before));
+  b.left = loc.range;
+  b.right = tail;
+  b.split = true;
+  b.split_range = loc.range;
+  b.split_offset = loc.byte_offset;
+  b.split_token_index = loc.token_index;
+  b.split_begins = loc.begins_before;
+  return b;
+}
+
+Result<Store::Boundary> Store::EnsureBoundaryAfter(const Located& loc) {
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(loc.range));
+  uint32_t after =
+      loc.byte_offset + static_cast<uint32_t>(EncodedTokenSize(loc.token));
+  Boundary b;
+  if (after >= meta.byte_len) {
+    b.left = loc.range;
+    b.right = meta.next;
+    return b;
+  }
+  uint64_t begins_after =
+      loc.begins_before + (loc.token.BeginsNode() ? 1 : 0);
+  LAXML_ASSIGN_OR_RETURN(
+      RangeId tail,
+      SplitRange(loc.range, after, loc.token_index + 1, begins_after));
+  b.left = loc.range;
+  b.right = tail;
+  b.split = true;
+  b.split_range = loc.range;
+  b.split_offset = after;
+  b.split_token_index = loc.token_index + 1;
+  b.split_begins = begins_after;
+  return b;
+}
+
+void Store::AdjustAfterSplit(const Boundary& b, Located* loc) {
+  if (!b.split || loc->range != b.split_range ||
+      loc->byte_offset < b.split_offset) {
+    return;
+  }
+  loc->range = b.right;
+  loc->byte_offset -= b.split_offset;
+  loc->token_index -= b.split_token_index;
+  loc->begins_before -= static_cast<uint32_t>(b.split_begins);
+}
+
+Status Store::ValidateFragment(const TokenSequence& data) const {
+  if (data.empty()) {
+    return Status::InvalidArgument("empty fragment");
+  }
+  for (const Token& t : data) {
+    if (t.type == TokenType::kBeginDocument ||
+        t.type == TokenType::kEndDocument) {
+      return Status::InvalidArgument(
+          "document tokens are not valid update content");
+    }
+  }
+  return CheckWellFormedFragment(data);
+}
+
+Result<NodeId> Store::StoreFragment(const TokenSequence& data,
+                                    RangeId left) {
+  NodeId first_id = next_node_id_;
+  size_t i = 0;
+  uint64_t total_begins = 0;
+  uint64_t total_bytes = 0;
+  while (i < data.size()) {
+    // One chunk: up to max_range_bytes of encoded tokens (>= 1 token).
+    std::vector<uint8_t> bytes;
+    uint64_t begins = 0;
+    uint32_t tokens = 0;
+    size_t j = i;
+    while (j < data.size()) {
+      size_t tok_size = EncodedTokenSize(data[j]);
+      if (options_.max_range_bytes > 0 && tokens > 0 &&
+          bytes.size() + tok_size > options_.max_range_bytes) {
+        break;
+      }
+      EncodeToken(data[j], &bytes);
+      if (data[j].BeginsNode()) ++begins;
+      ++tokens;
+      ++j;
+    }
+    NodeId chunk_start = begins > 0 ? next_node_id_ : kInvalidNodeId;
+    LAXML_ASSIGN_OR_RETURN(
+        RangeId rid,
+        ranges_->InsertRangeAfter(left, Slice(bytes), chunk_start, begins,
+                                  tokens));
+    if (full_ != nullptr && begins > 0) {
+      LAXML_RETURN_IF_ERROR(
+          ReindexRange(rid, bytes.data(), bytes.size(), chunk_start));
+    }
+    next_node_id_ += begins;
+    total_begins += begins;
+    total_bytes += bytes.size();
+    left = rid;
+    i = j;
+  }
+  stats_.nodes_inserted += total_begins;
+  stats_.tokens_inserted += data.size();
+  stats_.bytes_inserted += total_bytes;
+  return first_id;
+}
+
+Status Store::DeleteRangesBetween(RangeId first_doomed,
+                                  RangeId right_boundary) {
+  RangeId cur = first_doomed;
+  std::vector<RangeMeta> doomed;
+  while (cur != kInvalidRangeId && cur != right_boundary) {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(cur));
+    doomed.push_back(meta);
+    cur = meta.next;
+  }
+  for (const RangeMeta& meta : doomed) {
+    if (full_ != nullptr && meta.has_ids()) {
+      LAXML_RETURN_IF_ERROR(
+          full_->DeleteInterval(meta.start_id, meta.end_id()));
+      stats_.full_index_maintenance += meta.id_count;
+    }
+    partial_.InvalidateRange(meta.id);
+    stats_.nodes_deleted += meta.id_count;
+    LAXML_RETURN_IF_ERROR(ranges_->DeleteRange(meta.id));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// The Table-1 interface
+
+Result<NodeId> Store::InsertBefore(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(ValidateFragment(data));
+  LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertBefore, id, data));
+  LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
+  LAXML_ASSIGN_OR_RETURN(Boundary b, EnsureBoundaryBefore(begin));
+  LAXML_ASSIGN_OR_RETURN(NodeId first, StoreFragment(data, b.left));
+  // The target's begin token now sits at the head of b.right.
+  partial_.RecordBegin(id, b.right, 0, 0);
+  ++stats_.inserts;
+  LAXML_RETURN_IF_ERROR(MaybeSync());
+  return first;
+}
+
+Result<NodeId> Store::InsertAfter(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(ValidateFragment(data));
+  LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertAfter, id, data));
+  LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
+  LAXML_ASSIGN_OR_RETURN(Located end, LocateEnd(id, begin));
+  LAXML_ASSIGN_OR_RETURN(Boundary b, EnsureBoundaryAfter(end));
+  LAXML_ASSIGN_OR_RETURN(NodeId first, StoreFragment(data, b.left));
+  // Both the begin and end tokens stayed in the head side of any split.
+  partial_.RecordBegin(id, begin.range, begin.byte_offset,
+                       begin.token_index);
+  if (begin.token.OpensScope()) {
+    partial_.RecordEnd(id, end.range, end.byte_offset, end.token_index,
+                       end.begins_before);
+  }
+  ++stats_.inserts;
+  LAXML_RETURN_IF_ERROR(MaybeSync());
+  return first;
+}
+
+Result<NodeId> Store::InsertIntoFirst(NodeId id,
+                                      const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(ValidateFragment(data));
+  LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertIntoFirst, id, data));
+  LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
+  if (!begin.token.CanHaveChildren()) {
+    return Status::InvalidArgument("target node cannot have children");
+  }
+  LAXML_ASSIGN_OR_RETURN(Boundary b, EnsureBoundaryAfter(begin));
+  LAXML_ASSIGN_OR_RETURN(NodeId first, StoreFragment(data, b.left));
+  partial_.RecordBegin(id, begin.range, begin.byte_offset,
+                       begin.token_index);
+  ++stats_.inserts;
+  LAXML_RETURN_IF_ERROR(MaybeSync());
+  return first;
+}
+
+Result<NodeId> Store::InsertIntoLast(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(ValidateFragment(data));
+  LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertIntoLast, id, data));
+  LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
+  if (!begin.token.CanHaveChildren()) {
+    return Status::InvalidArgument("target node cannot have children");
+  }
+  LAXML_ASSIGN_OR_RETURN(Located end, LocateEnd(id, begin));
+  LAXML_ASSIGN_OR_RETURN(Boundary b, EnsureBoundaryBefore(end));
+  LAXML_ASSIGN_OR_RETURN(NodeId first, StoreFragment(data, b.left));
+  // Memoize the worked-example state (Table 4): the begin token kept its
+  // place (any split happened at or before the end token, which is
+  // strictly after the begin token); the end token now heads b.right.
+  if (begin.range != b.split_range || !b.split ||
+      begin.byte_offset < b.split_offset) {
+    partial_.RecordBegin(id, begin.range, begin.byte_offset,
+                         begin.token_index);
+  }
+  partial_.RecordEnd(id, b.right, 0, 0, 0);
+  ++stats_.inserts;
+  LAXML_RETURN_IF_ERROR(MaybeSync());
+  return first;
+}
+
+Result<NodeId> Store::InsertTopLevel(const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(ValidateFragment(data));
+  LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertTopLevel, kInvalidNodeId, data));
+  LAXML_ASSIGN_OR_RETURN(NodeId first,
+                         StoreFragment(data, ranges_->last_range()));
+  ++stats_.inserts;
+  LAXML_RETURN_IF_ERROR(MaybeSync());
+  return first;
+}
+
+Status Store::DeleteNode(NodeId id) {
+  LAXML_RETURN_IF_ERROR(LogOp(WalOp::kDeleteNode, id, {}));
+  LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
+  LAXML_ASSIGN_OR_RETURN(Located end, LocateEnd(id, begin));
+  LAXML_ASSIGN_OR_RETURN(Boundary left_b, EnsureBoundaryBefore(begin));
+  AdjustAfterSplit(left_b, &end);
+  LAXML_ASSIGN_OR_RETURN(Boundary right_b, EnsureBoundaryAfter(end));
+  LAXML_RETURN_IF_ERROR(DeleteRangesBetween(left_b.right, right_b.right));
+  partial_.Invalidate(id);
+  ++stats_.deletes;
+  LAXML_RETURN_IF_ERROR(MaybeSync());
+  return Status::OK();
+}
+
+Result<NodeId> Store::ReplaceNode(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(ValidateFragment(data));
+  LAXML_RETURN_IF_ERROR(LogOp(WalOp::kReplaceNode, id, data));
+  LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
+  LAXML_ASSIGN_OR_RETURN(Located end, LocateEnd(id, begin));
+  LAXML_ASSIGN_OR_RETURN(Boundary left_b, EnsureBoundaryBefore(begin));
+  AdjustAfterSplit(left_b, &end);
+  LAXML_ASSIGN_OR_RETURN(Boundary right_b, EnsureBoundaryAfter(end));
+  LAXML_RETURN_IF_ERROR(DeleteRangesBetween(left_b.right, right_b.right));
+  partial_.Invalidate(id);
+  LAXML_ASSIGN_OR_RETURN(NodeId first, StoreFragment(data, left_b.left));
+  ++stats_.replaces;
+  LAXML_RETURN_IF_ERROR(MaybeSync());
+  return first;
+}
+
+Result<NodeId> Store::ReplaceContent(NodeId id, const TokenSequence& data) {
+  if (!data.empty()) {
+    LAXML_RETURN_IF_ERROR(ValidateFragment(data));
+  }
+  LAXML_RETURN_IF_ERROR(LogOp(WalOp::kReplaceContent, id, data));
+  LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
+  if (!begin.token.CanHaveChildren()) {
+    return Status::InvalidArgument("target node has no content to replace");
+  }
+  LAXML_ASSIGN_OR_RETURN(Located end, LocateEnd(id, begin));
+  LAXML_ASSIGN_OR_RETURN(Boundary first_b, EnsureBoundaryAfter(begin));
+  AdjustAfterSplit(first_b, &end);
+  LAXML_ASSIGN_OR_RETURN(Boundary second_b, EnsureBoundaryBefore(end));
+  LAXML_RETURN_IF_ERROR(DeleteRangesBetween(first_b.right, second_b.right));
+  NodeId first = kInvalidNodeId;
+  if (!data.empty()) {
+    LAXML_ASSIGN_OR_RETURN(first, StoreFragment(data, first_b.left));
+  }
+  partial_.RecordBegin(id, begin.range, begin.byte_offset,
+                       begin.token_index);
+  partial_.RecordEnd(id, second_b.right, 0, 0, 0);
+  ++stats_.replaces;
+  LAXML_RETURN_IF_ERROR(MaybeSync());
+  return first;
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+Result<TokenSequence> Store::Read() {
+  return ReadWithIds(nullptr);
+}
+
+Result<TokenSequence> Store::ReadWithIds(std::vector<NodeId>* ids) {
+  TokenSequence out;
+  if (ids != nullptr) ids->clear();
+  RangeId cur = ranges_->first_range();
+  while (cur != kInvalidRangeId) {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(cur));
+    LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(cur));
+    TokenReader reader{Slice(payload)};
+    NodeId next_id = meta.start_id;
+    Token token;
+    while (!reader.AtEnd()) {
+      LAXML_RETURN_IF_ERROR(reader.Next(&token));
+      if (ids != nullptr) {
+        ids->push_back(token.BeginsNode() ? next_id : kInvalidNodeId);
+      }
+      if (token.BeginsNode()) ++next_id;
+      out.push_back(std::move(token));
+    }
+    cur = meta.next;
+  }
+  ++stats_.full_scans;
+  return out;
+}
+
+Status Store::ReadSubtree(const Located& start, NodeId id,
+                          TokenSequence* out,
+                          uint32_t first_range_byte_limit,
+                          Located* end_loc) {
+  out->push_back(start.token);
+  if (!start.token.OpensScope()) {
+    if (end_loc != nullptr) *end_loc = start;
+    return Status::OK();
+  }
+  RangeId cur = start.range;
+  size_t skip = start.byte_offset + EncodedTokenSize(start.token);
+  size_t take;
+  if (first_range_byte_limit > 0 &&
+      start.byte_offset + first_range_byte_limit >= skip) {
+    // ReadSlice clamps to the record end, so the bounded fast path needs
+    // no metadata probe at all.
+    take = start.byte_offset + first_range_byte_limit - skip;
+  } else {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(cur));
+    take = meta.byte_len - skip;
+  }
+  LAXML_ASSIGN_OR_RETURN(
+      auto payload, ranges_->range_records()->ReadSlice(cur, skip, take));
+  TokenReader reader{Slice(payload)};
+  // Positions for end-memoization: offsets are relative to the range
+  // payload (slice offset + skip within the first range).
+  size_t slice_base = skip;
+  uint32_t index = start.token_index + 1;
+  uint64_t begins = start.begins_before + 1;
+  int64_t depth = 1;
+  Token token;
+  while (true) {
+    while (!reader.AtEnd()) {
+      size_t offset = slice_base + reader.offset();
+      LAXML_RETURN_IF_ERROR(reader.Next(&token));
+      if (token.OpensScope()) {
+        ++depth;
+      } else if (token.ClosesScope()) {
+        if (--depth == 0) {
+          if (end_loc != nullptr) {
+            end_loc->range = cur;
+            end_loc->byte_offset = static_cast<uint32_t>(offset);
+            end_loc->token_index = index;
+            end_loc->begins_before = static_cast<uint32_t>(begins);
+            end_loc->token = token;
+          }
+          out->push_back(std::move(token));
+          return Status::OK();
+        }
+      }
+      if (token.BeginsNode()) ++begins;
+      ++index;
+      out->push_back(std::move(token));
+    }
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(cur));
+    if (meta.next == kInvalidRangeId) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                " never closes");
+    }
+    cur = meta.next;
+    LAXML_ASSIGN_OR_RETURN(payload, ranges_->ReadPayload(cur));
+    reader = TokenReader{Slice(payload)};
+    slice_base = 0;
+    index = 0;
+    begins = 0;
+  }
+}
+
+Result<TokenSequence> Store::Read(NodeId id) {
+  LAXML_ASSIGN_OR_RETURN(Located begin,
+                         LocateBegin(id, /*need_begin_count=*/false));
+  // With a memoized end location in the same range, fetch exactly the
+  // subtree's bytes instead of the rest of the (possibly huge) range.
+  uint32_t byte_limit = 0;
+  if (begin.token.OpensScope()) {
+    const PartialEntry* memo = partial_.Lookup(id);
+    if (memo != nullptr && memo->has_end &&
+        memo->end_range == begin.range &&
+        memo->end_offset >= begin.byte_offset) {
+      // The end token itself is tiny; 16 bytes of margin covers it.
+      byte_limit = memo->end_offset - begin.byte_offset + 16;
+    }
+  }
+  TokenSequence out;
+  if (byte_limit > 0) {
+    // Memoized fast path: exact slice, no end bookkeeping needed.
+    LAXML_RETURN_IF_ERROR(ReadSubtree(begin, id, &out, byte_limit));
+  } else {
+    Located end;
+    LAXML_RETURN_IF_ERROR(ReadSubtree(begin, id, &out, 0, &end));
+    if (begin.token.OpensScope()) {
+      partial_.RecordEnd(id, end.range, end.byte_offset, end.token_index,
+                         end.begins_before);
+    }
+  }
+  ++stats_.reads_by_id;
+  return out;
+}
+
+Result<Token> Store::Describe(NodeId id) {
+  LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
+  return begin.token;
+}
+
+bool Store::Exists(NodeId id) {
+  if (id == kInvalidNodeId || id >= next_node_id_) return false;
+  if (options_.index_mode == IndexMode::kFullIndex) {
+    return full_->Get(id).ok();
+  }
+  return ranges_->index().Lookup(id).ok();
+}
+
+Result<NodeId> Store::FirstTopLevelId() const {
+  RangeId cur = ranges_->first_range();
+  while (cur != kInvalidRangeId) {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(cur));
+    if (meta.has_ids()) {
+      // The first id-bearing range's first id begins the first node.
+      return meta.start_id;
+    }
+    cur = meta.next;
+  }
+  return Status::NotFound("store is empty");
+}
+
+Result<NodeId> Store::LoadXml(std::string_view xml) {
+  LAXML_ASSIGN_OR_RETURN(TokenSequence tokens, ParseFragment(xml));
+  return InsertTopLevel(tokens);
+}
+
+Result<std::string> Store::SerializeToXml(const SerializerOptions& options) {
+  LAXML_ASSIGN_OR_RETURN(TokenSequence all, Read());
+  return SerializeTokens(all, options);
+}
+
+Result<uint64_t> Store::CompactRanges(uint32_t target_bytes) {
+  uint64_t merges = 0;
+  RangeId cur = ranges_->first_range();
+  while (cur != kInvalidRangeId) {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(cur));
+    if (meta.next == kInvalidRangeId) break;
+    LAXML_ASSIGN_OR_RETURN(RangeMeta next_meta,
+                           ranges_->GetMeta(meta.next));
+    LAXML_ASSIGN_OR_RETURN(bool mergeable, ranges_->CanMergeWithNext(cur));
+    if (!mergeable ||
+        meta.byte_len + next_meta.byte_len > target_bytes) {
+      cur = meta.next;
+      continue;
+    }
+    RangeId dead = meta.next;
+    LAXML_RETURN_IF_ERROR(ranges_->MergeWithNext(cur));
+    // Offsets into both ranges are stale for memoized locations; the
+    // merged range keeps id `cur`, so both must be dropped.
+    partial_.InvalidateRange(cur);
+    partial_.InvalidateRange(dead);
+    if (full_ != nullptr) {
+      LAXML_ASSIGN_OR_RETURN(RangeMeta merged, ranges_->GetMeta(cur));
+      if (merged.has_ids()) {
+        LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(cur));
+        LAXML_RETURN_IF_ERROR(ReindexRange(cur, payload.data(),
+                                           payload.size(),
+                                           merged.start_id));
+      }
+    }
+    ++merges;
+    // Stay on `cur`: more neighbors may fold in.
+  }
+  if (merges > 0) {
+    LAXML_RETURN_IF_ERROR(MaybeSync());
+  }
+  return merges;
+}
+
+std::unique_ptr<TokenCursor> Store::NewCursor() const {
+  return std::make_unique<TokenCursor>(ranges_.get());
+}
+
+std::string Store::DebugRangeTable() const {
+  std::string out = "RangeId  BlockId  StartId  EndId\n";
+  ranges_->index().ForEach([&](const RangeIndex::Entry& e) {
+    auto block = ranges_->BlockOf(e.range_id);
+    out += std::to_string(e.range_id) + "  " +
+           (block.ok() ? std::to_string(*block) : std::string("?")) + "  " +
+           std::to_string(e.start_id) + "  " + std::to_string(e.end_id) +
+           "\n";
+  });
+  return out;
+}
+
+Status Store::CheckInvariants() const {
+  // Walk the chain once, accumulating everything checkable.
+  RangeId cur = ranges_->first_range();
+  RangeId prev = kInvalidRangeId;
+  uint64_t chain_ranges = 0;
+  uint64_t live_nodes = 0;
+  int64_t depth = 0;
+  size_t indexed_intervals = 0;
+  while (cur != kInvalidRangeId) {
+    LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(cur));
+    if (meta.prev != prev) {
+      return Status::Corruption("chain prev pointer mismatch at range " +
+                                std::to_string(cur));
+    }
+    LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(cur));
+    if (payload.size() != meta.byte_len) {
+      return Status::Corruption("payload length != meta.byte_len");
+    }
+    TokenReader reader{Slice(payload)};
+    uint64_t begins = 0;
+    uint32_t tokens = 0;
+    TokenType type;
+    while (!reader.AtEnd()) {
+      LAXML_RETURN_IF_ERROR(reader.Skip(&type));
+      Token probe;
+      probe.type = type;
+      if (probe.BeginsNode()) ++begins;
+      if (probe.OpensScope()) ++depth;
+      if (probe.ClosesScope()) --depth;
+      if (depth < 0) {
+        return Status::Corruption("document order nesting went negative");
+      }
+      ++tokens;
+    }
+    if (begins != meta.id_count || tokens != meta.token_count) {
+      return Status::Corruption("meta counters disagree with payload");
+    }
+    int32_t want_delta, want_min;
+    LAXML_RETURN_IF_ERROR(ComputeDepthProfile(
+        payload.data(), payload.size(), &want_delta, &want_min));
+    if (want_delta != meta.depth_delta || want_min != meta.min_depth) {
+      return Status::Corruption("range depth profile stale");
+    }
+    if (meta.has_ids()) {
+      auto looked = ranges_->index().LookupEntry(meta.start_id);
+      if (!looked.ok() || looked->range_id != cur ||
+          looked->start_id != meta.start_id ||
+          looked->end_id != meta.end_id()) {
+        return Status::Corruption("range index disagrees with meta");
+      }
+      ++indexed_intervals;
+    }
+    live_nodes += begins;
+    prev = cur;
+    cur = meta.next;
+    if (++chain_ranges > ranges_->range_count() + 1) {
+      return Status::Corruption("range chain longer than range_count");
+    }
+  }
+  if (depth != 0) {
+    return Status::Corruption("store content does not nest to depth 0");
+  }
+  if (prev != ranges_->last_range()) {
+    return Status::Corruption("last_range pointer mismatch");
+  }
+  if (chain_ranges != ranges_->range_count()) {
+    return Status::Corruption("range_count mismatch");
+  }
+  if (indexed_intervals != ranges_->index().size()) {
+    return Status::Corruption("range index has orphan entries");
+  }
+  if (live_nodes != live_node_count()) {
+    return Status::Corruption("live node count mismatch");
+  }
+  if (full_ != nullptr && full_->size() != live_nodes) {
+    return Status::Corruption("full index size != live nodes");
+  }
+  return Status::OK();
+}
+
+}  // namespace laxml

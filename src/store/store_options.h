@@ -1,0 +1,59 @@
+// Tuning knobs of the Store — the adaptivity surface of the paper. The
+// three index modes are the rows of Table 5; the range-granularity cap
+// is the "variable-sized ranges" axis the paper names as ongoing work.
+
+#ifndef LAXML_STORE_STORE_OPTIONS_H_
+#define LAXML_STORE_STORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/pager.h"
+
+namespace laxml {
+
+/// Which id-locating structure the store maintains.
+enum class IndexMode : uint32_t {
+  /// Eager: every node id is indexed with its exact token location the
+  /// moment it is inserted (paper Section 4.1's strawman).
+  kFullIndex = 0,
+  /// Lazy: only the coarse Range Index; in-range positions are found by
+  /// scanning.
+  kRangeIndex = 1,
+  /// Lazy + memoizing: Range Index plus the memory-resident Partial
+  /// Index that caches locations discovered by lookups (Section 5).
+  kRangeWithPartial = 2,
+};
+
+const char* IndexModeName(IndexMode mode);
+
+/// Store construction options.
+struct StoreOptions {
+  /// Page size / buffer-pool sizing.
+  PagerOptions pager;
+
+  IndexMode index_mode = IndexMode::kRangeWithPartial;
+
+  /// Maximum entries in the Partial Index (kRangeWithPartial only).
+  size_t partial_index_capacity = 65536;
+
+  /// Granularity cap: inserts larger than this many encoded bytes are
+  /// cut into multiple Ranges. 0 = unbounded (a Range is exactly an
+  /// insert unit — the paper's "few, coarse, large entries"); small
+  /// values give "many, granular entries".
+  uint32_t max_range_bytes = 0;
+
+  /// Flush + fsync after every mutating operation (durability at the
+  /// cost of throughput; benches leave it off as the paper's prototype
+  /// did).
+  bool sync_every_op = false;
+
+  /// Write-ahead logging of logical operations (file-backed stores
+  /// only): mutations are journaled and replayed after a crash that
+  /// interrupts un-checkpointed work.
+  bool enable_wal = false;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORE_STORE_OPTIONS_H_

@@ -1,0 +1,59 @@
+// Write-ahead log record format. laxml journals *logical* operations
+// (the Table-1 calls), not page images: each record is an op code, a
+// target node id, and the encoded token payload. Replay re-executes the
+// operations against the last checkpoint; determinism of id assignment
+// (insert-time integers from a persisted counter) makes the replayed
+// state identical.
+//
+// Framing per record:
+//   [masked crc32 u32][body_len u32][body ...]
+//   body = [op u8][target id u64][payload_len u32][payload bytes]
+//
+// A torn tail (partial final record after a crash) is detected by CRC /
+// length and cleanly ignored: that operation never committed.
+
+#ifndef LAXML_WAL_LOG_FORMAT_H_
+#define LAXML_WAL_LOG_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/token.h"
+
+namespace laxml {
+
+/// Logical operation codes; on-disk values, append only.
+enum class WalOp : uint8_t {
+  kInsertBefore = 0,
+  kInsertAfter = 1,
+  kInsertIntoFirst = 2,
+  kInsertIntoLast = 3,
+  kDeleteNode = 4,
+  kReplaceNode = 5,
+  kReplaceContent = 6,
+  kInsertTopLevel = 7,
+};
+
+const char* WalOpName(WalOp op);
+
+/// One journaled operation.
+struct WalRecord {
+  WalOp op = WalOp::kInsertTopLevel;
+  NodeId target = kInvalidNodeId;
+  /// Encoded token payload (empty for DeleteNode).
+  std::vector<uint8_t> payload;
+};
+
+/// Appends the framed record to `dst`.
+void EncodeWalRecord(const WalRecord& record, std::vector<uint8_t>* dst);
+
+/// Decodes one framed record from [p, limit). On success advances *p
+/// past the record. NotFound = clean end / torn tail (stop replay);
+/// Corruption = mid-log damage.
+Status DecodeWalRecord(const uint8_t** p, const uint8_t* limit,
+                       WalRecord* record);
+
+}  // namespace laxml
+
+#endif  // LAXML_WAL_LOG_FORMAT_H_

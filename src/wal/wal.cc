@@ -1,0 +1,92 @@
+#include "wal/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace laxml {
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("open wal '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<Wal>(new Wal(fd, path));
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Append(const WalRecord& record, bool sync) {
+  std::vector<uint8_t> framed;
+  EncodeWalRecord(record, &framed);
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("wal write: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  ++stats_.records_appended;
+  stats_.bytes_appended += framed.size();
+  if (sync) {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError(std::string("wal fdatasync: ") +
+                             std::strerror(errno));
+    }
+    ++stats_.syncs;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> Wal::ReadAll() const {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IOError("wal lseek failed");
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  if (size > 0) {
+    ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
+    if (n != size) {
+      return Status::IOError("wal short read");
+    }
+  }
+  std::vector<WalRecord> records;
+  const uint8_t* p = buf.data();
+  const uint8_t* limit = p + buf.size();
+  while (p < limit) {
+    WalRecord rec;
+    Status st = DecodeWalRecord(&p, limit, &rec);
+    if (st.IsNotFound()) break;  // clean end or torn tail
+    if (!st.ok()) return st;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+Status Wal::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError(std::string("wal ftruncate: ") +
+                           std::strerror(errno));
+  }
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::IOError("wal lseek after truncate failed");
+  }
+  ++stats_.truncations;
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::SizeBytes() const {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Status::IOError("wal lseek failed");
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace laxml

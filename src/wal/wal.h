@@ -1,0 +1,60 @@
+// The write-ahead log file: append framed logical records, read them all
+// back at recovery, truncate at checkpoint. See log_format.h for the
+// record format and store.h / DESIGN.md for the recovery protocol and
+// its documented limits (no-steal buffer pool between checkpoints).
+
+#ifndef LAXML_WAL_WAL_H_
+#define LAXML_WAL_WAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/log_format.h"
+
+namespace laxml {
+
+/// Counters for tests.
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t truncations = 0;
+  uint64_t syncs = 0;
+};
+
+/// An append-only operation journal.
+class Wal {
+ public:
+  /// Opens (creating if absent) the log at `path`.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  ~Wal();
+
+  /// Appends one record; `sync` forces fdatasync (commit durability).
+  Status Append(const WalRecord& record, bool sync);
+
+  /// Reads every intact record from the start of the log. A torn tail
+  /// is silently dropped (those operations never committed).
+  Result<std::vector<WalRecord>> ReadAll() const;
+
+  /// Empties the log (checkpoint completed).
+  Status Truncate();
+
+  /// Current log size in bytes.
+  Result<uint64_t> SizeBytes() const;
+
+  const WalStats& stats() const { return stats_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+  WalStats stats_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_WAL_WAL_H_

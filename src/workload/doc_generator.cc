@@ -1,0 +1,153 @@
+#include "workload/doc_generator.h"
+
+#include <string>
+
+namespace laxml {
+
+TokenSequence GeneratePurchaseOrder(Random* rng, uint64_t order_number,
+                                    int items) {
+  SequenceBuilder b;
+  b.BeginElement("purchase-order")
+      .Attribute("id", std::to_string(order_number))
+      .LeafElement("date", "2005-0" + std::to_string(1 + rng->Uniform(9)) +
+                               "-" +
+                               std::to_string(10 + rng->Uniform(18)))
+      .LeafElement("customer", rng->NextName(12));
+  for (int i = 0; i < items; ++i) {
+    b.BeginElement("item")
+        .Attribute("qty", std::to_string(1 + rng->Uniform(9)))
+        .LeafElement("sku", rng->NextName(8))
+        .LeafElement("price",
+                     std::to_string(1 + rng->Uniform(999)) + "." +
+                         std::to_string(10 + rng->Uniform(89)))
+        .LeafElement("note", rng->NextText(24))
+        .End();
+  }
+  b.End();
+  return b.Build();
+}
+
+TokenSequence GeneratePurchaseOrdersDocument(Random* rng, int orders,
+                                             int items) {
+  SequenceBuilder b;
+  b.BeginElement("purchase-orders");
+  TokenSequence out = b.Build();
+  for (int i = 0; i < orders; ++i) {
+    TokenSequence po =
+        GeneratePurchaseOrder(rng, static_cast<uint64_t>(i) + 1, items);
+    out.insert(out.end(), po.begin(), po.end());
+  }
+  out.push_back(Token::EndElement());
+  return out;
+}
+
+TokenSequence GenerateAuctionDocument(Random* rng, int scale) {
+  static const char* kRegions[] = {"africa", "asia", "europe",
+                                   "namerica", "samerica"};
+  static const char* kCategories[] = {"books", "music", "art", "coins",
+                                      "tools", "toys"};
+  SequenceBuilder b;
+  b.BeginElement("site");
+  // Regions with items.
+  b.BeginElement("regions");
+  int item_id = 0;
+  for (const char* region : kRegions) {
+    b.BeginElement(region);
+    int per_region = scale / 5 + 1;
+    for (int i = 0; i < per_region; ++i) {
+      b.BeginElement("item")
+          .Attribute("id", "item" + std::to_string(item_id++))
+          .Attribute("category",
+                     kCategories[rng->Uniform(6)])
+          .LeafElement("name", rng->NextName(10))
+          .LeafElement("quantity", std::to_string(1 + rng->Uniform(5)))
+          .BeginElement("description")
+          .Text(rng->NextText(60))
+          .End()
+          .End();
+    }
+    b.End();
+  }
+  b.End();
+  // People.
+  b.BeginElement("people");
+  int people = scale / 2 + 2;
+  for (int i = 0; i < people; ++i) {
+    b.BeginElement("person")
+        .Attribute("id", "person" + std::to_string(i))
+        .LeafElement("name", rng->NextName(9))
+        .LeafElement("emailaddress",
+                     rng->NextName(7) + "@" + rng->NextName(5) + ".com");
+    if (rng->Bernoulli(0.4)) {
+      b.LeafElement("creditcard", std::to_string(1000 + rng->Uniform(9000)));
+    }
+    b.End();
+  }
+  b.End();
+  // Open auctions with bids.
+  b.BeginElement("open_auctions");
+  int auctions = scale / 2 + 1;
+  for (int i = 0; i < auctions; ++i) {
+    b.BeginElement("open_auction")
+        .Attribute("id", "auction" + std::to_string(i))
+        .LeafElement("itemref", "item" + std::to_string(
+                                    rng->Uniform(item_id == 0 ? 1 : item_id)))
+        .LeafElement("initial", std::to_string(1 + rng->Uniform(100)));
+    int bids = static_cast<int>(rng->Uniform(4));
+    for (int k = 0; k < bids; ++k) {
+      b.BeginElement("bidder")
+          .LeafElement("personref",
+                       "person" + std::to_string(rng->Uniform(people)))
+          .LeafElement("increase", std::to_string(1 + rng->Uniform(20)))
+          .End();
+    }
+    b.End();
+  }
+  b.End();
+  b.End();  // site
+  return b.Build();
+}
+
+namespace {
+void GrowRandomTree(Random* rng, int* budget, int depth, int max_depth,
+                    SequenceBuilder* b) {
+  while (*budget > 0) {
+    double roll = rng->NextDouble();
+    if (roll < 0.15) {
+      return;  // close this element, continue in the parent
+    }
+    if (roll < 0.45 || depth >= max_depth) {
+      // Leaf content.
+      --*budget;
+      if (rng->Bernoulli(0.8)) {
+        b->Text(rng->NextText(1 + rng->Uniform(20)));
+      } else {
+        b->Comment(rng->NextText(8));
+      }
+      continue;
+    }
+    // Nested element, possibly with attributes.
+    --*budget;
+    b->BeginElement("e" + rng->NextName(3));
+    int attrs = static_cast<int>(rng->Uniform(3));
+    for (int i = 0; i < attrs && *budget > 0; ++i) {
+      --*budget;
+      b->Attribute("a" + rng->NextName(2), rng->NextText(6));
+    }
+    GrowRandomTree(rng, budget, depth + 1, max_depth, b);
+    b->End();
+  }
+}
+}  // namespace
+
+TokenSequence GenerateRandomTree(Random* rng, int target_nodes,
+                                 int max_depth) {
+  SequenceBuilder b;
+  b.BeginElement("root");
+  int budget = target_nodes > 1 ? target_nodes - 1 : 1;
+  GrowRandomTree(rng, &budget, 1, max_depth, &b);
+  b.End();
+  return b.Build();
+}
+
+}  // namespace laxml

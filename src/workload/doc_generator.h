@@ -1,0 +1,41 @@
+// Synthetic document generators.
+//
+// The paper's motivating workload (Section 4.1) is a purchase-order
+// feed: "insert a <purchase-order> element as the last child of the
+// root". GeneratePurchaseOrder produces those fragments; the auction
+// generator produces a small XMark-flavored document (regions / items /
+// people / bids) for the query examples; the random-tree generator
+// drives property tests.
+
+#ifndef LAXML_WORKLOAD_DOC_GENERATOR_H_
+#define LAXML_WORKLOAD_DOC_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+
+/// One <purchase-order> fragment with `items` line items.
+TokenSequence GeneratePurchaseOrder(Random* rng, uint64_t order_number,
+                                    int items);
+
+/// A whole purchase-orders document: <purchase-orders> with `orders`
+/// children of `items` line items each.
+TokenSequence GeneratePurchaseOrdersDocument(Random* rng, int orders,
+                                             int items);
+
+/// An XMark-flavored auction site document: <site> with regions/items,
+/// people, and open auctions with bids. `scale` ~ item count.
+TokenSequence GenerateAuctionDocument(Random* rng, int scale);
+
+/// A random well-formed element tree with approximately `target_nodes`
+/// nodes, depth <= max_depth, mixing elements, attributes, text and
+/// comments. Deterministic in `rng`.
+TokenSequence GenerateRandomTree(Random* rng, int target_nodes,
+                                 int max_depth);
+
+}  // namespace laxml
+
+#endif  // LAXML_WORKLOAD_DOC_GENERATOR_H_

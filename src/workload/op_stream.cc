@@ -1,0 +1,96 @@
+#include "workload/op_stream.h"
+
+namespace laxml {
+
+const char* OperationKindName(Operation::Kind kind) {
+  switch (kind) {
+    case Operation::Kind::kInsertBefore:
+      return "insertBefore";
+    case Operation::Kind::kInsertAfter:
+      return "insertAfter";
+    case Operation::Kind::kInsertIntoFirst:
+      return "insertIntoFirst";
+    case Operation::Kind::kInsertIntoLast:
+      return "insertIntoLast";
+    case Operation::Kind::kDelete:
+      return "deleteNode";
+    case Operation::Kind::kReplaceNode:
+      return "replaceNode";
+    case Operation::Kind::kReplaceContent:
+      return "replaceContent";
+    case Operation::Kind::kRead:
+      return "read";
+  }
+  return "?";
+}
+
+TokenSequence OpStreamGenerator::SmallFragment() {
+  ++fragment_counter_;
+  SequenceBuilder b;
+  switch (rng_.Uniform(3)) {
+    case 0:
+      b.LeafElement("f" + std::to_string(fragment_counter_ % 7),
+                    rng_.NextText(8));
+      break;
+    case 1:
+      b.BeginElement("g")
+          .Attribute("n", std::to_string(fragment_counter_))
+          .LeafElement("v", rng_.NextText(5))
+          .End();
+      break;
+    default:
+      b.Text(rng_.NextText(12));
+      break;
+  }
+  return b.Build();
+}
+
+Operation OpStreamGenerator::Next(
+    const std::vector<NodeId>& element_targets,
+    const std::vector<NodeId>& any_targets) {
+  Operation op;
+  double roll = rng_.NextDouble() *
+                (mix_.insert + mix_.erase + mix_.replace + mix_.read);
+  auto pick = [this](const std::vector<NodeId>& v) {
+    return v.empty() ? kInvalidNodeId : v[rng_.Uniform(v.size())];
+  };
+  if (roll < mix_.insert) {
+    switch (rng_.Uniform(4)) {
+      case 0:
+        op.kind = Operation::Kind::kInsertBefore;
+        op.target = pick(any_targets);
+        break;
+      case 1:
+        op.kind = Operation::Kind::kInsertAfter;
+        op.target = pick(any_targets);
+        break;
+      case 2:
+        op.kind = Operation::Kind::kInsertIntoFirst;
+        op.target = pick(element_targets);
+        break;
+      default:
+        op.kind = Operation::Kind::kInsertIntoLast;
+        op.target = pick(element_targets);
+        break;
+    }
+    op.fragment = SmallFragment();
+  } else if (roll < mix_.insert + mix_.erase) {
+    op.kind = Operation::Kind::kDelete;
+    op.target = pick(any_targets);
+  } else if (roll < mix_.insert + mix_.erase + mix_.replace) {
+    if (rng_.Bernoulli(0.5)) {
+      op.kind = Operation::Kind::kReplaceNode;
+      op.target = pick(any_targets);
+    } else {
+      op.kind = Operation::Kind::kReplaceContent;
+      op.target = pick(element_targets);
+    }
+    op.fragment = SmallFragment();
+  } else {
+    op.kind = Operation::Kind::kRead;
+    op.target = pick(any_targets);
+  }
+  return op;
+}
+
+}  // namespace laxml

@@ -1,0 +1,69 @@
+// Random operation streams: the mixed read/update workloads behind the
+// crossover bench (Abl. D) and the model-based property tests. Each
+// generated Operation is expressed against a caller-supplied set of live
+// node ids so the stream stays valid as the document evolves.
+
+#ifndef LAXML_WORKLOAD_OP_STREAM_H_
+#define LAXML_WORKLOAD_OP_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+
+/// One generated operation.
+struct Operation {
+  enum class Kind {
+    kInsertBefore,
+    kInsertAfter,
+    kInsertIntoFirst,
+    kInsertIntoLast,
+    kDelete,
+    kReplaceNode,
+    kReplaceContent,
+    kRead,
+  };
+  Kind kind = Kind::kRead;
+  NodeId target = kInvalidNodeId;
+  TokenSequence fragment;  ///< For the mutating kinds that carry data.
+};
+
+const char* OperationKindName(Operation::Kind kind);
+
+/// Relative weights of the operation classes.
+struct OpMix {
+  double insert = 0.45;
+  double erase = 0.10;
+  double replace = 0.10;
+  double read = 0.35;
+};
+
+/// Deterministic operation generator.
+class OpStreamGenerator {
+ public:
+  OpStreamGenerator(const OpMix& mix, uint64_t seed)
+      : mix_(mix), rng_(seed) {}
+
+  /// Draws the next operation. `element_targets` are ids known to be
+  /// elements (valid insertion parents); `any_targets` are any live
+  /// ids. Either may be empty, in which case the op degrades to a read
+  /// of the first element or an insert-into it.
+  Operation Next(const std::vector<NodeId>& element_targets,
+                 const std::vector<NodeId>& any_targets);
+
+  Random* rng() { return &rng_; }
+
+ private:
+  TokenSequence SmallFragment();
+
+  OpMix mix_;
+  Random rng_;
+  uint64_t fragment_counter_ = 0;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_WORKLOAD_OP_STREAM_H_

@@ -1,0 +1,26 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laxml {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s, uint64_t seed)
+    : n_(n == 0 ? 1 : n), s_(s), rng_(seed) {
+  cdf_.resize(n_);
+  double sum = 0;
+  for (uint64_t k = 0; k < n_; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s_);
+    cdf_[k] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace laxml

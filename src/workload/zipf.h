@@ -1,0 +1,36 @@
+// Zipf-distributed sampling for skewed access patterns (the partial
+// index ablation sweeps skew: a cache-like index shines exactly when
+// some logical positions are much hotter than others).
+
+#ifndef LAXML_WORKLOAD_ZIPF_H_
+#define LAXML_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace laxml {
+
+/// Samples ranks in [0, n) with P(k) proportional to 1/(k+1)^s.
+/// s == 0 degenerates to uniform.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s, uint64_t seed);
+
+  /// Next sampled rank.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  Random rng_;
+  std::vector<double> cdf_;  // cumulative, normalized
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_WORKLOAD_ZIPF_H_

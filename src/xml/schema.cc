@@ -1,0 +1,179 @@
+#include "xml/schema.h"
+
+#include <cctype>
+#include <vector>
+
+namespace laxml {
+
+const char* XsTypeName(XsType type) {
+  switch (type) {
+    case XsType::kUntyped:
+      return "xs:untyped";
+    case XsType::kString:
+      return "xs:string";
+    case XsType::kInteger:
+      return "xs:integer";
+    case XsType::kDecimal:
+      return "xs:decimal";
+    case XsType::kBoolean:
+      return "xs:boolean";
+    case XsType::kDate:
+      return "xs:date";
+    case XsType::kDateTime:
+      return "xs:dateTime";
+  }
+  return "xs:untyped";
+}
+
+namespace {
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool ValidInteger(const std::string& s) {
+  std::string_view v = s;
+  if (!v.empty() && (v[0] == '+' || v[0] == '-')) v.remove_prefix(1);
+  return AllDigits(v);
+}
+
+bool ValidDecimal(const std::string& s) {
+  std::string_view v = s;
+  if (!v.empty() && (v[0] == '+' || v[0] == '-')) v.remove_prefix(1);
+  size_t dot = v.find('.');
+  if (dot == std::string_view::npos) return AllDigits(v);
+  std::string_view ip = v.substr(0, dot), fp = v.substr(dot + 1);
+  if (ip.empty() && fp.empty()) return false;
+  return (ip.empty() || AllDigits(ip)) && (fp.empty() || AllDigits(fp));
+}
+
+bool ValidBoolean(const std::string& s) {
+  return s == "true" || s == "false" || s == "0" || s == "1";
+}
+
+bool ValidDatePart(std::string_view v) {
+  // YYYY-MM-DD with basic range checks.
+  if (v.size() != 10 || v[4] != '-' || v[7] != '-') return false;
+  if (!AllDigits(v.substr(0, 4)) || !AllDigits(v.substr(5, 2)) ||
+      !AllDigits(v.substr(8, 2))) {
+    return false;
+  }
+  int month = (v[5] - '0') * 10 + (v[6] - '0');
+  int day = (v[8] - '0') * 10 + (v[9] - '0');
+  return month >= 1 && month <= 12 && day >= 1 && day <= 31;
+}
+
+bool ValidTimePart(std::string_view v) {
+  if (v.size() != 8 || v[2] != ':' || v[5] != ':') return false;
+  if (!AllDigits(v.substr(0, 2)) || !AllDigits(v.substr(3, 2)) ||
+      !AllDigits(v.substr(6, 2))) {
+    return false;
+  }
+  int h = (v[0] - '0') * 10 + (v[1] - '0');
+  int m = (v[3] - '0') * 10 + (v[4] - '0');
+  int s = (v[6] - '0') * 10 + (v[7] - '0');
+  return h <= 23 && m <= 59 && s <= 59;
+}
+
+}  // namespace
+
+bool LexicalFormValid(XsType type, const std::string& lexical) {
+  switch (type) {
+    case XsType::kUntyped:
+    case XsType::kString:
+      return true;
+    case XsType::kInteger:
+      return ValidInteger(lexical);
+    case XsType::kDecimal:
+      return ValidDecimal(lexical);
+    case XsType::kBoolean:
+      return ValidBoolean(lexical);
+    case XsType::kDate:
+      return ValidDatePart(lexical);
+    case XsType::kDateTime: {
+      std::string_view v = lexical;
+      if (v.size() != 19 || v[10] != 'T') return false;
+      return ValidDatePart(v.substr(0, 10)) && ValidTimePart(v.substr(11));
+    }
+  }
+  return false;
+}
+
+void Schema::DeclareElement(const std::string& element_name, XsType type) {
+  element_types_[element_name] = type;
+}
+
+void Schema::DeclareAttribute(const std::string& element_name,
+                              const std::string& attr_name, XsType type) {
+  attribute_types_[{element_name, attr_name}] = type;
+}
+
+XsType Schema::ElementType(const std::string& element_name) const {
+  auto it = element_types_.find(element_name);
+  return it == element_types_.end() ? XsType::kUntyped : it->second;
+}
+
+XsType Schema::AttributeType(const std::string& element_name,
+                             const std::string& attr_name) const {
+  auto it = attribute_types_.find({element_name, attr_name});
+  if (it != attribute_types_.end()) return it->second;
+  it = attribute_types_.find({"*", attr_name});
+  return it == attribute_types_.end() ? XsType::kUntyped : it->second;
+}
+
+Status Schema::ValidateAndAnnotate(TokenSequence* seq) const {
+  // Stack of (element name, declared type) for the open elements.
+  std::vector<std::pair<std::string, XsType>> stack;
+  for (Token& t : *seq) {
+    switch (t.type) {
+      case TokenType::kBeginElement: {
+        XsType type = ElementType(t.name);
+        t.psvi_type = static_cast<TypeAnnotation>(type);
+        stack.emplace_back(t.name, type);
+        break;
+      }
+      case TokenType::kEndElement:
+        if (stack.empty()) {
+          return Status::InvalidArgument("unbalanced element nesting");
+        }
+        stack.pop_back();
+        break;
+      case TokenType::kBeginAttribute: {
+        if (stack.empty()) {
+          return Status::InvalidArgument("attribute outside element");
+        }
+        XsType type = AttributeType(stack.back().first, t.name);
+        if (!LexicalFormValid(type, t.value)) {
+          return Status::InvalidArgument(
+              "attribute '" + t.name + "' value '" + t.value +
+              "' is not a valid " + XsTypeName(type));
+        }
+        t.psvi_type = static_cast<TypeAnnotation>(type);
+        break;
+      }
+      case TokenType::kText: {
+        XsType type =
+            stack.empty() ? XsType::kUntyped : stack.back().second;
+        if (!LexicalFormValid(type, t.value)) {
+          return Status::InvalidArgument(
+              "text content of <" + stack.back().first + "> ('" + t.value +
+              "') is not a valid " + XsTypeName(type));
+        }
+        t.psvi_type = static_cast<TypeAnnotation>(type);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!stack.empty()) {
+    return Status::InvalidArgument("unclosed element after validation");
+  }
+  return Status::OK();
+}
+
+}  // namespace laxml

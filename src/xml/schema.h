@@ -1,0 +1,79 @@
+// PSVI support (paper desideratum 7): a deliberately small XML-Schema
+// subset. A Schema declares simple types for elements and attributes by
+// name; ValidateAndAnnotate() checks the lexical form of typed content
+// and stamps the matching TypeAnnotation onto the begin tokens, so the
+// annotation is persisted with the token and schema validation is not
+// repeated on every read ("PSVI should be supported in order to avoid
+// repeated evaluation of XML schema", Section 2).
+//
+// Validation is *lax*: undeclared names stay untyped and pass.
+
+#ifndef LAXML_XML_SCHEMA_H_
+#define LAXML_XML_SCHEMA_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+
+/// Built-in simple types. The numeric values are the persisted
+/// TypeAnnotation values — append only.
+enum class XsType : TypeAnnotation {
+  kUntyped = 0,
+  kString = 1,
+  kInteger = 2,
+  kDecimal = 3,
+  kBoolean = 4,
+  kDate = 5,      ///< YYYY-MM-DD
+  kDateTime = 6,  ///< YYYY-MM-DDThh:mm:ss
+};
+
+/// Name of a simple type ("xs:integer", ...).
+const char* XsTypeName(XsType type);
+
+/// Checks whether `lexical` is a valid literal of `type`.
+bool LexicalFormValid(XsType type, const std::string& lexical);
+
+/// A set of element / attribute simple-type declarations.
+class Schema {
+ public:
+  /// Declares the text content type of elements named `element_name`.
+  void DeclareElement(const std::string& element_name, XsType type);
+
+  /// Declares the type of attribute `attr_name` on elements named
+  /// `element_name`. Use "*" as element_name for any element.
+  void DeclareAttribute(const std::string& element_name,
+                        const std::string& attr_name, XsType type);
+
+  /// Declared type of an element (kUntyped when undeclared).
+  XsType ElementType(const std::string& element_name) const;
+
+  /// Declared type of an attribute in element context.
+  XsType AttributeType(const std::string& element_name,
+                       const std::string& attr_name) const;
+
+  /// Validates the fragment against the declarations and writes PSVI
+  /// annotations into the begin tokens:
+  ///   * BeginElement gets the element's declared type; each Text token
+  ///     directly inside it is checked against that type's lexical
+  ///     space and annotated likewise.
+  ///   * BeginAttribute gets the attribute's declared type and its
+  ///     value is checked.
+  /// Fails with InvalidArgument naming the offending node on the first
+  /// lexical violation.
+  Status ValidateAndAnnotate(TokenSequence* seq) const;
+
+  size_t element_declarations() const { return element_types_.size(); }
+  size_t attribute_declarations() const { return attribute_types_.size(); }
+
+ private:
+  std::map<std::string, XsType> element_types_;
+  std::map<std::pair<std::string, std::string>, XsType> attribute_types_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_XML_SCHEMA_H_

@@ -1,0 +1,39 @@
+// Token sequence -> XML text. The inverse of the tokenizer; used by
+// Store::Read() consumers and by round-trip tests (parse ∘ serialize ==
+// identity modulo insignificant whitespace).
+
+#ifndef LAXML_XML_SERIALIZER_H_
+#define LAXML_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+
+/// Serialization knobs.
+struct SerializerOptions {
+  /// Emit `<?xml version="1.0"?>` before a document node.
+  bool declaration = false;
+  /// Pretty-print with this many spaces per depth level; 0 = compact.
+  int indent = 0;
+  /// Collapse `<a></a>` to `<a/>`.
+  bool self_close_empty = true;
+};
+
+/// Serializes a well-formed fragment or document. Fails with
+/// InvalidArgument on nesting violations (e.g. attribute tokens outside
+/// an element start).
+Result<std::string> SerializeTokens(const TokenSequence& tokens,
+                                    const SerializerOptions& options = {});
+
+/// Escapes character data (& < >).
+std::string EscapeText(const std::string& text);
+
+/// Escapes attribute values (& < > ").
+std::string EscapeAttribute(const std::string& value);
+
+}  // namespace laxml
+
+#endif  // LAXML_XML_SERIALIZER_H_

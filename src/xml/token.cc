@@ -1,0 +1,45 @@
+#include "xml/token.h"
+
+namespace laxml {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kBeginDocument:
+      return "BEGIN_DOCUMENT";
+    case TokenType::kEndDocument:
+      return "END_DOCUMENT";
+    case TokenType::kBeginElement:
+      return "BEGIN_ELEMENT";
+    case TokenType::kEndElement:
+      return "END_ELEMENT";
+    case TokenType::kBeginAttribute:
+      return "BEGIN_ATTRIBUTE";
+    case TokenType::kEndAttribute:
+      return "END_ATTRIBUTE";
+    case TokenType::kText:
+      return "TEXT";
+    case TokenType::kComment:
+      return "COMMENT";
+    case TokenType::kProcessingInstruction:
+      return "PI";
+  }
+  return "UNKNOWN";
+}
+
+std::string Token::ToString() const {
+  std::string out = "[";
+  out += TokenTypeName(type);
+  if (!name.empty()) {
+    out += " ";
+    out += name;
+  }
+  if (!value.empty()) {
+    out += " '";
+    out += value.size() > 32 ? value.substr(0, 29) + "..." : value;
+    out += "'";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace laxml

@@ -1,0 +1,109 @@
+#include "xml/token_codec.h"
+
+#include <cstring>
+
+#include "common/varint.h"
+
+namespace laxml {
+
+void EncodeToken(const Token& token, std::vector<uint8_t>* dst) {
+  dst->push_back(static_cast<uint8_t>(token.type));
+  PutVarint64(dst, token.name.size());
+  dst->insert(dst->end(), token.name.begin(), token.name.end());
+  PutVarint64(dst, token.value.size());
+  dst->insert(dst->end(), token.value.begin(), token.value.end());
+  PutVarint64(dst, token.psvi_type);
+}
+
+size_t EncodedTokenSize(const Token& token) {
+  return 1 + VarintLength(token.name.size()) + token.name.size() +
+         VarintLength(token.value.size()) + token.value.size() +
+         VarintLength(token.psvi_type);
+}
+
+std::vector<uint8_t> EncodeTokens(const std::vector<Token>& tokens) {
+  size_t total = 0;
+  for (const Token& t : tokens) total += EncodedTokenSize(t);
+  std::vector<uint8_t> out;
+  out.reserve(total);
+  for (const Token& t : tokens) EncodeToken(t, &out);
+  return out;
+}
+
+namespace {
+bool ValidTokenType(uint8_t t) {
+  return t <= static_cast<uint8_t>(TokenType::kProcessingInstruction);
+}
+}  // namespace
+
+Status TokenReader::Next(Token* token) {
+  const uint8_t* base = buf_.data();
+  const uint8_t* limit = base + buf_.size();
+  const uint8_t* p = base + pos_;
+  if (p >= limit) return Status::Corruption("token read past end");
+  uint8_t type = *p++;
+  if (!ValidTokenType(type)) {
+    return Status::Corruption("invalid token type byte");
+  }
+  uint64_t name_len, value_len, psvi;
+  p = GetVarint64(p, limit, &name_len);
+  if (p == nullptr || static_cast<uint64_t>(limit - p) < name_len) {
+    return Status::Corruption("token name truncated");
+  }
+  token->name.assign(reinterpret_cast<const char*>(p), name_len);
+  p += name_len;
+  p = GetVarint64(p, limit, &value_len);
+  if (p == nullptr || static_cast<uint64_t>(limit - p) < value_len) {
+    return Status::Corruption("token value truncated");
+  }
+  token->value.assign(reinterpret_cast<const char*>(p), value_len);
+  p += value_len;
+  p = GetVarint64(p, limit, &psvi);
+  if (p == nullptr || psvi > UINT32_MAX) {
+    return Status::Corruption("token psvi truncated");
+  }
+  token->type = static_cast<TokenType>(type);
+  token->psvi_type = static_cast<TypeAnnotation>(psvi);
+  pos_ = static_cast<size_t>(p - base);
+  return Status::OK();
+}
+
+Status TokenReader::Skip(TokenType* type) {
+  const uint8_t* base = buf_.data();
+  const uint8_t* limit = base + buf_.size();
+  const uint8_t* p = base + pos_;
+  if (p >= limit) return Status::Corruption("token skip past end");
+  uint8_t t = *p++;
+  if (!ValidTokenType(t)) {
+    return Status::Corruption("invalid token type byte");
+  }
+  uint64_t name_len, value_len, psvi;
+  p = GetVarint64(p, limit, &name_len);
+  if (p == nullptr || static_cast<uint64_t>(limit - p) < name_len) {
+    return Status::Corruption("token name truncated");
+  }
+  p += name_len;
+  p = GetVarint64(p, limit, &value_len);
+  if (p == nullptr || static_cast<uint64_t>(limit - p) < value_len) {
+    return Status::Corruption("token value truncated");
+  }
+  p += value_len;
+  p = GetVarint64(p, limit, &psvi);
+  if (p == nullptr) return Status::Corruption("token psvi truncated");
+  *type = static_cast<TokenType>(t);
+  pos_ = static_cast<size_t>(p - base);
+  return Status::OK();
+}
+
+Result<std::vector<Token>> DecodeTokens(Slice buffer) {
+  std::vector<Token> out;
+  TokenReader reader(buffer);
+  Token t;
+  while (!reader.AtEnd()) {
+    LAXML_RETURN_IF_ERROR(reader.Next(&t));
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace laxml

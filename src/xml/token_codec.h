@@ -1,0 +1,71 @@
+// Binary token codec: the serialized form of tokens as stored in Range
+// payloads. Varint-framed so short names and absent fields cost one byte
+// (paper desideratum 6, low storage overhead). Node ids are deliberately
+// NOT part of the format — they are regenerated from the Range's start
+// id (Section 4.3).
+//
+// Wire format per token:
+//   [type u8][name_len varint][name bytes][value_len varint][value bytes]
+//   [psvi_type varint]
+
+#ifndef LAXML_XML_TOKEN_CODEC_H_
+#define LAXML_XML_TOKEN_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "xml/token.h"
+
+namespace laxml {
+
+/// Appends the encoded form of `token` to `dst`.
+void EncodeToken(const Token& token, std::vector<uint8_t>* dst);
+
+/// Encoded size of a token without encoding it.
+size_t EncodedTokenSize(const Token& token);
+
+/// Encodes a whole sequence.
+std::vector<uint8_t> EncodeTokens(const std::vector<Token>& tokens);
+
+/// Streaming decoder over an encoded token buffer. Tracks the byte
+/// offset of each token, which is what the partial index memoizes.
+class TokenReader {
+ public:
+  explicit TokenReader(Slice buffer) : buf_(buffer) {}
+
+  /// True when at least one more token is available.
+  bool AtEnd() const { return pos_ >= buf_.size(); }
+
+  /// Byte offset of the next token (== offset the upcoming Next() call
+  /// will report for its token).
+  size_t offset() const { return pos_; }
+
+  /// Decodes the next token into *token. Fails with Corruption on
+  /// malformed input.
+  Status Next(Token* token);
+
+  /// Skips the next token without materializing strings; stores its
+  /// decoded header in *type. Faster than Next() for scans that only
+  /// count ids / depth.
+  Status Skip(TokenType* type);
+
+  /// Resets to the beginning.
+  void Rewind() { pos_ = 0; }
+
+  /// Positions at an absolute byte offset (must be a token boundary
+  /// previously obtained from offset()).
+  void SeekTo(size_t offset) { pos_ = offset; }
+
+ private:
+  Slice buf_;
+  size_t pos_ = 0;
+};
+
+/// Decodes an entire buffer into a token vector.
+Result<std::vector<Token>> DecodeTokens(Slice buffer);
+
+}  // namespace laxml
+
+#endif  // LAXML_XML_TOKEN_CODEC_H_

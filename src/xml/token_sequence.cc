@@ -1,0 +1,111 @@
+#include "xml/token_sequence.h"
+
+namespace laxml {
+
+uint64_t CountNodeBegins(const TokenSequence& seq) {
+  uint64_t n = 0;
+  for (const Token& t : seq) {
+    if (t.BeginsNode()) ++n;
+  }
+  return n;
+}
+
+Status CheckWellFormedFragment(const TokenSequence& seq) {
+  std::vector<TokenType> stack;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const Token& t = seq[i];
+    if (!stack.empty() && stack.back() == TokenType::kBeginAttribute &&
+        t.type != TokenType::kEndAttribute) {
+      return Status::InvalidArgument(
+          "attribute scope must close immediately (token " +
+          std::to_string(i) + ")");
+    }
+    if (t.OpensScope()) {
+      stack.push_back(t.type);
+      continue;
+    }
+    if (t.ClosesScope()) {
+      TokenType expected;
+      switch (t.type) {
+        case TokenType::kEndDocument:
+          expected = TokenType::kBeginDocument;
+          break;
+        case TokenType::kEndElement:
+          expected = TokenType::kBeginElement;
+          break;
+        default:
+          expected = TokenType::kBeginAttribute;
+          break;
+      }
+      if (stack.empty() || stack.back() != expected) {
+        return Status::InvalidArgument("mismatched end token at index " +
+                                       std::to_string(i));
+      }
+      stack.pop_back();
+    }
+  }
+  if (!stack.empty()) {
+    return Status::InvalidArgument("unclosed scope in fragment");
+  }
+  return Status::OK();
+}
+
+Result<size_t> SubtreeEnd(const TokenSequence& seq, size_t begin_idx) {
+  if (begin_idx >= seq.size() || !seq[begin_idx].BeginsNode()) {
+    return Status::InvalidArgument("index does not begin a node");
+  }
+  const Token& first = seq[begin_idx];
+  if (!first.OpensScope()) {
+    return begin_idx + 1;  // Text / Comment / PI are single tokens.
+  }
+  int depth = 0;
+  for (size_t i = begin_idx; i < seq.size(); ++i) {
+    if (seq[i].OpensScope()) ++depth;
+    if (seq[i].ClosesScope()) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return Status::Corruption("node scope never closes");
+}
+
+SequenceBuilder& SequenceBuilder::BeginDocument() {
+  tokens_.push_back(Token::BeginDocument());
+  return *this;
+}
+SequenceBuilder& SequenceBuilder::EndDocument() {
+  tokens_.push_back(Token::EndDocument());
+  return *this;
+}
+SequenceBuilder& SequenceBuilder::BeginElement(std::string name) {
+  tokens_.push_back(Token::BeginElement(std::move(name)));
+  return *this;
+}
+SequenceBuilder& SequenceBuilder::End() {
+  tokens_.push_back(Token::EndElement());
+  return *this;
+}
+SequenceBuilder& SequenceBuilder::Attribute(std::string name,
+                                            std::string value) {
+  tokens_.push_back(
+      Token::BeginAttribute(std::move(name), std::move(value)));
+  tokens_.push_back(Token::EndAttribute());
+  return *this;
+}
+SequenceBuilder& SequenceBuilder::Text(std::string value) {
+  tokens_.push_back(Token::Text(std::move(value)));
+  return *this;
+}
+SequenceBuilder& SequenceBuilder::Comment(std::string value) {
+  tokens_.push_back(Token::Comment(std::move(value)));
+  return *this;
+}
+SequenceBuilder& SequenceBuilder::PI(std::string target, std::string data) {
+  tokens_.push_back(Token::PI(std::move(target), std::move(data)));
+  return *this;
+}
+SequenceBuilder& SequenceBuilder::LeafElement(std::string name,
+                                              std::string text) {
+  return BeginElement(std::move(name)).Text(std::move(text)).End();
+}
+
+}  // namespace laxml

@@ -1,0 +1,64 @@
+// Utilities over token sequences: well-formedness checks, node-begin
+// counting (how many NodeIds a fragment consumes), subtree extraction,
+// and a fluent builder used throughout tests and examples.
+
+#ifndef LAXML_XML_TOKEN_SEQUENCE_H_
+#define LAXML_XML_TOKEN_SEQUENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/token.h"
+
+namespace laxml {
+
+/// A materialized flat XML fragment.
+using TokenSequence = std::vector<Token>;
+
+/// Number of NodeIds the fragment consumes (== number of node-beginning
+/// tokens).
+uint64_t CountNodeBegins(const TokenSequence& seq);
+
+/// Validates nesting: every scope-opening token has a matching closer,
+/// scopes close in LIFO order, attributes contain nothing, and the
+/// sequence ends at depth zero.
+Status CheckWellFormedFragment(const TokenSequence& seq);
+
+/// For a node starting at `begin_idx`, returns the index one past its
+/// last token (begin_idx + 1 for single-token nodes). InvalidArgument if
+/// begin_idx does not begin a node; Corruption if the scope never
+/// closes.
+Result<size_t> SubtreeEnd(const TokenSequence& seq, size_t begin_idx);
+
+/// Fluent builder for fragments:
+///
+///   TokenSequence po = SequenceBuilder()
+///       .BeginElement("purchase-order").Attribute("id", "42")
+///       .BeginElement("item").Text("bolt").End()
+///       .End().Build();
+class SequenceBuilder {
+ public:
+  SequenceBuilder& BeginDocument();
+  SequenceBuilder& EndDocument();
+  SequenceBuilder& BeginElement(std::string name);
+  /// Closes the innermost open element.
+  SequenceBuilder& End();
+  /// Emits a begin/end attribute pair (valid immediately after a
+  /// BeginElement or another attribute).
+  SequenceBuilder& Attribute(std::string name, std::string value);
+  SequenceBuilder& Text(std::string value);
+  SequenceBuilder& Comment(std::string value);
+  SequenceBuilder& PI(std::string target, std::string data);
+  /// Convenience: element with a single text child.
+  SequenceBuilder& LeafElement(std::string name, std::string text);
+
+  TokenSequence Build() { return std::move(tokens_); }
+
+ private:
+  TokenSequence tokens_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_XML_TOKEN_SEQUENCE_H_

@@ -1,0 +1,41 @@
+// XML text -> token sequence. A from-scratch, non-validating pull parser
+// covering the slice of XML the store and benchmarks need: elements,
+// attributes, character data with entity references, CDATA sections,
+// comments, processing instructions, and the XML declaration. DTDs and
+// namespaces-as-semantics are out of scope (prefixes pass through as
+// part of names).
+
+#ifndef LAXML_XML_TOKENIZER_H_
+#define LAXML_XML_TOKENIZER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+
+/// Parsing knobs.
+struct TokenizerOptions {
+  /// Drop text tokens that are exclusively XML whitespace (typical for
+  /// pretty-printed input where indentation is not data).
+  bool skip_whitespace_text = false;
+  /// Keep comments (true) or drop them (false).
+  bool keep_comments = true;
+  /// Keep processing instructions.
+  bool keep_pis = true;
+};
+
+/// Parses a complete document; the result is wrapped in
+/// BeginDocument/EndDocument and contains exactly one root element.
+Result<TokenSequence> ParseDocument(std::string_view xml,
+                                    const TokenizerOptions& options = {});
+
+/// Parses a fragment: a sequence of elements / text / comments / PIs
+/// with no document wrapper. This is the form update payloads take.
+Result<TokenSequence> ParseFragment(std::string_view xml,
+                                    const TokenizerOptions& options = {});
+
+}  // namespace laxml
+
+#endif  // LAXML_XML_TOKENIZER_H_

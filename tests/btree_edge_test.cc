@@ -1,0 +1,140 @@
+// B+-tree edge cases beyond the basic suite: iterator behavior around
+// deletions, boundary keys, interleaved trees sharing one pager, and
+// monotonic (bulk-ish) insertion patterns.
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+class BTreeEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PagerOptions options;
+    options.page_size = 512;
+    options.pool_frames = 64;
+    ASSERT_OK_AND_ASSIGN(pager_, Pager::OpenInMemory(options));
+  }
+
+  BTree MakeTree(uint32_t value_size = 8) {
+    auto tree = BTree::Create(pager_.get(), value_size);
+    EXPECT_TRUE(tree.ok());
+    return std::move(tree).value();
+  }
+
+  static void Put(BTree* tree, uint64_t key, uint64_t value) {
+    uint8_t buf[8];
+    EncodeFixed64(buf, value);
+    ASSERT_TRUE(tree->Insert(key, Slice(buf, 8)).ok());
+  }
+
+  std::unique_ptr<Pager> pager_;
+};
+
+TEST_F(BTreeEdgeTest, BoundaryKeys) {
+  BTree tree = MakeTree();
+  Put(&tree, 0, 1);
+  Put(&tree, UINT64_MAX - 1, 2);
+  uint8_t buf[8];
+  ASSERT_OK_AND_ASSIGN(bool found, tree.Get(0, buf));
+  EXPECT_TRUE(found);
+  EXPECT_EQ(DecodeFixed64(buf), 1u);
+  ASSERT_OK_AND_ASSIGN(found, tree.Get(UINT64_MAX - 1, buf));
+  EXPECT_TRUE(found);
+  EXPECT_EQ(DecodeFixed64(buf), 2u);
+}
+
+TEST_F(BTreeEdgeTest, MonotonicInsertionThenFullScan) {
+  // Ascending keys are the record store's id pattern: rightmost splits.
+  BTree tree = MakeTree();
+  for (uint64_t k = 1; k <= 4000; ++k) Put(&tree, k, k * 3);
+  BTree::Iterator it = tree.NewIterator();
+  ASSERT_LAXML_OK(it.SeekToFirst());
+  uint64_t expected = 1;
+  while (it.Valid()) {
+    EXPECT_EQ(it.key(), expected);
+    EXPECT_EQ(DecodeFixed64(it.value()), expected * 3);
+    ASSERT_LAXML_OK(it.Next());
+    ++expected;
+  }
+  EXPECT_EQ(expected, 4001u);
+}
+
+TEST_F(BTreeEdgeTest, DescendingInsertion) {
+  BTree tree = MakeTree();
+  for (uint64_t k = 3000; k >= 1; --k) Put(&tree, k, k);
+  EXPECT_EQ(tree.size(), 3000u);
+  uint8_t buf[8];
+  for (uint64_t k : {1ull, 1500ull, 3000ull}) {
+    ASSERT_OK_AND_ASSIGN(bool found, tree.Get(k, buf));
+    EXPECT_TRUE(found) << k;
+  }
+}
+
+TEST_F(BTreeEdgeTest, IteratorAfterHeavyDeletion) {
+  BTree tree = MakeTree();
+  for (uint64_t k = 0; k < 3000; ++k) Put(&tree, k, k);
+  // Delete everything except multiples of 100.
+  for (uint64_t k = 0; k < 3000; ++k) {
+    if (k % 100 != 0) ASSERT_LAXML_OK(tree.Delete(k));
+  }
+  BTree::Iterator it = tree.NewIterator();
+  ASSERT_LAXML_OK(it.Seek(150));
+  std::vector<uint64_t> keys;
+  while (it.Valid()) {
+    keys.push_back(it.key());
+    ASSERT_LAXML_OK(it.Next());
+  }
+  std::vector<uint64_t> expected;
+  for (uint64_t k = 200; k < 3000; k += 100) expected.push_back(k);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_F(BTreeEdgeTest, TwoTreesShareOnePagerIndependently) {
+  BTree a = MakeTree(8);
+  auto b_result = BTree::Create(pager_.get(), 16);
+  ASSERT_TRUE(b_result.ok());
+  BTree b = std::move(b_result).value();
+  uint8_t wide[16] = {0};
+  for (uint64_t k = 0; k < 500; ++k) {
+    Put(&a, k, k + 7);
+    wide[0] = static_cast<uint8_t>(k);
+    ASSERT_LAXML_OK(b.Insert(k * 2, Slice(wide, 16)));
+  }
+  EXPECT_EQ(a.size(), 500u);
+  EXPECT_EQ(b.size(), 500u);
+  ASSERT_LAXML_OK(a.Drop());
+  // b is untouched by a's destruction.
+  uint8_t buf[16];
+  ASSERT_OK_AND_ASSIGN(bool found, b.Get(500, buf));
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BTreeEdgeTest, ReinsertAfterDelete) {
+  BTree tree = MakeTree();
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t k = 0; k < 800; ++k) Put(&tree, k, k + round);
+    EXPECT_EQ(tree.size(), 800u);
+    for (uint64_t k = 0; k < 800; ++k) ASSERT_LAXML_OK(tree.Delete(k));
+    EXPECT_EQ(tree.size(), 0u);
+  }
+  // The pager hasn't leaked unboundedly: freed pages get reused.
+  EXPECT_LT(pager_->page_count(), 300u);
+}
+
+TEST_F(BTreeEdgeTest, SeekPastEverything) {
+  BTree tree = MakeTree();
+  Put(&tree, 10, 1);
+  BTree::Iterator it = tree.NewIterator();
+  ASSERT_LAXML_OK(it.Seek(11));
+  EXPECT_FALSE(it.Valid());
+  ASSERT_LAXML_OK(it.Seek(10));
+  EXPECT_TRUE(it.Valid());
+}
+
+}  // namespace
+}  // namespace laxml

@@ -1,0 +1,105 @@
+// TokenCursor tests: depth bookkeeping, id regeneration across range
+// boundaries, behavior on fragmented stores, and agreement with
+// ReadWithIds.
+
+#include "store/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "store/store.h"
+#include "test_util.h"
+#include "workload/doc_generator.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+
+std::unique_ptr<Store> FragmentedStore() {
+  StoreOptions options;
+  options.max_range_bytes = 48;  // many ranges
+  options.pager.page_size = 512;
+  auto opened = Store::OpenInMemory(options);
+  EXPECT_TRUE(opened.ok());
+  return std::move(opened).value();
+}
+
+TEST(CursorTest, EmptyStoreIsImmediatelyInvalid) {
+  auto store = FragmentedStore();
+  auto cursor = store->NewCursor();
+  ASSERT_LAXML_OK(cursor->SeekToFirst());
+  EXPECT_FALSE(cursor->Valid());
+}
+
+TEST(CursorTest, DepthTracksNesting) {
+  auto store = FragmentedStore();
+  ASSERT_LAXML_OK(store->LoadXml("<a><b><c/>t</b></a>").status());
+  auto cursor = store->NewCursor();
+  ASSERT_LAXML_OK(cursor->SeekToFirst());
+  std::vector<int64_t> depths;
+  while (cursor->Valid()) {
+    depths.push_back(cursor->depth());
+    ASSERT_LAXML_OK(cursor->Next());
+  }
+  // <a>0 <b>1 <c>2 </c>2 t2 </b>1 </a>0
+  EXPECT_EQ(depths, (std::vector<int64_t>{0, 1, 2, 2, 2, 1, 0}));
+}
+
+TEST(CursorTest, AgreesWithReadWithIdsOnFragmentedStore) {
+  auto store = FragmentedStore();
+  Random rng(12);
+  ASSERT_LAXML_OK(
+      store->InsertTopLevel(GenerateRandomTree(&rng, 150, 6)).status());
+  // Mutate to create splits and id gaps.
+  ASSERT_LAXML_OK(store->InsertIntoLast(1, MustFragment("<x/>")).status());
+  ASSERT_LAXML_OK(store->DeleteNode(3));
+
+  std::vector<NodeId> expected_ids;
+  ASSERT_OK_AND_ASSIGN(TokenSequence expected,
+                       store->ReadWithIds(&expected_ids));
+  auto cursor = store->NewCursor();
+  ASSERT_LAXML_OK(cursor->SeekToFirst());
+  size_t i = 0;
+  while (cursor->Valid()) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(cursor->token(), expected[i]) << "token " << i;
+    EXPECT_EQ(cursor->node_id(), expected_ids[i]) << "token " << i;
+    ASSERT_LAXML_OK(cursor->Next());
+    ++i;
+  }
+  EXPECT_EQ(i, expected.size());
+  EXPECT_GT(store->range_manager().range_count(), 3u);
+}
+
+TEST(CursorTest, RangeAccessorMovesAcrossChain) {
+  auto store = FragmentedStore();
+  ASSERT_LAXML_OK(store->LoadXml("<r><a>xxxxxxxxxxxxxxx</a>"
+                                 "<b>yyyyyyyyyyyyyyy</b></r>")
+                      .status());
+  auto cursor = store->NewCursor();
+  ASSERT_LAXML_OK(cursor->SeekToFirst());
+  std::set<RangeId> ranges_seen;
+  while (cursor->Valid()) {
+    ranges_seen.insert(cursor->range());
+    ASSERT_LAXML_OK(cursor->Next());
+  }
+  EXPECT_EQ(ranges_seen.size(), store->range_manager().range_count());
+}
+
+TEST(CursorTest, SeekToFirstRestarts) {
+  auto store = FragmentedStore();
+  ASSERT_LAXML_OK(store->LoadXml("<a><b/></a>").status());
+  auto cursor = store->NewCursor();
+  ASSERT_LAXML_OK(cursor->SeekToFirst());
+  ASSERT_TRUE(cursor->Valid());
+  NodeId first = cursor->node_id();
+  ASSERT_LAXML_OK(cursor->Next());
+  ASSERT_LAXML_OK(cursor->SeekToFirst());
+  EXPECT_EQ(cursor->node_id(), first);
+  EXPECT_EQ(cursor->depth(), 0);
+}
+
+}  // namespace
+}  // namespace laxml

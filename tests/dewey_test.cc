@@ -1,0 +1,94 @@
+// Dewey label tests: ordering, ancestry, parsing, assignment over token
+// sequences, and the relabeling cost that motivates ORDPATH.
+
+#include "ids/dewey.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+
+DeweyLabel L(std::vector<uint32_t> c) { return DeweyLabel(std::move(c)); }
+
+TEST(DeweyLabelTest, DocumentOrderComparison) {
+  EXPECT_LT(L({1}), L({2}));
+  EXPECT_LT(L({1}), L({1, 1}));     // ancestor first
+  EXPECT_LT(L({1, 2}), L({1, 10})); // numeric, not lexicographic
+  EXPECT_LT(L({1, 2, 5}), L({1, 3}));
+  EXPECT_EQ(L({1, 2}).Compare(L({1, 2})), 0);
+}
+
+TEST(DeweyLabelTest, Ancestry) {
+  EXPECT_TRUE(L({1}).IsAncestorOf(L({1, 3, 4})));
+  EXPECT_TRUE(L({1, 3}).IsAncestorOf(L({1, 3, 4})));
+  EXPECT_FALSE(L({1, 3}).IsAncestorOf(L({1, 4, 1})));
+  EXPECT_FALSE(L({1, 3}).IsAncestorOf(L({1, 3})));  // not proper
+  EXPECT_FALSE(L({1, 3, 4}).IsAncestorOf(L({1, 3})));
+}
+
+TEST(DeweyLabelTest, ParentAndChild) {
+  EXPECT_EQ(L({1, 2, 3}).Parent(), L({1, 2}));
+  EXPECT_EQ(L({1}).Parent(), DeweyLabel());
+  EXPECT_EQ(L({1, 2}).Child(7), L({1, 2, 7}));
+}
+
+TEST(DeweyLabelTest, ToStringAndParse) {
+  EXPECT_EQ(L({1, 2, 3}).ToString(), "1.2.3");
+  ASSERT_OK_AND_ASSIGN(DeweyLabel parsed, DeweyLabel::Parse("4.5.600"));
+  EXPECT_EQ(parsed, L({4, 5, 600}));
+  EXPECT_TRUE(DeweyLabel::Parse("1..2").status().IsInvalidArgument());
+  EXPECT_TRUE(DeweyLabel::Parse("1.2.").status().IsInvalidArgument());
+  EXPECT_TRUE(DeweyLabel::Parse("1.x").status().IsInvalidArgument());
+}
+
+TEST(DeweyLabelTest, AssignLabelsFollowsStructure) {
+  TokenSequence seq =
+      MustFragment("<a><b>t</b><c/></a><d/>");
+  // Nodes in order: a, b, t, c, d.
+  std::vector<DeweyLabel> labels = AssignDeweyLabels(seq, DeweyLabel());
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[0], L({1}));        // a
+  EXPECT_EQ(labels[1], L({1, 1}));     // b
+  EXPECT_EQ(labels[2], L({1, 1, 1}));  // t
+  EXPECT_EQ(labels[3], L({1, 2}));     // c
+  EXPECT_EQ(labels[4], L({2}));        // d
+  // Labels sort in document order.
+  for (size_t i = 1; i < labels.size(); ++i) {
+    EXPECT_LT(labels[i - 1], labels[i]);
+  }
+}
+
+TEST(DeweyLabelTest, AssignRelativeToBase) {
+  TokenSequence seq = MustFragment("<x/>");
+  std::vector<DeweyLabel> labels = AssignDeweyLabels(seq, L({3, 1}));
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], L({3, 1, 1}));
+}
+
+TEST(DeweyLabelTest, AttributesAreLabeledToo) {
+  TokenSequence seq = MustFragment("<a x=\"1\"><b/></a>");
+  std::vector<DeweyLabel> labels = AssignDeweyLabels(seq, DeweyLabel());
+  // a, @x, b.
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[1], L({1, 1}));
+  EXPECT_EQ(labels[2], L({1, 2}));
+}
+
+TEST(DeweyRelabelCostTest, InsertPositionDrivesCost) {
+  // Appending is free; prepending relabels every sibling.
+  EXPECT_EQ(DeweyRelabelCost(100, 100), 0u);
+  EXPECT_EQ(DeweyRelabelCost(100, 0), 100u);
+  EXPECT_EQ(DeweyRelabelCost(100, 40), 60u);
+  EXPECT_EQ(DeweyRelabelCost(0, 0), 0u);
+}
+
+TEST(DeweyLabelTest, EncodedSizeGrowsWithDepth) {
+  EXPECT_LT(L({1}).EncodedSize(), L({1, 2, 3, 4, 5, 6}).EncodedSize());
+}
+
+}  // namespace
+}  // namespace laxml

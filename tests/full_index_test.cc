@@ -1,0 +1,88 @@
+// Full-index baseline tests: exact-location storage, interval deletes
+// (used when ranges die), and persistence via the tree root.
+
+#include "index/full_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+class FullIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PagerOptions options;
+    options.page_size = 512;
+    options.pool_frames = 16;
+    auto pager = Pager::OpenInMemory(options);
+    ASSERT_TRUE(pager.ok());
+    pager_ = std::move(pager).value();
+    auto index = FullIndex::Create(pager_.get());
+    ASSERT_TRUE(index.ok());
+    index_ = std::move(index).value();
+  }
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<FullIndex> index_;
+};
+
+TEST_F(FullIndexTest, PutGetDelete) {
+  TokenLocation loc{/*range_id=*/7, /*byte_offset=*/123,
+                    /*token_index=*/45};
+  ASSERT_LAXML_OK(index_->Put(1, loc));
+  ASSERT_OK_AND_ASSIGN(TokenLocation got, index_->Get(1));
+  EXPECT_EQ(got, loc);
+  EXPECT_TRUE(index_->Get(2).status().IsNotFound());
+  ASSERT_LAXML_OK(index_->Delete(1));
+  EXPECT_TRUE(index_->Get(1).status().IsNotFound());
+}
+
+TEST_F(FullIndexTest, OverwriteUpdatesLocation) {
+  ASSERT_LAXML_OK(index_->Put(9, {1, 10, 2}));
+  ASSERT_LAXML_OK(index_->Put(9, {4, 0, 0}));
+  ASSERT_OK_AND_ASSIGN(TokenLocation got, index_->Get(9));
+  EXPECT_EQ(got.range_id, 4u);
+  EXPECT_EQ(index_->size(), 1u);
+}
+
+TEST_F(FullIndexTest, DeleteIntervalRemovesOnlyThatSpan) {
+  for (NodeId id = 1; id <= 100; ++id) {
+    ASSERT_LAXML_OK(index_->Put(id, {id, 0, 0}));
+  }
+  ASSERT_LAXML_OK(index_->DeleteInterval(40, 60));
+  EXPECT_EQ(index_->size(), 79u);
+  EXPECT_TRUE(index_->Get(40).status().IsNotFound());
+  EXPECT_TRUE(index_->Get(50).status().IsNotFound());
+  EXPECT_TRUE(index_->Get(60).status().IsNotFound());
+  EXPECT_TRUE(index_->Get(39).ok());
+  EXPECT_TRUE(index_->Get(61).ok());
+  // Intervals with no indexed ids are a no-op.
+  ASSERT_LAXML_OK(index_->DeleteInterval(40, 60));
+  EXPECT_EQ(index_->size(), 79u);
+}
+
+TEST_F(FullIndexTest, SizeTracksMaintenanceCost) {
+  // The eager baseline pays one entry per node — the storage-overhead
+  // half of the paper's argument, observable via size().
+  for (NodeId id = 1; id <= 5000; ++id) {
+    ASSERT_LAXML_OK(index_->Put(id, {1, static_cast<uint32_t>(id), 0}));
+  }
+  EXPECT_EQ(index_->size(), 5000u);
+}
+
+TEST_F(FullIndexTest, ReopensFromRoot) {
+  for (NodeId id = 1; id <= 300; ++id) {
+    ASSERT_LAXML_OK(index_->Put(id, {id * 2, 0, 0}));
+  }
+  PageId root = index_->root();
+  index_.reset();
+  ASSERT_OK_AND_ASSIGN(index_, FullIndex::Open(pager_.get(), root));
+  EXPECT_EQ(index_->size(), 300u);
+  ASSERT_OK_AND_ASSIGN(TokenLocation got, index_->Get(150));
+  EXPECT_EQ(got.range_id, 300u);
+}
+
+}  // namespace
+}  // namespace laxml

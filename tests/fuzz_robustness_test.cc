@@ -1,0 +1,152 @@
+// Deterministic fuzz-style robustness tests: every byte-level decoder
+// in the system must reject arbitrary garbage with a Status — no
+// crashes, no hangs, no fabricated data — and every accepted input must
+// round-trip consistently.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ids/ordpath.h"
+#include "test_util.h"
+#include "query/xpath_parser.h"
+#include "wal/log_format.h"
+#include "xml/serializer.h"
+#include "xml/token_codec.h"
+#include "xml/tokenizer.h"
+
+namespace laxml {
+namespace {
+
+std::vector<uint8_t> RandomBytes(Random* rng, size_t max_len) {
+  std::vector<uint8_t> out(rng->Uniform(max_len) + 1);
+  for (uint8_t& b : out) b = static_cast<uint8_t>(rng->Next64());
+  return out;
+}
+
+TEST(FuzzRobustnessTest, TokenDecoderNeverCrashesOnGarbage) {
+  Random rng(1);
+  int accepted = 0;
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<uint8_t> bytes = RandomBytes(&rng, 200);
+    auto decoded = DecodeTokens(Slice(bytes));
+    if (decoded.ok()) {
+      ++accepted;
+      // Anything accepted must re-encode to the identical bytes.
+      EXPECT_EQ(EncodeTokens(*decoded), bytes) << "iteration " << i;
+    } else {
+      EXPECT_TRUE(decoded.status().IsCorruption());
+    }
+  }
+  // Random bytes rarely form valid token streams; mostly rejections.
+  EXPECT_LT(accepted, 600);
+}
+
+TEST(FuzzRobustnessTest, TokenDecoderOnMutatedValidStreams) {
+  Random rng(2);
+  TokenSequence base = testing::MustFragment(
+      "<a x=\"1\"><b>text</b><!--c--><?p d?></a>");
+  std::vector<uint8_t> good = EncodeTokens(base);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> bytes = good;
+    // 1-3 byte mutations.
+    int mutations = 1 + static_cast<int>(rng.Uniform(3));
+    for (int m = 0; m < mutations; ++m) {
+      bytes[rng.Uniform(bytes.size())] = static_cast<uint8_t>(rng.Next64());
+    }
+    auto decoded = DecodeTokens(Slice(bytes));
+    if (decoded.ok()) {
+      EXPECT_EQ(EncodeTokens(*decoded), bytes);
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, XmlParserNeverCrashesOnGarbage) {
+  Random rng(3);
+  static const char kSoup[] = "<>/=\"'abcdef &;!?-[]";
+  for (int i = 0; i < 3000; ++i) {
+    std::string text;
+    size_t len = rng.Uniform(120) + 1;
+    for (size_t k = 0; k < len; ++k) {
+      text.push_back(kSoup[rng.Uniform(sizeof(kSoup) - 1)]);
+    }
+    auto parsed = ParseFragment(text);
+    if (parsed.ok()) {
+      // Accepted inputs produce well-formed, serializable fragments.
+      EXPECT_TRUE(CheckWellFormedFragment(*parsed).ok()) << text;
+      EXPECT_TRUE(SerializeTokens(*parsed).ok()) << text;
+    } else {
+      EXPECT_TRUE(parsed.status().IsParseError()) << text;
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, XmlRoundTripOnGeneratedDocuments) {
+  Random rng(4);
+  for (int i = 0; i < 50; ++i) {
+    // Escape-heavy content.
+    std::string value;
+    static const char kChars[] = "<>&\"' abc\n\t";
+    for (int k = 0; k < 40; ++k) {
+      value.push_back(kChars[rng.Uniform(sizeof(kChars) - 1)]);
+    }
+    TokenSequence doc = SequenceBuilder()
+                            .BeginElement("e")
+                            .Attribute("a", value)
+                            .Text(value)
+                            .End()
+                            .Build();
+    ASSERT_OK_AND_ASSIGN(std::string xml, SerializeTokens(doc));
+    ASSERT_OK_AND_ASSIGN(TokenSequence back, ParseFragment(xml));
+    EXPECT_EQ(back, doc) << xml;
+  }
+}
+
+TEST(FuzzRobustnessTest, WalDecoderNeverCrashesOnGarbage) {
+  Random rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<uint8_t> bytes = RandomBytes(&rng, 300);
+    const uint8_t* p = bytes.data();
+    WalRecord record;
+    // Any status is fine; the CRC gate makes acceptance of random bytes
+    // astronomically unlikely, and nothing may crash.
+    Status st = DecodeWalRecord(&p, bytes.data() + bytes.size(), &record);
+    if (st.ok()) {
+      EXPECT_LE(p, bytes.data() + bytes.size());
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, OrdpathDecoderNeverCrashesOnGarbage) {
+  Random rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> bytes = RandomBytes(&rng, 40);
+    auto decoded = OrdpathLabel::Decode(bytes);
+    if (decoded.ok()) {
+      // Accepted labels re-encode canonically... note varints are
+      // canonical here, so the round trip is exact when all bytes were
+      // consumed; otherwise decode simply ignored a suffix, which the
+      // API permits. Just exercise Encode for crashes.
+      (void)decoded->Encode();
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, XPathParserNeverCrashesOnGarbage) {
+  Random rng(7);
+  static const char kSoup[] = "/@*[]='abc()0123 ";
+  for (int i = 0; i < 3000; ++i) {
+    std::string expr;
+    size_t len = rng.Uniform(40) + 1;
+    for (size_t k = 0; k < len; ++k) {
+      expr.push_back(kSoup[rng.Uniform(sizeof(kSoup) - 1)]);
+    }
+    // Must return ok or ParseError; anything else (or a crash) fails.
+    auto parsed = ParseXPath(expr);
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsParseError()) << expr;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace laxml

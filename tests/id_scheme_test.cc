@@ -1,0 +1,62 @@
+// Identifier scheme tests: the idFactory property and id regeneration
+// (paper Section 6.1).
+
+#include "ids/id_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+
+TEST(MonotonicIdSchemeTest, OnlyNodeBeginsConsumeIds) {
+  MonotonicIdScheme scheme;
+  EXPECT_EQ(scheme.IdFor(5, Token::BeginElement("a")), 6u);
+  EXPECT_EQ(scheme.IdFor(5, Token::Text("t")), 6u);
+  EXPECT_EQ(scheme.IdFor(5, Token::Comment("c")), 6u);
+  EXPECT_EQ(scheme.IdFor(5, Token::PI("p", "d")), 6u);
+  EXPECT_EQ(scheme.IdFor(5, Token::BeginAttribute("x", "v")), 6u);
+  EXPECT_EQ(scheme.IdFor(5, Token::EndElement()), kInvalidNodeId);
+  EXPECT_EQ(scheme.IdFor(5, Token::EndAttribute()), kInvalidNodeId);
+}
+
+TEST(MonotonicIdSchemeTest, AdvanceSkipsEndTokens) {
+  MonotonicIdScheme scheme;
+  EXPECT_EQ(scheme.Advance(5, Token::EndElement()), 5u);
+  EXPECT_EQ(scheme.Advance(5, Token::BeginElement("x")), 6u);
+}
+
+TEST(RegenerateIdTest, MatchesPaperFigure1) {
+  // <ticket><hour>15</hour><name>Paul</name></ticket>:
+  // ids 1..5 on the begin tokens, none on ends.
+  TokenSequence seq = MustFragment(
+      "<ticket><hour>15</hour><name>Paul</name></ticket>");
+  MonotonicIdScheme scheme;
+  NodeId expected[] = {1, 2, 3, kInvalidNodeId, 4, 5,
+                       kInvalidNodeId, kInvalidNodeId};
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(RegenerateIdAt(scheme, 0, seq, i), expected[i])
+        << "token " << i;
+  }
+}
+
+TEST(RegenerateIdTest, StartsFromRangeStart) {
+  // A range whose first id is 101 (the paper's post-split example).
+  TokenSequence seq = MustFragment("<a><b/></a>");
+  MonotonicIdScheme scheme;
+  EXPECT_EQ(RegenerateIdAt(scheme, 100, seq, 0), 101u);
+  EXPECT_EQ(RegenerateIdAt(scheme, 100, seq, 1), 102u);
+  EXPECT_EQ(RegenerateIdAt(scheme, 100, seq, 2), kInvalidNodeId);
+}
+
+TEST(RegenerateIdTest, OutOfRangeIndexIsInvalid) {
+  TokenSequence seq = MustFragment("<a/>");
+  MonotonicIdScheme scheme;
+  EXPECT_EQ(RegenerateIdAt(scheme, 0, seq, 99), kInvalidNodeId);
+}
+
+}  // namespace
+}  // namespace laxml

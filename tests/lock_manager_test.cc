@@ -1,0 +1,159 @@
+// Lock manager tests: the multi-granularity compatibility matrix,
+// upgrades, hierarchical discipline, contention across real threads, and
+// timeout-based deadlock resolution.
+
+#include "concurrency/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+TEST(LockCompatibilityTest, MatrixIsTheClassicOne) {
+  using M = LockMode;
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kIS));
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kIX));
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kS));
+  EXPECT_FALSE(LockCompatible(M::kIS, M::kX));
+  EXPECT_TRUE(LockCompatible(M::kIX, M::kIX));
+  EXPECT_FALSE(LockCompatible(M::kIX, M::kS));
+  EXPECT_FALSE(LockCompatible(M::kIX, M::kX));
+  EXPECT_TRUE(LockCompatible(M::kS, M::kS));
+  EXPECT_FALSE(LockCompatible(M::kS, M::kX));
+  EXPECT_FALSE(LockCompatible(M::kX, M::kIS));
+  EXPECT_FALSE(LockCompatible(M::kX, M::kX));
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager manager;
+  auto r = LockResource::Range(1);
+  ASSERT_LAXML_OK(manager.Acquire(1, r, LockMode::kS));
+  ASSERT_LAXML_OK(manager.Acquire(2, r, LockMode::kS));
+  EXPECT_EQ(manager.HeldCount(1), 1u);
+  EXPECT_EQ(manager.HeldCount(2), 1u);
+  manager.ReleaseAll(1);
+  manager.ReleaseAll(2);
+  EXPECT_EQ(manager.HeldCount(1), 0u);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksUntilTimeout) {
+  LockManager manager(std::chrono::milliseconds(50));
+  auto r = LockResource::Range(1);
+  ASSERT_LAXML_OK(manager.Acquire(1, r, LockMode::kX));
+  Status st = manager.Acquire(2, r, LockMode::kS);
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_GE(manager.stats().timeouts, 1u);
+}
+
+TEST(LockManagerTest, UpgradeSToX) {
+  LockManager manager(std::chrono::milliseconds(50));
+  auto r = LockResource::Range(9);
+  ASSERT_LAXML_OK(manager.Acquire(1, r, LockMode::kS));
+  ASSERT_LAXML_OK(manager.Acquire(1, r, LockMode::kX));  // upgrade
+  EXPECT_EQ(manager.HeldCount(1), 1u);  // one lock, strongest mode
+  // Another txn cannot even share now.
+  EXPECT_TRUE(manager.Acquire(2, r, LockMode::kS).IsAborted());
+}
+
+TEST(LockManagerTest, ReacquireWeakerIsNoop) {
+  LockManager manager;
+  auto doc = LockResource::Document();
+  ASSERT_LAXML_OK(manager.Acquire(1, doc, LockMode::kX));
+  ASSERT_LAXML_OK(manager.Acquire(1, doc, LockMode::kS));
+  ASSERT_LAXML_OK(manager.Acquire(1, doc, LockMode::kIS));
+  EXPECT_EQ(manager.HeldCount(1), 1u);
+}
+
+TEST(LockManagerTest, HierarchicalIntentProtocol) {
+  // Writer: IX on document + X on range 5.
+  // Reader of range 6: IS on document + S on range 6 — compatible.
+  // Reader of range 5: blocked.
+  LockManager manager(std::chrono::milliseconds(50));
+  ASSERT_LAXML_OK(manager.Acquire(1, LockResource::Document(), LockMode::kIX));
+  ASSERT_LAXML_OK(manager.Acquire(1, LockResource::Range(5), LockMode::kX));
+
+  ASSERT_LAXML_OK(manager.Acquire(2, LockResource::Document(), LockMode::kIS));
+  ASSERT_LAXML_OK(manager.Acquire(2, LockResource::Range(6), LockMode::kS));
+
+  ASSERT_LAXML_OK(manager.Acquire(3, LockResource::Document(), LockMode::kIS));
+  EXPECT_TRUE(manager.Acquire(3, LockResource::Range(5), LockMode::kS)
+                  .IsAborted());
+
+  // Document-level S (a full scan) is blocked by the writer's IX.
+  EXPECT_TRUE(manager.Acquire(4, LockResource::Document(), LockMode::kS)
+                  .IsAborted());
+  manager.ReleaseAll(1);
+  ASSERT_LAXML_OK(manager.Acquire(4, LockResource::Document(), LockMode::kS));
+}
+
+TEST(LockManagerTest, WaiterWakesWhenHolderReleases) {
+  LockManager manager(std::chrono::milliseconds(2000));
+  auto r = LockResource::Range(1);
+  ASSERT_LAXML_OK(manager.Acquire(1, r, LockMode::kX));
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    Status st = manager.Acquire(2, r, LockMode::kX);
+    if (st.ok()) acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired.load());
+  manager.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GE(manager.stats().waits, 1u);
+}
+
+TEST(LockManagerTest, ManyThreadsCountingUnderX) {
+  // Classic mutual-exclusion check: a shared counter incremented only
+  // under the X lock must not lose updates.
+  LockManager manager(std::chrono::milliseconds(5000));
+  auto r = LockResource::Range(1);
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        TxnId txn = static_cast<TxnId>(t) * 100000 + i + 1;
+        Status st = manager.Acquire(txn, r, LockMode::kX);
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        int v = counter;
+        std::this_thread::yield();
+        counter = v + 1;
+        manager.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kRounds);
+}
+
+TEST(LockManagerTest, LockScopeReleasesOnDestruction) {
+  LockManager manager;
+  {
+    LockScope scope(&manager, 1);
+    ASSERT_LAXML_OK(scope.Acquire(LockResource::Document(), LockMode::kIX));
+    ASSERT_LAXML_OK(scope.Acquire(LockResource::Range(3), LockMode::kX));
+    EXPECT_EQ(manager.HeldCount(1), 2u);
+  }
+  EXPECT_EQ(manager.HeldCount(1), 0u);
+  // The resource is free again.
+  ASSERT_LAXML_OK(manager.Acquire(2, LockResource::Range(3), LockMode::kX));
+}
+
+TEST(LockManagerTest, ReleaseErrors) {
+  LockManager manager;
+  EXPECT_TRUE(manager.Release(1, LockResource::Range(1)).IsNotFound());
+  ASSERT_LAXML_OK(manager.Acquire(1, LockResource::Range(1), LockMode::kS));
+  EXPECT_TRUE(manager.Release(2, LockResource::Range(1)).IsNotFound());
+  ASSERT_LAXML_OK(manager.Release(1, LockResource::Range(1)));
+}
+
+}  // namespace
+}  // namespace laxml

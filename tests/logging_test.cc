@@ -1,0 +1,56 @@
+// Logging module tests: level filtering and the stream macro.
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace laxml {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MacroCompilesAndFilters) {
+  SetLogLevel(LogLevel::kError);
+  // Below-threshold messages are discarded without evaluating side
+  // effects in the guarded stream (the macro's `if` guard).
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  LAXML_LOG(kDebug) << touch();
+  EXPECT_EQ(evaluations, 0);
+  // At-threshold messages do evaluate (they go to stderr).
+  ::testing::internal::CaptureStderr();
+  LAXML_LOG(kError) << "count=" << 42 << touch();
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("count=42x"), std::string::npos);
+  EXPECT_NE(err.find("ERROR"), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, InfoSuppressedAtWarnLevel) {
+  SetLogLevel(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  LAXML_LOG(kInfo) << "should not appear";
+  LAXML_LOG(kWarn) << "should appear";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace laxml

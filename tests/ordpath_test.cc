@@ -1,0 +1,152 @@
+// ORDPATH tests: ordering, levels, careting-in (Between), and the
+// headline property — unbounded insertion at any position without
+// relabeling any existing node.
+
+#include "ids/ordpath.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+
+OrdpathLabel O(std::vector<int64_t> c) {
+  return OrdpathLabel(std::move(c));
+}
+
+TEST(OrdpathTest, DocumentOrderComparison) {
+  EXPECT_LT(O({1}), O({3}));
+  EXPECT_LT(O({1}), O({1, 1}));  // ancestor first
+  EXPECT_LT(O({1, 5}), O({1, 6, 1}));
+  EXPECT_LT(O({1, 6, 1}), O({1, 7}));
+  EXPECT_LT(O({1, -3}), O({1, 1}));  // negative ordinals sort before
+  EXPECT_EQ(O({1, 5}).Compare(O({1, 5})), 0);
+}
+
+TEST(OrdpathTest, LevelCountsOnlyOddComponents) {
+  EXPECT_EQ(O({1}).Level(), 1u);
+  EXPECT_EQ(O({1, 5}).Level(), 2u);
+  EXPECT_EQ(O({1, 6, 1}).Level(), 2u);  // 6 is a caret
+  EXPECT_EQ(O({1, 6, 1, 3}).Level(), 3u);
+  EXPECT_EQ(O({1, -3}).Level(), 2u);  // -3 is odd
+}
+
+TEST(OrdpathTest, AncestryRespectsCarets) {
+  EXPECT_TRUE(O({1}).IsAncestorOf(O({1, 5})));
+  EXPECT_TRUE(O({1}).IsAncestorOf(O({1, 6, 1})));
+  // A caret extension at the same level is NOT a descendant.
+  EXPECT_FALSE(O({1, 5}).IsAncestorOf(O({1, 6, 1})));
+  EXPECT_TRUE(O({1, 6, 1}).IsAncestorOf(O({1, 6, 1, 1})));
+}
+
+TEST(OrdpathTest, SiblingGeneration) {
+  OrdpathLabel first = OrdpathLabel::FirstChild(OrdpathLabel::Root());
+  EXPECT_EQ(first, O({1, 1}));
+  OrdpathLabel second = OrdpathLabel::NextSibling(first);
+  EXPECT_EQ(second, O({1, 3}));
+  OrdpathLabel before = OrdpathLabel::PrevSibling(first);
+  EXPECT_EQ(before, O({1, -1}));
+  EXPECT_LT(before, first);
+  EXPECT_EQ(before.Level(), first.Level());
+}
+
+TEST(OrdpathTest, BetweenWideGapPicksOdd) {
+  ASSERT_OK_AND_ASSIGN(OrdpathLabel mid,
+                       OrdpathLabel::Between(O({1, 1}), O({1, 7})));
+  EXPECT_LT(O({1, 1}), mid);
+  EXPECT_LT(mid, O({1, 7}));
+  EXPECT_EQ(mid.Level(), 2u);
+}
+
+TEST(OrdpathTest, BetweenAdjacentOddsCarets) {
+  // The classic case: between 1.5 and 1.7 -> 1.6.1.
+  ASSERT_OK_AND_ASSIGN(OrdpathLabel caret,
+                       OrdpathLabel::Between(O({1, 5}), O({1, 7})));
+  EXPECT_EQ(caret, O({1, 6, 1}));
+  EXPECT_EQ(caret.Level(), 2u);
+}
+
+TEST(OrdpathTest, BetweenHandlesCaretNeighbors) {
+  // Between 1.5 and 1.6.1 and between 1.6.1 and 1.7.
+  ASSERT_OK_AND_ASSIGN(OrdpathLabel below,
+                       OrdpathLabel::Between(O({1, 5}), O({1, 6, 1})));
+  EXPECT_LT(O({1, 5}), below);
+  EXPECT_LT(below, O({1, 6, 1}));
+  EXPECT_EQ(below.Level(), 2u);
+  ASSERT_OK_AND_ASSIGN(OrdpathLabel above,
+                       OrdpathLabel::Between(O({1, 6, 1}), O({1, 7})));
+  EXPECT_LT(O({1, 6, 1}), above);
+  EXPECT_LT(above, O({1, 7}));
+  EXPECT_EQ(above.Level(), 2u);
+}
+
+TEST(OrdpathTest, BetweenRejectsBadInput) {
+  EXPECT_TRUE(OrdpathLabel::Between(O({1, 5}), O({1, 5}))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(OrdpathLabel::Between(O({1, 7}), O({1, 5}))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(OrdpathLabel::Between(O({1}), O({1, 5}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(OrdpathTest, RepeatedMidInsertsNeverRelabel) {
+  // The insert-friendliness property: keep inserting between the same
+  // two siblings; every label stays valid and strictly ordered, and no
+  // existing label ever changes.
+  std::vector<OrdpathLabel> siblings{O({1, 1}), O({1, 3})};
+  Random rng(99);
+  for (int i = 0; i < 300; ++i) {
+    size_t gap = rng.Uniform(siblings.size() - 1);
+    auto mid = OrdpathLabel::Between(siblings[gap], siblings[gap + 1]);
+    ASSERT_TRUE(mid.ok()) << "after " << i << " inserts between "
+                          << siblings[gap].ToString() << " and "
+                          << siblings[gap + 1].ToString() << ": "
+                          << mid.status().ToString();
+    EXPECT_EQ(mid->Level(), 2u);
+    siblings.insert(siblings.begin() + gap + 1, std::move(mid).value());
+  }
+  for (size_t i = 1; i < siblings.size(); ++i) {
+    EXPECT_LT(siblings[i - 1], siblings[i]) << "position " << i;
+  }
+}
+
+TEST(OrdpathTest, EncodeDecodeRoundTrips) {
+  for (const OrdpathLabel& label :
+       {O({1}), O({1, 6, 1}), O({1, -3, 2, 1}), O({1, 1000000, 1})}) {
+    ASSERT_OK_AND_ASSIGN(OrdpathLabel back,
+                         OrdpathLabel::Decode(label.Encode()));
+    EXPECT_EQ(back, label);
+  }
+}
+
+TEST(OrdpathTest, AssignLabelsFollowsStructure) {
+  TokenSequence seq = MustFragment("<a><b/>t</a><c/>");
+  // Nodes: a, b, t, c.
+  std::vector<OrdpathLabel> labels =
+      AssignOrdpathLabels(seq, OrdpathLabel::Root());
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], O({1, 1}));     // a
+  EXPECT_EQ(labels[1], O({1, 1, 1})); // b
+  EXPECT_EQ(labels[2], O({1, 1, 3})); // t
+  EXPECT_EQ(labels[3], O({1, 3}));    // c
+  EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end(),
+                             [](const OrdpathLabel& x,
+                                const OrdpathLabel& y) { return x < y; }));
+}
+
+TEST(OrdpathTest, ToStringReadable) {
+  EXPECT_EQ(O({1, 6, 1}).ToString(), "1.6.1");
+  EXPECT_EQ(O({1, -3}).ToString(), "1.-3");
+}
+
+}  // namespace
+}  // namespace laxml

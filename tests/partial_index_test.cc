@@ -1,0 +1,140 @@
+// Partial (lazy) index tests: memoization, the cache half of its
+// personality (LRU, bounded capacity), and the index half (invalidation
+// on range mutations).
+
+#include "index/partial_index.h"
+
+#include <gtest/gtest.h>
+
+namespace laxml {
+namespace {
+
+TEST(PartialIndexTest, StartsEmptyAndMisses) {
+  PartialIndex index(16);
+  EXPECT_EQ(index.Lookup(1), nullptr);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.stats().lookups, 1u);
+  EXPECT_EQ(index.stats().hits, 0u);
+}
+
+TEST(PartialIndexTest, RecordsBeginAndEndIndependently) {
+  PartialIndex index(16);
+  index.RecordBegin(60, /*range=*/1, /*offset=*/120, /*token=*/7);
+  const PartialEntry* e = index.Lookup(60);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->has_begin);
+  EXPECT_FALSE(e->has_end);
+  EXPECT_EQ(e->begin_range, 1u);
+  EXPECT_EQ(e->begin_offset, 120u);
+  index.RecordEnd(60, /*range=*/3, /*offset=*/0, /*token=*/0,
+                  /*begins_before=*/0);
+  e = index.Lookup(60);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->has_begin);
+  EXPECT_TRUE(e->has_end);
+  EXPECT_EQ(e->end_range, 3u);
+}
+
+TEST(PartialIndexTest, ZeroCapacityDisablesEverything) {
+  PartialIndex index(0);
+  EXPECT_FALSE(index.enabled());
+  index.RecordBegin(1, 1, 0, 0);
+  EXPECT_EQ(index.Lookup(1), nullptr);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.stats().lookups, 0u);  // disabled lookups don't count
+}
+
+TEST(PartialIndexTest, LruEvictionAtCapacity) {
+  PartialIndex index(4);
+  for (NodeId id = 1; id <= 4; ++id) {
+    index.RecordBegin(id, 1, static_cast<uint32_t>(id), 0);
+  }
+  EXPECT_EQ(index.size(), 4u);
+  // Touch 1 so it is most recent; inserting 5 evicts 2 (the LRU).
+  EXPECT_NE(index.Lookup(1), nullptr);
+  index.RecordBegin(5, 1, 5, 0);
+  EXPECT_EQ(index.size(), 4u);
+  EXPECT_NE(index.Lookup(1), nullptr);
+  EXPECT_EQ(index.Lookup(2), nullptr);
+  EXPECT_NE(index.Lookup(5), nullptr);
+  EXPECT_GE(index.stats().evictions, 1u);
+}
+
+TEST(PartialIndexTest, InvalidateRangeDropsStaleHalves) {
+  PartialIndex index(16);
+  index.RecordBegin(60, 1, 100, 5);
+  index.RecordEnd(60, 3, 0, 0, 0);
+  index.RecordBegin(70, 1, 200, 9);
+  // Range 1 split: every offset into it is stale.
+  index.InvalidateRange(1);
+  const PartialEntry* e60 = index.Lookup(60);
+  ASSERT_NE(e60, nullptr);  // survives: its end half points at range 3
+  EXPECT_FALSE(e60->has_begin);
+  EXPECT_TRUE(e60->has_end);
+  EXPECT_EQ(index.Lookup(70), nullptr);  // fully stale, dropped
+}
+
+TEST(PartialIndexTest, InvalidateRangeWithBothHalvesInIt) {
+  PartialIndex index(16);
+  index.RecordBegin(5, 2, 10, 1);
+  index.RecordEnd(5, 2, 90, 8, 3);
+  index.InvalidateRange(2);
+  EXPECT_EQ(index.Lookup(5), nullptr);
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(PartialIndexTest, InvalidateSingleNode) {
+  PartialIndex index(16);
+  index.RecordBegin(1, 1, 0, 0);
+  index.RecordBegin(2, 1, 10, 1);
+  index.Invalidate(1);
+  EXPECT_EQ(index.Lookup(1), nullptr);
+  EXPECT_NE(index.Lookup(2), nullptr);
+}
+
+TEST(PartialIndexTest, ReRecordingUnderNewRange) {
+  PartialIndex index(16);
+  index.RecordBegin(60, 1, 100, 5);
+  // After a split the node begins range 4 at offset 0.
+  index.RecordBegin(60, 4, 0, 0);
+  const PartialEntry* e = index.Lookup(60);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->begin_range, 4u);
+  // Invalidating the old range must not kill the fresh entry.
+  index.InvalidateRange(1);
+  e = index.Lookup(60);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->has_begin);
+  EXPECT_EQ(e->begin_range, 4u);
+}
+
+TEST(PartialIndexTest, ClearResetsEverything) {
+  PartialIndex index(16);
+  index.RecordBegin(1, 1, 0, 0);
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.Lookup(1), nullptr);
+}
+
+TEST(PartialIndexTest, TableStringShape) {
+  // Paper Table 4: node 60 with begin in range 1, end in range 3.
+  PartialIndex index(16);
+  index.RecordBegin(60, 1, 0, 0);
+  index.RecordEnd(60, 3, 0, 0, 0);
+  std::string table = index.ToTableString();
+  EXPECT_NE(table.find("NodeID"), std::string::npos);
+  EXPECT_NE(table.find("60  1  3"), std::string::npos);
+}
+
+TEST(PartialIndexTest, HitRateAccounting) {
+  PartialIndex index(16);
+  index.RecordBegin(1, 1, 0, 0);
+  (void)index.Lookup(1);
+  (void)index.Lookup(1);
+  (void)index.Lookup(2);
+  EXPECT_EQ(index.stats().lookups, 3u);
+  EXPECT_EQ(index.stats().hits, 2u);
+}
+
+}  // namespace
+}  // namespace laxml

@@ -1,0 +1,117 @@
+// Range Index tests: the coarse interval map of paper Section 4.3 —
+// disjointness enforcement, interval lookup, truncation on splits.
+
+#include "index/range_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+TEST(RangeIndexTest, LookupWithinIntervals) {
+  RangeIndex index;
+  ASSERT_LAXML_OK(index.Insert(1, 100, 11));
+  ASSERT_LAXML_OK(index.Insert(101, 140, 22));
+  ASSERT_OK_AND_ASSIGN(RangeId r, index.Lookup(1));
+  EXPECT_EQ(r, 11u);
+  ASSERT_OK_AND_ASSIGN(r, index.Lookup(60));
+  EXPECT_EQ(r, 11u);
+  ASSERT_OK_AND_ASSIGN(r, index.Lookup(100));
+  EXPECT_EQ(r, 11u);
+  ASSERT_OK_AND_ASSIGN(r, index.Lookup(101));
+  EXPECT_EQ(r, 22u);
+  ASSERT_OK_AND_ASSIGN(r, index.Lookup(140));
+  EXPECT_EQ(r, 22u);
+}
+
+TEST(RangeIndexTest, MissesOutsideAndInGaps) {
+  RangeIndex index;
+  ASSERT_LAXML_OK(index.Insert(10, 20, 1));
+  ASSERT_LAXML_OK(index.Insert(30, 40, 2));
+  EXPECT_TRUE(index.Lookup(5).status().IsNotFound());
+  EXPECT_TRUE(index.Lookup(25).status().IsNotFound());
+  EXPECT_TRUE(index.Lookup(41).status().IsNotFound());
+}
+
+TEST(RangeIndexTest, OverlapsRejected) {
+  RangeIndex index;
+  ASSERT_LAXML_OK(index.Insert(10, 20, 1));
+  EXPECT_TRUE(index.Insert(20, 30, 2).IsInvalidArgument());
+  EXPECT_TRUE(index.Insert(5, 10, 3).IsInvalidArgument());
+  EXPECT_TRUE(index.Insert(12, 18, 4).IsInvalidArgument());
+  EXPECT_TRUE(index.Insert(5, 30, 5).IsInvalidArgument());
+  ASSERT_LAXML_OK(index.Insert(21, 30, 6));
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(RangeIndexTest, BadIntervalsRejected) {
+  RangeIndex index;
+  EXPECT_TRUE(index.Insert(kInvalidNodeId, 5, 1).IsInvalidArgument());
+  EXPECT_TRUE(index.Insert(10, 9, 1).IsInvalidArgument());
+  ASSERT_LAXML_OK(index.Insert(7, 7, 1));  // single-id interval is fine
+  ASSERT_OK_AND_ASSIGN(RangeId r, index.Lookup(7));
+  EXPECT_EQ(r, 1u);
+}
+
+TEST(RangeIndexTest, TruncateShrinksInterval) {
+  // The split flow of Tables 2-3: [1,100] becomes [1,60] + [61,100].
+  RangeIndex index;
+  ASSERT_LAXML_OK(index.Insert(1, 100, 1));
+  ASSERT_LAXML_OK(index.Truncate(1, 60));
+  ASSERT_LAXML_OK(index.Insert(61, 100, 3));
+  ASSERT_OK_AND_ASSIGN(RangeId r, index.Lookup(60));
+  EXPECT_EQ(r, 1u);
+  ASSERT_OK_AND_ASSIGN(r, index.Lookup(61));
+  EXPECT_EQ(r, 3u);
+  EXPECT_TRUE(index.Truncate(99, 100).IsNotFound());
+  EXPECT_TRUE(index.Truncate(1, 200).IsInvalidArgument());
+}
+
+TEST(RangeIndexTest, EraseRemoves) {
+  RangeIndex index;
+  ASSERT_LAXML_OK(index.Insert(1, 10, 1));
+  ASSERT_LAXML_OK(index.Erase(1));
+  EXPECT_TRUE(index.Lookup(5).status().IsNotFound());
+  EXPECT_TRUE(index.Erase(1).IsNotFound());
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(RangeIndexTest, StatsCountHitsAndMisses) {
+  RangeIndex index;
+  ASSERT_LAXML_OK(index.Insert(1, 10, 1));
+  (void)index.Lookup(5);
+  (void)index.Lookup(50);
+  EXPECT_EQ(index.stats().lookups, 2u);
+  EXPECT_EQ(index.stats().hits, 1u);
+  EXPECT_EQ(index.stats().inserts, 1u);
+}
+
+TEST(RangeIndexTest, TableStringMatchesPaperShape) {
+  RangeIndex index;
+  ASSERT_LAXML_OK(index.Insert(1, 60, 1));
+  ASSERT_LAXML_OK(index.Insert(101, 140, 2));
+  ASSERT_LAXML_OK(index.Insert(61, 100, 3));
+  std::string table = index.ToTableString();
+  // Ordered by start id, like Tables 2-3.
+  EXPECT_EQ(table,
+            "RangeId  StartId  EndId\n"
+            "1  1  60\n"
+            "3  61  100\n"
+            "2  101  140\n");
+}
+
+TEST(RangeIndexTest, ForEachVisitsInStartOrder) {
+  RangeIndex index;
+  ASSERT_LAXML_OK(index.Insert(50, 60, 5));
+  ASSERT_LAXML_OK(index.Insert(1, 10, 1));
+  std::vector<RangeId> visited;
+  index.ForEach([&](const RangeIndex::Entry& e) {
+    visited.push_back(e.range_id);
+  });
+  EXPECT_EQ(visited, (std::vector<RangeId>{1, 5}));
+}
+
+}  // namespace
+}  // namespace laxml

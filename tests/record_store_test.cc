@@ -1,0 +1,166 @@
+// Record store tests: inline and overflow records, updates that
+// relocate, deletion with page release, partial reads, and reopen.
+
+#include "storage/record_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+class RecordStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PagerOptions options;
+    options.page_size = 512;
+    options.pool_frames = 16;
+    auto pager = Pager::OpenInMemory(options);
+    ASSERT_TRUE(pager.ok());
+    pager_ = std::move(pager).value();
+    auto store = RecordStore::Create(pager_.get());
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+  }
+
+  std::string ReadString(RecordId id) {
+    auto r = store_->Read(id);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::string(r->begin(), r->end()) : "";
+  }
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<RecordStore> store_;
+};
+
+TEST_F(RecordStoreTest, SmallRecordsRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(RecordId a, store_->Insert(Slice(std::string("aa"))));
+  ASSERT_OK_AND_ASSIGN(RecordId b,
+                       store_->Insert(Slice(std::string("bbbb"))));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ReadString(a), "aa");
+  EXPECT_EQ(ReadString(b), "bbbb");
+  ASSERT_OK_AND_ASSIGN(uint32_t len, store_->Length(b));
+  EXPECT_EQ(len, 4u);
+}
+
+TEST_F(RecordStoreTest, LargeRecordUsesOverflowChain) {
+  std::string big(5000, 'B');  // ~10 pages at 512B
+  for (size_t i = 0; i < big.size(); ++i) big[i] = 'A' + (i % 26);
+  ASSERT_OK_AND_ASSIGN(RecordId id, store_->Insert(Slice(big)));
+  EXPECT_EQ(ReadString(id), big);
+  EXPECT_GE(store_->stats().overflow_records, 1u);
+}
+
+TEST_F(RecordStoreTest, ReadPrefixAndSlice) {
+  std::string data;
+  for (int i = 0; i < 3000; ++i) data.push_back('a' + (i % 26));
+  ASSERT_OK_AND_ASSIGN(RecordId id, store_->Insert(Slice(data)));
+  ASSERT_OK_AND_ASSIGN(auto prefix, store_->ReadPrefix(id, 10));
+  EXPECT_EQ(std::string(prefix.begin(), prefix.end()), data.substr(0, 10));
+  // Slices at various offsets, including spanning overflow pages.
+  for (size_t off : {0ul, 100ul, 490ul, 500ul, 1500ul, 2990ul}) {
+    ASSERT_OK_AND_ASSIGN(auto slice, store_->ReadSlice(id, off, 40));
+    EXPECT_EQ(std::string(slice.begin(), slice.end()),
+              data.substr(off, 40))
+        << "offset " << off;
+  }
+  // Past-the-end slice is empty; over-long slice is clamped.
+  ASSERT_OK_AND_ASSIGN(auto past, store_->ReadSlice(id, 5000, 10));
+  EXPECT_TRUE(past.empty());
+  ASSERT_OK_AND_ASSIGN(auto clamped, store_->ReadSlice(id, 2995, 100));
+  EXPECT_EQ(clamped.size(), 5u);
+}
+
+TEST_F(RecordStoreTest, UpdateInPlaceAndRelocating) {
+  ASSERT_OK_AND_ASSIGN(RecordId id,
+                       store_->Insert(Slice(std::string("start"))));
+  ASSERT_LAXML_OK(store_->Update(id, Slice(std::string("st"))));
+  EXPECT_EQ(ReadString(id), "st");
+  std::string big(2000, 'G');
+  ASSERT_LAXML_OK(store_->Update(id, Slice(big)));
+  EXPECT_EQ(ReadString(id), big);
+  ASSERT_LAXML_OK(store_->Update(id, Slice(std::string("small again"))));
+  EXPECT_EQ(ReadString(id), "small again");
+}
+
+TEST_F(RecordStoreTest, DeleteRemovesAndFreesPages) {
+  std::string big(4000, 'D');
+  ASSERT_OK_AND_ASSIGN(RecordId id, store_->Insert(Slice(big)));
+  uint32_t used_before = pager_->page_count() - pager_->free_page_count();
+  ASSERT_LAXML_OK(store_->Delete(id));
+  EXPECT_TRUE(store_->Read(id).status().IsNotFound());
+  EXPECT_TRUE(store_->Delete(id).IsNotFound());
+  uint32_t used_after = pager_->page_count() - pager_->free_page_count();
+  EXPECT_LT(used_after, used_before);  // overflow pages returned
+}
+
+TEST_F(RecordStoreTest, IdsAreNeverReused) {
+  ASSERT_OK_AND_ASSIGN(RecordId a, store_->Insert(Slice(std::string("x"))));
+  ASSERT_LAXML_OK(store_->Delete(a));
+  ASSERT_OK_AND_ASSIGN(RecordId b, store_->Insert(Slice(std::string("y"))));
+  EXPECT_GT(b, a);
+}
+
+TEST_F(RecordStoreTest, ManyRecordsAcrossPages) {
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 300; ++i) {
+    std::string payload = "record-" + std::to_string(i) + "-" +
+                          std::string(i % 50, 'p');
+    ASSERT_OK_AND_ASSIGN(RecordId id, store_->Insert(Slice(payload)));
+    ids.push_back(id);
+  }
+  EXPECT_GT(store_->stats().data_pages, 5u);
+  for (int i = 0; i < 300; ++i) {
+    std::string expected = "record-" + std::to_string(i) + "-" +
+                           std::string(i % 50, 'p');
+    EXPECT_EQ(ReadString(ids[i]), expected);
+  }
+  ASSERT_OK_AND_ASSIGN(bool exists, store_->Exists(ids[17]));
+  EXPECT_TRUE(exists);
+}
+
+TEST_F(RecordStoreTest, StateSurvivesReopen) {
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        RecordId id,
+        store_->Insert(Slice("v" + std::to_string(i))));
+    ids.push_back(id);
+  }
+  ASSERT_LAXML_OK(store_->Delete(ids[5]));
+  RecordStoreState state = store_->state();
+  store_.reset();
+
+  ASSERT_OK_AND_ASSIGN(store_, RecordStore::Open(pager_.get(), state));
+  EXPECT_EQ(ReadString(ids[0]), "v0");
+  EXPECT_EQ(ReadString(ids[39]), "v39");
+  EXPECT_TRUE(store_->Read(ids[5]).status().IsNotFound());
+  // Free space map was rebuilt: inserts land on existing pages.
+  uint64_t pages_before = store_->stats().data_pages;
+  ASSERT_OK_AND_ASSIGN(RecordId fresh,
+                       store_->Insert(Slice(std::string("tiny"))));
+  EXPECT_EQ(ReadString(fresh), "tiny");
+  EXPECT_EQ(store_->stats().data_pages, pages_before);
+}
+
+TEST_F(RecordStoreTest, PageOfReportsAnchor) {
+  ASSERT_OK_AND_ASSIGN(RecordId id, store_->Insert(Slice(std::string("z"))));
+  ASSERT_OK_AND_ASSIGN(PageId page, store_->PageOf(id));
+  EXPECT_NE(page, kInvalidPageId);
+  EXPECT_NE(page, 0u);
+}
+
+TEST_F(RecordStoreTest, EmptyPayloadRecord) {
+  ASSERT_OK_AND_ASSIGN(RecordId id, store_->Insert(Slice()));
+  ASSERT_OK_AND_ASSIGN(auto data, store_->Read(id));
+  EXPECT_TRUE(data.empty());
+  ASSERT_OK_AND_ASSIGN(uint32_t len, store_->Length(id));
+  EXPECT_EQ(len, 0u);
+}
+
+}  // namespace
+}  // namespace laxml

@@ -1,0 +1,161 @@
+// A deliberately naive, obviously-correct reference implementation of
+// the Store's Table-1 semantics: one flat std::vector<Token> plus a
+// monotonically increasing id counter, with every operation done by
+// brute-force splicing. The model-based property test drives the real
+// Store and this model with the same operation stream and requires
+// byte-identical results.
+
+#ifndef LAXML_TESTS_REFERENCE_MODEL_H_
+#define LAXML_TESTS_REFERENCE_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+namespace testing {
+
+/// The oracle.
+class ReferenceModel {
+ public:
+  Result<NodeId> InsertTopLevel(const TokenSequence& data) {
+    LAXML_RETURN_IF_ERROR(Validate(data));
+    return SpliceAt(tokens_.size(), data);
+  }
+
+  Result<NodeId> InsertBefore(NodeId id, const TokenSequence& data) {
+    LAXML_RETURN_IF_ERROR(Validate(data));
+    LAXML_ASSIGN_OR_RETURN(size_t begin, IndexOf(id));
+    return SpliceAt(begin, data);
+  }
+
+  Result<NodeId> InsertAfter(NodeId id, const TokenSequence& data) {
+    LAXML_RETURN_IF_ERROR(Validate(data));
+    LAXML_ASSIGN_OR_RETURN(size_t begin, IndexOf(id));
+    LAXML_ASSIGN_OR_RETURN(size_t end, SubtreeEnd(tokens_, begin));
+    return SpliceAt(end, data);
+  }
+
+  Result<NodeId> InsertIntoFirst(NodeId id, const TokenSequence& data) {
+    LAXML_RETURN_IF_ERROR(Validate(data));
+    LAXML_ASSIGN_OR_RETURN(size_t begin, IndexOf(id));
+    if (!tokens_[begin].CanHaveChildren()) {
+      return Status::InvalidArgument("target cannot have children");
+    }
+    return SpliceAt(begin + 1, data);
+  }
+
+  Result<NodeId> InsertIntoLast(NodeId id, const TokenSequence& data) {
+    LAXML_RETURN_IF_ERROR(Validate(data));
+    LAXML_ASSIGN_OR_RETURN(size_t begin, IndexOf(id));
+    if (!tokens_[begin].CanHaveChildren()) {
+      return Status::InvalidArgument("target cannot have children");
+    }
+    LAXML_ASSIGN_OR_RETURN(size_t end, SubtreeEnd(tokens_, begin));
+    return SpliceAt(end - 1, data);  // before the end token
+  }
+
+  Status DeleteNode(NodeId id) {
+    LAXML_ASSIGN_OR_RETURN(size_t begin, IndexOf(id));
+    LAXML_ASSIGN_OR_RETURN(size_t end, SubtreeEnd(tokens_, begin));
+    tokens_.erase(tokens_.begin() + begin, tokens_.begin() + end);
+    ids_.erase(ids_.begin() + begin, ids_.begin() + end);
+    return Status::OK();
+  }
+
+  Result<NodeId> ReplaceNode(NodeId id, const TokenSequence& data) {
+    LAXML_RETURN_IF_ERROR(Validate(data));
+    LAXML_ASSIGN_OR_RETURN(size_t begin, IndexOf(id));
+    LAXML_ASSIGN_OR_RETURN(size_t end, SubtreeEnd(tokens_, begin));
+    tokens_.erase(tokens_.begin() + begin, tokens_.begin() + end);
+    ids_.erase(ids_.begin() + begin, ids_.begin() + end);
+    return SpliceAt(begin, data);
+  }
+
+  Result<NodeId> ReplaceContent(NodeId id, const TokenSequence& data) {
+    if (!data.empty()) {
+      LAXML_RETURN_IF_ERROR(Validate(data));
+    }
+    LAXML_ASSIGN_OR_RETURN(size_t begin, IndexOf(id));
+    if (!tokens_[begin].CanHaveChildren()) {
+      return Status::InvalidArgument("target has no content");
+    }
+    LAXML_ASSIGN_OR_RETURN(size_t end, SubtreeEnd(tokens_, begin));
+    tokens_.erase(tokens_.begin() + begin + 1, tokens_.begin() + end - 1);
+    ids_.erase(ids_.begin() + begin + 1, ids_.begin() + end - 1);
+    if (data.empty()) return kInvalidNodeId;
+    return SpliceAt(begin + 1, data);
+  }
+
+  Result<TokenSequence> Read(NodeId id) const {
+    LAXML_ASSIGN_OR_RETURN(size_t begin, IndexOf(id));
+    LAXML_ASSIGN_OR_RETURN(size_t end, SubtreeEnd(tokens_, begin));
+    return TokenSequence(tokens_.begin() + begin, tokens_.begin() + end);
+  }
+
+  const TokenSequence& tokens() const { return tokens_; }
+  const std::vector<NodeId>& ids() const { return ids_; }
+
+  bool Exists(NodeId id) const { return IndexOf(id).ok(); }
+
+  /// Live node ids, in document order.
+  std::vector<NodeId> LiveIds() const {
+    std::vector<NodeId> out;
+    for (NodeId id : ids_) {
+      if (id != kInvalidNodeId) out.push_back(id);
+    }
+    return out;
+  }
+
+  /// Live ids of nodes that may hold children (valid insertion parents).
+  std::vector<NodeId> LiveElementIds() const {
+    std::vector<NodeId> out;
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+      if (ids_[i] != kInvalidNodeId && tokens_[i].CanHaveChildren()) {
+        out.push_back(ids_[i]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  static Status Validate(const TokenSequence& data) {
+    if (data.empty()) return Status::InvalidArgument("empty fragment");
+    for (const Token& t : data) {
+      if (t.type == TokenType::kBeginDocument ||
+          t.type == TokenType::kEndDocument) {
+        return Status::InvalidArgument("document tokens in fragment");
+      }
+    }
+    return CheckWellFormedFragment(data);
+  }
+
+  Result<size_t> IndexOf(NodeId id) const {
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (ids_[i] == id) return i;
+    }
+    return Status::NotFound("id not live in model");
+  }
+
+  NodeId SpliceAt(size_t index, const TokenSequence& data) {
+    NodeId first = next_id_;
+    std::vector<NodeId> new_ids;
+    new_ids.reserve(data.size());
+    for (const Token& t : data) {
+      new_ids.push_back(t.BeginsNode() ? next_id_++ : kInvalidNodeId);
+    }
+    tokens_.insert(tokens_.begin() + index, data.begin(), data.end());
+    ids_.insert(ids_.begin() + index, new_ids.begin(), new_ids.end());
+    return first;
+  }
+
+  TokenSequence tokens_;
+  std::vector<NodeId> ids_;  // parallel: id of each token or invalid
+  NodeId next_id_ = 1;
+};
+
+}  // namespace testing
+}  // namespace laxml
+
+#endif  // LAXML_TESTS_REFERENCE_MODEL_H_

@@ -1,0 +1,103 @@
+// PSVI-through-the-store integration: type annotations assigned by
+// schema validation persist across storage, splits, and reopen —
+// fulfilling desideratum 7 ("PSVI should be supported in order to avoid
+// repeated evaluation of XML schema").
+
+#include <gtest/gtest.h>
+
+#include "store/store.h"
+#include "test_util.h"
+#include "xml/schema.h"
+#include "xml/tokenizer.h"
+
+namespace laxml {
+namespace {
+
+using testing::TempFile;
+
+Schema OrderSchema() {
+  Schema schema;
+  schema.DeclareElement("qty", XsType::kInteger);
+  schema.DeclareElement("price", XsType::kDecimal);
+  schema.DeclareElement("date", XsType::kDate);
+  schema.DeclareAttribute("order", "id", XsType::kInteger);
+  return schema;
+}
+
+TokenSequence ValidatedOrder() {
+  auto tokens = ParseFragment(
+      "<order id=\"7\"><date>2005-06-14</date>"
+      "<qty>3</qty><price>19.99</price></order>");
+  EXPECT_TRUE(tokens.ok());
+  TokenSequence seq = std::move(tokens).value();
+  EXPECT_TRUE(OrderSchema().ValidateAndAnnotate(&seq).ok());
+  return seq;
+}
+
+/// Collects (name-or-kind, psvi) pairs of annotated begin tokens.
+std::vector<std::pair<std::string, TypeAnnotation>> Annotations(
+    const TokenSequence& seq) {
+  std::vector<std::pair<std::string, TypeAnnotation>> out;
+  for (const Token& t : seq) {
+    if (t.BeginsNode() && t.psvi_type != kUntypedAnnotation) {
+      out.emplace_back(t.name.empty() ? t.value : t.name, t.psvi_type);
+    }
+  }
+  return out;
+}
+
+TEST(SchemaStoreTest, AnnotationsSurviveStorageRoundTrip) {
+  auto store = Store::OpenInMemory(StoreOptions{}).value();
+  TokenSequence order = ValidatedOrder();
+  auto expected = Annotations(order);
+  ASSERT_GE(expected.size(), 4u);  // @id, date text, qty text, price text
+  ASSERT_LAXML_OK(store->InsertTopLevel(order).status());
+  ASSERT_OK_AND_ASSIGN(TokenSequence back, store->Read());
+  EXPECT_EQ(Annotations(back), expected);
+  EXPECT_EQ(back, order);
+}
+
+TEST(SchemaStoreTest, AnnotationsSurviveSplitsAndSubtreeReads) {
+  StoreOptions options;
+  options.max_range_bytes = 24;  // fragment aggressively
+  auto store = Store::OpenInMemory(options).value();
+  TokenSequence order = ValidatedOrder();
+  ASSERT_LAXML_OK(store->InsertTopLevel(order).status());
+  ASSERT_LAXML_OK(
+      store->InsertIntoLast(1, ValidatedOrder()).status());
+  EXPECT_GT(store->range_manager().range_count(), 3u);
+  // Subtree read of <qty>: order=1, @id=2, date=3, date-text=4, qty=5.
+  ASSERT_OK_AND_ASSIGN(TokenSequence qty, store->Read(5));
+  ASSERT_EQ(qty.size(), 3u);
+  EXPECT_EQ(qty[1].psvi_type,
+            static_cast<TypeAnnotation>(XsType::kInteger));
+}
+
+TEST(SchemaStoreTest, AnnotationsSurviveReopen) {
+  TempFile tmp("psvi");
+  auto expected = Annotations(ValidatedOrder());
+  {
+    auto store = Store::Open(tmp.path(), StoreOptions{}).value();
+    ASSERT_LAXML_OK(store->InsertTopLevel(ValidatedOrder()).status());
+  }
+  {
+    auto store = Store::Open(tmp.path(), StoreOptions{}).value();
+    ASSERT_OK_AND_ASSIGN(TokenSequence back, store->Read());
+    EXPECT_EQ(Annotations(back), expected);
+  }
+}
+
+TEST(SchemaStoreTest, InvalidContentRejectedBeforeStorage) {
+  auto store = Store::OpenInMemory(StoreOptions{}).value();
+  auto tokens = ParseFragment("<order id=\"seven\"><qty>3</qty></order>");
+  ASSERT_TRUE(tokens.ok());
+  TokenSequence seq = std::move(tokens).value();
+  Status st = OrderSchema().ValidateAndAnnotate(&seq);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  // The application keeps invalid data out; the store never sees it.
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store->Read());
+  EXPECT_TRUE(all.empty());
+}
+
+}  // namespace
+}  // namespace laxml

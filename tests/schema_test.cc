@@ -1,0 +1,123 @@
+// PSVI / schema tests: lexical spaces of the built-in simple types,
+// annotation of begin tokens, and validation failures.
+
+#include "xml/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xml/tokenizer.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+
+TEST(LexicalFormTest, Integer) {
+  EXPECT_TRUE(LexicalFormValid(XsType::kInteger, "0"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kInteger, "-42"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kInteger, "+7"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kInteger, ""));
+  EXPECT_FALSE(LexicalFormValid(XsType::kInteger, "1.5"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kInteger, "abc"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kInteger, "-"));
+}
+
+TEST(LexicalFormTest, Decimal) {
+  EXPECT_TRUE(LexicalFormValid(XsType::kDecimal, "3.14"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kDecimal, "-0.5"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kDecimal, ".5"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kDecimal, "5."));
+  EXPECT_TRUE(LexicalFormValid(XsType::kDecimal, "42"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kDecimal, "."));
+  EXPECT_FALSE(LexicalFormValid(XsType::kDecimal, "1.2.3"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kDecimal, "x"));
+}
+
+TEST(LexicalFormTest, Boolean) {
+  EXPECT_TRUE(LexicalFormValid(XsType::kBoolean, "true"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kBoolean, "false"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kBoolean, "0"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kBoolean, "1"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kBoolean, "TRUE"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kBoolean, "yes"));
+}
+
+TEST(LexicalFormTest, DateAndDateTime) {
+  EXPECT_TRUE(LexicalFormValid(XsType::kDate, "2005-06-14"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kDate, "2005-13-14"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kDate, "2005-06-32"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kDate, "05-06-14"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kDateTime, "2005-06-14T23:59:59"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kDateTime, "2005-06-14 23:59:59"));
+  EXPECT_FALSE(LexicalFormValid(XsType::kDateTime, "2005-06-14T24:00:00"));
+}
+
+TEST(LexicalFormTest, StringAndUntypedAcceptAnything) {
+  EXPECT_TRUE(LexicalFormValid(XsType::kString, "anything at all <>&"));
+  EXPECT_TRUE(LexicalFormValid(XsType::kUntyped, ""));
+}
+
+TEST(SchemaTest, AnnotatesDeclaredElements) {
+  Schema schema;
+  schema.DeclareElement("qty", XsType::kInteger);
+  schema.DeclareElement("price", XsType::kDecimal);
+  TokenSequence tokens =
+      MustFragment("<order><qty>5</qty><price>9.99</price></order>");
+  ASSERT_LAXML_OK(schema.ValidateAndAnnotate(&tokens));
+  // <order> is undeclared -> untyped; qty/price carry their types.
+  EXPECT_EQ(tokens[0].psvi_type,
+            static_cast<TypeAnnotation>(XsType::kUntyped));
+  EXPECT_EQ(tokens[1].psvi_type,
+            static_cast<TypeAnnotation>(XsType::kInteger));
+  EXPECT_EQ(tokens[2].psvi_type,
+            static_cast<TypeAnnotation>(XsType::kInteger));  // the text
+  EXPECT_EQ(tokens[4].psvi_type,
+            static_cast<TypeAnnotation>(XsType::kDecimal));
+}
+
+TEST(SchemaTest, RejectsBadElementContent) {
+  Schema schema;
+  schema.DeclareElement("qty", XsType::kInteger);
+  TokenSequence tokens = MustFragment("<qty>five</qty>");
+  Status st = schema.ValidateAndAnnotate(&tokens);
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("qty"), std::string::npos);
+}
+
+TEST(SchemaTest, AttributeTypesWithElementContext) {
+  Schema schema;
+  schema.DeclareAttribute("item", "qty", XsType::kInteger);
+  schema.DeclareAttribute("*", "version", XsType::kDecimal);
+  TokenSequence good =
+      MustFragment("<item qty=\"3\" version=\"1.0\"/>");
+  ASSERT_LAXML_OK(schema.ValidateAndAnnotate(&good));
+  EXPECT_EQ(good[1].psvi_type,
+            static_cast<TypeAnnotation>(XsType::kInteger));
+  EXPECT_EQ(good[3].psvi_type,
+            static_cast<TypeAnnotation>(XsType::kDecimal));
+
+  // qty typed only on <item>: other elements are lax.
+  TokenSequence other = MustFragment("<thing qty=\"abc\"/>");
+  ASSERT_LAXML_OK(schema.ValidateAndAnnotate(&other));
+
+  TokenSequence bad = MustFragment("<item qty=\"x\"/>");
+  EXPECT_TRUE(schema.ValidateAndAnnotate(&bad).IsInvalidArgument());
+}
+
+TEST(SchemaTest, LaxValidationLeavesUndeclaredAlone) {
+  Schema schema;
+  TokenSequence tokens = MustFragment("<free><form>anything</form></free>");
+  ASSERT_LAXML_OK(schema.ValidateAndAnnotate(&tokens));
+  for (const Token& t : tokens) {
+    EXPECT_EQ(t.psvi_type, kUntypedAnnotation);
+  }
+}
+
+TEST(SchemaTest, TypeNamesReadable) {
+  EXPECT_STREQ(XsTypeName(XsType::kInteger), "xs:integer");
+  EXPECT_STREQ(XsTypeName(XsType::kUntyped), "xs:untyped");
+}
+
+}  // namespace
+}  // namespace laxml

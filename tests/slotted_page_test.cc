@@ -1,0 +1,165 @@
+// Slotted page tests: slot stability, tombstone reuse, compaction,
+// update-in-place vs grow, and space accounting.
+
+#include "storage/slotted_page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : buf_(512, 0), view_(buf_.data(), 512), page_(view_) {
+    view_.Format(1, PageType::kSlotted);
+    page_.Init();
+  }
+
+  std::string Get(uint16_t slot) {
+    auto r = page_.Get(slot);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->ToString() : "";
+  }
+
+  std::vector<uint8_t> buf_;
+  PageView view_;
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, InsertAndGet) {
+  ASSERT_OK_AND_ASSIGN(uint16_t a, page_.Insert(Slice(std::string("aaa"))));
+  ASSERT_OK_AND_ASSIGN(uint16_t b, page_.Insert(Slice(std::string("bb"))));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(Get(a), "aaa");
+  EXPECT_EQ(Get(b), "bb");
+  EXPECT_EQ(page_.slot_count(), 2u);
+}
+
+TEST_F(SlottedPageTest, DeleteFreesAndTombstones) {
+  ASSERT_OK_AND_ASSIGN(uint16_t a, page_.Insert(Slice(std::string("xxx"))));
+  ASSERT_OK_AND_ASSIGN(uint16_t b, page_.Insert(Slice(std::string("yyy"))));
+  uint32_t before = page_.FreeSpace();
+  ASSERT_LAXML_OK(page_.Delete(a));
+  EXPECT_TRUE(page_.Get(a).status().IsNotFound());
+  EXPECT_EQ(Get(b), "yyy");
+  EXPECT_GT(page_.FreeSpace(), before);
+  // The tombstone slot is reused by the next insert.
+  ASSERT_OK_AND_ASSIGN(uint16_t c, page_.Insert(Slice(std::string("zz"))));
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(Get(c), "zz");
+}
+
+TEST_F(SlottedPageTest, TrailingDeleteShrinksDirectory) {
+  ASSERT_OK_AND_ASSIGN(uint16_t a, page_.Insert(Slice(std::string("a"))));
+  ASSERT_OK_AND_ASSIGN(uint16_t b, page_.Insert(Slice(std::string("b"))));
+  (void)a;
+  ASSERT_LAXML_OK(page_.Delete(b));
+  EXPECT_EQ(page_.slot_count(), 1u);
+}
+
+TEST_F(SlottedPageTest, CompactionRecoversFragmentedSpace) {
+  // Fill with alternating records, delete every other one, then insert
+  // something that only fits after compaction.
+  std::vector<uint16_t> slots;
+  std::string chunk(40, 'c');
+  while (true) {
+    auto r = page_.Insert(Slice(chunk));
+    if (!r.ok()) break;
+    slots.push_back(*r);
+  }
+  ASSERT_GE(slots.size(), 8u);
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_LAXML_OK(page_.Delete(slots[i]));
+  }
+  // Aggregate free space is large but contiguous space is one hole.
+  std::string big(120, 'B');
+  ASSERT_OK_AND_ASSIGN(uint16_t s, page_.Insert(Slice(big)));
+  EXPECT_EQ(Get(s), big);
+  // Survivors intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(Get(slots[i]), chunk) << "slot " << slots[i];
+  }
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceShrink) {
+  ASSERT_OK_AND_ASSIGN(uint16_t s,
+                       page_.Insert(Slice(std::string("longvalue"))));
+  ASSERT_LAXML_OK(page_.Update(s, Slice(std::string("tiny"))));
+  EXPECT_EQ(Get(s), "tiny");
+}
+
+TEST_F(SlottedPageTest, UpdateGrowKeepsSlotNumber) {
+  ASSERT_OK_AND_ASSIGN(uint16_t a, page_.Insert(Slice(std::string("aa"))));
+  ASSERT_OK_AND_ASSIGN(uint16_t b, page_.Insert(Slice(std::string("bb"))));
+  std::string grown(60, 'G');
+  ASSERT_LAXML_OK(page_.Update(a, Slice(grown)));
+  EXPECT_EQ(Get(a), grown);
+  EXPECT_EQ(Get(b), "bb");
+}
+
+TEST_F(SlottedPageTest, UpdateTooBigFailsWithoutDamage) {
+  ASSERT_OK_AND_ASSIGN(uint16_t s, page_.Insert(Slice(std::string("keep"))));
+  std::string huge(600, 'H');  // bigger than the page
+  EXPECT_TRUE(page_.Update(s, Slice(huge)).IsResourceExhausted());
+  EXPECT_EQ(Get(s), "keep");
+}
+
+TEST_F(SlottedPageTest, FillToCapacityThenFail) {
+  std::string rec(50, 'r');
+  int inserted = 0;
+  while (true) {
+    auto r = page_.Insert(Slice(rec));
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsResourceExhausted());
+      break;
+    }
+    ++inserted;
+  }
+  EXPECT_GT(inserted, 5);
+  EXPECT_FALSE(page_.Empty());
+}
+
+TEST_F(SlottedPageTest, MaxRecordSizeFitsExactly) {
+  uint32_t max = SlottedPage::MaxRecordSize(512);
+  std::string rec(max, 'M');
+  ASSERT_OK_AND_ASSIGN(uint16_t s, page_.Insert(Slice(rec)));
+  EXPECT_EQ(Get(s).size(), max);
+  // And one byte more would not have fit on a fresh page.
+  std::vector<uint8_t> buf2(512, 0);
+  PageView view2(buf2.data(), 512);
+  view2.Format(2, PageType::kSlotted);
+  SlottedPage page2(view2);
+  page2.Init();
+  std::string too_big(max + 1, 'M');
+  EXPECT_TRUE(page2.Insert(Slice(too_big)).status().IsResourceExhausted());
+}
+
+TEST_F(SlottedPageTest, EmptyDetection) {
+  EXPECT_TRUE(page_.Empty());
+  ASSERT_OK_AND_ASSIGN(uint16_t s, page_.Insert(Slice(std::string("x"))));
+  EXPECT_FALSE(page_.Empty());
+  ASSERT_LAXML_OK(page_.Delete(s));
+  EXPECT_TRUE(page_.Empty());
+}
+
+TEST_F(SlottedPageTest, ChainPointers) {
+  EXPECT_EQ(page_.next_page(), kInvalidPageId);
+  EXPECT_EQ(page_.prev_page(), kInvalidPageId);
+  page_.set_next_page(77);
+  page_.set_prev_page(66);
+  EXPECT_EQ(page_.next_page(), 77u);
+  EXPECT_EQ(page_.prev_page(), 66u);
+}
+
+TEST_F(SlottedPageTest, ZeroLengthRecordsWork) {
+  ASSERT_OK_AND_ASSIGN(uint16_t s, page_.Insert(Slice()));
+  ASSERT_OK_AND_ASSIGN(Slice empty, page_.Get(s));
+  EXPECT_TRUE(empty.empty());
+}
+
+}  // namespace
+}  // namespace laxml

@@ -1,0 +1,272 @@
+// End-to-end smoke tests of the Store over all three index modes:
+// bootstrap inserts, reads by id, the Table-1 update operations, and
+// invariant checks after each step.
+
+#include "store/store.h"
+
+#include <gtest/gtest.h>
+
+#include "store/cursor.h"
+#include "test_util.h"
+#include "xml/serializer.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+using testing::MustSerialize;
+
+class StoreBasicTest : public ::testing::TestWithParam<IndexMode> {
+ protected:
+  void SetUp() override {
+    StoreOptions options;
+    options.index_mode = GetParam();
+    options.pager.pool_frames = 64;
+    auto opened = Store::OpenInMemory(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    store_ = std::move(opened).value();
+  }
+
+  std::unique_ptr<Store> store_;
+};
+
+TEST_P(StoreBasicTest, EmptyStoreReadsEmpty) {
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_TRUE(all.empty());
+  EXPECT_TRUE(store_->FirstTopLevelId().status().IsNotFound());
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, InsertTopLevelAndReadBack) {
+  TokenSequence doc = MustFragment(
+      "<ticket><hour>15</hour><name>Paul</name></ticket>");
+  ASSERT_OK_AND_ASSIGN(NodeId root, store_->InsertTopLevel(doc));
+  EXPECT_EQ(root, 1u);
+
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_EQ(MustSerialize(all),
+            "<ticket><hour>15</hour><name>Paul</name></ticket>");
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, IdsAssignedInDocumentOrder) {
+  // Figure 1 of the paper: ticket=1, hour=2, "15"=3, name=4, "Paul"=5.
+  store_->InsertTopLevel(
+      MustFragment("<ticket><hour>15</hour><name>Paul</name></ticket>"));
+  std::vector<NodeId> ids;
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->ReadWithIds(&ids));
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(ids[0], 1u);  // <ticket>
+  EXPECT_EQ(ids[1], 2u);  // <hour>
+  EXPECT_EQ(ids[2], 3u);  // "15"
+  EXPECT_EQ(ids[3], kInvalidNodeId);  // </hour>
+  EXPECT_EQ(ids[4], 4u);  // <name>
+  EXPECT_EQ(ids[5], 5u);  // "Paul"
+  EXPECT_EQ(ids[6], kInvalidNodeId);  // </name>
+  EXPECT_EQ(ids[7], kInvalidNodeId);  // </ticket>
+}
+
+TEST_P(StoreBasicTest, ReadSubtreeById) {
+  store_->InsertTopLevel(
+      MustFragment("<ticket><hour>15</hour><name>Paul</name></ticket>"));
+  ASSERT_OK_AND_ASSIGN(TokenSequence hour, store_->Read(2));
+  EXPECT_EQ(MustSerialize(hour), "<hour>15</hour>");
+  ASSERT_OK_AND_ASSIGN(TokenSequence text, store_->Read(3));
+  EXPECT_EQ(text.size(), 1u);
+  EXPECT_EQ(text[0].value, "15");
+}
+
+TEST_P(StoreBasicTest, InsertIntoLastAppendsChild) {
+  store_->InsertTopLevel(MustFragment("<orders><o>1</o></orders>"));
+  ASSERT_OK_AND_ASSIGN(NodeId added,
+                       store_->InsertIntoLast(1, MustFragment("<o>2</o>")));
+  EXPECT_GT(added, 3u);
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_EQ(MustSerialize(all), "<orders><o>1</o><o>2</o></orders>");
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, InsertIntoFirstPrependsChild) {
+  store_->InsertTopLevel(MustFragment("<orders><o>1</o></orders>"));
+  ASSERT_LAXML_OK(
+      store_->InsertIntoFirst(1, MustFragment("<o>0</o>")).status());
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_EQ(MustSerialize(all), "<orders><o>0</o><o>1</o></orders>");
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, InsertBeforeAndAfterSiblings) {
+  store_->InsertTopLevel(MustFragment("<l><b/></l>"));
+  // <b/> is node 2.
+  ASSERT_LAXML_OK(store_->InsertBefore(2, MustFragment("<a/>")).status());
+  ASSERT_LAXML_OK(store_->InsertAfter(2, MustFragment("<c/>")).status());
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_EQ(MustSerialize(all), "<l><a/><b/><c/></l>");
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, DeleteNodeRemovesSubtree) {
+  store_->InsertTopLevel(
+      MustFragment("<r><a><x/><y/></a><b/></r>"));
+  // r=1 a=2 x=3 y=4 b=5.
+  ASSERT_LAXML_OK(store_->DeleteNode(2));
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_EQ(MustSerialize(all), "<r><b/></r>");
+  EXPECT_FALSE(store_->Exists(2));
+  EXPECT_FALSE(store_->Exists(3));
+  EXPECT_FALSE(store_->Exists(4));
+  EXPECT_TRUE(store_->Exists(5));
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, ReplaceNodeSwapsSubtree) {
+  store_->InsertTopLevel(MustFragment("<r><old>gone</old><keep/></r>"));
+  ASSERT_OK_AND_ASSIGN(
+      NodeId fresh, store_->ReplaceNode(2, MustFragment("<new>here</new>")));
+  EXPECT_GT(fresh, 0u);
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_EQ(MustSerialize(all), "<r><new>here</new><keep/></r>");
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, ReplaceContentKeepsNode) {
+  store_->InsertTopLevel(MustFragment("<cfg><a/><b/></cfg>"));
+  ASSERT_LAXML_OK(
+      store_->ReplaceContent(1, MustFragment("<c/>")).status());
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_EQ(MustSerialize(all), "<cfg><c/></cfg>");
+  EXPECT_TRUE(store_->Exists(1));
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, ReplaceContentWithEmptyClears) {
+  store_->InsertTopLevel(MustFragment("<cfg><a/><b/></cfg>"));
+  ASSERT_LAXML_OK(store_->ReplaceContent(1, {}).status());
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_EQ(MustSerialize(all), "<cfg/>");
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, InsertIntoTextNodeFails) {
+  store_->InsertTopLevel(MustFragment("<a>text</a>"));
+  // Node 2 is the text node.
+  EXPECT_TRUE(store_->InsertIntoLast(2, MustFragment("<x/>"))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(store_->InsertIntoFirst(2, MustFragment("<x/>"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_P(StoreBasicTest, UnknownIdIsNotFound) {
+  store_->InsertTopLevel(MustFragment("<a/>"));
+  EXPECT_TRUE(store_->Read(99).status().IsNotFound());
+  EXPECT_TRUE(store_->DeleteNode(99).IsNotFound());
+  EXPECT_FALSE(store_->Exists(99));
+}
+
+TEST_P(StoreBasicTest, DeletedIdStaysDead) {
+  store_->InsertTopLevel(MustFragment("<r><a/><b/></r>"));
+  ASSERT_LAXML_OK(store_->DeleteNode(2));
+  EXPECT_TRUE(store_->Read(2).status().IsNotFound());
+  // New inserts never reuse the id.
+  ASSERT_OK_AND_ASSIGN(NodeId fresh,
+                       store_->InsertIntoLast(1, MustFragment("<c/>")));
+  EXPECT_NE(fresh, 2u);
+}
+
+TEST_P(StoreBasicTest, ManySiblingAppends) {
+  store_->InsertTopLevel(MustFragment("<orders/>"));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_LAXML_OK(
+        store_->InsertIntoLast(
+                  1, MustFragment("<o>" + std::to_string(i) + "</o>"))
+            .status());
+  }
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  // 200 <o> elements * 3 tokens + 2 for <orders>.
+  EXPECT_EQ(all.size(), 200u * 3 + 2);
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+  // Spot-check a middle order's subtree.
+  ASSERT_OK_AND_ASSIGN(TokenSequence mid, store_->Read(2 + 2 * 100));
+  EXPECT_EQ(MustSerialize(mid), "<o>100</o>");
+}
+
+TEST_P(StoreBasicTest, NestedInsertDeepens) {
+  store_->InsertTopLevel(MustFragment("<t/>"));
+  NodeId target = 1;
+  for (int depth = 0; depth < 30; ++depth) {
+    ASSERT_OK_AND_ASSIGN(target,
+                         store_->InsertIntoLast(target,
+                                                MustFragment("<n/>")));
+  }
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
+  EXPECT_EQ(all.size(), 2u + 30 * 2);
+  ASSERT_LAXML_OK(store_->CheckInvariants());
+}
+
+TEST_P(StoreBasicTest, CursorStreamsWholeStore) {
+  store_->InsertTopLevel(
+      MustFragment("<a><b>x</b></a>"));
+  store_->InsertTopLevel(MustFragment("<c/>"));
+  auto cursor = store_->NewCursor();
+  ASSERT_LAXML_OK(cursor->SeekToFirst());
+  std::vector<std::pair<NodeId, TokenType>> seen;
+  while (cursor->Valid()) {
+    seen.emplace_back(cursor->node_id(), cursor->token().type);
+    ASSERT_LAXML_OK(cursor->Next());
+  }
+  ASSERT_EQ(seen.size(), 7u);
+  EXPECT_EQ(seen[0].first, 1u);
+  EXPECT_EQ(seen[1].first, 2u);
+  EXPECT_EQ(seen[2].first, 3u);
+  EXPECT_EQ(seen[3].first, kInvalidNodeId);
+  EXPECT_EQ(seen[5].first, 4u);  // <c/> begin
+  EXPECT_EQ(seen[5].second, TokenType::kBeginElement);
+  EXPECT_EQ(seen[6].first, kInvalidNodeId);  // </c>
+  EXPECT_EQ(seen[6].second, TokenType::kEndElement);
+}
+
+TEST_P(StoreBasicTest, DescribeReturnsBeginToken) {
+  store_->InsertTopLevel(MustFragment("<a href=\"x\">t</a>"));
+  ASSERT_OK_AND_ASSIGN(Token a, store_->Describe(1));
+  EXPECT_EQ(a.type, TokenType::kBeginElement);
+  EXPECT_EQ(a.name, "a");
+  ASSERT_OK_AND_ASSIGN(Token attr, store_->Describe(2));
+  EXPECT_EQ(attr.type, TokenType::kBeginAttribute);
+  EXPECT_EQ(attr.name, "href");
+  EXPECT_EQ(attr.value, "x");
+}
+
+TEST_P(StoreBasicTest, FragmentValidationRejectsGarbage) {
+  store_->InsertTopLevel(MustFragment("<a/>"));
+  TokenSequence unbalanced{Token::BeginElement("x")};
+  EXPECT_TRUE(store_->InsertIntoLast(1, unbalanced)
+                  .status()
+                  .IsInvalidArgument());
+  TokenSequence doc_token{Token::BeginDocument(), Token::EndDocument()};
+  EXPECT_TRUE(store_->InsertIntoLast(1, doc_token)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      store_->InsertIntoLast(1, {}).status().IsInvalidArgument());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexModes, StoreBasicTest,
+    ::testing::Values(IndexMode::kFullIndex, IndexMode::kRangeIndex,
+                      IndexMode::kRangeWithPartial),
+    [](const ::testing::TestParamInfo<IndexMode>& info) {
+      switch (info.param) {
+        case IndexMode::kFullIndex:
+          return "FullIndex";
+        case IndexMode::kRangeIndex:
+          return "RangeIndex";
+        case IndexMode::kRangeWithPartial:
+          return "RangeWithPartial";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace laxml

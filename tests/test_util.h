@@ -1,0 +1,86 @@
+// Shared helpers for laxml tests: status assertions, fragment builders,
+// temp-file management.
+
+#ifndef LAXML_TESTS_TEST_UTIL_H_
+#define LAXML_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "xml/serializer.h"
+#include "xml/token_sequence.h"
+#include "xml/tokenizer.h"
+
+/// Asserts an expression returning laxml::Status is OK.
+#define ASSERT_LAXML_OK(expr)                                   \
+  do {                                                          \
+    ::laxml::Status _st = (expr);                               \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+#define EXPECT_LAXML_OK(expr)                                   \
+  do {                                                          \
+    ::laxml::Status _st = (expr);                               \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+/// Unwraps a laxml::Result<T> into `lhs`, failing the test on error.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                        \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                    \
+      LAXML_ASSIGN_OR_RETURN_CONCAT(_test_result_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(var, lhs, rexpr)              \
+  auto var = (rexpr);                                           \
+  ASSERT_TRUE(var.ok()) << var.status().ToString();             \
+  lhs = std::move(var).value()
+
+namespace laxml {
+namespace testing {
+
+/// Parses an XML fragment, aborting the test process on failure (for
+/// fixture setup where the XML is a literal).
+inline TokenSequence MustFragment(const std::string& xml) {
+  auto result = ParseFragment(xml);
+  if (!result.ok()) {
+    ADD_FAILURE() << "bad test fragment: " << result.status().ToString();
+    return {};
+  }
+  return std::move(result).value();
+}
+
+/// Serializes tokens compactly, aborting on failure.
+inline std::string MustSerialize(const TokenSequence& tokens) {
+  auto result = SerializeTokens(tokens);
+  if (!result.ok()) {
+    ADD_FAILURE() << "serialize failed: " << result.status().ToString();
+    return {};
+  }
+  return std::move(result).value();
+}
+
+/// A unique temp file path, removed on destruction (plus its WAL).
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    path_ = ::testing::TempDir() + "laxml_" + tag + "_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db";
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace testing
+}  // namespace laxml
+
+#endif  // LAXML_TESTS_TEST_UTIL_H_

@@ -1,0 +1,171 @@
+// Binary token codec tests: roundtrips, offset bookkeeping (the partial
+// index memoizes these offsets), Skip fast-path, and corruption
+// rejection.
+
+#include "xml/token_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+namespace {
+
+TokenSequence SampleTokens() {
+  return SequenceBuilder()
+      .BeginElement("ticket")
+      .Attribute("id", "42")
+      .BeginElement("hour")
+      .Text("15")
+      .End()
+      .Comment("a comment")
+      .PI("proc", "data")
+      .End()
+      .Build();
+}
+
+TEST(TokenCodecTest, RoundTripsEveryTokenKind) {
+  TokenSequence tokens = SampleTokens();
+  tokens.push_back(Token::BeginDocument());
+  tokens.push_back(Token::EndDocument());
+  std::vector<uint8_t> encoded = EncodeTokens(tokens);
+  ASSERT_OK_AND_ASSIGN(TokenSequence decoded, DecodeTokens(Slice(encoded)));
+  EXPECT_EQ(decoded, tokens);
+}
+
+TEST(TokenCodecTest, EncodedSizeMatchesActual) {
+  for (const Token& t : SampleTokens()) {
+    std::vector<uint8_t> buf;
+    EncodeToken(t, &buf);
+    EXPECT_EQ(buf.size(), EncodedTokenSize(t)) << t.ToString();
+  }
+}
+
+TEST(TokenCodecTest, PsviAnnotationSurvives) {
+  Token t = Token::Text("123");
+  t.psvi_type = 7;
+  std::vector<uint8_t> buf;
+  EncodeToken(t, &buf);
+  ASSERT_OK_AND_ASSIGN(TokenSequence decoded, DecodeTokens(Slice(buf)));
+  EXPECT_EQ(decoded[0].psvi_type, 7u);
+}
+
+TEST(TokenCodecTest, EndElementIsFourBytes) {
+  // Low storage overhead: the most common structural token is tiny.
+  std::vector<uint8_t> buf;
+  EncodeToken(Token::EndElement(), &buf);
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(TokenCodecTest, ReaderTracksOffsets) {
+  TokenSequence tokens = SampleTokens();
+  std::vector<uint8_t> encoded = EncodeTokens(tokens);
+  TokenReader reader{Slice(encoded)};
+  std::vector<size_t> offsets;
+  Token t;
+  while (!reader.AtEnd()) {
+    offsets.push_back(reader.offset());
+    ASSERT_LAXML_OK(reader.Next(&t));
+  }
+  ASSERT_EQ(offsets.size(), tokens.size());
+  // Seeking to a recorded offset re-reads the same token.
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    reader.SeekTo(offsets[i]);
+    ASSERT_LAXML_OK(reader.Next(&t));
+    EXPECT_EQ(t, tokens[i]) << "at offset " << offsets[i];
+  }
+}
+
+TEST(TokenCodecTest, SkipAgreesWithNext) {
+  TokenSequence tokens = SampleTokens();
+  std::vector<uint8_t> encoded = EncodeTokens(tokens);
+  TokenReader skipper{Slice(encoded)};
+  TokenReader reader{Slice(encoded)};
+  Token t;
+  TokenType type;
+  while (!reader.AtEnd()) {
+    ASSERT_LAXML_OK(reader.Next(&t));
+    ASSERT_LAXML_OK(skipper.Skip(&type));
+    EXPECT_EQ(type, t.type);
+    EXPECT_EQ(skipper.offset(), reader.offset());
+  }
+  EXPECT_TRUE(skipper.AtEnd());
+}
+
+TEST(TokenCodecTest, TruncatedBufferIsCorruption) {
+  TokenSequence tokens = SampleTokens();
+  std::vector<uint8_t> encoded = EncodeTokens(tokens);
+  // Collect the valid token boundaries: truncating exactly there yields
+  // a (shorter) valid stream; truncating anywhere else must fail.
+  std::set<size_t> boundaries{0, encoded.size()};
+  TokenReader reader{Slice(encoded)};
+  Token t;
+  while (!reader.AtEnd()) {
+    ASSERT_LAXML_OK(reader.Next(&t));
+    boundaries.insert(reader.offset());
+  }
+  for (size_t len = 1; len < encoded.size(); ++len) {
+    auto result = DecodeTokens(Slice(encoded.data(), len));
+    if (boundaries.count(len) > 0) {
+      EXPECT_TRUE(result.ok()) << "boundary cut at " << len;
+    } else {
+      EXPECT_TRUE(result.status().IsCorruption())
+          << "cut at " << len << ": " << result.status().ToString();
+    }
+  }
+}
+
+TEST(TokenCodecTest, InvalidTypeByteIsCorruption) {
+  std::vector<uint8_t> encoded = EncodeTokens(SampleTokens());
+  encoded[0] = 0xEE;
+  EXPECT_TRUE(DecodeTokens(Slice(encoded)).status().IsCorruption());
+}
+
+TEST(TokenCodecTest, LargeTextRoundTrips) {
+  std::string big(100000, 'x');
+  TokenSequence tokens{Token::Text(big)};
+  std::vector<uint8_t> encoded = EncodeTokens(tokens);
+  ASSERT_OK_AND_ASSIGN(TokenSequence decoded, DecodeTokens(Slice(encoded)));
+  EXPECT_EQ(decoded[0].value, big);
+}
+
+TEST(TokenSequenceTest, CountNodeBegins) {
+  EXPECT_EQ(CountNodeBegins(SampleTokens()), 6u);
+  EXPECT_EQ(CountNodeBegins({}), 0u);
+  EXPECT_EQ(CountNodeBegins({Token::EndElement()}), 0u);
+}
+
+TEST(TokenSequenceTest, WellFormednessChecks) {
+  EXPECT_TRUE(CheckWellFormedFragment(SampleTokens()).ok());
+  EXPECT_TRUE(CheckWellFormedFragment({Token::BeginElement("a")})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CheckWellFormedFragment({Token::EndElement()})
+                  .IsInvalidArgument());
+  // Attribute scopes may not contain children.
+  TokenSequence bad{Token::BeginElement("a"),
+                    Token::BeginAttribute("x", "v"),
+                    Token::Text("nested"), Token::EndAttribute(),
+                    Token::EndElement()};
+  EXPECT_TRUE(CheckWellFormedFragment(bad).IsInvalidArgument());
+}
+
+TEST(TokenSequenceTest, SubtreeEnd) {
+  TokenSequence tokens = SampleTokens();
+  // Token 0 = <ticket> spans everything.
+  ASSERT_OK_AND_ASSIGN(size_t end, SubtreeEnd(tokens, 0));
+  EXPECT_EQ(end, tokens.size());
+  // Token 3 = <hour> spans 3 tokens.
+  ASSERT_OK_AND_ASSIGN(size_t hour_end, SubtreeEnd(tokens, 3));
+  EXPECT_EQ(hour_end, 6u);
+  // Token 4 = text: single token node.
+  ASSERT_OK_AND_ASSIGN(size_t text_end, SubtreeEnd(tokens, 4));
+  EXPECT_EQ(text_end, 5u);
+  // End tokens begin no node.
+  EXPECT_TRUE(SubtreeEnd(tokens, 2).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace laxml

@@ -1,0 +1,115 @@
+// WAL unit tests: record framing, torn-tail handling, truncation.
+
+#include "wal/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "test_util.h"
+#include "xml/token_codec.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+using testing::TempFile;
+
+WalRecord MakeRecord(WalOp op, NodeId target, const std::string& xml) {
+  WalRecord rec;
+  rec.op = op;
+  rec.target = target;
+  if (!xml.empty()) {
+    rec.payload = EncodeTokens(MustFragment(xml));
+  }
+  return rec;
+}
+
+TEST(WalFormatTest, RecordRoundTrips) {
+  WalRecord rec = MakeRecord(WalOp::kInsertIntoLast, 60, "<child/>");
+  std::vector<uint8_t> framed;
+  EncodeWalRecord(rec, &framed);
+  const uint8_t* p = framed.data();
+  WalRecord back;
+  ASSERT_LAXML_OK(DecodeWalRecord(&p, framed.data() + framed.size(), &back));
+  EXPECT_EQ(back.op, rec.op);
+  EXPECT_EQ(back.target, rec.target);
+  EXPECT_EQ(back.payload, rec.payload);
+  EXPECT_EQ(p, framed.data() + framed.size());
+}
+
+TEST(WalFormatTest, TornTailIsNotFoundNotCorruption) {
+  WalRecord rec = MakeRecord(WalOp::kDeleteNode, 7, "");
+  std::vector<uint8_t> framed;
+  EncodeWalRecord(rec, &framed);
+  for (size_t keep = 0; keep < framed.size(); ++keep) {
+    const uint8_t* p = framed.data();
+    WalRecord back;
+    Status st = DecodeWalRecord(&p, framed.data() + keep, &back);
+    EXPECT_TRUE(st.IsNotFound()) << "keep=" << keep << " " << st.ToString();
+  }
+}
+
+TEST(WalFormatTest, FlippedBitIsDetected) {
+  WalRecord rec = MakeRecord(WalOp::kReplaceNode, 3, "<n/>");
+  std::vector<uint8_t> framed;
+  EncodeWalRecord(rec, &framed);
+  framed[10] ^= 0x40;
+  const uint8_t* p = framed.data();
+  WalRecord back;
+  Status st = DecodeWalRecord(&p, framed.data() + framed.size(), &back);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(WalTest, AppendReadTruncate) {
+  TempFile tmp("wal");
+  std::string wal_path = tmp.path() + ".wal";
+  ASSERT_OK_AND_ASSIGN(auto wal, Wal::Open(wal_path));
+  ASSERT_LAXML_OK(
+      wal->Append(MakeRecord(WalOp::kInsertTopLevel, 0, "<a/>"), false));
+  ASSERT_LAXML_OK(
+      wal->Append(MakeRecord(WalOp::kInsertIntoLast, 1, "<b/>"), true));
+  ASSERT_LAXML_OK(wal->Append(MakeRecord(WalOp::kDeleteNode, 2, ""), false));
+  ASSERT_OK_AND_ASSIGN(auto records, wal->ReadAll());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].op, WalOp::kInsertTopLevel);
+  EXPECT_EQ(records[1].target, 1u);
+  EXPECT_TRUE(records[2].payload.empty());
+  EXPECT_EQ(wal->stats().records_appended, 3u);
+  EXPECT_EQ(wal->stats().syncs, 1u);
+
+  ASSERT_LAXML_OK(wal->Truncate());
+  ASSERT_OK_AND_ASSIGN(records, wal->ReadAll());
+  EXPECT_TRUE(records.empty());
+  ASSERT_OK_AND_ASSIGN(uint64_t size, wal->SizeBytes());
+  EXPECT_EQ(size, 0u);
+}
+
+TEST(WalTest, SurvivesReopenAndIgnoresTornTail) {
+  TempFile tmp("waltorn");
+  std::string wal_path = tmp.path() + ".wal";
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, Wal::Open(wal_path));
+    ASSERT_LAXML_OK(
+        wal->Append(MakeRecord(WalOp::kInsertTopLevel, 0, "<a/>"), true));
+    ASSERT_LAXML_OK(
+        wal->Append(MakeRecord(WalOp::kInsertIntoLast, 1, "<b/>"), true));
+  }
+  // Simulate a torn final write: append half a record's worth of bytes.
+  {
+    int fd = ::open(wal_path.c_str(), O_WRONLY | O_APPEND);
+    ASSERT_GE(fd, 0);
+    uint8_t junk[9] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    ASSERT_EQ(::write(fd, junk, sizeof(junk)),
+              static_cast<ssize_t>(sizeof(junk)));
+    ::close(fd);
+  }
+  ASSERT_OK_AND_ASSIGN(auto wal, Wal::Open(wal_path));
+  ASSERT_OK_AND_ASSIGN(auto records, wal->ReadAll());
+  ASSERT_EQ(records.size(), 2u);  // torn tail dropped
+  EXPECT_EQ(records[1].op, WalOp::kInsertIntoLast);
+}
+
+}  // namespace
+}  // namespace laxml

@@ -1,0 +1,141 @@
+// Workload generator tests: generated documents are well formed and
+// deterministic; the Zipf sampler skews as configured; operation streams
+// stay valid.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_util.h"
+#include "workload/doc_generator.h"
+#include "workload/op_stream.h"
+#include "workload/zipf.h"
+
+namespace laxml {
+namespace {
+
+TEST(DocGeneratorTest, PurchaseOrderIsWellFormed) {
+  Random rng(1);
+  TokenSequence po = GeneratePurchaseOrder(&rng, 42, 5);
+  ASSERT_LAXML_OK(CheckWellFormedFragment(po));
+  EXPECT_EQ(po[0].name, "purchase-order");
+  EXPECT_EQ(po[1].name, "id");
+  EXPECT_EQ(po[1].value, "42");
+  // 5 items, each with sku/price/note.
+  int items = 0;
+  for (const Token& t : po) {
+    if (t.type == TokenType::kBeginElement && t.name == "item") ++items;
+  }
+  EXPECT_EQ(items, 5);
+}
+
+TEST(DocGeneratorTest, PurchaseOrdersDocumentCounts) {
+  Random rng(2);
+  TokenSequence doc = GeneratePurchaseOrdersDocument(&rng, 10, 3);
+  ASSERT_LAXML_OK(CheckWellFormedFragment(doc));
+  EXPECT_EQ(doc[0].name, "purchase-orders");
+  int orders = 0;
+  for (const Token& t : doc) {
+    if (t.type == TokenType::kBeginElement && t.name == "purchase-order") {
+      ++orders;
+    }
+  }
+  EXPECT_EQ(orders, 10);
+}
+
+TEST(DocGeneratorTest, AuctionDocumentIsWellFormedAndScaled) {
+  Random rng(3);
+  TokenSequence doc = GenerateAuctionDocument(&rng, 50);
+  ASSERT_LAXML_OK(CheckWellFormedFragment(doc));
+  int items = 0, people = 0;
+  for (const Token& t : doc) {
+    if (t.type != TokenType::kBeginElement) continue;
+    if (t.name == "item") ++items;
+    if (t.name == "person") ++people;
+  }
+  EXPECT_GE(items, 50);
+  EXPECT_GE(people, 25);
+}
+
+TEST(DocGeneratorTest, RandomTreesAreWellFormedAtEveryDepthCap) {
+  for (int depth : {1, 2, 4, 8}) {
+    for (uint64_t seed : {7ull, 8ull, 9ull}) {
+      Random rng(seed);
+      TokenSequence tree = GenerateRandomTree(&rng, 80, depth);
+      Status st = CheckWellFormedFragment(tree);
+      ASSERT_TRUE(st.ok()) << "depth " << depth << " seed " << seed << ": "
+                           << st.ToString();
+      EXPECT_GE(CountNodeBegins(tree), 1u);
+    }
+  }
+}
+
+TEST(DocGeneratorTest, DeterministicForSeed) {
+  Random a(99), b(99);
+  EXPECT_EQ(GenerateRandomTree(&a, 50, 4), GenerateRandomTree(&b, 50, 4));
+  Random c(99), d(100);
+  EXPECT_NE(GenerateRandomTree(&c, 50, 4), GenerateRandomTree(&d, 50, 4));
+}
+
+TEST(ZipfTest, UniformWhenSIsZero) {
+  ZipfGenerator zipf(10, 0.0, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next()]++;
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [k, n] : counts) {
+    EXPECT_GT(n, 1400) << k;  // ~2000 each
+    EXPECT_LT(n, 2600) << k;
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfGenerator zipf(1000, 1.2, 5);
+  int head = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next() < 10) ++head;
+  }
+  // With s=1.2 the top-10 of 1000 get well over a third of the mass.
+  EXPECT_GT(head, kDraws / 3);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(7, 0.8, 11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Next(), 7u);
+  }
+}
+
+TEST(OpStreamTest, FragmentsAreAlwaysValid) {
+  OpMix mix;
+  OpStreamGenerator gen(mix, 13);
+  std::vector<NodeId> elements{1, 2, 3};
+  std::vector<NodeId> any{1, 2, 3, 4, 5};
+  int mutating = 0;
+  for (int i = 0; i < 500; ++i) {
+    Operation op = gen.Next(elements, any);
+    if (!op.fragment.empty()) {
+      ASSERT_LAXML_OK(CheckWellFormedFragment(op.fragment));
+      ++mutating;
+    }
+    if (op.kind != Operation::Kind::kRead) {
+      EXPECT_NE(op.target, kInvalidNodeId);
+    }
+  }
+  EXPECT_GT(mutating, 100);
+}
+
+TEST(OpStreamTest, MixWeightsAreRespected) {
+  OpMix reads_only;
+  reads_only.insert = 0;
+  reads_only.erase = 0;
+  reads_only.replace = 0;
+  reads_only.read = 1;
+  OpStreamGenerator gen(reads_only, 17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.Next({1}, {1}).kind, Operation::Kind::kRead);
+  }
+}
+
+}  // namespace
+}  // namespace laxml

@@ -1,0 +1,118 @@
+// XPath lexer/parser tests: the accepted grammar, ToString round-trips,
+// and rejection of malformed expressions.
+
+#include "query/xpath_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+XPathPath MustParse(const std::string& expr) {
+  auto result = ParseXPath(expr);
+  EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+  return result.ok() ? std::move(result).value() : XPathPath{};
+}
+
+TEST(XPathParserTest, SimpleChildPath) {
+  XPathPath path = MustParse("/site/regions/africa");
+  EXPECT_TRUE(path.absolute);
+  ASSERT_EQ(path.steps.size(), 3u);
+  EXPECT_EQ(path.steps[0].name, "site");
+  EXPECT_EQ(path.steps[0].axis, XPathAxis::kChild);
+  EXPECT_EQ(path.steps[2].name, "africa");
+}
+
+TEST(XPathParserTest, DescendantAxis) {
+  XPathPath path = MustParse("//item/name");
+  ASSERT_EQ(path.steps.size(), 2u);
+  EXPECT_EQ(path.steps[0].axis, XPathAxis::kDescendant);
+  EXPECT_EQ(path.steps[1].axis, XPathAxis::kChild);
+  XPathPath mid = MustParse("/site//bidder");
+  EXPECT_EQ(mid.steps[1].axis, XPathAxis::kDescendant);
+}
+
+TEST(XPathParserTest, AttributesAndKindTests) {
+  XPathPath path = MustParse("/a/@id");
+  EXPECT_EQ(path.steps[1].axis, XPathAxis::kAttribute);
+  EXPECT_EQ(path.steps[1].name, "id");
+
+  XPathPath anywhere = MustParse("//@category");
+  EXPECT_EQ(anywhere.steps[0].axis, XPathAxis::kAttribute);
+  EXPECT_TRUE(anywhere.steps[0].descendant_attr);
+
+  XPathPath texts = MustParse("/a/text()");
+  EXPECT_EQ(texts.steps[1].test, NodeTestKind::kText);
+  XPathPath comments = MustParse("//comment()");
+  EXPECT_EQ(comments.steps[0].test, NodeTestKind::kComment);
+  XPathPath nodes = MustParse("/a/node()");
+  EXPECT_EQ(nodes.steps[1].test, NodeTestKind::kAnyNode);
+  XPathPath wild = MustParse("/a/*");
+  EXPECT_EQ(wild.steps[1].test, NodeTestKind::kWildcard);
+}
+
+TEST(XPathParserTest, Predicates) {
+  XPathPath pos = MustParse("/list/item[3]");
+  ASSERT_EQ(pos.steps[1].predicates.size(), 1u);
+  EXPECT_EQ(pos.steps[1].predicates[0].kind,
+            XPathPredicate::Kind::kPosition);
+  EXPECT_EQ(pos.steps[1].predicates[0].position, 3u);
+
+  XPathPath exists = MustParse("//person[creditcard]");
+  EXPECT_EQ(exists.steps[0].predicates[0].kind,
+            XPathPredicate::Kind::kExists);
+  EXPECT_EQ(exists.steps[0].predicates[0].path.steps[0].name, "creditcard");
+
+  XPathPath eq = MustParse("//item[@category='books']");
+  EXPECT_EQ(eq.steps[0].predicates[0].kind, XPathPredicate::Kind::kEquals);
+  EXPECT_EQ(eq.steps[0].predicates[0].literal, "books");
+  EXPECT_EQ(eq.steps[0].predicates[0].path.steps[0].axis,
+            XPathAxis::kAttribute);
+
+  XPathPath deep = MustParse("//open_auction[bidder/increase='5']");
+  EXPECT_EQ(deep.steps[0].predicates[0].path.steps.size(), 2u);
+
+  XPathPath multi = MustParse("/a/b[1][c='x']");
+  EXPECT_EQ(multi.steps[1].predicates.size(), 2u);
+}
+
+TEST(XPathParserTest, NumericLiteralsInEquals) {
+  XPathPath path = MustParse("//qty[text()=5]");
+  EXPECT_EQ(path.steps[0].predicates[0].literal, "5");
+}
+
+TEST(XPathParserTest, RelativePathsAllowed) {
+  XPathPath path = MustParse("item/name");
+  EXPECT_FALSE(path.absolute);
+  ASSERT_EQ(path.steps.size(), 2u);
+}
+
+TEST(XPathParserTest, ToStringRoundTrips) {
+  for (const char* expr :
+       {"/site/regions", "//item[@id='i1']/name", "/a/b[2]",
+        "//person[creditcard]", "/a/*/text()", "//comment()"}) {
+    XPathPath path = MustParse(expr);
+    XPathPath again = MustParse(path.ToString());
+    EXPECT_EQ(again.ToString(), path.ToString()) << expr;
+  }
+}
+
+TEST(XPathParserTest, RejectsGarbage) {
+  EXPECT_TRUE(ParseXPath("").status().IsParseError());
+  EXPECT_TRUE(ParseXPath("/").status().IsParseError());
+  EXPECT_TRUE(ParseXPath("/a[").status().IsParseError());
+  EXPECT_TRUE(ParseXPath("/a[]").status().IsParseError());
+  EXPECT_TRUE(ParseXPath("/a[0]").status().IsParseError());  // 1-based
+  EXPECT_TRUE(ParseXPath("/a[b=]").status().IsParseError());
+  EXPECT_TRUE(ParseXPath("/a]").status().IsParseError());
+  EXPECT_TRUE(ParseXPath("/a[/b]").status().IsParseError());  // absolute
+  EXPECT_TRUE(ParseXPath("/a['lonely']").status().IsParseError());
+  EXPECT_TRUE(ParseXPath("/a/unknown()").status().IsParseError());
+  EXPECT_TRUE(ParseXPath("/a[b='unterminated]").status().IsParseError());
+  EXPECT_TRUE(ParseXPath("/a ? b").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace laxml

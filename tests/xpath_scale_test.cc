@@ -1,0 +1,116 @@
+// XPath at scale: queries over a generated auction document, verified
+// against hand-rolled scans of the same snapshot, on a fragmented
+// (split-heavy) store.
+
+#include <gtest/gtest.h>
+
+#include "query/xpath_eval.h"
+#include "store/store.h"
+#include "test_util.h"
+#include "workload/doc_generator.h"
+
+namespace laxml {
+namespace {
+
+class XPathScaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StoreOptions options;
+    options.max_range_bytes = 256;  // force heavy fragmentation
+    options.pager.page_size = 512;
+    ASSERT_OK_AND_ASSIGN(store_, Store::OpenInMemory(options));
+    Random rng(2026);
+    ASSERT_LAXML_OK(
+        store_->InsertTopLevel(GenerateAuctionDocument(&rng, 80)).status());
+    ASSERT_OK_AND_ASSIGN(tokens_, store_->ReadWithIds(&ids_));
+    evaluator_ = std::make_unique<XPathEvaluator>(store_.get());
+  }
+
+  /// Oracle: ids of elements with the given name, by direct scan.
+  std::vector<NodeId> ElementsNamed(const std::string& name) {
+    std::vector<NodeId> out;
+    for (size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].type == TokenType::kBeginElement &&
+          tokens_[i].name == name) {
+        out.push_back(ids_[i]);
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<Store> store_;
+  std::unique_ptr<XPathEvaluator> evaluator_;
+  TokenSequence tokens_;
+  std::vector<NodeId> ids_;
+};
+
+TEST_F(XPathScaleTest, DescendantCountsMatchDirectScan) {
+  for (const char* name : {"item", "person", "open_auction", "bidder",
+                           "name", "increase"}) {
+    ASSERT_OK_AND_ASSIGN(auto hits,
+                         evaluator_->Evaluate("//" + std::string(name)));
+    EXPECT_EQ(hits, ElementsNamed(name)) << name;
+  }
+}
+
+TEST_F(XPathScaleTest, PathCompositionNarrowsCorrectly) {
+  ASSERT_OK_AND_ASSIGN(auto all_names, evaluator_->Evaluate("//name"));
+  ASSERT_OK_AND_ASSIGN(auto item_names,
+                       evaluator_->Evaluate("//item/name"));
+  ASSERT_OK_AND_ASSIGN(auto person_names,
+                       evaluator_->Evaluate("//person/name"));
+  EXPECT_EQ(all_names.size(), item_names.size() + person_names.size());
+  ASSERT_OK_AND_ASSIGN(
+      auto regions_names,
+      evaluator_->Evaluate("/site/regions//item/name"));
+  EXPECT_EQ(regions_names, item_names);
+}
+
+TEST_F(XPathScaleTest, PredicateSubsetsAreConsistent) {
+  ASSERT_OK_AND_ASSIGN(auto all_items, evaluator_->Evaluate("//item"));
+  size_t by_category = 0;
+  for (const char* cat :
+       {"books", "music", "art", "coins", "tools", "toys"}) {
+    ASSERT_OK_AND_ASSIGN(
+        auto subset, evaluator_->Evaluate("//item[@category='" +
+                                          std::string(cat) + "']"));
+    by_category += subset.size();
+    for (NodeId id : subset) {
+      EXPECT_TRUE(std::find(all_items.begin(), all_items.end(), id) !=
+                  all_items.end());
+    }
+  }
+  EXPECT_EQ(by_category, all_items.size());  // categories partition items
+}
+
+TEST_F(XPathScaleTest, PositionalAccessAgreesWithOrder) {
+  ASSERT_OK_AND_ASSIGN(auto people, evaluator_->Evaluate("//person"));
+  ASSERT_GE(people.size(), 3u);
+  for (size_t k = 1; k <= 3; ++k) {
+    ASSERT_OK_AND_ASSIGN(
+        auto kth, evaluator_->Evaluate("/site/people/person[" +
+                                       std::to_string(k) + "]"));
+    ASSERT_EQ(kth.size(), 1u);
+    EXPECT_EQ(kth[0], people[k - 1]);
+  }
+}
+
+TEST_F(XPathScaleTest, ReadBackOfHitsMatchesSnapshot) {
+  ASSERT_OK_AND_ASSIGN(auto auctions,
+                       evaluator_->Evaluate("//open_auction[bidder]"));
+  for (size_t i = 0; i < auctions.size() && i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(TokenSequence subtree, store_->Read(auctions[i]));
+    EXPECT_EQ(subtree.front().name, "open_auction");
+    ASSERT_LAXML_OK(CheckWellFormedFragment(subtree));
+    bool has_bidder = false;
+    for (const Token& t : subtree) {
+      if (t.type == TokenType::kBeginElement && t.name == "bidder") {
+        has_bidder = true;
+      }
+    }
+    EXPECT_TRUE(has_bidder);
+  }
+}
+
+}  // namespace
+}  // namespace laxml

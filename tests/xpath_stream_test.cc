@@ -1,0 +1,119 @@
+// Streaming XPath tests: exact agreement with the snapshot evaluator on
+// the shared (predicate-free) fragment, across hand-written cases,
+// generated documents, and fragmented stores; plus the NotSupported
+// boundary.
+
+#include "query/xpath_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "query/xpath_eval.h"
+#include "store/store.h"
+#include "test_util.h"
+#include "workload/doc_generator.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+
+std::unique_ptr<Store> StoreWith(const TokenSequence& doc,
+                                 uint32_t max_range_bytes = 0) {
+  StoreOptions options;
+  options.max_range_bytes = max_range_bytes;
+  options.pager.page_size = 512;
+  auto opened = Store::OpenInMemory(options);
+  EXPECT_TRUE(opened.ok());
+  auto store = std::move(opened).value();
+  EXPECT_TRUE(store->InsertTopLevel(doc).ok());
+  return store;
+}
+
+TEST(XPathStreamTest, BasicAxesAndTests) {
+  auto store = StoreWith(MustFragment(
+      "<site><a id=\"1\"><b>x</b><b>y</b></a><c><b>z</b>"
+      "<!--note--></c></site>"));
+  struct Case {
+    const char* expr;
+    size_t expected;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"/site", 1},
+           {"/site/a/b", 2},
+           {"//b", 3},
+           {"//b/text()", 3},
+           {"/site/*", 2},
+           {"//comment()", 1},
+           {"//a/@id", 1},
+           {"//@id", 1},
+           {"/site/node()", 2},
+           {"/nothing", 0},
+           {"//a//text()", 2},
+       }) {
+    ASSERT_OK_AND_ASSIGN(auto hits,
+                         EvaluateXPathStreaming(*store, c.expr));
+    EXPECT_EQ(hits.size(), c.expected) << c.expr;
+  }
+}
+
+TEST(XPathStreamTest, PredicatesAreNotSupported) {
+  auto store = StoreWith(MustFragment("<a><b/></a>"));
+  auto result = EvaluateXPathStreaming(*store, "/a/b[1]");
+  EXPECT_TRUE(result.status().IsNotSupported());
+  EXPECT_TRUE(EvaluateXPathStreaming(*store, "//a[b]")
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST(XPathStreamTest, AgreesWithSnapshotEvaluatorOnAuctionDoc) {
+  Random rng(4096);
+  auto store = StoreWith(GenerateAuctionDocument(&rng, 60),
+                         /*max_range_bytes=*/192);
+  XPathEvaluator snapshot(store.get());
+  for (const char* expr :
+       {"//item", "//item/name", "/site/people/person",
+        "/site/regions/*/item", "//bidder/increase", "//@id",
+        "//person/@id", "//open_auction//personref", "/site/*",
+        "//name/text()", "//creditcard"}) {
+    ASSERT_OK_AND_ASSIGN(auto streamed,
+                         EvaluateXPathStreaming(*store, expr));
+    ASSERT_OK_AND_ASSIGN(auto snapped, snapshot.Evaluate(expr));
+    EXPECT_EQ(streamed, snapped) << expr;
+  }
+}
+
+TEST(XPathStreamTest, AgreesOnRandomTrees) {
+  for (uint64_t seed : {5ull, 6ull, 7ull}) {
+    Random rng(seed);
+    auto store = StoreWith(GenerateRandomTree(&rng, 150, 6), 128);
+    XPathEvaluator snapshot(store.get());
+    for (const char* expr : {"//*", "/root/*", "//text()", "//comment()",
+                             "//*/text()", "//@*", "/root//node()"}) {
+      ASSERT_OK_AND_ASSIGN(auto streamed,
+                           EvaluateXPathStreaming(*store, expr));
+      ASSERT_OK_AND_ASSIGN(auto snapped, snapshot.Evaluate(expr));
+      EXPECT_EQ(streamed, snapped) << expr << " seed " << seed;
+    }
+  }
+}
+
+TEST(XPathStreamTest, SeesUpdatesWithoutRefresh) {
+  // Unlike the snapshot evaluator, the streaming evaluator re-walks the
+  // live store on every call.
+  auto store = StoreWith(MustFragment("<l><e/></l>"));
+  ASSERT_OK_AND_ASSIGN(auto before, EvaluateXPathStreaming(*store, "//e"));
+  EXPECT_EQ(before.size(), 1u);
+  ASSERT_LAXML_OK(store->InsertIntoLast(1, MustFragment("<e/>")).status());
+  ASSERT_OK_AND_ASSIGN(auto after, EvaluateXPathStreaming(*store, "//e"));
+  EXPECT_EQ(after.size(), 2u);
+}
+
+TEST(XPathStreamTest, EmptyStore) {
+  StoreOptions options;
+  auto store = Store::OpenInMemory(options).value();
+  ASSERT_OK_AND_ASSIGN(auto hits, EvaluateXPathStreaming(*store, "//x"));
+  EXPECT_TRUE(hits.empty());
+}
+
+}  // namespace
+}  // namespace laxml
