@@ -1,0 +1,83 @@
+#include "audit/audit_report.h"
+
+namespace laxml {
+
+const char* AuditLayerName(AuditLayer layer) {
+  switch (layer) {
+    case AuditLayer::kMeta:
+      return "meta";
+    case AuditLayer::kPage:
+      return "page";
+    case AuditLayer::kFreeChain:
+      return "free-chain";
+    case AuditLayer::kSlottedPage:
+      return "slotted-page";
+    case AuditLayer::kOverflow:
+      return "overflow";
+    case AuditLayer::kBTree:
+      return "btree";
+    case AuditLayer::kRangeChain:
+      return "range-chain";
+    case AuditLayer::kRangeIndex:
+      return "range-index";
+    case AuditLayer::kPartialIndex:
+      return "partial-index";
+    case AuditLayer::kFullIndex:
+      return "full-index";
+    case AuditLayer::kWal:
+      return "wal";
+    case AuditLayer::kBufferPool:
+      return "buffer-pool";
+  }
+  return "?";
+}
+
+std::string AuditIssue::ToString() const {
+  std::string out = std::string("[") + AuditLayerName(layer) + "] " + message;
+  std::string where;
+  auto append = [&where](const std::string& part) {
+    if (!where.empty()) where += ", ";
+    where += part;
+  };
+  if (page != kInvalidPageId) append("page " + std::to_string(page));
+  if (slot >= 0) append("slot " + std::to_string(slot));
+  if (range != kInvalidRangeId) append("range " + std::to_string(range));
+  if (node != kInvalidNodeId) append("node " + std::to_string(node));
+  if (has_offset) append("offset " + std::to_string(offset));
+  if (!where.empty()) out += " (" + where + ")";
+  return out;
+}
+
+std::string AuditReport::Summary(size_t max_lines) const {
+  std::string out;
+  size_t n = issues.size() < max_lines ? issues.size() : max_lines;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += "; ";
+    out += issues[i].ToString();
+  }
+  if (issues.size() > n) {
+    out += "; ... " + std::to_string(issues.size() - n) + " more";
+  }
+  return out;
+}
+
+std::string AuditReport::ToString() const {
+  std::string out;
+  for (const AuditIssue& issue : issues) {
+    out += issue.ToString();
+    out += "\n";
+  }
+  if (truncated) out += "(issue list truncated)\n";
+  out += "scanned: " + std::to_string(ranges_walked) + " ranges, " +
+         std::to_string(tokens_scanned) + " tokens, " +
+         std::to_string(heap_pages) + " heap pages, " +
+         std::to_string(overflow_pages) + " overflow pages, " +
+         std::to_string(btree_nodes) + " btree nodes, " +
+         std::to_string(partial_entries) + " partial-index entries, " +
+         std::to_string(full_entries) + " full-index entries, " +
+         std::to_string(wal_records) + " wal records, " +
+         std::to_string(pages_swept) + " pages swept\n";
+  return out;
+}
+
+}  // namespace laxml

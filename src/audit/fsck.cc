@@ -1,0 +1,159 @@
+#include "audit/fsck.h"
+
+#include <sys/stat.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/store_auditor.h"
+#include "audit/wal_audit.h"
+#include "common/slice.h"
+#include "storage/pager.h"
+#include "store/store.h"
+
+namespace laxml {
+namespace {
+
+// Store meta blob prefix (store.cc): [magic u32][version u32][mode u32].
+constexpr uint32_t kStoreMagic = 0x4C585354u;  // "LXST"
+constexpr size_t kModeOffset = 8;
+
+// Store::Open refuses to open a store under a different IndexMode than
+// it was created with, so fsck reads the mode out of the meta blob
+// first. This also front-loads the page-file-level checks (header
+// magic, meta page checksum) before a full Store bootstrap.
+Result<IndexMode> SniffIndexMode(const std::string& path) {
+  PagerOptions po;
+  po.read_only = true;
+  po.pool_frames = 4;  // only the meta area is read
+  LAXML_ASSIGN_OR_RETURN(auto pager, Pager::OpenFile(path, po));
+  LAXML_ASSIGN_OR_RETURN(auto blob, pager->ReadMeta());
+  if (blob.size() < kModeOffset + 4) {
+    return Status::Corruption("store meta blob truncated (" +
+                              std::to_string(blob.size()) + " bytes)");
+  }
+  if (DecodeFixed32(blob.data()) != kStoreMagic) {
+    return Status::Corruption("bad store magic");
+  }
+  uint32_t raw = DecodeFixed32(blob.data() + kModeOffset);
+  if (raw > static_cast<uint32_t>(IndexMode::kRangeWithPartial)) {
+    return Status::Corruption("unknown index mode " + std::to_string(raw));
+  }
+  return static_cast<IndexMode>(raw);
+}
+
+// Open/bootstrap failures that themselves mean "the store is corrupt"
+// become an exit-1 finding; everything else (missing file, permissions)
+// is exit 2.
+void FailOutcome(FsckOutcome* out, const Status& status) {
+  if (status.IsCorruption()) {
+    AuditIssue issue;
+    issue.layer = AuditLayer::kMeta;
+    issue.message = "store failed to open: " + status.message();
+    out->report.issues.push_back(std::move(issue));
+    out->exit_code = 1;
+  } else {
+    out->error = status.ToString();
+    out->exit_code = 2;
+  }
+}
+
+// Last-resort localization for a store too corrupt to even open: fetch
+// every page through a fresh read-only pager so checksum / self-id
+// failures are reported with their page number.
+void SweepRawPages(const std::string& path, size_t max_issues,
+                   AuditReport* report) {
+  PagerOptions po;
+  po.read_only = true;
+  po.pool_frames = 8;
+  auto pager = Pager::OpenFile(path, po);
+  if (!pager.ok()) return;
+  const uint32_t page_count = (*pager)->page_count();
+  for (PageId id = 1; id < page_count; ++id) {
+    if (report->issues.size() >= max_issues) {
+      report->truncated = true;
+      return;
+    }
+    ++report->pages_swept;
+    auto handle = (*pager)->Fetch(id);
+    if (!handle.ok()) {
+      AuditIssue issue;
+      issue.layer = AuditLayer::kPage;
+      issue.message = handle.status().ToString();
+      issue.page = id;
+      report->issues.push_back(std::move(issue));
+    }
+  }
+}
+
+}  // namespace
+
+FsckOutcome RunFsck(const std::string& path, const FsckOptions& options) {
+  FsckOutcome out;
+
+  // A directory opens (and then reads as garbage) on POSIX; that is a
+  // usage error, not a corrupt store.
+  struct stat path_sb;
+  if (::stat(path.c_str(), &path_sb) == 0 && S_ISDIR(path_sb.st_mode)) {
+    out.error = "'" + path + "' is a directory, not a store file";
+    out.exit_code = 2;
+    return out;
+  }
+
+  auto mode = SniffIndexMode(path);
+  if (!mode.ok()) {
+    FailOutcome(&out, mode.status());
+    return out;
+  }
+
+  const std::string wal_path = path + ".wal";
+  struct stat sb;
+  const bool wal_exists = ::stat(wal_path.c_str(), &sb) == 0;
+  const bool wal_nonempty = wal_exists && sb.st_size > 0;
+  out.wal_present = wal_exists;
+
+  StoreOptions so;
+  so.index_mode = *mode;
+  so.pager.read_only = true;
+  so.pager.pool_frames = options.pool_frames;
+  so.enable_wal = wal_exists && options.replay_wal;
+  so.paranoid_audit_interval = 0;  // one explicit audit below
+
+  auto store = Store::Open(path, so);
+  if (!store.ok()) {
+    FailOutcome(&out, store.status());
+    if (out.exit_code == 1) {
+      // The store is corrupt beyond bootstrapping; localize what the
+      // page layer can still see on its own.
+      SweepRawPages(path, options.max_issues, &out.report);
+      out.swept_pages = true;
+      if (wal_exists) AuditWalFile(wal_path, &out.report);
+    }
+    return out;
+  }
+
+  AuditOptions ao;
+  ao.max_issues = options.max_issues;
+  // A replayed WAL tail legitimately diverges from the disk image (new
+  // pages live only in the pool, freed pages are deferred off the free
+  // chain until the next checkpoint), so the disk sweep only runs when
+  // the checkpoint image *is* the store.
+  const bool replayed_tail = so.enable_wal && wal_nonempty;
+  ao.check_pages = !replayed_tail;
+  out.swept_pages = ao.check_pages;
+
+  StoreAuditor auditor(store->get());
+  out.report = auditor.Run(ao);
+
+  // With replay disabled the auditor never saw the log; its records are
+  // still part of the store's state and must decode.
+  if (wal_exists && !so.enable_wal) {
+    AuditWalFile(wal_path, &out.report);
+  }
+
+  out.exit_code = out.report.ok() ? 0 : 1;
+  return out;
+}
+
+}  // namespace laxml

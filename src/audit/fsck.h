@@ -1,0 +1,55 @@
+// Offline store checker — the library behind the laxml_fsck tool.
+//
+// RunFsck opens a closed page file strictly read-only (no header
+// rewrite, no WAL creation, no page write-back — see
+// PagerOptions::read_only), replays any WAL tail into the buffer pool
+// only, runs the full cross-layer StoreAuditor, and reports per-layer
+// issues with page/slot/range coordinates. Nothing in the store files
+// is ever modified, so fsck is safe to run on a store you suspect is
+// corrupt — or on one owned by a stopped process.
+
+#ifndef LAXML_AUDIT_FSCK_H_
+#define LAXML_AUDIT_FSCK_H_
+
+#include <string>
+
+#include "audit/audit_report.h"
+
+namespace laxml {
+
+struct FsckOptions {
+  /// Replay the WAL tail (when a .wal file exists) before auditing, the
+  /// way a normal open would — off audits the checkpoint image alone,
+  /// and any WAL records then count as an un-checkpointed tail.
+  bool replay_wal = true;
+  /// Buffer pool frames. Replay is no-steal (dirty frames cannot be
+  /// evicted), so this bounds how much un-checkpointed WAL tail fsck
+  /// can absorb; raise it for stores with huge tails.
+  size_t pool_frames = 4096;
+  size_t max_issues = 256;
+};
+
+/// The outcome of one check, pre-shaped for a CLI.
+struct FsckOutcome {
+  /// 0 = store verifies clean; 1 = corruption found (see report);
+  /// 2 = the store could not be opened at all (see error).
+  int exit_code = 2;
+  /// Why the store failed to open (exit_code == 2 only).
+  std::string error;
+  /// The auditor's findings and coverage counters (exit_code <= 1).
+  AuditReport report;
+  /// Whether a WAL file was found next to the store.
+  bool wal_present = false;
+  /// Whether the full page sweep ran (it is skipped when a non-empty
+  /// WAL tail was replayed: replay legitimately leaves pages freed in
+  /// memory but not yet on the on-disk free chain, which the
+  /// reachability check would misread as leaks).
+  bool swept_pages = false;
+};
+
+/// Checks the store at `path` without modifying it.
+FsckOutcome RunFsck(const std::string& path, const FsckOptions& options = {});
+
+}  // namespace laxml
+
+#endif  // LAXML_AUDIT_FSCK_H_

@@ -1,0 +1,77 @@
+// The runtime invariant auditor: walks an open Store and validates the
+// invariants that tie its layers together. Complementary to the unit
+// tests (which exercise one layer at a time) and to page checksums
+// (which catch bit rot but not logically-inconsistent writes), this is
+// the engine's fsck heart: it cross-checks
+//
+//   * the Range Index against the token chain — intervals must exactly
+//     tile the chain's id-bearing ranges, no gaps, no overlaps;
+//   * every Partial Index memo against the payload bytes it claims to
+//     shortcut — the memoized (range, offset, token index) must land on
+//     a real begin/end token of the right node;
+//   * (full-index mode) every begin token against its eager index entry;
+//   * slotted heap pages — slot directory bounds, extent overlap, and
+//     the free-space accounting identity;
+//   * all three B+-trees — node structure, key order, fanout, leaf
+//     chain (see BTree::CheckStructure);
+//   * overflow chains and the record directory that anchors them;
+//   * the WAL record chain (CRC framing, byte-precise);
+//   * buffer pool pin accounting at quiesce;
+//   * optionally the raw page image: checksums, the free chain, and
+//     page reachability (every page owned by exactly one structure).
+//
+// Everything is read-only. Issues collect into an AuditReport with
+// layer + coordinates; Store::CheckIntegrity() wraps a default run into
+// a Status, and laxml_fsck drives it against closed files.
+
+#ifndef LAXML_AUDIT_STORE_AUDITOR_H_
+#define LAXML_AUDIT_STORE_AUDITOR_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "audit/audit_report.h"
+#include "store/store.h"
+
+namespace laxml {
+
+class StoreAuditor {
+ public:
+  /// The store must stay alive and unmutated for the duration of Run().
+  explicit StoreAuditor(const Store* store) : store_(store) {}
+
+  /// Runs the enabled audit legs and returns the findings. Never
+  /// mutates the store; IO failures become issues, not aborts.
+  AuditReport Run(const AuditOptions& options = {});
+
+ private:
+  /// True when the issue budget is exhausted (legs stop early).
+  bool Full();
+
+  /// Appends an issue and returns it for coordinate stamping.
+  AuditIssue& Add(AuditLayer layer, std::string message);
+
+  /// Records `owner` as the structure a page belongs to; a second
+  /// claim is itself a kPage issue (two structures sharing a page).
+  void Claim(PageId page, const char* owner);
+
+  void AuditBufferPool();
+  void AuditBTrees();
+  void AuditRangeLayer();
+  void AuditPartialIndex();
+  void AuditHeapAndOverflow();
+  void AuditWal();
+  void AuditPageSweep();
+
+  const Store* store_;
+  AuditOptions options_;
+  AuditReport report_;
+  /// Page ownership map for the reachability sweep.
+  std::unordered_map<PageId, const char*> owners_;
+  /// Pages of the heap chain (anchor validation for directory entries).
+  std::unordered_set<PageId> heap_pages_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_AUDIT_STORE_AUDITOR_H_

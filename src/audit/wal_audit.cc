@@ -1,0 +1,58 @@
+#include "audit/wal_audit.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "wal/log_format.h"
+
+namespace laxml {
+
+void AuditWalFile(const std::string& path, AuditReport* report) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;  // no log, nothing to audit
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    AuditIssue issue;
+    issue.layer = AuditLayer::kWal;
+    issue.message = "log file unreadable: " + path;
+    report->issues.push_back(issue);
+    return;
+  }
+
+  const uint8_t* p = bytes.data();
+  const uint8_t* limit = p + bytes.size();
+  while (p < limit) {
+    const uint8_t* record_start = p;
+    WalRecord record;
+    Status st = DecodeWalRecord(&p, limit, &record);
+    if (st.ok()) {
+      ++report->wal_records;
+      continue;
+    }
+    AuditIssue issue;
+    issue.layer = AuditLayer::kWal;
+    issue.offset = static_cast<uint64_t>(record_start - bytes.data());
+    issue.has_offset = true;
+    uint64_t remaining = static_cast<uint64_t>(limit - record_start);
+    if (st.IsNotFound()) {
+      // CRC/length framing stopped verifying: either a torn tail the
+      // next recovery will discard, or a record corrupted in place.
+      issue.message = "record chain stops verifying with " +
+                      std::to_string(remaining) +
+                      " trailing byte(s): " + st.message();
+    } else {
+      issue.message = "undecodable record: " + st.ToString();
+    }
+    report->issues.push_back(issue);
+    return;  // nothing after this point is trustworthy
+  }
+}
+
+}  // namespace laxml

@@ -1,0 +1,25 @@
+// Standalone WAL file audit: decodes every record frame in a log file
+// the same way recovery does, reporting (with byte offsets) where the
+// record chain stops verifying. A pure file reader — unlike Wal::Open
+// it never creates or touches the log, so fsck can point it at a log
+// it does not own.
+
+#ifndef LAXML_AUDIT_WAL_AUDIT_H_
+#define LAXML_AUDIT_WAL_AUDIT_H_
+
+#include <string>
+
+#include "audit/audit_report.h"
+
+namespace laxml {
+
+/// Decodes `path` front to back, appending kWal issues to `report`
+/// (and bumping report->wal_records for each intact record). A missing
+/// file means "no log" and is not an issue; undecodable trailing bytes
+/// are — they are either a torn tail from a crash (recovery will drop
+/// them) or an in-place corruption, and fsck must surface both.
+void AuditWalFile(const std::string& path, AuditReport* report);
+
+}  // namespace laxml
+
+#endif  // LAXML_AUDIT_WAL_AUDIT_H_

@@ -1,7 +1,9 @@
 #include "btree/btree.h"
 
-#include <cassert>
 #include <cstring>
+#include <unordered_set>
+
+#include "common/check.h"
 
 namespace laxml {
 
@@ -395,8 +397,8 @@ Status BTree::RemoveLeaf(PageId leaf_id, std::vector<PathEntry>* path) {
     uint8_t* p = h.view().payload();
     uint16_t n = NodeCount(p);
     uint32_t idx = entry.child_idx;
-    assert(ChildAt(p, cap, idx) == dead_child);
-    (void)dead_child;
+    LAXML_DCHECK(ChildAt(p, cap, idx) == dead_child)
+        << "parent child slot does not point at the removed leaf";
     // Removing child idx removes key idx-1 (or key 0 when idx == 0).
     uint32_t key_idx = (idx == 0) ? 0 : idx - 1;
     std::memmove(p + kInternalKeysOff + 8 * key_idx,
@@ -451,6 +453,132 @@ Status BTree::Drop() {
   }
   root_ = kInvalidPageId;
   size_ = 0;
+  return Status::OK();
+}
+
+Status BTree::CheckStructure(std::vector<BTreeCheckIssue>* issues,
+                             std::vector<PageId>* visited) const {
+  auto add = [&](PageId page, std::string what) {
+    issues->push_back({page, std::move(what)});
+  };
+  if (root_ == kInvalidPageId) {
+    add(kInvalidPageId, "tree has no root (dropped?)");
+    return Status::OK();
+  }
+  // In-order DFS with parent-derived key bounds: child i of an internal
+  // node holds keys in [keys[i-1], keys[i]) — separators are promoted
+  // first-keys of right siblings, and the deletion policy preserves
+  // this (removing child i also removes the separator beside it).
+  struct Frame {
+    PageId page;
+    int parent_level;  // 256 for the root: no constraint
+    uint64_t lo;       // inclusive
+    uint64_t hi;       // exclusive, meaningful when has_hi
+    bool has_hi;
+  };
+  std::unordered_set<PageId> seen;
+  std::vector<PageId> leaves;
+  uint64_t leaf_keys = 0;
+  std::vector<Frame> stack{{root_, 256, 0, 0, false}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (!seen.insert(f.page).second) {
+      add(f.page, "node reachable twice (cycle or shared child)");
+      continue;
+    }
+    auto fetched = pager_->Fetch(f.page);
+    if (!fetched.ok()) {
+      add(f.page, "node unreadable: " + fetched.status().ToString());
+      continue;
+    }
+    PageHandle h = std::move(fetched).value();
+    if (visited != nullptr) visited->push_back(f.page);
+    PageView view = h.view();
+    const uint8_t* p = view.payload();
+    const uint8_t level = NodeLevel(p);
+    const uint16_t n = NodeCount(p);
+    if (f.parent_level != 256 && level >= f.parent_level) {
+      add(f.page, "level " + std::to_string(level) +
+                      " not below parent level " +
+                      std::to_string(f.parent_level));
+      continue;  // descent bookkeeping would be unreliable
+    }
+    const PageType want_type =
+        level == 0 ? PageType::kBTreeLeaf : PageType::kBTreeInternal;
+    if (view.type() != want_type) {
+      add(f.page, "page type " +
+                      std::to_string(static_cast<int>(view.type())) +
+                      " disagrees with node level " + std::to_string(level));
+      continue;
+    }
+    const uint32_t cap = level == 0 ? LeafCapacity() : InternalCapacity();
+    if (n > cap) {
+      add(f.page, "count " + std::to_string(n) + " exceeds capacity " +
+                      std::to_string(cap));
+      continue;  // key/child arrays would run past the payload
+    }
+    if (n == 0 && f.page != root_) {
+      add(f.page, level == 0 ? "empty non-root leaf not unlinked"
+                             : "internal node with zero keys not collapsed");
+    }
+    // Key ordering within the parent-derived window.
+    uint64_t prev_key = 0;
+    bool have_prev = false;
+    for (uint16_t i = 0; i < n; ++i) {
+      uint64_t key = level == 0 ? LeafKey(p, i) : InternalKey(p, i);
+      if (key < f.lo || (f.has_hi && key >= f.hi)) {
+        add(f.page, "key " + std::to_string(key) + " at index " +
+                        std::to_string(i) + " outside parent bounds");
+      }
+      if (have_prev && key <= prev_key) {
+        add(f.page, "keys not strictly ascending at index " +
+                        std::to_string(i));
+      }
+      prev_key = key;
+      have_prev = true;
+    }
+    if (level == 0) {
+      leaves.push_back(f.page);
+      leaf_keys += n;
+      continue;
+    }
+    // Push children right-to-left so the stack pops them in order.
+    for (uint32_t i = n + 1; i-- > 0;) {
+      Frame child;
+      child.page = ChildAt(p, cap, i);
+      child.parent_level = level;
+      child.lo = i == 0 ? f.lo : InternalKey(p, i - 1);
+      if (i < n) {
+        child.hi = InternalKey(p, i);
+        child.has_hi = true;
+      } else {
+        child.hi = f.hi;
+        child.has_hi = f.has_hi;
+      }
+      stack.push_back(child);
+    }
+  }
+  // Leaf chain vs the in-order leaf sequence.
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto fetched = pager_->Fetch(leaves[i]);
+    if (!fetched.ok()) continue;  // already reported above
+    PageHandle h = std::move(fetched).value();
+    const uint8_t* p = h.view().payload();
+    PageId want_prev = i == 0 ? kInvalidPageId : leaves[i - 1];
+    PageId want_next =
+        i + 1 == leaves.size() ? kInvalidPageId : leaves[i + 1];
+    if (DecodeFixed32(p + kLeafPrevOff) != want_prev) {
+      add(leaves[i], "leaf chain prev pointer disagrees with tree order");
+    }
+    if (DecodeFixed32(p + kLeafNextOff) != want_next) {
+      add(leaves[i], "leaf chain next pointer disagrees with tree order");
+    }
+  }
+  if (issues->empty() && leaf_keys != size_) {
+    add(root_, "leaf key total " + std::to_string(leaf_keys) +
+                   " disagrees with tracked size " + std::to_string(size_));
+  }
   return Status::OK();
 }
 

@@ -23,12 +23,20 @@
 #define LAXML_BTREE_BTREE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/pager.h"
 
 namespace laxml {
+
+/// One structural problem found by BTree::CheckStructure, anchored to
+/// the node page where it was observed.
+struct BTreeCheckIssue {
+  PageId page = kInvalidPageId;
+  std::string what;
+};
 
 /// B+-tree over u64 keys with fixed `value_size` byte values.
 class BTree {
@@ -93,6 +101,21 @@ class BTree {
   };
 
   Iterator NewIterator() const { return Iterator(this); }
+
+  /// Structural audit for the integrity auditor / laxml_fsck. Verifies
+  /// per node: page type vs level coherence, key ordering within the
+  /// bounds implied by the parent's separators, fanout (1 <= count <=
+  /// capacity; the root leaf may be empty), and that child levels
+  /// strictly decrease (exact level steps are NOT required: splicing a
+  /// zero-key internal out during deletion legitimately shortens one
+  /// subtree — see the deletion policy above). Then re-walks the leaf
+  /// chain checking prev/next linkage against the in-order leaf
+  /// sequence. Appends one issue per violation; unreadable or cyclic
+  /// nodes become issues, not errors. `visited` (optional) receives
+  /// every reachable node's page id so the caller can build a
+  /// page-reachability map.
+  Status CheckStructure(std::vector<BTreeCheckIssue>* issues,
+                        std::vector<PageId>* visited = nullptr) const;
 
  private:
   BTree(Pager* pager, PageId root, uint32_t value_size)

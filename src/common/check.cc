@@ -1,0 +1,20 @@
+#include "common/check.h"
+
+#include "common/logging.h"
+
+namespace laxml {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* condition,
+                 const std::string& extra) {
+  std::string msg = std::string("CHECK failed: ") + condition;
+  if (!extra.empty()) {
+    msg += " — ";
+    msg += extra;
+  }
+  LogMessage(LogLevel::kError, file, line, msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace laxml

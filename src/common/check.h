@@ -1,0 +1,87 @@
+// LAXML_CHECK / LAXML_DCHECK: invariant assertions that log the failed
+// condition with its file:line through common/logging before aborting,
+// so a violated invariant in a test binary or a production process
+// leaves a diagnosable trace instead of a bare `assert` line.
+//
+//   LAXML_CHECK(cond)  — always compiled in; use for cheap conditions
+//                        whose violation means memory corruption or a
+//                        programming error that must never ship.
+//   LAXML_DCHECK(cond) — compiled in debug builds (!NDEBUG) and in
+//                        LAXML_PARANOID builds; compiles to nothing (but
+//                        still type-checks) in release builds.
+//
+// Both support streaming extra context:
+//   LAXML_CHECK(pin_count > 0) << "frame " << frame;
+//
+// Engine code on fallible paths must keep returning Status — these
+// macros are for conditions that indicate the process state itself is
+// no longer trustworthy.
+
+#ifndef LAXML_COMMON_CHECK_H_
+#define LAXML_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <sstream>
+
+namespace laxml {
+namespace internal {
+
+/// Logs "CHECK failed: <cond> <extra>" at error level and aborts. Lives
+/// in check.cc so check.h does not pull in logging.h (status.h includes
+/// this header; keep it light).
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* condition,
+                              const std::string& extra);
+
+/// Stream-building helper: collects the `<<`-ed context, then aborts in
+/// the destructor. Instantiated only on the failure path.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+  [[noreturn]] ~CheckFailStream() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  /// Lvalue view of a temporary so `<<` chains and `operator&` both
+  /// bind; the temporary lives to the end of the full expression.
+  CheckFailStream& self() { return *this; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+/// Lets the macro be a single expression usable in `?:` while still
+/// supporting `<<` chains on the failure arm.
+struct CheckVoidify {
+  void operator&(CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace laxml
+
+#define LAXML_CHECK(condition)                                     \
+  (condition)                                                      \
+      ? (void)0                                                    \
+      : ::laxml::internal::CheckVoidify() &                        \
+            ::laxml::internal::CheckFailStream(__FILE__, __LINE__, \
+                                               #condition)         \
+                .self()
+
+#if !defined(NDEBUG) || defined(LAXML_PARANOID)
+#define LAXML_DCHECK(condition) LAXML_CHECK(condition)
+#else
+// Release: never evaluated (short-circuit), but still parsed so the
+// condition cannot rot; the compiler folds the whole thing away.
+#define LAXML_DCHECK(condition) LAXML_CHECK(true || (condition))
+#endif
+
+#endif  // LAXML_COMMON_CHECK_H_

@@ -7,10 +7,11 @@
 #ifndef LAXML_COMMON_STATUS_H_
 #define LAXML_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace laxml {
 
@@ -108,22 +109,23 @@ class Result {
   /// Implicit from an error status. Must not be OK (an OK status carries
   /// no value and would leave the Result empty).
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status w/o value");
+    LAXML_DCHECK(!status_.ok())
+        << "Result constructed from OK status w/o value";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    LAXML_DCHECK(ok()) << status_.message();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    LAXML_DCHECK(ok()) << status_.message();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    LAXML_DCHECK(ok()) << status_.message();
     return std::move(*value_);
   }
 

@@ -59,6 +59,9 @@ class FullIndex {
   /// Root page to persist in the meta area.
   PageId root() const { return tree_.root(); }
 
+  /// The underlying tree (integrity auditor).
+  const BTree& tree() const { return tree_; }
+
  private:
   explicit FullIndex(BTree tree) : tree_(std::move(tree)) {}
   mutable BTree tree_;

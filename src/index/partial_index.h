@@ -90,6 +90,14 @@ class PartialIndex {
   /// Debug rendering in the shape of the paper's Table 4.
   std::string ToTableString() const;
 
+  /// Const iteration over every memoized entry (integrity auditor).
+  /// Unlike Lookup this does not bump LRU recency — auditing must not
+  /// perturb the eviction order it is inspecting.
+  template <typename Fn>
+  void ForEachEntry(Fn fn) const {
+    for (const auto& [id, node] : entries_) fn(id, node.entry);
+  }
+
  private:
   struct Node {
     PartialEntry entry;

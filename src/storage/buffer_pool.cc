@@ -1,7 +1,6 @@
 #include "storage/buffer_pool.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace laxml {
@@ -37,17 +36,17 @@ void PageHandle::Release() {
 }
 
 uint8_t* PageHandle::data() {
-  assert(valid());
+  LAXML_DCHECK(valid());
   return pool_->frames_[frame_].data.get();
 }
 
 const uint8_t* PageHandle::data() const {
-  assert(valid());
+  LAXML_DCHECK(valid());
   return pool_->frames_[frame_].data.get();
 }
 
 PageId PageHandle::id() const {
-  assert(valid());
+  LAXML_DCHECK(valid());
   return pool_->frames_[frame_].page_id;
 }
 
@@ -56,7 +55,7 @@ PageView PageHandle::view() {
 }
 
 void PageHandle::MarkDirty() {
-  assert(valid());
+  LAXML_DCHECK(valid());
   pool_->frames_[frame_].dirty = true;
 }
 
@@ -65,7 +64,7 @@ void PageHandle::MarkDirty() {
 
 BufferPool::BufferPool(PageFile* file, size_t frame_count)
     : file_(file), page_size_(file->page_size()) {
-  assert(frame_count >= 4 && "buffer pool needs at least a few frames");
+  LAXML_CHECK(frame_count >= 4) << "buffer pool needs at least a few frames";
   frames_.resize(frame_count);
   free_frames_.reserve(frame_count);
   for (size_t i = 0; i < frame_count; ++i) {
@@ -95,7 +94,8 @@ void BufferPool::Pin(size_t frame) {
 
 void BufferPool::Unpin(size_t frame) {
   Frame& f = frames_[frame];
-  assert(f.pin_count > 0);
+  LAXML_CHECK(f.pin_count > 0) << "unpin of frame " << frame
+                               << " with no outstanding pins";
   if (--f.pin_count == 0) {
     f.lru_pos = lru_.insert(lru_.end(), frame);
     f.in_lru = true;
@@ -264,6 +264,14 @@ size_t BufferPool::dirty_count() const {
   size_t n = 0;
   for (const Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) ++n;
+  }
+  return n;
+}
+
+size_t BufferPool::pinned_frame_count() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.pin_count > 0) ++n;
   }
   return n;
 }

@@ -111,6 +111,10 @@ class BufferPool {
   /// Number of dirty resident frames (checkpoint-pressure signal).
   size_t dirty_count() const;
 
+  /// Number of frames with outstanding pins. Zero at quiesce — the
+  /// integrity auditor reports any leaked pin as a buffer-pool issue.
+  size_t pinned_frame_count() const;
+
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
   size_t frame_count() const { return frames_.size(); }

@@ -90,30 +90,39 @@ Status MemoryPageFile::WriteMeta(Slice meta) {
 // ---------------------------------------------------------------------------
 // PosixPageFile
 
-PosixPageFile::PosixPageFile(int fd, std::string path, uint32_t page_size)
-    : fd_(fd), path_(std::move(path)), page_size_(page_size) {}
+PosixPageFile::PosixPageFile(int fd, std::string path, uint32_t page_size,
+                             bool read_only)
+    : fd_(fd),
+      path_(std::move(path)),
+      page_size_(page_size),
+      read_only_(read_only) {}
 
 PosixPageFile::~PosixPageFile() {
   if (fd_ >= 0) {
     // Best effort: persist allocator state on close.
-    PersistHeader();
+    if (!read_only_) PersistHeader();
     ::close(fd_);
   }
 }
 
 Result<std::unique_ptr<PosixPageFile>> PosixPageFile::Open(
-    const std::string& path, uint32_t page_size) {
+    const std::string& path, uint32_t page_size, bool read_only) {
   if (page_size < kMinPageSize || (page_size & (page_size - 1)) != 0) {
     return Status::InvalidArgument("page size must be a power of two >= 512");
   }
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  int fd = ::open(path.c_str(), read_only ? O_RDONLY : (O_RDWR | O_CREAT),
+                  read_only ? 0 : 0644);
   if (fd < 0) {
     return Status::IOError("open '" + path + "': " + std::strerror(errno));
   }
   off_t len = ::lseek(fd, 0, SEEK_END);
   auto file = std::unique_ptr<PosixPageFile>(
-      new PosixPageFile(fd, path, page_size));
+      new PosixPageFile(fd, path, page_size, read_only));
   if (len == 0) {
+    if (read_only) {
+      return Status::InvalidArgument("read-only open of empty page file '" +
+                                     path + "'");
+    }
     Status st = file->InitNewFile();
     if (!st.ok()) return st;
   } else {
@@ -212,6 +221,9 @@ Status PosixPageFile::ReadPage(PageId id, uint8_t* buf) {
 }
 
 Status PosixPageFile::WritePage(PageId id, const uint8_t* buf) {
+  if (read_only_) {
+    return Status::NotSupported("page file opened read-only");
+  }
   if (id == 0 || id >= page_count_) {
     return Status::IOError("write of out-of-range page");
   }
@@ -241,6 +253,9 @@ Result<PageId> PosixPageFile::AllocatePage() {
 }
 
 Status PosixPageFile::FreePage(PageId id) {
+  if (read_only_) {
+    return Status::NotSupported("page file opened read-only");
+  }
   if (id == 0 || id >= page_count_) {
     return Status::InvalidArgument("free of invalid page id");
   }
@@ -258,6 +273,9 @@ Status PosixPageFile::FreePage(PageId id) {
 Result<std::vector<uint8_t>> PosixPageFile::ReadMeta() { return meta_; }
 
 Status PosixPageFile::WriteMeta(Slice meta) {
+  if (read_only_) {
+    return Status::NotSupported("page file opened read-only");
+  }
   if (meta.size() > MaxMetaSize(page_size_)) {
     return Status::InvalidArgument("meta area overflow");
   }
@@ -266,6 +284,9 @@ Status PosixPageFile::WriteMeta(Slice meta) {
 }
 
 Status PosixPageFile::Sync() {
+  if (read_only_) {
+    return Status::NotSupported("page file opened read-only");
+  }
   LAXML_RETURN_IF_ERROR(PersistHeader());
   if (::fsync(fd_) != 0) {
     return Status::IOError(std::string("fsync: ") + std::strerror(errno));

@@ -64,6 +64,13 @@ class PageFile {
   /// Flushes everything to durable storage.
   virtual Status Sync() = 0;
 
+  /// Free-chain introspection for the integrity auditor: whether freed
+  /// pages form an on-disk chain (first 4 payload bytes = next free
+  /// page), and its head. MemoryPageFile keeps its free list in memory
+  /// only, so the defaults say "no chain".
+  virtual bool has_free_chain() const { return false; }
+  virtual PageId free_head() const { return kInvalidPageId; }
+
   /// Maximum client metadata size for a given page size.
   static uint32_t MaxMetaSize(uint32_t page_size);
 };
@@ -101,8 +108,16 @@ class PosixPageFile : public PageFile {
   /// Opens (or creates) a page file at `path`. When creating,
   /// `page_size` is used; when opening an existing file the stored page
   /// size wins and `page_size` is ignored.
+  ///
+  /// With `read_only` the file must already exist and is opened
+  /// O_RDONLY: WritePage / FreePage / WriteMeta / Sync fail with
+  /// NotSupported and the header is not rewritten on close.
+  /// AllocatePage still works — it only moves in-memory allocator state,
+  /// which lets WAL replay build post-crash pages in the buffer pool
+  /// without touching the disk image (laxml_fsck).
   static Result<std::unique_ptr<PosixPageFile>> Open(
-      const std::string& path, uint32_t page_size = kDefaultPageSize);
+      const std::string& path, uint32_t page_size = kDefaultPageSize,
+      bool read_only = false);
 
   Status ReadPage(PageId id, uint8_t* buf) override;
   Status WritePage(PageId id, const uint8_t* buf) override;
@@ -114,9 +129,13 @@ class PosixPageFile : public PageFile {
   Result<std::vector<uint8_t>> ReadMeta() override;
   Status WriteMeta(Slice meta) override;
   Status Sync() override;
+  bool has_free_chain() const override { return true; }
+  PageId free_head() const override { return free_head_; }
+  bool read_only() const { return read_only_; }
 
  private:
-  PosixPageFile(int fd, std::string path, uint32_t page_size);
+  PosixPageFile(int fd, std::string path, uint32_t page_size,
+                bool read_only);
 
   Status LoadHeader();
   Status InitNewFile();
@@ -125,6 +144,7 @@ class PosixPageFile : public PageFile {
   int fd_;
   std::string path_;
   uint32_t page_size_;
+  bool read_only_ = false;
   uint32_t page_count_ = 1;  // meta page
   PageId free_head_ = kInvalidPageId;
   uint32_t free_count_ = 0;

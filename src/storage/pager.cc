@@ -13,8 +13,9 @@ Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path,
     return Status::InvalidArgument(
         "page size above 32768 not supported (16-bit slot offsets)");
   }
-  LAXML_ASSIGN_OR_RETURN(auto file,
-                         PosixPageFile::Open(path, options.page_size));
+  LAXML_ASSIGN_OR_RETURN(
+      auto file,
+      PosixPageFile::Open(path, options.page_size, options.read_only));
   return std::unique_ptr<Pager>(
       new Pager(std::move(file), options.pool_frames));
 }

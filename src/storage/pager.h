@@ -21,6 +21,10 @@ struct PagerOptions {
   uint32_t page_size = kDefaultPageSize;
   /// Number of buffer pool frames.
   size_t pool_frames = 256;
+  /// Open the page file read-only (file-backed pagers only): the file
+  /// must exist, nothing is ever written back, and mutations surface as
+  /// NotSupported. Used by laxml_fsck for offline inspection.
+  bool read_only = false;
 };
 
 /// Owning facade over PageFile + BufferPool.
@@ -64,6 +68,7 @@ class Pager {
   uint32_t page_size() const { return file_->page_size(); }
   uint32_t page_count() const { return file_->page_count(); }
   uint32_t free_page_count() const { return file_->free_page_count(); }
+  PageFile* file() { return file_.get(); }
   BufferPool* pool() { return pool_.get(); }
   const BufferPoolStats& pool_stats() const { return pool_->stats(); }
 

@@ -485,4 +485,17 @@ Status RecordStore::Update(RecordId id, Slice payload) {
   return Status::OK();
 }
 
+Status RecordStore::ForEachRecord(
+    const std::function<bool(RecordId id, PageId page, uint16_t slot,
+                             uint16_t kind, uint32_t len)>& fn) const {
+  BTree::Iterator it = directory_.NewIterator();
+  LAXML_RETURN_IF_ERROR(it.SeekToFirst());
+  while (it.Valid()) {
+    DirValue loc = DecodeDirValue(it.value());
+    if (!fn(it.key(), loc.page, loc.slot, loc.kind, loc.len)) break;
+    LAXML_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
 }  // namespace laxml

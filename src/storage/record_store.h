@@ -20,6 +20,7 @@
 #define LAXML_STORAGE_RECORD_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -100,6 +101,17 @@ class RecordStore {
   RecordStoreState state() const;
 
   const RecordStoreStats& stats() const { return stats_; }
+
+  /// The RecordId -> location directory tree (integrity auditor).
+  const BTree& directory() const { return directory_; }
+
+  /// Visits every directory entry in RecordId order with its decoded
+  /// location: anchor page/slot, kind (0 inline, 1 overflow) and byte
+  /// length. Read-only; used by the integrity auditor to cross-check
+  /// directory entries against heap pages and overflow chains.
+  Status ForEachRecord(
+      const std::function<bool(RecordId id, PageId page, uint16_t slot,
+                               uint16_t kind, uint32_t len)>& fn) const;
 
  private:
   RecordStore(Pager* pager, BTree directory, RecordStoreState state);

@@ -118,7 +118,11 @@ Result<uint16_t> SlottedPage::Insert(Slice record) {
     PutU16(8, static_cast<uint16_t>(n + 1));
   }
   uint16_t off = free_start();
-  std::memcpy(view_.payload() + off, record.data(), record.size());
+  // An empty record may carry a null data pointer; memcpy(dst, NULL, 0)
+  // is UB.
+  if (!record.empty()) {
+    std::memcpy(view_.payload() + off, record.data(), record.size());
+  }
   set_slot(slot, off, static_cast<uint16_t>(record.size()));
   set_free_start(static_cast<uint16_t>(off + record.size()));
   return slot;
@@ -154,8 +158,10 @@ Status SlottedPage::Update(uint16_t slot, Slice record) {
   }
   uint16_t old_len = slot_len(slot);
   if (record.size() <= old_len) {
-    std::memcpy(view_.payload() + slot_offset(slot), record.data(),
-                record.size());
+    if (!record.empty()) {
+      std::memcpy(view_.payload() + slot_offset(slot), record.data(),
+                  record.size());
+    }
     set_dead_bytes(
         static_cast<uint16_t>(dead_bytes() + old_len - record.size()));
     set_slot(slot, slot_offset(slot), static_cast<uint16_t>(record.size()));
@@ -175,7 +181,9 @@ Status SlottedPage::Update(uint16_t slot, Slice record) {
     Compact();
   }
   uint16_t off = free_start();
-  std::memcpy(view_.payload() + off, record.data(), record.size());
+  if (!record.empty()) {
+    std::memcpy(view_.payload() + off, record.data(), record.size());
+  }
   set_slot(slot, off, static_cast<uint16_t>(record.size()));
   set_free_start(static_cast<uint16_t>(off + record.size()));
   return Status::OK();
@@ -183,6 +191,62 @@ Status SlottedPage::Update(uint16_t slot, Slice record) {
 
 uint32_t SlottedPage::MaxRecordSize(uint32_t page_size) {
   return page_size - kPageHeaderSize - kHeaderSize - kSlotSize;
+}
+
+void SlottedPage::CheckStructure(std::vector<std::string>* problems) const {
+  const uint32_t psize = payload_size();
+  uint16_t n = slot_count();
+  if (kHeaderSize + static_cast<uint32_t>(n) * kSlotSize > psize) {
+    problems->push_back("slot directory (" + std::to_string(n) +
+                        " slots) overruns the payload");
+    return;  // directory reads below would be out of bounds
+  }
+  const uint32_t dir_bottom = psize - kSlotSize * n;
+  const uint16_t fstart = free_start();
+  if (fstart < kHeaderSize || fstart > dir_bottom) {
+    problems->push_back("free_start " + std::to_string(fstart) +
+                        " outside [header, slot directory)");
+    return;  // extent checks against free_start would be meaningless
+  }
+  // Live extents: in bounds, non-overlapping, and summing (with
+  // dead_bytes) to exactly the used heap area.
+  std::vector<std::pair<uint16_t, uint16_t>> live;  // (offset, len)
+  uint32_t live_bytes = 0;
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t off = slot_offset(i);
+    if (off == kTombstoneOffset) continue;
+    uint16_t len = slot_len(i);
+    if (off < kHeaderSize || static_cast<uint32_t>(off) + len > fstart) {
+      problems->push_back("slot " + std::to_string(i) + ": extent [" +
+                          std::to_string(off) + ", " +
+                          std::to_string(off + len) +
+                          ") outside the record heap");
+      continue;
+    }
+    live.emplace_back(off, len);
+    live_bytes += len;
+  }
+  std::sort(live.begin(), live.end());
+  for (size_t i = 1; i < live.size(); ++i) {
+    if (static_cast<uint32_t>(live[i - 1].first) + live[i - 1].second >
+        live[i].first) {
+      problems->push_back("records at offsets " +
+                          std::to_string(live[i - 1].first) + " and " +
+                          std::to_string(live[i].first) + " overlap");
+    }
+  }
+  uint32_t used = static_cast<uint32_t>(fstart) - kHeaderSize;
+  if (live_bytes + dead_bytes() != used) {
+    problems->push_back(
+        "heap accounting broken: live " + std::to_string(live_bytes) +
+        " + dead " + std::to_string(dead_bytes()) + " != used " +
+        std::to_string(used));
+  }
+  if (n > 0 && slot_offset(static_cast<uint16_t>(n - 1)) ==
+                   kTombstoneOffset) {
+    problems->push_back("trailing slot is a tombstone (directory not "
+                        "trimmed by Delete)");
+  }
 }
 
 }  // namespace laxml

@@ -20,6 +20,8 @@
 #define LAXML_STORAGE_SLOTTED_PAGE_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/page.h"
@@ -75,6 +77,13 @@ class SlottedPage {
   /// The largest record Insert() can ever accept on an empty page of
   /// this page size.
   static uint32_t MaxRecordSize(uint32_t page_size);
+
+  /// Structural self-check for the integrity auditor: slot directory
+  /// bounds, live-extent overlap, and the heap accounting identity
+  /// sum(live record bytes) + dead_bytes == free_start - kHeaderSize.
+  /// Appends one human-readable problem string per violation (with the
+  /// slot number where one is at fault); touches nothing.
+  void CheckStructure(std::vector<std::string>* problems) const;
 
  private:
   uint16_t GetU16(uint32_t off) const;

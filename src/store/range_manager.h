@@ -105,6 +105,9 @@ class RangeManager {
   /// large payloads).
   RecordStore* range_records() const { return records_.get(); }
 
+  /// The RangeId -> RangeMeta directory tree (integrity auditor).
+  const BTree& meta_tree() const { return meta_tree_; }
+
   RangeManagerState state() const;
   const RangeManagerStats& stats() const { return stats_; }
   const RecordStoreStats& record_stats() const { return records_->stats(); }

@@ -1,7 +1,8 @@
 #include "store/store.h"
 
-#include <cassert>
+#include <sys/stat.h>
 
+#include "audit/store_auditor.h"
 #include "common/logging.h"
 #include "common/varint.h"
 #include "store/cursor.h"
@@ -37,7 +38,9 @@ Store::Store(std::unique_ptr<Pager> pager, const StoreOptions& options)
                    : 0) {}
 
 Store::~Store() {
-  if (crashed_) {
+  if (crashed_ || read_only()) {
+    // Read-only: buffered state (e.g. an in-memory WAL replay) is
+    // deliberately dropped; the disk image must stay untouched.
     pager_->pool()->DiscardAll();
     return;
   }
@@ -58,15 +61,29 @@ Result<std::unique_ptr<Store>> Store::Open(const std::string& path,
   LAXML_ASSIGN_OR_RETURN(auto pager, Pager::OpenFile(path, options.pager));
   LAXML_ASSIGN_OR_RETURN(auto meta, pager->ReadMeta());
   bool fresh = meta.empty();
+  if (fresh && options.pager.read_only) {
+    return Status::InvalidArgument(
+        "read-only open of a store that was never bootstrapped");
+  }
   auto store =
       std::unique_ptr<Store>(new Store(std::move(pager), options));
   if (options.enable_wal) {
-    LAXML_ASSIGN_OR_RETURN(store->wal_, Wal::Open(path + ".wal"));
-    // The logical WAL can only replay against an unmodified checkpoint
-    // image: dirty frames must not be stolen and freed pages must not
-    // be clobbered until the next checkpoint.
-    store->pager_->pool()->set_no_steal(true);
-    store->pager_->set_defer_frees(true);
+    std::string wal_path = path + ".wal";
+    // Read-only inspection must not create a WAL file as a side effect;
+    // a missing log simply means there is no tail to replay.
+    bool have_wal = true;
+    if (options.pager.read_only) {
+      struct stat sb;
+      have_wal = ::stat(wal_path.c_str(), &sb) == 0;
+    }
+    if (have_wal) {
+      LAXML_ASSIGN_OR_RETURN(store->wal_, Wal::Open(wal_path));
+      // The logical WAL can only replay against an unmodified checkpoint
+      // image: dirty frames must not be stolen and freed pages must not
+      // be clobbered until the next checkpoint.
+      store->pager_->pool()->set_no_steal(true);
+      store->pager_->set_defer_frees(true);
+    }
   }
   LAXML_RETURN_IF_ERROR(store->Bootstrap(fresh));
   return store;
@@ -153,7 +170,9 @@ Status Store::Bootstrap(bool fresh) {
         }
       }
       replaying_wal_ = false;
-      LAXML_RETURN_IF_ERROR(Sync());  // checkpoint the recovered state
+      if (!read_only()) {
+        LAXML_RETURN_IF_ERROR(Sync());  // checkpoint the recovered state
+      }
     }
   }
   return Status::OK();
@@ -226,6 +245,9 @@ Status Store::LoadMeta(const std::vector<uint8_t>& blob) {
 }
 
 Status Store::Sync() {
+  if (read_only()) {
+    return Status::NotSupported("store opened read-only");
+  }
   LAXML_RETURN_IF_ERROR(PersistMeta());
   LAXML_RETURN_IF_ERROR(pager_->Sync());
   if (wal_ != nullptr) {
@@ -235,6 +257,15 @@ Status Store::Sync() {
 }
 
 Status Store::MaybeSync() {
+  // Paranoid builds: re-audit every structure every N mutations so a
+  // corrupting bug aborts the operation that planted it, not a distant
+  // reader. Runs during WAL replay too (replay is just mutations).
+  if (options_.paranoid_audit_interval > 0 &&
+      ++mutations_since_audit_ >= options_.paranoid_audit_interval) {
+    mutations_since_audit_ = 0;
+    LAXML_RETURN_IF_ERROR(CheckIntegrity());
+  }
+  if (read_only()) return Status::OK();  // replay stays in memory
   if (options_.sync_every_op) return Sync();
   // Under WAL no-steal, checkpoint before the pool fills with dirt.
   if (wal_ != nullptr) {
@@ -247,6 +278,12 @@ Status Store::MaybeSync() {
 }
 
 Status Store::LogOp(WalOp op, NodeId target, const TokenSequence& data) {
+  // Every Table-1 mutator journals before touching structures, so this
+  // is also the single choke point that rejects mutation of a
+  // read-only store (WAL replay itself excepted).
+  if (read_only() && !replaying_wal_) {
+    return Status::NotSupported("store opened read-only");
+  }
   if (wal_ == nullptr || replaying_wal_) return Status::OK();
   WalRecord rec;
   rec.op = op;
@@ -918,6 +955,9 @@ Result<std::string> Store::SerializeToXml(const SerializerOptions& options) {
 }
 
 Result<uint64_t> Store::CompactRanges(uint32_t target_bytes) {
+  if (read_only()) {
+    return Status::NotSupported("store opened read-only");
+  }
   uint64_t merges = 0;
   RangeId cur = ranges_->first_range();
   while (cur != kInvalidRangeId) {
@@ -1049,6 +1089,15 @@ Status Store::CheckInvariants() const {
     return Status::Corruption("full index size != live nodes");
   }
   return Status::OK();
+}
+
+Status Store::CheckIntegrity() const {
+  StoreAuditor auditor(this);
+  AuditReport report = auditor.Run();
+  if (report.ok()) return Status::OK();
+  return Status::Corruption("integrity audit found " +
+                            std::to_string(report.issues.size()) +
+                            " issue(s): " + report.Summary());
 }
 
 }  // namespace laxml

@@ -52,6 +52,17 @@ struct StoreOptions {
   /// only): mutations are journaled and replayed after a crash that
   /// interrupts un-checkpointed work.
   bool enable_wal = false;
+
+  /// When > 0, the store re-runs the full cross-layer integrity auditor
+  /// (Store::CheckIntegrity) after every this-many mutating operations
+  /// and fails the mutation with Corruption if anything is off.
+  /// Defaults on in LAXML_PARANOID builds (the asan-ubsan / tsan CMake
+  /// presets); 0 disables. O(store size) per audit — test-tier only.
+#if defined(LAXML_PARANOID)
+  uint32_t paranoid_audit_interval = 64;
+#else
+  uint32_t paranoid_audit_interval = 0;
+#endif
 };
 
 }  // namespace laxml

@@ -1,0 +1,194 @@
+// Multi-threaded stress tests — the TSan targets. SharedStore is the
+// engine's concurrency boundary (the core is single-threaded by
+// design), so these tests hammer it from several threads and let the
+// sanitizer prove the latching actually covers the buffer pool, the
+// partial index, and the range chain. The LockManager tests verify the
+// lock table's own synchronization and that a lock-manager-protected
+// critical section establishes happens-before (an unguarded counter
+// mutated only under a range X lock must not race).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/lock_manager.h"
+#include "concurrency/shared_store.h"
+#include "store/store.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+using ::laxml::testing::MustFragment;
+using ::laxml::testing::TempFile;
+
+constexpr int kThreads = 4;
+constexpr int kOpsPerThread = 120;
+
+void HammerSharedStore(SharedStore* shared) {
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([shared, t, &failures] {
+      std::vector<NodeId> mine;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int op = (t + i) % 4;
+        if (op == 0 || mine.empty()) {
+          auto inserted = shared->InsertTopLevel(MustFragment(
+              "<n t='" + std::to_string(t) + "'>" + std::to_string(i) +
+              "</n>"));
+          if (inserted.ok()) {
+            mine.push_back(*inserted);
+          } else {
+            failures.fetch_add(1);
+          }
+        } else if (op == 1) {
+          // Reads memoize into the partial index — a data race here is
+          // exactly what the exclusive latch must prevent.
+          auto read = shared->Read(mine[i % mine.size()]);
+          if (!read.ok()) failures.fetch_add(1);
+        } else if (op == 2) {
+          auto replaced = shared->ReplaceNode(mine[i % mine.size()],
+                                              MustFragment("<r/>"));
+          if (replaced.ok()) {
+            mine[i % mine.size()] = *replaced;
+          } else {
+            failures.fetch_add(1);
+          }
+        } else {
+          if (shared->DeleteNode(mine.back()).ok()) {
+            mine.pop_back();
+          } else {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Single-threaded epilogue: the interleaving must leave every
+  // cross-layer invariant intact.
+  EXPECT_LAXML_OK(shared->UnsafeStore()->CheckIntegrity());
+}
+
+TEST(MtStressTest, SharedStoreInMemory) {
+  StoreOptions options;
+  ASSERT_OK_AND_ASSIGN(auto store, Store::OpenInMemory(options));
+  SharedStore shared(std::move(store));
+  HammerSharedStore(&shared);
+}
+
+TEST(MtStressTest, SharedStoreFileBackedSmallPool) {
+  // A small buffer pool forces steady eviction/fetch traffic, so the
+  // pool's bookkeeping is exercised under the latch as hard as the
+  // token-level structures.
+  TempFile file("mt_pool");
+  StoreOptions options;
+  options.pager.pool_frames = 16;
+  ASSERT_OK_AND_ASSIGN(auto store, Store::Open(file.path(), options));
+  SharedStore shared(std::move(store));
+  HammerSharedStore(&shared);
+  EXPECT_LAXML_OK(shared.UnsafeStore()->Sync());
+}
+
+TEST(MtStressTest, SharedStoreWithWal) {
+  TempFile file("mt_wal");
+  StoreOptions options;
+  options.enable_wal = true;
+  ASSERT_OK_AND_ASSIGN(auto store, Store::Open(file.path(), options));
+  SharedStore shared(std::move(store));
+  HammerSharedStore(&shared);
+  EXPECT_LAXML_OK(shared.UnsafeStore()->Sync());
+}
+
+TEST(MtStressTest, LockManagerContention) {
+  LockManager manager;
+  std::atomic<int> timeouts{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&manager, t, &timeouts] {
+      TxnId txn = static_cast<TxnId>(t + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        LockScope scope(&manager, txn);
+        RangeId range = static_cast<RangeId>(1 + (t + i) % 3);
+        if (!scope.Acquire(LockResource::Document(), LockMode::kIX).ok() ||
+            !scope.Acquire(LockResource::Range(range), LockMode::kX).ok()) {
+          timeouts.fetch_add(1);
+          continue;  // scope releases whatever was granted
+        }
+        // Briefly hold both locks, then release via the scope.
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Timeouts are legal (bounded waits) but should be rare at this
+  // contention level.
+  EXPECT_LT(timeouts.load(), kThreads * kOpsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(manager.HeldCount(static_cast<TxnId>(t + 1)), 0u);
+  }
+}
+
+TEST(MtStressTest, LockManagerProvidesExclusion) {
+  // A counter touched only while holding the range X lock: if Acquire /
+  // Release failed to establish happens-before, TSan flags the counter
+  // and the final total comes up short.
+  LockManager manager;
+  int unguarded_counter = 0;  // deliberately NOT atomic
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      TxnId txn = static_cast<TxnId>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        for (;;) {
+          LockScope scope(&manager, txn);
+          if (scope.Acquire(LockResource::Document(), LockMode::kIX).ok() &&
+              scope.Acquire(LockResource::Range(1), LockMode::kX).ok()) {
+            ++unguarded_counter;
+            completed.fetch_add(1);
+            break;
+          }
+          // Timed out against a peer: scope released; retry.
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(unguarded_counter, completed.load());
+  EXPECT_EQ(unguarded_counter, kThreads * kOpsPerThread);
+}
+
+TEST(MtStressTest, SharedReadersRunConcurrently) {
+  // Reader-latch path: shared reads through WithExclusive's counterpart
+  // are only safe in plain kRangeIndex mode (no memoization); make sure
+  // a read-heavy mix stays clean there too.
+  StoreOptions options;
+  options.index_mode = IndexMode::kRangeIndex;
+  ASSERT_OK_AND_ASSIGN(auto store, Store::OpenInMemory(options));
+  ASSERT_OK_AND_ASSIGN(NodeId first, store->LoadXml("<root><a>x</a></root>"));
+  (void)first;
+  SharedStore shared(std::move(store));
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, &failures] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        auto all = shared.Read();
+        if (!all.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LAXML_OK(shared.UnsafeStore()->CheckIntegrity());
+}
+
+}  // namespace
+}  // namespace laxml

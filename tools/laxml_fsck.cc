@@ -1,0 +1,111 @@
+// laxml_fsck: offline integrity checker for laxml store files.
+//
+//   laxml_fsck [options] <store-file>
+//
+// Opens the store strictly read-only (never modifies it), replays any
+// WAL tail into memory, and runs the cross-layer invariant auditor
+// over every persistent structure. Exit codes:
+//
+//   0  the store verifies clean
+//   1  corruption found (one line per issue, with coordinates)
+//   2  usage error, or the store could not be opened at all
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "audit/fsck.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <store-file>\n"
+      "\n"
+      "Checks a laxml store file for corruption. The store is opened\n"
+      "read-only; nothing is ever written. A <store-file>.wal next to\n"
+      "the store is replayed in memory and checked too.\n"
+      "\n"
+      "options:\n"
+      "  --no-replay       audit the checkpoint image without replaying\n"
+      "                    the WAL tail (the tail is still decoded)\n"
+      "  --max-issues N    stop after N issues (default 256)\n"
+      "  --pool-frames N   buffer pool frames for replay (default 4096)\n"
+      "  -q, --quiet       print nothing on a clean store\n"
+      "  -h, --help        this message\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  laxml::FsckOptions options;
+  bool quiet = false;
+  const char* path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_number = [&](const char* flag) -> long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      long v = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || v <= 0) {
+        std::fprintf(stderr, "%s: bad value for %s: '%s'\n", argv[0], flag,
+                     argv[i]);
+        std::exit(2);
+      }
+      return v;
+    };
+    if (std::strcmp(arg, "--no-replay") == 0) {
+      options.replay_wal = false;
+    } else if (std::strcmp(arg, "--max-issues") == 0) {
+      options.max_issues = static_cast<size_t>(next_number(arg));
+    } else if (std::strcmp(arg, "--pool-frames") == 0) {
+      options.pool_frames = static_cast<size_t>(next_number(arg));
+    } else if (std::strcmp(arg, "-q") == 0 || std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      Usage(argv[0]);
+      return 2;
+    } else if (path == nullptr) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "%s: more than one store file given\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  laxml::FsckOutcome outcome = laxml::RunFsck(path, options);
+  if (outcome.exit_code == 2) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], path, outcome.error.c_str());
+    return 2;
+  }
+  if (outcome.exit_code == 0) {
+    if (!quiet) {
+      const char* wal_note = "";
+      if (outcome.wal_present) {
+        wal_note = options.replay_wal ? " (wal replayed)" : " (wal decoded)";
+      }
+      std::printf("%s: clean%s\n%s", path, wal_note,
+                  outcome.report.ToString().c_str());
+    }
+    return 0;
+  }
+  std::printf("%s: %zu issue(s) found\n%s", path,
+              outcome.report.issues.size(),
+              outcome.report.ToString().c_str());
+  return 1;
+}
