@@ -1,0 +1,273 @@
+// bench_server: closed-loop N-client throughput/latency benchmark of
+// the laxml network server over loopback.
+//
+// Spins up a Server on an in-memory store and an ephemeral port, gives
+// each client thread its own connection and its own top-level subtree,
+// and runs a closed loop (next request only after the previous
+// response) of a mixed workload: inserts into the client's subtree,
+// subtree reads of its own nodes, and XPath queries. A second phase
+// measures pipelined batch inserts (CallBatch) against the one-at-a-
+// time baseline. Reports per-op p50/p95/p99/max latency and aggregate
+// throughput.
+//
+//   bench_server [--clients N] [--ops N] [--threads N] [--batch N]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "net/client.h"
+#include "server/server.h"
+#include "store/store.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+namespace {
+
+struct OpSamples {
+  std::vector<double> insert_us;
+  std::vector<double> read_us;
+  std::vector<double> xpath_us;
+};
+
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(samples->size()));
+  if (idx >= samples->size()) idx = samples->size() - 1;
+  return (*samples)[idx];
+}
+
+void PrintRow(const char* name, std::vector<double>* samples,
+              double seconds) {
+  if (samples->empty()) return;
+  double p50 = Percentile(samples, 0.50);
+  double p95 = Percentile(samples, 0.95);
+  double p99 = Percentile(samples, 0.99);
+  double max = samples->back();  // sorted by Percentile
+  std::printf(
+      "  %-8s %8zu ops  p50 %8.1f us  p95 %8.1f us  p99 %8.1f us  "
+      "max %8.1f us  %10.0f ops/s\n",
+      name, samples->size(), p50, p95, p99, max,
+      static_cast<double>(samples->size()) / seconds);
+}
+
+TokenSequence ItemFragment(uint64_t n) {
+  return SequenceBuilder()
+      .BeginElement("item")
+      .Attribute("n", std::to_string(n))
+      .Text("payload-" + std::to_string(n))
+      .End()
+      .Build();
+}
+
+}  // namespace
+}  // namespace laxml
+
+int main(int argc, char** argv) {
+  using namespace laxml;
+
+  long clients = 4;
+  long ops_per_client = 2000;
+  long server_threads = 4;
+  long batch_size = 64;
+  for (int i = 1; i < argc; ++i) {
+    auto number = [&](const char* flag) -> long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return std::strtol(argv[++i], nullptr, 10);
+    };
+    if (std::strcmp(argv[i], "--clients") == 0) {
+      clients = number("--clients");
+    } else if (std::strcmp(argv[i], "--ops") == 0) {
+      ops_per_client = number("--ops");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      server_threads = number("--threads");
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch_size = number("--batch");
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (clients < 1 || ops_per_client < 1 || server_threads < 1 ||
+      batch_size < 1) {
+    std::fprintf(stderr, "all flags must be positive\n");
+    return 2;
+  }
+
+  auto store = Store::OpenInMemory(StoreOptions{});
+  if (!store.ok()) {
+    std::fprintf(stderr, "open store: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  ServerOptions server_options;
+  server_options.num_workers = static_cast<int>(server_threads);
+  auto server = Server::Start(std::move(store).value(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "start server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = (*server)->port();
+  std::printf(
+      "bench_server: %ld clients x %ld ops, %ld server threads, "
+      "loopback port %u\n",
+      clients, ops_per_client, server_threads, port);
+
+  // ------------------------------------------------------------------
+  // Phase 1: closed-loop mixed workload (50% insert, 40% read, 10%
+  // xpath), one connection and one private subtree per client.
+  std::vector<OpSamples> samples(static_cast<size_t>(clients));
+  std::atomic<int> failures{0};
+  bench::Timer phase1;
+  {
+    std::vector<std::thread> threads;
+    for (long c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        OpSamples& mine = samples[static_cast<size_t>(c)];
+        auto client = net::Client::Connect("127.0.0.1", port);
+        if (!client.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        TokenSequence root = SequenceBuilder()
+                                 .BeginElement("client-" + std::to_string(c))
+                                 .End()
+                                 .Build();
+        auto root_id = (*client)->InsertTopLevel(root);
+        if (!root_id.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        std::vector<NodeId> my_nodes;
+        Random rng(static_cast<uint32_t>(7 + c));
+        for (long op = 0; op < ops_per_client; ++op) {
+          uint32_t dice = rng.Uniform(10);
+          bench::Timer t;
+          if (dice < 5 || my_nodes.empty()) {
+            auto id = (*client)->InsertIntoLast(
+                *root_id, ItemFragment(static_cast<uint64_t>(op)));
+            if (!id.ok()) {
+              failures.fetch_add(1);
+              return;
+            }
+            my_nodes.push_back(*id);
+            mine.insert_us.push_back(t.Seconds() * 1e6);
+          } else if (dice < 9) {
+            NodeId target = my_nodes[rng.Uniform(my_nodes.size())];
+            auto tokens = (*client)->Read(target);
+            if (!tokens.ok()) {
+              failures.fetch_add(1);
+              return;
+            }
+            mine.read_us.push_back(t.Seconds() * 1e6);
+          } else {
+            auto ids = (*client)->XPath("/client-" + std::to_string(c) +
+                                        "/item");
+            if (!ids.ok()) {
+              failures.fetch_add(1);
+              return;
+            }
+            mine.xpath_us.push_back(t.Seconds() * 1e6);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  double phase1_seconds = phase1.Seconds();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "bench_server: %d client failures\n",
+                 failures.load());
+    return 1;
+  }
+
+  OpSamples merged;
+  for (OpSamples& s : samples) {
+    merged.insert_us.insert(merged.insert_us.end(), s.insert_us.begin(),
+                            s.insert_us.end());
+    merged.read_us.insert(merged.read_us.end(), s.read_us.begin(),
+                          s.read_us.end());
+    merged.xpath_us.insert(merged.xpath_us.end(), s.xpath_us.begin(),
+                           s.xpath_us.end());
+  }
+  const size_t total_ops = merged.insert_us.size() + merged.read_us.size() +
+                           merged.xpath_us.size();
+  std::printf("phase 1: closed-loop mixed workload, %.2fs\n",
+              phase1_seconds);
+  PrintRow("insert", &merged.insert_us, phase1_seconds);
+  PrintRow("read", &merged.read_us, phase1_seconds);
+  PrintRow("xpath", &merged.xpath_us, phase1_seconds);
+  std::printf("  aggregate %zu ops in %.2fs = %.0f ops/s\n", total_ops,
+              phase1_seconds,
+              static_cast<double>(total_ops) / phase1_seconds);
+
+  // ------------------------------------------------------------------
+  // Phase 2: pipelined batch inserts vs the closed-loop baseline —
+  // the round trip amortization CallBatch exists for.
+  {
+    auto client = net::Client::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "phase 2 connect: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    TokenSequence root =
+        SequenceBuilder().BeginElement("batch-root").End().Build();
+    auto root_id = (*client)->InsertTopLevel(root);
+    if (!root_id.ok()) {
+      std::fprintf(stderr, "phase 2 root insert: %s\n",
+                   root_id.status().ToString().c_str());
+      return 1;
+    }
+    const long rounds = std::max(1L, ops_per_client / batch_size);
+    bench::Timer t;
+    for (long r = 0; r < rounds; ++r) {
+      std::vector<net::Request> batch;
+      batch.reserve(static_cast<size_t>(batch_size));
+      for (long b = 0; b < batch_size; ++b) {
+        net::Request req;
+        req.op = net::OpCode::kInsertIntoLast;
+        req.target = *root_id;
+        req.data = ItemFragment(static_cast<uint64_t>(r * batch_size + b));
+        batch.push_back(std::move(req));
+      }
+      auto responses = (*client)->CallBatch(std::move(batch));
+      if (!responses.ok()) {
+        std::fprintf(stderr, "phase 2 batch: %s\n",
+                     responses.status().ToString().c_str());
+        return 1;
+      }
+      for (const net::Response& resp : *responses) {
+        if (!resp.status.ok()) {
+          std::fprintf(stderr, "phase 2 op: %s\n",
+                       resp.status.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    double seconds = t.Seconds();
+    const long batched = rounds * batch_size;
+    std::printf(
+        "phase 2: pipelined inserts, batch=%ld: %ld ops in %.2fs = "
+        "%.0f ops/s\n",
+        batch_size, batched, seconds,
+        static_cast<double>(batched) / seconds);
+  }
+
+  std::printf("%s", (*server)->stats().ToString().c_str());
+  (*server)->Shutdown();
+  return 0;
+}

@@ -1,6 +1,47 @@
 #include "audit/audit_report.h"
 
+#include <cstdio>
+
 namespace laxml {
+namespace {
+
+// Minimal JSON string escaper: quotes, backslashes, and control bytes.
+// Issue messages are ASCII by construction, so this is sufficient.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* AuditLayerName(AuditLayer layer) {
   switch (layer) {
@@ -48,6 +89,19 @@ std::string AuditIssue::ToString() const {
   return out;
 }
 
+std::string AuditIssue::ToJson() const {
+  std::string out = "{\"layer\":\"";
+  out += AuditLayerName(layer);
+  out += "\",\"message\":\"" + JsonEscape(message) + "\"";
+  if (page != kInvalidPageId) out += ",\"page\":" + std::to_string(page);
+  if (slot >= 0) out += ",\"slot\":" + std::to_string(slot);
+  if (range != kInvalidRangeId) out += ",\"range\":" + std::to_string(range);
+  if (node != kInvalidNodeId) out += ",\"node\":" + std::to_string(node);
+  if (has_offset) out += ",\"offset\":" + std::to_string(offset);
+  out += "}";
+  return out;
+}
+
 std::string AuditReport::Summary(size_t max_lines) const {
   std::string out;
   size_t n = issues.size() < max_lines ? issues.size() : max_lines;
@@ -77,6 +131,28 @@ std::string AuditReport::ToString() const {
          std::to_string(full_entries) + " full-index entries, " +
          std::to_string(wal_records) + " wal records, " +
          std::to_string(pages_swept) + " pages swept\n";
+  return out;
+}
+
+std::string AuditReport::ToJson() const {
+  std::string out = "{\"issues\":[";
+  for (size_t i = 0; i < issues.size(); ++i) {
+    if (i > 0) out += ",";
+    out += issues[i].ToJson();
+  }
+  out += "],\"truncated\":";
+  out += truncated ? "true" : "false";
+  out += ",\"counters\":{";
+  out += "\"ranges_walked\":" + std::to_string(ranges_walked);
+  out += ",\"tokens_scanned\":" + std::to_string(tokens_scanned);
+  out += ",\"heap_pages\":" + std::to_string(heap_pages);
+  out += ",\"overflow_pages\":" + std::to_string(overflow_pages);
+  out += ",\"btree_nodes\":" + std::to_string(btree_nodes);
+  out += ",\"partial_entries\":" + std::to_string(partial_entries);
+  out += ",\"full_entries\":" + std::to_string(full_entries);
+  out += ",\"wal_records\":" + std::to_string(wal_records);
+  out += ",\"pages_swept\":" + std::to_string(pages_swept);
+  out += "}}";
   return out;
 }
 

@@ -52,6 +52,9 @@ struct AuditIssue {
 
   /// "[layer] message (page 7 slot 2, range 5, ...)" rendering.
   std::string ToString() const;
+
+  /// One JSON object; coordinate keys appear only when they apply.
+  std::string ToJson() const;
 };
 
 /// Everything one auditor run found, plus coverage counters so "no
@@ -77,6 +80,10 @@ struct AuditReport {
 
   /// Full multi-line listing with the coverage counters (laxml_fsck).
   std::string ToString() const;
+
+  /// {"issues":[...],"truncated":...,"counters":{...}} for machine
+  /// consumers (laxml_fsck --json, CI).
+  std::string ToJson() const;
 };
 
 /// Per-layer toggles for an auditor run.

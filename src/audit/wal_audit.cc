@@ -8,7 +8,7 @@
 namespace laxml {
 
 void AuditWalFile(const std::string& path, AuditReport* report) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::FILE* f = std::fopen(path.c_str(), "rbe");  // e: O_CLOEXEC
   if (f == nullptr) return;  // no log, nothing to audit
   std::vector<uint8_t> bytes;
   uint8_t buf[4096];

@@ -1,0 +1,235 @@
+#include "net/client.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace laxml {
+namespace net {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                const ClientOptions& options) {
+  Status last = Status::IOError("no connection attempt made");
+  int attempts = options.connect_attempts < 1 ? 1 : options.connect_attempts;
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.retry_delay_ms));
+    }
+    auto fd = ConnectTcp(host, port, options.connect_timeout_ms,
+                         options.io_timeout_ms);
+    if (fd.ok()) {
+      return std::unique_ptr<Client>(
+          new Client(std::move(fd).value(), options));
+    }
+    last = fd.status();
+  }
+  return last;
+}
+
+Status Client::SendAll(const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd_.get(), data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Aborted("send timed out");
+      }
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Response> Client::ReadResponse() {
+  uint8_t tmp[16384];
+  while (true) {
+    Slice rest(rbuf_.data() + rpos_, rbuf_.size() - rpos_);
+    LAXML_ASSIGN_OR_RETURN(FrameView frame,
+                           TryDecodeFrame(rest, options_.max_frame_bytes));
+    if (frame.complete) {
+      auto resp = DecodeResponse(frame.body);
+      rpos_ += frame.frame_size;
+      if (rpos_ >= rbuf_.size()) {
+        rbuf_.clear();
+        rpos_ = 0;
+      }
+      return resp;
+    }
+    ssize_t n = ::read(fd_.get(), tmp, sizeof(tmp));
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), tmp, tmp + n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Aborted("receive timed out");
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<Response> Client::Call(Request req) {
+  req.request_id = next_request_id_++;
+  std::vector<uint8_t> frame;
+  EncodeRequest(req, &frame);
+  LAXML_RETURN_IF_ERROR(SendAll(frame.data(), frame.size()));
+  LAXML_ASSIGN_OR_RETURN(Response resp, ReadResponse());
+  if (resp.request_id != req.request_id || resp.op != req.op) {
+    return Status::Corruption("response does not match request");
+  }
+  return resp;
+}
+
+Result<std::vector<Response>> Client::CallBatch(std::vector<Request> reqs) {
+  std::vector<uint8_t> frames;
+  for (Request& req : reqs) {
+    req.request_id = next_request_id_++;
+    EncodeRequest(req, &frames);
+  }
+  LAXML_RETURN_IF_ERROR(SendAll(frames.data(), frames.size()));
+  // The server executes one connection's requests serially and in
+  // order, so responses come back in request order.
+  std::vector<Response> out;
+  out.reserve(reqs.size());
+  for (const Request& req : reqs) {
+    LAXML_ASSIGN_OR_RETURN(Response resp, ReadResponse());
+    if (resp.request_id != req.request_id || resp.op != req.op) {
+      return Status::Corruption("batch response out of order");
+    }
+    out.push_back(std::move(resp));
+  }
+  return out;
+}
+
+Result<NodeId> Client::CallForId(Request req) {
+  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_RETURN_IF_ERROR(resp.status);
+  return resp.id;
+}
+
+Status Client::Ping() {
+  Request req;
+  req.op = OpCode::kPing;
+  auto resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+Result<NodeId> Client::InsertBefore(NodeId id, const TokenSequence& data) {
+  Request req;
+  req.op = OpCode::kInsertBefore;
+  req.target = id;
+  req.data = data;
+  return CallForId(std::move(req));
+}
+
+Result<NodeId> Client::InsertAfter(NodeId id, const TokenSequence& data) {
+  Request req;
+  req.op = OpCode::kInsertAfter;
+  req.target = id;
+  req.data = data;
+  return CallForId(std::move(req));
+}
+
+Result<NodeId> Client::InsertIntoFirst(NodeId id, const TokenSequence& data) {
+  Request req;
+  req.op = OpCode::kInsertIntoFirst;
+  req.target = id;
+  req.data = data;
+  return CallForId(std::move(req));
+}
+
+Result<NodeId> Client::InsertIntoLast(NodeId id, const TokenSequence& data) {
+  Request req;
+  req.op = OpCode::kInsertIntoLast;
+  req.target = id;
+  req.data = data;
+  return CallForId(std::move(req));
+}
+
+Result<NodeId> Client::InsertTopLevel(const TokenSequence& data) {
+  Request req;
+  req.op = OpCode::kInsertTopLevel;
+  req.data = data;
+  return CallForId(std::move(req));
+}
+
+Status Client::DeleteNode(NodeId id) {
+  Request req;
+  req.op = OpCode::kDeleteNode;
+  req.target = id;
+  auto resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+Result<NodeId> Client::ReplaceNode(NodeId id, const TokenSequence& data) {
+  Request req;
+  req.op = OpCode::kReplaceNode;
+  req.target = id;
+  req.data = data;
+  return CallForId(std::move(req));
+}
+
+Result<NodeId> Client::ReplaceContent(NodeId id, const TokenSequence& data) {
+  Request req;
+  req.op = OpCode::kReplaceContent;
+  req.target = id;
+  req.data = data;
+  return CallForId(std::move(req));
+}
+
+Result<TokenSequence> Client::Read() {
+  Request req;
+  req.op = OpCode::kRead;
+  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_RETURN_IF_ERROR(resp.status);
+  return std::move(resp.tokens);
+}
+
+Result<TokenSequence> Client::Read(NodeId id) {
+  Request req;
+  req.op = OpCode::kReadNode;
+  req.target = id;
+  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_RETURN_IF_ERROR(resp.status);
+  return std::move(resp.tokens);
+}
+
+Result<std::vector<NodeId>> Client::XPath(std::string expr) {
+  Request req;
+  req.op = OpCode::kXPath;
+  req.expr = std::move(expr);
+  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_RETURN_IF_ERROR(resp.status);
+  return std::move(resp.ids);
+}
+
+Result<std::string> Client::GetStats() {
+  Request req;
+  req.op = OpCode::kGetStats;
+  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_RETURN_IF_ERROR(resp.status);
+  return std::move(resp.text);
+}
+
+Status Client::CheckIntegrity() {
+  Request req;
+  req.op = OpCode::kCheckIntegrity;
+  auto resp = Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+}  // namespace net
+}  // namespace laxml

@@ -1,0 +1,88 @@
+// laxml::Client — blocking client for the laxml wire protocol.
+//
+// Connect() retries with a delay (so a freshly exec'd laxml_server
+// wins the startup race) and applies connect and per-I/O timeouts.
+// Call() is one request / one response; CallBatch() pipelines a whole
+// batch — every frame is written before the first response is read —
+// which amortizes the round trip over the batch (the network analogue
+// of the paper's bulk insert units).
+//
+// Thread safety: none. One Client per thread; connections are cheap.
+
+#ifndef LAXML_NET_CLIENT_H_
+#define LAXML_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace laxml {
+namespace net {
+
+struct ClientOptions {
+  int connect_timeout_ms = 5000;
+  /// Applied to every send and receive; 0 disables.
+  int io_timeout_ms = 30000;
+  /// Connection attempts before giving up (covers server startup).
+  int connect_attempts = 20;
+  int retry_delay_ms = 50;
+  size_t max_frame_bytes = kMaxFrameBody;
+};
+
+class Client {
+ public:
+  /// Connects (with retries) to a laxml server.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port, const ClientOptions& = {});
+
+  /// Sends one request and blocks for its response. The request id is
+  /// assigned by the client; mismatched response ids are Corruption.
+  Result<Response> Call(Request req);
+
+  /// Pipelines `reqs` (all writes, then all reads, in order).
+  Result<std::vector<Response>> CallBatch(std::vector<Request> reqs);
+
+  /// @name Typed wrappers over Call().
+  /// @{
+  Status Ping();
+  Result<NodeId> InsertBefore(NodeId id, const TokenSequence& data);
+  Result<NodeId> InsertAfter(NodeId id, const TokenSequence& data);
+  Result<NodeId> InsertIntoFirst(NodeId id, const TokenSequence& data);
+  Result<NodeId> InsertIntoLast(NodeId id, const TokenSequence& data);
+  Result<NodeId> InsertTopLevel(const TokenSequence& data);
+  Status DeleteNode(NodeId id);
+  Result<NodeId> ReplaceNode(NodeId id, const TokenSequence& data);
+  Result<NodeId> ReplaceContent(NodeId id, const TokenSequence& data);
+  Result<TokenSequence> Read();
+  Result<TokenSequence> Read(NodeId id);
+  Result<std::vector<NodeId>> XPath(std::string expr);
+  Result<std::string> GetStats();
+  Status CheckIntegrity();
+  /// @}
+
+ private:
+  Client(UniqueFd fd, const ClientOptions& options)
+      : options_(options), fd_(std::move(fd)) {}
+
+  Status SendAll(const uint8_t* data, size_t len);
+  /// Reads from the socket until one complete frame is buffered, then
+  /// decodes it as a response.
+  Result<Response> ReadResponse();
+  /// Shorthand: run `req`, propagate errors, return the new node id.
+  Result<NodeId> CallForId(Request req);
+
+  ClientOptions options_;
+  UniqueFd fd_;
+  uint64_t next_request_id_ = 1;
+  std::vector<uint8_t> rbuf_;
+  size_t rpos_ = 0;
+};
+
+}  // namespace net
+}  // namespace laxml
+
+#endif  // LAXML_NET_CLIENT_H_

@@ -1,0 +1,70 @@
+#include "net/poller.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace laxml {
+namespace net {
+
+Status Poller::Init() {
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC | O_NONBLOCK) != 0) {
+    return Status::IOError(std::string("pipe2: ") + std::strerror(errno));
+  }
+  wake_read_.Reset(fds[0]);
+  wake_write_.Reset(fds[1]);
+  return Status::OK();
+}
+
+void Poller::Watch(int fd, bool want_read, bool want_write) {
+  short mask = 0;
+  if (want_read) mask |= POLLIN;
+  if (want_write) mask |= POLLOUT;
+  interest_[fd] = mask;
+}
+
+void Poller::Unwatch(int fd) { interest_.erase(fd); }
+
+Result<std::vector<Poller::Event>> Poller::Wait(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(interest_.size() + 1);
+  pfds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+  for (const auto& [fd, mask] : interest_) {
+    pfds.push_back(pollfd{fd, mask, 0});
+  }
+  int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return std::vector<Event>{};
+    return Status::IOError(std::string("poll: ") + std::strerror(errno));
+  }
+  std::vector<Event> events;
+  // Drain the wakeup pipe first so queued wakeups coalesce.
+  if (pfds[0].revents & POLLIN) {
+    char buf[64];
+    while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+    }
+  }
+  for (size_t i = 1; i < pfds.size(); ++i) {
+    if (pfds[i].revents == 0) continue;
+    Event ev;
+    ev.fd = pfds[i].fd;
+    ev.readable = (pfds[i].revents & POLLIN) != 0;
+    ev.writable = (pfds[i].revents & POLLOUT) != 0;
+    ev.error = (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+void Poller::Wake() {
+  char byte = 1;
+  // Best effort; a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
+}
+
+}  // namespace net
+}  // namespace laxml

@@ -1,0 +1,66 @@
+// Poller: the server's event loop core — a poll(2) readiness
+// multiplexer with a self-pipe wakeup so worker threads can interrupt a
+// blocked wait (poll() rather than epoll keeps it portable; the server
+// handles tens of connections per shard, not tens of thousands, and the
+// fd set is rebuilt from a flat map each wait, which is O(fds) — the
+// same cost poll() itself pays).
+//
+// Thread safety: Watch/Unwatch/Wait belong to the owning (I/O) thread;
+// Wake() may be called from any thread.
+
+#ifndef LAXML_NET_POLLER_H_
+#define LAXML_NET_POLLER_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace laxml {
+namespace net {
+
+class Poller {
+ public:
+  /// One ready fd from a Wait call.
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// POLLERR / POLLHUP / POLLNVAL — treat the fd as dead.
+    bool error = false;
+  };
+
+  Poller() = default;
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Creates the wakeup pipe. Must be called before Wait.
+  Status Init();
+
+  /// Registers (or updates) interest in `fd`. Watching neither
+  /// direction keeps the fd registered for error delivery only.
+  void Watch(int fd, bool want_read, bool want_write);
+
+  /// Removes `fd` from the set (no-op when absent).
+  void Unwatch(int fd);
+
+  /// Blocks until something is ready or `timeout_ms` elapses (-1 =
+  /// forever). Wakeups via Wake() end the wait with an empty-ish event
+  /// list; callers just re-examine their state.
+  Result<std::vector<Event>> Wait(int timeout_ms);
+
+  /// Interrupts a concurrent Wait. Safe from any thread and from
+  /// signal-free contexts; writes one byte into the self-pipe.
+  void Wake();
+
+ private:
+  std::map<int, short> interest_;  // fd -> POLLIN|POLLOUT mask
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+};
+
+}  // namespace net
+}  // namespace laxml
+
+#endif  // LAXML_NET_POLLER_H_

@@ -1,0 +1,152 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace laxml {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Status ResolveV4(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (host == "localhost") {
+    addr->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  flags = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog) {
+  sockaddr_in addr;
+  LAXML_RETURN_IF_ERROR(ResolveV4(host, port, &addr));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                       0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<UniqueFd> AcceptConn(int listen_fd) {
+  int raw = ::accept4(listen_fd, nullptr, nullptr,
+                      SOCK_CLOEXEC | SOCK_NONBLOCK);
+  if (raw < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::NotFound("no pending connection");
+    }
+    return Errno("accept");
+  }
+  UniqueFd fd(raw);
+  LAXML_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  return fd;
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int connect_timeout_ms, int io_timeout_ms) {
+  sockaddr_in addr;
+  LAXML_RETURN_IF_ERROR(
+      ResolveV4(host.empty() ? "127.0.0.1" : host, port, &addr));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+
+  // Non-blocking connect + poll so the timeout is enforceable.
+  LAXML_RETURN_IF_ERROR(SetNonBlocking(fd.get(), true));
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      return Errno("connect " + host + ":" + std::to_string(port));
+    }
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    rc = ::poll(&pfd, 1, connect_timeout_ms);
+    if (rc == 0) {
+      return Status::Aborted("connect timed out after " +
+                             std::to_string(connect_timeout_ms) + "ms");
+    }
+    if (rc < 0) return Errno("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::IOError("connect " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(err));
+    }
+  }
+  LAXML_RETURN_IF_ERROR(SetNonBlocking(fd.get(), false));
+  LAXML_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  if (io_timeout_ms > 0) {
+    timeval tv{io_timeout_ms / 1000, (io_timeout_ms % 1000) * 1000};
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+            0 ||
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) !=
+            0) {
+      return Errno("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
+    }
+  }
+  return fd;
+}
+
+}  // namespace net
+}  // namespace laxml

@@ -1,0 +1,73 @@
+// Thin POSIX TCP helpers for the service layer: listen/accept/connect
+// with the engine's Status error model, CLOEXEC everywhere (a forking
+// server must not leak store or socket fds into children), and a small
+// RAII fd owner. IPv4 only — the server binds loopback by default; the
+// daemon exposes a flag for anything wider.
+
+#ifndef LAXML_NET_SOCKET_H_
+#define LAXML_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace laxml {
+namespace net {
+
+/// Owns a file descriptor; closes it on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to `host`:`port` (port 0 picks
+/// an ephemeral port; read it back with LocalPort). SO_REUSEADDR and
+/// CLOEXEC are set; the socket is non-blocking (it feeds a poller).
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog = 128);
+
+/// Port a bound socket actually listens on.
+Result<uint16_t> LocalPort(int fd);
+
+/// Accepts one pending connection: non-blocking, CLOEXEC, TCP_NODELAY.
+/// NotFound when no connection is pending (EAGAIN).
+Result<UniqueFd> AcceptConn(int listen_fd);
+
+/// Blocking connect with a timeout. The returned socket is blocking,
+/// CLOEXEC, TCP_NODELAY, with `io_timeout_ms` applied to sends and
+/// receives (0 = no I/O timeout).
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int connect_timeout_ms, int io_timeout_ms);
+
+/// Flips O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd, bool nonblocking);
+
+}  // namespace net
+}  // namespace laxml
+
+#endif  // LAXML_NET_SOCKET_H_

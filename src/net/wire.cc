@@ -1,0 +1,303 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/varint.h"
+#include "xml/token_codec.h"
+
+namespace laxml {
+namespace net {
+
+namespace {
+
+// Fixed32 helpers (little-endian, matching the page layer's layout).
+void AppendFixed32(std::vector<uint8_t>* dst, uint32_t v) {
+  dst->push_back(static_cast<uint8_t>(v));
+  dst->push_back(static_cast<uint8_t>(v >> 8));
+  dst->push_back(static_cast<uint8_t>(v >> 16));
+  dst->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t ReadFixed32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// Which payload fields an opcode carries, shared by both codec
+// directions so they cannot drift apart.
+bool HasTarget(OpCode op) {
+  switch (op) {
+    case OpCode::kInsertBefore:
+    case OpCode::kInsertAfter:
+    case OpCode::kInsertIntoFirst:
+    case OpCode::kInsertIntoLast:
+    case OpCode::kDeleteNode:
+    case OpCode::kReplaceNode:
+    case OpCode::kReplaceContent:
+    case OpCode::kReadNode:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool HasFragment(OpCode op) {
+  switch (op) {
+    case OpCode::kInsertBefore:
+    case OpCode::kInsertAfter:
+    case OpCode::kInsertIntoFirst:
+    case OpCode::kInsertIntoLast:
+    case OpCode::kInsertTopLevel:
+    case OpCode::kReplaceNode:
+    case OpCode::kReplaceContent:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ReturnsId(OpCode op) {
+  return HasFragment(op);  // every fragment-carrying op returns a new id
+}
+
+bool ReturnsTokens(OpCode op) {
+  return op == OpCode::kRead || op == OpCode::kReadNode;
+}
+
+// Wraps a finished body in a frame header in place: `dst` grew by the
+// body starting at `body_start`.
+void SealFrame(std::vector<uint8_t>* dst, size_t body_start) {
+  const size_t body_len = dst->size() - body_start;
+  std::vector<uint8_t> header;
+  header.reserve(kFrameHeaderSize);
+  AppendFixed32(&header, static_cast<uint32_t>(body_len));
+  AppendFixed32(&header,
+                crc32c::Mask(crc32c::Value(dst->data() + body_start,
+                                           body_len)));
+  dst->insert(dst->begin() + static_cast<ptrdiff_t>(body_start),
+              header.begin(), header.end());
+}
+
+Result<OpCode> DecodeOpCode(Slice body, size_t* pos) {
+  if (*pos >= body.size()) {
+    return Status::Corruption("wire body truncated before opcode");
+  }
+  uint8_t raw = body[(*pos)++];
+  if (raw > kMaxOpCode) {
+    return Status::Corruption("unknown opcode " + std::to_string(raw));
+  }
+  return static_cast<OpCode>(raw);
+}
+
+Result<uint64_t> DecodeVarint(Slice body, size_t* pos, const char* what) {
+  uint64_t v = 0;
+  const uint8_t* p = GetVarint64(body.data() + *pos,
+                                 body.data() + body.size(), &v);
+  if (p == nullptr) {
+    return Status::Corruption(std::string("wire body: bad varint for ") +
+                              what);
+  }
+  *pos = static_cast<size_t>(p - body.data());
+  return v;
+}
+
+}  // namespace
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kPing: return "PING";
+    case OpCode::kInsertBefore: return "INSERT_BEFORE";
+    case OpCode::kInsertAfter: return "INSERT_AFTER";
+    case OpCode::kInsertIntoFirst: return "INSERT_INTO_FIRST";
+    case OpCode::kInsertIntoLast: return "INSERT_INTO_LAST";
+    case OpCode::kInsertTopLevel: return "INSERT_TOP_LEVEL";
+    case OpCode::kDeleteNode: return "DELETE_NODE";
+    case OpCode::kReplaceNode: return "REPLACE_NODE";
+    case OpCode::kReplaceContent: return "REPLACE_CONTENT";
+    case OpCode::kRead: return "READ";
+    case OpCode::kReadNode: return "READ_NODE";
+    case OpCode::kXPath: return "XPATH";
+    case OpCode::kGetStats: return "GET_STATS";
+    case OpCode::kCheckIntegrity: return "CHECK_INTEGRITY";
+  }
+  return "UNKNOWN";
+}
+
+void EncodeRequest(const Request& req, std::vector<uint8_t>* dst) {
+  const size_t body_start = dst->size();
+  dst->push_back(static_cast<uint8_t>(req.op));
+  PutVarint64(dst, req.request_id);
+  if (HasTarget(req.op)) PutVarint64(dst, req.target);
+  if (HasFragment(req.op)) {
+    for (const Token& t : req.data) EncodeToken(t, dst);
+  }
+  if (req.op == OpCode::kXPath) {
+    dst->insert(dst->end(), req.expr.begin(), req.expr.end());
+  }
+  SealFrame(dst, body_start);
+}
+
+void EncodeResponse(const Response& resp, std::vector<uint8_t>* dst) {
+  const size_t body_start = dst->size();
+  dst->push_back(static_cast<uint8_t>(resp.op));
+  PutVarint64(dst, resp.request_id);
+  dst->push_back(static_cast<uint8_t>(resp.status.code()));
+  const std::string& msg = resp.status.message();
+  PutVarint64(dst, msg.size());
+  dst->insert(dst->end(), msg.begin(), msg.end());
+  if (resp.status.ok()) {
+    if (ReturnsId(resp.op)) PutVarint64(dst, resp.id);
+    if (ReturnsTokens(resp.op)) {
+      for (const Token& t : resp.tokens) EncodeToken(t, dst);
+    }
+    if (resp.op == OpCode::kXPath) {
+      PutVarint64(dst, resp.ids.size());
+      for (NodeId id : resp.ids) PutVarint64(dst, id);
+    }
+    if (resp.op == OpCode::kGetStats) {
+      dst->insert(dst->end(), resp.text.begin(), resp.text.end());
+    }
+  }
+  SealFrame(dst, body_start);
+}
+
+Result<Request> DecodeRequest(Slice body) {
+  size_t pos = 0;
+  Request req;
+  LAXML_ASSIGN_OR_RETURN(req.op, DecodeOpCode(body, &pos));
+  LAXML_ASSIGN_OR_RETURN(req.request_id,
+                         DecodeVarint(body, &pos, "request id"));
+  if (HasTarget(req.op)) {
+    LAXML_ASSIGN_OR_RETURN(req.target, DecodeVarint(body, &pos, "target"));
+  }
+  if (HasFragment(req.op)) {
+    LAXML_ASSIGN_OR_RETURN(
+        req.data,
+        DecodeTokens(Slice(body.data() + pos, body.size() - pos)));
+    pos = body.size();
+  }
+  if (req.op == OpCode::kXPath) {
+    req.expr.assign(reinterpret_cast<const char*>(body.data()) + pos,
+                    body.size() - pos);
+    pos = body.size();
+  }
+  if (pos != body.size()) {
+    return Status::Corruption("trailing bytes after request payload");
+  }
+  return req;
+}
+
+Result<Response> DecodeResponse(Slice body) {
+  size_t pos = 0;
+  Response resp;
+  LAXML_ASSIGN_OR_RETURN(resp.op, DecodeOpCode(body, &pos));
+  LAXML_ASSIGN_OR_RETURN(resp.request_id,
+                         DecodeVarint(body, &pos, "request id"));
+  if (pos >= body.size()) {
+    return Status::Corruption("wire body truncated before status code");
+  }
+  uint8_t code = body[pos++];
+  uint64_t msg_len = 0;
+  LAXML_ASSIGN_OR_RETURN(msg_len, DecodeVarint(body, &pos, "message length"));
+  if (msg_len > body.size() - pos) {
+    return Status::Corruption("status message length out of bounds");
+  }
+  std::string msg(reinterpret_cast<const char*>(body.data()) + pos,
+                  msg_len);
+  pos += msg_len;
+  LAXML_RETURN_IF_ERROR(StatusFromWire(code, std::move(msg), &resp.status));
+  if (resp.status.ok()) {
+    if (ReturnsId(resp.op)) {
+      LAXML_ASSIGN_OR_RETURN(resp.id, DecodeVarint(body, &pos, "node id"));
+    }
+    if (ReturnsTokens(resp.op)) {
+      LAXML_ASSIGN_OR_RETURN(
+          resp.tokens,
+          DecodeTokens(Slice(body.data() + pos, body.size() - pos)));
+      pos = body.size();
+    }
+    if (resp.op == OpCode::kXPath) {
+      uint64_t count = 0;
+      LAXML_ASSIGN_OR_RETURN(count, DecodeVarint(body, &pos, "id count"));
+      // Each id costs at least one byte; reject fabricated counts
+      // before reserving anything.
+      if (count > body.size() - pos) {
+        return Status::Corruption("xpath id count out of bounds");
+      }
+      resp.ids.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t id = 0;
+        LAXML_ASSIGN_OR_RETURN(id, DecodeVarint(body, &pos, "xpath id"));
+        resp.ids.push_back(id);
+      }
+    }
+    if (resp.op == OpCode::kGetStats) {
+      resp.text.assign(reinterpret_cast<const char*>(body.data()) + pos,
+                       body.size() - pos);
+      pos = body.size();
+    }
+  }
+  if (pos != body.size()) {
+    return Status::Corruption("trailing bytes after response payload");
+  }
+  return resp;
+}
+
+Result<FrameView> TryDecodeFrame(Slice buffer, size_t max_body) {
+  FrameView view;
+  if (buffer.size() < kFrameHeaderSize) return view;  // incomplete
+  const uint32_t body_len = ReadFixed32(buffer.data());
+  if (body_len > max_body) {
+    return Status::Corruption("frame body length " +
+                              std::to_string(body_len) + " exceeds cap");
+  }
+  if (buffer.size() < kFrameHeaderSize + body_len) return view;  // incomplete
+  const uint32_t expected = crc32c::Unmask(ReadFixed32(buffer.data() + 4));
+  const uint32_t actual =
+      crc32c::Value(buffer.data() + kFrameHeaderSize, body_len);
+  if (expected != actual) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  view.complete = true;
+  view.body = Slice(buffer.data() + kFrameHeaderSize, body_len);
+  view.frame_size = kFrameHeaderSize + body_len;
+  return view;
+}
+
+Status StatusFromWire(uint8_t code, std::string message, Status* out) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      *out = Status::OK();
+      return Status::OK();
+    case StatusCode::kNotFound:
+      *out = Status::NotFound(std::move(message));
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      *out = Status::InvalidArgument(std::move(message));
+      return Status::OK();
+    case StatusCode::kCorruption:
+      *out = Status::Corruption(std::move(message));
+      return Status::OK();
+    case StatusCode::kIOError:
+      *out = Status::IOError(std::move(message));
+      return Status::OK();
+    case StatusCode::kNotSupported:
+      *out = Status::NotSupported(std::move(message));
+      return Status::OK();
+    case StatusCode::kAborted:
+      *out = Status::Aborted(std::move(message));
+      return Status::OK();
+    case StatusCode::kParseError:
+      *out = Status::ParseError(std::move(message));
+      return Status::OK();
+    case StatusCode::kResourceExhausted:
+      *out = Status::ResourceExhausted(std::move(message));
+      return Status::OK();
+  }
+  return Status::Corruption("unknown status code " + std::to_string(code));
+}
+
+}  // namespace net
+}  // namespace laxml

@@ -1,0 +1,398 @@
+#include "server/server.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "query/xpath_eval.h"
+
+namespace laxml {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Server::Server(std::unique_ptr<Store> store, const ServerOptions& options)
+    : options_(options), store_(std::move(store)) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+}
+
+Result<std::unique_ptr<Server>> Server::Start(std::unique_ptr<Store> store,
+                                              const ServerOptions& options) {
+  auto server =
+      std::unique_ptr<Server>(new Server(std::move(store), options));
+  LAXML_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Init() {
+  LAXML_RETURN_IF_ERROR(poller_.Init());
+  LAXML_ASSIGN_OR_RETURN(listen_fd_,
+                         net::ListenTcp(options_.host, options_.port));
+  LAXML_ASSIGN_OR_RETURN(port_, net::LocalPort(listen_fd_.get()));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  std::call_once(shutdown_once_, [this] { DoShutdown(); });
+}
+
+void Server::DoShutdown() {
+  draining_.store(true, std::memory_order_release);
+  poller_.Wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  conns_.clear();
+  listen_fd_.Reset();
+}
+
+void Server::IoLoop() {
+  // I/O-thread-private index: socket fd -> connection id.
+  std::unordered_map<int, uint64_t> fd_index;
+  uint64_t drain_deadline_micros = 0;
+
+  while (true) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && drain_deadline_micros == 0) {
+      drain_deadline_micros =
+          NowMicros() +
+          static_cast<uint64_t>(options_.drain_flush_timeout_ms) * 1000;
+      if (listen_fd_.valid()) {
+        poller_.Unwatch(listen_fd_.get());
+        listen_fd_.Reset();
+      }
+    }
+
+    // Interest pass: prune finished connections, recompute poll masks.
+    bool any_inflight = false;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        Connection* c = it->second.get();
+        const bool wbuf_empty = c->woff >= c->wbuf.size();
+        bool done = c->dead && c->inflight == 0;
+        if (c->peer_closed && c->inflight == 0 && wbuf_empty) done = true;
+        if (draining && c->inflight == 0 &&
+            (wbuf_empty || NowMicros() > drain_deadline_micros)) {
+          done = true;
+        }
+        if (done) {
+          poller_.Unwatch(c->fd.get());
+          fd_index.erase(c->fd.get());
+          it = conns_.erase(it);
+          continue;
+        }
+        if (c->inflight > 0) any_inflight = true;
+        const bool paused =
+            c->inflight >= options_.max_inflight_per_conn ||
+            (c->wbuf.size() - c->woff) > options_.max_write_buffer_bytes;
+        const bool want_read =
+            !draining && !c->peer_closed && !c->dead && !paused;
+        const bool want_write = !c->dead && !wbuf_empty;
+        poller_.Watch(c->fd.get(), want_read, want_write);
+        ++it;
+      }
+      if (draining) {
+        bool queue_empty;
+        {
+          std::lock_guard<std::mutex> qk(queue_mu_);
+          queue_empty = runnable_.empty();
+        }
+        if (queue_empty && !any_inflight && conns_.empty()) break;
+      }
+    }
+    if (!draining) poller_.Watch(listen_fd_.get(), true, false);
+
+    auto events = poller_.Wait(draining ? 50 : -1);
+    if (!events.ok()) break;  // poll itself failed; bail out
+
+    for (const net::Poller::Event& ev : *events) {
+      if (listen_fd_.valid() && ev.fd == listen_fd_.get()) {
+        while (true) {
+          auto accepted = net::AcceptConn(listen_fd_.get());
+          if (!accepted.ok()) break;
+          auto conn = std::make_unique<Connection>();
+          conn->id = next_conn_id_++;
+          conn->fd = std::move(accepted).value();
+          stats_.AddAccepted();
+          fd_index.emplace(conn->fd.get(), conn->id);
+          std::lock_guard<std::mutex> lk(conns_mu_);
+          conns_.emplace(conn->id, std::move(conn));
+        }
+        continue;
+      }
+      auto idx = fd_index.find(ev.fd);
+      if (idx == fd_index.end()) continue;
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      auto cit = conns_.find(idx->second);
+      if (cit == conns_.end()) continue;
+      Connection* c = cit->second.get();
+      if (ev.error) {
+        c->dead = true;
+        stats_.AddDropped();
+        continue;
+      }
+      if (ev.writable && !HandleWritable(c)) {
+        c->dead = true;
+        continue;
+      }
+      if (ev.readable && !HandleReadable(c)) {
+        c->dead = true;
+        stats_.AddDropped();
+      }
+    }
+  }
+}
+
+bool Server::HandleReadable(Connection* conn) {
+  uint8_t tmp[16384];
+  while (true) {
+    ssize_t n = ::read(conn->fd.get(), tmp, sizeof(tmp));
+    if (n > 0) {
+      stats_.AddBytesRead(static_cast<uint64_t>(n));
+      conn->rbuf.insert(conn->rbuf.end(), tmp, tmp + n);
+      while (true) {
+        Slice rest(conn->rbuf.data() + conn->rpos,
+                   conn->rbuf.size() - conn->rpos);
+        auto frame = net::TryDecodeFrame(rest, options_.max_frame_bytes);
+        if (!frame.ok()) return false;  // corrupt stream: drop the conn
+        if (!frame->complete) break;
+        auto req = net::DecodeRequest(frame->body);
+        conn->rpos += frame->frame_size;
+        if (!req.ok()) return false;  // protocol violation
+        ++conn->inflight;
+        WorkItem item;
+        item.request = std::move(req).value();
+        item.enqueue_micros = NowMicros();
+        conn->pending.push_back(std::move(item));
+        if (!conn->executing) {
+          conn->executing = true;
+          {
+            std::lock_guard<std::mutex> qk(queue_mu_);
+            runnable_.push_back(conn->id);
+          }
+          queue_cv_.notify_one();
+        }
+      }
+      if (conn->rpos > 0) {
+        conn->rbuf.erase(conn->rbuf.begin(),
+                         conn->rbuf.begin() +
+                             static_cast<ptrdiff_t>(conn->rpos));
+        conn->rpos = 0;
+      }
+      // Backpressure: stop pulling bytes once the connection is at its
+      // in-flight cap; the interest pass re-enables reads after drain.
+      if (conn->inflight >= options_.max_inflight_per_conn) break;
+      // poll() is level-triggered: leftover bytes re-trigger readable.
+      if (n < static_cast<ssize_t>(sizeof(tmp))) break;
+    } else if (n == 0) {
+      conn->peer_closed = true;
+      break;
+    } else {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Server::HandleWritable(Connection* conn) {
+  while (conn->woff < conn->wbuf.size()) {
+    ssize_t n = ::write(conn->fd.get(), conn->wbuf.data() + conn->woff,
+                        conn->wbuf.size() - conn->woff);
+    if (n > 0) {
+      stats_.AddBytesWritten(static_cast<uint64_t>(n));
+      conn->woff += static_cast<size_t>(n);
+    } else {
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      return false;
+    }
+  }
+  if (conn->woff >= conn->wbuf.size()) {
+    conn->wbuf.clear();
+    conn->woff = 0;
+  } else if (conn->woff > (1u << 20)) {
+    conn->wbuf.erase(conn->wbuf.begin(),
+                     conn->wbuf.begin() + static_cast<ptrdiff_t>(conn->woff));
+    conn->woff = 0;
+  }
+  return true;
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    uint64_t conn_id = 0;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(
+          lk, [this] { return stop_workers_ || !runnable_.empty(); });
+      if (runnable_.empty()) return;  // stop_workers_ and nothing left
+      conn_id = runnable_.front();
+      runnable_.pop_front();
+    }
+    WorkItem item;
+    bool have_item = false;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      auto it = conns_.find(conn_id);
+      if (it != conns_.end()) {
+        Connection* c = it->second.get();
+        if (!c->pending.empty()) {
+          item = std::move(c->pending.front());
+          c->pending.pop_front();
+          have_item = true;
+        } else {
+          c->executing = false;  // stale runnable entry
+        }
+      }
+    }
+    if (!have_item) {
+      poller_.Wake();
+      continue;
+    }
+    net::Response resp = Execute(item.request);
+    stats_.Record(item.request.op, NowMicros() - item.enqueue_micros,
+                  !resp.status.ok());
+    std::vector<uint8_t> frame;
+    net::EncodeResponse(resp, &frame);
+    bool more = false;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      auto it = conns_.find(conn_id);
+      if (it != conns_.end()) {
+        Connection* c = it->second.get();
+        --c->inflight;
+        if (!c->dead) {
+          c->wbuf.insert(c->wbuf.end(), frame.begin(), frame.end());
+        }
+        if (!c->pending.empty()) {
+          more = true;  // keep `executing` set; next request is ours
+        } else {
+          c->executing = false;
+        }
+      }
+    }
+    if (more) {
+      {
+        std::lock_guard<std::mutex> qk(queue_mu_);
+        runnable_.push_back(conn_id);
+      }
+      queue_cv_.notify_one();
+    }
+    poller_.Wake();
+  }
+}
+
+net::Response Server::Execute(const net::Request& req) {
+  net::Response resp;
+  resp.op = req.op;
+  resp.request_id = req.request_id;
+  auto take_id = [&resp](Result<NodeId> r) {
+    if (r.ok()) {
+      resp.id = *r;
+    } else {
+      resp.status = r.status();
+    }
+  };
+  using net::OpCode;
+  switch (req.op) {
+    case OpCode::kPing:
+      break;
+    case OpCode::kInsertBefore:
+      take_id(store_.InsertBefore(req.target, req.data));
+      break;
+    case OpCode::kInsertAfter:
+      take_id(store_.InsertAfter(req.target, req.data));
+      break;
+    case OpCode::kInsertIntoFirst:
+      take_id(store_.InsertIntoFirst(req.target, req.data));
+      break;
+    case OpCode::kInsertIntoLast:
+      take_id(store_.InsertIntoLast(req.target, req.data));
+      break;
+    case OpCode::kInsertTopLevel:
+      take_id(store_.InsertTopLevel(req.data));
+      break;
+    case OpCode::kDeleteNode:
+      resp.status = store_.DeleteNode(req.target);
+      break;
+    case OpCode::kReplaceNode:
+      take_id(store_.ReplaceNode(req.target, req.data));
+      break;
+    case OpCode::kReplaceContent:
+      take_id(store_.ReplaceContent(req.target, req.data));
+      break;
+    case OpCode::kRead: {
+      auto r = store_.Read();
+      if (r.ok()) {
+        resp.tokens = std::move(r).value();
+      } else {
+        resp.status = r.status();
+      }
+      break;
+    }
+    case OpCode::kReadNode: {
+      auto r = store_.Read(req.target);
+      if (r.ok()) {
+        resp.tokens = std::move(r).value();
+      } else {
+        resp.status = r.status();
+      }
+      break;
+    }
+    case OpCode::kXPath: {
+      // The evaluator snapshots the store, so it runs (and must run)
+      // under the exclusive latch like every other mutating-or-scanning
+      // path; a per-connection snapshot cache is a future optimization.
+      auto r = store_.WithExclusive(
+          [&req](Store& s) -> Result<std::vector<NodeId>> {
+            XPathEvaluator eval(&s);
+            return eval.Evaluate(req.expr);
+          });
+      if (r.ok()) {
+        resp.ids = std::move(r).value();
+      } else {
+        resp.status = r.status();
+      }
+      break;
+    }
+    case OpCode::kGetStats:
+      resp.text = stats_.Snapshot().ToString() +
+                  store_.WithExclusive(
+                      [](Store& s) { return s.stats().ToString(); }) +
+                  "\n";
+      break;
+    case OpCode::kCheckIntegrity:
+      resp.status = store_.WithExclusive(
+          [](Store& s) { return s.CheckIntegrity(); });
+      break;
+  }
+  return resp;
+}
+
+}  // namespace laxml

@@ -1,0 +1,164 @@
+// The laxml network server: owns a SharedStore and serves the wire
+// protocol (net/wire.h) over TCP.
+//
+// Threading model — one I/O thread plus a worker pool:
+//
+//   * The I/O thread runs the Poller: accepts connections, reads bytes
+//     into per-connection buffers, peels complete frames off, decodes
+//     requests, and enqueues them on the work queue. It also flushes
+//     per-connection write buffers when sockets turn writable.
+//   * Worker threads pop runnable connections, execute their requests
+//     against the SharedStore (which serializes writers; see
+//     shared_store.h), encode the response frame into the connection's
+//     write buffer, and wake the poller.
+//
+// Ordering: one connection's requests execute serially, in arrival
+// order — a pipelined batch may therefore contain dependent operations
+// ("insert node, then insert into it") and responses always come back
+// in request order. Different connections execute in parallel.
+//
+// Backpressure: a connection with too many in-flight requests or too
+// large an unflushed write buffer stops being read until it drains —
+// a slow or flooding client throttles itself, not the server.
+//
+// Graceful shutdown: Shutdown() stops accepting and reading, lets the
+// workers finish every queued request, flushes the responses (bounded
+// by drain_flush_timeout_ms against clients that never read), then
+// closes everything and joins the threads. The store object survives
+// the server; the caller decides when to Sync/close it.
+
+#ifndef LAXML_SERVER_SERVER_H_
+#define LAXML_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "concurrency/shared_store.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "server/server_stats.h"
+
+namespace laxml {
+
+struct ServerOptions {
+  /// Bind address. Loopback by default: the protocol has no auth, so
+  /// exposing it wider is an explicit decision (laxml_server --host).
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with Server::port().
+  uint16_t port = 0;
+  int num_workers = 4;
+  /// Frames larger than this are a protocol error (connection closed).
+  size_t max_frame_bytes = net::kMaxFrameBody;
+  /// Backpressure caps: a connection exceeding either stops being read
+  /// until it drains below them.
+  size_t max_write_buffer_bytes = 8u << 20;
+  size_t max_inflight_per_conn = 128;
+  /// How long shutdown keeps flushing responses to clients that are
+  /// not reading before force-closing them.
+  int drain_flush_timeout_ms = 5000;
+};
+
+/// A running server. Create with Start(), stop with Shutdown() (the
+/// destructor calls it too).
+class Server {
+ public:
+  /// Takes ownership of `store`, binds, and spins up the threads.
+  static Result<std::unique_ptr<Server>> Start(
+      std::unique_ptr<Store> store, const ServerOptions& options = {});
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Port actually bound (resolves an ephemeral request).
+  uint16_t port() const { return port_; }
+
+  /// Graceful stop: drain in-flight requests, flush, close, join.
+  /// Idempotent; concurrent callers block until the stop completes.
+  void Shutdown();
+
+  /// The store being served. Safe to use concurrently with the server
+  /// (SharedStore serializes); after Shutdown() the caller owns the
+  /// only access path.
+  SharedStore* shared_store() { return &store_; }
+
+  ServerStatsSnapshot stats() const { return stats_.Snapshot(); }
+
+ private:
+  struct WorkItem {
+    net::Request request;
+    uint64_t enqueue_micros = 0;
+  };
+
+  /// Per-connection state. `rbuf`/`rpos` belong to the I/O thread;
+  /// everything else is guarded by conns_mu_.
+  struct Connection {
+    uint64_t id = 0;
+    net::UniqueFd fd;
+    std::vector<uint8_t> rbuf;
+    size_t rpos = 0;
+    std::vector<uint8_t> wbuf;
+    size_t woff = 0;
+    /// Requests parsed but not yet executed (FIFO per connection).
+    std::deque<WorkItem> pending;
+    /// A worker currently owns this connection's head request.
+    bool executing = false;
+    /// pending.size() + (executing ? 1 : 0); drives backpressure and
+    /// connection teardown.
+    size_t inflight = 0;
+    bool peer_closed = false;  ///< Read side saw EOF; finish responses.
+    bool dead = false;         ///< Socket error; discard everything.
+  };
+
+  Server(std::unique_ptr<Store> store, const ServerOptions& options);
+
+  Status Init();
+  void DoShutdown();
+  void IoLoop();
+  void WorkerLoop();
+
+  /// Reads all available bytes, peels frames, enqueues requests.
+  /// Returns false when the connection must be dropped (protocol
+  /// error or socket failure).
+  bool HandleReadable(Connection* conn);
+  /// Flushes the write buffer. Returns false on socket failure.
+  bool HandleWritable(Connection* conn);
+  net::Response Execute(const net::Request& req);
+
+  ServerOptions options_;
+  SharedStore store_;
+  ServerStats stats_;
+  net::Poller poller_;
+  net::UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+
+  std::mutex conns_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  /// Connections with a dispatchable head request. A connection id
+  /// appears at most once (the `executing` flag gates enqueues), which
+  /// is what serializes one connection's requests across the pool.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<uint64_t> runnable_;
+  bool stop_workers_ = false;
+
+  std::atomic<bool> draining_{false};
+  std::once_flag shutdown_once_;
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_SERVER_SERVER_H_

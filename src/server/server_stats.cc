@@ -1,0 +1,74 @@
+#include "server/server_stats.h"
+
+#include <cstdio>
+
+namespace laxml {
+
+uint64_t ServerStatsSnapshot::TotalRequests() const {
+  uint64_t n = 0;
+  for (const OpStatsSnapshot& op : ops) n += op.requests;
+  return n;
+}
+
+uint64_t ServerStatsSnapshot::TotalErrors() const {
+  uint64_t n = 0;
+  for (const OpStatsSnapshot& op : ops) n += op.errors;
+  return n;
+}
+
+std::string ServerStatsSnapshot::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "server: %llu requests (%llu errors), %llu conns "
+                "(%llu dropped), %llu B in, %llu B out\n",
+                static_cast<unsigned long long>(TotalRequests()),
+                static_cast<unsigned long long>(TotalErrors()),
+                static_cast<unsigned long long>(connections_accepted),
+                static_cast<unsigned long long>(connections_dropped),
+                static_cast<unsigned long long>(bytes_read),
+                static_cast<unsigned long long>(bytes_written));
+  out += line;
+  for (uint8_t i = 0; i <= net::kMaxOpCode; ++i) {
+    const OpStatsSnapshot& op = ops[i];
+    if (op.requests == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  %-18s %8llu reqs %6llu errs  mean %8.1f us  "
+                  "max %8llu us\n",
+                  net::OpCodeName(static_cast<net::OpCode>(i)),
+                  static_cast<unsigned long long>(op.requests),
+                  static_cast<unsigned long long>(op.errors),
+                  op.MeanMicros(),
+                  static_cast<unsigned long long>(op.max_micros));
+    out += line;
+  }
+  return out;
+}
+
+void ServerStats::Record(net::OpCode op, uint64_t micros, bool error) {
+  OpCell& cell = ops_[static_cast<uint8_t>(op)];
+  cell.requests.fetch_add(1, kRelaxed);
+  if (error) cell.errors.fetch_add(1, kRelaxed);
+  cell.total_micros.fetch_add(micros, kRelaxed);
+  uint64_t prev = cell.max_micros.load(kRelaxed);
+  while (prev < micros &&
+         !cell.max_micros.compare_exchange_weak(prev, micros, kRelaxed)) {
+  }
+}
+
+ServerStatsSnapshot ServerStats::Snapshot() const {
+  ServerStatsSnapshot snap;
+  for (uint8_t i = 0; i <= net::kMaxOpCode; ++i) {
+    snap.ops[i].requests = ops_[i].requests.load(kRelaxed);
+    snap.ops[i].errors = ops_[i].errors.load(kRelaxed);
+    snap.ops[i].total_micros = ops_[i].total_micros.load(kRelaxed);
+    snap.ops[i].max_micros = ops_[i].max_micros.load(kRelaxed);
+  }
+  snap.connections_accepted = connections_accepted_.load(kRelaxed);
+  snap.connections_dropped = connections_dropped_.load(kRelaxed);
+  snap.bytes_read = bytes_read_.load(kRelaxed);
+  snap.bytes_written = bytes_written_.load(kRelaxed);
+  return snap;
+}
+
+}  // namespace laxml

@@ -1,0 +1,83 @@
+// Per-operation service counters for the laxml server: request count,
+// error count, and latency aggregates per OpCode, updated lock-free by
+// worker threads and snapshotted for GetStats / shutdown reporting.
+// Client-side benches compute percentile latencies from their own
+// samples; the server keeps the cheap aggregates (count / errors /
+// total / max) that stay O(1) per request.
+
+#ifndef LAXML_SERVER_SERVER_STATS_H_
+#define LAXML_SERVER_SERVER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+
+namespace laxml {
+
+/// Immutable copy of one op's counters.
+struct OpStatsSnapshot {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t total_micros = 0;
+  uint64_t max_micros = 0;
+
+  double MeanMicros() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(total_micros) /
+                     static_cast<double>(requests);
+  }
+};
+
+/// Immutable copy of the whole table.
+struct ServerStatsSnapshot {
+  OpStatsSnapshot ops[net::kMaxOpCode + 1];
+  uint64_t connections_accepted = 0;
+  uint64_t connections_dropped = 0;  ///< Protocol errors / overload closes.
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  uint64_t TotalRequests() const;
+  uint64_t TotalErrors() const;
+
+  /// Table rendering, one row per op that served traffic (the GetStats
+  /// RPC payload).
+  std::string ToString() const;
+};
+
+/// The live, thread-safe counter table.
+class ServerStats {
+ public:
+  /// Records one served request (including error responses) of `op`
+  /// taking `micros`.
+  void Record(net::OpCode op, uint64_t micros, bool error);
+
+  void AddAccepted() { connections_accepted_.fetch_add(1, kRelaxed); }
+  void AddDropped() { connections_dropped_.fetch_add(1, kRelaxed); }
+  void AddBytesRead(uint64_t n) { bytes_read_.fetch_add(n, kRelaxed); }
+  void AddBytesWritten(uint64_t n) { bytes_written_.fetch_add(n, kRelaxed); }
+
+  ServerStatsSnapshot Snapshot() const;
+
+ private:
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+  struct OpCell {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> total_micros{0};
+    std::atomic<uint64_t> max_micros{0};
+  };
+
+  OpCell ops_[net::kMaxOpCode + 1];
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_dropped_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_SERVER_SERVER_STATS_H_

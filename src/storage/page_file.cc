@@ -110,7 +110,10 @@ Result<std::unique_ptr<PosixPageFile>> PosixPageFile::Open(
   if (page_size < kMinPageSize || (page_size & (page_size - 1)) != 0) {
     return Status::InvalidArgument("page size must be a power of two >= 512");
   }
-  int fd = ::open(path.c_str(), read_only ? O_RDONLY : (O_RDWR | O_CREAT),
+  // O_CLOEXEC: a forking/exec'ing host (laxml_server) must not leak
+  // store fds into child processes.
+  int fd = ::open(path.c_str(),
+                  (read_only ? O_RDONLY : (O_RDWR | O_CREAT)) | O_CLOEXEC,
                   read_only ? 0 : 0644);
   if (fd < 0) {
     return Status::IOError("open '" + path + "': " + std::strerror(errno));

@@ -9,7 +9,9 @@
 namespace laxml {
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  // O_CLOEXEC: keep the log fd out of forked/exec'd children.
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
   if (fd < 0) {
     return Status::IOError("open wal '" + path +
                            "': " + std::strerror(errno));

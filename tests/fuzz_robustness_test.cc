@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "ids/ordpath.h"
+#include "net/wire.h"
 #include "test_util.h"
 #include "query/xpath_parser.h"
 #include "wal/log_format.h"
@@ -128,6 +129,118 @@ TEST(FuzzRobustnessTest, OrdpathDecoderNeverCrashesOnGarbage) {
       // API permits. Just exercise Encode for crashes.
       (void)decoded->Encode();
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol (net/wire.h): the server feeds whatever the network
+// delivers through TryDecodeFrame and DecodeRequest; the client feeds
+// it through DecodeResponse. All of it must hold the same line as the
+// storage decoders — Status errors, never crashes, never fabricated
+// frames. These three suites push > 10000 malformed inputs through.
+
+TEST(FuzzRobustnessTest, WireFrameDecoderNeverCrashesOnGarbage) {
+  Random rng(8);
+  int complete = 0;
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<uint8_t> bytes = RandomBytes(&rng, 400);
+    auto frame = net::TryDecodeFrame(Slice(bytes));
+    if (!frame.ok()) {
+      EXPECT_TRUE(frame.status().IsCorruption()) << "iteration " << i;
+      continue;
+    }
+    if (!frame->complete) continue;  // wants more bytes — fine
+    // The CRC gate makes random acceptance astronomically unlikely,
+    // but if a frame does verify, its body must still decode safely.
+    ++complete;
+    EXPECT_LE(frame->frame_size, bytes.size());
+    auto req = net::DecodeRequest(frame->body);
+    if (!req.ok()) {
+      EXPECT_TRUE(req.status().IsCorruption());
+    }
+    auto resp = net::DecodeResponse(frame->body);
+    if (!resp.ok()) {
+      EXPECT_TRUE(resp.status().IsCorruption());
+    }
+  }
+  EXPECT_EQ(complete, 0);  // 1-in-2^32 per iteration; flag if ever hit
+}
+
+TEST(FuzzRobustnessTest, WireDecodersOnMutatedValidFrames) {
+  Random rng(9);
+  TokenSequence frag = testing::MustFragment("<f n=\"1\">payload</f>");
+  // A pool of valid frames covering every payload shape, both
+  // directions.
+  std::vector<std::vector<uint8_t>> pool;
+  {
+    net::Request req;
+    req.op = net::OpCode::kInsertIntoLast;
+    req.request_id = 7;
+    req.target = 3;
+    req.data = frag;
+    pool.emplace_back();
+    EncodeRequest(req, &pool.back());
+    req = {};
+    req.op = net::OpCode::kXPath;
+    req.request_id = 8;
+    req.expr = "/f[n='1']";
+    pool.emplace_back();
+    EncodeRequest(req, &pool.back());
+    net::Response resp;
+    resp.op = net::OpCode::kReadNode;
+    resp.request_id = 9;
+    resp.tokens = frag;
+    pool.emplace_back();
+    EncodeResponse(resp, &pool.back());
+    resp = {};
+    resp.op = net::OpCode::kXPath;
+    resp.request_id = 10;
+    resp.ids = {1, 2, 3000};
+    pool.emplace_back();
+    EncodeResponse(resp, &pool.back());
+  }
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<uint8_t> bytes = pool[rng.Uniform(pool.size())];
+    int mutations = 1 + static_cast<int>(rng.Uniform(3));
+    for (int m = 0; m < mutations; ++m) {
+      bytes[rng.Uniform(bytes.size())] = static_cast<uint8_t>(rng.Next64());
+    }
+    auto frame = net::TryDecodeFrame(Slice(bytes));
+    if (!frame.ok()) {
+      EXPECT_TRUE(frame.status().IsCorruption());
+      continue;
+    }
+    if (!frame->complete) continue;  // length field mutated downward
+    // Only an unlucky CRC-preserving mutation lands here; the body
+    // decoders must still hold the no-crash line.
+    auto req = net::DecodeRequest(frame->body);
+    if (!req.ok()) {
+      EXPECT_TRUE(req.status().IsCorruption());
+    }
+    auto resp = net::DecodeResponse(frame->body);
+    if (!resp.ok()) {
+      EXPECT_TRUE(resp.status().IsCorruption());
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, WireTruncatedFramesNeverError) {
+  Random rng(10);
+  TokenSequence frag = testing::MustFragment("<t>abcdefgh</t>");
+  for (int i = 0; i < 3000; ++i) {
+    net::Request req;
+    req.op = net::OpCode::kInsertTopLevel;
+    req.request_id = static_cast<uint64_t>(i);
+    req.data = frag;
+    std::vector<uint8_t> wire;
+    EncodeRequest(req, &wire);
+    // A truncated valid frame is always "incomplete", never Corruption:
+    // closing the connection on a half-received frame would break
+    // stream reassembly.
+    size_t cut = rng.Uniform(wire.size());
+    auto frame = net::TryDecodeFrame(Slice(wire.data(), cut));
+    ASSERT_TRUE(frame.ok()) << "cut " << cut;
+    EXPECT_FALSE(frame->complete) << "cut " << cut;
   }
 }
 

@@ -1,0 +1,331 @@
+// End-to-end tests of the network layer: a real Server on an ephemeral
+// loopback port, real Client connections, concurrent clients doing
+// mixed work, pipelined batches, errors over the wire, protocol-error
+// handling, and graceful shutdown. This is the suite the sanitizer
+// presets chew on: the I/O thread, the worker pool, and N client
+// threads all run at once.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "net/client.h"
+#include "server/server.h"
+#include "store/store.h"
+#include "test_util.h"
+#include "xml/token_sequence.h"
+
+namespace laxml {
+namespace {
+
+std::unique_ptr<Server> MustStartServer(ServerOptions options = {}) {
+  auto store = Store::OpenInMemory(StoreOptions{});
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  auto server = Server::Start(std::move(store).value(), options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(server).value();
+}
+
+std::unique_ptr<net::Client> MustConnect(uint16_t port) {
+  auto client = net::Client::Connect("127.0.0.1", port);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+TokenSequence Item(uint64_t n) {
+  return SequenceBuilder()
+      .BeginElement("item")
+      .Attribute("n", std::to_string(n))
+      .Text("payload-" + std::to_string(n))
+      .End()
+      .Build();
+}
+
+TEST(ServerClientTest, BasicOpsRoundTrip) {
+  auto server = MustStartServer();
+  auto client = MustConnect(server->port());
+
+  ASSERT_LAXML_OK(client->Ping());
+
+  TokenSequence doc = testing::MustFragment("<root><a>1</a></root>");
+  ASSERT_OK_AND_ASSIGN(NodeId root, client->InsertTopLevel(doc));
+
+  ASSERT_OK_AND_ASSIGN(TokenSequence back, client->Read(root));
+  EXPECT_EQ(back, doc);
+
+  ASSERT_OK_AND_ASSIGN(NodeId b,
+                       client->InsertIntoLast(root,
+                                              testing::MustFragment(
+                                                  "<b>2</b>")));
+  ASSERT_OK_AND_ASSIGN(TokenSequence b_back, client->Read(b));
+  EXPECT_EQ(b_back, testing::MustFragment("<b>2</b>"));
+
+  ASSERT_OK_AND_ASSIGN(std::vector<NodeId> hits, client->XPath("/root/b"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], b);
+
+  ASSERT_OK_AND_ASSIGN(NodeId replaced,
+                       client->ReplaceNode(b, testing::MustFragment(
+                                                  "<c>3</c>")));
+  ASSERT_OK_AND_ASSIGN(TokenSequence c_back, client->Read(replaced));
+  EXPECT_EQ(c_back, testing::MustFragment("<c>3</c>"));
+
+  ASSERT_LAXML_OK(client->DeleteNode(replaced));
+  ASSERT_OK_AND_ASSIGN(TokenSequence whole, client->Read());
+  EXPECT_EQ(whole, doc);
+
+  ASSERT_OK_AND_ASSIGN(std::string stats, client->GetStats());
+  EXPECT_NE(stats.find("INSERT_TOP_LEVEL"), std::string::npos) << stats;
+
+  ASSERT_LAXML_OK(client->CheckIntegrity());
+  server->Shutdown();
+}
+
+TEST(ServerClientTest, ErrorsTravelTheWire) {
+  auto server = MustStartServer();
+  auto client = MustConnect(server->port());
+
+  // Engine errors come back as the same Status the in-process call
+  // would produce — and the connection stays usable afterwards.
+  Status st = client->DeleteNode(999999);
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+
+  auto hits = client->XPath("///[[[");
+  EXPECT_TRUE(hits.status().IsParseError()) << hits.status().ToString();
+
+  auto read = client->Read(424242);
+  EXPECT_FALSE(read.ok());
+
+  ASSERT_LAXML_OK(client->Ping());
+  server->Shutdown();
+}
+
+TEST(ServerClientTest, MultiClientMixedWorkload) {
+  ServerOptions options;
+  options.num_workers = 4;
+  auto server = MustStartServer(options);
+  const uint16_t port = server->port();
+
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 300;
+  std::atomic<int> failures{0};
+  // Per client: the expected final subtree, rebuilt locally from the
+  // same operation stream the server saw.
+  std::vector<TokenSequence> expected(kClients);
+  std::vector<NodeId> roots(kClients, kInvalidNodeId);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      const std::string name = "client-" + std::to_string(c);
+      TokenSequence root =
+          SequenceBuilder().BeginElement(name).End().Build();
+      auto root_id = (*client)->InsertTopLevel(root);
+      if (!root_id.ok()) {
+        ++failures;
+        return;
+      }
+      roots[static_cast<size_t>(c)] = *root_id;
+      // Local model: the item fragments currently under the root, in
+      // document order.
+      std::vector<uint64_t> items;
+      std::vector<NodeId> item_ids;
+      Random rng(static_cast<uint32_t>(100 + c));
+      for (int op = 0; op < kOpsPerClient; ++op) {
+        uint32_t dice = rng.Uniform(10);
+        if (dice < 5 || items.empty()) {
+          uint64_t n = static_cast<uint64_t>(op);
+          auto id = (*client)->InsertIntoLast(*root_id, Item(n));
+          if (!id.ok()) {
+            ++failures;
+            return;
+          }
+          items.push_back(n);
+          item_ids.push_back(*id);
+        } else if (dice < 7) {
+          size_t victim = rng.Uniform(items.size());
+          if (!(*client)->DeleteNode(item_ids[victim]).ok()) {
+            ++failures;
+            return;
+          }
+          items.erase(items.begin() + static_cast<ptrdiff_t>(victim));
+          item_ids.erase(item_ids.begin() +
+                         static_cast<ptrdiff_t>(victim));
+        } else if (dice < 9) {
+          size_t pick = rng.Uniform(items.size());
+          auto tokens = (*client)->Read(item_ids[pick]);
+          if (!tokens.ok() || *tokens != Item(items[pick])) {
+            ++failures;
+            return;
+          }
+        } else {
+          auto hits = (*client)->XPath("/" + name + "/item");
+          if (!hits.ok() || hits->size() != items.size()) {
+            ++failures;
+            return;
+          }
+        }
+      }
+      // Rebuild the expected subtree: <client-c> then each live item.
+      TokenSequence& exp = expected[static_cast<size_t>(c)];
+      exp = SequenceBuilder().BeginElement(name).End().Build();
+      for (uint64_t n : items) {
+        TokenSequence item = Item(n);
+        exp.insert(exp.end() - 1, item.begin(), item.end());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Verify through the server's own store object: every client's
+  // subtree must match its local model exactly, and the whole store
+  // must still satisfy every invariant.
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_NE(roots[static_cast<size_t>(c)], kInvalidNodeId);
+    ASSERT_OK_AND_ASSIGN(
+        TokenSequence actual,
+        server->shared_store()->Read(roots[static_cast<size_t>(c)]));
+    EXPECT_EQ(actual, expected[static_cast<size_t>(c)]) << "client " << c;
+  }
+  server->Shutdown();
+  ASSERT_LAXML_OK(server->shared_store()->UnsafeStore()->CheckInvariants());
+
+  // The counters saw every op class the workload issued.
+  ServerStatsSnapshot stats = server->stats();
+  EXPECT_GE(stats.connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_GE(stats.TotalRequests(),
+            static_cast<uint64_t>(kClients) * kOpsPerClient);
+}
+
+TEST(ServerClientTest, PipelinedBatchPreservesOrder) {
+  auto server = MustStartServer();
+  auto client = MustConnect(server->port());
+
+  TokenSequence root =
+      SequenceBuilder().BeginElement("batch").End().Build();
+  ASSERT_OK_AND_ASSIGN(NodeId root_id, client->InsertTopLevel(root));
+
+  constexpr int kBatch = 200;
+  std::vector<net::Request> reqs;
+  reqs.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    net::Request req;
+    req.op = net::OpCode::kInsertIntoLast;
+    req.target = root_id;
+    req.data = Item(static_cast<uint64_t>(i));
+    reqs.push_back(std::move(req));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<net::Response> resps,
+                       client->CallBatch(std::move(reqs)));
+  ASSERT_EQ(resps.size(), static_cast<size_t>(kBatch));
+  for (const net::Response& resp : resps) {
+    ASSERT_LAXML_OK(resp.status);
+  }
+  // Serial per-connection execution means the batch landed in order.
+  TokenSequence expected =
+      SequenceBuilder().BeginElement("batch").End().Build();
+  for (int i = 0; i < kBatch; ++i) {
+    TokenSequence item = Item(static_cast<uint64_t>(i));
+    expected.insert(expected.end() - 1, item.begin(), item.end());
+  }
+  ASSERT_OK_AND_ASSIGN(TokenSequence actual, client->Read(root_id));
+  EXPECT_EQ(actual, expected);
+  server->Shutdown();
+}
+
+TEST(ServerClientTest, BatchWithDependentOps) {
+  auto server = MustStartServer();
+  auto client = MustConnect(server->port());
+  ASSERT_OK_AND_ASSIGN(
+      NodeId root,
+      client->InsertTopLevel(
+          SequenceBuilder().BeginElement("d").End().Build()));
+
+  // Insert, delete it, insert again — order matters; out-of-order
+  // execution would fail the delete or leave two items.
+  ASSERT_OK_AND_ASSIGN(NodeId first, client->InsertIntoLast(root, Item(1)));
+  std::vector<net::Request> reqs(3);
+  reqs[0].op = net::OpCode::kDeleteNode;
+  reqs[0].target = first;
+  reqs[1].op = net::OpCode::kInsertIntoLast;
+  reqs[1].target = root;
+  reqs[1].data = Item(2);
+  reqs[2].op = net::OpCode::kReadNode;
+  reqs[2].target = root;
+  ASSERT_OK_AND_ASSIGN(std::vector<net::Response> resps,
+                       client->CallBatch(std::move(reqs)));
+  ASSERT_EQ(resps.size(), 3u);
+  ASSERT_LAXML_OK(resps[0].status);
+  ASSERT_LAXML_OK(resps[1].status);
+  ASSERT_LAXML_OK(resps[2].status);
+  TokenSequence expected =
+      SequenceBuilder().BeginElement("d").End().Build();
+  TokenSequence item = Item(2);
+  expected.insert(expected.end() - 1, item.begin(), item.end());
+  EXPECT_EQ(resps[2].tokens, expected);
+  server->Shutdown();
+}
+
+TEST(ServerClientTest, OversizedFrameClosesConnection) {
+  ServerOptions options;
+  options.max_frame_bytes = 4096;  // tiny per-connection cap
+  auto server = MustStartServer(options);
+  auto client = MustConnect(server->port());
+  ASSERT_LAXML_OK(client->Ping());
+
+  // A fragment well past the cap: the server treats the frame as a
+  // protocol error and drops the connection without a response.
+  SequenceBuilder big;
+  big.BeginElement("big");
+  for (int i = 0; i < 2000; ++i) {
+    big.Text("0123456789abcdef0123456789abcdef");
+  }
+  big.End();
+  auto result = client->InsertTopLevel(big.Build());
+  EXPECT_FALSE(result.ok());
+
+  // The server itself is unharmed: new connections work.
+  auto fresh = MustConnect(server->port());
+  ASSERT_LAXML_OK(fresh->Ping());
+  server->Shutdown();
+}
+
+TEST(ServerClientTest, GracefulShutdownAndStoreHandoff) {
+  auto server = MustStartServer();
+  auto client = MustConnect(server->port());
+  ASSERT_OK_AND_ASSIGN(
+      NodeId root,
+      client->InsertTopLevel(testing::MustFragment("<kept>x</kept>")));
+  (void)root;
+
+  server->Shutdown();
+  // Idempotent.
+  server->Shutdown();
+
+  // The inserted data survives in the handed-back store.
+  ASSERT_OK_AND_ASSIGN(TokenSequence doc,
+                       server->shared_store()->Read());
+  EXPECT_EQ(doc, testing::MustFragment("<kept>x</kept>"));
+
+  // The port no longer accepts new connections.
+  net::ClientOptions copts;
+  copts.connect_attempts = 1;
+  copts.connect_timeout_ms = 500;
+  auto dead = net::Client::Connect("127.0.0.1", server->port(), copts);
+  EXPECT_FALSE(dead.ok());
+}
+
+}  // namespace
+}  // namespace laxml

@@ -1,0 +1,268 @@
+// Unit tests for the network wire protocol (net/wire.h): request and
+// response codecs round-trip every opcode, the frame layer detects
+// truncation, oversize claims, and corruption, and hand-crafted
+// malformed bodies come back as Status errors with no crash.
+
+#include <gtest/gtest.h>
+
+#include "common/varint.h"
+#include "net/wire.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace net {
+namespace {
+
+TokenSequence SampleFragment() {
+  return testing::MustFragment("<a x=\"1\"><b>text</b></a>");
+}
+
+// Encodes `req` as a frame and decodes it back through the full
+// TryDecodeFrame + DecodeRequest path.
+Request MustRoundTrip(const Request& req) {
+  std::vector<uint8_t> wire;
+  EncodeRequest(req, &wire);
+  auto frame = TryDecodeFrame(Slice(wire));
+  EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_TRUE(frame->complete);
+  EXPECT_EQ(frame->frame_size, wire.size());
+  auto decoded = DecodeRequest(frame->body);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return decoded.ok() ? *decoded : Request{};
+}
+
+Response MustRoundTrip(const Response& resp) {
+  std::vector<uint8_t> wire;
+  EncodeResponse(resp, &wire);
+  auto frame = TryDecodeFrame(Slice(wire));
+  EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_TRUE(frame->complete);
+  auto decoded = DecodeResponse(frame->body);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return decoded.ok() ? *decoded : Response{};
+}
+
+TEST(WireFormatTest, RequestRoundTripEveryOpcode) {
+  TokenSequence frag = SampleFragment();
+  for (uint8_t raw = 0; raw <= kMaxOpCode; ++raw) {
+    Request req;
+    req.op = static_cast<OpCode>(raw);
+    req.request_id = 1000 + raw;
+    req.target = 42;
+    req.data = frag;
+    req.expr = "/a/b";
+    Request back = MustRoundTrip(req);
+    EXPECT_EQ(back.op, req.op) << OpCodeName(req.op);
+    EXPECT_EQ(back.request_id, req.request_id) << OpCodeName(req.op);
+    // Field presence is opcode-driven; compare only what the opcode
+    // carries (the rest decodes to defaults).
+    switch (req.op) {
+      case OpCode::kInsertBefore:
+      case OpCode::kInsertAfter:
+      case OpCode::kInsertIntoFirst:
+      case OpCode::kInsertIntoLast:
+      case OpCode::kReplaceNode:
+      case OpCode::kReplaceContent:
+        EXPECT_EQ(back.target, req.target) << OpCodeName(req.op);
+        EXPECT_EQ(back.data, req.data) << OpCodeName(req.op);
+        break;
+      case OpCode::kDeleteNode:
+      case OpCode::kReadNode:
+        EXPECT_EQ(back.target, req.target) << OpCodeName(req.op);
+        break;
+      case OpCode::kInsertTopLevel:
+        EXPECT_EQ(back.data, req.data) << OpCodeName(req.op);
+        break;
+      case OpCode::kXPath:
+        EXPECT_EQ(back.expr, req.expr);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(WireFormatTest, ResponseRoundTripValueFields) {
+  {
+    Response resp;
+    resp.op = OpCode::kInsertTopLevel;
+    resp.request_id = 7;
+    resp.id = 99;
+    Response back = MustRoundTrip(resp);
+    EXPECT_TRUE(back.status.ok());
+    EXPECT_EQ(back.id, 99u);
+  }
+  {
+    Response resp;
+    resp.op = OpCode::kReadNode;
+    resp.request_id = 8;
+    resp.tokens = SampleFragment();
+    Response back = MustRoundTrip(resp);
+    EXPECT_EQ(back.tokens, resp.tokens);
+  }
+  {
+    Response resp;
+    resp.op = OpCode::kXPath;
+    resp.request_id = 9;
+    resp.ids = {1, 2, 3, 500, 70000};
+    Response back = MustRoundTrip(resp);
+    EXPECT_EQ(back.ids, resp.ids);
+  }
+  {
+    Response resp;
+    resp.op = OpCode::kGetStats;
+    resp.request_id = 10;
+    resp.text = "ranges: 5\ntokens: 17\n";
+    Response back = MustRoundTrip(resp);
+    EXPECT_EQ(back.text, resp.text);
+  }
+}
+
+TEST(WireFormatTest, ErrorResponseCarriesStatusAndSuppressesPayload) {
+  Response resp;
+  resp.op = OpCode::kInsertTopLevel;
+  resp.request_id = 11;
+  resp.status = Status::NotFound("no such node");
+  resp.id = 1234;  // must NOT travel: error responses have no payload
+  Response back = MustRoundTrip(resp);
+  EXPECT_TRUE(back.status.IsNotFound());
+  EXPECT_EQ(back.status.message(), "no such node");
+  EXPECT_EQ(back.id, kInvalidNodeId);
+}
+
+TEST(WireFormatTest, StatusFromWireCoversEveryCode) {
+  for (uint8_t code = 0; code <= 8; ++code) {
+    Status out;
+    ASSERT_LAXML_OK(StatusFromWire(code, "m", &out));
+    EXPECT_EQ(static_cast<uint8_t>(out.code()), code);
+  }
+  Status out;
+  EXPECT_TRUE(StatusFromWire(9, "m", &out).IsCorruption());
+  EXPECT_TRUE(StatusFromWire(255, "m", &out).IsCorruption());
+}
+
+TEST(WireFormatTest, IncompleteFramesAskForMoreBytes) {
+  Request req;
+  req.op = OpCode::kXPath;
+  req.expr = "/a";
+  std::vector<uint8_t> wire;
+  EncodeRequest(req, &wire);
+  // Every strict prefix is incomplete, never an error: the stream
+  // reader must keep the bytes and wait.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto frame = TryDecodeFrame(Slice(wire.data(), len));
+    ASSERT_TRUE(frame.ok()) << "prefix " << len;
+    EXPECT_FALSE(frame->complete) << "prefix " << len;
+  }
+  auto full = TryDecodeFrame(Slice(wire));
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->complete);
+}
+
+TEST(WireFormatTest, OversizedLengthRejectedBeforeBuffering) {
+  // Header claiming a body one byte past the cap: Corruption even
+  // though no body bytes are present (nothing gets allocated).
+  std::vector<uint8_t> wire(kFrameHeaderSize, 0);
+  const uint32_t huge = kMaxFrameBody + 1;
+  wire[0] = static_cast<uint8_t>(huge);
+  wire[1] = static_cast<uint8_t>(huge >> 8);
+  wire[2] = static_cast<uint8_t>(huge >> 16);
+  wire[3] = static_cast<uint8_t>(huge >> 24);
+  auto frame = TryDecodeFrame(Slice(wire));
+  EXPECT_TRUE(frame.status().IsCorruption());
+  // A tighter per-connection cap applies the same way.
+  auto tight = TryDecodeFrame(Slice(wire), /*max_body=*/1024);
+  EXPECT_TRUE(tight.status().IsCorruption());
+}
+
+TEST(WireFormatTest, EveryBitFlipIsDetected) {
+  Request req;
+  req.op = OpCode::kInsertIntoLast;
+  req.target = 5;
+  req.data = SampleFragment();
+  std::vector<uint8_t> wire;
+  EncodeRequest(req, &wire);
+  // Flip each bit of the CRC and of the body: the frame must never
+  // decode to a different request without noticing.
+  for (size_t byte = 4; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = wire;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      auto frame = TryDecodeFrame(Slice(mutated));
+      EXPECT_TRUE(!frame.ok() && frame.status().IsCorruption())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(WireFormatTest, BackToBackFramesPeelInOrder) {
+  std::vector<uint8_t> wire;
+  for (uint64_t i = 0; i < 5; ++i) {
+    Request req;
+    req.op = OpCode::kPing;
+    req.request_id = i;
+    EncodeRequest(req, &wire);
+  }
+  size_t pos = 0;
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto frame = TryDecodeFrame(Slice(wire.data() + pos, wire.size() - pos));
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame->complete);
+    ASSERT_OK_AND_ASSIGN(Request req, DecodeRequest(frame->body));
+    EXPECT_EQ(req.request_id, i);
+    pos += frame->frame_size;
+  }
+  EXPECT_EQ(pos, wire.size());
+}
+
+TEST(WireFormatTest, MalformedBodiesYieldCorruption) {
+  {
+    // Empty body: no opcode.
+    auto req = DecodeRequest(Slice());
+    EXPECT_TRUE(req.status().IsCorruption());
+  }
+  {
+    // Unknown opcode byte.
+    std::vector<uint8_t> body = {kMaxOpCode + 1, 0};
+    auto req = DecodeRequest(Slice(body));
+    EXPECT_TRUE(req.status().IsCorruption());
+  }
+  {
+    // Opcode present, request id varint missing.
+    std::vector<uint8_t> body = {static_cast<uint8_t>(OpCode::kPing)};
+    auto req = DecodeRequest(Slice(body));
+    EXPECT_TRUE(req.status().IsCorruption());
+  }
+  {
+    // Ping with trailing garbage: the codec is exact, not permissive.
+    std::vector<uint8_t> body = {static_cast<uint8_t>(OpCode::kPing), 1,
+                                 0xAB};
+    auto req = DecodeRequest(Slice(body));
+    EXPECT_TRUE(req.status().IsCorruption());
+  }
+  {
+    // Response whose status message length points past the body.
+    std::vector<uint8_t> body;
+    body.push_back(static_cast<uint8_t>(OpCode::kPing));
+    PutVarint64(&body, 1);  // request id
+    body.push_back(0);      // kOk
+    PutVarint64(&body, 1000);  // msg_len, but no bytes follow
+    auto resp = DecodeResponse(Slice(body));
+    EXPECT_TRUE(resp.status().IsCorruption());
+  }
+  {
+    // XPath response claiming more ids than the body could hold.
+    std::vector<uint8_t> body;
+    body.push_back(static_cast<uint8_t>(OpCode::kXPath));
+    PutVarint64(&body, 1);  // request id
+    body.push_back(0);      // kOk
+    PutVarint64(&body, 0);  // empty message
+    PutVarint64(&body, 1u << 30);  // fabricated id count
+    auto resp = DecodeResponse(Slice(body));
+    EXPECT_TRUE(resp.status().IsCorruption());
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace laxml

@@ -1,0 +1,243 @@
+// laxml_cli: command-line client for a running laxml_server.
+//
+//   laxml_cli [--host H] [--port N] <command ...>     one command
+//   laxml_cli [--host H] [--port N]                   script from stdin
+//
+// Script mode reads one command per line ('#' starts a comment). XML
+// fragments are parsed client-side into token sequences and travel in
+// the binary token codec; reads are serialized back to XML locally —
+// the server never sees or produces XML text.
+//
+// commands:
+//   ping
+//   load <xml>                   insert fragment at the top level
+//   insert-before <id> <xml>     Table-1 update ops
+//   insert-after <id> <xml>
+//   insert-first <id> <xml>
+//   insert-last <id> <xml>
+//   replace <id> <xml>
+//   replace-content <id> <xml>
+//   delete <id>
+//   read [id]                    whole store / one subtree, as XML
+//   xpath <expr>                 matching node ids
+//   stats                        server + store counters
+//   check                        run the integrity auditor
+//
+// Exit code 0 when every command succeeded, 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "xml/serializer.h"
+#include "xml/tokenizer.h"
+
+namespace {
+
+using laxml::net::Client;
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port N] [command args...]\n"
+               "With no command, reads one command per line from stdin.\n"
+               "Commands: ping, load, insert-before, insert-after,\n"
+               "insert-first, insert-last, replace, replace-content,\n"
+               "delete, read, xpath, stats, check\n",
+               argv0);
+}
+
+bool ParseId(const std::string& text, laxml::NodeId* id) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v == 0) return false;
+  *id = v;
+  return true;
+}
+
+/// Splits "cmd rest", then "cmd arg rest" as each command needs.
+struct CommandLine {
+  std::string verb;
+  std::string arg1;  ///< First word after the verb ("" when absent).
+  std::string rest;  ///< Everything after arg1 (XML / expression text).
+};
+
+CommandLine Split(const std::string& line) {
+  CommandLine cmd;
+  std::istringstream in(line);
+  in >> cmd.verb >> cmd.arg1;
+  std::getline(in, cmd.rest);
+  while (!cmd.rest.empty() && cmd.rest.front() == ' ') {
+    cmd.rest.erase(cmd.rest.begin());
+  }
+  return cmd;
+}
+
+/// Runs one command; prints its outcome; false on failure.
+bool RunCommand(Client* client, const std::string& line) {
+  CommandLine cmd = Split(line);
+  auto fragment = [&](const std::string& xml)
+      -> laxml::Result<laxml::TokenSequence> {
+    return laxml::ParseFragment(xml);
+  };
+  auto fail = [&](const laxml::Status& status) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return false;
+  };
+  auto print_id = [&](laxml::Result<laxml::NodeId> r) {
+    if (!r.ok()) return fail(r.status());
+    std::printf("id %llu\n", static_cast<unsigned long long>(*r));
+    return true;
+  };
+
+  if (cmd.verb == "ping") {
+    laxml::Status st = client->Ping();
+    if (!st.ok()) return fail(st);
+    std::printf("pong\n");
+    return true;
+  }
+  if (cmd.verb == "load") {
+    std::string xml = cmd.arg1;
+    if (!cmd.rest.empty()) xml += " " + cmd.rest;
+    auto tokens = fragment(xml);
+    if (!tokens.ok()) return fail(tokens.status());
+    return print_id(client->InsertTopLevel(*tokens));
+  }
+  if (cmd.verb == "insert-before" || cmd.verb == "insert-after" ||
+      cmd.verb == "insert-first" || cmd.verb == "insert-last" ||
+      cmd.verb == "replace" || cmd.verb == "replace-content") {
+    laxml::NodeId id;
+    if (!ParseId(cmd.arg1, &id)) {
+      std::printf("error: '%s' needs <id> <xml>\n", cmd.verb.c_str());
+      return false;
+    }
+    auto tokens = fragment(cmd.rest);
+    if (!tokens.ok()) return fail(tokens.status());
+    if (cmd.verb == "insert-before") {
+      return print_id(client->InsertBefore(id, *tokens));
+    }
+    if (cmd.verb == "insert-after") {
+      return print_id(client->InsertAfter(id, *tokens));
+    }
+    if (cmd.verb == "insert-first") {
+      return print_id(client->InsertIntoFirst(id, *tokens));
+    }
+    if (cmd.verb == "insert-last") {
+      return print_id(client->InsertIntoLast(id, *tokens));
+    }
+    if (cmd.verb == "replace") {
+      return print_id(client->ReplaceNode(id, *tokens));
+    }
+    return print_id(client->ReplaceContent(id, *tokens));
+  }
+  if (cmd.verb == "delete") {
+    laxml::NodeId id;
+    if (!ParseId(cmd.arg1, &id)) {
+      std::printf("error: 'delete' needs <id>\n");
+      return false;
+    }
+    laxml::Status st = client->DeleteNode(id);
+    if (!st.ok()) return fail(st);
+    std::printf("deleted %llu\n", static_cast<unsigned long long>(id));
+    return true;
+  }
+  if (cmd.verb == "read") {
+    laxml::NodeId id = laxml::kInvalidNodeId;
+    if (!cmd.arg1.empty() && !ParseId(cmd.arg1, &id)) {
+      std::printf("error: 'read' takes an optional numeric <id>\n");
+      return false;
+    }
+    auto tokens = cmd.arg1.empty() ? client->Read() : client->Read(id);
+    if (!tokens.ok()) return fail(tokens.status());
+    auto xml = laxml::SerializeTokens(*tokens);
+    if (!xml.ok()) return fail(xml.status());
+    std::printf("%s\n", xml->c_str());
+    return true;
+  }
+  if (cmd.verb == "xpath") {
+    std::string expr = cmd.arg1;
+    if (!cmd.rest.empty()) expr += " " + cmd.rest;
+    auto ids = client->XPath(expr);
+    if (!ids.ok()) return fail(ids.status());
+    std::printf("%zu node(s):", ids->size());
+    for (laxml::NodeId id : *ids) {
+      std::printf(" %llu", static_cast<unsigned long long>(id));
+    }
+    std::printf("\n");
+    return true;
+  }
+  if (cmd.verb == "stats") {
+    auto text = client->GetStats();
+    if (!text.ok()) return fail(text.status());
+    std::printf("%s", text->c_str());
+    return true;
+  }
+  if (cmd.verb == "check") {
+    laxml::Status st = client->CheckIntegrity();
+    if (!st.ok()) return fail(st);
+    std::printf("integrity ok\n");
+    return true;
+  }
+  std::printf("error: unknown command '%s'\n", cmd.verb.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  long port = 4891;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(arg, "--port") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      port = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+        std::fprintf(stderr, "%s: bad port\n", argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      Usage(argv[0]);
+      return 2;
+    } else {
+      break;  // start of the command words
+    }
+  }
+
+  auto client = Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (i < argc) {
+    std::string line;
+    for (; i < argc; ++i) {
+      if (!line.empty()) line += " ";
+      line += argv[i];
+    }
+    return RunCommand(client->get(), line) ? 0 : 1;
+  }
+
+  bool all_ok = true;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    // Trim leading whitespace; skip blanks and comments.
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    if (!RunCommand(client->get(), line.substr(start))) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -33,9 +33,71 @@ void Usage(const char* argv0) {
       "                    the WAL tail (the tail is still decoded)\n"
       "  --max-issues N    stop after N issues (default 256)\n"
       "  --pool-frames N   buffer pool frames for replay (default 4096)\n"
+      "  --json            emit one JSON object on stdout instead of the\n"
+      "                    human-readable report (exit codes unchanged)\n"
       "  -q, --quiet       print nothing on a clean store\n"
       "  -h, --help        this message\n",
       argv0);
+}
+
+// Escapes a string for embedding in the JSON envelope below. Report
+// bodies are escaped by AuditReport::ToJson(); this covers the path
+// and open-error strings, which come from the command line / errno.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// The full machine-readable outcome: identity, verdict, WAL handling,
+// and the auditor's report. CI parses this after the server smoke run.
+void PrintJson(const char* path, const laxml::FsckOptions& options,
+               const laxml::FsckOutcome& outcome) {
+  std::string out = "{\"path\":\"" + JsonEscape(path) + "\"";
+  out += ",\"exit_code\":" + std::to_string(outcome.exit_code);
+  out += ",\"clean\":";
+  out += outcome.exit_code == 0 ? "true" : "false";
+  if (outcome.exit_code == 2) {
+    out += ",\"error\":\"" + JsonEscape(outcome.error) + "\"}";
+    std::printf("%s\n", out.c_str());
+    return;
+  }
+  out += ",\"wal_present\":";
+  out += outcome.wal_present ? "true" : "false";
+  out += ",\"wal_replayed\":";
+  out += (outcome.wal_present && options.replay_wal) ? "true" : "false";
+  out += ",\"swept_pages\":";
+  out += outcome.swept_pages ? "true" : "false";
+  out += ",\"report\":" + outcome.report.ToJson();
+  out += "}";
+  std::printf("%s\n", out.c_str());
 }
 
 }  // namespace
@@ -43,6 +105,7 @@ void Usage(const char* argv0) {
 int main(int argc, char** argv) {
   laxml::FsckOptions options;
   bool quiet = false;
+  bool json = false;
   const char* path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +130,8 @@ int main(int argc, char** argv) {
       options.max_issues = static_cast<size_t>(next_number(arg));
     } else if (std::strcmp(arg, "--pool-frames") == 0) {
       options.pool_frames = static_cast<size_t>(next_number(arg));
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
     } else if (std::strcmp(arg, "-q") == 0 || std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
     } else if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
@@ -89,6 +154,10 @@ int main(int argc, char** argv) {
   }
 
   laxml::FsckOutcome outcome = laxml::RunFsck(path, options);
+  if (json) {
+    PrintJson(path, options, outcome);
+    return outcome.exit_code;
+  }
   if (outcome.exit_code == 2) {
     std::fprintf(stderr, "%s: %s: %s\n", argv[0], path, outcome.error.c_str());
     return 2;

@@ -1,0 +1,177 @@
+// laxml_server: the laxml store served over TCP.
+//
+//   laxml_server --db store.db [--port N] [--threads N] ...
+//
+// Owns a (file-backed or in-memory) store and serves the wire protocol
+// (src/net/wire.h) until SIGINT/SIGTERM, then shuts down gracefully:
+// drains in-flight requests, flushes responses, syncs the store so the
+// on-disk image is a clean checkpoint (laxml_fsck-able), and exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "server/server.h"
+#include "store/store.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--db FILE | --in-memory) [options]\n"
+      "\n"
+      "Serves a laxml store over TCP (see src/net/wire.h for the\n"
+      "protocol). SIGINT/SIGTERM shut down gracefully: in-flight\n"
+      "requests drain, the store is synced, exit code 0.\n"
+      "\n"
+      "options:\n"
+      "  --db FILE         file-backed store (created when absent)\n"
+      "  --in-memory       volatile store (testing/benching)\n"
+      "  --host ADDR       bind address (default 127.0.0.1; the\n"
+      "                    protocol has no auth — widen deliberately)\n"
+      "  --port N          TCP port (default 4891; 0 = ephemeral)\n"
+      "  --port-file FILE  write the bound port to FILE (scripts use\n"
+      "                    this with --port 0)\n"
+      "  --threads N       worker threads (default 4)\n"
+      "  --wal             enable write-ahead logging (file-backed)\n"
+      "  --pool-frames N   buffer pool frames (default 4096)\n"
+      "  -h, --help        this message\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db_path;
+  std::string host = "127.0.0.1";
+  std::string port_file;
+  bool in_memory = false;
+  bool enable_wal = false;
+  long port = 4891;
+  long threads = 4;
+  long pool_frames = 4096;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_number = [&](const char* flag, long min_value) -> long {
+      char* end = nullptr;
+      const char* text = next_value(flag);
+      long v = std::strtol(text, &end, 10);
+      if (end == nullptr || *end != '\0' || v < min_value) {
+        std::fprintf(stderr, "%s: bad value for %s: '%s'\n", argv[0], flag,
+                     text);
+        std::exit(2);
+      }
+      return v;
+    };
+    if (std::strcmp(arg, "--db") == 0) {
+      db_path = next_value(arg);
+    } else if (std::strcmp(arg, "--in-memory") == 0) {
+      in_memory = true;
+    } else if (std::strcmp(arg, "--host") == 0) {
+      host = next_value(arg);
+    } else if (std::strcmp(arg, "--port") == 0) {
+      port = next_number(arg, 0);
+    } else if (std::strcmp(arg, "--port-file") == 0) {
+      port_file = next_value(arg);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      threads = next_number(arg, 1);
+    } else if (std::strcmp(arg, "--wal") == 0) {
+      enable_wal = true;
+    } else if (std::strcmp(arg, "--pool-frames") == 0) {
+      pool_frames = next_number(arg, 8);
+    } else if (std::strcmp(arg, "-h") == 0 ||
+               std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (db_path.empty() == !in_memory) {
+    std::fprintf(stderr, "%s: exactly one of --db / --in-memory required\n",
+                 argv[0]);
+    Usage(argv[0]);
+    return 2;
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "%s: port out of range\n", argv[0]);
+    return 2;
+  }
+
+  laxml::StoreOptions store_options;
+  store_options.pager.pool_frames = static_cast<size_t>(pool_frames);
+  store_options.enable_wal = enable_wal && !in_memory;
+  auto store = in_memory ? laxml::Store::OpenInMemory(store_options)
+                         : laxml::Store::Open(db_path, store_options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s: open store: %s\n", argv[0],
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  laxml::ServerOptions server_options;
+  server_options.host = host;
+  server_options.port = static_cast<uint16_t>(port);
+  server_options.num_workers = static_cast<int>(threads);
+  auto server =
+      laxml::Server::Start(std::move(store).value(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s: start server: %s\n", argv[0],
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write port file '%s'\n", argv[0],
+                   port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", (*server)->port());
+    std::fclose(f);
+  }
+  std::printf("laxml_server: listening on %s:%u (%s, %ld threads)\n",
+              host.c_str(), (*server)->port(),
+              in_memory ? "in-memory" : db_path.c_str(), threads);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    timespec nap{0, 50'000'000};  // 50ms
+    ::nanosleep(&nap, nullptr);
+  }
+
+  std::printf("laxml_server: shutting down\n");
+  std::fflush(stdout);
+  (*server)->Shutdown();
+  std::string final_stats = (*server)->stats().ToString();
+  laxml::Status sync =
+      (*server)->shared_store()->UnsafeStore()->Sync();
+  if (!sync.ok() && !in_memory) {
+    std::fprintf(stderr, "%s: final sync: %s\n", argv[0],
+                 sync.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", final_stats.c_str());
+  return 0;
+}
