@@ -60,6 +60,45 @@ void PrintRow(const char* name, std::vector<double>* samples,
       static_cast<double>(samples->size()) / seconds);
 }
 
+/// Value of one "name value" line in a Prometheus exposition (0 when
+/// the series is absent).
+double PromValue(const std::string& text, const std::string& name) {
+  const std::string needle = name + " ";
+  size_t pos = 0;
+  while (true) {
+    pos = text.find(needle, pos);
+    if (pos == std::string::npos) return 0.0;
+    if (pos == 0 || text[pos - 1] == '\n') break;
+    pos += needle.size();
+  }
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+/// One client-vs-server percentile comparison row. Client times include
+/// the loopback round trip; server times include queue wait — over a
+/// closed loop on loopback the two agree closely, and a divergence
+/// means one side's histogram math is wrong.
+void PrintServerRow(const char* label, const std::string& prom,
+                    const std::string& op, std::vector<double>* client_us) {
+  const std::string family = "laxml_server_op_us";
+  const std::string labels = "{op=\"" + op + "\"}";
+  double sp50 = PromValue(prom, family + "_p50" + labels);
+  double sp95 = PromValue(prom, family + "_p95" + labels);
+  double sp99 = PromValue(prom, family + "_p99" + labels);
+  double cp50 = Percentile(client_us, 0.50);
+  double cp95 = Percentile(client_us, 0.95);
+  double cp99 = Percentile(client_us, 0.99);
+  auto pct = [](double server, double client) {
+    return client > 0.0 ? 100.0 * (server - client) / client : 0.0;
+  };
+  std::printf(
+      "  %-8s p50 %8.1f us (client %8.1f, %+5.1f%%)  "
+      "p95 %8.1f us (client %8.1f, %+5.1f%%)  "
+      "p99 %8.1f us (client %8.1f, %+5.1f%%)\n",
+      label, sp50, cp50, pct(sp50, cp50), sp95, cp95, pct(sp95, cp95),
+      sp99, cp99, pct(sp99, cp99));
+}
+
 TokenSequence ItemFragment(uint64_t n) {
   return SequenceBuilder()
       .BeginElement("item")
@@ -213,6 +252,30 @@ int main(int argc, char** argv) {
   std::printf("  aggregate %zu ops in %.2fs = %.0f ops/s\n", total_ops,
               phase1_seconds,
               static_cast<double>(total_ops) / phase1_seconds);
+
+  // ------------------------------------------------------------------
+  // Server-side percentiles (kGetMetrics) vs the client-side samples
+  // just measured — scraped before phase 2 so both sides saw the same
+  // requests. The server aggregates in 64 log2 buckets; agreement here
+  // validates the histogram percentile math against full-sample sorting.
+  {
+    auto client = net::Client::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "metrics connect: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    auto prom = (*client)->GetMetrics(net::MetricsFormat::kPrometheus);
+    if (!prom.ok()) {
+      std::fprintf(stderr, "get metrics: %s\n",
+                   prom.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("server-side latency (kGetMetrics) vs client-side:\n");
+    PrintServerRow("insert", *prom, "INSERT_INTO_LAST", &merged.insert_us);
+    PrintServerRow("read", *prom, "READ_NODE", &merged.read_us);
+    PrintServerRow("xpath", *prom, "XPATH", &merged.xpath_us);
+  }
 
   // ------------------------------------------------------------------
   // Phase 2: pipelined batch inserts vs the closed-loop baseline —

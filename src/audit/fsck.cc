@@ -8,6 +8,7 @@
 
 #include "audit/store_auditor.h"
 #include "audit/wal_audit.h"
+#include "obs/metrics.h"
 #include "common/slice.h"
 #include "storage/pager.h"
 #include "store/store.h"
@@ -91,6 +92,15 @@ void SweepRawPages(const std::string& path, size_t max_issues,
 
 FsckOutcome RunFsck(const std::string& path, const FsckOptions& options) {
   FsckOutcome out;
+  const uint64_t start_us = obs::NowMicros();
+  // Copies the report-side work counters into the metrics block and
+  // stamps the elapsed time; every return path below funnels through it.
+  auto finish = [&out, start_us]() {
+    out.metrics.tokens_decoded = out.report.tokens_scanned;
+    out.metrics.ranges_walked = out.report.ranges_walked;
+    out.metrics.wal_records = out.report.wal_records;
+    out.metrics.elapsed_us = obs::NowMicros() - start_us;
+  };
 
   // A directory opens (and then reads as garbage) on POSIX; that is a
   // usage error, not a corrupt store.
@@ -98,12 +108,14 @@ FsckOutcome RunFsck(const std::string& path, const FsckOptions& options) {
   if (::stat(path.c_str(), &path_sb) == 0 && S_ISDIR(path_sb.st_mode)) {
     out.error = "'" + path + "' is a directory, not a store file";
     out.exit_code = 2;
+    finish();
     return out;
   }
 
   auto mode = SniffIndexMode(path);
   if (!mode.ok()) {
     FailOutcome(&out, mode.status());
+    finish();
     return out;
   }
 
@@ -130,6 +142,8 @@ FsckOutcome RunFsck(const std::string& path, const FsckOptions& options) {
       out.swept_pages = true;
       if (wal_exists) AuditWalFile(wal_path, &out.report);
     }
+    out.metrics.pages_read = out.report.pages_swept;
+    finish();
     return out;
   }
 
@@ -153,6 +167,10 @@ FsckOutcome RunFsck(const std::string& path, const FsckOptions& options) {
   }
 
   out.exit_code = out.report.ok() ? 0 : 1;
+  const BufferPoolStats& pool = (*store)->pager()->pool()->stats();
+  out.metrics.pages_read = pool.page_reads;
+  out.metrics.pool_hits = pool.hits;
+  finish();
   return out;
 }
 

@@ -29,6 +29,17 @@ struct FsckOptions {
   size_t max_issues = 256;
 };
 
+/// Work counters for the check itself — how much I/O and decoding the
+/// audit cost. Emitted as the "metrics" section of laxml_fsck --json.
+struct FsckMetrics {
+  uint64_t pages_read = 0;      ///< Physical page reads off the file.
+  uint64_t pool_hits = 0;       ///< Buffer-pool hits during the audit.
+  uint64_t tokens_decoded = 0;  ///< Tokens the range walk decoded.
+  uint64_t ranges_walked = 0;
+  uint64_t wal_records = 0;     ///< WAL records decoded (replay or scan).
+  uint64_t elapsed_us = 0;      ///< Wall time of the whole check.
+};
+
 /// The outcome of one check, pre-shaped for a CLI.
 struct FsckOutcome {
   /// 0 = store verifies clean; 1 = corruption found (see report);
@@ -45,6 +56,8 @@ struct FsckOutcome {
   /// memory but not yet on the on-disk free chain, which the
   /// reachability check would misread as leaks).
   bool swept_pages = false;
+  /// What the check itself cost (I/O, decode work, wall time).
+  FsckMetrics metrics;
 };
 
 /// Checks the store at `path` without modifying it.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace laxml {
 
 const char* LockModeName(LockMode mode) {
@@ -61,6 +63,7 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
                             LockMode mode) {
   std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.acquisitions;
+  LAXML_COUNTER_INC("laxml_lock_acquisitions_total");
   Entry& entry = table_[resource];
 
   // Upgrade path: already holding something on this resource.
@@ -86,7 +89,9 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
   }
 
   ++stats_.waits;
+  LAXML_COUNTER_INC("laxml_lock_waits_total");
   ++entry.waiters;
+  const uint64_t wait_start_us = obs::NowMicros();
   auto deadline = std::chrono::steady_clock::now() + timeout_;
   bool granted = cv_.wait_until(lock, deadline, [&] {
     Entry& e = table_[resource];
@@ -94,8 +99,11 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
   });
   Entry& e = table_[resource];
   --e.waiters;
+  LAXML_HISTOGRAM_RECORD("laxml_lock_wait_us",
+                         obs::NowMicros() - wait_start_us);
   if (!granted) {
     ++stats_.timeouts;
+    LAXML_COUNTER_INC("laxml_lock_timeouts_total");
     return Status::Aborted("lock timeout on " +
                            std::string(LockModeName(mode)) +
                            " (possible deadlock)");

@@ -1,5 +1,7 @@
 #include "index/partial_index.h"
 
+#include "obs/metrics.h"
+
 namespace laxml {
 
 void PartialIndex::Touch(Node& node, NodeId id) {
@@ -10,9 +12,11 @@ void PartialIndex::Touch(Node& node, NodeId id) {
 const PartialEntry* PartialIndex::Lookup(NodeId id) {
   if (!enabled()) return nullptr;
   ++stats_.lookups;
+  LAXML_COUNTER_INC("laxml_partial_lookups_total");
   auto it = entries_.find(id);
   if (it == entries_.end()) return nullptr;
   ++stats_.hits;
+  LAXML_COUNTER_INC("laxml_partial_hits_total");
   Touch(it->second, id);
   return &it->second.entry;
 }
@@ -39,6 +43,7 @@ void PartialIndex::EvictIfNeeded() {
     }
     lru_.pop_front();
     ++stats_.evictions;
+    LAXML_COUNTER_INC("laxml_partial_evictions_total");
   }
 }
 
@@ -82,6 +87,7 @@ void PartialIndex::RecordBegin(NodeId id, RangeId range,
   e->begin_token_index = token_index;
   RegisterRange(range, id);
   ++stats_.begin_records;
+  LAXML_COUNTER_INC("laxml_partial_memoizations_total");
 }
 
 void PartialIndex::RecordEnd(NodeId id, RangeId range, uint32_t byte_offset,
@@ -105,6 +111,7 @@ void PartialIndex::RecordEnd(NodeId id, RangeId range, uint32_t byte_offset,
   e->end_begins_before = begins_before;
   RegisterRange(range, id);
   ++stats_.end_records;
+  LAXML_COUNTER_INC("laxml_partial_memoizations_total");
 }
 
 void PartialIndex::InvalidateRange(RangeId range) {
@@ -121,6 +128,7 @@ void PartialIndex::InvalidateRange(RangeId range) {
     if (e.has_begin && e.begin_range == range) e.has_begin = false;
     if (e.has_end && e.end_range == range) e.has_end = false;
     ++stats_.invalidations;
+    LAXML_COUNTER_INC("laxml_partial_invalidations_total");
     if (!e.has_begin && !e.has_end) {
       lru_.erase(eit->second.lru_pos);
       entries_.erase(eit);
@@ -139,6 +147,7 @@ void PartialIndex::Invalidate(NodeId id) {
   lru_.erase(it->second.lru_pos);
   entries_.erase(it);
   ++stats_.invalidations;
+  LAXML_COUNTER_INC("laxml_partial_invalidations_total");
 }
 
 void PartialIndex::Clear() {

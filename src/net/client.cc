@@ -223,6 +223,15 @@ Result<std::string> Client::GetStats() {
   return std::move(resp.text);
 }
 
+Result<std::string> Client::GetMetrics(MetricsFormat format) {
+  Request req;
+  req.op = OpCode::kGetMetrics;
+  req.metrics_format = format;
+  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_RETURN_IF_ERROR(resp.status);
+  return std::move(resp.text);
+}
+
 Status Client::CheckIntegrity() {
   Request req;
   req.op = OpCode::kCheckIntegrity;

@@ -61,6 +61,10 @@ class Client {
   Result<TokenSequence> Read(NodeId id);
   Result<std::vector<NodeId>> XPath(std::string expr);
   Result<std::string> GetStats();
+  /// Full metrics exposition: registry counters/gauges/histograms plus
+  /// the server's per-op latency table. `format` picks the rendering.
+  Result<std::string> GetMetrics(
+      MetricsFormat format = MetricsFormat::kTable);
   Status CheckIntegrity();
   /// @}
 

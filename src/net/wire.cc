@@ -121,6 +121,7 @@ const char* OpCodeName(OpCode op) {
     case OpCode::kXPath: return "XPATH";
     case OpCode::kGetStats: return "GET_STATS";
     case OpCode::kCheckIntegrity: return "CHECK_INTEGRITY";
+    case OpCode::kGetMetrics: return "GET_METRICS";
   }
   return "UNKNOWN";
 }
@@ -135,6 +136,9 @@ void EncodeRequest(const Request& req, std::vector<uint8_t>* dst) {
   }
   if (req.op == OpCode::kXPath) {
     dst->insert(dst->end(), req.expr.begin(), req.expr.end());
+  }
+  if (req.op == OpCode::kGetMetrics) {
+    dst->push_back(static_cast<uint8_t>(req.metrics_format));
   }
   SealFrame(dst, body_start);
 }
@@ -156,7 +160,7 @@ void EncodeResponse(const Response& resp, std::vector<uint8_t>* dst) {
       PutVarint64(dst, resp.ids.size());
       for (NodeId id : resp.ids) PutVarint64(dst, id);
     }
-    if (resp.op == OpCode::kGetStats) {
+    if (resp.op == OpCode::kGetStats || resp.op == OpCode::kGetMetrics) {
       dst->insert(dst->end(), resp.text.begin(), resp.text.end());
     }
   }
@@ -182,6 +186,17 @@ Result<Request> DecodeRequest(Slice body) {
     req.expr.assign(reinterpret_cast<const char*>(body.data()) + pos,
                     body.size() - pos);
     pos = body.size();
+  }
+  if (req.op == OpCode::kGetMetrics) {
+    if (pos >= body.size()) {
+      return Status::Corruption("wire body truncated before metrics format");
+    }
+    uint8_t fmt = body[pos++];
+    if (fmt > static_cast<uint8_t>(MetricsFormat::kPrometheus)) {
+      return Status::Corruption("unknown metrics format " +
+                                std::to_string(fmt));
+    }
+    req.metrics_format = static_cast<MetricsFormat>(fmt);
   }
   if (pos != body.size()) {
     return Status::Corruption("trailing bytes after request payload");
@@ -233,7 +248,7 @@ Result<Response> DecodeResponse(Slice body) {
         resp.ids.push_back(id);
       }
     }
-    if (resp.op == OpCode::kGetStats) {
+    if (resp.op == OpCode::kGetStats || resp.op == OpCode::kGetMetrics) {
       resp.text.assign(reinterpret_cast<const char*>(body.data()) + pos,
                        body.size() - pos);
       pos = body.size();

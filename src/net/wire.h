@@ -61,8 +61,15 @@ enum class OpCode : uint8_t {
   kXPath = 11,
   kGetStats = 12,
   kCheckIntegrity = 13,
+  kGetMetrics = 14,  ///< Metrics registry + server stats exposition.
 };
-inline constexpr uint8_t kMaxOpCode = 13;
+inline constexpr uint8_t kMaxOpCode = 14;
+
+/// Rendering formats a kGetMetrics request can ask for.
+enum class MetricsFormat : uint8_t {
+  kTable = 0,       ///< Human-readable aligned table.
+  kPrometheus = 1,  ///< Prometheus text exposition format.
+};
 
 /// Human-readable opcode name ("INSERT_BEFORE", ...).
 const char* OpCodeName(OpCode op);
@@ -76,6 +83,7 @@ struct Request {
   NodeId target = kInvalidNodeId;  ///< Insert*/Delete/Replace*/ReadNode.
   TokenSequence data;              ///< Insert*/Replace* fragment payload.
   std::string expr;                ///< XPath expression text.
+  MetricsFormat metrics_format = MetricsFormat::kTable;  ///< GetMetrics.
 };
 
 /// One decoded response. `status` carries the engine Status verbatim;
@@ -87,7 +95,7 @@ struct Response {
   NodeId id = kInvalidNodeId;   ///< Insert*/Replace* result id.
   TokenSequence tokens;         ///< Read/ReadNode payload.
   std::vector<NodeId> ids;      ///< XPath result set.
-  std::string text;             ///< GetStats rendering.
+  std::string text;             ///< GetStats / GetMetrics rendering.
 };
 
 /// Appends a complete frame (header + body) carrying `req` to `dst`.

@@ -1,0 +1,64 @@
+#include "obs/engine_metrics.h"
+
+#include "obs/metrics.h"
+#include "store/store.h"
+
+namespace laxml {
+namespace obs {
+
+void CollectStoreMetrics(Store& store) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  auto set = [&registry](const char* name, uint64_t v) {
+    registry.GetGauge(name)->Set(static_cast<int64_t>(v));
+  };
+
+  const RangeManager& ranges = store.range_manager();
+  set("laxml_store_ranges", ranges.range_count());
+  set("laxml_store_live_nodes", store.live_node_count());
+  set("laxml_store_node_high_water", store.node_high_water());
+  set("laxml_full_index_entries", store.full_index_size());
+
+  const PartialIndex& partial = store.partial_index();
+  set("laxml_partial_index_entries", partial.size());
+  set("laxml_partial_index_capacity", partial.capacity());
+
+  const StoreStats& stats = store.stats();
+  set("laxml_store_inserts", stats.inserts);
+  set("laxml_store_deletes", stats.deletes);
+  set("laxml_store_replaces", stats.replaces);
+  set("laxml_store_reads_by_id", stats.reads_by_id);
+  set("laxml_store_full_scans", stats.full_scans);
+  set("laxml_store_tokens_inserted", stats.tokens_inserted);
+  set("laxml_store_bytes_inserted", stats.bytes_inserted);
+  set("laxml_store_locate_scan_tokens", stats.locate_scan_tokens);
+  set("laxml_store_full_index_maintenance", stats.full_index_maintenance);
+
+  const RecordStoreStats& records = ranges.record_stats();
+  set("laxml_recordstore_data_pages", records.data_pages);
+  set("laxml_recordstore_overflow_records", records.overflow_records);
+
+  Pager* pager = store.pager();
+  set("laxml_file_pages", pager->page_count());
+  set("laxml_file_free_pages", pager->free_page_count());
+  BufferPool* pool = pager->pool();
+  set("laxml_pool_frames", pool->frame_count());
+  set("laxml_pool_dirty_frames", pool->dirty_count());
+  set("laxml_pool_pinned_frames", pool->pinned_frame_count());
+
+  // The pool's fetch path is the hottest loop in the engine (one call
+  // per page access), so it counts into its own plain-field struct and
+  // we mirror here at scrape time instead of paying an atomic RMW per
+  // hit. Monotone values in gauges: consumers delta them exactly as
+  // they would a counter.
+  const BufferPoolStats& pool_stats = pool->stats();
+  set("laxml_bufferpool_hits_total", pool_stats.hits);
+  set("laxml_bufferpool_misses_total", pool_stats.misses);
+  set("laxml_bufferpool_evictions_total", pool_stats.evictions);
+  set("laxml_bufferpool_page_reads_total", pool_stats.page_reads);
+  set("laxml_bufferpool_page_writes_total", pool_stats.page_writes);
+  set("laxml_bufferpool_checksum_failures_total",
+      pool_stats.checksum_failures);
+}
+
+}  // namespace obs
+}  // namespace laxml

@@ -1,0 +1,28 @@
+// Scrape-time bridge between the engine's per-layer stat structs and
+// the metrics registry. Event counters (buffer-pool hits, WAL syncs,
+// partial-index hits, ...) are recorded live by the layers themselves
+// through the LAXML_COUNTER_* macros; what's left is point-in-time
+// *levels* — range count, pool occupancy, index sizes — which have no
+// event to hook. Those are collected lazily, on each kGetMetrics
+// scrape, by mirroring the store's introspection surface into gauges:
+// zero hot-path cost, at the price of gauges being as stale as the last
+// scrape. (The lazy option, as ever, wins.)
+
+#ifndef LAXML_OBS_ENGINE_METRICS_H_
+#define LAXML_OBS_ENGINE_METRICS_H_
+
+namespace laxml {
+
+class Store;
+
+namespace obs {
+
+/// Refreshes the Global() registry's engine gauges from `store`.
+/// Call under the store's exclusive latch (SharedStore::WithExclusive)
+/// when other threads may be mutating it.
+void CollectStoreMetrics(Store& store);
+
+}  // namespace obs
+}  // namespace laxml
+
+#endif  // LAXML_OBS_ENGINE_METRICS_H_

@@ -1,0 +1,271 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace laxml {
+namespace obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t before = 0;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    const uint64_t n = buckets[b];
+    if (n == 0) continue;
+    if (static_cast<double>(before + n) > rank) {
+      const auto lo = static_cast<double>(Histogram::BucketLower(b));
+      // Width counts the integers the bucket can hold, so interpolation
+      // over [lo, lo + width) spans the bucket exactly once.
+      const double width =
+          static_cast<double>(Histogram::BucketUpper(b) -
+                              Histogram::BucketLower(b)) + 1.0;
+      const double within = (rank - static_cast<double>(before)) /
+                            static_cast<double>(n);
+      double v = lo + width * within;
+      if (v < static_cast<double>(min)) v = static_cast<double>(min);
+      if (v > static_cast<double>(max)) v = static_cast<double>(max);
+      return v;
+    }
+    before += n;
+  }
+  return static_cast<double>(max);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  sum_.fetch_add(value, kRelaxed);
+  uint64_t prev = min_.load(kRelaxed);
+  while (prev > value &&
+         !min_.compare_exchange_weak(prev, value, kRelaxed)) {
+  }
+  prev = max_.load(kRelaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value, kRelaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    snap.buckets[b] = buckets_[b].load(kRelaxed);
+  }
+  snap.count = count_.load(kRelaxed);
+  snap.sum = sum_.load(kRelaxed);
+  const uint64_t min = min_.load(kRelaxed);
+  snap.min = min == UINT64_MAX ? 0 : min;
+  snap.max = max_.load(kRelaxed);
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metrics outlive every engine object, including
+  // static destructors that may still record on worker-thread teardown.
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->snapshot());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderTable() const {
+  return obs::RenderTable(TakeSnapshot());
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  return obs::RenderPrometheus(TakeSnapshot());
+}
+
+void SplitMetricName(const std::string& name, std::string* family,
+                     std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  *labels = name.substr(brace);
+  // Strip the surrounding braces; AppendPrometheusHistogram re-wraps.
+  if (labels->size() >= 2 && labels->front() == '{' &&
+      labels->back() == '}') {
+    *labels = labels->substr(1, labels->size() - 2);
+  }
+}
+
+namespace {
+
+/// "family{labels,extra}" or "family{extra}" or "family".
+std::string JoinName(const std::string& family, const std::string& labels,
+                     const std::string& extra) {
+  std::string out = family;
+  if (labels.empty() && extra.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+void AppendTypeOnce(const std::string& family, const char* type,
+                    std::string* out,
+                    std::map<std::string, bool>* emitted_types) {
+  if (emitted_types == nullptr) return;
+  auto [it, fresh] = emitted_types->emplace(family, true);
+  (void)it;
+  if (fresh) *out += "# TYPE " + family + " " + type + "\n";
+}
+
+}  // namespace
+
+void AppendPrometheusHistogram(const std::string& name,
+                               const HistogramSnapshot& h, std::string* out,
+                               std::map<std::string, bool>* emitted_types) {
+  std::string family;
+  std::string labels;
+  SplitMetricName(name, &family, &labels);
+  AppendTypeOnce(family, "histogram", out, emitted_types);
+  // Sparse exposition: one cumulative le line per occupied bucket, plus
+  // the mandatory +Inf. Prometheus allows any monotone le subset.
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < HistogramSnapshot::kBucketCount; ++b) {
+    if (h.buckets[b] == 0) continue;
+    cumulative += h.buckets[b];
+    *out += JoinName(family + "_bucket", labels,
+                     "le=\"" +
+                         std::to_string(Histogram::BucketUpper(b)) +
+                         "\"") +
+            " " + std::to_string(cumulative) + "\n";
+  }
+  *out += JoinName(family + "_bucket", labels, "le=\"+Inf\"") + " " +
+          std::to_string(h.count) + "\n";
+  *out += JoinName(family + "_sum", labels, "") + " " +
+          std::to_string(h.sum) + "\n";
+  *out += JoinName(family + "_count", labels, "") + " " +
+          std::to_string(h.count) + "\n";
+  // Pre-computed quantiles as their own gauge families so dumb scrapers
+  // (laxml_top, bench_server) need no bucket math.
+  const struct {
+    const char* suffix;
+    double q;
+  } quantiles[] = {{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+  for (const auto& [suffix, q] : quantiles) {
+    AppendTypeOnce(family + suffix, "gauge", out, emitted_types);
+    *out += JoinName(family + suffix, labels, "") + " " +
+            FormatDouble(h.Percentile(q)) + "\n";
+  }
+}
+
+std::string RenderPrometheus(const MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  std::map<std::string, bool> emitted_types;
+  for (const auto& [name, value] : snap.counters) {
+    std::string family;
+    std::string labels;
+    SplitMetricName(name, &family, &labels);
+    AppendTypeOnce(family, "counter", &out, &emitted_types);
+    out += JoinName(family, labels, "") + " " + std::to_string(value) +
+           "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::string family;
+    std::string labels;
+    SplitMetricName(name, &family, &labels);
+    AppendTypeOnce(family, "gauge", &out, &emitted_types);
+    out += JoinName(family, labels, "") + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    AppendPrometheusHistogram(name, h, &out, &emitted_types);
+  }
+  return out;
+}
+
+std::string RenderTable(const MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  char line[256];
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : snap.counters) {
+      std::snprintf(line, sizeof(line), "  %-52s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      std::snprintf(line, sizeof(line), "  %-52s %12lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      out += line;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& [name, h] : snap.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-44s n %8llu  p50 %10.1f  p95 %10.1f  p99 %10.1f  "
+                    "max %8llu\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.Percentile(0.50), h.Percentile(0.95),
+                    h.Percentile(0.99),
+                    static_cast<unsigned long long>(h.max));
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace laxml

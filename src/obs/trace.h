@@ -1,0 +1,159 @@
+// Low-overhead engine tracing: per-thread ring buffers of timed spans,
+// dumped on demand to a compact binary file that tools/laxml_trace
+// renders as Chrome chrome://tracing JSON.
+//
+// A span is opened with LAXML_TRACE_SPAN("name") — an RAII object that
+// records {thread, start, duration} into the calling thread's ring when
+// it goes out of scope. Span names must be string literals (the ring
+// stores the pointer; the dumper dedupes by content into a string
+// table). Rings are fixed-capacity and overwrite their oldest entries,
+// so a long-running server keeps the most recent window of activity —
+// exactly what you want when diagnosing "why did it just get slow".
+//
+// Rings register themselves with the global Tracer on first use and are
+// kept alive (shared_ptr) past thread exit so a dump after worker
+// shutdown still sees their spans. Recording takes the ring's own
+// mutex; it is uncontended except against a concurrent dump, keeping
+// the record path cheap and the whole structure clean under tsan.
+//
+// Building with -DLAXML_TRACING=OFF compiles LAXML_TRACE_SPAN to
+// nothing; the Tracer itself stays linked so --trace-out degrades to an
+// empty dump instead of a build error.
+//
+// Binary dump format (all integers varint unless noted):
+//
+//   [magic "LAXT" u32][version u32]
+//   [name_count][name_count x (len, bytes)]
+//   [event_count][event_count x (tid, name_id, start_us, dur_us)]
+
+#ifndef LAXML_OBS_TRACE_H_
+#define LAXML_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace laxml {
+namespace obs {
+
+/// One completed span, as drained from the rings.
+struct TraceEvent {
+  uint64_t tid = 0;       ///< Tracer-assigned dense thread number.
+  uint32_t name_id = 0;   ///< Index into TraceDump::names.
+  uint64_t start_us = 0;  ///< Steady-clock microseconds.
+  uint64_t dur_us = 0;
+};
+
+/// A decoded (or freshly collected) trace.
+struct TraceDump {
+  std::vector<std::string> names;
+  std::vector<TraceEvent> events;  ///< Sorted by start_us.
+
+  /// Chrome trace-event JSON ("X" complete events), loadable in
+  /// chrome://tracing / Perfetto.
+  std::string ToChromeJson() const;
+};
+
+/// One thread's span buffer. Created lazily by Tracer::ThreadRing().
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity, uint64_t tid);
+
+  void Record(const char* name, uint64_t start_us, uint64_t dur_us);
+
+  /// Appends this ring's spans (oldest first) to `dump`, interning
+  /// names into dump->names.
+  void Drain(TraceDump* dump) const;
+
+  uint64_t tid() const { return tid_; }
+
+ private:
+  struct Slot {
+    const char* name = nullptr;
+    uint64_t start_us = 0;
+    uint64_t dur_us = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  size_t next_ = 0;      ///< Next slot to (over)write.
+  bool wrapped_ = false;
+  uint64_t tid_;
+};
+
+/// The process-wide collector: owns every thread's ring and serializes
+/// dumps.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// The calling thread's ring (created and registered on first call).
+  TraceRing* ThreadRing();
+
+  /// Snapshot of every ring's contents, merged and time-sorted.
+  TraceDump Collect() const;
+
+  /// Writes Collect() in the binary dump format.
+  Status DumpBinary(const std::string& path) const;
+
+  /// Per-thread ring capacity for rings created after this call
+  /// (default 8192 spans).
+  void set_ring_capacity(size_t capacity) { ring_capacity_ = capacity; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<TraceRing>> rings_;
+  uint64_t next_tid_ = 1;
+  size_t ring_capacity_ = 8192;
+};
+
+/// Serializes a dump to the binary format (exposed for tests).
+std::vector<uint8_t> EncodeTraceDump(const TraceDump& dump);
+
+/// Parses the binary dump format defensively (Corruption, never a
+/// crash, on malformed input).
+Result<TraceDump> DecodeTraceDump(const uint8_t* data, size_t size);
+
+/// Reads + decodes a dump file.
+Result<TraceDump> ReadTraceFile(const std::string& path);
+
+/// Steady-clock microseconds (the span timebase).
+uint64_t TraceNowMicros();
+
+/// RAII span: records on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(name), start_us_(TraceNowMicros()) {}
+  ~ScopedSpan() {
+    Tracer::Global().ThreadRing()->Record(name_, start_us_,
+                                          TraceNowMicros() - start_us_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_us_;
+};
+
+}  // namespace obs
+}  // namespace laxml
+
+#if !defined(LAXML_TRACING_DISABLED)
+#define LAXML_TRACE_CONCAT_INNER(a, b) a##b
+#define LAXML_TRACE_CONCAT(a, b) LAXML_TRACE_CONCAT_INNER(a, b)
+/// Times the enclosing scope under `name` (a string literal).
+#define LAXML_TRACE_SPAN(name) \
+  ::laxml::obs::ScopedSpan LAXML_TRACE_CONCAT(laxml_trace_span_, __LINE__)(name)
+#else
+#define LAXML_TRACE_SPAN(name) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // LAXML_OBS_TRACE_H_

@@ -6,6 +6,10 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/logging.h"
+#include "obs/engine_metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/xpath_eval.h"
 
 namespace laxml {
@@ -275,9 +279,19 @@ void Server::WorkerLoop() {
       poller_.Wake();
       continue;
     }
-    net::Response resp = Execute(item.request);
-    stats_.Record(item.request.op, NowMicros() - item.enqueue_micros,
-                  !resp.status.ok());
+    net::Response resp;
+    {
+      LAXML_TRACE_SPAN(net::OpCodeName(item.request.op));
+      resp = Execute(item.request);
+    }
+    const uint64_t micros = NowMicros() - item.enqueue_micros;
+    stats_.Record(item.request.op, micros, !resp.status.ok());
+    if (options_.slow_op_micros > 0 && micros >= options_.slow_op_micros) {
+      LAXML_LOG(kWarn) << "slow op: " << net::OpCodeName(item.request.op)
+                       << " request_id=" << item.request.request_id
+                       << " took " << micros << " us (threshold "
+                       << options_.slow_op_micros << " us)";
+    }
     std::vector<uint8_t> frame;
     net::EncodeResponse(resp, &frame);
     bool more = false;
@@ -391,6 +405,22 @@ net::Response Server::Execute(const net::Request& req) {
       resp.status = store_.WithExclusive(
           [](Store& s) { return s.CheckIntegrity(); });
       break;
+    case OpCode::kGetMetrics: {
+      // Mirror the store's point-in-time levels into gauges, then
+      // render the registry and the server's own op table together.
+      store_.WithExclusive([](Store& s) {
+        obs::CollectStoreMetrics(s);
+        return Status::OK();
+      });
+      ServerStatsSnapshot server_snap = stats_.Snapshot();
+      auto& registry = obs::MetricsRegistry::Global();
+      if (req.metrics_format == net::MetricsFormat::kPrometheus) {
+        resp.text = registry.RenderPrometheus() + server_snap.ToPrometheus();
+      } else {
+        resp.text = registry.RenderTable() + server_snap.ToString();
+      }
+      break;
+    }
   }
   return resp;
 }

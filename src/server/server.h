@@ -65,6 +65,10 @@ struct ServerOptions {
   /// How long shutdown keeps flushing responses to clients that are
   /// not reading before force-closing them.
   int drain_flush_timeout_ms = 5000;
+  /// When > 0, any request whose service time (queue + execute)
+  /// reaches this many microseconds is logged at WARN with its opcode
+  /// and request id (laxml_server --slow-op-us).
+  uint64_t slow_op_micros = 0;
 };
 
 /// A running server. Create with Start(), stop with Shutdown() (the

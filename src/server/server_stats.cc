@@ -1,6 +1,7 @@
 #include "server/server_stats.h"
 
 #include <cstdio>
+#include <map>
 
 namespace laxml {
 
@@ -18,7 +19,7 @@ uint64_t ServerStatsSnapshot::TotalErrors() const {
 
 std::string ServerStatsSnapshot::ToString() const {
   std::string out;
-  char line[160];
+  char line[256];
   std::snprintf(line, sizeof(line),
                 "server: %llu requests (%llu errors), %llu conns "
                 "(%llu dropped), %llu B in, %llu B out\n",
@@ -34,35 +35,57 @@ std::string ServerStatsSnapshot::ToString() const {
     if (op.requests == 0) continue;
     std::snprintf(line, sizeof(line),
                   "  %-18s %8llu reqs %6llu errs  mean %8.1f us  "
-                  "max %8llu us\n",
+                  "p50 %8.1f  p95 %8.1f  p99 %8.1f  max %8llu us\n",
                   net::OpCodeName(static_cast<net::OpCode>(i)),
                   static_cast<unsigned long long>(op.requests),
                   static_cast<unsigned long long>(op.errors),
-                  op.MeanMicros(),
-                  static_cast<unsigned long long>(op.max_micros));
+                  op.MeanMicros(), op.latency.Percentile(0.50),
+                  op.latency.Percentile(0.95), op.latency.Percentile(0.99),
+                  static_cast<unsigned long long>(op.max_micros()));
     out += line;
   }
   return out;
 }
 
+std::string ServerStatsSnapshot::ToPrometheus() const {
+  std::string out;
+  std::map<std::string, bool> emitted;
+  for (uint8_t i = 0; i <= net::kMaxOpCode; ++i) {
+    const OpStatsSnapshot& op = ops[i];
+    if (op.requests == 0) continue;
+    const std::string labels =
+        std::string("{op=\"") +
+        net::OpCodeName(static_cast<net::OpCode>(i)) + "\"}";
+    obs::AppendPrometheusHistogram("laxml_server_op_us" + labels,
+                                   op.latency, &out, &emitted);
+    out += "laxml_server_requests_total" + labels + " " +
+           std::to_string(op.requests) + "\n";
+    out += "laxml_server_errors_total" + labels + " " +
+           std::to_string(op.errors) + "\n";
+  }
+  out += "laxml_server_connections_accepted_total " +
+         std::to_string(connections_accepted) + "\n";
+  out += "laxml_server_connections_dropped_total " +
+         std::to_string(connections_dropped) + "\n";
+  out += "laxml_server_bytes_read_total " + std::to_string(bytes_read) +
+         "\n";
+  out += "laxml_server_bytes_written_total " +
+         std::to_string(bytes_written) + "\n";
+  return out;
+}
+
 void ServerStats::Record(net::OpCode op, uint64_t micros, bool error) {
   OpCell& cell = ops_[static_cast<uint8_t>(op)];
-  cell.requests.fetch_add(1, kRelaxed);
   if (error) cell.errors.fetch_add(1, kRelaxed);
-  cell.total_micros.fetch_add(micros, kRelaxed);
-  uint64_t prev = cell.max_micros.load(kRelaxed);
-  while (prev < micros &&
-         !cell.max_micros.compare_exchange_weak(prev, micros, kRelaxed)) {
-  }
+  cell.latency.Record(micros);
 }
 
 ServerStatsSnapshot ServerStats::Snapshot() const {
   ServerStatsSnapshot snap;
   for (uint8_t i = 0; i <= net::kMaxOpCode; ++i) {
-    snap.ops[i].requests = ops_[i].requests.load(kRelaxed);
+    snap.ops[i].latency = ops_[i].latency.snapshot();
+    snap.ops[i].requests = snap.ops[i].latency.count;
     snap.ops[i].errors = ops_[i].errors.load(kRelaxed);
-    snap.ops[i].total_micros = ops_[i].total_micros.load(kRelaxed);
-    snap.ops[i].max_micros = ops_[i].max_micros.load(kRelaxed);
   }
   snap.connections_accepted = connections_accepted_.load(kRelaxed);
   snap.connections_dropped = connections_dropped_.load(kRelaxed);

@@ -1,9 +1,14 @@
 // Per-operation service counters for the laxml server: request count,
-// error count, and latency aggregates per OpCode, updated lock-free by
-// worker threads and snapshotted for GetStats / shutdown reporting.
-// Client-side benches compute percentile latencies from their own
-// samples; the server keeps the cheap aggregates (count / errors /
-// total / max) that stay O(1) per request.
+// error count, and a full log2 latency histogram per OpCode, updated
+// lock-free by worker threads and snapshotted for GetStats /
+// GetMetrics / shutdown reporting. The histogram subsumes the old
+// total/max aggregates (count == requests, sum == total_micros, max
+// tracked by CAS inside obs::Histogram) and adds server-side
+// p50/p95/p99 so the tail is visible without client cooperation.
+//
+// The table is per-Server (not in the global MetricsRegistry) so tests
+// running several servers in one process see isolated counters; the
+// GetMetrics op merges this exposition with the registry's.
 
 #ifndef LAXML_SERVER_SERVER_STATS_H_
 #define LAXML_SERVER_SERVER_STATS_H_
@@ -13,22 +18,19 @@
 #include <string>
 
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace laxml {
 
 /// Immutable copy of one op's counters.
 struct OpStatsSnapshot {
-  uint64_t requests = 0;
+  uint64_t requests = 0;  ///< == latency.count
   uint64_t errors = 0;
-  uint64_t total_micros = 0;
-  uint64_t max_micros = 0;
+  obs::HistogramSnapshot latency;  ///< Service time, microseconds.
 
-  double MeanMicros() const {
-    return requests == 0
-               ? 0.0
-               : static_cast<double>(total_micros) /
-                     static_cast<double>(requests);
-  }
+  uint64_t total_micros() const { return latency.sum; }
+  uint64_t max_micros() const { return latency.max; }
+  double MeanMicros() const { return latency.Mean(); }
 };
 
 /// Immutable copy of the whole table.
@@ -43,8 +45,14 @@ struct ServerStatsSnapshot {
   uint64_t TotalErrors() const;
 
   /// Table rendering, one row per op that served traffic (the GetStats
-  /// RPC payload).
+  /// RPC payload), with per-op p50/p95/p99.
   std::string ToString() const;
+
+  /// Prometheus text exposition: laxml_server_op_us{op="NAME"}
+  /// histogram families plus the request/error/connection/byte
+  /// counters. Appended by the GetMetrics op after the registry's own
+  /// exposition.
+  std::string ToPrometheus() const;
 };
 
 /// The live, thread-safe counter table.
@@ -65,10 +73,8 @@ class ServerStats {
   static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
 
   struct OpCell {
-    std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> errors{0};
-    std::atomic<uint64_t> total_micros{0};
-    std::atomic<uint64_t> max_micros{0};
+    obs::Histogram latency;  ///< count doubles as the request count.
   };
 
   OpCell ops_[net::kMaxOpCode + 1];

@@ -1,5 +1,7 @@
 #include "store/range_manager.h"
 
+#include "obs/metrics.h"
+
 namespace laxml {
 
 RangeManager::RangeManager(Pager* pager,
@@ -126,6 +128,7 @@ Result<RangeId> RangeManager::InsertRangeAfter(RangeId left, Slice payload,
   }
   ++range_count_;
   ++stats_.ranges_created;
+  LAXML_COUNTER_INC("laxml_ranges_created_total");
   return rid;
 }
 
@@ -180,6 +183,7 @@ Result<RangeId> RangeManager::Split(RangeId id, uint32_t byte_offset,
   LAXML_RETURN_IF_ERROR(PutMeta(head));
 
   ++stats_.splits;
+  LAXML_COUNTER_INC("laxml_range_splits_total");
   return tail;
 }
 
@@ -243,6 +247,7 @@ Status RangeManager::MergeWithNext(RangeId id) {
   LAXML_RETURN_IF_ERROR(meta_tree_.Delete(dead));
   --range_count_;
   ++stats_.merges;
+  LAXML_COUNTER_INC("laxml_range_merges_total");
   return Status::OK();
 }
 
@@ -269,6 +274,7 @@ Status RangeManager::DeleteRange(RangeId id) {
   LAXML_RETURN_IF_ERROR(meta_tree_.Delete(id));
   --range_count_;
   ++stats_.ranges_deleted;
+  LAXML_COUNTER_INC("laxml_ranges_deleted_total");
   return Status::OK();
 }
 

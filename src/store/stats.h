@@ -3,29 +3,65 @@
 #ifndef LAXML_STORE_STATS_H_
 #define LAXML_STORE_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace laxml {
 
+/// A uint64 counter that is safe to read while another thread bumps it.
+/// All accesses are relaxed: each counter is an independent statistic,
+/// and readers tolerate seeing mid-batch values. This makes concurrent
+/// stats polling through SharedStore well-defined (no data race for
+/// tsan to flag) without putting a barrier in the mutation paths.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+
+  // Counters live inside stats structs that are never copied, but the
+  // struct must stay aggregate-initializable.
+  RelaxedCounter(uint64_t v) : value_(v) {}  // NOLINT(runtime/explicit)
+
+  RelaxedCounter& operator=(uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t n) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  operator uint64_t() const {  // NOLINT(runtime/explicit)
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 /// Store-level counters. Substrate counters (buffer pool, record store,
-/// range manager, indexes) are exposed by their own structs.
+/// range manager, indexes) are exposed by their own structs. Fields are
+/// RelaxedCounters so a stats poller reading through Store::stats() is
+/// race-free against a concurrent mutator (see mt_stress_test).
 struct StoreStats {
-  uint64_t inserts = 0;        ///< Insert* calls.
-  uint64_t deletes = 0;        ///< DeleteNode calls.
-  uint64_t replaces = 0;       ///< ReplaceNode / ReplaceContent calls.
-  uint64_t reads_by_id = 0;    ///< Read(id) calls.
-  uint64_t full_scans = 0;     ///< Read() calls.
-  uint64_t tokens_inserted = 0;
-  uint64_t bytes_inserted = 0;
-  uint64_t nodes_inserted = 0;
-  uint64_t nodes_deleted = 0;
+  RelaxedCounter inserts;        ///< Insert* calls.
+  RelaxedCounter deletes;        ///< DeleteNode calls.
+  RelaxedCounter replaces;       ///< ReplaceNode / ReplaceContent calls.
+  RelaxedCounter reads_by_id;    ///< Read(id) calls.
+  RelaxedCounter full_scans;     ///< Read() calls.
+  RelaxedCounter tokens_inserted;
+  RelaxedCounter bytes_inserted;
+  RelaxedCounter nodes_inserted;
+  RelaxedCounter nodes_deleted;
   /// Tokens decoded while *locating* ids the lazy way — the measurable
   /// price of coarse ranges that the Partial Index exists to amortize.
-  uint64_t locate_scan_tokens = 0;
+  RelaxedCounter locate_scan_tokens;
   /// Full-index maintenance operations (puts + deletes + split-rebasing
   /// re-puts) — the measurable price of eagerness.
-  uint64_t full_index_maintenance = 0;
+  RelaxedCounter full_index_maintenance;
 
   std::string ToString() const;
 };

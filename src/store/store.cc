@@ -3,6 +3,8 @@
 #include <sys/stat.h>
 
 #include "audit/store_auditor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "common/logging.h"
 #include "common/varint.h"
 #include "store/cursor.h"
@@ -245,6 +247,7 @@ Status Store::LoadMeta(const std::vector<uint8_t>& blob) {
 }
 
 Status Store::Sync() {
+  LAXML_TRACE_SPAN("store_sync");
   if (read_only()) {
     return Status::NotSupported("store opened read-only");
   }
@@ -464,6 +467,7 @@ Result<Store::Located> Store::LocateEnd(NodeId id, const Located& begin) {
 Result<RangeId> Store::SplitRange(RangeId id, uint32_t byte_offset,
                                   uint32_t token_index,
                                   uint64_t begins_before) {
+  LAXML_TRACE_SPAN("range_split");
   LAXML_ASSIGN_OR_RETURN(
       RangeId tail, ranges_->Split(id, byte_offset, token_index,
                                    begins_before));
@@ -650,6 +654,7 @@ Status Store::DeleteRangesBetween(RangeId first_doomed,
 // The Table-1 interface
 
 Result<NodeId> Store::InsertBefore(NodeId id, const TokenSequence& data) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_before\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertBefore, id, data));
   LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
@@ -663,6 +668,7 @@ Result<NodeId> Store::InsertBefore(NodeId id, const TokenSequence& data) {
 }
 
 Result<NodeId> Store::InsertAfter(NodeId id, const TokenSequence& data) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_after\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertAfter, id, data));
   LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
@@ -683,6 +689,7 @@ Result<NodeId> Store::InsertAfter(NodeId id, const TokenSequence& data) {
 
 Result<NodeId> Store::InsertIntoFirst(NodeId id,
                                       const TokenSequence& data) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_into_first\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertIntoFirst, id, data));
   LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
@@ -699,6 +706,7 @@ Result<NodeId> Store::InsertIntoFirst(NodeId id,
 }
 
 Result<NodeId> Store::InsertIntoLast(NodeId id, const TokenSequence& data) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_into_last\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertIntoLast, id, data));
   LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
@@ -723,6 +731,7 @@ Result<NodeId> Store::InsertIntoLast(NodeId id, const TokenSequence& data) {
 }
 
 Result<NodeId> Store::InsertTopLevel(const TokenSequence& data) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_top_level\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertTopLevel, kInvalidNodeId, data));
   LAXML_ASSIGN_OR_RETURN(NodeId first,
@@ -733,6 +742,7 @@ Result<NodeId> Store::InsertTopLevel(const TokenSequence& data) {
 }
 
 Status Store::DeleteNode(NodeId id) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"delete\"}");
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kDeleteNode, id, {}));
   LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
   LAXML_ASSIGN_OR_RETURN(Located end, LocateEnd(id, begin));
@@ -747,6 +757,7 @@ Status Store::DeleteNode(NodeId id) {
 }
 
 Result<NodeId> Store::ReplaceNode(NodeId id, const TokenSequence& data) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"replace_node\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kReplaceNode, id, data));
   LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
@@ -763,6 +774,7 @@ Result<NodeId> Store::ReplaceNode(NodeId id, const TokenSequence& data) {
 }
 
 Result<NodeId> Store::ReplaceContent(NodeId id, const TokenSequence& data) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"replace_content\"}");
   if (!data.empty()) {
     LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   }
@@ -796,6 +808,7 @@ Result<TokenSequence> Store::Read() {
 }
 
 Result<TokenSequence> Store::ReadWithIds(std::vector<NodeId>* ids) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"full_scan\"}");
   TokenSequence out;
   if (ids != nullptr) ids->clear();
   RangeId cur = ranges_->first_range();
@@ -888,6 +901,7 @@ Status Store::ReadSubtree(const Located& start, NodeId id,
 }
 
 Result<TokenSequence> Store::Read(NodeId id) {
+  LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"read_by_id\"}");
   LAXML_ASSIGN_OR_RETURN(Located begin,
                          LocateBegin(id, /*need_begin_count=*/false));
   // With a memoized end location in the same range, fetch exactly the
@@ -955,6 +969,7 @@ Result<std::string> Store::SerializeToXml(const SerializerOptions& options) {
 }
 
 Result<uint64_t> Store::CompactRanges(uint32_t target_bytes) {
+  LAXML_TRACE_SPAN("compact_ranges");
   if (read_only()) {
     return Status::NotSupported("store opened read-only");
   }

@@ -6,6 +6,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace laxml {
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
@@ -38,12 +41,19 @@ Status Wal::Append(const WalRecord& record, bool sync) {
   }
   ++stats_.records_appended;
   stats_.bytes_appended += framed.size();
+  LAXML_COUNTER_INC("laxml_wal_appends_total");
+  LAXML_COUNTER_ADD("laxml_wal_bytes_appended_total", framed.size());
   if (sync) {
+    LAXML_TRACE_SPAN("wal_fsync");
+    const uint64_t start_us = obs::NowMicros();
     if (::fdatasync(fd_) != 0) {
       return Status::IOError(std::string("wal fdatasync: ") +
                              std::strerror(errno));
     }
+    LAXML_HISTOGRAM_RECORD("laxml_wal_fsync_us",
+                           obs::NowMicros() - start_us);
     ++stats_.syncs;
+    LAXML_COUNTER_INC("laxml_wal_syncs_total");
   }
   return Status::OK();
 }
@@ -82,6 +92,7 @@ Status Wal::Truncate() {
     return Status::IOError("wal lseek after truncate failed");
   }
   ++stats_.truncations;
+  LAXML_COUNTER_INC("laxml_wal_truncations_total");
   return Status::OK();
 }
 

@@ -198,6 +198,18 @@ TEST(FuzzRobustnessTest, WireDecodersOnMutatedValidFrames) {
     resp.ids = {1, 2, 3000};
     pool.emplace_back();
     EncodeResponse(resp, &pool.back());
+    req = {};
+    req.op = net::OpCode::kGetMetrics;
+    req.request_id = 11;
+    req.metrics_format = net::MetricsFormat::kPrometheus;
+    pool.emplace_back();
+    EncodeRequest(req, &pool.back());
+    resp = {};
+    resp.op = net::OpCode::kGetMetrics;
+    resp.request_id = 12;
+    resp.text = "laxml_server_requests_total 42\n";
+    pool.emplace_back();
+    EncodeResponse(resp, &pool.back());
   }
   for (int i = 0; i < 4000; ++i) {
     std::vector<uint8_t> bytes = pool[rng.Uniform(pool.size())];

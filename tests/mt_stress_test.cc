@@ -106,6 +106,65 @@ TEST(MtStressTest, SharedStoreWithWal) {
   EXPECT_LAXML_OK(shared.UnsafeStore()->Sync());
 }
 
+// TSan regression: StoreStats fields are RelaxedCounters, so a stats
+// poller reading Store::stats() WITHOUT the SharedStore latch while
+// writer threads mutate is race-free. (With plain uint64_t fields this
+// is a data race — observability pollers must never require the
+// exclusive latch just to read counters.)
+TEST(MtStressTest, StoreStatsReadableWhileMutating) {
+  StoreOptions options;
+  ASSERT_OK_AND_ASSIGN(auto store, Store::OpenInMemory(options));
+  SharedStore shared(std::move(store));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread poller([&shared, &stop] {
+    const StoreStats& stats = shared.UnsafeStore()->stats();
+    uint64_t last_inserts = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Unlatched reads racing live mutations: tsan-clean by design.
+      uint64_t inserts = stats.inserts;
+      uint64_t reads = stats.reads_by_id;
+      uint64_t tokens = stats.tokens_inserted;
+      EXPECT_GE(inserts, last_inserts);  // counters are monotone
+      last_inserts = inserts;
+      (void)reads;
+      (void)tokens;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&shared, t, &failures] {
+      std::vector<NodeId> mine;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (i % 3 != 2 || mine.empty()) {
+          auto inserted = shared.InsertTopLevel(
+              MustFragment("<s>" + std::to_string(t * 1000 + i) + "</s>"));
+          if (inserted.ok()) {
+            mine.push_back(*inserted);
+          } else {
+            failures.fetch_add(1);
+          }
+        } else {
+          auto read = shared.Read(mine[i % mine.size()]);
+          if (!read.ok()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const StoreStats& stats = shared.UnsafeStore()->stats();
+  EXPECT_GE(static_cast<uint64_t>(stats.inserts),
+            static_cast<uint64_t>(kThreads));
+  EXPECT_LAXML_OK(shared.UnsafeStore()->CheckIntegrity());
+}
+
 TEST(MtStressTest, LockManagerContention) {
   LockManager manager;
   std::atomic<int> timeouts{0};

@@ -1,0 +1,384 @@
+// Unit tests for the observability layer (src/obs): histogram bucket
+// math and percentile estimation (exact values where the design
+// guarantees them), registry get-or-create semantics and concurrent
+// recording (a sanitizer hunting ground), both text renderings, and
+// the trace ring + binary dump codec.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace obs {
+namespace {
+
+// --------------------------------------------------------------------
+// Histogram bucket math
+
+TEST(HistogramBuckets, IndexBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 63u);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 62), 63u);
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 62) - 1), 62u);
+}
+
+TEST(HistogramBuckets, LowerUpperAgreeWithIndex) {
+  for (size_t b = 0; b < Histogram::kBucketCount; ++b) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLower(b)), b) << b;
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpper(b)), b) << b;
+  }
+  EXPECT_EQ(Histogram::BucketLower(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpper(0), 0u);
+  EXPECT_EQ(Histogram::BucketLower(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpper(1), 1u);
+  EXPECT_EQ(Histogram::BucketLower(10), 512u);
+  EXPECT_EQ(Histogram::BucketUpper(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpper(63), UINT64_MAX);
+}
+
+// --------------------------------------------------------------------
+// Percentile math — exact where the header promises exactness.
+
+TEST(HistogramPercentile, EmptyIsZero) {
+  Histogram h;
+  HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(HistogramPercentile, ConstantDistributionIsExact) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(300);
+  HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 300000u);
+  EXPECT_EQ(s.min, 300u);
+  EXPECT_EQ(s.max, 300u);
+  // Min/max clamping pins every quantile of a constant distribution.
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 300.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 300.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), 300.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 300.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 300.0);
+}
+
+TEST(HistogramPercentile, UniformPowerOfTwoSpanIsExact) {
+  // 0..1023 once each: a span aligned to the log2 buckets, where the
+  // linear interpolation is exact. p50 at rank 0.5*1023 = 511.5.
+  Histogram h;
+  for (uint64_t v = 0; v < 1024; ++v) h.Record(v);
+  HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1024u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1023u);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 511.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 1023.0);
+}
+
+TEST(HistogramPercentile, TwoPointDistribution) {
+  // 90 fast ops at 10us, 10 slow at 1000us: p50 must sit in the fast
+  // bucket, p99 in the slow one — the tail mean/max hides.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  HistogramSnapshot s = h.snapshot();
+  double p50 = s.Percentile(0.50);
+  double p99 = s.Percentile(0.99);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LE(p50, 15.0);  // within the [8,15] bucket
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);  // slow bucket, clamped by max
+  EXPECT_GT(p99, p50 * 10);
+}
+
+TEST(HistogramPercentile, QuantilesAreMonotone) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; v += 7) h.Record(v);
+  HistogramSnapshot s = h.snapshot();
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double v = s.Percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_LE(s.Percentile(1.0), static_cast<double>(s.max));
+  EXPECT_GE(s.Percentile(0.0), static_cast<double>(s.min));
+}
+
+// --------------------------------------------------------------------
+// Registry
+
+TEST(MetricsRegistry, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test_counter");
+  Counter* b = registry.GetCounter("test_counter");
+  EXPECT_EQ(a, b);
+  a->Inc();
+  EXPECT_EQ(b->value(), 1u);
+
+  Histogram* h1 = registry.GetHistogram("test_hist");
+  Histogram* h2 = registry.GetHistogram("test_hist");
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(h1));
+
+  Gauge* g = registry.GetGauge("test_gauge");
+  g->Set(-7);
+  EXPECT_EQ(registry.GetGauge("test_gauge")->value(), -7);
+}
+
+TEST(MetricsRegistry, SnapshotSeesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("c1")->Add(5);
+  registry.GetGauge("g1")->Set(42);
+  registry.GetHistogram("h1")->Record(100);
+  MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("c1"), 5u);
+  EXPECT_EQ(snap.gauges.at("g1"), 42);
+  EXPECT_EQ(snap.histograms.at("h1").count, 1u);
+}
+
+// The concurrency hammer: registration races with recording races with
+// snapshotting. Run under tsan (test labeled "sanitizer") this is the
+// data-race regression net for the whole registry.
+TEST(MetricsRegistry, ConcurrentRegisterRecordSnapshot) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the threads share metric names; half get their own —
+      // exercising both the create and the lookup path.
+      const std::string cname =
+          t % 2 == 0 ? "shared_counter" : "counter_" + std::to_string(t);
+      const std::string hname =
+          t % 2 == 0 ? "shared_hist" : "hist_" + std::to_string(t);
+      for (int i = 0; i < kIters; ++i) {
+        registry.GetCounter(cname)->Inc();
+        registry.GetHistogram(hname)->Record(static_cast<uint64_t>(i));
+        if (i % 256 == 0) {
+          MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+          EXPECT_FALSE(snap.counters.empty());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("shared_counter"),
+            static_cast<uint64_t>(kThreads / 2) * kIters);
+  uint64_t total_hist = 0;
+  for (const auto& [name, h] : snap.histograms) total_hist += h.count;
+  EXPECT_EQ(total_hist, static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kIters; ++i) {
+        h.Record(static_cast<uint64_t>(t * kIters + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, static_cast<uint64_t>(kThreads) * kIters - 1);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+// --------------------------------------------------------------------
+// Renderings
+
+TEST(Render, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("laxml_test_ops_total")->Add(3);
+  registry.GetGauge("laxml_test_level")->Set(11);
+  Histogram* h = registry.GetHistogram("laxml_test_us{op=\"read\"}");
+  h->Record(5);
+  h->Record(500);
+  std::string text = RenderPrometheus(registry.TakeSnapshot());
+
+  EXPECT_NE(text.find("# TYPE laxml_test_ops_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("laxml_test_ops_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("laxml_test_level 11\n"), std::string::npos);
+  // Histogram: label block merged with le, cumulative +Inf, sum/count,
+  // derived percentile gauges.
+  EXPECT_NE(text.find("# TYPE laxml_test_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("laxml_test_us_bucket{op=\"read\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("laxml_test_us_sum{op=\"read\"} 505"),
+            std::string::npos);
+  EXPECT_NE(text.find("laxml_test_us_count{op=\"read\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("laxml_test_us_p50{op=\"read\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("laxml_test_us_p99{op=\"read\"}"),
+            std::string::npos);
+
+  // Every non-comment line is "name[{labels}] value".
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);  // ends with newline
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+  }
+}
+
+TEST(Render, TableListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("laxml_c")->Add(9);
+  registry.GetGauge("laxml_g")->Set(4);
+  registry.GetHistogram("laxml_h")->Record(77);
+  std::string table = registry.RenderTable();
+  EXPECT_NE(table.find("laxml_c"), std::string::npos);
+  EXPECT_NE(table.find("laxml_g"), std::string::npos);
+  EXPECT_NE(table.find("laxml_h"), std::string::npos);
+  EXPECT_NE(table.find("9"), std::string::npos);
+}
+
+TEST(Render, SplitMetricName) {
+  std::string family, labels;
+  SplitMetricName("laxml_x_us{op=\"read\"}", &family, &labels);
+  EXPECT_EQ(family, "laxml_x_us");
+  EXPECT_EQ(labels, "op=\"read\"");
+  SplitMetricName("laxml_plain", &family, &labels);
+  EXPECT_EQ(family, "laxml_plain");
+  EXPECT_EQ(labels, "");
+}
+
+// --------------------------------------------------------------------
+// Trace ring + dump codec
+
+TEST(Trace, RingRecordsAndWraps) {
+  TraceRing ring(4, /*tid=*/1);
+  ring.Record("a", 10, 1);
+  ring.Record("b", 20, 2);
+  TraceDump dump;
+  ring.Drain(&dump);
+  ASSERT_EQ(dump.events.size(), 2u);
+  EXPECT_EQ(dump.names[dump.events[0].name_id], "a");
+  EXPECT_EQ(dump.events[0].start_us, 10u);
+  EXPECT_EQ(dump.events[1].dur_us, 2u);
+
+  // Overflow the ring: only the newest 4 survive, oldest first.
+  for (uint64_t i = 0; i < 10; ++i) ring.Record("x", 100 + i, 1);
+  TraceDump dump2;
+  ring.Drain(&dump2);
+  ASSERT_EQ(dump2.events.size(), 4u);
+  EXPECT_EQ(dump2.events.front().start_us, 106u);
+  EXPECT_EQ(dump2.events.back().start_us, 109u);
+}
+
+TEST(Trace, BinaryRoundTrip) {
+  TraceDump dump;
+  dump.names = {"wal_fsync", "range_split"};
+  dump.events.push_back({1, 0, 1000, 50});
+  dump.events.push_back({2, 1, 2000, 75});
+  std::vector<uint8_t> encoded = EncodeTraceDump(dump);
+
+  auto decoded = DecodeTraceDump(encoded.data(), encoded.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->names.size(), 2u);
+  EXPECT_EQ(decoded->names[1], "range_split");
+  ASSERT_EQ(decoded->events.size(), 2u);
+  EXPECT_EQ(decoded->events[0].tid, 1u);
+  EXPECT_EQ(decoded->events[1].start_us, 2000u);
+  EXPECT_EQ(decoded->events[1].dur_us, 75u);
+}
+
+TEST(Trace, DecodeRejectsMalformedInput) {
+  TraceDump dump;
+  dump.names = {"n"};
+  dump.events.push_back({1, 0, 5, 5});
+  std::vector<uint8_t> good = EncodeTraceDump(dump);
+
+  // Truncations at every length never crash; most fail, and any that
+  // "succeed" must at least be the degenerate empty prefix — but the
+  // header alone is 8 bytes, so anything shorter must fail.
+  for (size_t len = 0; len < good.size(); ++len) {
+    auto r = DecodeTraceDump(good.data(), len);
+    if (len < 8) {
+      EXPECT_FALSE(r.ok()) << len;
+    }
+  }
+
+  // Bad magic.
+  std::vector<uint8_t> bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeTraceDump(bad.data(), bad.size()).ok());
+
+  // Fabricated huge name count.
+  std::vector<uint8_t> huge(good.begin(), good.begin() + 8);
+  for (int i = 0; i < 9; ++i) huge.push_back(0xFF);
+  huge.push_back(0x01);
+  EXPECT_FALSE(DecodeTraceDump(huge.data(), huge.size()).ok());
+
+  // Event referencing a name_id out of range.
+  TraceDump oob;
+  oob.names = {"only"};
+  oob.events.push_back({1, 5, 1, 1});  // name_id 5 > names.size()
+  std::vector<uint8_t> enc = EncodeTraceDump(oob);
+  EXPECT_FALSE(DecodeTraceDump(enc.data(), enc.size()).ok());
+}
+
+TEST(Trace, ChromeJsonHasEvents) {
+  TraceDump dump;
+  dump.names = {"span \"quoted\""};
+  dump.events.push_back({3, 0, 123, 45});
+  std::string json = dump.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":45"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaped
+}
+
+TEST(Trace, ScopedSpanLandsInGlobalTracer) {
+  { LAXML_TRACE_SPAN("obs_test_span"); }
+  TraceDump dump = Tracer::Global().Collect();
+#if !defined(LAXML_TRACING_DISABLED)
+  bool found = false;
+  for (const TraceEvent& e : dump.events) {
+    if (dump.names[e.name_id] == "obs_test_span") found = true;
+  }
+  EXPECT_TRUE(found);
+#else
+  (void)dump;
+#endif
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace laxml

@@ -86,6 +86,53 @@ TEST(ServerClientTest, BasicOpsRoundTrip) {
   server->Shutdown();
 }
 
+TEST(ServerClientTest, GetMetricsRoundTripsBothFormats) {
+  auto server = MustStartServer();
+  auto client = MustConnect(server->port());
+
+  // Serve some traffic so the per-op histograms have samples.
+  TokenSequence doc = testing::MustFragment("<m><x>1</x></m>");
+  ASSERT_OK_AND_ASSIGN(NodeId root, client->InsertTopLevel(doc));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(TokenSequence back, client->Read(root));
+    EXPECT_EQ(back, doc);
+  }
+
+  // Human table: server per-op rows with percentile columns plus the
+  // registry's metric names.
+  ASSERT_OK_AND_ASSIGN(std::string table,
+                       client->GetMetrics(net::MetricsFormat::kTable));
+  EXPECT_NE(table.find("READ_NODE"), std::string::npos) << table;
+  EXPECT_NE(table.find("p99"), std::string::npos) << table;
+  EXPECT_NE(table.find("laxml_store_live_nodes"), std::string::npos)
+      << table;
+
+  // Prometheus exposition: server op histogram series, engine counters,
+  // scrape-time store gauges. Spot-check the line grammar.
+  ASSERT_OK_AND_ASSIGN(
+      std::string prom,
+      client->GetMetrics(net::MetricsFormat::kPrometheus));
+  EXPECT_NE(prom.find("laxml_server_op_us_count{op=\"READ_NODE\"} 10"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("laxml_server_op_us_p50{op=\"READ_NODE\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("laxml_server_requests_total"), std::string::npos);
+  EXPECT_NE(prom.find("laxml_store_ranges"), std::string::npos);
+  size_t pos = 0;
+  while (pos < prom.size()) {
+    size_t eol = prom.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "missing trailing newline";
+    std::string line = prom.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+  }
+  server->Shutdown();
+}
+
 TEST(ServerClientTest, ErrorsTravelTheWire) {
   auto server = MustStartServer();
   auto client = MustConnect(server->port());

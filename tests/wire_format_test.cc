@@ -82,6 +82,33 @@ TEST(WireFormatTest, RequestRoundTripEveryOpcode) {
   }
 }
 
+TEST(WireFormatTest, GetMetricsCarriesFormatAndText) {
+  for (MetricsFormat fmt :
+       {MetricsFormat::kTable, MetricsFormat::kPrometheus}) {
+    Request req;
+    req.op = OpCode::kGetMetrics;
+    req.request_id = 21;
+    req.metrics_format = fmt;
+    Request back = MustRoundTrip(req);
+    EXPECT_EQ(back.metrics_format, fmt);
+  }
+  Response resp;
+  resp.op = OpCode::kGetMetrics;
+  resp.request_id = 22;
+  resp.text = "laxml_server_requests_total 5\n";
+  Response back = MustRoundTrip(resp);
+  EXPECT_EQ(back.text, resp.text);
+
+  // A GetMetrics request with an unknown format byte is Corruption,
+  // and one missing the byte entirely is too.
+  std::vector<uint8_t> body = {static_cast<uint8_t>(OpCode::kGetMetrics),
+                               0, 9};
+  EXPECT_TRUE(DecodeRequest(Slice(body)).status().IsCorruption());
+  std::vector<uint8_t> short_body = {
+      static_cast<uint8_t>(OpCode::kGetMetrics), 0};
+  EXPECT_TRUE(DecodeRequest(Slice(short_body)).status().IsCorruption());
+}
+
 TEST(WireFormatTest, ResponseRoundTripValueFields) {
   {
     Response resp;

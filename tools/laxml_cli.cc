@@ -21,6 +21,8 @@
 //   read [id]                    whole store / one subtree, as XML
 //   xpath <expr>                 matching node ids
 //   stats                        server + store counters
+//   metrics [--prom]             full metrics exposition (table, or
+//                                Prometheus text format with --prom)
 //   check                        run the integrity auditor
 //
 // Exit code 0 when every command succeeded, 1 otherwise.
@@ -47,7 +49,7 @@ void Usage(const char* argv0) {
                "With no command, reads one command per line from stdin.\n"
                "Commands: ping, load, insert-before, insert-after,\n"
                "insert-first, insert-last, replace, replace-content,\n"
-               "delete, read, xpath, stats, check\n",
+               "delete, read, xpath, stats, metrics [--prom], check\n",
                argv0);
 }
 
@@ -172,6 +174,18 @@ bool RunCommand(Client* client, const std::string& line) {
   }
   if (cmd.verb == "stats") {
     auto text = client->GetStats();
+    if (!text.ok()) return fail(text.status());
+    std::printf("%s", text->c_str());
+    return true;
+  }
+  if (cmd.verb == "metrics") {
+    if (!cmd.arg1.empty() && cmd.arg1 != "--prom") {
+      std::printf("error: 'metrics' takes an optional --prom\n");
+      return false;
+    }
+    auto text = client->GetMetrics(
+        cmd.arg1 == "--prom" ? laxml::net::MetricsFormat::kPrometheus
+                             : laxml::net::MetricsFormat::kTable);
     if (!text.ok()) return fail(text.status());
     std::printf("%s", text->c_str());
     return true;

@@ -95,6 +95,13 @@ void PrintJson(const char* path, const laxml::FsckOptions& options,
   out += (outcome.wal_present && options.replay_wal) ? "true" : "false";
   out += ",\"swept_pages\":";
   out += outcome.swept_pages ? "true" : "false";
+  const laxml::FsckMetrics& m = outcome.metrics;
+  out += ",\"metrics\":{\"pages_read\":" + std::to_string(m.pages_read);
+  out += ",\"pool_hits\":" + std::to_string(m.pool_hits);
+  out += ",\"tokens_decoded\":" + std::to_string(m.tokens_decoded);
+  out += ",\"ranges_walked\":" + std::to_string(m.ranges_walked);
+  out += ",\"wal_records\":" + std::to_string(m.wal_records);
+  out += ",\"elapsed_us\":" + std::to_string(m.elapsed_us) + "}";
   out += ",\"report\":" + outcome.report.ToJson();
   out += "}";
   std::printf("%s\n", out.c_str());

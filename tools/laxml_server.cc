@@ -14,14 +14,17 @@
 #include <ctime>
 #include <string>
 
+#include "obs/trace.h"
 #include "server/server.h"
 #include "store/store.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_trace = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+void HandleDumpTrace(int) { g_dump_trace = 1; }
 
 void Usage(const char* argv0) {
   std::fprintf(
@@ -43,6 +46,9 @@ void Usage(const char* argv0) {
       "  --threads N       worker threads (default 4)\n"
       "  --wal             enable write-ahead logging (file-backed)\n"
       "  --pool-frames N   buffer pool frames (default 4096)\n"
+      "  --slow-op-us N    log any request served in >= N microseconds\n"
+      "  --trace-out FILE  write the engine trace (binary; render with\n"
+      "                    laxml_trace) at shutdown and on SIGUSR1\n"
       "  -h, --help        this message\n",
       argv0);
 }
@@ -58,6 +64,8 @@ int main(int argc, char** argv) {
   long port = 4891;
   long threads = 4;
   long pool_frames = 4096;
+  long slow_op_us = 0;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -95,6 +103,10 @@ int main(int argc, char** argv) {
       enable_wal = true;
     } else if (std::strcmp(arg, "--pool-frames") == 0) {
       pool_frames = next_number(arg, 8);
+    } else if (std::strcmp(arg, "--slow-op-us") == 0) {
+      slow_op_us = next_number(arg, 0);
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      trace_out = next_value(arg);
     } else if (std::strcmp(arg, "-h") == 0 ||
                std::strcmp(arg, "--help") == 0) {
       Usage(argv[0]);
@@ -131,6 +143,7 @@ int main(int argc, char** argv) {
   server_options.host = host;
   server_options.port = static_cast<uint16_t>(port);
   server_options.num_workers = static_cast<int>(threads);
+  server_options.slow_op_micros = static_cast<uint64_t>(slow_op_us);
   auto server =
       laxml::Server::Start(std::move(store).value(), server_options);
   if (!server.ok()) {
@@ -156,9 +169,22 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  if (!trace_out.empty()) std::signal(SIGUSR1, HandleDumpTrace);
   while (g_stop == 0) {
     timespec nap{0, 50'000'000};  // 50ms
     ::nanosleep(&nap, nullptr);
+    if (g_dump_trace != 0) {
+      g_dump_trace = 0;
+      laxml::Status st = laxml::obs::Tracer::Global().DumpBinary(trace_out);
+      if (st.ok()) {
+        std::printf("laxml_server: trace written to %s\n",
+                    trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "%s: trace dump: %s\n", argv[0],
+                     st.ToString().c_str());
+      }
+      std::fflush(stdout);
+    }
   }
 
   std::printf("laxml_server: shutting down\n");
@@ -171,6 +197,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: final sync: %s\n", argv[0],
                  sync.ToString().c_str());
     return 1;
+  }
+  if (!trace_out.empty()) {
+    laxml::Status st = laxml::obs::Tracer::Global().DumpBinary(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: trace dump: %s\n", argv[0],
+                   st.ToString().c_str());
+    }
   }
   std::printf("%s", final_stats.c_str());
   return 0;

@@ -1,0 +1,241 @@
+// laxml_top: live terminal view of a running laxml_server's metrics.
+//
+//   laxml_top [--host H] [--port N] [--interval-ms N] [--iterations N]
+//
+// Polls the kGetMetrics op in Prometheus format, parses the flat
+// name/value lines, and repaints a screenful every interval: server
+// request/error rates, per-op p50/p95/p99, buffer-pool hit rate, WAL
+// sync latency, index hit rates, and the store's range/node levels.
+// Counter rows show a per-second rate computed from consecutive
+// samples; gauge rows show the level as-is.
+//
+// --iterations N exits after N repaints (scripts/CI use 1); --raw
+// skips the ANSI clear so output can be piped.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <string>
+
+#include "net/client.h"
+
+namespace {
+
+using laxml::net::Client;
+using laxml::net::MetricsFormat;
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port N] [--interval-ms N]\n"
+               "          [--iterations N] [--raw]\n"
+               "Live metrics view of a running laxml_server (kGetMetrics\n"
+               "poller). --iterations 1 --raw prints one sample and exits.\n",
+               argv0);
+}
+
+/// One polled sample: every "name value" line of the Prometheus
+/// exposition, with histogram series kept under their full name
+/// (laxml_wal_fsync_us_p95, laxml_server_op_us_count{op="READ"}, ...).
+using Sample = std::map<std::string, double>;
+
+Sample ParseExposition(const std::string& text) {
+  Sample sample;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    const std::string name = line.substr(0, space);
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &end);
+    if (end == nullptr || *end != '\0') continue;
+    sample[name] = value;
+  }
+  return sample;
+}
+
+double Get(const Sample& s, const std::string& name) {
+  auto it = s.find(name);
+  return it == s.end() ? 0.0 : it->second;
+}
+
+/// Per-second rate of a counter between two samples.
+double Rate(const Sample& prev, const Sample& cur, const std::string& name,
+            double dt_sec) {
+  if (dt_sec <= 0.0) return 0.0;
+  const double d = Get(cur, name) - Get(prev, name);
+  return d > 0.0 ? d / dt_sec : 0.0;
+}
+
+/// Hit ratio (%) from hits/lookups counters, over the delta window.
+double HitPct(const Sample& prev, const Sample& cur,
+              const std::string& hits, const std::string& lookups) {
+  const double dl = Get(cur, lookups) - Get(prev, lookups);
+  if (dl <= 0.0) return 0.0;
+  const double dh = Get(cur, hits) - Get(prev, hits);
+  return 100.0 * dh / dl;
+}
+
+void Paint(const Sample& prev, const Sample& cur, double dt_sec,
+           bool first) {
+  std::printf("laxml_top — %.1fs window\n", first ? 0.0 : dt_sec);
+  std::printf("\nserver\n");
+  double req_delta = 0.0;
+  for (const auto& [name, v] : cur) {
+    if (name.rfind("laxml_server_requests_total", 0) == 0) {
+      req_delta += v - Get(prev, name);
+    }
+  }
+  std::printf("  %-28s %10.1f /s\n", "requests",
+              dt_sec > 0.0 ? req_delta / dt_sec : 0.0);
+  // Per-op latency rows from the server's histogram families.
+  for (const auto& [name, v] : cur) {
+    const std::string prefix = "laxml_server_op_us_count{op=\"";
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::string op =
+        name.substr(prefix.size(), name.size() - prefix.size() - 2);
+    const std::string labels = "{op=\"" + op + "\"}";
+    std::printf("  %-18s %8.0f reqs  p50 %8.0f  p95 %8.0f  p99 %8.0f us\n",
+                op.c_str(), v,
+                Get(cur, "laxml_server_op_us_p50" + labels),
+                Get(cur, "laxml_server_op_us_p95" + labels),
+                Get(cur, "laxml_server_op_us_p99" + labels));
+  }
+
+  std::printf("\nstorage\n");
+  // Pool hit rate over the window: hits / (hits + misses).
+  {
+    const double dh = Get(cur, "laxml_bufferpool_hits_total") -
+                      Get(prev, "laxml_bufferpool_hits_total");
+    const double dm = Get(cur, "laxml_bufferpool_misses_total") -
+                      Get(prev, "laxml_bufferpool_misses_total");
+    const double pct = dh + dm > 0.0 ? 100.0 * dh / (dh + dm) : 0.0;
+    std::printf("  %-28s %9.1f%%  (%.0f reads/s)\n",
+                "buffer pool hit rate", pct,
+                Rate(prev, cur, "laxml_bufferpool_page_reads_total",
+                     dt_sec));
+  }
+  std::printf("  %-28s %10.1f /s\n", "wal syncs",
+              Rate(prev, cur, "laxml_wal_syncs_total", dt_sec));
+  std::printf("  %-28s p50 %6.0f  p95 %6.0f  p99 %6.0f us\n",
+              "wal fsync latency",
+              Get(cur, "laxml_wal_fsync_us_p50"),
+              Get(cur, "laxml_wal_fsync_us_p95"),
+              Get(cur, "laxml_wal_fsync_us_p99"));
+
+  std::printf("\nindexes\n");
+  std::printf("  %-28s %9.1f%%\n", "partial index hit rate",
+              HitPct(prev, cur, "laxml_partial_hits_total",
+                     "laxml_partial_lookups_total"));
+  std::printf("  %-28s %9.1f%%\n", "range index hit rate",
+              HitPct(prev, cur, "laxml_rangeindex_hits_total",
+                     "laxml_rangeindex_lookups_total"));
+  std::printf("  %-28s %10.0f\n", "partial index entries",
+              Get(cur, "laxml_partial_index_entries"));
+
+  std::printf("\nstore\n");
+  std::printf("  %-28s %10.0f\n", "ranges", Get(cur, "laxml_store_ranges"));
+  std::printf("  %-28s %10.0f\n", "live nodes",
+              Get(cur, "laxml_store_live_nodes"));
+  std::printf("  %-28s %10.1f /s\n", "range splits",
+              Rate(prev, cur, "laxml_range_splits_total", dt_sec));
+  std::printf("  %-28s %10.0f\n", "pool dirty frames",
+              Get(cur, "laxml_pool_dirty_frames"));
+  std::fflush(stdout);
+}
+
+uint64_t NowMillis() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000u +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000'000u;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  long port = 4891;
+  long interval_ms = 1000;
+  long iterations = -1;  // forever
+  bool raw = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_number = [&](const char* flag, long min_value) -> long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      long v = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || v < min_value) {
+        std::fprintf(stderr, "%s: bad value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return v;
+    };
+    if (std::strcmp(arg, "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(arg, "--port") == 0) {
+      port = next_number(arg, 1);
+    } else if (std::strcmp(arg, "--interval-ms") == 0) {
+      interval_ms = next_number(arg, 10);
+    } else if (std::strcmp(arg, "--iterations") == 0) {
+      iterations = next_number(arg, 1);
+    } else if (std::strcmp(arg, "--raw") == 0) {
+      raw = true;
+    } else if (std::strcmp(arg, "-h") == 0 ||
+               std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "%s: port out of range\n", argv[0]);
+    return 2;
+  }
+
+  auto client = Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  Sample prev;
+  uint64_t prev_ms = NowMillis();
+  bool first = true;
+  for (long n = 0; iterations < 0 || n < iterations; ++n) {
+    auto text = (*client)->GetMetrics(MetricsFormat::kPrometheus);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0],
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    Sample cur = ParseExposition(*text);
+    const uint64_t now_ms = NowMillis();
+    const double dt_sec =
+        static_cast<double>(now_ms - prev_ms) / 1000.0;
+    if (!raw) std::printf("\x1b[H\x1b[2J");  // home + clear
+    Paint(prev, cur, dt_sec, first);
+    prev = std::move(cur);
+    prev_ms = now_ms;
+    first = false;
+    if (iterations >= 0 && n + 1 >= iterations) break;
+    timespec nap{interval_ms / 1000,
+                 (interval_ms % 1000) * 1'000'000L};
+    ::nanosleep(&nap, nullptr);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// laxml_trace: renders a binary trace dump (laxml_server --trace-out,
+// or obs::Tracer::DumpBinary) as Chrome trace-event JSON.
+//
+//   laxml_trace <trace.bin> [-o out.json]
+//
+// Load the output in chrome://tracing (or https://ui.perfetto.dev) to
+// see the engine's spans — per-op server execution, WAL fsyncs, range
+// splits, store syncs — on a per-thread timeline.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.bin> [-o out.json]\n"
+               "Converts a laxml binary trace dump to Chrome\n"
+               "trace-event JSON (chrome://tracing, perfetto).\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-o") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: -o needs a value\n", argv[0]);
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (std::strcmp(arg, "-h") == 0 ||
+               std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      Usage(argv[0]);
+      return 2;
+    } else if (in_path.empty()) {
+      in_path = arg;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (in_path.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto dump = laxml::obs::ReadTraceFile(in_path);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0],
+                 dump.status().ToString().c_str());
+    return 1;
+  }
+  const std::string json = dump->ToChromeJson();
+
+  if (out_path.empty()) {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+                   out_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "%s: wrote %zu events to %s\n", argv[0],
+                 dump->events.size(), out_path.c_str());
+  }
+  return 0;
+}
