@@ -1,22 +1,36 @@
 // bench_server: closed-loop N-client throughput/latency benchmark of
 // the laxml network server over loopback.
 //
-// Spins up a Server on an in-memory store and an ephemeral port, gives
-// each client thread its own connection and its own top-level subtree,
-// and runs a closed loop (next request only after the previous
-// response) of a mixed workload: inserts into the client's subtree,
-// subtree reads of its own nodes, and XPath queries. A second phase
-// measures pipelined batch inserts (CallBatch) against the one-at-a-
-// time baseline. Reports per-op p50/p95/p99/max latency and aggregate
-// throughput.
+// Spins up a Server on an ephemeral port, gives each client thread its
+// own connection and its own top-level subtree, and runs a closed loop
+// (next request only after the previous response) of a mixed workload:
+// inserts into the client's subtree, subtree reads of its own nodes,
+// and XPath queries. A second phase measures pipelined batch inserts
+// (CallBatch) against the one-at-a-time baseline. Reports per-op
+// p50/p95/p99/max latency and aggregate throughput.
 //
 //   bench_server [--clients N] [--ops N] [--threads N] [--batch N]
+//                [--sync] [--read-pct N] [--zipf S] [--json out.json]
+//
+//   --sync      file-backed store + WAL + group commit: every mutation
+//               is acknowledged only once fdatasync'd. The scaling of
+//               synced-write throughput with --clients is the group
+//               commit's reason to exist.
+//   --sync-every  like --sync but one fdatasync per commit (the
+//               pre-group-commit behaviour) — the baseline the group
+//               commit's gain is measured against.
+//   --read-pct  N% of phase-1 ops are subtree reads over a pre-
+//               populated working set, the rest inserts (replaces the
+//               default 50/40/10 insert/read/xpath mix).
+//   --zipf      skew of the read target distribution (0 = uniform).
+//   --json      machine-readable report (bench_util.h JsonReport).
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,6 +41,7 @@
 #include "net/client.h"
 #include "server/server.h"
 #include "store/store.h"
+#include "workload/zipf.h"
 #include "xml/token_sequence.h"
 
 namespace laxml {
@@ -38,20 +53,12 @@ struct OpSamples {
   std::vector<double> xpath_us;
 };
 
-double Percentile(std::vector<double>* samples, double p) {
-  if (samples->empty()) return 0;
-  std::sort(samples->begin(), samples->end());
-  size_t idx = static_cast<size_t>(p * static_cast<double>(samples->size()));
-  if (idx >= samples->size()) idx = samples->size() - 1;
-  return (*samples)[idx];
-}
-
 void PrintRow(const char* name, std::vector<double>* samples,
               double seconds) {
   if (samples->empty()) return;
-  double p50 = Percentile(samples, 0.50);
-  double p95 = Percentile(samples, 0.95);
-  double p99 = Percentile(samples, 0.99);
+  double p50 = bench::Percentile(samples, 0.50);
+  double p95 = bench::Percentile(samples, 0.95);
+  double p99 = bench::Percentile(samples, 0.99);
   double max = samples->back();  // sorted by Percentile
   std::printf(
       "  %-8s %8zu ops  p50 %8.1f us  p95 %8.1f us  p99 %8.1f us  "
@@ -85,9 +92,9 @@ void PrintServerRow(const char* label, const std::string& prom,
   double sp50 = PromValue(prom, family + "_p50" + labels);
   double sp95 = PromValue(prom, family + "_p95" + labels);
   double sp99 = PromValue(prom, family + "_p99" + labels);
-  double cp50 = Percentile(client_us, 0.50);
-  double cp95 = Percentile(client_us, 0.95);
-  double cp99 = Percentile(client_us, 0.99);
+  double cp50 = bench::Percentile(client_us, 0.50);
+  double cp95 = bench::Percentile(client_us, 0.95);
+  double cp99 = bench::Percentile(client_us, 0.99);
   auto pct = [](double server, double client) {
     return client > 0.0 ? 100.0 * (server - client) / client : 0.0;
   };
@@ -118,6 +125,11 @@ int main(int argc, char** argv) {
   long ops_per_client = 2000;
   long server_threads = 4;
   long batch_size = 64;
+  bool sync_commits = false;
+  bool sync_every = false;
+  long read_pct = -1;  // <0 = classic 50/40/10 mix
+  double zipf_s = 0.0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     auto number = [&](const char* flag) -> long {
       if (i + 1 >= argc) {
@@ -125,6 +137,13 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       return std::strtol(argv[++i], nullptr, 10);
+    };
+    auto text = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
     };
     if (std::strcmp(argv[i], "--clients") == 0) {
       clients = number("--clients");
@@ -134,18 +153,42 @@ int main(int argc, char** argv) {
       server_threads = number("--threads");
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch_size = number("--batch");
+    } else if (std::strcmp(argv[i], "--sync") == 0) {
+      sync_commits = true;
+    } else if (std::strcmp(argv[i], "--sync-every") == 0) {
+      sync_commits = true;
+      sync_every = true;
+    } else if (std::strcmp(argv[i], "--read-pct") == 0) {
+      read_pct = number("--read-pct");
+    } else if (std::strcmp(argv[i], "--zipf") == 0) {
+      zipf_s = std::strtod(text("--zipf").c_str(), nullptr);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = text("--json");
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
     }
   }
   if (clients < 1 || ops_per_client < 1 || server_threads < 1 ||
-      batch_size < 1) {
-    std::fprintf(stderr, "all flags must be positive\n");
+      batch_size < 1 || read_pct > 100) {
+    std::fprintf(stderr, "flag out of range\n");
     return 2;
   }
 
-  auto store = Store::OpenInMemory(StoreOptions{});
+  // --sync runs against a real file so fdatasync means something; the
+  // group-commit sequencer is what keeps N clients from paying N syncs.
+  std::unique_ptr<bench::TempDb> db;
+  Result<std::unique_ptr<Store>> store = Status::Aborted("unopened");
+  if (sync_commits) {
+    db = std::make_unique<bench::TempDb>("server_sync");
+    StoreOptions options;
+    options.enable_wal = true;
+    options.wal_sync = sync_every ? WalSyncMode::kEveryCommit
+                                  : WalSyncMode::kGroupCommit;
+    store = Store::Open(db->path(), options);
+  } else {
+    store = Store::OpenInMemory(StoreOptions{});
+  }
   if (!store.ok()) {
     std::fprintf(stderr, "open store: %s\n",
                  store.status().ToString().c_str());
@@ -162,12 +205,24 @@ int main(int argc, char** argv) {
   const uint16_t port = (*server)->port();
   std::printf(
       "bench_server: %ld clients x %ld ops, %ld server threads, "
-      "loopback port %u\n",
-      clients, ops_per_client, server_threads, port);
+      "loopback port %u%s\n",
+      clients, ops_per_client, server_threads, port,
+      !sync_commits            ? ""
+      : sync_every             ? ", synced commits (fsync per commit)"
+                               : ", synced commits (group commit)");
+  if (read_pct >= 0) {
+    std::printf("  workload: %ld%% reads, %ld%% inserts, zipf s=%.2f\n",
+                read_pct, 100 - read_pct, zipf_s);
+  }
 
   // ------------------------------------------------------------------
-  // Phase 1: closed-loop mixed workload (50% insert, 40% read, 10%
-  // xpath), one connection and one private subtree per client.
+  // Phase 1: closed-loop workload, one connection and one private
+  // subtree per client. Default mix: 50% insert, 40% read, 10% xpath;
+  // --read-pct replaces it with reads over a pre-populated zipf-skewed
+  // working set.
+  const long prepop = read_pct >= 0
+                          ? std::min<long>(512, std::max<long>(ops_per_client, 1))
+                          : 0;
   std::vector<OpSamples> samples(static_cast<size_t>(clients));
   std::atomic<int> failures{0};
   bench::Timer phase1;
@@ -191,11 +246,49 @@ int main(int argc, char** argv) {
           return;
         }
         std::vector<NodeId> my_nodes;
+        // Untimed pre-population (read-pct mode): the read working set.
+        for (long p = 0; p < prepop; ++p) {
+          auto id = (*client)->InsertIntoLast(
+              *root_id, ItemFragment(static_cast<uint64_t>(p)));
+          if (!id.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          my_nodes.push_back(*id);
+        }
         Random rng(static_cast<uint32_t>(7 + c));
+        ZipfGenerator zipf(static_cast<uint64_t>(std::max<long>(prepop, 1)),
+                           zipf_s, static_cast<uint64_t>(31 + c));
         for (long op = 0; op < ops_per_client; ++op) {
-          uint32_t dice = rng.Uniform(10);
+          uint32_t dice = rng.Uniform(100);
           bench::Timer t;
-          if (dice < 5 || my_nodes.empty()) {
+          const bool do_read =
+              read_pct >= 0
+                  ? (dice < static_cast<uint32_t>(read_pct) &&
+                     !my_nodes.empty())
+                  : (dice >= 50 && dice < 90 && !my_nodes.empty());
+          const bool do_xpath =
+              read_pct < 0 && dice >= 90 && !my_nodes.empty();
+          if (do_read) {
+            NodeId target =
+                read_pct >= 0
+                    ? my_nodes[zipf.Next() % my_nodes.size()]
+                    : my_nodes[rng.Uniform(my_nodes.size())];
+            auto tokens = (*client)->Read(target);
+            if (!tokens.ok()) {
+              failures.fetch_add(1);
+              return;
+            }
+            mine.read_us.push_back(t.Seconds() * 1e6);
+          } else if (do_xpath) {
+            auto ids = (*client)->XPath("/client-" + std::to_string(c) +
+                                        "/item");
+            if (!ids.ok()) {
+              failures.fetch_add(1);
+              return;
+            }
+            mine.xpath_us.push_back(t.Seconds() * 1e6);
+          } else {
             auto id = (*client)->InsertIntoLast(
                 *root_id, ItemFragment(static_cast<uint64_t>(op)));
             if (!id.ok()) {
@@ -204,22 +297,6 @@ int main(int argc, char** argv) {
             }
             my_nodes.push_back(*id);
             mine.insert_us.push_back(t.Seconds() * 1e6);
-          } else if (dice < 9) {
-            NodeId target = my_nodes[rng.Uniform(my_nodes.size())];
-            auto tokens = (*client)->Read(target);
-            if (!tokens.ok()) {
-              failures.fetch_add(1);
-              return;
-            }
-            mine.read_us.push_back(t.Seconds() * 1e6);
-          } else {
-            auto ids = (*client)->XPath("/client-" + std::to_string(c) +
-                                        "/item");
-            if (!ids.ok()) {
-              failures.fetch_add(1);
-              return;
-            }
-            mine.xpath_us.push_back(t.Seconds() * 1e6);
           }
         }
       });
@@ -253,6 +330,24 @@ int main(int argc, char** argv) {
               phase1_seconds,
               static_cast<double>(total_ops) / phase1_seconds);
 
+  bench::JsonReport report("bench_server");
+  {
+    char extra[128];
+    std::snprintf(extra, sizeof(extra),
+                  "\"sync\": %s, \"sync_mode\": \"%s\", \"zipf\": %.2f, "
+                  "\"read_pct\": %ld, ",
+                  sync_commits ? "true" : "false",
+                  !sync_commits ? "none"
+                  : sync_every  ? "every-commit"
+                                : "group-commit",
+                  zipf_s, read_pct);
+    report.AddRow("insert", clients, &merged.insert_us, phase1_seconds,
+                  extra);
+    report.AddRow("read", clients, &merged.read_us, phase1_seconds, extra);
+    report.AddRow("xpath", clients, &merged.xpath_us, phase1_seconds,
+                  extra);
+  }
+
   // ------------------------------------------------------------------
   // Server-side percentiles (kGetMetrics) vs the client-side samples
   // just measured — scraped before phase 2 so both sides saw the same
@@ -275,6 +370,16 @@ int main(int argc, char** argv) {
     PrintServerRow("insert", *prom, "INSERT_INTO_LAST", &merged.insert_us);
     PrintServerRow("read", *prom, "READ_NODE", &merged.read_us);
     PrintServerRow("xpath", *prom, "XPATH", &merged.xpath_us);
+    if (sync_commits) {
+      double appends = PromValue(*prom, "laxml_wal_appends_total");
+      double syncs = PromValue(*prom, "laxml_wal_syncs_total");
+      double piggy =
+          PromValue(*prom, "laxml_wal_group_commit_piggybacked_total");
+      std::printf(
+          "group commit: %.0f records / %.0f fsyncs = %.1f records/fsync, "
+          "%.0f piggybacked commits\n",
+          appends, syncs, syncs > 0 ? appends / syncs : 0, piggy);
+    }
   }
 
   // ------------------------------------------------------------------
@@ -328,7 +433,11 @@ int main(int argc, char** argv) {
         "%.0f ops/s\n",
         batch_size, batched, seconds,
         static_cast<double>(batched) / seconds);
+    report.AddThroughputRow("batch_insert", clients,
+                            static_cast<uint64_t>(batched), seconds);
   }
+
+  if (!json_path.empty() && !report.WriteTo(json_path)) return 1;
 
   std::printf("%s", (*server)->stats().ToString().c_str());
   (*server)->Shutdown();

@@ -8,10 +8,12 @@
 #ifndef LAXML_BENCH_BENCH_UTIL_H_
 #define LAXML_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "xml/token_codec.h"
 #include "xml/token_sequence.h"
@@ -50,6 +52,90 @@ inline uint64_t EncodedBytes(const TokenSequence& tokens) {
   for (const Token& t : tokens) n += EncodedTokenSize(t);
   return n;
 }
+
+/// Sorts *samples and returns the p-quantile (p in [0,1]). The shared
+/// percentile math for every bench binary — one definition so client-
+/// side and JSON numbers can never disagree.
+inline double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(samples->size()));
+  if (idx >= samples->size()) idx = samples->size() - 1;
+  return (*samples)[idx];
+}
+
+/// Machine-readable bench output: one row per (op, threads) series with
+/// the latency percentiles and throughput, written as a JSON array so
+/// CI can archive BENCH_*.json files as the perf trajectory.
+///
+///   bench::JsonReport report("bench_server");
+///   report.AddRow("insert", threads, &samples_us, seconds);
+///   ... report.WriteTo(json_path);
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& benchmark)
+      : benchmark_(benchmark) {}
+
+  /// Adds a latency series (sorts *samples_us). `extra` is an optional
+  /// string of additional JSON fields, e.g. "\"zipf\": 0.9, ".
+  void AddRow(const std::string& op, long threads,
+              std::vector<double>* samples_us, double seconds,
+              const std::string& extra = "") {
+    double p50 = Percentile(samples_us, 0.50);
+    double p95 = Percentile(samples_us, 0.95);
+    double p99 = Percentile(samples_us, 0.99);
+    double ops_per_sec =
+        seconds > 0
+            ? static_cast<double>(samples_us->size()) / seconds
+            : 0;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"op\": \"%s\", \"threads\": %ld, \"count\": %zu, "
+                  "%s\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+                  "\"ops_per_sec\": %.0f}",
+                  op.c_str(), threads, samples_us->size(), extra.c_str(),
+                  p50, p95, p99, ops_per_sec);
+    rows_.push_back(buf);
+  }
+
+  /// Adds a throughput-only row (no latency samples, e.g. a scaling
+  /// sweep measured as ops/s per thread count).
+  void AddThroughputRow(const std::string& op, long threads,
+                        uint64_t count, double seconds,
+                        const std::string& extra = "") {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"op\": \"%s\", \"threads\": %ld, \"count\": %llu, "
+                  "%s\"ops_per_sec\": %.0f}",
+                  op.c_str(), threads,
+                  static_cast<unsigned long long>(count), extra.c_str(),
+                  seconds > 0 ? static_cast<double>(count) / seconds : 0);
+    rows_.push_back(buf);
+  }
+
+  /// Writes {"benchmark": ..., "rows": [...]} to `path`. Returns false
+  /// (with a stderr note) when the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"rows\": [\n",
+                 benchmark_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  std::vector<std::string> rows_;
+};
 
 /// A temp database path removed on destruction (plus WAL sidecar).
 class TempDb {

@@ -1,0 +1,57 @@
+// RelaxedCounter: a uint64 statistic that is safe to bump and read from
+// concurrent threads without ordering anything else. Lives in common/
+// because every layer's stats struct (store, buffer pool, record store,
+// indexes, WAL) wants the same shape once readers run concurrently.
+
+#ifndef LAXML_COMMON_RELAXED_COUNTER_H_
+#define LAXML_COMMON_RELAXED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace laxml {
+
+/// A uint64 counter that is safe to read while another thread bumps it.
+/// All accesses are relaxed: each counter is an independent statistic,
+/// and readers tolerate seeing mid-batch values. This makes concurrent
+/// stats polling well-defined (no data race for tsan to flag) without
+/// putting a barrier in the hot paths that increment.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+
+  // Counters live inside stats structs that are never copied, but the
+  // struct must stay aggregate-initializable.
+  RelaxedCounter(uint64_t v) : value_(v) {}  // NOLINT(runtime/explicit)
+
+  RelaxedCounter& operator=(uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t n) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator--() {
+    value_.fetch_sub(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator-=(uint64_t n) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+    return *this;
+  }
+  operator uint64_t() const {  // NOLINT(runtime/explicit)
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_COMMON_RELAXED_COUNTER_H_

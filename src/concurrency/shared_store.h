@@ -1,21 +1,35 @@
-// SharedStore: a thread-safe facade over Store. The engine core is
-// single-threaded by design (buffer pool, partial index and range chain
-// are unsynchronized); SharedStore serializes writers and lets readers
-// run concurrently with each other via a reader-writer latch.
+// SharedStore: a thread-safe facade over Store. Writers serialize on an
+// exclusive latch; readers run concurrently with each other under a
+// shared latch. Committed writes are made durable through the WAL
+// group-commit sequencer when StoreOptions::wal_sync == kGroupCommit.
 //
-// Note the honest division of labor: SharedStore gives *safety*;
-// the range-granularity LockManager models the paper's future-work
-// *concurrency protocol* and is exercised/benchmarked separately
-// (bench_concurrency) — integrating range locks beneath a truly
-// multi-threaded engine core would additionally require latching every
-// shared structure, which is beyond the paper's scope.
+// Why concurrent readers are sound even though reads MUTATE (the lazy
+// store memoizes every hard lookup — laziness is the paper's point):
+//   * Partial Index: sharded; every probe/memoization happens under the
+//     owning shard's mutex, and Lookup copies the entry out before the
+//     shard lock drops (see partial_index.h).
+//   * Buffer pool: the page table is under a shared_mutex (shared for
+//     hits, exclusive for misses/evictions); pins and recency are
+//     atomics, so a hit never writes a shared structure (buffer_pool.h).
+//   * Stats everywhere on the read path are RelaxedCounters.
+// Memory ordering between a writer and later readers comes from this
+// latch itself: the writer's unlock of the exclusive latch
+// happens-before every subsequent shared acquisition, so readers see
+// all of its page/index/meta writes. Readers never write anything a
+// concurrent reader reads un-atomically, so reader/reader pairs need no
+// further ordering. The one mode that still takes the exclusive latch
+// for reads is kFullIndex (the paper's eager strawman — not the
+// concurrency target here).
 //
-// Caveat for readers: Store::Read(id) mutates the Partial Index
-// (memoization) and buffer-pool recency — both unsynchronized — so in
-// kRangeWithPartial / kFullIndex modes *all* operations take the
-// exclusive latch; genuinely concurrent readers are only possible in
-// plain kRangeIndex mode with memoization off. SharedStore handles this
-// automatically.
+// Group commit: mutators append their WAL record under the exclusive
+// latch WITHOUT syncing, capture the record's LSN, release the latch,
+// and then block in GroupCommit::WaitDurable. Overlapping committers
+// therefore share one fdatasync (see wal/group_commit.h); the wait
+// happening outside the latch is what lets their appends batch at all.
+//
+// The range-granularity LockManager still models the paper's
+// future-work *concurrency protocol* and is exercised separately
+// (bench_concurrency); SharedStore provides the engine's real safety.
 
 #ifndef LAXML_CONCURRENCY_SHARED_STORE_H_
 #define LAXML_CONCURRENCY_SHARED_STORE_H_
@@ -23,69 +37,162 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <utility>
 
+#include "common/relaxed_counter.h"
+#include "obs/metrics.h"
 #include "store/store.h"
+#include "wal/group_commit.h"
 
 namespace laxml {
+
+/// Latch traffic counters (laxml_top's shared/exclusive ratio).
+struct SharedStoreStats {
+  RelaxedCounter shared_acquisitions;
+  RelaxedCounter exclusive_acquisitions;
+};
 
 /// Thread-safe wrapper owning a Store.
 class SharedStore {
  public:
   explicit SharedStore(std::unique_ptr<Store> store)
-      : store_(std::move(store)) {}
+      : store_(std::move(store)) {
+    if (store_->wal() != nullptr &&
+        store_->options().wal_sync == WalSyncMode::kGroupCommit) {
+      group_commit_ = std::make_unique<GroupCommit>(store_->wal());
+    }
+    concurrent_reads_ =
+        store_->options().index_mode != IndexMode::kFullIndex;
+  }
 
-  /// @name Table-1 interface, serialized.
+ private:
+  // The auto-returning helpers must be defined before the inline public
+  // methods that call them (return-type deduction needs the body first).
+
+  /// Exclusive-latch op + group-commit wait on success. The LSN is
+  /// captured before the latch drops (it identifies OUR append); the
+  /// durability wait runs after, so overlapping committers batch.
+  template <typename Fn>
+  auto Mutate(Fn fn) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    CountExclusive();
+    auto result = fn(*store_);
+    const uint64_t lsn = CommitLsnLocked();
+    lock.unlock();
+    if (lsn != 0 && result.ok()) {
+      Status st = group_commit_->WaitDurable(lsn);
+      if (!st.ok()) return decltype(result)(st);
+    }
+    return result;
+  }
+
+  template <typename Fn>
+  auto ReadOp(Fn fn) {
+    if (concurrent_reads_) {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      ++stats_.shared_acquisitions;
+      LAXML_COUNTER_INC("laxml_latch_shared_total");
+      return fn(*store_);
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    CountExclusive();
+    return fn(*store_);
+  }
+
+  void CountExclusive() {
+    ++stats_.exclusive_acquisitions;
+    LAXML_COUNTER_INC("laxml_latch_exclusive_total");
+  }
+
+  /// LSN this committer must wait durable on; 0 when group commit is
+  /// off. Must be called while still holding the exclusive latch.
+  uint64_t CommitLsnLocked() const {
+    return group_commit_ != nullptr ? store_->wal()->appended_lsn() : 0;
+  }
+
+ public:
+  /// @name Table-1 mutators: exclusive latch + group-commit durability.
   /// @{
   Result<NodeId> InsertBefore(NodeId id, const TokenSequence& data) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->InsertBefore(id, data);
+    return Mutate([&](Store& s) { return s.InsertBefore(id, data); });
   }
   Result<NodeId> InsertAfter(NodeId id, const TokenSequence& data) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->InsertAfter(id, data);
+    return Mutate([&](Store& s) { return s.InsertAfter(id, data); });
   }
   Result<NodeId> InsertIntoFirst(NodeId id, const TokenSequence& data) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->InsertIntoFirst(id, data);
+    return Mutate([&](Store& s) { return s.InsertIntoFirst(id, data); });
   }
   Result<NodeId> InsertIntoLast(NodeId id, const TokenSequence& data) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->InsertIntoLast(id, data);
+    return Mutate([&](Store& s) { return s.InsertIntoLast(id, data); });
   }
   Result<NodeId> InsertTopLevel(const TokenSequence& data) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->InsertTopLevel(data);
+    return Mutate([&](Store& s) { return s.InsertTopLevel(data); });
   }
   Status DeleteNode(NodeId id) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->DeleteNode(id);
+    return Mutate([&](Store& s) { return s.DeleteNode(id); });
   }
   Result<NodeId> ReplaceNode(NodeId id, const TokenSequence& data) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->ReplaceNode(id, data);
+    return Mutate([&](Store& s) { return s.ReplaceNode(id, data); });
   }
   Result<NodeId> ReplaceContent(NodeId id, const TokenSequence& data) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->ReplaceContent(id, data);
+    return Mutate([&](Store& s) { return s.ReplaceContent(id, data); });
   }
+  /// @}
+
+  /// @name Readers: shared latch (except kFullIndex mode — see header).
+  /// @{
   Result<TokenSequence> Read() {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->Read();
+    return ReadOp([](Store& s) { return s.Read(); });
   }
   Result<TokenSequence> Read(NodeId id) {
-    // Read(id) memoizes into the partial index and touches buffer-pool
-    // recency: exclusive unless nothing mutable is involved.
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    return store_->Read(id);
+    return ReadOp([&](Store& s) { return s.Read(id); });
+  }
+  Result<std::string> SerializeToXml(const SerializerOptions& options = {}) {
+    return ReadOp([&](Store& s) { return s.SerializeToXml(options); });
+  }
+  bool Exists(NodeId id) {
+    return ReadOp([&](Store& s) { return s.Exists(id); });
+  }
+  Result<Token> Describe(NodeId id) {
+    return ReadOp([&](Store& s) { return s.Describe(id); });
   }
   /// @}
 
   /// Runs `fn(Store&)` under the exclusive latch (multi-op atomicity).
+  /// Any WAL records `fn` appends are made durable through the group
+  /// commit before returning.
   template <typename Fn>
   auto WithExclusive(Fn fn) {
     std::unique_lock<std::shared_mutex> lock(mutex_);
-    return fn(*store_);
+    CountExclusive();
+    auto result = fn(*store_);
+    const uint64_t lsn = CommitLsnLocked();
+    lock.unlock();
+    if (lsn != 0) {
+      // Best-effort: the batch's fsync outcome cannot be folded into
+      // fn's arbitrary return type; WaitDurable latches the error for
+      // the next mutator to report.
+      (void)group_commit_->WaitDurable(lsn);
+    }
+    return result;
   }
+
+  /// Runs `fn(Store&)` under the SHARED latch. `fn` must only perform
+  /// read operations (Read / Serialize / queries / stats) — mutating
+  /// the store here is a data race. Falls back to the exclusive latch
+  /// in kFullIndex mode, like every reader.
+  template <typename Fn>
+  auto WithShared(Fn fn) {
+    return ReadOp(std::move(fn));
+  }
+
+  /// True when readers take the shared latch in this configuration.
+  bool concurrent_reads() const { return concurrent_reads_; }
+
+  const SharedStoreStats& stats() const { return stats_; }
+
+  /// The commit sequencer (nullptr unless wal_sync == kGroupCommit).
+  GroupCommit* group_commit() { return group_commit_.get(); }
 
   /// Access to the underlying store for single-threaded phases (setup,
   /// verification). Caller must ensure no other thread is active.
@@ -94,6 +201,9 @@ class SharedStore {
  private:
   std::shared_mutex mutex_;
   std::unique_ptr<Store> store_;
+  std::unique_ptr<GroupCommit> group_commit_;
+  bool concurrent_reads_ = false;
+  SharedStoreStats stats_;
 };
 
 }  // namespace laxml

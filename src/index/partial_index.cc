@@ -4,59 +4,67 @@
 
 namespace laxml {
 
-void PartialIndex::Touch(Node& node, NodeId id) {
-  lru_.erase(node.lru_pos);
-  node.lru_pos = lru_.insert(lru_.end(), id);
+PartialIndex::PartialIndex(size_t capacity) : capacity_(capacity) {
+  num_shards_ = capacity_ >= kShardThreshold ? kNumShards : 1;
+  shard_mask_ = num_shards_ - 1;
+  shard_capacity_ = num_shards_ > 1 ? capacity_ / num_shards_ : capacity_;
+  if (capacity_ > 0 && shard_capacity_ == 0) shard_capacity_ = 1;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
 }
 
-const PartialEntry* PartialIndex::Lookup(NodeId id) {
-  if (!enabled()) return nullptr;
+void PartialIndex::TouchLocked(Shard& shard, Node& node, NodeId id) {
+  shard.lru.erase(node.lru_pos);
+  node.lru_pos = shard.lru.insert(shard.lru.end(), id);
+}
+
+bool PartialIndex::Lookup(NodeId id, PartialEntry* out) {
+  if (!enabled()) return false;
   ++stats_.lookups;
   LAXML_COUNTER_INC("laxml_partial_lookups_total");
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return nullptr;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) return false;
   ++stats_.hits;
   LAXML_COUNTER_INC("laxml_partial_hits_total");
-  Touch(it->second, id);
-  return &it->second.entry;
+  TouchLocked(shard, it->second, id);
+  *out = it->second.entry;
+  return true;
 }
 
-PartialEntry* PartialIndex::GetOrCreate(NodeId id) {
-  auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    Touch(it->second, id);
+PartialEntry* PartialIndex::GetOrCreateLocked(Shard& shard, NodeId id) {
+  auto it = shard.entries.find(id);
+  if (it != shard.entries.end()) {
+    TouchLocked(shard, it->second, id);
     return &it->second.entry;
   }
-  EvictIfNeeded();
-  Node& node = entries_[id];
-  node.lru_pos = lru_.insert(lru_.end(), id);
+  EvictIfNeededLocked(shard);
+  Node& node = shard.entries[id];
+  node.lru_pos = shard.lru.insert(shard.lru.end(), id);
   return &node.entry;
 }
 
-void PartialIndex::EvictIfNeeded() {
-  while (entries_.size() >= capacity_ && !lru_.empty()) {
-    NodeId victim = lru_.front();
-    auto it = entries_.find(victim);
-    if (it != entries_.end()) {
-      Unregister(victim, it->second.entry);
-      entries_.erase(it);
+void PartialIndex::EvictIfNeededLocked(Shard& shard) {
+  while (shard.entries.size() >= shard_capacity_ && !shard.lru.empty()) {
+    NodeId victim = shard.lru.front();
+    auto it = shard.entries.find(victim);
+    if (it != shard.entries.end()) {
+      UnregisterLocked(shard, victim, it->second.entry);
+      shard.entries.erase(it);
     }
-    lru_.pop_front();
+    shard.lru.pop_front();
     ++stats_.evictions;
     LAXML_COUNTER_INC("laxml_partial_evictions_total");
   }
 }
 
-void PartialIndex::RegisterRange(RangeId range, NodeId id) {
-  by_range_[range].insert(id);
-}
-
-void PartialIndex::Unregister(NodeId id, const PartialEntry& entry) {
-  auto drop = [this, id](RangeId range) {
-    auto it = by_range_.find(range);
-    if (it != by_range_.end()) {
+void PartialIndex::UnregisterLocked(Shard& shard, NodeId id,
+                                    const PartialEntry& entry) {
+  auto drop = [&shard, id](RangeId range) {
+    auto it = shard.by_range.find(range);
+    if (it != shard.by_range.end()) {
       it->second.erase(id);
-      if (it->second.empty()) by_range_.erase(it);
+      if (it->second.empty()) shard.by_range.erase(it);
     }
   };
   if (entry.has_begin) drop(entry.begin_range);
@@ -69,15 +77,17 @@ void PartialIndex::Unregister(NodeId id, const PartialEntry& entry) {
 void PartialIndex::RecordBegin(NodeId id, RangeId range,
                                uint32_t byte_offset, uint32_t token_index) {
   if (!enabled()) return;
-  PartialEntry* e = GetOrCreate(id);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  PartialEntry* e = GetOrCreateLocked(shard, id);
   if (e->has_begin && e->begin_range != range) {
     // Re-registration under a new range: clean the old reverse entry
     // unless the end half still uses it.
     if (!e->has_end || e->end_range != e->begin_range) {
-      auto it = by_range_.find(e->begin_range);
-      if (it != by_range_.end()) {
+      auto it = shard.by_range.find(e->begin_range);
+      if (it != shard.by_range.end()) {
         it->second.erase(id);
-        if (it->second.empty()) by_range_.erase(it);
+        if (it->second.empty()) shard.by_range.erase(it);
       }
     }
   }
@@ -85,7 +95,7 @@ void PartialIndex::RecordBegin(NodeId id, RangeId range,
   e->begin_range = range;
   e->begin_offset = byte_offset;
   e->begin_token_index = token_index;
-  RegisterRange(range, id);
+  shard.by_range[range].insert(id);
   ++stats_.begin_records;
   LAXML_COUNTER_INC("laxml_partial_memoizations_total");
 }
@@ -94,13 +104,15 @@ void PartialIndex::RecordEnd(NodeId id, RangeId range, uint32_t byte_offset,
                              uint32_t token_index,
                              uint32_t begins_before) {
   if (!enabled()) return;
-  PartialEntry* e = GetOrCreate(id);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  PartialEntry* e = GetOrCreateLocked(shard, id);
   if (e->has_end && e->end_range != range) {
     if (!e->has_begin || e->begin_range != e->end_range) {
-      auto it = by_range_.find(e->end_range);
-      if (it != by_range_.end()) {
+      auto it = shard.by_range.find(e->end_range);
+      if (it != shard.by_range.end()) {
         it->second.erase(id);
-        if (it->second.empty()) by_range_.erase(it);
+        if (it->second.empty()) shard.by_range.erase(it);
       }
     }
   }
@@ -109,61 +121,90 @@ void PartialIndex::RecordEnd(NodeId id, RangeId range, uint32_t byte_offset,
   e->end_offset = byte_offset;
   e->end_token_index = token_index;
   e->end_begins_before = begins_before;
-  RegisterRange(range, id);
+  shard.by_range[range].insert(id);
   ++stats_.end_records;
   LAXML_COUNTER_INC("laxml_partial_memoizations_total");
 }
 
 void PartialIndex::InvalidateRange(RangeId range) {
-  auto it = by_range_.find(range);
-  if (it == by_range_.end()) return;
-  // An entry may keep its other half if that half lives in a different
-  // range; drop the whole entry only when nothing valid remains.
-  auto ids = std::move(it->second);
-  by_range_.erase(it);
-  for (NodeId id : ids) {
-    auto eit = entries_.find(id);
-    if (eit == entries_.end()) continue;
-    PartialEntry& e = eit->second.entry;
-    if (e.has_begin && e.begin_range == range) e.has_begin = false;
-    if (e.has_end && e.end_range == range) e.has_end = false;
-    ++stats_.invalidations;
-    LAXML_COUNTER_INC("laxml_partial_invalidations_total");
-    if (!e.has_begin && !e.has_end) {
-      lru_.erase(eit->second.lru_pos);
-      entries_.erase(eit);
-    } else {
-      // Keep the reverse registration for the surviving half.
-      RangeId keep = e.has_begin ? e.begin_range : e.end_range;
-      by_range_[keep].insert(id);
+  // A range's memoized nodes can hash to any shard; visit them all.
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.by_range.find(range);
+    if (it == shard.by_range.end()) continue;
+    // An entry may keep its other half if that half lives in a
+    // different range; drop the whole entry only when nothing valid
+    // remains.
+    auto ids = std::move(it->second);
+    shard.by_range.erase(it);
+    for (NodeId id : ids) {
+      auto eit = shard.entries.find(id);
+      if (eit == shard.entries.end()) continue;
+      PartialEntry& e = eit->second.entry;
+      if (e.has_begin && e.begin_range == range) e.has_begin = false;
+      if (e.has_end && e.end_range == range) e.has_end = false;
+      ++stats_.invalidations;
+      LAXML_COUNTER_INC("laxml_partial_invalidations_total");
+      if (!e.has_begin && !e.has_end) {
+        shard.lru.erase(eit->second.lru_pos);
+        shard.entries.erase(eit);
+      } else {
+        // Keep the reverse registration for the surviving half.
+        RangeId keep = e.has_begin ? e.begin_range : e.end_range;
+        shard.by_range[keep].insert(id);
+      }
     }
   }
 }
 
 void PartialIndex::Invalidate(NodeId id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return;
-  Unregister(id, it->second.entry);
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) return;
+  UnregisterLocked(shard, id, it->second.entry);
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
   ++stats_.invalidations;
   LAXML_COUNTER_INC("laxml_partial_invalidations_total");
 }
 
 void PartialIndex::Clear() {
-  entries_.clear();
-  lru_.clear();
-  by_range_.clear();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.entries.clear();
+    shard.lru.clear();
+    shard.by_range.clear();
+  }
+}
+
+size_t PartialIndex::size() const {
+  size_t total = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lk(shards_[s].mu);
+    total += shards_[s].entries.size();
+  }
+  return total;
+}
+
+void PartialIndex::ResetStats() {
+  stats_.lookups = 0;
+  stats_.hits = 0;
+  stats_.begin_records = 0;
+  stats_.end_records = 0;
+  stats_.evictions = 0;
+  stats_.invalidations = 0;
 }
 
 std::string PartialIndex::ToTableString() const {
   std::string out = "NodeID  BeginToken(Range)  EndToken(Range)\n";
-  for (const auto& [id, node] : entries_) {
-    const PartialEntry& e = node.entry;
+  ForEachEntry([&out](NodeId id, const PartialEntry& e) {
     out += std::to_string(id) + "  " +
            (e.has_begin ? std::to_string(e.begin_range) : "-") + "  " +
            (e.has_end ? std::to_string(e.end_range) : "-") + "\n";
-  }
+  });
   return out;
 }
 

@@ -10,29 +10,45 @@
 // Memory-resident (as in the paper's prototype) with a bounded capacity
 // and LRU eviction. Entries tied to a range are invalidated when that
 // range splits, shrinks or dies.
+//
+// Thread safety: the table is striped into shards (node id -> shard),
+// each with its own mutex, map, LRU list and range reverse-map, so
+// concurrent READERS memoizing different nodes contend only when their
+// ids collide on a shard — this is what lets SharedStore run lookups
+// under a shared latch even though every lookup may mutate the memo.
+// Lookup copies the entry out under the shard lock; pointers into the
+// table are never exposed (another shard's eviction could free them).
+// Small capacities (< kShardThreshold) use a single shard so the exact
+// global-LRU eviction order the worked-example tests assert on is
+// preserved.
 
 #ifndef LAXML_INDEX_PARTIAL_INDEX_H_
 #define LAXML_INDEX_PARTIAL_INDEX_H_
 
 #include <cstddef>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/relaxed_counter.h"
 #include "index/range_index.h"
 #include "xml/token.h"
 
 namespace laxml {
 
-/// Counters for benches and tests.
+/// Counters for benches and tests. RelaxedCounters: bumped from
+/// concurrent reader threads (each shard's structural state is under its
+/// mutex; the stats are the only cross-shard shared writes).
 struct PartialIndexStats {
-  uint64_t lookups = 0;
-  uint64_t hits = 0;          ///< Lookup found a usable entry.
-  uint64_t begin_records = 0;
-  uint64_t end_records = 0;
-  uint64_t evictions = 0;
-  uint64_t invalidations = 0;  ///< Entries dropped by range mutations.
+  RelaxedCounter lookups;
+  RelaxedCounter hits;          ///< Lookup found a usable entry.
+  RelaxedCounter begin_records;
+  RelaxedCounter end_records;
+  RelaxedCounter evictions;
+  RelaxedCounter invalidations;  ///< Entries dropped by range mutations.
 };
 
 /// One memoized node: where its begin token and (when known) its end
@@ -53,16 +69,26 @@ struct PartialEntry {
   uint32_t end_begins_before = 0;
 };
 
-/// Bounded, lazily-populated NodeId -> PartialEntry map.
+/// Bounded, lazily-populated, sharded NodeId -> PartialEntry map.
 class PartialIndex {
  public:
+  /// Capacities at or above this are striped across kNumShards shards;
+  /// below it a single shard preserves exact global LRU order.
+  static constexpr size_t kShardThreshold = 4096;
+  static constexpr size_t kNumShards = 16;  // power of two
+
   /// `capacity` = maximum number of node entries; 0 disables the index
   /// entirely (every Lookup misses, every Record is a no-op), which is
   /// how the plain range-index configurations of Table 5 run.
-  explicit PartialIndex(size_t capacity) : capacity_(capacity) {}
+  explicit PartialIndex(size_t capacity);
 
-  /// Returns the entry for `id`, or nullptr on miss. Bumps LRU recency.
-  const PartialEntry* Lookup(NodeId id);
+  PartialIndex(const PartialIndex&) = delete;
+  PartialIndex& operator=(const PartialIndex&) = delete;
+
+  /// Copies the entry for `id` into *out and returns true on hit; false
+  /// on miss. Bumps LRU recency. Copy-out (not a pointer) so the result
+  /// stays valid after the shard lock drops, whatever other threads do.
+  bool Lookup(NodeId id, PartialEntry* out);
 
   /// Memoizes the begin-token location of `id`.
   void RecordBegin(NodeId id, RangeId range, uint32_t byte_offset,
@@ -81,21 +107,26 @@ class PartialIndex {
 
   void Clear();
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
   size_t capacity() const { return capacity_; }
   bool enabled() const { return capacity_ > 0; }
+  size_t shard_count() const { return num_shards_; }
   const PartialIndexStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PartialIndexStats{}; }
+  void ResetStats();
 
   /// Debug rendering in the shape of the paper's Table 4.
   std::string ToTableString() const;
 
   /// Const iteration over every memoized entry (integrity auditor).
   /// Unlike Lookup this does not bump LRU recency — auditing must not
-  /// perturb the eviction order it is inspecting.
+  /// perturb the eviction order it is inspecting. Each shard is locked
+  /// while its entries are visited; `fn` must not reenter the index.
   template <typename Fn>
   void ForEachEntry(Fn fn) const {
-    for (const auto& [id, node] : entries_) fn(id, node.entry);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::lock_guard<std::mutex> lk(shards_[s].mu);
+      for (const auto& [id, node] : shards_[s].entries) fn(id, node.entry);
+    }
   }
 
  private:
@@ -104,18 +135,31 @@ class PartialIndex {
     std::list<NodeId>::iterator lru_pos;
   };
 
-  void Touch(Node& node, NodeId id);
-  PartialEntry* GetOrCreate(NodeId id);
-  void Unregister(NodeId id, const PartialEntry& entry);
-  void RegisterRange(RangeId range, NodeId id);
-  void EvictIfNeeded();
+  /// One lock stripe: map + LRU + reverse map, all guarded by `mu`.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<NodeId, Node> entries;
+    std::list<NodeId> lru;  // front = least recently used
+    // Reverse map for invalidation: range -> node ids with entries here.
+    std::unordered_map<RangeId, std::unordered_set<NodeId>> by_range;
+  };
+
+  Shard& ShardFor(NodeId id) const {
+    return shards_[static_cast<size_t>(id) & shard_mask_];
+  }
+
+  // Helpers named *Locked require the shard's mutex to be held.
+  void TouchLocked(Shard& shard, Node& node, NodeId id);
+  PartialEntry* GetOrCreateLocked(Shard& shard, NodeId id);
+  void UnregisterLocked(Shard& shard, NodeId id, const PartialEntry& entry);
+  void EvictIfNeededLocked(Shard& shard);
 
   size_t capacity_;
-  std::unordered_map<NodeId, Node> entries_;
-  std::list<NodeId> lru_;  // front = least recently used
-  // Reverse map for invalidation: range -> node ids with entries there.
-  std::unordered_map<RangeId, std::unordered_set<NodeId>> by_range_;
-  PartialIndexStats stats_;
+  size_t num_shards_ = 1;
+  size_t shard_mask_ = 0;
+  size_t shard_capacity_;  ///< capacity_ split evenly across shards
+  std::unique_ptr<Shard[]> shards_;
+  mutable PartialIndexStats stats_;
 };
 
 }  // namespace laxml

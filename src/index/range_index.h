@@ -22,6 +22,7 @@
 #include <map>
 #include <string>
 
+#include "common/relaxed_counter.h"
 #include "common/status.h"
 #include "xml/token.h"
 
@@ -32,11 +33,13 @@ using RangeId = uint64_t;
 inline constexpr RangeId kInvalidRangeId = 0;
 
 /// Counters for benches and tests.
+/// RelaxedCounters: const Lookup bumps lookups/hits and runs from
+/// concurrent reader threads under SharedStore's shared latch.
 struct RangeIndexStats {
-  uint64_t lookups = 0;
-  uint64_t hits = 0;
-  uint64_t inserts = 0;
-  uint64_t erases = 0;
+  RelaxedCounter lookups;
+  RelaxedCounter hits;
+  RelaxedCounter inserts;
+  RelaxedCounter erases;
 };
 
 /// Interval map NodeId -> RangeId.

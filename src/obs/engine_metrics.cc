@@ -46,10 +46,10 @@ void CollectStoreMetrics(Store& store) {
   set("laxml_pool_pinned_frames", pool->pinned_frame_count());
 
   // The pool's fetch path is the hottest loop in the engine (one call
-  // per page access), so it counts into its own plain-field struct and
-  // we mirror here at scrape time instead of paying an atomic RMW per
-  // hit. Monotone values in gauges: consumers delta them exactly as
-  // they would a counter.
+  // per page access), so it counts into its own relaxed-atomic struct
+  // and we mirror here at scrape time instead of paying a registry
+  // lookup per hit. Monotone values in gauges: consumers delta them
+  // exactly as they would a counter.
   const BufferPoolStats& pool_stats = pool->stats();
   set("laxml_bufferpool_hits_total", pool_stats.hits);
   set("laxml_bufferpool_misses_total", pool_stats.misses);

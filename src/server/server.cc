@@ -380,10 +380,10 @@ net::Response Server::Execute(const net::Request& req) {
       break;
     }
     case OpCode::kXPath: {
-      // The evaluator snapshots the store, so it runs (and must run)
-      // under the exclusive latch like every other mutating-or-scanning
-      // path; a per-connection snapshot cache is a future optimization.
-      auto r = store_.WithExclusive(
+      // The evaluator only reads (its lookups memoize, but the partial
+      // index and buffer pool are reader-safe — see shared_store.h), so
+      // concurrent queries share the latch with each other.
+      auto r = store_.WithShared(
           [&req](Store& s) -> Result<std::vector<NodeId>> {
             XPathEvaluator eval(&s);
             return eval.Evaluate(req.expr);
@@ -397,7 +397,7 @@ net::Response Server::Execute(const net::Request& req) {
     }
     case OpCode::kGetStats:
       resp.text = stats_.Snapshot().ToString() +
-                  store_.WithExclusive(
+                  store_.WithShared(
                       [](Store& s) { return s.stats().ToString(); }) +
                   "\n";
       break;
@@ -408,7 +408,10 @@ net::Response Server::Execute(const net::Request& req) {
     case OpCode::kGetMetrics: {
       // Mirror the store's point-in-time levels into gauges, then
       // render the registry and the server's own op table together.
-      store_.WithExclusive([](Store& s) {
+      // Every level the collector reads is an atomic counter or a
+      // lock-guarded size, so the shared latch suffices; the mirror is
+      // a near-consistent cut (individual counters may be mid-batch).
+      store_.WithShared([](Store& s) {
         obs::CollectStoreMetrics(s);
         return Status::OK();
       });

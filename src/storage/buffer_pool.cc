@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <mutex>
+
 #include "common/check.h"
 #include "common/logging.h"
 
@@ -56,20 +58,21 @@ PageView PageHandle::view() {
 
 void PageHandle::MarkDirty() {
   LAXML_DCHECK(valid());
-  pool_->frames_[frame_].dirty = true;
+  pool_->frames_[frame_].dirty.store(true, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
 // BufferPool
 
 BufferPool::BufferPool(PageFile* file, size_t frame_count)
-    : file_(file), page_size_(file->page_size()) {
+    : file_(file),
+      page_size_(file->page_size()),
+      frame_count_(frame_count) {
   LAXML_CHECK(frame_count >= 4) << "buffer pool needs at least a few frames";
-  frames_.resize(frame_count);
+  frames_ = std::make_unique<Frame[]>(frame_count);
   free_frames_.reserve(frame_count);
   for (size_t i = 0; i < frame_count; ++i) {
     frames_[i].data = std::make_unique<uint8_t[]>(page_size_);
-    frames_[i].lru_pos = lru_.end();
     free_frames_.push_back(frame_count - 1 - i);
   }
 }
@@ -83,80 +86,93 @@ BufferPool::~BufferPool() {
   }
 }
 
-void BufferPool::Pin(size_t frame) {
-  Frame& f = frames_[frame];
-  if (f.in_lru) {
-    lru_.erase(f.lru_pos);
-    f.in_lru = false;
-  }
-  ++f.pin_count;
+void BufferPool::PinLocked(Frame& f) {
+  f.pin_count.fetch_add(1, std::memory_order_acq_rel);
+  f.ref.store(true, std::memory_order_relaxed);
 }
 
 void BufferPool::Unpin(size_t frame) {
   Frame& f = frames_[frame];
-  LAXML_CHECK(f.pin_count > 0) << "unpin of frame " << frame
-                               << " with no outstanding pins";
-  if (--f.pin_count == 0) {
-    f.lru_pos = lru_.insert(lru_.end(), frame);
-    f.in_lru = true;
-  }
+  // Recency before the count drop: an evictor that sees pin_count == 0
+  // also sees the ref bit and gives the frame a second chance.
+  f.ref.store(true, std::memory_order_relaxed);
+  uint32_t prev = f.pin_count.fetch_sub(1, std::memory_order_acq_rel);
+  LAXML_CHECK(prev > 0) << "unpin of frame " << frame
+                        << " with no outstanding pins";
 }
 
 Status BufferPool::WriteBack(size_t frame) {
   Frame& f = frames_[frame];
-  if (!f.dirty) return Status::OK();
+  if (!f.dirty.load(std::memory_order_relaxed)) return Status::OK();
   PageView view(f.data.get(), page_size_);
   view.SealChecksum();
   LAXML_RETURN_IF_ERROR(file_->WritePage(f.page_id, f.data.get()));
   ++stats_.page_writes;
-  f.dirty = false;
+  f.dirty.store(false, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<size_t> BufferPool::GrabFrame() {
+Result<size_t> BufferPool::GrabFrameLocked() {
   if (!free_frames_.empty()) {
     size_t frame = free_frames_.back();
     free_frames_.pop_back();
     return frame;
   }
-  if (lru_.empty()) {
+  // Clock sweep. Two passes over the frames suffice: the first pass
+  // clears every second-chance bit it crosses, so the second finds a
+  // victim unless every frame is pinned (or dirty under no-steal).
+  bool saw_unpinned = false;
+  for (size_t step = 0; step < 2 * frame_count_; ++step) {
+    const size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frame_count_;
+    Frame& f = frames_[idx];
+    if (f.page_id == kInvalidPageId) continue;  // freed elsewhere
+    if (f.pin_count.load(std::memory_order_acquire) > 0) continue;
+    saw_unpinned = true;
+    if (f.ref.exchange(false, std::memory_order_relaxed)) continue;
+    if (no_steal_ && f.dirty.load(std::memory_order_relaxed)) continue;
+    // Victim: unpinned, not recently used, evictable.
+    LAXML_RETURN_IF_ERROR(WriteBack(idx));
+    page_table_.erase(f.page_id);
+    f.page_id = kInvalidPageId;
+    ++stats_.evictions;
+    return idx;
+  }
+  if (!saw_unpinned) {
     return Status::ResourceExhausted(
         "buffer pool exhausted: every frame is pinned");
   }
-  auto victim_it = lru_.begin();
-  if (no_steal_) {
-    while (victim_it != lru_.end() && frames_[*victim_it].dirty) {
-      ++victim_it;
-    }
-    if (victim_it == lru_.end()) {
-      return Status::ResourceExhausted(
-          "buffer pool exhausted: no clean evictable frame (no-steal); "
-          "checkpoint or enlarge the pool");
-    }
-  }
-  size_t victim = *victim_it;
-  lru_.erase(victim_it);
-  Frame& f = frames_[victim];
-  f.in_lru = false;
-  LAXML_RETURN_IF_ERROR(WriteBack(victim));
-  page_table_.erase(f.page_id);
-  f.page_id = kInvalidPageId;
-  ++stats_.evictions;
-  return victim;
+  return Status::ResourceExhausted(
+      "buffer pool exhausted: no clean evictable frame (no-steal); "
+      "checkpoint or enlarge the pool");
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
   if (id == 0 || id == kInvalidPageId) {
     return Status::InvalidArgument("fetch of invalid page id");
   }
+  {
+    // Hit path: shared latch + atomic pin. Concurrent readers fetching
+    // resident pages proceed in parallel.
+    std::shared_lock<std::shared_mutex> rd(mu_);
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      ++stats_.hits;
+      PinLocked(frames_[it->second]);
+      return PageHandle(this, it->second);
+    }
+  }
+  // Miss: retake exclusively and re-probe — another thread may have
+  // loaded the page between the latches.
+  std::unique_lock<std::shared_mutex> wr(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
-    Pin(it->second);
+    PinLocked(frames_[it->second]);
     return PageHandle(this, it->second);
   }
   ++stats_.misses;
-  LAXML_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  LAXML_ASSIGN_OR_RETURN(size_t frame, GrabFrameLocked());
   Frame& f = frames_[frame];
   Status st = file_->ReadPage(id, f.data.get());
   if (!st.ok()) {
@@ -172,35 +188,36 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
                               std::to_string(id));
   }
   f.page_id = id;
-  f.dirty = false;
-  f.pin_count = 0;
+  f.dirty.store(false, std::memory_order_relaxed);
   page_table_[id] = frame;
-  Pin(frame);
+  PinLocked(f);
   return PageHandle(this, frame);
 }
 
 Result<PageHandle> BufferPool::New(PageType type) {
   LAXML_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
-  LAXML_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  std::unique_lock<std::shared_mutex> wr(mu_);
+  LAXML_ASSIGN_OR_RETURN(size_t frame, GrabFrameLocked());
   Frame& f = frames_[frame];
   PageView view(f.data.get(), page_size_);
   view.Format(id, type);
   f.page_id = id;
-  f.dirty = true;
-  f.pin_count = 0;
+  f.dirty.store(true, std::memory_order_relaxed);
   page_table_[id] = frame;
-  Pin(frame);
+  PinLocked(f);
   return PageHandle(this, frame);
 }
 
 Status BufferPool::FlushPage(PageId id) {
+  std::unique_lock<std::shared_mutex> wr(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   return WriteBack(it->second);
 }
 
 Status BufferPool::FlushAll() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  std::unique_lock<std::shared_mutex> wr(mu_);
+  for (size_t i = 0; i < frame_count_; ++i) {
     if (frames_[i].page_id != kInvalidPageId) {
       LAXML_RETURN_IF_ERROR(WriteBack(i));
     }
@@ -209,87 +226,101 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::Evict(PageId id) {
+  std::unique_lock<std::shared_mutex> wr(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   size_t frame = it->second;
   Frame& f = frames_[frame];
-  if (f.pin_count > 0) {
+  if (f.pin_count.load(std::memory_order_acquire) > 0) {
     return Status::Aborted("evict of pinned page " + std::to_string(id));
   }
   LAXML_RETURN_IF_ERROR(WriteBack(frame));
-  if (f.in_lru) {
-    lru_.erase(f.lru_pos);
-    f.in_lru = false;
-  }
   page_table_.erase(it);
   f.page_id = kInvalidPageId;
+  f.ref.store(false, std::memory_order_relaxed);
   free_frames_.push_back(frame);
   return Status::OK();
 }
 
 Status BufferPool::DiscardPage(PageId id) {
+  std::unique_lock<std::shared_mutex> wr(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   size_t frame = it->second;
   Frame& f = frames_[frame];
-  if (f.pin_count > 0) {
+  if (f.pin_count.load(std::memory_order_acquire) > 0) {
     return Status::Aborted("discard of pinned page " + std::to_string(id));
   }
-  if (f.in_lru) {
-    lru_.erase(f.lru_pos);
-    f.in_lru = false;
-  }
-  f.dirty = false;
+  f.dirty.store(false, std::memory_order_relaxed);
   page_table_.erase(it);
   f.page_id = kInvalidPageId;
+  f.ref.store(false, std::memory_order_relaxed);
   free_frames_.push_back(frame);
   return Status::OK();
 }
 
 void BufferPool::DiscardAll() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    frames_[i].dirty = false;
+  std::unique_lock<std::shared_mutex> wr(mu_);
+  for (size_t i = 0; i < frame_count_; ++i) {
+    frames_[i].dirty.store(false, std::memory_order_relaxed);
     frames_[i].page_id = kInvalidPageId;
-    frames_[i].pin_count = 0;
-    frames_[i].in_lru = false;
+    frames_[i].pin_count.store(0, std::memory_order_relaxed);
+    frames_[i].ref.store(false, std::memory_order_relaxed);
   }
-  lru_.clear();
   page_table_.clear();
   free_frames_.clear();
-  for (size_t i = 0; i < frames_.size(); ++i) free_frames_.push_back(i);
+  for (size_t i = 0; i < frame_count_; ++i) free_frames_.push_back(i);
+  clock_hand_ = 0;
   discarded_ = true;
 }
 
 size_t BufferPool::dirty_count() const {
+  std::shared_lock<std::shared_mutex> rd(mu_);
   size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.dirty) ++n;
+  for (size_t i = 0; i < frame_count_; ++i) {
+    const Frame& f = frames_[i];
+    if (f.page_id != kInvalidPageId &&
+        f.dirty.load(std::memory_order_relaxed)) {
+      ++n;
+    }
   }
   return n;
 }
 
 size_t BufferPool::pinned_frame_count() const {
+  std::shared_lock<std::shared_mutex> rd(mu_);
   size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.pin_count > 0) ++n;
+  for (size_t i = 0; i < frame_count_; ++i) {
+    const Frame& f = frames_[i];
+    if (f.page_id != kInvalidPageId &&
+        f.pin_count.load(std::memory_order_relaxed) > 0) {
+      ++n;
+    }
   }
   return n;
 }
 
+void BufferPool::ResetStats() {
+  stats_.hits = 0;
+  stats_.misses = 0;
+  stats_.evictions = 0;
+  stats_.page_reads = 0;
+  stats_.page_writes = 0;
+  stats_.checksum_failures = 0;
+}
+
 Status BufferPool::Reset() {
   LAXML_RETURN_IF_ERROR(FlushAll());
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  std::unique_lock<std::shared_mutex> wr(mu_);
+  for (size_t i = 0; i < frame_count_; ++i) {
     Frame& f = frames_[i];
     if (f.page_id == kInvalidPageId) continue;
-    if (f.pin_count > 0) {
+    if (f.pin_count.load(std::memory_order_acquire) > 0) {
       return Status::Aborted("reset with pinned pages outstanding");
-    }
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
     }
     page_table_.erase(f.page_id);
     f.page_id = kInvalidPageId;
+    f.ref.store(false, std::memory_order_relaxed);
     free_frames_.push_back(i);
   }
   return Status::OK();

@@ -1,21 +1,32 @@
 // Buffer pool: a fixed set of in-memory frames caching pages, with
-// pin/unpin reference counting, LRU eviction of unpinned frames, dirty
-// tracking and write-back, and checksum verification on fetch.
+// pin/unpin reference counting, second-chance (clock) eviction of
+// unpinned frames, dirty tracking and write-back, and checksum
+// verification on fetch.
 //
-// The pool is deliberately single-threaded (like the rest of the engine
-// core); `laxml::SharedStore` provides thread safety one level up, which
-// matches the paper's placement of concurrency control at the
-// block/range/token granularity rather than inside the page cache.
+// Thread safety: the pool is safe for concurrent readers. The page
+// table is under a shared_mutex — a cache HIT takes it shared and does
+// only atomic work (pin fetch_add + reference-bit store), so concurrent
+// readers fetching resident pages never serialize on the pool. Misses,
+// evictions, flushes and discards take the latch exclusive. Unpin is
+// latch-free (atomic decrement + reference bit). Recency is a clock
+// sweep over per-frame second-chance bits instead of an LRU list,
+// precisely so a hit has no shared structure to splice. Writers are
+// additionally serialized one level up (SharedStore's write latch),
+// which is what makes plain fields like page_id safe to read while a
+// frame is pinned: nobody can evict a pinned frame, and the pin itself
+// was taken under the latch that ordered the frame's last load.
 
 #ifndef LAXML_STORAGE_BUFFER_POOL_H_
 #define LAXML_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/relaxed_counter.h"
 #include "common/status.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
@@ -53,14 +64,15 @@ class PageHandle {
   size_t frame_ = 0;
 };
 
-/// Counters exposed for benches and tests.
+/// Counters exposed for benches and tests. RelaxedCounters: the hit
+/// path bumps them from concurrent reader threads.
 struct BufferPoolStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t page_reads = 0;
-  uint64_t page_writes = 0;
-  uint64_t checksum_failures = 0;
+  RelaxedCounter hits;
+  RelaxedCounter misses;
+  RelaxedCounter evictions;
+  RelaxedCounter page_reads;
+  RelaxedCounter page_writes;
+  RelaxedCounter checksum_failures;
 };
 
 /// The pool itself. Owns `frame_count` buffers of `page_size` bytes.
@@ -73,6 +85,7 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Fetches an existing page, reading it from the file on a miss.
+  /// Concurrent-safe; a hit takes the table latch shared.
   Result<PageHandle> Fetch(PageId id);
 
   /// Allocates a new page in the file, formats it with the given type,
@@ -103,7 +116,7 @@ class BufferPool {
 
   /// No-steal mode: dirty frames are never evicted (required by logical
   /// WAL replay — see wal/recovery.h). When only dirty frames remain,
-  /// GrabFrame fails with ResourceExhausted and the owner must
+  /// frame grabbing fails with ResourceExhausted and the owner must
   /// checkpoint.
   void set_no_steal(bool v) { no_steal_ = v; }
   bool no_steal() const { return no_steal_; }
@@ -116,8 +129,8 @@ class BufferPool {
   size_t pinned_frame_count() const;
 
   const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
-  size_t frame_count() const { return frames_.size(); }
+  void ResetStats();
+  size_t frame_count() const { return frame_count_; }
   uint32_t page_size() const { return page_size_; }
   PageFile* file() { return file_; }
 
@@ -125,28 +138,39 @@ class BufferPool {
   friend class PageHandle;
 
   struct Frame {
+    /// Guarded by mu_ (written only under the exclusive latch); safe to
+    /// read while holding a pin — a pinned frame cannot be retargeted.
     PageId page_id = kInvalidPageId;
-    uint32_t pin_count = 0;
-    bool dirty = false;
+    /// Atomics: pinned/dirtied/referenced from threads that hold mu_
+    /// only shared (hits) or not at all (Unpin, MarkDirty).
+    std::atomic<uint32_t> pin_count{0};
+    std::atomic<bool> dirty{false};
+    /// Second-chance bit: set on every pin/unpin, cleared by the clock
+    /// sweep; a frame survives one sweep pass after its last use.
+    std::atomic<bool> ref{false};
     std::unique_ptr<uint8_t[]> data;
-    // Position in lru_ when unpinned and resident; lru_.end() otherwise.
-    std::list<size_t>::iterator lru_pos;
-    bool in_lru = false;
   };
 
-  void Pin(size_t frame);
+  /// Pin under at-least-shared mu_ (the latch orders the pin against
+  /// any evictor's pin_count check).
+  void PinLocked(Frame& f);
+  /// Latch-free: drops the pin and marks the frame recently used.
   void Unpin(size_t frame);
   Status WriteBack(size_t frame);
-  /// Finds a frame to (re)use: a never-used frame or the LRU unpinned
+  /// Finds a frame to (re)use: a never-used frame or a clock-sweep
   /// victim (flushed if dirty, then detached from the page table).
-  Result<size_t> GrabFrame();
+  /// Requires mu_ held exclusive.
+  Result<size_t> GrabFrameLocked();
 
   PageFile* file_;
   uint32_t page_size_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::list<size_t> lru_;  // front = least recently used
-  std::unordered_map<PageId, size_t> page_table_;
+  size_t frame_count_;
+  std::unique_ptr<Frame[]> frames_;
+  /// Table latch: shared for hits, exclusive for any structural change.
+  mutable std::shared_mutex mu_;
+  std::vector<size_t> free_frames_;          // guarded by mu_ (exclusive)
+  std::unordered_map<PageId, size_t> page_table_;  // guarded by mu_
+  size_t clock_hand_ = 0;                    // guarded by mu_ (exclusive)
   BufferPoolStats stats_;
   bool no_steal_ = false;
   bool discarded_ = false;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "btree/btree.h"
+#include "common/relaxed_counter.h"
 #include "common/status.h"
 #include "storage/pager.h"
 #include "storage/slotted_page.h"
@@ -43,13 +44,15 @@ struct RecordStoreState {
 };
 
 /// Counters for benches and tests.
+/// RelaxedCounters: const Read/ReadSlice bump reads and run from
+/// concurrent reader threads under SharedStore's shared latch.
 struct RecordStoreStats {
-  uint64_t inserts = 0;
-  uint64_t deletes = 0;
-  uint64_t updates = 0;
-  uint64_t reads = 0;
-  uint64_t overflow_records = 0;
-  uint64_t data_pages = 0;  ///< Live heap pages (excludes overflow).
+  RelaxedCounter inserts;
+  RelaxedCounter deletes;
+  RelaxedCounter updates;
+  RelaxedCounter reads;
+  RelaxedCounter overflow_records;
+  RelaxedCounter data_pages;  ///< Live heap pages (excludes overflow).
 };
 
 /// The record store. Single-threaded like the rest of the engine core.

@@ -3,44 +3,12 @@
 #ifndef LAXML_STORE_STATS_H_
 #define LAXML_STORE_STATS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "common/relaxed_counter.h"
+
 namespace laxml {
-
-/// A uint64 counter that is safe to read while another thread bumps it.
-/// All accesses are relaxed: each counter is an independent statistic,
-/// and readers tolerate seeing mid-batch values. This makes concurrent
-/// stats polling through SharedStore well-defined (no data race for
-/// tsan to flag) without putting a barrier in the mutation paths.
-class RelaxedCounter {
- public:
-  RelaxedCounter() = default;
-
-  // Counters live inside stats structs that are never copied, but the
-  // struct must stay aggregate-initializable.
-  RelaxedCounter(uint64_t v) : value_(v) {}  // NOLINT(runtime/explicit)
-
-  RelaxedCounter& operator=(uint64_t v) {
-    value_.store(v, std::memory_order_relaxed);
-    return *this;
-  }
-  RelaxedCounter& operator++() {
-    value_.fetch_add(1, std::memory_order_relaxed);
-    return *this;
-  }
-  RelaxedCounter& operator+=(uint64_t n) {
-    value_.fetch_add(n, std::memory_order_relaxed);
-    return *this;
-  }
-  operator uint64_t() const {  // NOLINT(runtime/explicit)
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<uint64_t> value_{0};
-};
 
 /// Store-level counters. Substrate counters (buffer pool, record store,
 /// range manager, indexes) are exposed by their own structs. Fields are

@@ -32,6 +32,18 @@ const char* IndexModeName(IndexMode mode) {
   return "?";
 }
 
+const char* WalSyncModeName(WalSyncMode mode) {
+  switch (mode) {
+    case WalSyncMode::kNone:
+      return "none";
+    case WalSyncMode::kEveryCommit:
+      return "every-commit";
+    case WalSyncMode::kGroupCommit:
+      return "group-commit";
+  }
+  return "?";
+}
+
 Store::Store(std::unique_ptr<Pager> pager, const StoreOptions& options)
     : pager_(std::move(pager)),
       options_(options),
@@ -122,6 +134,13 @@ Status Store::Bootstrap(bool fresh) {
   }
   // Recovery: replay any journaled operations since the last checkpoint.
   if (wal_ != nullptr) {
+    // A crash mid-append (or mid-group-commit batch) leaves a torn
+    // record at the tail; those bytes were never acknowledged, so drop
+    // them from the file before replaying — audits that run during or
+    // after recovery then see exactly the log that was executed.
+    if (!read_only()) {
+      LAXML_RETURN_IF_ERROR(wal_->TrimTornTail());
+    }
     LAXML_ASSIGN_OR_RETURN(auto records, wal_->ReadAll());
     if (!records.empty()) {
       LAXML_LOG(kInfo) << "replaying " << records.size() << " WAL records";
@@ -292,7 +311,12 @@ Status Store::LogOp(WalOp op, NodeId target, const TokenSequence& data) {
   rec.op = op;
   rec.target = target;
   rec.payload = EncodeTokens(data);
-  return wal_->Append(rec, options_.sync_every_op);
+  // kGroupCommit appends unsynced: the caller (SharedStore) waits on the
+  // group-commit sequencer after releasing the write latch, so one
+  // fdatasync covers every committer appended meanwhile.
+  const bool sync = options_.sync_every_op ||
+                    options_.wal_sync == WalSyncMode::kEveryCommit;
+  return wal_->Append(rec, sync);
 }
 
 // ---------------------------------------------------------------------------
@@ -339,12 +363,12 @@ Result<Store::Located> Store::LocateBegin(NodeId id,
                            FetchTokenAt(tl.range_id, tl.byte_offset));
     return loc;
   }
-  const PartialEntry* entry = partial_.Lookup(id);
-  if (entry != nullptr && entry->has_begin) {
+  PartialEntry memo;
+  if (partial_.Lookup(id, &memo) && memo.has_begin) {
     Located loc;
-    loc.range = entry->begin_range;
-    loc.byte_offset = entry->begin_offset;
-    loc.token_index = entry->begin_token_index;
+    loc.range = memo.begin_range;
+    loc.byte_offset = memo.begin_offset;
+    loc.token_index = memo.begin_token_index;
     if (need_begin_count) {
       LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(loc.range));
       loc.begins_before = static_cast<uint32_t>(id - meta.start_id);
@@ -389,13 +413,13 @@ Result<Store::Located> Store::LocateEnd(NodeId id, const Located& begin) {
   if (!begin.token.OpensScope()) {
     return begin;  // single-token node: extent is the begin token itself
   }
-  const PartialEntry* entry = partial_.Lookup(id);
-  if (entry != nullptr && entry->has_end) {
+  PartialEntry memo;
+  if (partial_.Lookup(id, &memo) && memo.has_end) {
     Located loc;
-    loc.range = entry->end_range;
-    loc.byte_offset = entry->end_offset;
-    loc.token_index = entry->end_token_index;
-    loc.begins_before = entry->end_begins_before;
+    loc.range = memo.end_range;
+    loc.byte_offset = memo.end_offset;
+    loc.token_index = memo.end_token_index;
+    loc.begins_before = memo.end_begins_before;
     LAXML_ASSIGN_OR_RETURN(loc.token,
                            FetchTokenAt(loc.range, loc.byte_offset));
     return loc;
@@ -908,12 +932,12 @@ Result<TokenSequence> Store::Read(NodeId id) {
   // subtree's bytes instead of the rest of the (possibly huge) range.
   uint32_t byte_limit = 0;
   if (begin.token.OpensScope()) {
-    const PartialEntry* memo = partial_.Lookup(id);
-    if (memo != nullptr && memo->has_end &&
-        memo->end_range == begin.range &&
-        memo->end_offset >= begin.byte_offset) {
+    PartialEntry memo;
+    if (partial_.Lookup(id, &memo) && memo.has_end &&
+        memo.end_range == begin.range &&
+        memo.end_offset >= begin.byte_offset) {
       // The end token itself is tiny; 16 bytes of margin covers it.
-      byte_limit = memo->end_offset - begin.byte_offset + 16;
+      byte_limit = memo.end_offset - begin.byte_offset + 16;
     }
   }
   TokenSequence out;

@@ -27,6 +27,24 @@ enum class IndexMode : uint32_t {
 
 const char* IndexModeName(IndexMode mode);
 
+/// When (and by whom) a logged mutation's WAL record is fdatasync'd.
+enum class WalSyncMode : uint32_t {
+  /// Append unsynced; durability comes from checkpoints only (the
+  /// pre-existing enable_wal behaviour: replay covers a crash between
+  /// checkpoints but the tail may lose the last few operations).
+  kNone = 0,
+  /// fdatasync inside every mutating call. Simple, single-threaded
+  /// commit durability — each committer pays a full device sync.
+  kEveryCommit = 1,
+  /// Append unsynced inside the mutating call; the caller makes the
+  /// commit durable afterwards, outside the store's write latch, via
+  /// GroupCommit::WaitDurable (SharedStore does this automatically).
+  /// Concurrent committers share one fdatasync per batch.
+  kGroupCommit = 2,
+};
+
+const char* WalSyncModeName(WalSyncMode mode);
+
 /// Store construction options.
 struct StoreOptions {
   /// Page size / buffer-pool sizing.
@@ -52,6 +70,10 @@ struct StoreOptions {
   /// only): mutations are journaled and replayed after a crash that
   /// interrupts un-checkpointed work.
   bool enable_wal = false;
+
+  /// Commit durability policy for WAL records (enable_wal only).
+  /// sync_every_op (checkpoint-per-op) overrides it when set.
+  WalSyncMode wal_sync = WalSyncMode::kNone;
 
   /// When > 0, the store re-runs the full cross-layer integrity auditor
   /// (Store::CheckIntegrity) after every this-many mutating operations

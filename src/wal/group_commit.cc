@@ -1,0 +1,56 @@
+#include "wal/group_commit.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace laxml {
+
+Status GroupCommit::WaitDurable(uint64_t lsn) {
+  if (lsn == 0) return Status::OK();
+  LAXML_TRACE_SPAN("group_commit_wait");
+  bool led = false;  // whether this committer issued an fsync itself
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (!sticky_error_.ok()) return sticky_error_;
+    if (wal_->durable_lsn() >= lsn) {
+      ++stats_.commits;
+      if (!led) {
+        // Someone else's fsync covered us: a free commit.
+        ++stats_.piggybacked;
+        LAXML_COUNTER_INC("laxml_wal_group_commit_piggybacked_total");
+      }
+      return Status::OK();
+    }
+    if (leader_active_) {
+      // A leader is mid-fsync; queue up behind it. Its sync may not
+      // cover our LSN (it snapshotted before we appended) — re-check
+      // on wake, possibly becoming the next leader.
+      cv_.wait(lk);
+      continue;
+    }
+
+    // Leader: one fdatasync for this record and every follower appended
+    // behind it. The batch size is how far the durable point moves.
+    leader_active_ = true;
+    led = true;
+    const uint64_t durable_before = wal_->durable_lsn();
+    lk.unlock();
+    Status st = wal_->Sync();
+    lk.lock();
+    leader_active_ = false;
+    if (!st.ok()) {
+      sticky_error_ = st;
+      cv_.notify_all();
+      return st;
+    }
+    ++stats_.syncs;
+    const uint64_t batch = wal_->durable_lsn() - durable_before;
+    stats_.records_synced += batch;
+    LAXML_HISTOGRAM_RECORD("laxml_wal_group_commit_batch", batch);
+    cv_.notify_all();
+    // Loop re-checks the durable point; the snapshot inside Sync() ran
+    // after our append, so it covers our LSN and the next pass returns.
+  }
+}
+
+}  // namespace laxml

@@ -41,20 +41,35 @@ Status Wal::Append(const WalRecord& record, bool sync) {
   }
   ++stats_.records_appended;
   stats_.bytes_appended += framed.size();
+  appended_lsn_.fetch_add(1, std::memory_order_acq_rel);
   LAXML_COUNTER_INC("laxml_wal_appends_total");
   LAXML_COUNTER_ADD("laxml_wal_bytes_appended_total", framed.size());
   if (sync) {
-    LAXML_TRACE_SPAN("wal_fsync");
-    const uint64_t start_us = obs::NowMicros();
-    if (::fdatasync(fd_) != 0) {
-      return Status::IOError(std::string("wal fdatasync: ") +
-                             std::strerror(errno));
-    }
-    LAXML_HISTOGRAM_RECORD("laxml_wal_fsync_us",
-                           obs::NowMicros() - start_us);
-    ++stats_.syncs;
-    LAXML_COUNTER_INC("laxml_wal_syncs_total");
+    return this->Sync();
   }
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  // Snapshot before the fdatasync: every record appended before this
+  // point is covered by the sync; records racing in behind the snapshot
+  // simply wait for the next one.
+  const uint64_t target = appended_lsn_.load(std::memory_order_acquire);
+  LAXML_TRACE_SPAN("wal_fsync");
+  const uint64_t start_us = obs::NowMicros();
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(std::string("wal fdatasync: ") +
+                           std::strerror(errno));
+  }
+  LAXML_HISTOGRAM_RECORD("laxml_wal_fsync_us", obs::NowMicros() - start_us);
+  // Monotone advance: a concurrent Sync may already have published a
+  // higher durable point.
+  uint64_t cur = durable_lsn_.load(std::memory_order_acquire);
+  while (cur < target && !durable_lsn_.compare_exchange_weak(
+                             cur, target, std::memory_order_acq_rel)) {
+  }
+  ++stats_.syncs;
+  LAXML_COUNTER_INC("laxml_wal_syncs_total");
   return Status::OK();
 }
 
@@ -83,6 +98,36 @@ Result<std::vector<WalRecord>> Wal::ReadAll() const {
   return records;
 }
 
+Status Wal::TrimTornTail() {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IOError("wal lseek failed");
+  }
+  if (size == 0) return Status::OK();
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
+  if (n != size) {
+    return Status::IOError("wal short read");
+  }
+  const uint8_t* p = buf.data();
+  const uint8_t* limit = p + buf.size();
+  while (p < limit) {
+    const uint8_t* record_start = p;
+    WalRecord rec;
+    if (!DecodeWalRecord(&p, limit, &rec).ok()) {
+      p = record_start;
+      break;
+    }
+  }
+  if (p == limit) return Status::OK();  // chain verifies to the end
+  const off_t valid = static_cast<off_t>(p - buf.data());
+  if (::ftruncate(fd_, valid) != 0) {
+    return Status::IOError(std::string("wal ftruncate: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 Status Wal::Truncate() {
   if (::ftruncate(fd_, 0) != 0) {
     return Status::IOError(std::string("wal ftruncate: ") +
@@ -92,6 +137,13 @@ Status Wal::Truncate() {
     return Status::IOError("wal lseek after truncate failed");
   }
   ++stats_.truncations;
+  // A checkpoint persisted every logged effect through its own page
+  // flush + file sync, so everything appended so far is durable even
+  // though the log bytes are gone. LSNs stay monotone across
+  // truncations so a committer already waiting on a pre-checkpoint LSN
+  // wakes instead of waiting for a sequence that restarted at zero.
+  durable_lsn_.store(appended_lsn_.load(std::memory_order_acquire),
+                     std::memory_order_release);
   LAXML_COUNTER_INC("laxml_wal_truncations_total");
   return Status::OK();
 }

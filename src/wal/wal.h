@@ -2,25 +2,39 @@
 // back at recovery, truncate at checkpoint. See log_format.h for the
 // record format and store.h / DESIGN.md for the recovery protocol and
 // its documented limits (no-steal buffer pool between checkpoints).
+//
+// LSNs: every appended record gets a log sequence number (1, 2, 3, ...,
+// monotone for the life of the handle — Truncate does NOT reset it, it
+// marks everything so far durable, since the checkpoint that truncates
+// persisted those effects itself). appended_lsn is the last record
+// written into the OS file, durable_lsn the last one known stable via
+// fdatasync (or checkpoint). A committer whose record has
+// lsn <= durable_lsn is durable without issuing any I/O of its own —
+// the hook the group-commit sequencer (group_commit.h) builds on.
+// Appends must be externally serialized (the store's write latch);
+// Sync() may be called from any thread.
 
 #ifndef LAXML_WAL_WAL_H_
 #define LAXML_WAL_WAL_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/relaxed_counter.h"
 #include "common/status.h"
 #include "wal/log_format.h"
 
 namespace laxml {
 
-/// Counters for tests.
+/// Counters for tests. RelaxedCounters: Sync() runs from committer
+/// threads (group commit) concurrently with appends and stat readers.
 struct WalStats {
-  uint64_t records_appended = 0;
-  uint64_t bytes_appended = 0;
-  uint64_t truncations = 0;
-  uint64_t syncs = 0;
+  RelaxedCounter records_appended;
+  RelaxedCounter bytes_appended;
+  RelaxedCounter truncations;
+  RelaxedCounter syncs;
 };
 
 /// An append-only operation journal.
@@ -34,11 +48,36 @@ class Wal {
   /// Appends one record; `sync` forces fdatasync (commit durability).
   Status Append(const WalRecord& record, bool sync);
 
+  /// Forces everything appended so far to stable storage and advances
+  /// durable_lsn. One call covers every record appended before it — the
+  /// primitive a group-commit leader uses to make a whole batch durable
+  /// with a single fdatasync.
+  Status Sync();
+
+  /// LSN of the last record appended (0 = none this epoch).
+  uint64_t appended_lsn() const {
+    return appended_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// LSN through which the log is known durable.
+  uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+
   /// Reads every intact record from the start of the log. A torn tail
   /// is silently dropped (those operations never committed).
   Result<std::vector<WalRecord>> ReadAll() const;
 
-  /// Empties the log (checkpoint completed).
+  /// Physically drops a torn tail — bytes after the last record whose
+  /// framing verifies — so the on-disk log is exactly what replay will
+  /// execute. Recovery calls this before replaying: those bytes were
+  /// never acknowledged durable (their commit never returned), and
+  /// trimming them keeps audits of the surviving log clean. No-op when
+  /// the chain verifies to the end.
+  Status TrimTornTail();
+
+  /// Empties the log (checkpoint completed). Advances durable_lsn to
+  /// appended_lsn: the checkpoint persisted every logged effect.
   Status Truncate();
 
   /// Current log size in bytes.
@@ -53,6 +92,11 @@ class Wal {
   int fd_;
   std::string path_;
   WalStats stats_;
+  /// Last record written into the file / last record fdatasync'd. The
+  /// group-commit sequencer reads these from committer threads while
+  /// the appender holds the store latch, hence atomics.
+  std::atomic<uint64_t> appended_lsn_{0};
+  std::atomic<uint64_t> durable_lsn_{0};
 };
 
 }  // namespace laxml

@@ -74,13 +74,12 @@ TEST(WorkedExampleTest, Section45Scenario) {
 
   // Table 4: the partial index memoized node 60's begin (in range 1)
   // and end (in the split tail, range "3").
-  const PartialEntry* memo =
-      store->mutable_partial_index().Lookup(60);
-  ASSERT_NE(memo, nullptr);
-  EXPECT_TRUE(memo->has_begin);
-  EXPECT_EQ(memo->begin_range, range1);
-  EXPECT_TRUE(memo->has_end);
-  EXPECT_EQ(memo->end_range, e100.range_id);
+  PartialEntry memo;
+  ASSERT_TRUE(store->mutable_partial_index().Lookup(60, &memo));
+  EXPECT_TRUE(memo.has_begin);
+  EXPECT_EQ(memo.begin_range, range1);
+  EXPECT_TRUE(memo.has_end);
+  EXPECT_EQ(memo.end_range, e100.range_id);
 
   // Semantics: node 60's subtree now ends with the 40-node child.
   ASSERT_OK_AND_ASSIGN(TokenSequence subtree, store->Read(60));

@@ -45,6 +45,9 @@ void Usage(const char* argv0) {
       "                    this with --port 0)\n"
       "  --threads N       worker threads (default 4)\n"
       "  --wal             enable write-ahead logging (file-backed)\n"
+      "  --sync-commits    fdatasync every commit through the group\n"
+      "                    commit sequencer (implies --wal; concurrent\n"
+      "                    committers share one fsync)\n"
       "  --pool-frames N   buffer pool frames (default 4096)\n"
       "  --slow-op-us N    log any request served in >= N microseconds\n"
       "  --trace-out FILE  write the engine trace (binary; render with\n"
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
   std::string port_file;
   bool in_memory = false;
   bool enable_wal = false;
+  bool sync_commits = false;
   long port = 4891;
   long threads = 4;
   long pool_frames = 4096;
@@ -101,6 +105,9 @@ int main(int argc, char** argv) {
       threads = next_number(arg, 1);
     } else if (std::strcmp(arg, "--wal") == 0) {
       enable_wal = true;
+    } else if (std::strcmp(arg, "--sync-commits") == 0) {
+      sync_commits = true;
+      enable_wal = true;
     } else if (std::strcmp(arg, "--pool-frames") == 0) {
       pool_frames = next_number(arg, 8);
     } else if (std::strcmp(arg, "--slow-op-us") == 0) {
@@ -131,6 +138,14 @@ int main(int argc, char** argv) {
   laxml::StoreOptions store_options;
   store_options.pager.pool_frames = static_cast<size_t>(pool_frames);
   store_options.enable_wal = enable_wal && !in_memory;
+  if (sync_commits) {
+    if (in_memory) {
+      std::fprintf(stderr, "%s: --sync-commits needs a file-backed store\n",
+                   argv[0]);
+      return 2;
+    }
+    store_options.wal_sync = laxml::WalSyncMode::kGroupCommit;
+  }
   auto store = in_memory ? laxml::Store::OpenInMemory(store_options)
                          : laxml::Store::Open(db_path, store_options);
   if (!store.ok()) {

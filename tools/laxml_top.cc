@@ -128,6 +128,34 @@ void Paint(const Sample& prev, const Sample& cur, double dt_sec,
               Get(cur, "laxml_wal_fsync_us_p50"),
               Get(cur, "laxml_wal_fsync_us_p95"),
               Get(cur, "laxml_wal_fsync_us_p99"));
+  // Group-commit effectiveness: records made durable per fsync over the
+  // window. 1.0 = no batching; higher = the sequencer is amortizing.
+  {
+    const double da = Get(cur, "laxml_wal_appends_total") -
+                      Get(prev, "laxml_wal_appends_total");
+    const double ds = Get(cur, "laxml_wal_syncs_total") -
+                      Get(prev, "laxml_wal_syncs_total");
+    if (ds > 0.0) {
+      std::printf("  %-28s %10.1f\n", "wal records per fsync", da / ds);
+    } else {
+      std::printf("  %-28s %10s\n", "wal records per fsync", "-");
+    }
+  }
+
+  std::printf("\nconcurrency\n");
+  // Shared vs exclusive latch acquisitions over the window: how much of
+  // the load rode the concurrent read path.
+  {
+    const double dsh = Get(cur, "laxml_latch_shared_total") -
+                       Get(prev, "laxml_latch_shared_total");
+    const double dex = Get(cur, "laxml_latch_exclusive_total") -
+                       Get(prev, "laxml_latch_exclusive_total");
+    const double pct =
+        dsh + dex > 0.0 ? 100.0 * dsh / (dsh + dex) : 0.0;
+    std::printf("  %-28s %9.1f%%  (%.0f shared/s, %.0f excl/s)\n",
+                "shared latch share", pct, dt_sec > 0.0 ? dsh / dt_sec : 0.0,
+                dt_sec > 0.0 ? dex / dt_sec : 0.0);
+  }
 
   std::printf("\nindexes\n");
   std::printf("  %-28s %9.1f%%\n", "partial index hit rate",
