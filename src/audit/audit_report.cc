@@ -131,6 +131,10 @@ std::string AuditReport::ToString() const {
          std::to_string(full_entries) + " full-index entries, " +
          std::to_string(wal_records) + " wal records, " +
          std::to_string(pages_swept) + " pages swept\n";
+  if (wal_torn_tail_bytes > 0) {
+    out += "note: " + std::to_string(wal_torn_tail_bytes) +
+           " torn byte(s) at the log tail (recovery will trim them)\n";
+  }
   return out;
 }
 
@@ -152,6 +156,7 @@ std::string AuditReport::ToJson() const {
   out += ",\"full_entries\":" + std::to_string(full_entries);
   out += ",\"wal_records\":" + std::to_string(wal_records);
   out += ",\"pages_swept\":" + std::to_string(pages_swept);
+  out += ",\"wal_torn_tail_bytes\":" + std::to_string(wal_torn_tail_bytes);
   out += "}}";
   return out;
 }

@@ -72,6 +72,10 @@ struct AuditReport {
   uint64_t full_entries = 0;
   uint64_t wal_records = 0;
   uint64_t pages_swept = 0;
+  /// Trailing log bytes that stopped verifying (torn tail): a normal
+  /// crash artifact the next recovery trims, NOT corruption. Reported
+  /// as a counter so operators see it; never an issue.
+  uint64_t wal_torn_tail_bytes = 0;
 
   bool ok() const { return issues.empty(); }
 

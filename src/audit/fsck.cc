@@ -122,7 +122,6 @@ FsckOutcome RunFsck(const std::string& path, const FsckOptions& options) {
   const std::string wal_path = path + ".wal";
   struct stat sb;
   const bool wal_exists = ::stat(wal_path.c_str(), &sb) == 0;
-  const bool wal_nonempty = wal_exists && sb.st_size > 0;
   out.wal_present = wal_exists;
 
   StoreOptions so;
@@ -152,8 +151,10 @@ FsckOutcome RunFsck(const std::string& path, const FsckOptions& options) {
   // A replayed WAL tail legitimately diverges from the disk image (new
   // pages live only in the pool, freed pages are deferred off the free
   // chain until the next checkpoint), so the disk sweep only runs when
-  // the checkpoint image *is* the store.
-  const bool replayed_tail = so.enable_wal && wal_nonempty;
+  // the checkpoint image *is* the store. The store itself reports
+  // whether replay ran — a log holding only its checkpoint-epoch header
+  // (every cleanly closed store has one) changes nothing in memory.
+  const bool replayed_tail = (*store)->replayed_wal_tail();
   ao.check_pages = !replayed_tail;
   out.swept_pages = ao.check_pages;
 

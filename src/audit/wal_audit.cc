@@ -36,20 +36,22 @@ void AuditWalFile(const std::string& path, AuditReport* report) {
       ++report->wal_records;
       continue;
     }
+    uint64_t remaining = static_cast<uint64_t>(limit - record_start);
+    if (st.IsNotFound()) {
+      // CRC/length framing stopped verifying. This is exactly the set
+      // of byte sequences Wal::TrimTornTail discards on the next open:
+      // a crash mid-append (or mid-overwrite) is *expected* to leave
+      // such a tail, so it is a coverage note, not corruption. Only
+      // records that frame correctly but fail semantic checks (the
+      // non-NotFound branch below) indicate real damage.
+      report->wal_torn_tail_bytes = remaining;
+      return;
+    }
     AuditIssue issue;
     issue.layer = AuditLayer::kWal;
     issue.offset = static_cast<uint64_t>(record_start - bytes.data());
     issue.has_offset = true;
-    uint64_t remaining = static_cast<uint64_t>(limit - record_start);
-    if (st.IsNotFound()) {
-      // CRC/length framing stopped verifying: either a torn tail the
-      // next recovery will discard, or a record corrupted in place.
-      issue.message = "record chain stops verifying with " +
-                      std::to_string(remaining) +
-                      " trailing byte(s): " + st.message();
-    } else {
-      issue.message = "undecodable record: " + st.ToString();
-    }
+    issue.message = "undecodable record: " + st.ToString();
     report->issues.push_back(issue);
     return;  // nothing after this point is trustworthy
   }

@@ -23,6 +23,10 @@ const char* CodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kNoSpace:
+      return "NoSpace";
+    case StatusCode::kPoisoned:
+      return "Poisoned";
   }
   return "Unknown";
 }

@@ -27,6 +27,8 @@ enum class StatusCode : unsigned char {
   kAborted = 6,         ///< Operation gave up (lock timeout, conflict).
   kParseError = 7,      ///< XML / XPath / schema text failed to parse.
   kResourceExhausted = 8, ///< Out of pages, frames, ids, or capacity.
+  kNoSpace = 9,         ///< The device is out of space (ENOSPC-class).
+  kPoisoned = 10,       ///< Store is fail-stopped after an earlier error.
 };
 
 /// Return value of every fallible engine operation.
@@ -67,6 +69,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status NoSpace(std::string msg) {
+    return Status(StatusCode::kNoSpace, std::move(msg));
+  }
+  static Status Poisoned(std::string msg) {
+    return Status(StatusCode::kPoisoned, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -82,6 +90,8 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+  bool IsPoisoned() const { return code_ == StatusCode::kPoisoned; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -81,7 +81,14 @@ class SharedStore {
     lock.unlock();
     if (lsn != 0 && result.ok()) {
       Status st = group_commit_->WaitDurable(lsn);
-      if (!st.ok()) return decltype(result)(st);
+      if (!st.ok()) {
+        // The mutation is applied in memory but its commit record never
+        // became durable: the store can no longer keep its promise that
+        // acked state survives a crash. Fail-stop it — same gate the
+        // kEveryCommit path hits inside the mutator.
+        store_->Poison(st);
+        return decltype(result)(st);
+      }
     }
     return result;
   }
@@ -169,10 +176,11 @@ class SharedStore {
     const uint64_t lsn = CommitLsnLocked();
     lock.unlock();
     if (lsn != 0) {
-      // Best-effort: the batch's fsync outcome cannot be folded into
-      // fn's arbitrary return type; WaitDurable latches the error for
-      // the next mutator to report.
-      (void)group_commit_->WaitDurable(lsn);
+      // The batch's fsync outcome cannot be folded into fn's arbitrary
+      // return type; a failure fail-stops the store so the next mutator
+      // reports it.
+      Status st = group_commit_->WaitDurable(lsn);
+      if (!st.ok()) store_->Poison(st);
     }
     return result;
   }

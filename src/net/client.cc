@@ -1,5 +1,6 @@
 #include "net/client.h"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -9,6 +10,56 @@
 
 namespace laxml {
 namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Deadline for one whole client operation (one send or one response
+// read). io_timeout_ms == 0 means "no deadline".
+Clock::time_point OpDeadline(int io_timeout_ms) {
+  if (io_timeout_ms <= 0) return Clock::time_point::max();
+  return Clock::now() + std::chrono::milliseconds(io_timeout_ms);
+}
+
+// Waits for `events` on `fd` until `deadline`. OK when the fd is
+// ready; Aborted when the deadline passes first. The deadline is
+// re-derived on every call, so a server that dribbles one byte per
+// poll window still cannot extend the operation past it.
+Status PollUntil(int fd, short events, Clock::time_point deadline,
+                 const char* what) {
+  while (true) {
+    int timeout_ms = -1;
+    if (deadline != Clock::time_point::max()) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) {
+        return Status::Aborted(std::string(what) + " timed out");
+      }
+      timeout_ms = static_cast<int>(left.count());
+    }
+    pollfd pfd{fd, events, 0};
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::Aborted(std::string(what) + " timed out");
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("poll(") + what +
+                           "): " + std::strerror(errno));
+  }
+}
+
+// Dials the server once and flips the socket non-blocking so the
+// client's poll deadlines, not kernel socket timeouts, govern I/O.
+Result<UniqueFd> Dial(const std::string& host, uint16_t port,
+                      const ClientOptions& options) {
+  LAXML_ASSIGN_OR_RETURN(
+      UniqueFd fd,
+      ConnectTcp(host, port, options.connect_timeout_ms, /*io_timeout_ms=*/0));
+  LAXML_RETURN_IF_ERROR(SetNonBlocking(fd.get(), true));
+  return fd;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
                                                 uint16_t port,
@@ -20,25 +71,37 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options.retry_delay_ms));
     }
-    auto fd = ConnectTcp(host, port, options.connect_timeout_ms,
-                         options.io_timeout_ms);
+    auto fd = Dial(host, port, options);
     if (fd.ok()) {
       return std::unique_ptr<Client>(
-          new Client(std::move(fd).value(), options));
+          new Client(std::move(fd).value(), host, port, options));
     }
     last = fd.status();
   }
   return last;
 }
 
+Status Client::Reconnect() {
+  fd_.Reset();
+  rbuf_.clear();
+  rpos_ = 0;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(options_.retry_delay_ms));
+  LAXML_ASSIGN_OR_RETURN(fd_, Dial(host_, port_, options_));
+  return Status::OK();
+}
+
 Status Client::SendAll(const uint8_t* data, size_t len) {
+  const Clock::time_point deadline = OpDeadline(options_.io_timeout_ms);
   size_t off = 0;
   while (off < len) {
     ssize_t n = ::write(fd_.get(), data + off, len - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::Aborted("send timed out");
+        LAXML_RETURN_IF_ERROR(
+            PollUntil(fd_.get(), POLLOUT, deadline, "send"));
+        continue;
       }
       return Status::IOError(std::string("send: ") + std::strerror(errno));
     }
@@ -48,6 +111,7 @@ Status Client::SendAll(const uint8_t* data, size_t len) {
 }
 
 Result<Response> Client::ReadResponse() {
+  const Clock::time_point deadline = OpDeadline(options_.io_timeout_ms);
   uint8_t tmp[16384];
   while (true) {
     Slice rest(rbuf_.data() + rpos_, rbuf_.size() - rpos_);
@@ -72,10 +136,26 @@ Result<Response> Client::ReadResponse() {
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return Status::Aborted("receive timed out");
+      LAXML_RETURN_IF_ERROR(
+          PollUntil(fd_.get(), POLLIN, deadline, "receive"));
+      continue;
     }
     return Status::IOError(std::string("recv: ") + std::strerror(errno));
   }
+}
+
+Result<Response> Client::CallIdempotent(Request req) {
+  Request copy = req;  // Call() consumes the request; keep the retry's.
+  auto resp = Call(std::move(req));
+  if (resp.ok() || !options_.retry_idempotent) return resp;
+  const Status& st = resp.status();
+  // Only transport-level failures are retryable: a timed-out or broken
+  // connection says nothing about the request itself. Server-side
+  // verdicts (NotFound, InvalidArgument, Poisoned, ...) arrive in a
+  // decoded response and must not be retried into a second answer.
+  if (!st.IsIOError() && !st.IsAborted()) return resp;
+  if (!Reconnect().ok()) return resp;  // surface the original failure
+  return Call(std::move(copy));
 }
 
 Result<Response> Client::Call(Request req) {
@@ -120,7 +200,7 @@ Result<NodeId> Client::CallForId(Request req) {
 Status Client::Ping() {
   Request req;
   req.op = OpCode::kPing;
-  auto resp = Call(std::move(req));
+  auto resp = CallIdempotent(std::move(req));
   if (!resp.ok()) return resp.status();
   return resp->status;
 }
@@ -192,7 +272,7 @@ Result<NodeId> Client::ReplaceContent(NodeId id, const TokenSequence& data) {
 Result<TokenSequence> Client::Read() {
   Request req;
   req.op = OpCode::kRead;
-  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_ASSIGN_OR_RETURN(Response resp, CallIdempotent(std::move(req)));
   LAXML_RETURN_IF_ERROR(resp.status);
   return std::move(resp.tokens);
 }
@@ -201,7 +281,7 @@ Result<TokenSequence> Client::Read(NodeId id) {
   Request req;
   req.op = OpCode::kReadNode;
   req.target = id;
-  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_ASSIGN_OR_RETURN(Response resp, CallIdempotent(std::move(req)));
   LAXML_RETURN_IF_ERROR(resp.status);
   return std::move(resp.tokens);
 }
@@ -210,7 +290,7 @@ Result<std::vector<NodeId>> Client::XPath(std::string expr) {
   Request req;
   req.op = OpCode::kXPath;
   req.expr = std::move(expr);
-  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_ASSIGN_OR_RETURN(Response resp, CallIdempotent(std::move(req)));
   LAXML_RETURN_IF_ERROR(resp.status);
   return std::move(resp.ids);
 }
@@ -218,7 +298,7 @@ Result<std::vector<NodeId>> Client::XPath(std::string expr) {
 Result<std::string> Client::GetStats() {
   Request req;
   req.op = OpCode::kGetStats;
-  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_ASSIGN_OR_RETURN(Response resp, CallIdempotent(std::move(req)));
   LAXML_RETURN_IF_ERROR(resp.status);
   return std::move(resp.text);
 }
@@ -227,7 +307,7 @@ Result<std::string> Client::GetMetrics(MetricsFormat format) {
   Request req;
   req.op = OpCode::kGetMetrics;
   req.metrics_format = format;
-  LAXML_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  LAXML_ASSIGN_OR_RETURN(Response resp, CallIdempotent(std::move(req)));
   LAXML_RETURN_IF_ERROR(resp.status);
   return std::move(resp.text);
 }
@@ -235,7 +315,7 @@ Result<std::string> Client::GetMetrics(MetricsFormat format) {
 Status Client::CheckIntegrity() {
   Request req;
   req.op = OpCode::kCheckIntegrity;
-  auto resp = Call(std::move(req));
+  auto resp = CallIdempotent(std::move(req));
   if (!resp.ok()) return resp.status();
   return resp->status;
 }

@@ -7,6 +7,15 @@
 // which amortizes the round trip over the batch (the network analogue
 // of the paper's bulk insert units).
 //
+// Timeouts are whole-operation deadlines enforced with poll() over a
+// non-blocking socket, not per-syscall SO_RCVTIMEO: a server that
+// trickles one byte per timeout window cannot stall a caller forever.
+// A timed-out or broken call leaves the connection unusable; the typed
+// read-only wrappers (Ping/Read/XPath/GetStats/GetMetrics/
+// CheckIntegrity) transparently reconnect and retry exactly once,
+// because re-running a read is safe. Mutations never retry — the
+// original may have been applied before the connection died.
+//
 // Thread safety: none. One Client per thread; connections are cheap.
 
 #ifndef LAXML_NET_CLIENT_H_
@@ -25,11 +34,16 @@ namespace net {
 
 struct ClientOptions {
   int connect_timeout_ms = 5000;
-  /// Applied to every send and receive; 0 disables.
+  /// Whole-operation deadline for each send and each response read
+  /// (poll-based, so it bounds the total wait even against a server
+  /// that trickles bytes); 0 disables.
   int io_timeout_ms = 30000;
   /// Connection attempts before giving up (covers server startup).
   int connect_attempts = 20;
   int retry_delay_ms = 50;
+  /// Retry idempotent reads once, over a fresh connection, after an
+  /// I/O error or timeout. Mutations are never retried.
+  bool retry_idempotent = true;
   size_t max_frame_bytes = kMaxFrameBody;
 };
 
@@ -69,17 +83,28 @@ class Client {
   /// @}
 
  private:
-  Client(UniqueFd fd, const ClientOptions& options)
-      : options_(options), fd_(std::move(fd)) {}
+  Client(UniqueFd fd, std::string host, uint16_t port,
+         const ClientOptions& options)
+      : options_(options),
+        host_(std::move(host)),
+        port_(port),
+        fd_(std::move(fd)) {}
 
   Status SendAll(const uint8_t* data, size_t len);
   /// Reads from the socket until one complete frame is buffered, then
   /// decodes it as a response.
   Result<Response> ReadResponse();
+  /// Call() with the single-reconnect retry policy for reads.
+  Result<Response> CallIdempotent(Request req);
+  /// Tears down the current connection and dials `host_:port_` again
+  /// (one attempt, after `retry_delay_ms`). Drops any buffered bytes.
+  Status Reconnect();
   /// Shorthand: run `req`, propagate errors, return the new node id.
   Result<NodeId> CallForId(Request req);
 
   ClientOptions options_;
+  std::string host_;
+  uint16_t port_ = 0;
   UniqueFd fd_;
   uint64_t next_request_id_ = 1;
   std::vector<uint8_t> rbuf_;

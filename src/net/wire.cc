@@ -310,6 +310,12 @@ Status StatusFromWire(uint8_t code, std::string message, Status* out) {
     case StatusCode::kResourceExhausted:
       *out = Status::ResourceExhausted(std::move(message));
       return Status::OK();
+    case StatusCode::kNoSpace:
+      *out = Status::NoSpace(std::move(message));
+      return Status::OK();
+    case StatusCode::kPoisoned:
+      *out = Status::Poisoned(std::move(message));
+      return Status::OK();
   }
   return Status::Corruption("unknown status code " + std::to_string(code));
 }

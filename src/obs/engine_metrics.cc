@@ -22,6 +22,10 @@ void CollectStoreMetrics(Store& store) {
   set("laxml_partial_index_entries", partial.size());
   set("laxml_partial_index_capacity", partial.capacity());
 
+  // Fail-stop state: 1 once a post-open I/O error poisoned the store
+  // (mutations rejected, reads degraded) — the alert bit.
+  set("laxml_store_poisoned", store.poisoned() ? 1 : 0);
+
   const StoreStats& stats = store.stats();
   set("laxml_store_inserts", stats.inserts);
   set("laxml_store_deletes", stats.deletes);

@@ -1,0 +1,233 @@
+#include "storage/faulty_page_file.h"
+
+#include <cstring>
+#include <utility>
+
+namespace laxml {
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kSync:
+      return "sync";
+    case FaultOp::kAlloc:
+      return "alloc";
+    case FaultOp::kFree:
+      return "free";
+    case FaultOp::kMeta:
+      return "meta";
+    case FaultOp::kTruncate:
+      return "truncate";
+  }
+  return "unknown";
+}
+
+void FaultPlan::FailNth(FaultOp op, uint64_t nth, Status error, bool sticky) {
+  Rule& r = rules[static_cast<int>(op)];
+  r.nth = nth;
+  r.error = std::move(error);
+  r.sticky = sticky;
+}
+
+FaultyPageFile::FaultyPageFile(std::unique_ptr<PageFile> base,
+                               bool buffer_unsynced)
+    : base_(std::move(base)), buffered_(buffer_unsynced) {
+  if (buffered_) {
+    shadow_page_count_ = base_->page_count();
+    shadow_free_head_ = base_->free_head();
+    shadow_free_count_ = base_->free_page_count();
+  }
+}
+
+FaultyPageFile::~FaultyPageFile() = default;
+
+void FaultyPageFile::ClearFaults() { plan_ = FaultPlan(); }
+
+uint64_t FaultyPageFile::NextRandom() {
+  if (rng_state_ == 0) {
+    rng_state_ = plan_.random_seed != 0 ? plan_.random_seed
+                                        : 0x9E3779B97F4A7C15ull;
+  }
+  // xorshift64: deterministic, stateless apart from rng_state_.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return rng_state_;
+}
+
+Status FaultyPageFile::CheckFault(FaultOp op) {
+  uint64_t n = ++op_counts_[static_cast<int>(op)];
+  const FaultPlan::Rule& r = plan_.rules[static_cast<int>(op)];
+  if (r.nth != 0 && (n == r.nth || (r.sticky && n > r.nth))) {
+    ++injected_faults_;
+    return r.error;
+  }
+  uint32_t permille = plan_.random_permille[static_cast<int>(op)];
+  if (permille != 0 && NextRandom() % 1000 < permille) {
+    ++injected_faults_;
+    return plan_.random_error;
+  }
+  return Status::OK();
+}
+
+void FaultyPageFile::Crash() {
+  crashed_ = true;
+  overlay_.clear();
+  meta_dirty_ = false;
+  shadow_meta_.clear();
+  if (buffered_) {
+    shadow_page_count_ = base_->page_count();
+    shadow_free_head_ = base_->free_head();
+    shadow_free_count_ = base_->free_page_count();
+  }
+}
+
+PageId FaultyPageFile::CrashWithTornPage(uint32_t keep_bytes) {
+  // Tear the lowest-id buffered page that overwrites an existing base
+  // page: a torn in-place update, half new bytes over half old ones.
+  PageId torn = kInvalidPageId;
+  for (const auto& [id, data] : overlay_) {
+    if (id < base_->page_count()) {
+      torn = id;
+      const uint32_t ps = base_->page_size();
+      if (keep_bytes > ps) keep_bytes = ps;
+      std::vector<uint8_t> merged(ps);
+      if (base_->ReadPage(id, merged.data()).ok()) {
+        std::memcpy(merged.data(), data.data(), keep_bytes);
+        (void)base_->WritePage(id, merged.data());
+      }
+      break;
+    }
+  }
+  Crash();
+  return torn;
+}
+
+Status FaultyPageFile::ReadRaw(PageId id, uint8_t* buf) {
+  auto it = overlay_.find(id);
+  if (it != overlay_.end()) {
+    std::memcpy(buf, it->second.data(), base_->page_size());
+    return Status::OK();
+  }
+  if (id < base_->page_count()) {
+    return base_->ReadPage(id, buf);
+  }
+  // Allocated this epoch but never written.
+  std::memset(buf, 0, base_->page_size());
+  return Status::OK();
+}
+
+Status FaultyPageFile::ReadPage(PageId id, uint8_t* buf) {
+  if (crashed_) return Status::IOError("page file crashed");
+  LAXML_RETURN_IF_ERROR(CheckFault(FaultOp::kRead));
+  if (!buffered_) return base_->ReadPage(id, buf);
+  if (id == 0 || id >= shadow_page_count_) {
+    return Status::IOError("read of out-of-range page");
+  }
+  return ReadRaw(id, buf);
+}
+
+Status FaultyPageFile::WritePage(PageId id, const uint8_t* buf) {
+  if (crashed_) return Status::IOError("page file crashed");
+  LAXML_RETURN_IF_ERROR(CheckFault(FaultOp::kWrite));
+  if (!buffered_) return base_->WritePage(id, buf);
+  if (id == 0 || id >= shadow_page_count_) {
+    return Status::IOError("write of out-of-range page");
+  }
+  overlay_[id].assign(buf, buf + base_->page_size());
+  return Status::OK();
+}
+
+Result<PageId> FaultyPageFile::AllocatePage() {
+  if (crashed_) return Status::IOError("page file crashed");
+  LAXML_RETURN_IF_ERROR(CheckFault(FaultOp::kAlloc));
+  if (!buffered_) return base_->AllocatePage();
+  if (shadow_free_head_ != kInvalidPageId) {
+    PageId id = shadow_free_head_;
+    std::vector<uint8_t> buf(base_->page_size());
+    LAXML_RETURN_IF_ERROR(ReadRaw(id, buf.data()));
+    shadow_free_head_ = DecodeFixed32(buf.data() + kPageHeaderSize);
+    --shadow_free_count_;
+    return id;
+  }
+  if (shadow_page_count_ == kInvalidPageId) {
+    return Status::ResourceExhausted("page file full");
+  }
+  return shadow_page_count_++;
+}
+
+Status FaultyPageFile::FreePage(PageId id) {
+  if (crashed_) return Status::IOError("page file crashed");
+  LAXML_RETURN_IF_ERROR(CheckFault(FaultOp::kFree));
+  if (!buffered_) return base_->FreePage(id);
+  if (id == 0 || id >= shadow_page_count_) {
+    return Status::InvalidArgument("free of invalid page id");
+  }
+  // Mirror PosixPageFile's chain format so the shadow free chain is
+  // indistinguishable from the real one after a flush.
+  std::vector<uint8_t> buf(base_->page_size(), 0);
+  PageView view(buf.data(), base_->page_size());
+  view.Format(id, PageType::kFree);
+  EncodeFixed32(buf.data() + kPageHeaderSize, shadow_free_head_);
+  view.SealChecksum();
+  overlay_[id] = std::move(buf);
+  shadow_free_head_ = id;
+  ++shadow_free_count_;
+  return Status::OK();
+}
+
+uint32_t FaultyPageFile::page_count() const {
+  return buffered_ ? shadow_page_count_ : base_->page_count();
+}
+
+uint32_t FaultyPageFile::free_page_count() const {
+  return buffered_ ? shadow_free_count_ : base_->free_page_count();
+}
+
+PageId FaultyPageFile::free_head() const {
+  return buffered_ ? shadow_free_head_ : base_->free_head();
+}
+
+Result<std::vector<uint8_t>> FaultyPageFile::ReadMeta() {
+  if (crashed_) return Status::IOError("page file crashed");
+  if (buffered_ && meta_dirty_) return shadow_meta_;
+  return base_->ReadMeta();
+}
+
+Status FaultyPageFile::WriteMeta(Slice meta) {
+  if (crashed_) return Status::IOError("page file crashed");
+  LAXML_RETURN_IF_ERROR(CheckFault(FaultOp::kMeta));
+  if (!buffered_) return base_->WriteMeta(meta);
+  if (meta.size() > MaxMetaSize(base_->page_size())) {
+    return Status::InvalidArgument("meta area overflow");
+  }
+  shadow_meta_.assign(meta.data(), meta.data() + meta.size());
+  meta_dirty_ = true;
+  return Status::OK();
+}
+
+Status FaultyPageFile::Sync() {
+  if (crashed_) return Status::IOError("page file crashed");
+  // The fault check runs before any overlay byte reaches the base, so
+  // an injected sync failure leaves the base at the previous complete
+  // checkpoint (torn checkpoints are modelled via CrashWithTornPage).
+  LAXML_RETURN_IF_ERROR(CheckFault(FaultOp::kSync));
+  if (!buffered_) return base_->Sync();
+  LAXML_RETURN_IF_ERROR(base_->InstallAllocatorState(
+      shadow_page_count_, shadow_free_head_, shadow_free_count_));
+  for (const auto& [id, data] : overlay_) {
+    LAXML_RETURN_IF_ERROR(base_->WritePage(id, data.data()));
+  }
+  if (meta_dirty_) {
+    LAXML_RETURN_IF_ERROR(
+        base_->WriteMeta(Slice(shadow_meta_.data(), shadow_meta_.size())));
+    meta_dirty_ = false;
+  }
+  overlay_.clear();
+  return base_->Sync();
+}
+
+}  // namespace laxml

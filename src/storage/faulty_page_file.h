@@ -1,0 +1,158 @@
+// Deterministic fault injection for the page layer.
+//
+// FaultyPageFile decorates any PageFile and exposes a programmable
+// FaultPlan: fail the Nth read/write/sync/alloc/free/meta call with a
+// chosen status (IOError, ENOSPC-style NoSpace, ...), either once or
+// sticky, or fail ops at a seeded-random rate. In *buffered* mode it
+// additionally models power loss: writes, allocations, frees, and meta
+// updates accumulate in an in-memory overlay and only reach the base
+// file on Sync(); Crash() discards the overlay, leaving the base file
+// exactly as of the last completed sync — the on-disk state a real
+// machine would wake up with.
+//
+// Sync() in buffered mode is atomic with respect to injected faults: an
+// injected sync failure fires *before* any overlay byte touches the
+// base file, so the base always holds a complete checkpoint. Torn
+// checkpoints are modelled separately via CrashWithTornPage(), which
+// applies a prefix of one buffered page before discarding the rest
+// (fsck must catch the resulting checksum mismatch).
+//
+// Test-only. Not thread-safe; wrap calls in the store's own latching.
+
+#ifndef LAXML_STORAGE_FAULTY_PAGE_FILE_H_
+#define LAXML_STORAGE_FAULTY_PAGE_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_file.h"
+
+namespace laxml {
+
+/// Operation classes a fault rule can target. kTruncate applies to WAL
+/// files only (FaultyWalFile in wal/wal_file.h shares this plan type);
+/// page files never truncate.
+enum class FaultOp : int {
+  kRead = 0,
+  kWrite = 1,
+  kSync = 2,
+  kAlloc = 3,
+  kFree = 4,
+  kMeta = 5,
+  kTruncate = 6,
+};
+inline constexpr int kFaultOpCount = 7;
+
+const char* FaultOpName(FaultOp op);
+
+/// A programmable schedule of injected failures, indexed by operation
+/// class. Deterministic: the same plan over the same call sequence
+/// produces the same failures.
+struct FaultPlan {
+  struct Rule {
+    uint64_t nth = 0;  ///< 1-based call index that fails; 0 = disabled.
+    Status error = Status::OK();
+    bool sticky = false;  ///< Keep failing every call from `nth` on.
+  };
+  Rule rules[kFaultOpCount];
+
+  /// Seeded-random mode: each op of class `i` fails with probability
+  /// random_permille[i] / 1000, driven by an xorshift stream seeded
+  /// with `random_seed`. Random failures use `random_error`.
+  uint64_t random_seed = 0;
+  uint32_t random_permille[kFaultOpCount] = {};
+  Status random_error = Status::IOError("injected random fault");
+
+  /// Schedules the `nth` call of class `op` to fail with `error`.
+  void FailNth(FaultOp op, uint64_t nth, Status error, bool sticky = false);
+};
+
+/// PageFile decorator that injects faults and simulates power loss.
+class FaultyPageFile : public PageFile {
+ public:
+  /// Wraps `base`. With `buffer_unsynced` the decorator holds all
+  /// mutations in an overlay until Sync(); this requires a base whose
+  /// free pages form an on-disk chain (PosixPageFile) because the
+  /// shadow allocator mirrors that format. Without it, ops pass
+  /// through (fault checks only) and Crash() merely blocks further
+  /// writes.
+  explicit FaultyPageFile(std::unique_ptr<PageFile> base,
+                          bool buffer_unsynced = false);
+  ~FaultyPageFile() override;
+
+  // -- Fault programming ---------------------------------------------
+  FaultPlan& plan() { return plan_; }
+  void FailNth(FaultOp op, uint64_t nth, Status error, bool sticky = false) {
+    plan_.FailNth(op, nth, std::move(error), sticky);
+  }
+  void ClearFaults();
+
+  /// Drops everything not yet synced (buffered mode) and blocks all
+  /// further mutations, simulating power loss. The base file is left
+  /// exactly as of the last completed Sync().
+  void Crash();
+
+  /// Like Crash(), but first applies the leading `keep_bytes` of one
+  /// buffered page write to the base file — a torn in-place page
+  /// update. Returns the torn page id, or kInvalidPageId when nothing
+  /// was buffered (plain crash).
+  PageId CrashWithTornPage(uint32_t keep_bytes);
+
+  bool crashed() const { return crashed_; }
+
+  // -- Introspection -------------------------------------------------
+  uint64_t op_count(FaultOp op) const {
+    return op_counts_[static_cast<int>(op)];
+  }
+  uint64_t injected_faults() const { return injected_faults_; }
+  /// Number of distinct pages currently buffered (unsynced).
+  size_t unsynced_pages() const { return overlay_.size(); }
+  PageFile* base() { return base_.get(); }
+
+  // -- PageFile ------------------------------------------------------
+  Status ReadPage(PageId id, uint8_t* buf) override;
+  Status WritePage(PageId id, const uint8_t* buf) override;
+  Result<PageId> AllocatePage() override;
+  Status FreePage(PageId id) override;
+  uint32_t page_count() const override;
+  uint32_t free_page_count() const override;
+  uint32_t page_size() const override { return base_->page_size(); }
+  Result<std::vector<uint8_t>> ReadMeta() override;
+  Status WriteMeta(Slice meta) override;
+  Status Sync() override;
+  bool has_free_chain() const override { return base_->has_free_chain(); }
+  PageId free_head() const override;
+
+ private:
+  /// Counts the op and returns the injected error, if the plan says
+  /// this call fails. OK otherwise.
+  Status CheckFault(FaultOp op);
+  /// Reads a page through overlay + base without counting it as a
+  /// client read (used by the shadow allocator).
+  Status ReadRaw(PageId id, uint8_t* buf);
+  uint64_t NextRandom();
+
+  std::unique_ptr<PageFile> base_;
+  bool buffered_;
+  bool crashed_ = false;
+
+  FaultPlan plan_;
+  uint64_t rng_state_ = 0;
+  uint64_t op_counts_[kFaultOpCount] = {};
+  uint64_t injected_faults_ = 0;
+
+  // Shadow allocator + unsynced state (buffered mode).
+  uint32_t shadow_page_count_ = 0;
+  PageId shadow_free_head_ = kInvalidPageId;
+  uint32_t shadow_free_count_ = 0;
+  std::map<PageId, std::vector<uint8_t>> overlay_;
+  bool meta_dirty_ = false;
+  std::vector<uint8_t> shadow_meta_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_STORAGE_FAULTY_PAGE_FILE_H_

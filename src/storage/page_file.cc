@@ -273,6 +273,22 @@ Status PosixPageFile::FreePage(PageId id) {
   return Status::OK();
 }
 
+Status PosixPageFile::InstallAllocatorState(uint32_t page_count,
+                                            PageId free_head,
+                                            uint32_t free_count) {
+  if (read_only_) {
+    return Status::NotSupported("page file opened read-only");
+  }
+  if (page_count == 0 || (free_head != kInvalidPageId &&
+                          free_head >= page_count)) {
+    return Status::InvalidArgument("allocator state out of bounds");
+  }
+  page_count_ = page_count;
+  free_head_ = free_head;
+  free_count_ = free_count;
+  return Status::OK();
+}
+
 Result<std::vector<uint8_t>> PosixPageFile::ReadMeta() { return meta_; }
 
 Status PosixPageFile::WriteMeta(Slice meta) {

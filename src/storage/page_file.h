@@ -71,6 +71,18 @@ class PageFile {
   virtual bool has_free_chain() const { return false; }
   virtual PageId free_head() const { return kInvalidPageId; }
 
+  /// Installs raw allocator state (page count + free-chain head/length)
+  /// without touching page content. The fault-injection overlay
+  /// (faulty_page_file.h) buffers allocations and frees alongside page
+  /// writes and uses this to flush its shadow allocator into the base
+  /// file at a simulated checkpoint; nothing else should call it. The
+  /// state becomes durable with the next Sync. Default: NotSupported.
+  virtual Status InstallAllocatorState(uint32_t /*page_count*/,
+                                       PageId /*free_head*/,
+                                       uint32_t /*free_count*/) {
+    return Status::NotSupported("allocator state is not installable");
+  }
+
   /// Maximum client metadata size for a given page size.
   static uint32_t MaxMetaSize(uint32_t page_size);
 };
@@ -131,6 +143,8 @@ class PosixPageFile : public PageFile {
   Status Sync() override;
   bool has_free_chain() const override { return true; }
   PageId free_head() const override { return free_head_; }
+  Status InstallAllocatorState(uint32_t page_count, PageId free_head,
+                               uint32_t free_count) override;
   bool read_only() const { return read_only_; }
 
  private:

@@ -16,8 +16,15 @@ Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path,
   LAXML_ASSIGN_OR_RETURN(
       auto file,
       PosixPageFile::Open(path, options.page_size, options.read_only));
+  std::unique_ptr<PageFile> page_file = std::move(file);
+  if (options.file_wrapper) {
+    page_file = options.file_wrapper(std::move(page_file));
+    if (page_file == nullptr) {
+      return Status::IOError("page file wrapper rejected '" + path + "'");
+    }
+  }
   return std::unique_ptr<Pager>(
-      new Pager(std::move(file), options.pool_frames));
+      new Pager(std::move(page_file), options.pool_frames));
 }
 
 Result<std::unique_ptr<Pager>> Pager::OpenInMemory(

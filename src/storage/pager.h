@@ -6,6 +6,7 @@
 #ifndef LAXML_STORAGE_PAGER_H_
 #define LAXML_STORAGE_PAGER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -25,6 +26,12 @@ struct PagerOptions {
   /// must exist, nothing is ever written back, and mutations surface as
   /// NotSupported. Used by laxml_fsck for offline inspection.
   bool read_only = false;
+  /// Injection seam: when set, the freshly opened PageFile is passed
+  /// through this wrapper before the buffer pool is built on it. The
+  /// fault-injection tests and laxml_torture slide a FaultyPageFile in
+  /// here; returning nullptr fails the open.
+  std::function<std::unique_ptr<PageFile>(std::unique_ptr<PageFile>)>
+      file_wrapper;
 };
 
 /// Owning facade over PageFile + BufferPool.

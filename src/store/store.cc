@@ -16,8 +16,10 @@ namespace laxml {
 
 namespace {
 constexpr uint32_t kStoreMagic = 0x4C585354u;  // "LXST"
-constexpr uint32_t kStoreVersion = 1;
-constexpr size_t kMetaBlobSize = 104;
+// Version 2 appended the checkpoint epoch (offset 104) that pairs with
+// the WAL's leading kCheckpoint record.
+constexpr uint32_t kStoreVersion = 2;
+constexpr size_t kMetaBlobSize = 112;
 }  // namespace
 
 const char* IndexModeName(IndexMode mode) {
@@ -52,9 +54,12 @@ Store::Store(std::unique_ptr<Pager> pager, const StoreOptions& options)
                    : 0) {}
 
 Store::~Store() {
-  if (crashed_ || read_only()) {
+  if (crashed_ || read_only() || poisoned()) {
     // Read-only: buffered state (e.g. an in-memory WAL replay) is
     // deliberately dropped; the disk image must stay untouched.
+    // Poisoned: in-memory state is suspect after the failed operation —
+    // never checkpoint it over the last good on-disk image; the WAL
+    // tail re-creates the acked work on the next open.
     pager_->pool()->DiscardAll();
     return;
   }
@@ -91,7 +96,19 @@ Result<std::unique_ptr<Store>> Store::Open(const std::string& path,
       have_wal = ::stat(wal_path.c_str(), &sb) == 0;
     }
     if (have_wal) {
-      LAXML_ASSIGN_OR_RETURN(store->wal_, Wal::Open(wal_path));
+      if (options.wal_file_wrapper) {
+        LAXML_ASSIGN_OR_RETURN(std::unique_ptr<PosixWalFile> raw,
+                               PosixWalFile::Open(wal_path));
+        std::unique_ptr<WalFile> wrapped =
+            options.wal_file_wrapper(std::unique_ptr<WalFile>(std::move(raw)));
+        if (wrapped == nullptr) {
+          return Status::IOError("wal file wrapper rejected '" + wal_path +
+                                 "'");
+        }
+        LAXML_ASSIGN_OR_RETURN(store->wal_, Wal::Open(std::move(wrapped)));
+      } else {
+        LAXML_ASSIGN_OR_RETURN(store->wal_, Wal::Open(wal_path));
+      }
       // The logical WAL can only replay against an unmodified checkpoint
       // image: dirty frames must not be stolen and freed pages must not
       // be clobbered until the next checkpoint.
@@ -142,10 +159,28 @@ Status Store::Bootstrap(bool fresh) {
       LAXML_RETURN_IF_ERROR(wal_->TrimTornTail());
     }
     LAXML_ASSIGN_OR_RETURN(auto records, wal_->ReadAll());
+    // Epoch protocol: every WAL epoch opens with a kCheckpoint record
+    // naming the checkpoint it continues from. A mismatch means the
+    // checkpoint completed but the crash beat the log truncation —
+    // every record here is already inside the on-disk image and
+    // replaying it would double-apply (silent wrong answers, the worst
+    // failure class). Such a stale log is skipped and reset.
+    bool stale_log = false;
+    size_t first_op = 0;
     if (!records.empty()) {
-      LAXML_LOG(kInfo) << "replaying " << records.size() << " WAL records";
+      if (records[0].op != WalOp::kCheckpoint) {
+        return Status::Corruption("wal missing checkpoint header");
+      }
+      stale_log = records[0].target != checkpoint_epoch_;
+      first_op = 1;
+    }
+    if (!stale_log && records.size() > first_op) {
+      LAXML_LOG(kInfo) << "replaying " << records.size() - first_op
+                       << " WAL records";
       replaying_wal_ = true;
-      for (const WalRecord& rec : records) {
+      replayed_tail_ = true;
+      for (size_t ri = first_op; ri < records.size(); ++ri) {
+        const WalRecord& rec = records[ri];
         TokenSequence data;
         if (!rec.payload.empty()) {
           auto decoded = DecodeTokens(Slice(rec.payload));
@@ -181,11 +216,16 @@ Status Store::Bootstrap(bool fresh) {
           case WalOp::kInsertTopLevel:
             st = InsertTopLevel(data).status();
             break;
+          case WalOp::kCheckpoint:
+            break;  // epoch bookkeeping, not a logical operation
         }
         // Deterministic replay: an op that failed originally fails the
         // same way now; only environmental errors abort recovery.
+        // Poisoned means an earlier record already hit one — skipping
+        // the remainder would silently drop committed work.
         if (!st.ok() && (st.IsIOError() || st.IsCorruption() ||
-                         st.IsResourceExhausted())) {
+                         st.IsResourceExhausted() || st.IsNoSpace() ||
+                         st.IsPoisoned())) {
           replaying_wal_ = false;
           return st;
         }
@@ -193,6 +233,16 @@ Status Store::Bootstrap(bool fresh) {
       replaying_wal_ = false;
       if (!read_only()) {
         LAXML_RETURN_IF_ERROR(Sync());  // checkpoint the recovered state
+      }
+    } else if (!read_only()) {
+      if (stale_log) {
+        // Reset: truncate the absorbed log and open a fresh epoch.
+        LAXML_RETURN_IF_ERROR(Sync());
+      } else if (records.empty()) {
+        // A crash landed between the truncate and the header append (or
+        // the log was created beside an existing store); restore the
+        // header so the epoch protocol stays closed.
+        LAXML_RETURN_IF_ERROR(AppendCheckpointHeader());
       }
     }
   }
@@ -220,6 +270,7 @@ Status Store::PersistMeta() {
   PutFixed64(&blob, stats_.nodes_deleted);
   PutFixed64(&blob, stats_.tokens_inserted);
   PutFixed64(&blob, stats_.bytes_inserted);
+  PutFixed64(&blob, checkpoint_epoch_);
   return pager_->WriteMeta(Slice(blob));
 }
 
@@ -254,6 +305,7 @@ Status Store::LoadMeta(const std::vector<uint8_t>& blob) {
   stats_.nodes_deleted = DecodeFixed64(p + 80);
   stats_.tokens_inserted = DecodeFixed64(p + 88);
   stats_.bytes_inserted = DecodeFixed64(p + 96);
+  checkpoint_epoch_ = DecodeFixed64(p + 104);
   LAXML_ASSIGN_OR_RETURN(ranges_, RangeManager::Open(pager_.get(), rs));
   if (options_.index_mode == IndexMode::kFullIndex) {
     if (full_root == kInvalidPageId) {
@@ -266,16 +318,75 @@ Status Store::LoadMeta(const std::vector<uint8_t>& blob) {
 }
 
 Status Store::Sync() {
-  LAXML_TRACE_SPAN("store_sync");
   if (read_only()) {
     return Status::NotSupported("store opened read-only");
   }
+  // A poisoned store must never checkpoint: its in-memory state is
+  // suspect after the failed operation, and a checkpoint would replace
+  // the last good on-disk image with it.
+  LAXML_RETURN_IF_ERROR(CheckNotPoisoned());
+  return FailStop("sync", SyncImpl());
+}
+
+Status Store::SyncImpl() {
+  LAXML_TRACE_SPAN("store_sync");
+  // Checkpoint protocol (WAL case): bump the epoch, persist it in the
+  // meta blob, flush every page, then truncate the log and open the new
+  // epoch with a header record. A crash between the page flush and the
+  // truncate leaves a new checkpoint beside the old log — the epoch
+  // mismatch tells recovery that log is absorbed and must not replay.
+  if (wal_ != nullptr) ++checkpoint_epoch_;
   LAXML_RETURN_IF_ERROR(PersistMeta());
   LAXML_RETURN_IF_ERROR(pager_->Sync());
   if (wal_ != nullptr) {
     LAXML_RETURN_IF_ERROR(wal_->Truncate());
+    LAXML_RETURN_IF_ERROR(AppendCheckpointHeader());
   }
   return Status::OK();
+}
+
+Status Store::AppendCheckpointHeader() {
+  WalRecord rec;
+  rec.op = WalOp::kCheckpoint;
+  rec.target = checkpoint_epoch_;
+  return wal_->Append(rec, /*sync=*/false);
+}
+
+Status Store::poison_status() const {
+  if (!poisoned()) return Status::OK();
+  std::lock_guard<std::mutex> lock(poison_mu_);
+  return poison_status_;
+}
+
+Status Store::CheckNotPoisoned() const { return poison_status(); }
+
+void Store::Poison(const Status& cause) {
+  std::lock_guard<std::mutex> lock(poison_mu_);
+  if (poisoned_.load(std::memory_order_acquire)) return;  // first wins
+  poison_status_ =
+      Status::Poisoned("store is fail-stopped: " + cause.ToString());
+  poisoned_.store(true, std::memory_order_release);
+  LAXML_LOG(kError) << "store poisoned: " << cause.ToString();
+}
+
+void Store::MaybePoison(const char* op, const Status& st) {
+  if (!st.IsIOError() && !st.IsCorruption() && !st.IsNoSpace() &&
+      !st.IsResourceExhausted()) {
+    return;  // caller error, not an environmental failure
+  }
+  RecordIoError(op);
+  Poison(st);
+}
+
+void Store::RecordIoError(const char* op) {
+#if !defined(LAXML_METRICS_DISABLED)
+  // Runtime-assembled name, so no per-call-site caching macro here.
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("laxml_io_errors_total{op=\"") + op + "\"}")
+      ->Inc();
+#else
+  (void)op;
+#endif
 }
 
 Status Store::MaybeSync() {
@@ -677,7 +788,52 @@ Status Store::DeleteRangesBetween(RangeId first_doomed,
 // ---------------------------------------------------------------------------
 // The Table-1 interface
 
+// Every mutating entry point passes through the poisoned gate and the
+// fail-stop classifier: an environmental error (I/O, corruption, out of
+// space) fail-stops the store sticky, so no later mutation can "succeed"
+// past state that never reached disk.
+
 Result<NodeId> Store::InsertBefore(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(CheckNotPoisoned());
+  return FailStop("insert_before", InsertBeforeImpl(id, data));
+}
+
+Result<NodeId> Store::InsertAfter(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(CheckNotPoisoned());
+  return FailStop("insert_after", InsertAfterImpl(id, data));
+}
+
+Result<NodeId> Store::InsertIntoFirst(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(CheckNotPoisoned());
+  return FailStop("insert_into_first", InsertIntoFirstImpl(id, data));
+}
+
+Result<NodeId> Store::InsertIntoLast(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(CheckNotPoisoned());
+  return FailStop("insert_into_last", InsertIntoLastImpl(id, data));
+}
+
+Result<NodeId> Store::InsertTopLevel(const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(CheckNotPoisoned());
+  return FailStop("insert_top_level", InsertTopLevelImpl(data));
+}
+
+Status Store::DeleteNode(NodeId id) {
+  LAXML_RETURN_IF_ERROR(CheckNotPoisoned());
+  return FailStop("delete", DeleteNodeImpl(id));
+}
+
+Result<NodeId> Store::ReplaceNode(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(CheckNotPoisoned());
+  return FailStop("replace_node", ReplaceNodeImpl(id, data));
+}
+
+Result<NodeId> Store::ReplaceContent(NodeId id, const TokenSequence& data) {
+  LAXML_RETURN_IF_ERROR(CheckNotPoisoned());
+  return FailStop("replace_content", ReplaceContentImpl(id, data));
+}
+
+Result<NodeId> Store::InsertBeforeImpl(NodeId id, const TokenSequence& data) {
   LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_before\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertBefore, id, data));
@@ -691,7 +847,7 @@ Result<NodeId> Store::InsertBefore(NodeId id, const TokenSequence& data) {
   return first;
 }
 
-Result<NodeId> Store::InsertAfter(NodeId id, const TokenSequence& data) {
+Result<NodeId> Store::InsertAfterImpl(NodeId id, const TokenSequence& data) {
   LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_after\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertAfter, id, data));
@@ -711,7 +867,7 @@ Result<NodeId> Store::InsertAfter(NodeId id, const TokenSequence& data) {
   return first;
 }
 
-Result<NodeId> Store::InsertIntoFirst(NodeId id,
+Result<NodeId> Store::InsertIntoFirstImpl(NodeId id,
                                       const TokenSequence& data) {
   LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_into_first\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
@@ -729,7 +885,7 @@ Result<NodeId> Store::InsertIntoFirst(NodeId id,
   return first;
 }
 
-Result<NodeId> Store::InsertIntoLast(NodeId id, const TokenSequence& data) {
+Result<NodeId> Store::InsertIntoLastImpl(NodeId id, const TokenSequence& data) {
   LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_into_last\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertIntoLast, id, data));
@@ -754,7 +910,7 @@ Result<NodeId> Store::InsertIntoLast(NodeId id, const TokenSequence& data) {
   return first;
 }
 
-Result<NodeId> Store::InsertTopLevel(const TokenSequence& data) {
+Result<NodeId> Store::InsertTopLevelImpl(const TokenSequence& data) {
   LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"insert_top_level\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kInsertTopLevel, kInvalidNodeId, data));
@@ -765,7 +921,7 @@ Result<NodeId> Store::InsertTopLevel(const TokenSequence& data) {
   return first;
 }
 
-Status Store::DeleteNode(NodeId id) {
+Status Store::DeleteNodeImpl(NodeId id) {
   LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"delete\"}");
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kDeleteNode, id, {}));
   LAXML_ASSIGN_OR_RETURN(Located begin, LocateBegin(id));
@@ -780,7 +936,7 @@ Status Store::DeleteNode(NodeId id) {
   return Status::OK();
 }
 
-Result<NodeId> Store::ReplaceNode(NodeId id, const TokenSequence& data) {
+Result<NodeId> Store::ReplaceNodeImpl(NodeId id, const TokenSequence& data) {
   LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"replace_node\"}");
   LAXML_RETURN_IF_ERROR(ValidateFragment(data));
   LAXML_RETURN_IF_ERROR(LogOp(WalOp::kReplaceNode, id, data));
@@ -797,7 +953,7 @@ Result<NodeId> Store::ReplaceNode(NodeId id, const TokenSequence& data) {
   return first;
 }
 
-Result<NodeId> Store::ReplaceContent(NodeId id, const TokenSequence& data) {
+Result<NodeId> Store::ReplaceContentImpl(NodeId id, const TokenSequence& data) {
   LAXML_SCOPED_LATENCY_US("laxml_store_op_us{op=\"replace_content\"}");
   if (!data.empty()) {
     LAXML_RETURN_IF_ERROR(ValidateFragment(data));

@@ -7,8 +7,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "storage/pager.h"
+#include "wal/wal_file.h"
 
 namespace laxml {
 
@@ -74,6 +77,13 @@ struct StoreOptions {
   /// Commit durability policy for WAL records (enable_wal only).
   /// sync_every_op (checkpoint-per-op) overrides it when set.
   WalSyncMode wal_sync = WalSyncMode::kNone;
+
+  /// Injection seam: when set (and enable_wal), the freshly opened WAL
+  /// byte file is passed through this wrapper before the Wal record
+  /// layer is built on it — FaultyWalFile goes in here. Returning
+  /// nullptr fails the open.
+  std::function<std::unique_ptr<WalFile>(std::unique_ptr<WalFile>)>
+      wal_file_wrapper;
 
   /// When > 0, the store re-runs the full cross-layer integrity auditor
   /// (Store::CheckIntegrity) after every this-many mutating operations

@@ -1,0 +1,466 @@
+#include "torture/torture.h"
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/fsck.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/faulty_page_file.h"
+#include "store/store.h"
+#include "wal/wal_file.h"
+#include "xml/serializer.h"
+#include "xml/token_codec.h"
+#include "xml/tokenizer.h"
+
+namespace laxml {
+namespace torture {
+namespace {
+
+// splitmix64: decorrelates the per-iteration seed from the master seed
+// so --seed N and --seed N+1 run unrelated schedules.
+uint64_t MixSeed(uint64_t seed, uint64_t iteration) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (iteration + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// A status an in-memory oracle can never produce: the fault injectors
+// (or a genuinely sick disk) speak, and the store is expected to
+// fail-stop. Everything else (NotFound, InvalidArgument, ...) is a
+// deterministic rejection both stores must agree on.
+bool IsEnvironmental(const Status& s) {
+  return s.IsIOError() || s.IsCorruption() || s.IsNoSpace() ||
+         s.IsResourceExhausted() || s.IsPoisoned();
+}
+
+// One generated Table-1 operation, self-contained so it can be applied
+// to the store under torture, the oracle, and — when its WAL record
+// survived the crash — the oracle a second time during verification.
+struct TortureOp {
+  enum class Kind {
+    kInsertBefore,
+    kInsertAfter,
+    kInsertIntoFirst,
+    kInsertIntoLast,
+    kInsertTopLevel,
+    kDelete,
+    kReplaceNode,
+    kReplaceContent,
+  };
+  Kind kind = Kind::kInsertTopLevel;
+  NodeId target = kInvalidNodeId;
+  std::string xml;
+};
+
+Result<NodeId> ApplyOp(Store& store, const TortureOp& op) {
+  TokenSequence frag;
+  if (!op.xml.empty()) {
+    LAXML_ASSIGN_OR_RETURN(frag, ParseFragment(op.xml));
+  }
+  switch (op.kind) {
+    case TortureOp::Kind::kInsertBefore:
+      return store.InsertBefore(op.target, frag);
+    case TortureOp::Kind::kInsertAfter:
+      return store.InsertAfter(op.target, frag);
+    case TortureOp::Kind::kInsertIntoFirst:
+      return store.InsertIntoFirst(op.target, frag);
+    case TortureOp::Kind::kInsertIntoLast:
+      return store.InsertIntoLast(op.target, frag);
+    case TortureOp::Kind::kInsertTopLevel:
+      return store.InsertTopLevel(frag);
+    case TortureOp::Kind::kDelete: {
+      LAXML_RETURN_IF_ERROR(store.DeleteNode(op.target));
+      return op.target;
+    }
+    case TortureOp::Kind::kReplaceNode:
+      return store.ReplaceNode(op.target, frag);
+    case TortureOp::Kind::kReplaceContent:
+      return store.ReplaceContent(op.target, frag);
+  }
+  return Status::InvalidArgument("unknown torture op");
+}
+
+// Picks a (probably) live node id by probing the oracle; the oracle and
+// the store under torture agree on liveness by invariant, so a miss is
+// just a deterministic rejection both sides see.
+NodeId PickTarget(Random& rng, Store& oracle) {
+  const uint64_t high = oracle.node_high_water();
+  if (high == 0) return kInvalidNodeId;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    NodeId id = static_cast<NodeId>(rng.Range(1, high));
+    if (oracle.Exists(id)) return id;
+  }
+  return kInvalidNodeId;
+}
+
+std::string RandomFragment(Random& rng) {
+  const std::string name = rng.NextName(1 + rng.Uniform(6));
+  switch (rng.Uniform(4)) {
+    case 0:
+      return "<" + name + "/>";
+    case 1:
+      return "<" + name + ">" + rng.NextText(1 + rng.Uniform(24)) + "</" +
+             name + ">";
+    case 2:
+      return "<" + name + " a=\"" + rng.NextName(3) + "\"><" +
+             rng.NextName(3) + "/>" + rng.NextText(1 + rng.Uniform(12)) +
+             "</" + name + ">";
+    default:
+      // Occasional large text child stresses overflow records and
+      // multi-page ranges under the small torture page size.
+      return "<" + name + ">" + rng.NextText(40 + rng.Uniform(200)) + "</" +
+             name + ">";
+  }
+}
+
+TortureOp GenOp(Random& rng, Store& oracle) {
+  TortureOp op;
+  // Bias toward deletes once the document is large so the per-iteration
+  // serialize/verify pass stays bounded as iterations accumulate.
+  const bool crowded = oracle.live_node_count() > 3000;
+  const uint64_t roll = rng.Uniform(100);
+  const uint64_t delete_cut = crowded ? 45 : 18;
+  if (roll < delete_cut) {
+    op.kind = TortureOp::Kind::kDelete;
+  } else if (roll < delete_cut + 12) {
+    op.kind = rng.Bernoulli(0.5) ? TortureOp::Kind::kReplaceNode
+                                 : TortureOp::Kind::kReplaceContent;
+    op.xml = RandomFragment(rng);
+  } else if (roll < delete_cut + 24) {
+    op.kind = TortureOp::Kind::kInsertTopLevel;
+    op.xml = RandomFragment(rng);
+  } else {
+    switch (rng.Uniform(4)) {
+      case 0: op.kind = TortureOp::Kind::kInsertBefore; break;
+      case 1: op.kind = TortureOp::Kind::kInsertAfter; break;
+      case 2: op.kind = TortureOp::Kind::kInsertIntoFirst; break;
+      default: op.kind = TortureOp::Kind::kInsertIntoLast; break;
+    }
+    op.xml = RandomFragment(rng);
+  }
+  if (op.kind != TortureOp::Kind::kInsertTopLevel) {
+    op.target = PickTarget(rng, oracle);
+    if (op.target == kInvalidNodeId) {
+      op.kind = TortureOp::Kind::kInsertTopLevel;
+      if (op.xml.empty()) op.xml = RandomFragment(rng);
+    }
+  }
+  return op;
+}
+
+// Arms at most one fault on the injectors, drawn from the seeded
+// schedule. Roughly a third of iterations crash without any injected
+// fault at all — pure power loss at a random point.
+void ArmFaults(Random& rng, uint32_t ops, FaultyPageFile* fpf,
+               FaultyWalFile* fwf) {
+  const Status io = Status::IOError("injected fault");
+  switch (rng.Uniform(10)) {
+    case 0:
+    case 1:
+    case 2:
+      break;  // crash-only
+    case 3:
+      fpf->FailNth(FaultOp::kWrite, rng.Range(1, ops * 4), io);
+      break;
+    case 4:
+      fpf->FailNth(FaultOp::kSync, rng.Range(1, 3), io);
+      break;
+    case 5:
+      fpf->FailNth(FaultOp::kAlloc, rng.Range(1, ops * 2),
+                   Status::NoSpace("injected ENOSPC"));
+      break;
+    case 6:
+      fpf->FailNth(FaultOp::kMeta, rng.Range(1, 3), io);
+      break;
+    case 7:
+      fwf->FailNth(FaultOp::kWrite, rng.Range(1, ops + 4), io);
+      break;
+    case 8:
+      fwf->FailNth(FaultOp::kSync, rng.Range(1, ops + 4), io);
+      break;
+    default:
+      fwf->FailNth(FaultOp::kTruncate, rng.Range(1, 3), io);
+      break;
+  }
+}
+
+StoreOptions MakeStoreOptions(const TortureOptions& opts) {
+  StoreOptions so;
+  so.pager.page_size = opts.page_size;
+  so.pager.pool_frames = opts.pool_frames;
+  so.index_mode = IndexMode::kRangeWithPartial;
+  so.max_range_bytes = 4096;
+  so.enable_wal = true;
+  so.wal_sync = WalSyncMode::kEveryCommit;
+  so.paranoid_audit_interval = 0;  // one explicit CheckIntegrity below
+  return so;
+}
+
+// Renders a token stream for a failure message. XML when the instance
+// is expressible as text; otherwise the encoded-token bytes in hex (the
+// store's splice semantics permit instances XML cannot express — e.g.
+// an element spliced before an attribute node — and those must still be
+// quotable when they diverge).
+std::string Render(const TokenSequence& tokens) {
+  auto xml = SerializeTokens(tokens);
+  if (xml.ok()) return *xml;
+  std::string out = "(not XML-expressible) 0x";
+  for (uint8_t byte : EncodeTokens(tokens)) {
+    static const char kHex[] = "0123456789abcdef";
+    out += kHex[byte >> 4];
+    out += kHex[byte & 0xf];
+  }
+  return out;
+}
+
+// Locates the first byte where the two renderings diverge and quotes a
+// window around it — enough to recognize which op went missing or
+// doubled without dumping two whole documents.
+std::string DescribeDivergence(const TokenSequence& got_tokens,
+                               const TokenSequence& want_tokens) {
+  const std::string got = Render(got_tokens);
+  const std::string want = Render(want_tokens);
+  size_t i = 0;
+  while (i < got.size() && i < want.size() && got[i] == want[i]) ++i;
+  auto window = [i](const std::string& s) {
+    const size_t from = i > 30 ? i - 30 : 0;
+    return s.substr(from, 60);
+  };
+  return "first divergence at byte " + std::to_string(i) +
+         " (recovered " + std::to_string(got.size()) + "B vs oracle " +
+         std::to_string(want.size()) + "B): recovered \"..." +
+         window(got) + "...\" oracle \"..." + window(want) + "...\"";
+}
+
+struct IterationResult {
+  std::string error;  // empty = pass
+  bool ok() const { return error.empty(); }
+};
+
+IterationResult RunIteration(const TortureOptions& opts,
+                             const std::string& path, uint64_t seed,
+                             Store& oracle, TortureReport* report) {
+  Random rng(seed);
+
+  FaultyPageFile* fpf = nullptr;
+  FaultyWalFile* fwf = nullptr;
+  StoreOptions so = MakeStoreOptions(opts);
+  so.pager.file_wrapper =
+      [&fpf](std::unique_ptr<PageFile> base) -> std::unique_ptr<PageFile> {
+    auto faulty = std::make_unique<FaultyPageFile>(std::move(base),
+                                                   /*buffer_unsynced=*/true);
+    fpf = faulty.get();
+    return faulty;
+  };
+  so.wal_file_wrapper =
+      [&fwf](std::unique_ptr<WalFile> base) -> std::unique_ptr<WalFile> {
+    auto wrapped = FaultyWalFile::Wrap(std::move(base));
+    if (!wrapped.ok()) return nullptr;
+    fwf = wrapped->get();
+    return std::move(*wrapped);
+  };
+
+  auto opened = Store::Open(path, so);
+  if (!opened.ok()) {
+    return {"open under injectors failed (no faults armed yet): " +
+            opened.status().ToString()};
+  }
+  std::unique_ptr<Store> store = std::move(*opened);
+  ArmFaults(rng, opts.ops_per_iteration, fpf, fwf);
+
+  // ---- Workload: mirror every acked mutation into the oracle. -------
+  std::optional<TortureOp> pending;  // env-failed op; may have hit the WAL
+  for (uint32_t i = 0; i < opts.ops_per_iteration; ++i) {
+    // Occasional explicit checkpoint: the page-sync / meta / truncate
+    // faults only have something to bite during one of these.
+    if (rng.Bernoulli(0.08)) {
+      Status st = store->Sync();
+      if (!st.ok()) {
+        if (!IsEnvironmental(st)) return {"Sync failed: " + st.ToString()};
+        if (!store->poisoned()) {
+          return {"sync error did not poison the store: " + st.ToString()};
+        }
+        break;  // checkpoint failed mid-flight; nothing acked was lost
+      }
+    }
+    // Occasional read touch: churns the pool/memoization and verifies
+    // degraded reads never take the store down.
+    if (rng.Bernoulli(0.15)) {
+      NodeId id = PickTarget(rng, oracle);
+      if (id != kInvalidNodeId) (void)store->Read(id);
+    }
+
+    TortureOp op = GenOp(rng, oracle);
+    auto store_result = ApplyOp(*store, op);
+    if (store_result.ok()) {
+      auto oracle_result = ApplyOp(oracle, op);
+      if (!oracle_result.ok()) {
+        return {"oracle rejected an op the store acked: " +
+                oracle_result.status().ToString()};
+      }
+      if (*oracle_result != *store_result) {
+        return {"node-id divergence: store returned " +
+                std::to_string(*store_result) + ", oracle " +
+                std::to_string(*oracle_result)};
+      }
+      ++report->ops_acked;
+    } else if (!IsEnvironmental(store_result.status())) {
+      auto oracle_result = ApplyOp(oracle, op);
+      if (oracle_result.ok()) {
+        return {"store rejected an op the oracle accepts: " +
+                store_result.status().ToString()};
+      }
+      ++report->ops_rejected;
+    } else {
+      // Injected (or cascaded) failure: fail-stop must have engaged —
+      // further mutations rejected as Poisoned, reads still served.
+      if (!store->poisoned()) {
+        return {"environmental error did not poison the store: " +
+                store_result.status().ToString()};
+      }
+      Status rejected = store->DeleteNode(1);
+      if (!rejected.IsPoisoned()) {
+        return {"poisoned store accepted (or mis-rejected) a mutation: " +
+                rejected.ToString()};
+      }
+      (void)store->Read();  // degraded reads must not crash
+      pending = op;
+      break;
+    }
+  }
+  if (store->poisoned()) ++report->poisonings;
+  report->faults_fired += fpf->injected_faults() + fwf->injected_faults();
+
+  // ---- Crash: drop everything unsynced. -----------------------------
+  store->TestOnlyCrash();
+  uint64_t torn = 0;
+  const uint64_t unsynced = fwf->unsynced_bytes();
+  if (unsynced > 0 && rng.Bernoulli(0.5)) {
+    torn = rng.Range(1, unsynced);
+    ++report->torn_tail_crashes;
+  }
+  fwf->Crash(torn);
+  fpf->Crash();
+  store.reset();
+
+  // Recovery runs with a larger pool than the torture workload: under
+  // the no-steal policy a single operation's write set must fit in the
+  // pool, and an op that fail-stopped the live store on pool exhaustion
+  // is still in the WAL — replaying it needs the headroom the live run
+  // lacked. This mirrors the operator remedy the error text prescribes
+  // ("checkpoint or enlarge the pool").
+  const size_t recovery_frames =
+      opts.pool_frames * 8 > 512 ? opts.pool_frames * 8 : 512;
+
+  // ---- Verify 1: fsck over the crashed files. -----------------------
+  FsckOptions fsck_opts;
+  fsck_opts.pool_frames = recovery_frames;
+  FsckOutcome fsck = RunFsck(path, fsck_opts);
+  if (fsck.exit_code != 0) {
+    std::string detail = fsck.error;
+    if (detail.empty() && !fsck.report.issues.empty()) {
+      detail = fsck.report.issues.front().message;
+    }
+    return {"fsck after crash failed (exit " +
+            std::to_string(fsck.exit_code) + "): " + detail};
+  }
+
+  // ---- Verify 2: recover for real, audit, compare to the oracle. ----
+  StoreOptions recovery_opts = MakeStoreOptions(opts);
+  recovery_opts.pager.pool_frames = recovery_frames;
+  auto reopened = Store::Open(path, recovery_opts);
+  if (!reopened.ok()) {
+    return {"recovery open failed: " + reopened.status().ToString()};
+  }
+  Status integrity = (*reopened)->CheckIntegrity();
+  if (!integrity.ok()) {
+    return {"CheckIntegrity after recovery: " + integrity.ToString()};
+  }
+
+  // The comparison runs on the raw token streams, not serialized XML:
+  // Table-1 splice semantics admit instances XML text cannot express
+  // (DESIGN.md §9), and those must round-trip through a crash too.
+  auto got = (*reopened)->Read();
+  if (!got.ok()) return {"recovered read-back: " + got.status().ToString()};
+  auto want = oracle.Read();
+  if (!want.ok()) return {"oracle read-back: " + want.status().ToString()};
+  if (EncodeTokens(*got) != EncodeTokens(*want)) {
+    // The one in-flight operation at crash time was never acked, but
+    // its WAL record may have reached the disk before the failure — a
+    // logged op legitimately replays. Acked history must match either
+    // way; anything else is lost or invented data.
+    bool excused = false;
+    if (pending.has_value()) {
+      auto replayed = ApplyOp(oracle, *pending);
+      if (replayed.ok()) {
+        want = oracle.Read();
+        if (!want.ok()) {
+          return {"oracle read-back: " + want.status().ToString()};
+        }
+        excused = (EncodeTokens(*got) == EncodeTokens(*want));
+      }
+    }
+    if (!excused) return {DescribeDivergence(*got, *want)};
+  }
+  if ((*reopened)->node_high_water() != oracle.node_high_water()) {
+    return {"node high-water divergence: recovered " +
+            std::to_string((*reopened)->node_high_water()) + " vs oracle " +
+            std::to_string(oracle.node_high_water())};
+  }
+  // Clean close checkpoints, so the next iteration tortures recovered,
+  // re-persisted state.
+  reopened->reset();
+  return {};
+}
+
+}  // namespace
+
+TortureReport RunTorture(const TortureOptions& options) {
+  TortureReport report;
+  const std::string path = options.dir + "/torture_store.laxml";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  StoreOptions oracle_opts;
+  oracle_opts.pager.page_size = options.page_size;
+  oracle_opts.pager.pool_frames = options.pool_frames;
+  oracle_opts.index_mode = IndexMode::kRangeWithPartial;
+  oracle_opts.max_range_bytes = 4096;
+  oracle_opts.paranoid_audit_interval = 0;
+  auto oracle = Store::OpenInMemory(oracle_opts);
+  if (!oracle.ok()) {
+    report.error = "oracle open failed: " + oracle.status().ToString();
+    return report;
+  }
+
+  for (uint32_t i = 0; i < options.iterations; ++i) {
+    const uint64_t seed = MixSeed(options.seed, i);
+    IterationResult result =
+        RunIteration(options, path, seed, **oracle, &report);
+    ++report.iterations_run;
+    if (options.verbose) {
+      std::fprintf(stderr,
+                   "iter %u seed %llu: %s (acked %llu, faults %llu)\n", i,
+                   static_cast<unsigned long long>(seed),
+                   result.ok() ? "ok" : result.error.c_str(),
+                   static_cast<unsigned long long>(report.ops_acked),
+                   static_cast<unsigned long long>(report.faults_fired));
+    }
+    if (!result.ok()) {
+      report.error = result.error;
+      report.failed_iteration = i;
+      report.failed_seed = seed;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace torture
+}  // namespace laxml

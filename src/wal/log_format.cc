@@ -25,6 +25,8 @@ const char* WalOpName(WalOp op) {
       return "replaceContent";
     case WalOp::kInsertTopLevel:
       return "insertTopLevel";
+    case WalOp::kCheckpoint:
+      return "checkpoint";
   }
   return "?";
 }
@@ -60,7 +62,7 @@ Status DecodeWalRecord(const uint8_t** p, const uint8_t* limit,
     return Status::NotFound("crc mismatch at log tail");
   }
   record->op = static_cast<WalOp>(cur[0]);
-  if (cur[0] > static_cast<uint8_t>(WalOp::kInsertTopLevel)) {
+  if (cur[0] > static_cast<uint8_t>(WalOp::kCheckpoint)) {
     return Status::Corruption("unknown wal op code");
   }
   record->target = DecodeFixed64(cur + 1);

@@ -33,6 +33,13 @@ enum class WalOp : uint8_t {
   kReplaceNode = 5,
   kReplaceContent = 6,
   kInsertTopLevel = 7,
+  /// Checkpoint epoch header — not a logical operation. Written as the
+  /// first record after every WAL truncation; `target` holds the
+  /// checkpoint epoch the log continues from. Recovery compares it to
+  /// the epoch in the store meta and skips replay of a stale log (one
+  /// whose checkpoint already absorbed it but whose truncate was lost
+  /// to a crash). Replay ignores these records otherwise.
+  kCheckpoint = 8,
 };
 
 const char* WalOpName(WalOp op);

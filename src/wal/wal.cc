@@ -1,44 +1,26 @@
 #include "wal/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace laxml {
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
-  // O_CLOEXEC: keep the log fd out of forked/exec'd children.
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
-                  0644);
-  if (fd < 0) {
-    return Status::IOError("open wal '" + path +
-                           "': " + std::strerror(errno));
-  }
-  return std::unique_ptr<Wal>(new Wal(fd, path));
+  LAXML_ASSIGN_OR_RETURN(std::unique_ptr<PosixWalFile> file,
+                         PosixWalFile::Open(path));
+  return Open(std::unique_ptr<WalFile>(std::move(file)));
 }
 
-Wal::~Wal() {
-  if (fd_ >= 0) ::close(fd_);
+Result<std::unique_ptr<Wal>> Wal::Open(std::unique_ptr<WalFile> file) {
+  return std::unique_ptr<Wal>(new Wal(std::move(file)));
 }
+
+Wal::~Wal() = default;
 
 Status Wal::Append(const WalRecord& record, bool sync) {
   std::vector<uint8_t> framed;
   EncodeWalRecord(record, &framed);
-  size_t off = 0;
-  while (off < framed.size()) {
-    ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("wal write: ") +
-                             std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
+  LAXML_RETURN_IF_ERROR(file_->Append(Slice(framed.data(), framed.size())));
   ++stats_.records_appended;
   stats_.bytes_appended += framed.size();
   appended_lsn_.fetch_add(1, std::memory_order_acq_rel);
@@ -57,10 +39,7 @@ Status Wal::Sync() {
   const uint64_t target = appended_lsn_.load(std::memory_order_acquire);
   LAXML_TRACE_SPAN("wal_fsync");
   const uint64_t start_us = obs::NowMicros();
-  if (::fdatasync(fd_) != 0) {
-    return Status::IOError(std::string("wal fdatasync: ") +
-                           std::strerror(errno));
-  }
+  LAXML_RETURN_IF_ERROR(file_->Sync());
   LAXML_HISTOGRAM_RECORD("laxml_wal_fsync_us", obs::NowMicros() - start_us);
   // Monotone advance: a concurrent Sync may already have published a
   // higher durable point.
@@ -74,17 +53,7 @@ Status Wal::Sync() {
 }
 
 Result<std::vector<WalRecord>> Wal::ReadAll() const {
-  off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size < 0) {
-    return Status::IOError("wal lseek failed");
-  }
-  std::vector<uint8_t> buf(static_cast<size_t>(size));
-  if (size > 0) {
-    ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
-    if (n != size) {
-      return Status::IOError("wal short read");
-    }
-  }
+  LAXML_ASSIGN_OR_RETURN(std::vector<uint8_t> buf, file_->ReadAll());
   std::vector<WalRecord> records;
   const uint8_t* p = buf.data();
   const uint8_t* limit = p + buf.size();
@@ -99,16 +68,8 @@ Result<std::vector<WalRecord>> Wal::ReadAll() const {
 }
 
 Status Wal::TrimTornTail() {
-  off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size < 0) {
-    return Status::IOError("wal lseek failed");
-  }
-  if (size == 0) return Status::OK();
-  std::vector<uint8_t> buf(static_cast<size_t>(size));
-  ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
-  if (n != size) {
-    return Status::IOError("wal short read");
-  }
+  LAXML_ASSIGN_OR_RETURN(std::vector<uint8_t> buf, file_->ReadAll());
+  if (buf.empty()) return Status::OK();
   const uint8_t* p = buf.data();
   const uint8_t* limit = p + buf.size();
   while (p < limit) {
@@ -120,22 +81,11 @@ Status Wal::TrimTornTail() {
     }
   }
   if (p == limit) return Status::OK();  // chain verifies to the end
-  const off_t valid = static_cast<off_t>(p - buf.data());
-  if (::ftruncate(fd_, valid) != 0) {
-    return Status::IOError(std::string("wal ftruncate: ") +
-                           std::strerror(errno));
-  }
-  return Status::OK();
+  return file_->Truncate(static_cast<uint64_t>(p - buf.data()));
 }
 
 Status Wal::Truncate() {
-  if (::ftruncate(fd_, 0) != 0) {
-    return Status::IOError(std::string("wal ftruncate: ") +
-                           std::strerror(errno));
-  }
-  if (::lseek(fd_, 0, SEEK_SET) < 0) {
-    return Status::IOError("wal lseek after truncate failed");
-  }
+  LAXML_RETURN_IF_ERROR(file_->Truncate(0));
   ++stats_.truncations;
   // A checkpoint persisted every logged effect through its own page
   // flush + file sync, so everything appended so far is durable even
@@ -148,10 +98,6 @@ Status Wal::Truncate() {
   return Status::OK();
 }
 
-Result<uint64_t> Wal::SizeBytes() const {
-  off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size < 0) return Status::IOError("wal lseek failed");
-  return static_cast<uint64_t>(size);
-}
+Result<uint64_t> Wal::SizeBytes() const { return file_->Size(); }
 
 }  // namespace laxml

@@ -25,6 +25,7 @@
 #include "common/relaxed_counter.h"
 #include "common/status.h"
 #include "wal/log_format.h"
+#include "wal/wal_file.h"
 
 namespace laxml {
 
@@ -42,6 +43,10 @@ class Wal {
  public:
   /// Opens (creating if absent) the log at `path`.
   static Result<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  /// Wraps an already-open byte log — the injection seam tests use to
+  /// slide a FaultyWalFile underneath the record/LSN machinery.
+  static Result<std::unique_ptr<Wal>> Open(std::unique_ptr<WalFile> file);
 
   ~Wal();
 
@@ -84,13 +89,12 @@ class Wal {
   Result<uint64_t> SizeBytes() const;
 
   const WalStats& stats() const { return stats_; }
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return file_->path(); }
 
  private:
-  Wal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  explicit Wal(std::unique_ptr<WalFile> file) : file_(std::move(file)) {}
 
-  int fd_;
-  std::string path_;
+  std::unique_ptr<WalFile> file_;
   WalStats stats_;
   /// Last record written into the file / last record fdatasync'd. The
   /// group-commit sequencer reads these from committer threads while

@@ -1,0 +1,182 @@
+#include "wal/wal_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace laxml {
+
+// ---------------------------------------------------------------------------
+// PosixWalFile
+
+Result<std::unique_ptr<PosixWalFile>> PosixWalFile::Open(
+    const std::string& path) {
+  // O_CLOEXEC: keep the log fd out of forked/exec'd children.
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IOError("open wal '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<PosixWalFile>(new PosixWalFile(fd, path));
+}
+
+PosixWalFile::~PosixWalFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PosixWalFile::Append(Slice data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("wal write: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PosixWalFile::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(std::string("wal fdatasync: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> PosixWalFile::ReadAll() const {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IOError("wal lseek failed");
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(size));
+  if (size > 0) {
+    ssize_t n = ::pread(fd_, buf.data(), buf.size(), 0);
+    if (n != size) {
+      return Status::IOError("wal short read");
+    }
+  }
+  return buf;
+}
+
+Status PosixWalFile::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError(std::string("wal ftruncate: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> PosixWalFile::Size() const {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Status::IOError("wal lseek failed");
+  return static_cast<uint64_t>(size);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyWalFile
+
+Result<std::unique_ptr<FaultyWalFile>> FaultyWalFile::Wrap(
+    std::unique_ptr<WalFile> base) {
+  auto file = std::unique_ptr<FaultyWalFile>(
+      new FaultyWalFile(std::move(base)));
+  LAXML_ASSIGN_OR_RETURN(file->logical_, file->base_->ReadAll());
+  file->synced_len_ = file->logical_.size();
+  return file;
+}
+
+Status FaultyWalFile::CheckFault(FaultOp op) {
+  uint64_t n = ++op_counts_[static_cast<int>(op)];
+  const FaultPlan::Rule& r = plan_.rules[static_cast<int>(op)];
+  if (r.nth != 0 && (n == r.nth || (r.sticky && n > r.nth))) {
+    ++injected_faults_;
+    return r.error;
+  }
+  uint32_t permille = plan_.random_permille[static_cast<int>(op)];
+  if (permille != 0) {
+    if (rng_state_ == 0) {
+      rng_state_ = plan_.random_seed != 0 ? plan_.random_seed
+                                          : 0x9E3779B97F4A7C15ull;
+    }
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    if (rng_state_ % 1000 < permille) {
+      ++injected_faults_;
+      return plan_.random_error;
+    }
+  }
+  return Status::OK();
+}
+
+void FaultyWalFile::Crash(uint64_t torn_bytes) {
+  if (!crashed_ && torn_bytes > 0 && !rewrite_needed_ &&
+      logical_.size() > synced_len_) {
+    uint64_t tail = logical_.size() - synced_len_;
+    if (torn_bytes > tail) torn_bytes = tail;
+    (void)base_->Append(
+        Slice(logical_.data() + synced_len_, torn_bytes));
+  }
+  crashed_ = true;
+  // Revert the logical image to what survived on the base.
+  auto synced = base_->ReadAll();
+  if (synced.ok()) {
+    logical_ = std::move(synced).value();
+  } else {
+    logical_.resize(synced_len_);
+  }
+  synced_len_ = logical_.size();
+  rewrite_needed_ = false;
+}
+
+Status FaultyWalFile::Append(Slice data) {
+  if (crashed_) return Status::IOError("wal file crashed");
+  LAXML_RETURN_IF_ERROR(CheckFault(FaultOp::kWrite));
+  logical_.insert(logical_.end(), data.data(), data.data() + data.size());
+  return Status::OK();
+}
+
+Status FaultyWalFile::Sync() {
+  if (crashed_) return Status::IOError("wal file crashed");
+  // The fault check runs before any byte reaches the base: an injected
+  // sync failure leaves the base at the previous synced image.
+  LAXML_RETURN_IF_ERROR(CheckFault(FaultOp::kSync));
+  if (rewrite_needed_) {
+    LAXML_RETURN_IF_ERROR(base_->Truncate(0));
+    LAXML_RETURN_IF_ERROR(
+        base_->Append(Slice(logical_.data(), logical_.size())));
+  } else if (logical_.size() > synced_len_) {
+    LAXML_RETURN_IF_ERROR(base_->Append(
+        Slice(logical_.data() + synced_len_, logical_.size() - synced_len_)));
+  }
+  LAXML_RETURN_IF_ERROR(base_->Sync());
+  synced_len_ = logical_.size();
+  rewrite_needed_ = false;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> FaultyWalFile::ReadAll() const {
+  if (crashed_) return Status::IOError("wal file crashed");
+  return logical_;
+}
+
+Status FaultyWalFile::Truncate(uint64_t size) {
+  if (crashed_) return Status::IOError("wal file crashed");
+  LAXML_RETURN_IF_ERROR(CheckFault(FaultOp::kTruncate));
+  if (size >= logical_.size()) return Status::OK();
+  if (size < synced_len_) rewrite_needed_ = true;
+  logical_.resize(size);
+  return Status::OK();
+}
+
+Result<uint64_t> FaultyWalFile::Size() const {
+  if (crashed_) return Status::IOError("wal file crashed");
+  return static_cast<uint64_t>(logical_.size());
+}
+
+}  // namespace laxml

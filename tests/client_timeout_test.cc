@@ -1,0 +1,138 @@
+// net::Client timeout and retry behaviour against a misbehaving peer:
+// a server that accepts the connection and then never answers must not
+// hang the client — the poll-based deadline fires, and the idempotent
+// read path gets exactly one reconnect-and-retry before the failure is
+// surfaced. Mutations must never retry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/socket.h"
+#include "test_util.h"
+#include "xml/tokenizer.h"
+
+namespace laxml {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A listener that accepts every connection and then stalls forever —
+// the TCP equivalent of a wedged server. Counts accepts so tests can
+// observe the client's reconnects.
+class StallingServer {
+ public:
+  StallingServer() {
+    auto fd = ListenTcp("127.0.0.1", 0);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    listen_fd_ = std::move(fd).value();
+    auto port = LocalPort(listen_fd_.get());
+    EXPECT_TRUE(port.ok());
+    port_ = *port;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~StallingServer() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+  int accepted() const { return accepted_.load(); }
+
+ private:
+  void Loop() {
+    while (!stop_.load()) {
+      auto conn = AcceptConn(listen_fd_.get());
+      if (conn.ok()) {
+        accepted_.fetch_add(1);
+        held_.push_back(std::move(conn).value());  // hold open, never reply
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  }
+
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> accepted_{0};
+  std::vector<UniqueFd> held_;
+};
+
+ClientOptions FastTimeouts() {
+  ClientOptions options;
+  options.connect_timeout_ms = 1000;
+  options.io_timeout_ms = 150;
+  options.connect_attempts = 1;
+  options.retry_delay_ms = 10;
+  return options;
+}
+
+TEST(ClientTimeoutTest, StalledResponseTimesOutAndRetriesOnce) {
+  StallingServer server;
+  ASSERT_OK_AND_ASSIGN(auto client,
+                       Client::Connect("127.0.0.1", server.port(),
+                                       FastTimeouts()));
+  // Wait until the server has surely registered the first connection.
+  while (server.accepted() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto start = Clock::now();
+  Status st = client->Ping();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - start);
+
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+  // Two deadline windows (original + one retry) plus slack — but far
+  // from the 30s a per-syscall-timeout client could be dragged to.
+  EXPECT_GE(elapsed.count(), 150);
+  EXPECT_LT(elapsed.count(), 2000);
+  // The retry dialed a second connection.
+  EXPECT_EQ(server.accepted(), 2);
+}
+
+TEST(ClientTimeoutTest, MutationsNeverRetry) {
+  StallingServer server;
+  ASSERT_OK_AND_ASSIGN(auto client,
+                       Client::Connect("127.0.0.1", server.port(),
+                                       FastTimeouts()));
+  while (server.accepted() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ASSERT_OK_AND_ASSIGN(TokenSequence fragment, ParseFragment("<x/>"));
+  auto result = client->InsertTopLevel(fragment);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsAborted()) << result.status().ToString();
+  // The insert may have been applied server-side before the connection
+  // died; re-running it could double-apply. One connection, ever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(server.accepted(), 1);
+}
+
+TEST(ClientTimeoutTest, RetryDisabledSurfacesFirstFailure) {
+  StallingServer server;
+  ClientOptions options = FastTimeouts();
+  options.retry_idempotent = false;
+  ASSERT_OK_AND_ASSIGN(
+      auto client, Client::Connect("127.0.0.1", server.port(), options));
+  while (server.accepted() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  EXPECT_TRUE(client->Ping().IsAborted());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(server.accepted(), 1);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace laxml

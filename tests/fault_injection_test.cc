@@ -16,6 +16,8 @@
 namespace laxml {
 namespace {
 
+using testing::FileSize;
+using testing::FlipBit;
 using testing::MustFragment;
 using testing::TempFile;
 
@@ -24,23 +26,6 @@ StoreOptions SmallStore() {
   options.pager.page_size = 512;
   options.pager.pool_frames = 16;
   return options;
-}
-
-/// Flips one bit at `offset` in the file.
-void FlipBit(const std::string& path, long offset) {
-  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
-  ASSERT_TRUE(f.good());
-  f.seekg(offset);
-  char byte;
-  f.read(&byte, 1);
-  byte ^= 0x10;
-  f.seekp(offset);
-  f.write(&byte, 1);
-}
-
-long FileSize(const std::string& path) {
-  std::ifstream f(path, std::ios::binary | std::ios::ate);
-  return static_cast<long>(f.tellg());
 }
 
 TEST(FaultInjectionTest, BitFlipInDataPageIsDetected) {

@@ -130,16 +130,16 @@ TEST(GroupCommitTest, AckedCommitsSurviveTornTailCrash) {
     raw->TestOnlyCrash();
   }
 
-  // fsck the torn store first: the ONLY finding must be the torn WAL
-  // tail itself (which the next recovery legitimately discards) — the
-  // durable prefix and the page image verify clean.
+  // fsck the torn store first: the torn WAL tail is a normal crash
+  // artifact (the next recovery discards it), surfaced as a coverage
+  // counter rather than an issue — the durable prefix and the page
+  // image verify clean.
   {
     FsckOutcome fsck = RunFsck(tmp.path());
-    EXPECT_EQ(fsck.exit_code, 1);
+    EXPECT_EQ(fsck.exit_code, 0) << fsck.report.Summary();
     EXPECT_TRUE(fsck.wal_present);
-    ASSERT_EQ(fsck.report.issues.size(), 1u) << fsck.report.Summary();
-    EXPECT_EQ(fsck.report.issues[0].layer, AuditLayer::kWal)
-        << fsck.report.issues[0].ToString();
+    EXPECT_EQ(fsck.report.issues.size(), 0u) << fsck.report.Summary();
+    EXPECT_GT(fsck.report.wal_torn_tail_bytes, 0u);
   }
 
   {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "common/status.h"
@@ -59,6 +60,25 @@ inline std::string MustSerialize(const TokenSequence& tokens) {
     return {};
   }
   return std::move(result).value();
+}
+
+/// Flips one bit (0x10) of the byte at `offset` in the file — the
+/// canonical "cosmic ray" for corruption tests.
+inline void FlipBit(const std::string& path, long offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << "cannot open " << path;
+  f.seekg(offset);
+  char byte;
+  f.read(&byte, 1);
+  byte ^= 0x10;
+  f.seekp(offset);
+  f.write(&byte, 1);
+}
+
+/// Size of a file in bytes, or -1 when it cannot be opened.
+inline long FileSize(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  return static_cast<long>(f.tellg());
 }
 
 /// A unique temp file path, removed on destruction (plus its WAL).

@@ -158,13 +158,13 @@ TEST(WireFormatTest, ErrorResponseCarriesStatusAndSuppressesPayload) {
 }
 
 TEST(WireFormatTest, StatusFromWireCoversEveryCode) {
-  for (uint8_t code = 0; code <= 8; ++code) {
+  for (uint8_t code = 0; code <= 10; ++code) {
     Status out;
     ASSERT_LAXML_OK(StatusFromWire(code, "m", &out));
     EXPECT_EQ(static_cast<uint8_t>(out.code()), code);
   }
   Status out;
-  EXPECT_TRUE(StatusFromWire(9, "m", &out).IsCorruption());
+  EXPECT_TRUE(StatusFromWire(11, "m", &out).IsCorruption());
   EXPECT_TRUE(StatusFromWire(255, "m", &out).IsCorruption());
 }
 

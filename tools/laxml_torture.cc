@@ -1,0 +1,116 @@
+// laxml_torture: crash-recovery torture loop (see src/torture/).
+//
+//   laxml_torture [--iters N] [--seed S] [--ops N] [--dir PATH] [-v]
+//
+// Runs N seeded crash/recover cycles against a store backed by the
+// fault injectors and cross-checks every recovery against an in-memory
+// oracle of acknowledged commits. Exit codes:
+//
+//   0  every iteration recovered to exactly the acked state
+//   1  an invariant broke — the reproducer seed is printed; re-run
+//      with  --seed <that value> --iters 1  to replay the schedule
+//   2  usage error
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "torture/torture.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "\n"
+      "Crash-recovery torture loop: seeded random workload against a\n"
+      "fault-injected store, power-loss crash, fsck + recovery, and a\n"
+      "byte-for-byte cross-check against an oracle of acked commits.\n"
+      "\n"
+      "options:\n"
+      "  --iters N   crash/recover cycles to run (default 100)\n"
+      "  --seed S    master seed (default 1); a failure prints the\n"
+      "              exact flags that replay it\n"
+      "  --ops N     workload operations per iteration (default 40)\n"
+      "  --dir PATH  directory for the store files (default .)\n"
+      "  -v          one progress line per iteration\n"
+      "  -h, --help  this message\n",
+      argv0);
+}
+
+bool ParseU64(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  laxml::torture::TortureOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    uint64_t v = 0;
+    if (std::strcmp(arg, "--iters") == 0) {
+      if (!ParseU64(need_value("--iters"), &v)) { Usage(argv[0]); return 2; }
+      options.iterations = static_cast<uint32_t>(v);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!ParseU64(need_value("--seed"), &v)) { Usage(argv[0]); return 2; }
+      options.seed = v;
+    } else if (std::strcmp(arg, "--ops") == 0) {
+      if (!ParseU64(need_value("--ops"), &v)) { Usage(argv[0]); return 2; }
+      options.ops_per_iteration = static_cast<uint32_t>(v);
+    } else if (std::strcmp(arg, "--dir") == 0) {
+      options.dir = need_value("--dir");
+    } else if (std::strcmp(arg, "-v") == 0) {
+      options.verbose = true;
+    } else if (std::strcmp(arg, "-h") == 0 ||
+               std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], arg);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  laxml::torture::TortureReport report = laxml::torture::RunTorture(options);
+  std::printf(
+      "torture: %llu/%u iterations, %llu acked ops, %llu deterministic "
+      "rejections, %llu injected faults, %llu poisonings, %llu torn-tail "
+      "crashes\n",
+      static_cast<unsigned long long>(report.iterations_run),
+      options.iterations, static_cast<unsigned long long>(report.ops_acked),
+      static_cast<unsigned long long>(report.ops_rejected),
+      static_cast<unsigned long long>(report.faults_fired),
+      static_cast<unsigned long long>(report.poisonings),
+      static_cast<unsigned long long>(report.torn_tail_crashes));
+  if (!report.ok()) {
+    // The run is fully deterministic in (seed, ops): replaying the
+    // master seed up through the failed iteration reproduces the exact
+    // store state and fault schedule.
+    std::fprintf(stderr,
+                 "FAILED at iteration %llu (iteration seed %llu): %s\n"
+                 "reproduce with: %s --seed %llu --iters %llu --ops %u\n",
+                 static_cast<unsigned long long>(report.failed_iteration),
+                 static_cast<unsigned long long>(report.failed_seed),
+                 report.error.c_str(), argv[0],
+                 static_cast<unsigned long long>(options.seed),
+                 static_cast<unsigned long long>(report.failed_iteration + 1),
+                 options.ops_per_iteration);
+    return 1;
+  }
+  return 0;
+}
