@@ -3,13 +3,13 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+#include "common/mutex.h"
 
 namespace laxml {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -41,7 +41,7 @@ void LogMessage(LogLevel level, const char* file, int line,
   }
   const char* base = std::strrchr(file, '/');
   base = base ? base + 1 : file;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
                msg.c_str());
 }

@@ -1,0 +1,153 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::shared_mutex / std::condition_variable carrying the Clang Thread
+// Safety Analysis capability attributes (common/thread_annotations.h).
+//
+// libstdc++ ships no TSA annotations, so locking through the std types
+// directly is invisible to the analysis. Engine code therefore uses
+// these wrappers everywhere a latch guards state; the wrappers are
+// zero-overhead (every method is a single inlined forward) and compile
+// identically off clang.
+//
+// Idioms:
+//   * Scoped by default: MutexLock / ReaderMutexLock / WriterMutexLock.
+//   * Raw Lock()/Unlock() where a latch is dropped mid-function (the
+//     group-commit leader handoff, SharedStore's commit wait): the
+//     analysis then proves every return path releases.
+//   * CondVar waits take the Mutex itself (LAXML_REQUIRES), not a
+//     std::unique_lock, so waiting threads stay inside the discipline.
+
+#ifndef LAXML_COMMON_MUTEX_H_
+#define LAXML_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace laxml {
+
+class CondVar;
+
+/// An exclusive latch (std::mutex) the analysis can follow.
+class LAXML_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LAXML_ACQUIRE() { mu_.lock(); }
+  void Unlock() LAXML_RELEASE() { mu_.unlock(); }
+  bool TryLock() LAXML_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// A reader/writer latch (std::shared_mutex) the analysis can follow.
+class LAXML_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() LAXML_ACQUIRE() { mu_.lock(); }
+  void Unlock() LAXML_RELEASE() { mu_.unlock(); }
+  void LockShared() LAXML_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() LAXML_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex.
+class LAXML_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LAXML_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() LAXML_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock on a SharedMutex.
+class LAXML_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) LAXML_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() LAXML_RELEASE() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock on a SharedMutex.
+class LAXML_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) LAXML_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() LAXML_RELEASE_GENERIC() { mu_.UnlockShared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to laxml::Mutex. Waits are declared
+/// LAXML_REQUIRES(mu): the analysis knows the latch is held across the
+/// wait (it is released and reacquired inside, which preserves the
+/// caller-visible capability state). Predicate re-check loops live at
+/// the call site — `while (!pred()) cv.Wait(mu);` — so the predicate's
+/// guarded reads are checked too.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) LAXML_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the capability stays with the caller
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      LAXML_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lk, deadline);
+    lk.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      LAXML_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lk, timeout);
+    lk.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace laxml
+
+#endif  // LAXML_COMMON_MUTEX_H_

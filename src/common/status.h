@@ -37,7 +37,12 @@ enum class StatusCode : unsigned char {
 /// factory functions (`Status::OK()`, `Status::NotFound(...)`) rather than
 /// constructing codes directly, and the LAXML_RETURN_IF_ERROR macro to
 /// propagate.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how I/O errors bypass
+/// the fail-stop poisoning machinery, so the compiler rejects it.
+/// Genuinely best-effort call sites must say so with an explicit
+/// `(void)` cast and a comment, or better, log the failure.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -111,7 +116,7 @@ class Status {
 /// Status; accessing the value of an errored result asserts in debug
 /// builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return 42;` works in a Result<int> function.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

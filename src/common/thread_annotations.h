@@ -1,0 +1,99 @@
+// Clang Thread Safety Analysis annotations (Abseil-style macro layer).
+//
+// These macros let the latching invariants that used to live only in
+// header comments ("guarded by mu_", "requires the shard lock") be
+// stated in code and *proved* by the compiler: building with
+//
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror=thread-safety
+//
+// (the `tsa` CMake preset) rejects any access to a LAXML_GUARDED_BY
+// field without its latch and any call to a LAXML_REQUIRES function
+// outside the declared capability. Off clang — or on clang without the
+// capability attributes — every macro expands to nothing, so GCC and
+// MSVC builds are untouched.
+//
+// The capability types themselves (annotated Mutex / SharedMutex /
+// CondVar wrappers over the std primitives, which libstdc++ does not
+// annotate) live in common/mutex.h.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef LAXML_COMMON_THREAD_ANNOTATIONS_H_
+#define LAXML_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LAXML_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#if !defined(LAXML_THREAD_ANNOTATION_)
+#define LAXML_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability ("mutex"-kind lockable resource).
+#define LAXML_CAPABILITY(name) LAXML_THREAD_ANNOTATION_(capability(name))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define LAXML_SCOPED_CAPABILITY LAXML_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be accessed with `mu` held (exclusively for writes,
+/// at least shared for reads).
+#define LAXML_GUARDED_BY(mu) LAXML_THREAD_ANNOTATION_(guarded_by(mu))
+
+/// Pointer field whose *pointee* is protected by `mu`.
+#define LAXML_PT_GUARDED_BY(mu) LAXML_THREAD_ANNOTATION_(pt_guarded_by(mu))
+
+/// Function may only be called with the capabilities held exclusively.
+#define LAXML_REQUIRES(...) \
+  LAXML_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function may only be called with the capabilities held at least
+/// shared.
+#define LAXML_REQUIRES_SHARED(...) \
+  LAXML_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities exclusively and does not release
+/// them before returning.
+#define LAXML_ACQUIRE(...) \
+  LAXML_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode variant of LAXML_ACQUIRE.
+#define LAXML_ACQUIRE_SHARED(...) \
+  LAXML_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases capabilities held exclusively.
+#define LAXML_RELEASE(...) \
+  LAXML_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function releases capabilities held shared.
+#define LAXML_RELEASE_SHARED(...) \
+  LAXML_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function releases capabilities held in either mode (scoped-lock
+/// destructors).
+#define LAXML_RELEASE_GENERIC(...) \
+  LAXML_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success value.
+#define LAXML_TRY_ACQUIRE(...) \
+  LAXML_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capabilities (deadlock prevention for
+/// functions that acquire them internally).
+#define LAXML_EXCLUDES(...) \
+  LAXML_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held; informs the analysis.
+#define LAXML_ASSERT_CAPABILITY(x) \
+  LAXML_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define LAXML_RETURN_CAPABILITY(x) LAXML_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: body is not analyzed. Use only with a comment saying
+/// why the discipline cannot be expressed (e.g. the buffer pool's
+/// pin-protocol reads).
+#define LAXML_NO_THREAD_SAFETY_ANALYSIS \
+  LAXML_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // LAXML_COMMON_THREAD_ANNOTATIONS_H_

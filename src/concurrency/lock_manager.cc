@@ -61,7 +61,7 @@ bool LockManager::CanGrantLocked(const Entry& entry, TxnId txn,
 
 Status LockManager::Acquire(TxnId txn, const LockResource& resource,
                             LockMode mode) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.acquisitions;
   LAXML_COUNTER_INC("laxml_lock_acquisitions_total");
   Entry& entry = table_[resource];
@@ -93,10 +93,15 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
   ++entry.waiters;
   const uint64_t wait_start_us = obs::NowMicros();
   auto deadline = std::chrono::steady_clock::now() + timeout_;
-  bool granted = cv_.wait_until(lock, deadline, [&] {
-    Entry& e = table_[resource];
-    return CanGrantLocked(e, txn, effective);
-  });
+  // Explicit re-check loop (not a predicate lambda): the guarded reads
+  // in the condition stay visible to the thread safety analysis.
+  bool granted = true;
+  while (!CanGrantLocked(table_[resource], txn, effective)) {
+    if (cv_.WaitUntil(mutex_, deadline) == std::cv_status::timeout) {
+      granted = CanGrantLocked(table_[resource], txn, effective);
+      break;
+    }
+  }
   Entry& e = table_[resource];
   --e.waiters;
   LAXML_HISTOGRAM_RECORD("laxml_lock_wait_us",
@@ -119,7 +124,7 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
 }
 
 Status LockManager::Release(TxnId txn, const LockResource& resource) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = table_.find(resource);
   if (it == table_.end()) {
     return Status::NotFound("no such lock resource");
@@ -135,12 +140,12 @@ Status LockManager::Release(TxnId txn, const LockResource& resource) {
   if (holders.empty() && it->second.waiters == 0) {
     table_.erase(it);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   bool any = false;
   for (auto it = table_.begin(); it != table_.end();) {
     auto& holders = it->second.holders;
@@ -158,11 +163,11 @@ void LockManager::ReleaseAll(TxnId txn) {
       ++it;
     }
   }
-  if (any) cv_.notify_all();
+  if (any) cv_.NotifyAll();
 }
 
 size_t LockManager::HeldCount(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t n = 0;
   for (const auto& [resource, entry] : table_) {
     for (const Holder& h : entry.holders) {
@@ -173,7 +178,7 @@ size_t LockManager::HeldCount(TxnId txn) const {
 }
 
 LockManagerStats LockManager::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

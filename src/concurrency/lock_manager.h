@@ -19,14 +19,14 @@
 #define LAXML_CONCURRENCY_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/range_index.h"
 
 namespace laxml {
@@ -77,18 +77,20 @@ class LockManager {
   /// Acquires (or upgrades to) `mode` on `resource` for `txn`.
   /// Hierarchical discipline is the caller's job: take an intent mode on
   /// the document before locking ranges. Aborts on timeout.
-  Status Acquire(TxnId txn, const LockResource& resource, LockMode mode);
+  Status Acquire(TxnId txn, const LockResource& resource, LockMode mode)
+      LAXML_EXCLUDES(mutex_);
 
   /// Releases one lock.
-  Status Release(TxnId txn, const LockResource& resource);
+  Status Release(TxnId txn, const LockResource& resource)
+      LAXML_EXCLUDES(mutex_);
 
   /// Releases everything `txn` holds (commit/abort).
-  void ReleaseAll(TxnId txn);
+  void ReleaseAll(TxnId txn) LAXML_EXCLUDES(mutex_);
 
   /// Locks held by a transaction (tests).
-  size_t HeldCount(TxnId txn) const;
+  size_t HeldCount(TxnId txn) const LAXML_EXCLUDES(mutex_);
 
-  LockManagerStats stats() const;
+  LockManagerStats stats() const LAXML_EXCLUDES(mutex_);
 
  private:
   struct Holder {
@@ -100,13 +102,14 @@ class LockManager {
     uint64_t waiters = 0;
   };
 
-  bool CanGrantLocked(const Entry& entry, TxnId txn, LockMode mode) const;
+  bool CanGrantLocked(const Entry& entry, TxnId txn, LockMode mode) const
+      LAXML_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<LockResource, Entry> table_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::map<LockResource, Entry> table_ LAXML_GUARDED_BY(mutex_);
   std::chrono::milliseconds timeout_;
-  LockManagerStats stats_;
+  LockManagerStats stats_ LAXML_GUARDED_BY(mutex_);
 };
 
 /// RAII lock scope: releases everything the txn acquired through it.

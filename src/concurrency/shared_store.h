@@ -35,11 +35,11 @@
 #define LAXML_CONCURRENCY_SHARED_STORE_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/relaxed_counter.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "store/store.h"
 #include "wal/group_commit.h"
@@ -73,12 +73,15 @@ class SharedStore {
   /// captured before the latch drops (it identifies OUR append); the
   /// durability wait runs after, so overlapping committers batch.
   template <typename Fn>
-  auto Mutate(Fn fn) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto Mutate(Fn fn) LAXML_EXCLUDES(mutex_) {
+    // Raw Lock/Unlock rather than a scope: the latch must drop BEFORE
+    // the durability wait so overlapping committers batch; the thread
+    // safety analysis checks the release against every path.
+    mutex_.Lock();
     CountExclusive();
     auto result = fn(*store_);
     const uint64_t lsn = CommitLsnLocked();
-    lock.unlock();
+    mutex_.Unlock();
     if (lsn != 0 && result.ok()) {
       Status st = group_commit_->WaitDurable(lsn);
       if (!st.ok()) {
@@ -94,14 +97,14 @@ class SharedStore {
   }
 
   template <typename Fn>
-  auto ReadOp(Fn fn) {
+  auto ReadOp(Fn fn) LAXML_EXCLUDES(mutex_) {
     if (concurrent_reads_) {
-      std::shared_lock<std::shared_mutex> lock(mutex_);
+      ReaderMutexLock lock(mutex_);
       ++stats_.shared_acquisitions;
       LAXML_COUNTER_INC("laxml_latch_shared_total");
       return fn(*store_);
     }
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(mutex_);
     CountExclusive();
     return fn(*store_);
   }
@@ -113,7 +116,7 @@ class SharedStore {
 
   /// LSN this committer must wait durable on; 0 when group commit is
   /// off. Must be called while still holding the exclusive latch.
-  uint64_t CommitLsnLocked() const {
+  uint64_t CommitLsnLocked() const LAXML_REQUIRES(mutex_) {
     return group_commit_ != nullptr ? store_->wal()->appended_lsn() : 0;
   }
 
@@ -169,12 +172,12 @@ class SharedStore {
   /// Any WAL records `fn` appends are made durable through the group
   /// commit before returning.
   template <typename Fn>
-  auto WithExclusive(Fn fn) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto WithExclusive(Fn fn) LAXML_EXCLUDES(mutex_) {
+    mutex_.Lock();
     CountExclusive();
     auto result = fn(*store_);
     const uint64_t lsn = CommitLsnLocked();
-    lock.unlock();
+    mutex_.Unlock();
     if (lsn != 0) {
       // The batch's fsync outcome cannot be folded into fn's arbitrary
       // return type; a failure fail-stops the store so the next mutator
@@ -207,7 +210,10 @@ class SharedStore {
   Store* UnsafeStore() { return store_.get(); }
 
  private:
-  std::shared_mutex mutex_;
+  /// The store latch. `store_` itself is not LAXML_PT_GUARDED_BY: the
+  /// post-latch durability wait legitimately calls Store::Poison (which
+  /// is internally synchronized) after the release.
+  SharedMutex mutex_;
   std::unique_ptr<Store> store_;
   std::unique_ptr<GroupCommit> group_commit_;
   bool concurrent_reads_ = false;

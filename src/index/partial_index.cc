@@ -22,7 +22,7 @@ bool PartialIndex::Lookup(NodeId id, PartialEntry* out) {
   ++stats_.lookups;
   LAXML_COUNTER_INC("laxml_partial_lookups_total");
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) return false;
   ++stats_.hits;
@@ -78,7 +78,7 @@ void PartialIndex::RecordBegin(NodeId id, RangeId range,
                                uint32_t byte_offset, uint32_t token_index) {
   if (!enabled()) return;
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   PartialEntry* e = GetOrCreateLocked(shard, id);
   if (e->has_begin && e->begin_range != range) {
     // Re-registration under a new range: clean the old reverse entry
@@ -105,7 +105,7 @@ void PartialIndex::RecordEnd(NodeId id, RangeId range, uint32_t byte_offset,
                              uint32_t begins_before) {
   if (!enabled()) return;
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   PartialEntry* e = GetOrCreateLocked(shard, id);
   if (e->has_end && e->end_range != range) {
     if (!e->has_begin || e->begin_range != e->end_range) {
@@ -130,7 +130,7 @@ void PartialIndex::InvalidateRange(RangeId range) {
   // A range's memoized nodes can hash to any shard; visit them all.
   for (size_t s = 0; s < num_shards_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.by_range.find(range);
     if (it == shard.by_range.end()) continue;
     // An entry may keep its other half if that half lives in a
@@ -160,7 +160,7 @@ void PartialIndex::InvalidateRange(RangeId range) {
 
 void PartialIndex::Invalidate(NodeId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) return;
   UnregisterLocked(shard, id, it->second.entry);
@@ -173,7 +173,7 @@ void PartialIndex::Invalidate(NodeId id) {
 void PartialIndex::Clear() {
   for (size_t s = 0; s < num_shards_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     shard.entries.clear();
     shard.lru.clear();
     shard.by_range.clear();
@@ -183,8 +183,9 @@ void PartialIndex::Clear() {
 size_t PartialIndex::size() const {
   size_t total = 0;
   for (size_t s = 0; s < num_shards_; ++s) {
-    std::lock_guard<std::mutex> lk(shards_[s].mu);
-    total += shards_[s].entries.size();
+    const Shard& shard = shards_[s];
+    MutexLock lk(shard.mu);
+    total += shard.entries.size();
   }
   return total;
 }

@@ -28,12 +28,13 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/relaxed_counter.h"
+#include "common/thread_annotations.h"
 #include "index/range_index.h"
 #include "xml/token.h"
 
@@ -124,8 +125,9 @@ class PartialIndex {
   template <typename Fn>
   void ForEachEntry(Fn fn) const {
     for (size_t s = 0; s < num_shards_; ++s) {
-      std::lock_guard<std::mutex> lk(shards_[s].mu);
-      for (const auto& [id, node] : shards_[s].entries) fn(id, node.entry);
+      const Shard& shard = shards_[s];
+      MutexLock lk(shard.mu);
+      for (const auto& [id, node] : shard.entries) fn(id, node.entry);
     }
   }
 
@@ -137,11 +139,12 @@ class PartialIndex {
 
   /// One lock stripe: map + LRU + reverse map, all guarded by `mu`.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<NodeId, Node> entries;
-    std::list<NodeId> lru;  // front = least recently used
+    mutable Mutex mu;
+    std::unordered_map<NodeId, Node> entries LAXML_GUARDED_BY(mu);
+    std::list<NodeId> lru LAXML_GUARDED_BY(mu);  // front = least recently used
     // Reverse map for invalidation: range -> node ids with entries here.
-    std::unordered_map<RangeId, std::unordered_set<NodeId>> by_range;
+    std::unordered_map<RangeId, std::unordered_set<NodeId>> by_range
+        LAXML_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(NodeId id) const {
@@ -149,10 +152,13 @@ class PartialIndex {
   }
 
   // Helpers named *Locked require the shard's mutex to be held.
-  void TouchLocked(Shard& shard, Node& node, NodeId id);
-  PartialEntry* GetOrCreateLocked(Shard& shard, NodeId id);
-  void UnregisterLocked(Shard& shard, NodeId id, const PartialEntry& entry);
-  void EvictIfNeededLocked(Shard& shard);
+  void TouchLocked(Shard& shard, Node& node, NodeId id)
+      LAXML_REQUIRES(shard.mu);
+  PartialEntry* GetOrCreateLocked(Shard& shard, NodeId id)
+      LAXML_REQUIRES(shard.mu);
+  void UnregisterLocked(Shard& shard, NodeId id, const PartialEntry& entry)
+      LAXML_REQUIRES(shard.mu);
+  void EvictIfNeededLocked(Shard& shard) LAXML_REQUIRES(shard.mu);
 
   size_t capacity_;
   size_t num_shards_ = 1;

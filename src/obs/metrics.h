@@ -33,9 +33,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace laxml {
 namespace obs {
@@ -156,10 +158,13 @@ class MetricsRegistry {
   std::string RenderPrometheus() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      LAXML_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      LAXML_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      LAXML_GUARDED_BY(mu_);
 };
 
 /// Renders one snapshot (exposed so the server can merge the registry

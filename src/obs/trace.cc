@@ -65,7 +65,7 @@ TraceRing::TraceRing(size_t capacity, uint64_t tid)
 
 void TraceRing::Record(const char* name, uint64_t start_us,
                        uint64_t dur_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slots_[next_] = Slot{name, start_us, dur_us};
   if (++next_ == slots_.size()) {
     next_ = 0;
@@ -74,7 +74,7 @@ void TraceRing::Record(const char* name, uint64_t start_us,
 }
 
 void TraceRing::Drain(TraceDump* dump) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Intern by content, not pointer: two literals with equal text may or
   // may not share an address.
   std::unordered_map<std::string, uint32_t> interned;
@@ -109,7 +109,7 @@ Tracer& Tracer::Global() {
 
 TraceRing* Tracer::ThreadRing() {
   thread_local std::shared_ptr<TraceRing> ring = [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto created = std::make_shared<TraceRing>(ring_capacity_, next_tid_++);
     rings_.push_back(created);
     return created;
@@ -121,7 +121,7 @@ TraceDump Tracer::Collect() const {
   TraceDump dump;
   std::vector<std::shared_ptr<TraceRing>> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rings = rings_;
   }
   for (const auto& ring : rings) ring->Drain(&dump);

@@ -31,11 +31,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace laxml {
 namespace obs {
@@ -78,10 +79,10 @@ class TraceRing {
     uint64_t dur_us = 0;
   };
 
-  mutable std::mutex mu_;
-  std::vector<Slot> slots_;
-  size_t next_ = 0;      ///< Next slot to (over)write.
-  bool wrapped_ = false;
+  mutable Mutex mu_;
+  std::vector<Slot> slots_ LAXML_GUARDED_BY(mu_);
+  size_t next_ LAXML_GUARDED_BY(mu_) = 0;  ///< Next slot to (over)write.
+  bool wrapped_ LAXML_GUARDED_BY(mu_) = false;
   uint64_t tid_;
 };
 
@@ -102,13 +103,16 @@ class Tracer {
 
   /// Per-thread ring capacity for rings created after this call
   /// (default 8192 spans).
-  void set_ring_capacity(size_t capacity) { ring_capacity_ = capacity; }
+  void set_ring_capacity(size_t capacity) {
+    MutexLock lock(mu_);
+    ring_capacity_ = capacity;
+  }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<TraceRing>> rings_;
-  uint64_t next_tid_ = 1;
-  size_t ring_capacity_ = 8192;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<TraceRing>> rings_ LAXML_GUARDED_BY(mu_);
+  uint64_t next_tid_ LAXML_GUARDED_BY(mu_) = 1;
+  size_t ring_capacity_ LAXML_GUARDED_BY(mu_) = 8192;
 };
 
 /// Serializes a dump to the binary format (exposed for tests).

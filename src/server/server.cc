@@ -61,14 +61,14 @@ void Server::DoShutdown() {
   poller_.Wake();
   if (io_thread_.joinable()) io_thread_.join();
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     stop_workers_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
-  std::lock_guard<std::mutex> lk(conns_mu_);
+  MutexLock lk(conns_mu_);
   conns_.clear();
   listen_fd_.Reset();
 }
@@ -93,7 +93,7 @@ void Server::IoLoop() {
     // Interest pass: prune finished connections, recompute poll masks.
     bool any_inflight = false;
     {
-      std::lock_guard<std::mutex> lk(conns_mu_);
+      MutexLock lk(conns_mu_);
       for (auto it = conns_.begin(); it != conns_.end();) {
         Connection* c = it->second.get();
         const bool wbuf_empty = c->woff >= c->wbuf.size();
@@ -122,7 +122,7 @@ void Server::IoLoop() {
       if (draining) {
         bool queue_empty;
         {
-          std::lock_guard<std::mutex> qk(queue_mu_);
+          MutexLock qk(queue_mu_);
           queue_empty = runnable_.empty();
         }
         if (queue_empty && !any_inflight && conns_.empty()) break;
@@ -143,14 +143,14 @@ void Server::IoLoop() {
           conn->fd = std::move(accepted).value();
           stats_.AddAccepted();
           fd_index.emplace(conn->fd.get(), conn->id);
-          std::lock_guard<std::mutex> lk(conns_mu_);
+          MutexLock lk(conns_mu_);
           conns_.emplace(conn->id, std::move(conn));
         }
         continue;
       }
       auto idx = fd_index.find(ev.fd);
       if (idx == fd_index.end()) continue;
-      std::lock_guard<std::mutex> lk(conns_mu_);
+      MutexLock lk(conns_mu_);
       auto cit = conns_.find(idx->second);
       if (cit == conns_.end()) continue;
       Connection* c = cit->second.get();
@@ -195,10 +195,10 @@ bool Server::HandleReadable(Connection* conn) {
         if (!conn->executing) {
           conn->executing = true;
           {
-            std::lock_guard<std::mutex> qk(queue_mu_);
+            MutexLock qk(queue_mu_);
             runnable_.push_back(conn->id);
           }
-          queue_cv_.notify_one();
+          queue_cv_.NotifyOne();
         }
       }
       if (conn->rpos > 0) {
@@ -252,9 +252,10 @@ void Server::WorkerLoop() {
   while (true) {
     uint64_t conn_id = 0;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(
-          lk, [this] { return stop_workers_ || !runnable_.empty(); });
+      MutexLock lk(queue_mu_);
+      // Explicit loop (not a wait predicate): the guarded reads stay
+      // visible to the thread safety analysis.
+      while (!stop_workers_ && runnable_.empty()) queue_cv_.Wait(queue_mu_);
       if (runnable_.empty()) return;  // stop_workers_ and nothing left
       conn_id = runnable_.front();
       runnable_.pop_front();
@@ -262,7 +263,7 @@ void Server::WorkerLoop() {
     WorkItem item;
     bool have_item = false;
     {
-      std::lock_guard<std::mutex> lk(conns_mu_);
+      MutexLock lk(conns_mu_);
       auto it = conns_.find(conn_id);
       if (it != conns_.end()) {
         Connection* c = it->second.get();
@@ -296,7 +297,7 @@ void Server::WorkerLoop() {
     net::EncodeResponse(resp, &frame);
     bool more = false;
     {
-      std::lock_guard<std::mutex> lk(conns_mu_);
+      MutexLock lk(conns_mu_);
       auto it = conns_.find(conn_id);
       if (it != conns_.end()) {
         Connection* c = it->second.get();
@@ -313,10 +314,10 @@ void Server::WorkerLoop() {
     }
     if (more) {
       {
-        std::lock_guard<std::mutex> qk(queue_mu_);
+        MutexLock qk(queue_mu_);
         runnable_.push_back(conn_id);
       }
-      queue_cv_.notify_one();
+      queue_cv_.NotifyOne();
     }
     poller_.Wake();
   }
@@ -411,10 +412,16 @@ net::Response Server::Execute(const net::Request& req) {
       // Every level the collector reads is an atomic counter or a
       // lock-guarded size, so the shared latch suffices; the mirror is
       // a near-consistent cut (individual counters may be mid-batch).
-      store_.WithShared([](Store& s) {
+      Status collect = store_.WithShared([](Store& s) {
         obs::CollectStoreMetrics(s);
         return Status::OK();
       });
+      if (!collect.ok()) {
+        // Poisoned store: the gauges are stale but the registry still
+        // renders (counters and the op table don't need the store).
+        LAXML_LOG(kWarn) << "metrics collection skipped: "
+                         << collect.ToString();
+      }
       ServerStatsSnapshot server_snap = stats_.Snapshot();
       auto& registry = obs::MetricsRegistry::Global();
       if (req.metrics_format == net::MetricsFormat::kPrometheus) {

@@ -31,7 +31,6 @@
 #define LAXML_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -41,6 +40,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "concurrency/shared_store.h"
 #include "net/poller.h"
 #include "net/socket.h"
@@ -145,17 +146,20 @@ class Server {
   net::UniqueFd listen_fd_;
   uint16_t port_ = 0;
 
-  std::mutex conns_mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  Mutex conns_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_
+      LAXML_GUARDED_BY(conns_mu_);
+  /// I/O-thread private (ids are minted before the connection is
+  /// published under conns_mu_), so not latch-guarded.
   uint64_t next_conn_id_ = 1;
 
   /// Connections with a dispatchable head request. A connection id
   /// appears at most once (the `executing` flag gates enqueues), which
   /// is what serializes one connection's requests across the pool.
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<uint64_t> runnable_;
-  bool stop_workers_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<uint64_t> runnable_ LAXML_GUARDED_BY(queue_mu_);
+  bool stop_workers_ LAXML_GUARDED_BY(queue_mu_) = false;
 
   std::atomic<bool> draining_{false};
   std::once_flag shutdown_once_;

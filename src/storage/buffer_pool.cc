@@ -1,9 +1,8 @@
 #include "storage/buffer_pool.h"
 
-#include <mutex>
-
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace laxml {
 
@@ -154,7 +153,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   {
     // Hit path: shared latch + atomic pin. Concurrent readers fetching
     // resident pages proceed in parallel.
-    std::shared_lock<std::shared_mutex> rd(mu_);
+    ReaderMutexLock rd(mu_);
     auto it = page_table_.find(id);
     if (it != page_table_.end()) {
       ++stats_.hits;
@@ -164,7 +163,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   }
   // Miss: retake exclusively and re-probe — another thread may have
   // loaded the page between the latches.
-  std::unique_lock<std::shared_mutex> wr(mu_);
+  WriterMutexLock wr(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -196,7 +195,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
 
 Result<PageHandle> BufferPool::New(PageType type) {
   LAXML_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
-  std::unique_lock<std::shared_mutex> wr(mu_);
+  WriterMutexLock wr(mu_);
   LAXML_ASSIGN_OR_RETURN(size_t frame, GrabFrameLocked());
   Frame& f = frames_[frame];
   PageView view(f.data.get(), page_size_);
@@ -209,14 +208,14 @@ Result<PageHandle> BufferPool::New(PageType type) {
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  std::unique_lock<std::shared_mutex> wr(mu_);
+  WriterMutexLock wr(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   return WriteBack(it->second);
 }
 
 Status BufferPool::FlushAll() {
-  std::unique_lock<std::shared_mutex> wr(mu_);
+  WriterMutexLock wr(mu_);
   for (size_t i = 0; i < frame_count_; ++i) {
     if (frames_[i].page_id != kInvalidPageId) {
       LAXML_RETURN_IF_ERROR(WriteBack(i));
@@ -226,7 +225,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::Evict(PageId id) {
-  std::unique_lock<std::shared_mutex> wr(mu_);
+  WriterMutexLock wr(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   size_t frame = it->second;
@@ -243,7 +242,7 @@ Status BufferPool::Evict(PageId id) {
 }
 
 Status BufferPool::DiscardPage(PageId id) {
-  std::unique_lock<std::shared_mutex> wr(mu_);
+  WriterMutexLock wr(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   size_t frame = it->second;
@@ -260,7 +259,7 @@ Status BufferPool::DiscardPage(PageId id) {
 }
 
 void BufferPool::DiscardAll() {
-  std::unique_lock<std::shared_mutex> wr(mu_);
+  WriterMutexLock wr(mu_);
   for (size_t i = 0; i < frame_count_; ++i) {
     frames_[i].dirty.store(false, std::memory_order_relaxed);
     frames_[i].page_id = kInvalidPageId;
@@ -275,7 +274,7 @@ void BufferPool::DiscardAll() {
 }
 
 size_t BufferPool::dirty_count() const {
-  std::shared_lock<std::shared_mutex> rd(mu_);
+  ReaderMutexLock rd(mu_);
   size_t n = 0;
   for (size_t i = 0; i < frame_count_; ++i) {
     const Frame& f = frames_[i];
@@ -288,7 +287,7 @@ size_t BufferPool::dirty_count() const {
 }
 
 size_t BufferPool::pinned_frame_count() const {
-  std::shared_lock<std::shared_mutex> rd(mu_);
+  ReaderMutexLock rd(mu_);
   size_t n = 0;
   for (size_t i = 0; i < frame_count_; ++i) {
     const Frame& f = frames_[i];
@@ -311,7 +310,7 @@ void BufferPool::ResetStats() {
 
 Status BufferPool::Reset() {
   LAXML_RETURN_IF_ERROR(FlushAll());
-  std::unique_lock<std::shared_mutex> wr(mu_);
+  WriterMutexLock wr(mu_);
   for (size_t i = 0; i < frame_count_; ++i) {
     Frame& f = frames_[i];
     if (f.page_id == kInvalidPageId) continue;

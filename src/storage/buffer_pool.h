@@ -22,12 +22,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/relaxed_counter.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
 
@@ -118,8 +119,14 @@ class BufferPool {
   /// WAL replay — see wal/recovery.h). When only dirty frames remain,
   /// frame grabbing fails with ResourceExhausted and the owner must
   /// checkpoint.
-  void set_no_steal(bool v) { no_steal_ = v; }
-  bool no_steal() const { return no_steal_; }
+  void set_no_steal(bool v) {
+    WriterMutexLock wr(mu_);
+    no_steal_ = v;
+  }
+  bool no_steal() const {
+    ReaderMutexLock rd(mu_);
+    return no_steal_;
+  }
 
   /// Number of dirty resident frames (checkpoint-pressure signal).
   size_t dirty_count() const;
@@ -138,8 +145,11 @@ class BufferPool {
   friend class PageHandle;
 
   struct Frame {
-    /// Guarded by mu_ (written only under the exclusive latch); safe to
-    /// read while holding a pin — a pinned frame cannot be retargeted.
+    /// Written only under the exclusive latch; safe to read while
+    /// holding a pin — a pinned frame cannot be retargeted. Not
+    /// LAXML_GUARDED_BY(mu_): the pin protocol that legitimizes the
+    /// latch-free reads (PageHandle::id/data) is not expressible to the
+    /// analysis, and a nested struct cannot name the pool's latch.
     PageId page_id = kInvalidPageId;
     /// Atomics: pinned/dirtied/referenced from threads that hold mu_
     /// only shared (hits) or not at all (Unpin, MarkDirty).
@@ -153,27 +163,26 @@ class BufferPool {
 
   /// Pin under at-least-shared mu_ (the latch orders the pin against
   /// any evictor's pin_count check).
-  void PinLocked(Frame& f);
+  void PinLocked(Frame& f) LAXML_REQUIRES_SHARED(mu_);
   /// Latch-free: drops the pin and marks the frame recently used.
   void Unpin(size_t frame);
-  Status WriteBack(size_t frame);
+  Status WriteBack(size_t frame) LAXML_REQUIRES(mu_);
   /// Finds a frame to (re)use: a never-used frame or a clock-sweep
   /// victim (flushed if dirty, then detached from the page table).
-  /// Requires mu_ held exclusive.
-  Result<size_t> GrabFrameLocked();
+  Result<size_t> GrabFrameLocked() LAXML_REQUIRES(mu_);
 
   PageFile* file_;
   uint32_t page_size_;
   size_t frame_count_;
   std::unique_ptr<Frame[]> frames_;
   /// Table latch: shared for hits, exclusive for any structural change.
-  mutable std::shared_mutex mu_;
-  std::vector<size_t> free_frames_;          // guarded by mu_ (exclusive)
-  std::unordered_map<PageId, size_t> page_table_;  // guarded by mu_
-  size_t clock_hand_ = 0;                    // guarded by mu_ (exclusive)
+  mutable SharedMutex mu_;
+  std::vector<size_t> free_frames_ LAXML_GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> page_table_ LAXML_GUARDED_BY(mu_);
+  size_t clock_hand_ LAXML_GUARDED_BY(mu_) = 0;
   BufferPoolStats stats_;
-  bool no_steal_ = false;
-  bool discarded_ = false;
+  bool no_steal_ LAXML_GUARDED_BY(mu_) = false;
+  bool discarded_ LAXML_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace laxml

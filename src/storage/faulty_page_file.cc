@@ -97,6 +97,8 @@ PageId FaultyPageFile::CrashWithTornPage(uint32_t keep_bytes) {
       std::vector<uint8_t> merged(ps);
       if (base_->ReadPage(id, merged.data()).ok()) {
         std::memcpy(merged.data(), data.data(), keep_bytes);
+        // Deliberately unchecked: simulating a torn write mid-crash;
+        // a failure just means less of the page got torn.
         (void)base_->WritePage(id, merged.data());
       }
       break;

@@ -99,8 +99,16 @@ PosixPageFile::PosixPageFile(int fd, std::string path, uint32_t page_size,
 
 PosixPageFile::~PosixPageFile() {
   if (fd_ >= 0) {
-    // Best effort: persist allocator state on close.
-    if (!read_only_) PersistHeader();
+    // Best effort: persist allocator state on close. A failure has no
+    // caller to return to, but it must not vanish — recovery rebuilds
+    // the allocator from the WAL, so log and move on.
+    if (!read_only_) {
+      Status st = PersistHeader();
+      if (!st.ok()) {
+        LAXML_LOG(kError) << "page file header persist on close ('" << path_
+                          << "'): " << st.ToString();
+      }
+    }
     ::close(fd_);
   }
 }

@@ -354,14 +354,14 @@ Status Store::AppendCheckpointHeader() {
 
 Status Store::poison_status() const {
   if (!poisoned()) return Status::OK();
-  std::lock_guard<std::mutex> lock(poison_mu_);
+  MutexLock lock(poison_mu_);
   return poison_status_;
 }
 
 Status Store::CheckNotPoisoned() const { return poison_status(); }
 
 void Store::Poison(const Status& cause) {
-  std::lock_guard<std::mutex> lock(poison_mu_);
+  MutexLock lock(poison_mu_);
   if (poisoned_.load(std::memory_order_acquire)) return;  // first wins
   poison_status_ =
       Status::Poisoned("store is fail-stopped: " + cause.ToString());

@@ -19,11 +19,10 @@
 #ifndef LAXML_WAL_GROUP_COMMIT_H_
 #define LAXML_WAL_GROUP_COMMIT_H_
 
-#include <condition_variable>
-#include <mutex>
-
+#include "common/mutex.h"
 #include "common/relaxed_counter.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "wal/wal.h"
 
 namespace laxml {
@@ -51,16 +50,16 @@ class GroupCommit {
   /// serialized the append). Returns the sticky error once any leader's
   /// fdatasync has failed. `lsn` 0 is a no-op (nothing was appended —
   /// e.g. the operation failed before logging).
-  Status WaitDurable(uint64_t lsn);
+  Status WaitDurable(uint64_t lsn) LAXML_EXCLUDES(mu_);
 
   const GroupCommitStats& stats() const { return stats_; }
 
  private:
   Wal* wal_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool leader_active_ = false;
-  Status sticky_error_;
+  Mutex mu_;
+  CondVar cv_;
+  bool leader_active_ LAXML_GUARDED_BY(mu_) = false;
+  Status sticky_error_ LAXML_GUARDED_BY(mu_);
   GroupCommitStats stats_;
 };
 

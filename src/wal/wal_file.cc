@@ -119,6 +119,8 @@ void FaultyWalFile::Crash(uint64_t torn_bytes) {
       logical_.size() > synced_len_) {
     uint64_t tail = logical_.size() - synced_len_;
     if (torn_bytes > tail) torn_bytes = tail;
+    // Deliberately unchecked: this *is* the simulated crash — a torn
+    // append that may itself fail partway is exactly the scenario.
     (void)base_->Append(
         Slice(logical_.data() + synced_len_, torn_bytes));
   }

@@ -51,8 +51,8 @@ TEST_P(StoreBasicTest, InsertTopLevelAndReadBack) {
 
 TEST_P(StoreBasicTest, IdsAssignedInDocumentOrder) {
   // Figure 1 of the paper: ticket=1, hour=2, "15"=3, name=4, "Paul"=5.
-  store_->InsertTopLevel(
-      MustFragment("<ticket><hour>15</hour><name>Paul</name></ticket>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(
+      MustFragment("<ticket><hour>15</hour><name>Paul</name></ticket>")));
   std::vector<NodeId> ids;
   ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->ReadWithIds(&ids));
   ASSERT_EQ(all.size(), 8u);
@@ -67,8 +67,8 @@ TEST_P(StoreBasicTest, IdsAssignedInDocumentOrder) {
 }
 
 TEST_P(StoreBasicTest, ReadSubtreeById) {
-  store_->InsertTopLevel(
-      MustFragment("<ticket><hour>15</hour><name>Paul</name></ticket>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(
+      MustFragment("<ticket><hour>15</hour><name>Paul</name></ticket>")));
   ASSERT_OK_AND_ASSIGN(TokenSequence hour, store_->Read(2));
   EXPECT_EQ(MustSerialize(hour), "<hour>15</hour>");
   ASSERT_OK_AND_ASSIGN(TokenSequence text, store_->Read(3));
@@ -77,7 +77,7 @@ TEST_P(StoreBasicTest, ReadSubtreeById) {
 }
 
 TEST_P(StoreBasicTest, InsertIntoLastAppendsChild) {
-  store_->InsertTopLevel(MustFragment("<orders><o>1</o></orders>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<orders><o>1</o></orders>")));
   ASSERT_OK_AND_ASSIGN(NodeId added,
                        store_->InsertIntoLast(1, MustFragment("<o>2</o>")));
   EXPECT_GT(added, 3u);
@@ -87,7 +87,7 @@ TEST_P(StoreBasicTest, InsertIntoLastAppendsChild) {
 }
 
 TEST_P(StoreBasicTest, InsertIntoFirstPrependsChild) {
-  store_->InsertTopLevel(MustFragment("<orders><o>1</o></orders>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<orders><o>1</o></orders>")));
   ASSERT_LAXML_OK(
       store_->InsertIntoFirst(1, MustFragment("<o>0</o>")).status());
   ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
@@ -96,7 +96,7 @@ TEST_P(StoreBasicTest, InsertIntoFirstPrependsChild) {
 }
 
 TEST_P(StoreBasicTest, InsertBeforeAndAfterSiblings) {
-  store_->InsertTopLevel(MustFragment("<l><b/></l>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<l><b/></l>")));
   // <b/> is node 2.
   ASSERT_LAXML_OK(store_->InsertBefore(2, MustFragment("<a/>")).status());
   ASSERT_LAXML_OK(store_->InsertAfter(2, MustFragment("<c/>")).status());
@@ -106,8 +106,8 @@ TEST_P(StoreBasicTest, InsertBeforeAndAfterSiblings) {
 }
 
 TEST_P(StoreBasicTest, DeleteNodeRemovesSubtree) {
-  store_->InsertTopLevel(
-      MustFragment("<r><a><x/><y/></a><b/></r>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(
+      MustFragment("<r><a><x/><y/></a><b/></r>")));
   // r=1 a=2 x=3 y=4 b=5.
   ASSERT_LAXML_OK(store_->DeleteNode(2));
   ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
@@ -120,7 +120,7 @@ TEST_P(StoreBasicTest, DeleteNodeRemovesSubtree) {
 }
 
 TEST_P(StoreBasicTest, ReplaceNodeSwapsSubtree) {
-  store_->InsertTopLevel(MustFragment("<r><old>gone</old><keep/></r>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<r><old>gone</old><keep/></r>")));
   ASSERT_OK_AND_ASSIGN(
       NodeId fresh, store_->ReplaceNode(2, MustFragment("<new>here</new>")));
   EXPECT_GT(fresh, 0u);
@@ -130,7 +130,7 @@ TEST_P(StoreBasicTest, ReplaceNodeSwapsSubtree) {
 }
 
 TEST_P(StoreBasicTest, ReplaceContentKeepsNode) {
-  store_->InsertTopLevel(MustFragment("<cfg><a/><b/></cfg>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<cfg><a/><b/></cfg>")));
   ASSERT_LAXML_OK(
       store_->ReplaceContent(1, MustFragment("<c/>")).status());
   ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
@@ -140,7 +140,7 @@ TEST_P(StoreBasicTest, ReplaceContentKeepsNode) {
 }
 
 TEST_P(StoreBasicTest, ReplaceContentWithEmptyClears) {
-  store_->InsertTopLevel(MustFragment("<cfg><a/><b/></cfg>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<cfg><a/><b/></cfg>")));
   ASSERT_LAXML_OK(store_->ReplaceContent(1, {}).status());
   ASSERT_OK_AND_ASSIGN(TokenSequence all, store_->Read());
   EXPECT_EQ(MustSerialize(all), "<cfg/>");
@@ -148,7 +148,7 @@ TEST_P(StoreBasicTest, ReplaceContentWithEmptyClears) {
 }
 
 TEST_P(StoreBasicTest, InsertIntoTextNodeFails) {
-  store_->InsertTopLevel(MustFragment("<a>text</a>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<a>text</a>")));
   // Node 2 is the text node.
   EXPECT_TRUE(store_->InsertIntoLast(2, MustFragment("<x/>"))
                   .status()
@@ -159,14 +159,14 @@ TEST_P(StoreBasicTest, InsertIntoTextNodeFails) {
 }
 
 TEST_P(StoreBasicTest, UnknownIdIsNotFound) {
-  store_->InsertTopLevel(MustFragment("<a/>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<a/>")));
   EXPECT_TRUE(store_->Read(99).status().IsNotFound());
   EXPECT_TRUE(store_->DeleteNode(99).IsNotFound());
   EXPECT_FALSE(store_->Exists(99));
 }
 
 TEST_P(StoreBasicTest, DeletedIdStaysDead) {
-  store_->InsertTopLevel(MustFragment("<r><a/><b/></r>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<r><a/><b/></r>")));
   ASSERT_LAXML_OK(store_->DeleteNode(2));
   EXPECT_TRUE(store_->Read(2).status().IsNotFound());
   // New inserts never reuse the id.
@@ -176,7 +176,7 @@ TEST_P(StoreBasicTest, DeletedIdStaysDead) {
 }
 
 TEST_P(StoreBasicTest, ManySiblingAppends) {
-  store_->InsertTopLevel(MustFragment("<orders/>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<orders/>")));
   for (int i = 0; i < 200; ++i) {
     ASSERT_LAXML_OK(
         store_->InsertIntoLast(
@@ -193,7 +193,7 @@ TEST_P(StoreBasicTest, ManySiblingAppends) {
 }
 
 TEST_P(StoreBasicTest, NestedInsertDeepens) {
-  store_->InsertTopLevel(MustFragment("<t/>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<t/>")));
   NodeId target = 1;
   for (int depth = 0; depth < 30; ++depth) {
     ASSERT_OK_AND_ASSIGN(target,
@@ -206,9 +206,9 @@ TEST_P(StoreBasicTest, NestedInsertDeepens) {
 }
 
 TEST_P(StoreBasicTest, CursorStreamsWholeStore) {
-  store_->InsertTopLevel(
-      MustFragment("<a><b>x</b></a>"));
-  store_->InsertTopLevel(MustFragment("<c/>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(
+      MustFragment("<a><b>x</b></a>")));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<c/>")));
   auto cursor = store_->NewCursor();
   ASSERT_LAXML_OK(cursor->SeekToFirst());
   std::vector<std::pair<NodeId, TokenType>> seen;
@@ -228,7 +228,7 @@ TEST_P(StoreBasicTest, CursorStreamsWholeStore) {
 }
 
 TEST_P(StoreBasicTest, DescribeReturnsBeginToken) {
-  store_->InsertTopLevel(MustFragment("<a href=\"x\">t</a>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<a href=\"x\">t</a>")));
   ASSERT_OK_AND_ASSIGN(Token a, store_->Describe(1));
   EXPECT_EQ(a.type, TokenType::kBeginElement);
   EXPECT_EQ(a.name, "a");
@@ -239,7 +239,7 @@ TEST_P(StoreBasicTest, DescribeReturnsBeginToken) {
 }
 
 TEST_P(StoreBasicTest, FragmentValidationRejectsGarbage) {
-  store_->InsertTopLevel(MustFragment("<a/>"));
+  ASSERT_LAXML_OK(store_->InsertTopLevel(MustFragment("<a/>")));
   TokenSequence unbalanced{Token::BeginElement("x")};
   EXPECT_TRUE(store_->InsertIntoLast(1, unbalanced)
                   .status()

@@ -15,17 +15,20 @@
 #include "xml/token_sequence.h"
 #include "xml/tokenizer.h"
 
-/// Asserts an expression returning laxml::Status is OK.
+/// Asserts an expression returning laxml::Status or laxml::Result<T>
+/// is OK (the Result's value, if any, is deliberately discarded).
 #define ASSERT_LAXML_OK(expr)                                   \
   do {                                                          \
-    ::laxml::Status _st = (expr);                               \
-    ASSERT_TRUE(_st.ok()) << _st.ToString();                    \
+    auto _res = (expr);                                         \
+    ASSERT_TRUE(_res.ok())                                      \
+        << ::laxml::testing::StatusOf(_res).ToString();         \
   } while (0)
 
 #define EXPECT_LAXML_OK(expr)                                   \
   do {                                                          \
-    ::laxml::Status _st = (expr);                               \
-    EXPECT_TRUE(_st.ok()) << _st.ToString();                    \
+    auto _res = (expr);                                         \
+    EXPECT_TRUE(_res.ok())                                      \
+        << ::laxml::testing::StatusOf(_res).ToString();         \
   } while (0)
 
 /// Unwraps a laxml::Result<T> into `lhs`, failing the test on error.
@@ -40,6 +43,14 @@
 
 namespace laxml {
 namespace testing {
+
+/// Overloads so the OK-assertion macros take either a Status or a
+/// Result<T> (Result's [[nodiscard]] value is consumed by the macro).
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
 
 /// Parses an XML fragment, aborting the test process on failure (for
 /// fixture setup where the XML is a literal).

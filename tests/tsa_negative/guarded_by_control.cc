@@ -1,0 +1,77 @@
+// Control for the negative-compile probe: the same shape as
+// guarded_by_violation.cc but locking correctly, so it must compile
+// CLEAN under -Werror=thread-safety. Together the pair proves the
+// violation file fails for the right reason (the analysis rejects the
+// unguarded access) and not because the harness, include paths, or
+// wrapper types are broken.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    laxml::MutexLock lk(mu_);
+    ++value_;
+  }
+
+  int value() const {
+    laxml::MutexLock lk(mu_);
+    return value_;
+  }
+
+ private:
+  mutable laxml::Mutex mu_;
+  int value_ LAXML_GUARDED_BY(mu_) = 0;
+};
+
+// Exercise the rest of the wrapper surface too: shared latches, raw
+// Lock/Unlock across a branch, and a condition-variable wait.
+class Table {
+ public:
+  int Get() const {
+    laxml::ReaderMutexLock rd(latch_);
+    return rows_;
+  }
+
+  void Set(int v) {
+    laxml::WriterMutexLock wr(latch_);
+    rows_ = v;
+  }
+
+  void WaitNonEmpty() {
+    mu_.Lock();
+    while (pending_ == 0) cv_.Wait(mu_);
+    --pending_;
+    mu_.Unlock();
+  }
+
+  void Post() {
+    {
+      laxml::MutexLock lk(mu_);
+      ++pending_;
+    }
+    cv_.NotifyOne();
+  }
+
+ private:
+  mutable laxml::SharedMutex latch_;
+  int rows_ LAXML_GUARDED_BY(latch_) = 0;
+  laxml::Mutex mu_;
+  laxml::CondVar cv_;
+  int pending_ LAXML_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int ControlEntryPoint() {
+  Counter c;
+  c.Increment();
+  Table t;
+  t.Post();
+  t.WaitNonEmpty();
+  t.Set(1);
+  return c.value() + t.Get();
+}

@@ -1,0 +1,42 @@
+// NEGATIVE-compile probe: must FAIL under -Werror=thread-safety.
+//
+// This file reads and writes a LAXML_GUARDED_BY field without holding
+// its latch. It is well-formed C++ (it compiles clean without the TSA
+// flags — see the companion ctest) so the only way it can fail to
+// compile is the thread safety analysis actually firing. If the tsa
+// build ever accepts this file, the annotation layer has gone dead
+// (macros expanding to nothing under clang, a broken wrapper type, a
+// dropped compile flag) and the whole lock discipline is unverified.
+//
+// Built by tests/tsa_negative/CMakeLists.txt with WILL_FAIL, never
+// linked into anything.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    // VIOLATION: guarded write without mu_ held.
+    ++value_;
+  }
+
+  int value() const {
+    // VIOLATION: guarded read without mu_ held.
+    return value_;
+  }
+
+ private:
+  mutable laxml::Mutex mu_;
+  int value_ LAXML_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int ProbeEntryPoint() {
+  Counter c;
+  c.Increment();
+  return c.value();
+}
