@@ -1,0 +1,210 @@
+// Structural-index XPath bench: the laziness argument, measured. One
+// XMark-flavored document (>= 100k elements at the default scale), one
+// descendant query shape (//item//name), four plans:
+//
+//   scan        index off: every query is a full token-stream scan
+//   cold        lazy index, invalidated before each query: scan + warm
+//   warm        lazy index, memoized: posting-list joins only
+//   eager-first eager index, first query: warms EVERY tag in one scan
+//   eager-warm  eager index thereafter (same joins as warm)
+//   snapshot    XPathEvaluator's O(live nodes) snapshot, for context
+//
+// The headline number is warm vs scan (the issue's acceptance bar is
+// >= 5x); the laziness number is memoized nodes: lazy touches only the
+// queried tags' elements, eager pays for all of them up front.
+//
+//   bench_xpath [--scale N] [--reps N] [--json out.json]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "index/structural_index.h"
+#include "query/xpath_eval.h"
+#include "query/xpath_parser.h"
+#include "query/xpath_stream.h"
+#include "store/store.h"
+#include "workload/doc_generator.h"
+
+namespace laxml {
+namespace {
+
+using bench::Timer;
+
+#define BENCH_CHECK(expr)                                              \
+  do {                                                                 \
+    ::laxml::Status _st = (expr);                                      \
+    if (!_st.ok()) {                                                   \
+      std::fprintf(stderr, "FATAL %s:%d %s\n", __FILE__, __LINE__,     \
+                   _st.ToString().c_str());                            \
+      std::exit(1);                                                    \
+    }                                                                  \
+  } while (0)
+
+std::unique_ptr<Store> OpenWithDoc(StructuralIndexMode mode,
+                                   const TokenSequence& doc) {
+  StoreOptions options;
+  options.structural_index = mode;
+  auto store = Store::OpenInMemory(options);
+  BENCH_CHECK(store.status());
+  BENCH_CHECK((*store)->InsertTopLevel(doc).status());
+  return std::move(store).value();
+}
+
+// Runs `reps` timed evaluations of `path`, returns per-query latencies
+// in microseconds. `prep` runs untimed before each rep (e.g. the
+// invalidation that makes every rep cold).
+template <typename Prep>
+std::vector<double> TimeQueries(const Store& store, const XPathPath& path,
+                                bool allow_index, int reps, size_t* out_size,
+                                Prep prep) {
+  std::vector<double> us;
+  us.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    prep();
+    Timer t;
+    auto ids = EvaluateXPathStreaming(store, path, allow_index);
+    const double elapsed = t.Seconds();
+    BENCH_CHECK(ids.status());
+    *out_size = ids->size();
+    us.push_back(elapsed * 1e6);
+  }
+  return us;
+}
+
+double Median(std::vector<double> v) { return bench::Percentile(&v, 0.5); }
+
+}  // namespace
+}  // namespace laxml
+
+int main(int argc, char** argv) {
+  using namespace laxml;
+
+  int scale = 12000;  // ~10 elements per unit of scale
+  int reps = 40;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Random rng(20260808);
+  const TokenSequence doc = GenerateAuctionDocument(&rng, scale);
+  auto path = ParseXPath("//item//name");
+  BENCH_CHECK(path.status());
+
+  // One store per mode so each plan's index state is its own.
+  auto scan_store = OpenWithDoc(StructuralIndexMode::kOff, doc);
+  auto lazy_store = OpenWithDoc(StructuralIndexMode::kLazy, doc);
+  auto eager_store = OpenWithDoc(StructuralIndexMode::kEager, doc);
+
+  size_t scan_n = 0, cold_n = 0, warm_n = 0, eager_n = 0;
+  auto nop = [] {};
+
+  std::vector<double> scan_us =
+      TimeQueries(*scan_store, *path, false, reps, &scan_n, nop);
+  std::vector<double> cold_us = TimeQueries(
+      *lazy_store, *path, true, reps, &cold_n,
+      [&] { lazy_store->structural_index()->InvalidateAll(); });
+  // Leave the last cold rep's memo in place: these reps are pure joins.
+  std::vector<double> warm_us =
+      TimeQueries(*lazy_store, *path, true, reps, &warm_n, nop);
+
+  size_t tmp = 0;
+  std::vector<double> eager_first_us =
+      TimeQueries(*eager_store, *path, true, 1, &eager_n, nop);
+  std::vector<double> eager_warm_us =
+      TimeQueries(*eager_store, *path, true, reps, &tmp, nop);
+
+  // Snapshot evaluator for context: on the index-off store the planner
+  // cannot route to the index, so this measures the snapshot path.
+  XPathEvaluator snapshot_eval(scan_store.get());
+  std::vector<double> snapshot_us;
+  size_t snapshot_n = 0;
+  BENCH_CHECK(snapshot_eval.Refresh());
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    auto ids = snapshot_eval.Evaluate(*path);
+    BENCH_CHECK(ids.status());
+    snapshot_n = ids->size();
+    snapshot_us.push_back(t.Seconds() * 1e6);
+  }
+
+  if (scan_n != cold_n || scan_n != warm_n || scan_n != eager_n ||
+      scan_n != snapshot_n) {
+    std::fprintf(stderr,
+                 "FATAL plan disagreement: scan=%zu cold=%zu warm=%zu "
+                 "eager=%zu snapshot=%zu\n",
+                 scan_n, cold_n, warm_n, eager_n, snapshot_n);
+    return 1;
+  }
+
+  const uint64_t total_elements =
+      eager_store->structural_index()->memoized_nodes();  // all tags warm
+  const uint64_t lazy_memoized =
+      lazy_store->structural_index()->memoized_nodes();
+  const double scan_p50 = Median(scan_us);
+  const double warm_p50 = Median(warm_us);
+  const double speedup = warm_p50 > 0 ? scan_p50 / warm_p50 : 0;
+
+  std::printf("=== bench_xpath: //item//name, %" PRIu64
+              " elements (scale %d), %zu matches, %d reps ===\n",
+              total_elements, scale, scan_n, reps);
+  std::printf("%-12s %12s\n", "plan", "p50 (us)");
+  std::printf("%-12s %12.1f\n", "scan", scan_p50);
+  std::printf("%-12s %12.1f\n", "cold", Median(cold_us));
+  std::printf("%-12s %12.1f\n", "warm", warm_p50);
+  std::printf("%-12s %12.1f\n", "eager-first", Median(eager_first_us));
+  std::printf("%-12s %12.1f\n", "eager-warm", Median(eager_warm_us));
+  std::printf("%-12s %12.1f\n", "snapshot", Median(snapshot_us));
+  std::printf("warm vs scan: %.1fx\n", speedup);
+  std::printf("laziness: lazy memoized %" PRIu64 " of %" PRIu64
+              " elements (%.1f%%); eager memoized all of them on its "
+              "first query\n",
+              lazy_memoized, total_elements,
+              total_elements > 0
+                  ? 100.0 * static_cast<double>(lazy_memoized) /
+                        static_cast<double>(total_elements)
+                  : 0.0);
+  std::printf(
+      "expected: warm joins beat the scan by >= 5x at this scale (they "
+      "touch\nonly the two queried tags' postings); cold pays one scan "
+      "to warm, i.e.\nit tracks the scan plan; eager's first query is "
+      "the expensive one —\nit memoizes every tag — after which it "
+      "joins like warm.\n");
+
+  if (!json_path.empty()) {
+    bench::JsonReport report("bench_xpath");
+    char extra[128];
+    std::snprintf(extra, sizeof(extra),
+                  "\"elements\": %llu, \"memoized\": %llu, ",
+                  static_cast<unsigned long long>(total_elements),
+                  static_cast<unsigned long long>(lazy_memoized));
+    auto add = [&](const char* op, std::vector<double>* samples,
+                   const char* memo) {
+      double total_s = 0;
+      for (double us : *samples) total_s += us / 1e6;
+      report.AddRow(op, 1, samples, total_s, memo);
+    };
+    add("scan", &scan_us, "");
+    add("cold", &cold_us, "");
+    add("warm", &warm_us, extra);
+    add("eager_first", &eager_first_us, "");
+    add("eager_warm", &eager_warm_us, "");
+    add("snapshot", &snapshot_us, "");
+    if (!report.WriteTo(json_path)) return 1;
+  }
+  return 0;
+}

@@ -63,6 +63,8 @@ const char* AuditLayerName(AuditLayer layer) {
       return "range-index";
     case AuditLayer::kPartialIndex:
       return "partial-index";
+    case AuditLayer::kStructuralIndex:
+      return "structural-index";
     case AuditLayer::kFullIndex:
       return "full-index";
     case AuditLayer::kWal:
@@ -128,6 +130,7 @@ std::string AuditReport::ToString() const {
          std::to_string(overflow_pages) + " overflow pages, " +
          std::to_string(btree_nodes) + " btree nodes, " +
          std::to_string(partial_entries) + " partial-index entries, " +
+         std::to_string(structural_entries) + " structural-index entries, " +
          std::to_string(full_entries) + " full-index entries, " +
          std::to_string(wal_records) + " wal records, " +
          std::to_string(pages_swept) + " pages swept\n";
@@ -153,6 +156,7 @@ std::string AuditReport::ToJson() const {
   out += ",\"overflow_pages\":" + std::to_string(overflow_pages);
   out += ",\"btree_nodes\":" + std::to_string(btree_nodes);
   out += ",\"partial_entries\":" + std::to_string(partial_entries);
+  out += ",\"structural_entries\":" + std::to_string(structural_entries);
   out += ",\"full_entries\":" + std::to_string(full_entries);
   out += ",\"wal_records\":" + std::to_string(wal_records);
   out += ",\"pages_swept\":" + std::to_string(pages_swept);

@@ -30,6 +30,7 @@ enum class AuditLayer {
   kRangeChain,    ///< Document-order range chain + per-range metadata.
   kRangeIndex,    ///< Coarse interval index vs the chain.
   kPartialIndex,  ///< Memoized begin/end token locations.
+  kStructuralIndex,  ///< Memoized pre/post-order intervals.
   kFullIndex,     ///< Eager NodeId -> location baseline.
   kWal,           ///< Write-ahead log records.
   kBufferPool,    ///< Pin accounting at quiesce.
@@ -69,6 +70,7 @@ struct AuditReport {
   uint64_t overflow_pages = 0;
   uint64_t btree_nodes = 0;
   uint64_t partial_entries = 0;
+  uint64_t structural_entries = 0;
   uint64_t full_entries = 0;
   uint64_t wal_records = 0;
   uint64_t pages_swept = 0;
@@ -94,6 +96,7 @@ struct AuditReport {
 struct AuditOptions {
   bool check_range_layer = true;   ///< Chain, range index, full index.
   bool check_partial_index = true;
+  bool check_structural_index = true;  ///< Pre/post intervals vs the stream.
   bool check_heap = true;          ///< Slotted pages, directory, overflow.
   bool check_btrees = true;
   bool check_wal = true;

@@ -158,8 +158,26 @@ FsckOutcome RunFsck(const std::string& path, const FsckOptions& options) {
   ao.check_pages = !replayed_tail;
   out.swept_pages = ao.check_pages;
 
+  // The structural index is memory-resident, so a fresh open has
+  // nothing memoized and its audit leg would vacuously pass. Warm it
+  // from the recovered stream first: the warm pass exercises the full
+  // cursor path, and the auditor's structural leg then re-derives every
+  // interval independently and cross-checks. A warm failure is itself
+  // a finding (the stream did not parse as a well-nested document).
+  Status warm = (*store)->WarmStructuralIndex();
+  if (!warm.ok()) {
+    AuditIssue issue;
+    issue.layer = AuditLayer::kStructuralIndex;
+    issue.message = "structural warm-up failed: " + warm.message();
+    out.report.issues.push_back(std::move(issue));
+  }
+
   StoreAuditor auditor(store->get());
-  out.report = auditor.Run(ao);
+  AuditReport audit = auditor.Run(ao);
+  // Keep any warm-up finding recorded above in front of the run's.
+  audit.issues.insert(audit.issues.begin(), out.report.issues.begin(),
+                      out.report.issues.end());
+  out.report = std::move(audit);
 
   // With replay disabled the auditor never saw the log; its records are
   // still part of the store's state and must decode.

@@ -10,6 +10,8 @@
 #include "storage/pager.h"
 #include "storage/record_store.h"
 #include "storage/slotted_page.h"
+#include "index/structural_index.h"
+#include "store/cursor.h"
 #include "store/range_manager.h"
 #include "wal/wal.h"
 #include "xml/token_codec.h"
@@ -38,6 +40,7 @@ AuditReport StoreAuditor::Run(const AuditOptions& options) {
   if (options_.check_heap) AuditHeapAndOverflow();
   if (options_.check_range_layer) AuditRangeLayer();
   if (options_.check_partial_index) AuditPartialIndex();
+  if (options_.check_structural_index) AuditStructuralIndex();
   if (options_.check_wal) AuditWal();
   // Reachability needs every structure's claims, so the sweep runs last.
   if (options_.check_pages) AuditPageSweep();
@@ -501,6 +504,95 @@ void StoreAuditor::AuditPartialIndex() {
       }
     }
   }
+}
+
+void StoreAuditor::AuditStructuralIndex() {
+  const StructuralIndex* si = store_->structural_.get();
+  if (!si->enabled() || si->memoized_nodes() == 0) return;
+
+  // Re-derive every element's (pre, post, level, range, offset) tuple
+  // from the current token stream — the oracle the memos must equal.
+  StructuralWarmer oracle({}, /*track_all=*/true);
+  auto cursor = store_->NewCursor();
+  Status st = cursor->SeekToFirst();
+  while (st.ok() && cursor->Valid()) {
+    oracle.OnToken(cursor->token(), cursor->node_id(), cursor->depth(),
+                   cursor->range(), cursor->byte_offset());
+    st = cursor->Next();
+  }
+  if (!st.ok()) {
+    Add(AuditLayer::kStructuralIndex,
+        "stream scan failed: " + st.ToString());
+    return;
+  }
+  if (!oracle.complete()) {
+    // The nesting violation itself belongs to the range layer; here it
+    // just means no interval oracle exists to compare against.
+    Add(AuditLayer::kStructuralIndex,
+        "token stream is not well-nested; intervals unverifiable");
+    return;
+  }
+
+  struct Fresh {
+    const std::string* tag;
+    const StructuralEntry* entry;
+  };
+  std::unordered_map<NodeId, Fresh> fresh;
+  for (const auto& [tag, entries] : oracle.collected()) {
+    for (const StructuralEntry& e : entries) fresh.emplace(e.id, Fresh{&tag, &e});
+  }
+
+  // Posting lists must be sorted by pre (the joins binary-search them).
+  // ForEachEntry visits each tag's list in storage order, so a per-tag
+  // running maximum catches any inversion.
+  std::unordered_map<std::string, uint64_t> prev_pre;
+  std::unordered_map<std::string, bool> tag_seen;
+  si->ForEachEntry([&](const std::string& tag, const StructuralEntry& e) {
+    if (Full()) return;
+    ++report_.structural_entries;
+    auto fail = [&](std::string what) -> AuditIssue& {
+      AuditIssue& issue =
+          Add(AuditLayer::kStructuralIndex, std::move(what));
+      issue.node = e.id;
+      issue.range = e.range;
+      issue.offset = e.offset;
+      issue.has_offset = true;
+      return issue;
+    };
+    if (tag_seen[tag] && e.pre <= prev_pre[tag]) {
+      fail("posting list for <" + tag + "> is not sorted by pre");
+    }
+    tag_seen[tag] = true;
+    prev_pre[tag] = e.pre;
+
+    auto it = fresh.find(e.id);
+    if (it == fresh.end()) {
+      fail("memoized interval for node that is no element in the stream");
+      return;
+    }
+    if (*it->second.tag != tag) {
+      fail("memoized under <" + tag + ">, stream says <" +
+           *it->second.tag + ">");
+      return;
+    }
+    const StructuralEntry& want = *it->second.entry;
+    if (e.pre != want.pre || e.post != want.post) {
+      fail("interval is (" + std::to_string(e.pre) + ", " +
+           std::to_string(e.post) + "), stream says (" +
+           std::to_string(want.pre) + ", " + std::to_string(want.post) +
+           ")");
+    }
+    if (e.level != want.level) {
+      fail("level is " + std::to_string(e.level) + ", stream says " +
+           std::to_string(want.level));
+    }
+    if (e.range != want.range || e.offset != want.offset) {
+      fail("begin token is at range " + std::to_string(want.range) +
+           " offset " + std::to_string(want.offset) +
+           ", memo says range " + std::to_string(e.range) + " offset " +
+           std::to_string(e.offset));
+    }
+  });
 }
 
 void StoreAuditor::AuditHeapAndOverflow() {

@@ -9,6 +9,10 @@
 //   * every Partial Index memo against the payload bytes it claims to
 //     shortcut — the memoized (range, offset, token index) must land on
 //     a real begin/end token of the right node;
+//   * every Structural Index interval against a fresh stream scan — the
+//     memoized (pre, post, level, range, offset) of each element must
+//     equal what re-deriving it from the current token stream yields,
+//     and each tag's posting list must be pre-sorted;
 //   * (full-index mode) every begin token against its eager index entry;
 //   * slotted heap pages — slot directory bounds, extent overlap, and
 //     the free-space accounting identity;
@@ -59,6 +63,7 @@ class StoreAuditor {
   void AuditBTrees();
   void AuditRangeLayer();
   void AuditPartialIndex();
+  void AuditStructuralIndex();
   void AuditHeapAndOverflow();
   void AuditWal();
   void AuditPageSweep();

@@ -1,0 +1,207 @@
+#include "index/structural_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace laxml {
+
+StructuralIndex::EntryList StructuralIndex::LookupTag(
+    const std::string& tag) const {
+  ReaderMutexLock lk(mu_);
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) return nullptr;
+  return it->second.entries;
+}
+
+void StructuralIndex::Publish(const std::string& tag,
+                              std::vector<StructuralEntry> entries) {
+  if (!enabled()) return;
+  TagList list;
+  for (const StructuralEntry& e : entries) list.ranges.insert(e.range);
+  const size_t added = entries.size();
+  list.entries = std::make_shared<const std::vector<StructuralEntry>>(
+      std::move(entries));
+  WriterMutexLock lk(mu_);
+  auto [it, inserted] = tags_.try_emplace(tag);
+  if (!inserted) memoized_ -= it->second.entries->size();
+  it->second = std::move(list);
+  memoized_ += added;
+}
+
+void StructuralIndex::InvalidateAll() {
+  WriterMutexLock lk(mu_);
+  if (tags_.empty()) return;
+  stats_.invalidations += memoized_;
+  tags_.clear();
+  memoized_ = 0;
+}
+
+void StructuralIndex::InvalidateRange(RangeId range) {
+  WriterMutexLock lk(mu_);
+  for (auto it = tags_.begin(); it != tags_.end();) {
+    if (it->second.ranges.count(range) != 0) {
+      stats_.invalidations += it->second.entries->size();
+      memoized_ -= it->second.entries->size();
+      it = tags_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t StructuralIndex::memoized_nodes() const {
+  ReaderMutexLock lk(mu_);
+  return memoized_;
+}
+
+size_t StructuralIndex::warmed_tags() const {
+  ReaderMutexLock lk(mu_);
+  return tags_.size();
+}
+
+void StructuralIndex::ResetStats() {
+  stats_.hits = 0;
+  stats_.misses = 0;
+  stats_.invalidations = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Warmer
+
+StructuralWarmer::StructuralWarmer(std::vector<std::string> wanted,
+                                   bool track_all)
+    : track_all_(track_all) {
+  for (std::string& tag : wanted) wanted_.insert(std::move(tag));
+}
+
+void StructuralWarmer::OnToken(const Token& token, NodeId id, int64_t depth,
+                               RangeId range, uint32_t byte_offset) {
+  const uint64_t tok = token_index_++;
+  if (token.type == TokenType::kBeginElement &&
+      (track_all_ || wanted_.count(token.name) != 0)) {
+    if (depth < 0) {
+      broken_ = true;
+      return;
+    }
+    std::vector<StructuralEntry>& list = collected_[token.name];
+    StructuralEntry entry;
+    entry.id = id;
+    entry.pre = tok;
+    entry.post = tok;  // provisional; fixed when the scope closes
+    entry.level = static_cast<uint32_t>(depth);
+    entry.range = range;
+    entry.offset = byte_offset;
+    open_.push_back({true, token.name, list.size()});
+    list.push_back(std::move(entry));
+    return;
+  }
+  if (token.OpensScope()) {
+    open_.push_back({false, std::string(), 0});
+    return;
+  }
+  if (token.ClosesScope()) {
+    if (open_.empty()) {
+      broken_ = true;
+      return;
+    }
+    OpenScope scope = std::move(open_.back());
+    open_.pop_back();
+    if (scope.tracked) collected_[scope.tag][scope.slot].post = tok;
+  }
+}
+
+void StructuralWarmer::Publish(StructuralIndex* index) {
+  if (!complete() || !index->enabled()) return;
+  if (track_all_) {
+    for (auto& [tag, entries] : collected_) {
+      index->Publish(tag, std::move(entries));
+    }
+  } else {
+    // Wanted tags with zero matches publish as empty lists: "no such
+    // element" is a cached fact too.
+    for (const std::string& tag : wanted_) {
+      auto it = collected_.find(tag);
+      index->Publish(tag, it == collected_.end()
+                              ? std::vector<StructuralEntry>()
+                              : std::move(it->second));
+    }
+  }
+  collected_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+
+namespace {
+
+/// Finds the interval in `intervals` (disjoint, sorted by pre) that
+/// strictly contains (c_pre, c_post); returns false when none does.
+bool ContainedIn(const std::vector<std::pair<uint64_t, uint64_t>>& intervals,
+                 uint64_t c_pre, uint64_t c_post) {
+  auto it = std::upper_bound(
+      intervals.begin(), intervals.end(), c_pre,
+      [](uint64_t v, const std::pair<uint64_t, uint64_t>& iv) {
+        return v < iv.first;
+      });
+  if (it == intervals.begin()) return false;
+  --it;
+  return it->first < c_pre && c_post < it->second;
+}
+
+}  // namespace
+
+std::vector<StructuralEntry> StructuralTopLevel(
+    const std::vector<StructuralEntry>& candidates) {
+  std::vector<StructuralEntry> out;
+  for (const StructuralEntry& c : candidates) {
+    if (c.level == 0) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<StructuralEntry> StructuralDescendantJoin(
+    const std::vector<StructuralEntry>& frontier,
+    const std::vector<StructuralEntry>& candidates) {
+  std::vector<StructuralEntry> out;
+  if (frontier.empty() || candidates.empty()) return out;
+  // Skyline: keep only the outermost frontier intervals. Sorted by pre,
+  // an interval is nested inside an earlier one iff its post is below
+  // the running max — drop those, leaving disjoint sorted intervals
+  // whose union of descendants equals the whole frontier's.
+  std::vector<std::pair<uint64_t, uint64_t>> skyline;
+  uint64_t max_post = 0;
+  for (const StructuralEntry& f : frontier) {
+    if (skyline.empty() || f.post > max_post) {
+      skyline.emplace_back(f.pre, f.post);
+      max_post = f.post;
+    }
+  }
+  for (const StructuralEntry& c : candidates) {
+    if (ContainedIn(skyline, c.pre, c.post)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<StructuralEntry> StructuralChildJoin(
+    const std::vector<StructuralEntry>& frontier,
+    const std::vector<StructuralEntry>& candidates) {
+  std::vector<StructuralEntry> out;
+  if (frontier.empty() || candidates.empty()) return out;
+  // Same-level elements cannot nest, so each level group is a disjoint
+  // sorted interval list; the group member containing a candidate one
+  // level down is necessarily its immediate parent.
+  std::unordered_map<uint32_t, std::vector<std::pair<uint64_t, uint64_t>>>
+      by_level;
+  for (const StructuralEntry& f : frontier) {
+    by_level[f.level].emplace_back(f.pre, f.post);
+  }
+  for (const StructuralEntry& c : candidates) {
+    if (c.level == 0) continue;  // top-level: parent is the virtual root
+    auto it = by_level.find(c.level - 1);
+    if (it == by_level.end()) continue;
+    if (ContainedIn(it->second, c.pre, c.post)) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace laxml

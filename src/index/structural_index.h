@@ -1,0 +1,232 @@
+// The Structural (lazy) Index — the Partial Index idea lifted from
+// single-node lookups to structural XPath axes. Each memoized element
+// carries an XISS/R-style pre/post-order interval:
+//
+//   pre   = global token index of the element's begin token
+//   post  = global token index of its matching end token
+//   level = nesting depth of the begin token (top level = 0)
+//
+// so "d is a descendant of a" is the pure arithmetic
+// `d.pre > a.pre && d.post < a.post`, and "c is a child of p" adds
+// `c.level == p.level + 1` (same-level intervals are disjoint, so the
+// containing interval one level up IS the parent). The range id and
+// byte offset of the begin token ride along so the auditor can pin a
+// memo back to the bytes it describes.
+//
+// Laziness (the paper's thesis, applied to axes): nothing is indexed
+// up front. The first `//a//b` query streams the store exactly as the
+// cold evaluator always has, and the scan's by-product — every `a` and
+// `b` interval — is published here, keyed by tag. The next query over
+// warm tags joins posting lists in O(candidates × log frontier)
+// instead of rescanning the document. A tag is warm iff it has a
+// posting list (possibly empty: "no such element" is itself a cached
+// fact); everything else is cold.
+//
+// Invalidation is lazy too — O(1) discard, repair deferred to the next
+// query's scan. pre/post numbers are positions in the *current* token
+// stream, so any mutation that inserts or removes tokens renumbers
+// everything after the edit point; intervals recorded under different
+// numberings must never be compared. Hence InvalidateAll() at the
+// store's insert/delete choke points. Range restructurings that keep
+// the token stream intact (splits, merges) only stale the (range,
+// offset) coordinates, so they drop just the tag lists with entries in
+// the touched range (InvalidateRange — the same seams the Partial
+// Index hooks). A mutation-stable numbering (ORDPATH/Dewey, see
+// src/ids/) is the known upgrade path if re-warm churn ever shows up
+// in profiles; the paper's bet — and ours — is that read-mostly phases
+// dominate, so cheap discard + lazy re-warm wins.
+//
+// Thread safety: internally synchronized with one annotated
+// laxml::SharedMutex — readers (queries, metrics scrapes, the auditor)
+// take it shared, publish/invalidate take it exclusive. Posting lists
+// are immutable once published and handed out as
+// shared_ptr<const vector>, so a reader's join keeps working on the
+// list it fetched even if a concurrent warmer republishes the tag.
+// This is what lets SharedStore run warming queries under its shared
+// store latch, exactly as it does for Partial Index memoization.
+
+#ifndef LAXML_INDEX_STRUCTURAL_INDEX_H_
+#define LAXML_INDEX_STRUCTURAL_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/relaxed_counter.h"
+#include "common/thread_annotations.h"
+#include "index/range_index.h"
+#include "store/store_options.h"
+#include "xml/token.h"
+
+namespace laxml {
+
+/// Counters for benches, metrics and tests. RelaxedCounters: bumped
+/// from concurrent reader threads warming under the shared store latch.
+struct StructuralIndexStats {
+  RelaxedCounter hits;    ///< Indexable queries answered from warm lists.
+  RelaxedCounter misses;  ///< Indexable queries that found a cold tag.
+  RelaxedCounter invalidations;  ///< Entries dropped by mutations.
+};
+
+/// One memoized element: its pre/post-order interval plus the physical
+/// location of its begin token (for the auditor's cross-check).
+struct StructuralEntry {
+  NodeId id = kInvalidNodeId;
+  uint64_t pre = 0;   ///< Global token index of the begin token.
+  uint64_t post = 0;  ///< Global token index of the matching end token.
+  uint32_t level = 0;  ///< Depth of the begin token (top level = 0).
+  RangeId range = kInvalidRangeId;  ///< Range holding the begin token.
+  uint32_t offset = 0;  ///< Byte offset of the begin token in `range`.
+};
+
+/// Lazily-populated tag -> sorted interval list map.
+class StructuralIndex {
+ public:
+  /// A tag's posting list, sorted by pre (= document order). Immutable
+  /// once published; safe to keep using after the lock drops.
+  using EntryList = std::shared_ptr<const std::vector<StructuralEntry>>;
+
+  explicit StructuralIndex(StructuralIndexMode mode) : mode_(mode) {}
+
+  StructuralIndex(const StructuralIndex&) = delete;
+  StructuralIndex& operator=(const StructuralIndex&) = delete;
+
+  StructuralIndexMode mode() const { return mode_; }
+  bool enabled() const { return mode_ != StructuralIndexMode::kOff; }
+
+  /// The posting list for `tag`, or nullptr when the tag is cold. An
+  /// empty (non-null) list means "warm, and no such element exists".
+  EntryList LookupTag(const std::string& tag) const LAXML_EXCLUDES(mu_);
+
+  /// Installs `entries` (sorted by pre) as `tag`'s posting list,
+  /// replacing any previous list. No-op when the index is off.
+  void Publish(const std::string& tag, std::vector<StructuralEntry> entries)
+      LAXML_EXCLUDES(mu_);
+
+  /// Drops everything. Called whenever the store's token stream gains
+  /// or loses tokens: every pre/post number after the edit point is
+  /// renumbered, and intervals from different numberings must never be
+  /// compared.
+  void InvalidateAll() LAXML_EXCLUDES(mu_);
+
+  /// Drops every tag list with an entry in `range` (split/merge moved
+  /// its begin-token coordinates; the interval numbering is intact but
+  /// the physical half of those entries is stale).
+  void InvalidateRange(RangeId range) LAXML_EXCLUDES(mu_);
+
+  /// Query-plan accounting (one hit/miss per indexable query, not per
+  /// tag probe).
+  void RecordHit() const { ++stats_.hits; }
+  void RecordMiss() const { ++stats_.misses; }
+
+  /// Total memoized entries across all warm tags.
+  size_t memoized_nodes() const LAXML_EXCLUDES(mu_);
+  /// Number of warm tags (empty lists included).
+  size_t warmed_tags() const LAXML_EXCLUDES(mu_);
+  const StructuralIndexStats& stats() const { return stats_; }
+  void ResetStats();
+
+  /// Const iteration over every memoized entry (integrity auditor).
+  /// The lock is held shared while visiting; `fn` must not reenter the
+  /// index.
+  template <typename Fn>
+  void ForEachEntry(Fn fn) const LAXML_EXCLUDES(mu_) {
+    ReaderMutexLock lk(mu_);
+    for (const auto& [tag, list] : tags_) {
+      for (const StructuralEntry& e : *list.entries) fn(tag, e);
+    }
+  }
+
+ private:
+  struct TagList {
+    EntryList entries;
+    /// Ranges holding the begin tokens of `entries` (reverse map for
+    /// InvalidateRange).
+    std::unordered_set<RangeId> ranges;
+  };
+
+  const StructuralIndexMode mode_;
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, TagList> tags_ LAXML_GUARDED_BY(mu_);
+  size_t memoized_ LAXML_GUARDED_BY(mu_) = 0;
+  mutable StructuralIndexStats stats_;
+};
+
+/// Builds StructuralEntry tuples as a by-product of a document-order
+/// token scan. Feed every token (ends included — they advance the
+/// global token index and close intervals); Publish() installs the
+/// collected lists. With `track_all`, every element tag is collected
+/// (eager mode / WarmStructuralIndex); otherwise only tags in `wanted`
+/// are, and each wanted tag is published even when no element matched
+/// (an empty list = warm negative).
+class StructuralWarmer {
+ public:
+  StructuralWarmer(std::vector<std::string> wanted, bool track_all);
+
+  void OnToken(const Token& token, NodeId id, int64_t depth, RangeId range,
+               uint32_t byte_offset);
+
+  /// True when the fed stream was well-nested (every opened scope
+  /// closed). Publish is a no-op otherwise — a broken stream's
+  /// intervals are meaningless, and the corruption is reported by the
+  /// layers that own it.
+  bool complete() const { return !broken_ && open_.empty(); }
+
+  void Publish(StructuralIndex* index);
+
+  /// Collected lists (auditor cross-check; valid when complete()).
+  const std::unordered_map<std::string, std::vector<StructuralEntry>>&
+  collected() const {
+    return collected_;
+  }
+
+ private:
+  struct OpenScope {
+    bool tracked;
+    std::string tag;
+    size_t slot;  ///< Index into collected_[tag].
+  };
+
+  bool track_all_;
+  std::unordered_set<std::string> wanted_;
+  std::unordered_map<std::string, std::vector<StructuralEntry>> collected_;
+  std::vector<OpenScope> open_;
+  uint64_t token_index_ = 0;
+  bool broken_ = false;
+};
+
+/// The warm-path joins. Frontier and candidates are posting lists
+/// sorted by pre; results preserve candidate order (document order) and
+/// are duplicate-free by construction.
+
+/// Entries of `candidates` at the top level (step 0 of a child-axis
+/// path: the virtual root's children are exactly the level-0 elements).
+std::vector<StructuralEntry> StructuralTopLevel(
+    const std::vector<StructuralEntry>& candidates);
+
+/// Entries of `candidates` strictly contained in some frontier
+/// interval. The frontier is first reduced to its "skyline" of
+/// outermost intervals (inner ones select a subset of their ancestors'
+/// descendants), leaving disjoint sorted intervals; each candidate then
+/// needs one binary search.
+std::vector<StructuralEntry> StructuralDescendantJoin(
+    const std::vector<StructuralEntry>& frontier,
+    const std::vector<StructuralEntry>& candidates);
+
+/// Entries of `candidates` whose immediate parent is in the frontier:
+/// contained in a frontier interval exactly one level up. Same-level
+/// intervals are disjoint, so the candidate's containing interval at
+/// level c.level - 1 (when present) is its parent — again one binary
+/// search per candidate, within the matching level group.
+std::vector<StructuralEntry> StructuralChildJoin(
+    const std::vector<StructuralEntry>& frontier,
+    const std::vector<StructuralEntry>& candidates);
+
+}  // namespace laxml
+
+#endif  // LAXML_INDEX_STRUCTURAL_INDEX_H_

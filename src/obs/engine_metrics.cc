@@ -22,6 +22,17 @@ void CollectStoreMetrics(Store& store) {
   set("laxml_partial_index_entries", partial.size());
   set("laxml_partial_index_capacity", partial.capacity());
 
+  // Structural XPath index: warm-hit ratio and how little the lazy
+  // policy actually memoized (memoized_nodes vs laxml_store_live_nodes
+  // is the laziness claim, observable).
+  const StructuralIndex* structural = store.structural_index();
+  const StructuralIndexStats& sstats = structural->stats();
+  set("laxml_structural_index_hits", sstats.hits);
+  set("laxml_structural_index_misses", sstats.misses);
+  set("laxml_structural_index_invalidations", sstats.invalidations);
+  set("laxml_structural_index_memoized_nodes", structural->memoized_nodes());
+  set("laxml_structural_index_warmed_tags", structural->warmed_tags());
+
   // Fail-stop state: 1 once a post-open I/O error poisoned the store
   // (mutations rejected, reads degraded) — the alert bit.
   set("laxml_store_poisoned", store.poisoned() ? 1 : 0);

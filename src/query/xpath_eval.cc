@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "index/structural_index.h"
 #include "query/xpath_parser.h"
+#include "query/xpath_stream.h"
 #include "store/cursor.h"
 
 namespace laxml {
@@ -184,6 +186,18 @@ std::vector<int64_t> XPathEvaluator::ApplyStep(
 
 Result<std::vector<NodeId>> XPathEvaluator::Evaluate(
     const XPathPath& path) {
+  // Planner choice: structurally-indexable paths (named child/
+  // descendant steps, no predicates) route through the streaming
+  // evaluator, which consults the lazy structural index — a warm hit
+  // skips both the O(live nodes) snapshot build and the scan entirely,
+  // and a cold miss warms the index as a scan by-product. The two
+  // evaluators agree exactly on this fragment (property-tested), so
+  // the result is indistinguishable. Everything else (predicates,
+  // wildcards, text()/comment(), attributes) takes the snapshot path.
+  if (store_->structural_index()->enabled() &&
+      StructuralIndexEligible(path)) {
+    return EvaluateXPathStreaming(*store_, path);
+  }
   if (!fresh_) {
     LAXML_RETURN_IF_ERROR(Refresh());
   }

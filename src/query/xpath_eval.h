@@ -6,10 +6,14 @@
 // '=' comparisons, per-context positions).
 //
 // Trade-off, documented: the snapshot is O(live nodes) transient memory
-// and must be Refresh()ed after store mutations. A fully streaming
-// evaluator is a possible optimization for structural-only paths; value
-// predicates would still need buffering, so the snapshot keeps the
-// implementation small and exactly right.
+// and must be Refresh()ed after store mutations. Structurally-indexable
+// paths (named child/descendant steps, no predicates) do NOT touch the
+// snapshot at all: the planner routes them through the streaming
+// evaluator + lazy structural index (see query/xpath_stream.h), so they
+// are always fresh and — once the queried tags are warm — cost a
+// posting-list join instead of a scan. Value predicates still need
+// buffering, so the snapshot keeps the general case small and exactly
+// right.
 
 #ifndef LAXML_QUERY_XPATH_EVAL_H_
 #define LAXML_QUERY_XPATH_EVAL_H_
@@ -54,8 +58,15 @@ class XPathEvaluator {
     TokenType type;
     std::string name;
     std::string value;
-    int32_t parent;        ///< Index of parent; -1 for top level.
-    uint32_t subtree_end;  ///< One past the last descendant index.
+    int32_t parent;  ///< Index of parent; -1 for top level.
+    /// One past the last descendant's NODE index: the descendants of
+    /// nodes_[i] are exactly nodes_[i+1 .. subtree_end), and
+    /// subtree_end == i + 1 for leaves. This is a node-count
+    /// convention — distinct from TokenSequence's SubtreeEnd, which is
+    /// a TOKEN index one past the subtree's closing token (end tokens
+    /// begin no node, so they exist only in the token convention; see
+    /// xml/token_sequence.h and subtree_end_test).
+    uint32_t subtree_end;
   };
 
   bool TestMatches(const XPathStep& step, const SNode& node) const;

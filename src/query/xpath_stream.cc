@@ -1,5 +1,9 @@
 #include "query/xpath_stream.h"
 
+#include <memory>
+#include <string>
+
+#include "index/structural_index.h"
 #include "query/xpath_parser.h"
 #include "store/cursor.h"
 
@@ -39,10 +43,53 @@ bool Recursive(const XPathStep& step) {
   return step.axis == XPathAxis::kDescendant || step.descendant_attr;
 }
 
+/// Warm path: answers `path` from the structural index's posting lists
+/// alone. Returns false when any step's tag is cold (caller falls back
+/// to the scan, which warms it). Results are in document order and
+/// duplicate-free: tag lists are pre-sorted and the joins preserve
+/// candidate order.
+bool TryStructuralEvaluate(const StructuralIndex& index,
+                           const XPathPath& path,
+                           std::vector<NodeId>* out) {
+  std::vector<StructuralIndex::EntryList> lists;
+  lists.reserve(path.steps.size());
+  for (const XPathStep& step : path.steps) {
+    StructuralIndex::EntryList list = index.LookupTag(step.name);
+    if (list == nullptr) return false;
+    lists.push_back(std::move(list));
+  }
+  // Step 0 evaluates against the virtual root: its children are the
+  // top-level (level-0) elements, its descendants everything.
+  std::vector<StructuralEntry> frontier =
+      path.steps[0].axis == XPathAxis::kChild ? StructuralTopLevel(*lists[0])
+                                              : *lists[0];
+  for (size_t i = 1; i < path.steps.size() && !frontier.empty(); ++i) {
+    frontier = path.steps[i].axis == XPathAxis::kChild
+                   ? StructuralChildJoin(frontier, *lists[i])
+                   : StructuralDescendantJoin(frontier, *lists[i]);
+  }
+  out->clear();
+  out->reserve(frontier.size());
+  for (const StructuralEntry& e : frontier) out->push_back(e.id);
+  return true;
+}
+
 }  // namespace
 
-Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,
-                                                   const XPathPath& path) {
+bool StructuralIndexEligible(const XPathPath& path) {
+  if (path.steps.empty()) return false;
+  for (const XPathStep& step : path.steps) {
+    if (!step.predicates.empty()) return false;
+    if (step.descendant_attr) return false;
+    if (step.axis != XPathAxis::kChild && step.axis != XPathAxis::kDescendant)
+      return false;
+    if (step.test != NodeTestKind::kName) return false;
+  }
+  return true;
+}
+
+Result<std::vector<NodeId>> EvaluateXPathStreaming(
+    const Store& store, const XPathPath& path, bool allow_structural_index) {
   if (path.steps.empty()) {
     return Status::InvalidArgument("empty path");
   }
@@ -50,6 +97,31 @@ Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,
     if (!step.predicates.empty()) {
       return Status::NotSupported(
           "predicates require buffering; use XPathEvaluator");
+    }
+  }
+
+  StructuralIndex* index = store.structural_index();
+  const bool indexable = allow_structural_index && index->enabled() &&
+                         StructuralIndexEligible(path);
+  std::unique_ptr<StructuralWarmer> warmer;
+  if (indexable) {
+    std::vector<NodeId> joined;
+    if (TryStructuralEvaluate(*index, path, &joined)) {
+      index->RecordHit();
+      return joined;
+    }
+    // Cold: the scan below is the fallback, and its by-product warms
+    // the index — the queried tags in lazy mode, every tag in eager.
+    index->RecordMiss();
+    if (index->mode() == StructuralIndexMode::kEager) {
+      warmer = std::make_unique<StructuralWarmer>(std::vector<std::string>(),
+                                                  /*track_all=*/true);
+    } else {
+      std::vector<std::string> wanted;
+      wanted.reserve(path.steps.size());
+      for (const XPathStep& step : path.steps) wanted.push_back(step.name);
+      warmer = std::make_unique<StructuralWarmer>(std::move(wanted),
+                                                  /*track_all=*/false);
     }
   }
 
@@ -70,6 +142,10 @@ Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,
   LAXML_RETURN_IF_ERROR(cursor->SeekToFirst());
   while (cursor->Valid()) {
     const Token& token = cursor->token();
+    if (warmer != nullptr) {
+      warmer->OnToken(token, cursor->node_id(), cursor->depth(),
+                      cursor->range(), cursor->byte_offset());
+    }
     if (token.BeginsNode()) {
       const StateSet& context = stack.empty() ? root_states : stack.back();
       StateSet below(nsteps, 0);
@@ -97,6 +173,7 @@ Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,
     }
     LAXML_RETURN_IF_ERROR(cursor->Next());
   }
+  if (warmer != nullptr) warmer->Publish(index);
   // Cursor order IS document order, and the final step index is a
   // single bit per context, so each node is reported at most once: the
   // result needs no sorting or dedup.

@@ -11,6 +11,14 @@
 // expressions with predicates return NotSupported, and callers fall
 // back to the snapshot-based XPathEvaluator. The two evaluators agree
 // exactly on the shared fragment (enforced by property tests).
+//
+// Planner choice: paths of named child/descendant steps ("//a//b",
+// "/a/b//c") additionally consult the store's lazy structural index.
+// When every step's tag is warm, the answer is a posting-list join —
+// no scan at all; when cold, the scan below runs as always and its
+// by-product warms the index for the queried tags (every tag, in
+// eager mode). Off-mode stores and non-indexable paths take the plain
+// scan unconditionally.
 
 #ifndef LAXML_QUERY_XPATH_STREAM_H_
 #define LAXML_QUERY_XPATH_STREAM_H_
@@ -24,11 +32,19 @@
 
 namespace laxml {
 
-/// Evaluates a predicate-free path in one streaming pass. Returns
-/// matching node ids in document order (duplicate-free by
+/// True when `path` can be answered from the structural index: every
+/// step a named child or descendant test, no predicates, no '//@attr'.
+bool StructuralIndexEligible(const XPathPath& path);
+
+/// Evaluates a predicate-free path in one streaming pass (or, for
+/// eligible paths over a warm structural index, a posting-list join).
+/// Returns matching node ids in document order (duplicate-free by
 /// construction). NotSupported when the path contains predicates.
-Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,
-                                                   const XPathPath& path);
+/// `allow_structural_index = false` forces the plain scan — the
+/// torture harness's on/off oracle and A/B benches use it.
+Result<std::vector<NodeId>> EvaluateXPathStreaming(
+    const Store& store, const XPathPath& path,
+    bool allow_structural_index = true);
 
 /// Parses, then evaluates streamingly.
 Result<std::vector<NodeId>> EvaluateXPathStreaming(const Store& store,

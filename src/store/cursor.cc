@@ -22,6 +22,7 @@ Status TokenCursor::SeekToFirst() {
 }
 
 Status TokenCursor::DecodeOne() {
+  byte_offset_ = static_cast<uint32_t>(reader_.offset());
   LAXML_RETURN_IF_ERROR(reader_.Next(&token_));
   if (token_.BeginsNode()) {
     node_id_ = next_id_++;

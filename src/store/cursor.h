@@ -52,6 +52,10 @@ class TokenCursor {
   /// Range currently being streamed.
   RangeId range() const { return range_; }
 
+  /// Byte offset of the current token within its range's payload (the
+  /// coordinate the Partial and Structural indexes memoize).
+  uint32_t byte_offset() const { return byte_offset_; }
+
  private:
   Status LoadRange(RangeId id);
   Status DecodeOne();
@@ -65,6 +69,7 @@ class TokenCursor {
   NodeId next_id_ = kInvalidNodeId;
   Token token_;
   NodeId node_id_ = kInvalidNodeId;
+  uint32_t byte_offset_ = 0;
   int64_t depth_ = 0;           // depth after consuming token_
   int64_t depth_at_token_ = 0;  // depth at token_
 };

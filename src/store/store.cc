@@ -46,12 +46,26 @@ const char* WalSyncModeName(WalSyncMode mode) {
   return "?";
 }
 
+const char* StructuralIndexModeName(StructuralIndexMode mode) {
+  switch (mode) {
+    case StructuralIndexMode::kOff:
+      return "off";
+    case StructuralIndexMode::kLazy:
+      return "lazy";
+    case StructuralIndexMode::kEager:
+      return "eager";
+  }
+  return "?";
+}
+
 Store::Store(std::unique_ptr<Pager> pager, const StoreOptions& options)
     : pager_(std::move(pager)),
       options_(options),
       partial_(options.index_mode == IndexMode::kRangeWithPartial
                    ? options.partial_index_capacity
-                   : 0) {}
+                   : 0),
+      structural_(
+          std::make_unique<StructuralIndex>(options.structural_index)) {}
 
 Store::~Store() {
   if (crashed_ || read_only() || poisoned()) {
@@ -607,8 +621,11 @@ Result<RangeId> Store::SplitRange(RangeId id, uint32_t byte_offset,
       RangeId tail, ranges_->Split(id, byte_offset, token_index,
                                    begins_before));
   // Offsets memoized for the split range may now be stale (those past
-  // the cut now live in the tail); drop them.
+  // the cut now live in the tail); drop them. A split leaves the token
+  // stream (and thus pre/post numbering) intact, so the structural
+  // index loses only the tag lists with begin tokens in this range.
   partial_.InvalidateRange(id);
+  structural_->InvalidateRange(id);
   if (full_ != nullptr) {
     // Eager index maintenance: every id that moved into the tail must be
     // re-pointed. This is the honest cost of the full-index baseline.
@@ -721,6 +738,12 @@ Status Store::ValidateFragment(const TokenSequence& data) const {
 
 Result<NodeId> Store::StoreFragment(const TokenSequence& data,
                                     RangeId left) {
+  // Every insert funnels through here, and inserting tokens renumbers
+  // every pre/post position after the edit point: intervals memoized
+  // under the old numbering must never be compared with new ones, so
+  // the whole structural index is discarded (O(1) lazy invalidation —
+  // the next query's scan re-warms exactly what it touches).
+  if (!data.empty()) structural_->InvalidateAll();
   NodeId first_id = next_node_id_;
   size_t i = 0;
   uint64_t total_begins = 0;
@@ -772,6 +795,9 @@ Status Store::DeleteRangesBetween(RangeId first_doomed,
     doomed.push_back(meta);
     cur = meta.next;
   }
+  // Removing tokens renumbers every pre/post position after the gap —
+  // same mass discard as on insert (see StoreFragment).
+  if (!doomed.empty()) structural_->InvalidateAll();
   for (const RangeMeta& meta : doomed) {
     if (full_ != nullptr && meta.has_ids()) {
       LAXML_RETURN_IF_ERROR(
@@ -1172,6 +1198,10 @@ Result<uint64_t> Store::CompactRanges(uint32_t target_bytes) {
     // merged range keeps id `cur`, so both must be dropped.
     partial_.InvalidateRange(cur);
     partial_.InvalidateRange(dead);
+    // A merge keeps the token stream intact (pre/post numbering holds)
+    // but moves begin-token coordinates; range-level invalidation only.
+    structural_->InvalidateRange(cur);
+    structural_->InvalidateRange(dead);
     if (full_ != nullptr) {
       LAXML_ASSIGN_OR_RETURN(RangeMeta merged, ranges_->GetMeta(cur));
       if (merged.has_ids()) {
@@ -1192,6 +1222,23 @@ Result<uint64_t> Store::CompactRanges(uint32_t target_bytes) {
 
 std::unique_ptr<TokenCursor> Store::NewCursor() const {
   return std::make_unique<TokenCursor>(ranges_.get());
+}
+
+Status Store::WarmStructuralIndex() const {
+  if (!structural_->enabled()) return Status::OK();
+  StructuralWarmer warmer({}, /*track_all=*/true);
+  auto cursor = NewCursor();
+  LAXML_RETURN_IF_ERROR(cursor->SeekToFirst());
+  while (cursor->Valid()) {
+    warmer.OnToken(cursor->token(), cursor->node_id(), cursor->depth(),
+                   cursor->range(), cursor->byte_offset());
+    LAXML_RETURN_IF_ERROR(cursor->Next());
+  }
+  if (!warmer.complete()) {
+    return Status::Corruption("unbalanced token stream while warming");
+  }
+  warmer.Publish(structural_.get());
+  return Status::OK();
 }
 
 std::string Store::DebugRangeTable() const {

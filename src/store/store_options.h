@@ -48,6 +48,24 @@ enum class WalSyncMode : uint32_t {
 
 const char* WalSyncModeName(WalSyncMode mode);
 
+/// Whether (and how) the store keeps the structural XPath index — the
+/// Partial Index idea lifted to descendant/child axes (pre/post-order
+/// intervals per tag, see src/index/structural_index.h).
+enum class StructuralIndexMode : uint32_t {
+  /// No structural memoization; every XPath evaluation stream-scans.
+  kOff = 0,
+  /// Lazy: a cold indexable query stream-scans as before, and the scan
+  /// memoizes intervals for exactly the tags the query named. Repeats
+  /// over warm tags become posting-list joins.
+  kLazy = 1,
+  /// Eager(-on-first-touch): the first cold indexable query memoizes
+  /// every element tag in the document, not just the queried ones (one
+  /// scan warms everything). A/B baseline for the laziness claim.
+  kEager = 2,
+};
+
+const char* StructuralIndexModeName(StructuralIndexMode mode);
+
 /// Store construction options.
 struct StoreOptions {
   /// Page size / buffer-pool sizing.
@@ -57,6 +75,10 @@ struct StoreOptions {
 
   /// Maximum entries in the Partial Index (kRangeWithPartial only).
   size_t partial_index_capacity = 65536;
+
+  /// Structural XPath index policy. Lazy by default — the paper's bet:
+  /// memoize only what queries touch, discard cheaply on mutation.
+  StructuralIndexMode structural_index = StructuralIndexMode::kLazy;
 
   /// Granularity cap: inserts larger than this many encoded bytes are
   /// cut into multiple Ranges. 0 = unbounded (a Range is exactly an

@@ -10,6 +10,8 @@
 #include "audit/fsck.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "query/xpath_ast.h"
+#include "query/xpath_stream.h"
 #include "storage/faulty_page_file.h"
 #include "store/store.h"
 #include "wal/wal_file.h"
@@ -413,6 +415,73 @@ IterationResult RunIteration(const TortureOptions& opts,
             std::to_string((*reopened)->node_high_water()) + " vs oracle " +
             std::to_string(oracle.node_high_water())};
   }
+
+  // ---- Verify 3: XPath with the structural index on vs off. ---------
+  // Over the recovered store, every indexable query must answer
+  // identically with the index bypassed (plain scan), with a cold
+  // index (scan + warm as by-product), and with the index warm
+  // (posting-list join) — byte-for-byte on the id vectors. Query tags
+  // come from the instance itself so the paths actually select.
+  {
+    std::vector<std::string> tags;
+    for (const Token& t : *got) {
+      if (t.type != TokenType::kBeginElement) continue;
+      bool known = false;
+      for (const std::string& s : tags) known = known || s == t.name;
+      if (!known) tags.push_back(t.name);
+      if (tags.size() >= 3) break;
+    }
+    std::vector<XPathPath> paths;
+    auto step = [](XPathAxis axis, const std::string& name) {
+      XPathStep s;
+      s.axis = axis;
+      s.test = NodeTestKind::kName;
+      s.name = name;
+      return s;
+    };
+    for (const std::string& t : tags) {
+      XPathPath p;
+      p.absolute = true;
+      p.steps.push_back(step(XPathAxis::kDescendant, t));
+      paths.push_back(std::move(p));
+    }
+    if (tags.size() >= 2) {
+      XPathPath p;
+      p.absolute = true;
+      p.steps.push_back(step(XPathAxis::kDescendant, tags[0]));
+      p.steps.push_back(step(XPathAxis::kDescendant, tags[1]));
+      paths.push_back(std::move(p));
+      XPathPath q;
+      q.absolute = true;
+      q.steps.push_back(step(XPathAxis::kChild, tags[0]));
+      q.steps.push_back(step(XPathAxis::kChild, tags[1]));
+      paths.push_back(std::move(q));
+    }
+    for (const XPathPath& p : paths) {
+      auto plain = EvaluateXPathStreaming(**reopened, p,
+                                          /*allow_structural_index=*/false);
+      auto cold = EvaluateXPathStreaming(**reopened, p);
+      auto warm = EvaluateXPathStreaming(**reopened, p);
+      if (!plain.ok() || !cold.ok() || !warm.ok()) {
+        return {"xpath oracle evaluation failed: " +
+                (!plain.ok() ? plain.status()
+                             : !cold.ok() ? cold.status() : warm.status())
+                    .ToString()};
+      }
+      if (*cold != *plain || *warm != *plain) {
+        return {"xpath structural-index divergence after recovery (" +
+                std::to_string(plain->size()) + " plain vs " +
+                std::to_string(cold->size()) + " cold vs " +
+                std::to_string(warm->size()) + " warm ids)"};
+      }
+    }
+    Status interval_audit = (*reopened)->CheckIntegrity();
+    if (!interval_audit.ok()) {
+      return {"CheckIntegrity over warm structural index: " +
+              interval_audit.ToString()};
+    }
+  }
+
   // Clean close checkpoints, so the next iteration tortures recovered,
   // re-persisted state.
   reopened->reset();

@@ -26,9 +26,21 @@ uint64_t CountNodeBegins(const TokenSequence& seq);
 Status CheckWellFormedFragment(const TokenSequence& seq);
 
 /// For a node starting at `begin_idx`, returns the index one past its
-/// last token (begin_idx + 1 for single-token nodes). InvalidArgument if
-/// begin_idx does not begin a node; Corruption if the scope never
-/// closes.
+/// last TOKEN — i.e. one past the matching end token for scope-opening
+/// nodes, begin_idx + 1 for single-token nodes — so
+/// seq[begin_idx, SubtreeEnd) is exactly the node's subtree, closing
+/// token included. Invariants (asserted by subtree_end_test):
+///   * seq[SubtreeEnd - 1] is the matching end token iff
+///     seq[begin_idx].OpensScope();
+///   * the half-open token range is balanced (every scope opened inside
+///     closes inside).
+/// NOTE the deliberate difference from XPathEvaluator's per-node
+/// `subtree_end`, which is a NODE index: "one past the last descendant
+/// node", end tokens excluded because they are not nodes. The
+/// structural index's post-order numbers are token indices and follow
+/// THIS function's convention: post == SubtreeEnd(stream, pre) - 1.
+/// InvalidArgument if begin_idx does not begin a node; Corruption if
+/// the scope never closes.
 Result<size_t> SubtreeEnd(const TokenSequence& seq, size_t begin_idx);
 
 /// Fluent builder for fragments:

@@ -1,0 +1,348 @@
+// Structural XPath index tests: the interval joins in isolation, lazy
+// warm-up (only queried tags memoize), warm negatives, eager mode,
+// invalidation on mutations / range restructuring, correctness of the
+// warm join against the plain scan as oracle under random edits, and
+// the integrity auditor's interval cross-check (a planted bogus
+// interval must be caught, on the live store and through laxml_fsck).
+
+#include "index/structural_index.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "audit/fsck.h"
+#include "common/random.h"
+#include "query/xpath_eval.h"
+#include "query/xpath_parser.h"
+#include "query/xpath_stream.h"
+#include "store/store.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+using testing::TempFile;
+
+StructuralEntry Entry(NodeId id, uint64_t pre, uint64_t post,
+                      uint32_t level) {
+  StructuralEntry e;
+  e.id = id;
+  e.pre = pre;
+  e.post = post;
+  e.level = level;
+  e.range = 1;
+  e.offset = 0;
+  return e;
+}
+
+std::vector<NodeId> Ids(const std::vector<StructuralEntry>& entries) {
+  std::vector<NodeId> out;
+  for (const StructuralEntry& e : entries) out.push_back(e.id);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The joins, in isolation.
+
+TEST(StructuralJoinTest, TopLevelSelectsLevelZero) {
+  std::vector<StructuralEntry> c = {Entry(1, 0, 9, 0), Entry(2, 1, 4, 1),
+                                    Entry(3, 10, 15, 0)};
+  EXPECT_EQ(Ids(StructuralTopLevel(c)), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(StructuralJoinTest, DescendantJoinStrictContainment) {
+  // a(0..9) contains b(2..5); b'(10..12) is a sibling, not contained.
+  std::vector<StructuralEntry> a = {Entry(1, 0, 9, 0)};
+  std::vector<StructuralEntry> b = {Entry(2, 2, 5, 1), Entry(3, 10, 12, 0)};
+  EXPECT_EQ(Ids(StructuralDescendantJoin(a, b)), (std::vector<NodeId>{2}));
+  // Self is not its own descendant: identical interval excluded.
+  EXPECT_EQ(Ids(StructuralDescendantJoin(a, a)), (std::vector<NodeId>{}));
+}
+
+TEST(StructuralJoinTest, DescendantJoinSkylineKeepsNestedFrontiersSound) {
+  // Frontier a(0..20) and nested a(5..10): the skyline keeps only the
+  // outer one, and candidates inside the inner interval still match.
+  std::vector<StructuralEntry> a = {Entry(1, 0, 20, 0), Entry(2, 5, 10, 2)};
+  std::vector<StructuralEntry> b = {Entry(3, 6, 7, 3), Entry(4, 15, 16, 1),
+                                    Entry(5, 21, 22, 0)};
+  EXPECT_EQ(Ids(StructuralDescendantJoin(a, b)),
+            (std::vector<NodeId>{3, 4}));
+}
+
+TEST(StructuralJoinTest, ChildJoinRequiresAdjacentLevel) {
+  // p(0..9, level 0) has child c1(1..2, level 1); grandchild
+  // g(3..4, level 2) is contained but not a child; c2(10..11, level 1)
+  // is outside.
+  std::vector<StructuralEntry> p = {Entry(1, 0, 9, 0)};
+  std::vector<StructuralEntry> kids = {Entry(2, 1, 2, 1), Entry(3, 3, 4, 2),
+                                       Entry(4, 10, 11, 1)};
+  EXPECT_EQ(Ids(StructuralChildJoin(p, kids)), (std::vector<NodeId>{2}));
+}
+
+// ---------------------------------------------------------------------------
+// Warm-up and invalidation over a real store.
+
+class StructuralIndexTest : public ::testing::Test {
+ protected:
+  void Open(StructuralIndexMode mode, uint32_t max_range_bytes = 0) {
+    StoreOptions options;
+    options.structural_index = mode;
+    options.max_range_bytes = max_range_bytes;
+    ASSERT_OK_AND_ASSIGN(store_, Store::OpenInMemory(options));
+    ASSERT_LAXML_OK(store_
+                        ->InsertTopLevel(MustFragment(
+                            "<site><regions>"
+                            "<item><name>a</name><qty>1</qty></item>"
+                            "<item><name>b</name></item>"
+                            "</regions><people>"
+                            "<person><name>Ada</name></person>"
+                            "</people></site>"))
+                        .status());
+  }
+
+  std::vector<NodeId> Stream(const std::string& expr, bool allow = true) {
+    auto path = ParseXPath(expr);
+    EXPECT_TRUE(path.ok()) << path.status().ToString();
+    auto result = EvaluateXPathStreaming(*store_, *path, allow);
+    EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : std::vector<NodeId>{};
+  }
+
+  std::unique_ptr<Store> store_;
+};
+
+TEST_F(StructuralIndexTest, LazyWarmupMemoizesOnlyQueriedTags) {
+  Open(StructuralIndexMode::kLazy);
+  StructuralIndex* index = store_->structural_index();
+  EXPECT_EQ(index->memoized_nodes(), 0u);
+
+  std::vector<NodeId> cold = Stream("//item//name");
+  EXPECT_EQ(cold.size(), 2u);
+  EXPECT_EQ(index->stats().misses, 1u);
+  EXPECT_EQ(index->stats().hits, 0u);
+  // Exactly the two queried tags are warm: 2 items + 3 names.
+  EXPECT_EQ(index->warmed_tags(), 2u);
+  EXPECT_EQ(index->memoized_nodes(), 5u);
+  EXPECT_LT(index->memoized_nodes(), store_->live_node_count());
+  EXPECT_EQ(index->LookupTag("person"), nullptr);  // untouched: cold
+
+  std::vector<NodeId> warm = Stream("//item//name");
+  EXPECT_EQ(index->stats().hits, 1u);
+  EXPECT_EQ(warm, cold);
+  // And the warm join agrees with the index-bypassing scan.
+  EXPECT_EQ(warm, Stream("//item//name", /*allow=*/false));
+
+  ASSERT_LAXML_OK(store_->CheckIntegrity());
+}
+
+TEST_F(StructuralIndexTest, ChildAxisWarmPathAgreesWithScan) {
+  Open(StructuralIndexMode::kLazy);
+  for (const char* expr :
+       {"/site/regions/item", "/site/regions/item/name", "//regions/item",
+        "/item", "//people//name"}) {
+    std::vector<NodeId> cold = Stream(expr);        // scan + warm
+    std::vector<NodeId> warm = Stream(expr);        // join
+    std::vector<NodeId> plain = Stream(expr, false);
+    EXPECT_EQ(cold, plain) << expr;
+    EXPECT_EQ(warm, plain) << expr;
+  }
+  ASSERT_LAXML_OK(store_->CheckIntegrity());
+}
+
+TEST_F(StructuralIndexTest, AbsentTagIsAWarmNegative) {
+  Open(StructuralIndexMode::kLazy);
+  EXPECT_TRUE(Stream("//nosuch").empty());
+  EXPECT_EQ(store_->structural_index()->stats().misses, 1u);
+  ASSERT_NE(store_->structural_index()->LookupTag("nosuch"), nullptr);
+  EXPECT_TRUE(Stream("//nosuch").empty());
+  EXPECT_EQ(store_->structural_index()->stats().hits, 1u);
+}
+
+TEST_F(StructuralIndexTest, EagerModeWarmsEveryTagOnFirstQuery) {
+  Open(StructuralIndexMode::kEager);
+  StructuralIndex* index = store_->structural_index();
+  Stream("//item");
+  // One scan memoized every element: site, regions, 2 items, 3 names,
+  // qty, people, person = 10 entries over 7 tags.
+  EXPECT_EQ(index->memoized_nodes(), 10u);
+  EXPECT_EQ(index->warmed_tags(), 7u);
+  // A tag the query never named is already warm.
+  Stream("//person");
+  EXPECT_EQ(index->stats().hits, 1u);
+  ASSERT_LAXML_OK(store_->CheckIntegrity());
+}
+
+TEST_F(StructuralIndexTest, OffModeNeverMemoizes) {
+  Open(StructuralIndexMode::kOff);
+  EXPECT_EQ(Stream("//item//name").size(), 2u);
+  EXPECT_EQ(Stream("//item//name").size(), 2u);
+  StructuralIndex* index = store_->structural_index();
+  EXPECT_FALSE(index->enabled());
+  EXPECT_EQ(index->memoized_nodes(), 0u);
+  EXPECT_EQ(index->stats().hits, 0u);
+  EXPECT_EQ(index->stats().misses, 0u);
+}
+
+TEST_F(StructuralIndexTest, MutationInvalidatesEverything) {
+  Open(StructuralIndexMode::kLazy);
+  StructuralIndex* index = store_->structural_index();
+  Stream("//item");
+  ASSERT_GT(index->memoized_nodes(), 0u);
+
+  ASSERT_OK_AND_ASSIGN(NodeId site, store_->FirstTopLevelId());
+  ASSERT_LAXML_OK(
+      store_->InsertIntoLast(site, MustFragment("<item><name>c</name></item>"))
+          .status());
+  // Inserting tokens renumbers pre/post downstream: everything dropped.
+  EXPECT_EQ(index->memoized_nodes(), 0u);
+  EXPECT_GT(index->stats().invalidations, 0u);
+
+  EXPECT_EQ(Stream("//item").size(), 3u);         // cold re-warm
+  EXPECT_EQ(Stream("//item").size(), 3u);         // warm join
+  EXPECT_EQ(Stream("//item", false).size(), 3u);  // plain scan agrees
+  ASSERT_LAXML_OK(store_->CheckIntegrity());
+}
+
+TEST_F(StructuralIndexTest, RangeSplittingMutationStaysCorrect) {
+  // Tiny ranges: the document spans many ranges and the insert below
+  // splits one at each boundary (the SplitRange seam fires alongside
+  // the mass invalidation).
+  Open(StructuralIndexMode::kLazy, /*max_range_bytes=*/64);
+  ASSERT_GT(store_->range_manager().range_count(), 1u);
+  Stream("//item//name");
+
+  std::vector<NodeId> items = Stream("//item");
+  ASSERT_EQ(items.size(), 2u);
+  ASSERT_LAXML_OK(
+      store_->InsertBefore(items[1], MustFragment("<item><name>mid</name></item>"))
+          .status());
+  EXPECT_EQ(store_->structural_index()->memoized_nodes(), 0u);
+
+  EXPECT_EQ(Stream("//item//name"), Stream("//item//name", false));
+  EXPECT_EQ(Stream("//item").size(), 3u);
+  ASSERT_LAXML_OK(store_->CheckIntegrity());
+}
+
+TEST_F(StructuralIndexTest, CompactRangesDropsTouchedTagLists) {
+  Open(StructuralIndexMode::kLazy, /*max_range_bytes=*/64);
+  Stream("//item//name");
+  ASSERT_GT(store_->structural_index()->memoized_nodes(), 0u);
+
+  ASSERT_OK_AND_ASSIGN(uint64_t merges, store_->CompactRanges(1 << 20));
+  ASSERT_GT(merges, 0u);
+  // Merged ranges hosted begin tokens of both tags: their lists are
+  // gone (numbering survives a merge, coordinates do not).
+  EXPECT_EQ(store_->structural_index()->memoized_nodes(), 0u);
+
+  EXPECT_EQ(Stream("//item//name"), Stream("//item//name", false));
+  ASSERT_LAXML_OK(store_->CheckIntegrity());
+}
+
+TEST_F(StructuralIndexTest, RandomizedMutateThenQueryAgreesWithScan) {
+  Open(StructuralIndexMode::kLazy, /*max_range_bytes=*/128);
+  Random rng(20260808);
+  const char* kTags[] = {"item", "name", "qty", "person", "extra"};
+  for (int round = 0; round < 40; ++round) {
+    // Mutate: insert a small fragment at a random live element, or
+    // delete a random element found via a query.
+    std::vector<NodeId> targets = Stream("//item", false);
+    if (!targets.empty() && rng.Uniform(4) == 0) {
+      ASSERT_LAXML_OK(store_->DeleteNode(
+          targets[rng.Uniform(static_cast<uint32_t>(targets.size()))]));
+    } else {
+      ASSERT_OK_AND_ASSIGN(NodeId site, store_->FirstTopLevelId());
+      const char* tag = kTags[rng.Uniform(5)];
+      ASSERT_LAXML_OK(store_
+                          ->InsertIntoLast(site, MustFragment(
+                                                     std::string("<item><") +
+                                                     tag + ">x</" + tag +
+                                                     "></item>"))
+                          .status());
+    }
+    // Query: random tag pair, both axes; cold then warm must equal the
+    // plain scan.
+    const std::string a = kTags[rng.Uniform(5)];
+    const std::string b = kTags[rng.Uniform(5)];
+    const std::string exprs[] = {"//" + a, "//" + a + "//" + b,
+                                 "/site//" + a, "//" + a + "/" + b};
+    for (const std::string& expr : exprs) {
+      std::vector<NodeId> plain = Stream(expr, false);
+      EXPECT_EQ(Stream(expr), plain) << expr;  // cold (or partly warm)
+      EXPECT_EQ(Stream(expr), plain) << expr;  // warm
+    }
+  }
+  ASSERT_LAXML_OK(store_->CheckIntegrity());
+}
+
+TEST_F(StructuralIndexTest, EvaluatorRoutesIndexablePathsThroughIndex) {
+  Open(StructuralIndexMode::kLazy);
+  XPathEvaluator eval(store_.get());
+  ASSERT_OK_AND_ASSIGN(std::vector<NodeId> via_eval,
+                       eval.Evaluate("//item//name"));
+  EXPECT_EQ(via_eval, Stream("//item//name", false));
+  EXPECT_GT(store_->structural_index()->memoized_nodes(), 0u);
+  // Predicates are not indexable; the snapshot path still answers.
+  ASSERT_OK_AND_ASSIGN(std::vector<NodeId> first,
+                       eval.Evaluate("//item[1]"));
+  EXPECT_EQ(first.size(), 1u);
+}
+
+TEST_F(StructuralIndexTest, EligibilityGate) {
+  auto eligible = [](const std::string& expr) {
+    auto p = ParseXPath(expr);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return p.ok() && StructuralIndexEligible(*p);
+  };
+  EXPECT_TRUE(eligible("//a//b"));
+  EXPECT_TRUE(eligible("/a/b/c"));
+  EXPECT_FALSE(eligible("//a/*"));
+  EXPECT_FALSE(eligible("//a/text()"));
+  EXPECT_FALSE(eligible("//a/@id"));
+  EXPECT_FALSE(eligible("//a[1]"));
+}
+
+TEST_F(StructuralIndexTest, AuditorCatchesBogusInterval) {
+  Open(StructuralIndexMode::kLazy);
+  Stream("//item");
+  ASSERT_LAXML_OK(store_->CheckIntegrity());
+
+  // Plant a corrupted posting list: shift one interval's post.
+  StructuralIndex* index = store_->structural_index();
+  auto list = index->LookupTag("item");
+  ASSERT_NE(list, nullptr);
+  std::vector<StructuralEntry> bogus = *list;
+  ASSERT_FALSE(bogus.empty());
+  bogus[0].post += 1;
+  index->Publish("item", bogus);
+  Status audit = store_->CheckIntegrity();
+  EXPECT_FALSE(audit.ok());
+  EXPECT_NE(audit.ToString().find("structural-index"), std::string::npos)
+      << audit.ToString();
+
+  // Dropping the poisoned memo heals the store (nothing persistent was
+  // ever wrong).
+  index->InvalidateAll();
+  ASSERT_LAXML_OK(store_->CheckIntegrity());
+}
+
+TEST(StructuralIndexFsckTest, FsckWarmsAndValidatesIntervals) {
+  TempFile file("structural_fsck");
+  {
+    StoreOptions options;
+    ASSERT_OK_AND_ASSIGN(auto store, Store::Open(file.path(), options));
+    ASSERT_LAXML_OK(store
+                        ->InsertTopLevel(MustFragment(
+                            "<a><b><c>x</c></b><b>y</b></a>"))
+                        .status());
+  }
+  FsckOutcome out = RunFsck(file.path(), {});
+  EXPECT_EQ(out.exit_code, 0) << out.report.ToString();
+  // The fsck run warmed the index and the structural leg walked it.
+  EXPECT_GT(out.report.structural_entries, 0u) << out.report.ToString();
+}
+
+}  // namespace
+}  // namespace laxml

@@ -1,0 +1,117 @@
+// Pins SubtreeEnd's TOKEN-index convention and its invariants, and ties
+// it to the structural index's post-order numbers: for every memoized
+// element, post == SubtreeEnd(stream, pre) - 1. The companion NODE-index
+// convention (XPathEvaluator::SNode::subtree_end) counts nodes, not
+// tokens — the two deliberately differ for any element with an end
+// token; this test is the executable form of that doc note.
+
+#include "xml/token_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "index/structural_index.h"
+#include "query/xpath_eval.h"
+#include "store/store.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+
+// Every token range [begin, end) is balanced: scopes opened inside
+// close inside, and depth returns to its entry value exactly at `end`.
+void ExpectBalanced(const TokenSequence& seq, size_t begin, size_t end) {
+  int64_t depth = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (seq[i].OpensScope()) ++depth;
+    if (seq[i].ClosesScope()) {
+      --depth;
+      ASSERT_GE(depth, 0) << "range closes a scope it never opened at "
+                          << i;
+    }
+  }
+  EXPECT_EQ(depth, 0) << "[" << begin << ", " << end << ") is unbalanced";
+}
+
+TEST(SubtreeEndTest, InvariantsHoldForEveryNodeBegin) {
+  TokenSequence seq = MustFragment(
+      "<a x=\"1\"><b><c>t</c><!--m--></b><d/>tail</a>");
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (!seq[i].BeginsNode()) continue;
+    ASSERT_OK_AND_ASSIGN(size_t end, SubtreeEnd(seq, i));
+    ASSERT_GT(end, i);
+    ASSERT_LE(end, seq.size());
+    ExpectBalanced(seq, i, end);
+    if (seq[i].OpensScope()) {
+      // Last token of the range is the matching closer.
+      EXPECT_TRUE(seq[end - 1].ClosesScope()) << "node at " << i;
+    } else {
+      // Single-token nodes (text, comment, childless markers) span
+      // exactly themselves.
+      EXPECT_EQ(end, i + 1) << "node at " << i;
+    }
+  }
+}
+
+TEST(SubtreeEndTest, NestedElementsNestTheirRanges) {
+  TokenSequence seq = MustFragment("<a><b><c/></b></a>");
+  ASSERT_OK_AND_ASSIGN(size_t a_end, SubtreeEnd(seq, 0));
+  ASSERT_OK_AND_ASSIGN(size_t b_end, SubtreeEnd(seq, 1));
+  ASSERT_OK_AND_ASSIGN(size_t c_end, SubtreeEnd(seq, 2));
+  EXPECT_EQ(a_end, seq.size());
+  EXPECT_LT(c_end, b_end);
+  EXPECT_LT(b_end, a_end);
+}
+
+TEST(SubtreeEndTest, RejectsNonNodeBeginAndUnclosedScope) {
+  TokenSequence seq = MustFragment("<a><b/></a>");
+  // The end token of <a> begins no node.
+  size_t end_idx = seq.size() - 1;
+  ASSERT_FALSE(seq[end_idx].BeginsNode());
+  EXPECT_TRUE(SubtreeEnd(seq, end_idx).status().IsInvalidArgument());
+  EXPECT_TRUE(SubtreeEnd(seq, seq.size()).status().IsInvalidArgument());
+  // Truncate the closer: the scope never closes.
+  TokenSequence cut(seq.begin(), seq.end() - 1);
+  EXPECT_TRUE(SubtreeEnd(cut, 0).status().IsCorruption());
+}
+
+TEST(SubtreeEndTest, StructuralPostIsSubtreeEndMinusOne) {
+  StoreOptions options;
+  ASSERT_OK_AND_ASSIGN(auto store, Store::OpenInMemory(options));
+  ASSERT_LAXML_OK(store
+                      ->InsertTopLevel(MustFragment(
+                          "<site><regions><item><name>x</name></item>"
+                          "<item/></regions><people/></site>"))
+                      .status());
+  ASSERT_LAXML_OK(store->WarmStructuralIndex());
+  ASSERT_OK_AND_ASSIGN(TokenSequence all, store->Read());
+
+  size_t checked = 0;
+  store->structural_index()->ForEachEntry(
+      [&](const std::string& tag, const StructuralEntry& e) {
+        ASSERT_LT(e.pre, all.size());
+        EXPECT_EQ(all[e.pre].name, tag);
+        auto end = SubtreeEnd(all, e.pre);
+        ASSERT_TRUE(end.ok()) << end.status().ToString();
+        // The token convention: post is the matching end token's global
+        // index (== pre for childless single-token elements).
+        EXPECT_EQ(e.post, *end - 1) << tag << " pre=" << e.pre;
+        ++checked;
+      });
+  EXPECT_GT(checked, 0u);
+
+  // And the NODE convention differs: for <site>, which spans the whole
+  // store, the evaluator's subtree extent equals the node count, while
+  // the token extent equals the token count.
+  XPathEvaluator eval(store.get());
+  ASSERT_OK_AND_ASSIGN(auto elements, eval.Evaluate("//*"));
+  EXPECT_FALSE(elements.empty());
+  EXPECT_EQ(eval.snapshot_size(), store->live_node_count());
+  EXPECT_LT(store->live_node_count(), all.size());
+}
+
+}  // namespace
+}  // namespace laxml
