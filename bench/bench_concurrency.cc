@@ -167,6 +167,8 @@ int main(int argc, char** argv) {
               "range-level X (op/s)", "ratio");
   RunRangeLevel(2);  // warm-up
   bench::JsonReport report("bench_concurrency");
+  report.AddMeta("structural_index",
+                 StructuralIndexModeName(StoreOptions().structural_index));
   for (int threads : {1, 2, 4, 8}) {
     double doc = RunDocumentLevel(threads);
     double range = RunRangeLevel(threads);

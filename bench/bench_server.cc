@@ -331,6 +331,8 @@ int main(int argc, char** argv) {
               static_cast<double>(total_ops) / phase1_seconds);
 
   bench::JsonReport report("bench_server");
+  report.AddMeta("structural_index",
+                 StructuralIndexModeName(StoreOptions().structural_index));
   {
     char extra[128];
     std::snprintf(extra, sizeof(extra),

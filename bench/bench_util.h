@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "xml/token_codec.h"
@@ -68,13 +69,37 @@ inline double Percentile(std::vector<double>* samples, double p) {
 /// the latency percentiles and throughput, written as a JSON array so
 /// CI can archive BENCH_*.json files as the perf trajectory.
 ///
+/// Every report is stamped with its provenance — git SHA and build type
+/// (injected by bench/CMakeLists.txt) — so an archived number can
+/// always be traced to the commit and optimization level that produced
+/// it; benchmarks add run configuration (e.g. the structural-index
+/// mode) with AddMeta.
+///
 ///   bench::JsonReport report("bench_server");
+///   report.AddMeta("structural_index", "lazy");
 ///   report.AddRow("insert", threads, &samples_us, seconds);
 ///   ... report.WriteTo(json_path);
 class JsonReport {
  public:
   explicit JsonReport(const std::string& benchmark)
-      : benchmark_(benchmark) {}
+      : benchmark_(benchmark) {
+#if defined(LAXML_BENCH_GIT_SHA)
+    AddMeta("git_sha", LAXML_BENCH_GIT_SHA);
+#else
+    AddMeta("git_sha", "unknown");
+#endif
+#if defined(LAXML_BENCH_BUILD_TYPE)
+    AddMeta("build_type", LAXML_BENCH_BUILD_TYPE);
+#else
+    AddMeta("build_type", "unknown");
+#endif
+  }
+
+  /// Adds a "key": "value" pair to the report's meta object (run
+  /// configuration worth archiving next to the numbers).
+  void AddMeta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, value);
+  }
 
   /// Adds a latency series (sorts *samples_us). `extra` is an optional
   /// string of additional JSON fields, e.g. "\"zipf\": 0.9, ".
@@ -113,16 +138,22 @@ class JsonReport {
     rows_.push_back(buf);
   }
 
-  /// Writes {"benchmark": ..., "rows": [...]} to `path`. Returns false
-  /// (with a stderr note) when the file cannot be written.
+  /// Writes {"benchmark": ..., "meta": {...}, "rows": [...]} to
+  /// `path`. Returns false (with a stderr note) when the file cannot
+  /// be written.
   bool WriteTo(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"rows\": [\n",
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"meta\": {",
                  benchmark_.c_str());
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": \"%s\"", i > 0 ? ", " : "",
+                   meta_[i].first.c_str(), meta_[i].second.c_str());
+    }
+    std::fprintf(f, "},\n  \"rows\": [\n");
     for (size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f, "    %s%s\n", rows_[i].c_str(),
                    i + 1 < rows_.size() ? "," : "");
@@ -134,6 +165,7 @@ class JsonReport {
 
  private:
   std::string benchmark_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::string> rows_;
 };
 

@@ -187,6 +187,9 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     bench::JsonReport report("bench_xpath");
+    // Rows span modes (scan/cold/warm are the lazy store, eager_* the
+    // eager one), so the stamp names the comparison, not one mode.
+    report.AddMeta("structural_index", "lazy-vs-eager");
     char extra[128];
     std::snprintf(extra, sizeof(extra),
                   "\"elements\": %llu, \"memoized\": %llu, ",

@@ -1,0 +1,35 @@
+#include "common/json.h"
+
+#include <cstdio>
+
+namespace laxml {
+
+void AppendJsonEscaped(std::string_view in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string_view in, std::string* out) {
+  *out += '"';
+  AppendJsonEscaped(in, out);
+  *out += '"';
+}
+
+}  // namespace laxml

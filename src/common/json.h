@@ -1,0 +1,22 @@
+// Minimal JSON output helpers shared by the observability surfaces
+// (Chrome-trace export, EXPLAIN plans, the slow-query log). Output
+// only — laxml never parses JSON.
+
+#ifndef LAXML_COMMON_JSON_H_
+#define LAXML_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace laxml {
+
+/// Appends `in` with JSON string escaping ('"', '\\', control bytes)
+/// applied. The caller provides the surrounding quotes.
+void AppendJsonEscaped(std::string_view in, std::string* out);
+
+/// Appends `in` as a complete JSON string token, quotes included.
+void AppendJsonString(std::string_view in, std::string* out);
+
+}  // namespace laxml
+
+#endif  // LAXML_COMMON_JSON_H_

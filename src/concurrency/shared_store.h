@@ -41,6 +41,7 @@
 #include "common/relaxed_counter.h"
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "store/store.h"
 #include "wal/group_commit.h"
 
@@ -77,7 +78,9 @@ class SharedStore {
     // Raw Lock/Unlock rather than a scope: the latch must drop BEFORE
     // the durability wait so overlapping committers batch; the thread
     // safety analysis checks the release against every path.
+    const uint64_t latch_wait = obs::RequestLatchWaitBegin();
     mutex_.Lock();
+    obs::RequestLatchWaitEnd(latch_wait);
     CountExclusive();
     auto result = fn(*store_);
     const uint64_t lsn = CommitLsnLocked();
@@ -98,13 +101,16 @@ class SharedStore {
 
   template <typename Fn>
   auto ReadOp(Fn fn) LAXML_EXCLUDES(mutex_) {
+    const uint64_t latch_wait = obs::RequestLatchWaitBegin();
     if (concurrent_reads_) {
       ReaderMutexLock lock(mutex_);
+      obs::RequestLatchWaitEnd(latch_wait);
       ++stats_.shared_acquisitions;
       LAXML_COUNTER_INC("laxml_latch_shared_total");
       return fn(*store_);
     }
     WriterMutexLock lock(mutex_);
+    obs::RequestLatchWaitEnd(latch_wait);
     CountExclusive();
     return fn(*store_);
   }
@@ -173,7 +179,9 @@ class SharedStore {
   /// commit before returning.
   template <typename Fn>
   auto WithExclusive(Fn fn) LAXML_EXCLUDES(mutex_) {
+    const uint64_t latch_wait = obs::RequestLatchWaitBegin();
     mutex_.Lock();
+    obs::RequestLatchWaitEnd(latch_wait);
     CountExclusive();
     auto result = fn(*store_);
     const uint64_t lsn = CommitLsnLocked();

@@ -1,6 +1,7 @@
 #include "index/partial_index.h"
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 
 namespace laxml {
 
@@ -24,9 +25,13 @@ bool PartialIndex::Lookup(NodeId id, PartialEntry* out) {
   Shard& shard = ShardFor(id);
   MutexLock lk(shard.mu);
   auto it = shard.entries.find(id);
-  if (it == shard.entries.end()) return false;
+  if (it == shard.entries.end()) {
+    LAXML_RC_ADD(partial_index_misses, 1);
+    return false;
+  }
   ++stats_.hits;
   LAXML_COUNTER_INC("laxml_partial_hits_total");
+  LAXML_RC_ADD(partial_index_hits, 1);
   TouchLocked(shard, it->second, id);
   *out = it->second.entry;
   return true;

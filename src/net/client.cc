@@ -8,6 +8,9 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/request_context.h"
+#include "obs/trace.h"
+
 namespace laxml {
 namespace net {
 
@@ -160,6 +163,13 @@ Result<Response> Client::CallIdempotent(Request req) {
 
 Result<Response> Client::Call(Request req) {
   req.request_id = next_request_id_++;
+  req.trace_id = trace_id_;
+  // The client's own span carries the same trace id as the server's,
+  // so merged dumps show the round trip around the server's execute.
+  obs::RequestContext rc;
+  rc.trace_id = trace_id_;
+  obs::ScopedRequestContext scoped_rc(&rc);
+  LAXML_TRACE_SPAN("CLIENT_CALL");
   std::vector<uint8_t> frame;
   EncodeRequest(req, &frame);
   LAXML_RETURN_IF_ERROR(SendAll(frame.data(), frame.size()));
@@ -171,9 +181,14 @@ Result<Response> Client::Call(Request req) {
 }
 
 Result<std::vector<Response>> Client::CallBatch(std::vector<Request> reqs) {
+  obs::RequestContext rc;
+  rc.trace_id = trace_id_;
+  obs::ScopedRequestContext scoped_rc(&rc);
+  LAXML_TRACE_SPAN("CLIENT_BATCH");
   std::vector<uint8_t> frames;
   for (Request& req : reqs) {
     req.request_id = next_request_id_++;
+    req.trace_id = trace_id_;
     EncodeRequest(req, &frames);
   }
   LAXML_RETURN_IF_ERROR(SendAll(frames.data(), frames.size()));
@@ -293,6 +308,18 @@ Result<std::vector<NodeId>> Client::XPath(std::string expr) {
   LAXML_ASSIGN_OR_RETURN(Response resp, CallIdempotent(std::move(req)));
   LAXML_RETURN_IF_ERROR(resp.status);
   return std::move(resp.ids);
+}
+
+Result<std::string> Client::Explain(std::string expr, bool profile) {
+  Request req;
+  req.op = OpCode::kExplain;
+  req.explain_mode =
+      profile ? ExplainMode::kProfile : ExplainMode::kPlan;
+  req.expr = std::move(expr);
+  // Read-only even in profile mode, so the idempotent retry is safe.
+  LAXML_ASSIGN_OR_RETURN(Response resp, CallIdempotent(std::move(req)));
+  LAXML_RETURN_IF_ERROR(resp.status);
+  return std::move(resp.text);
 }
 
 Result<std::string> Client::GetStats() {

@@ -53,6 +53,13 @@ class Client {
   static Result<std::unique_ptr<Client>> Connect(
       const std::string& host, uint16_t port, const ClientOptions& = {});
 
+  /// Trace id stamped on every subsequent request (and on this
+  /// client's own spans), so one request's client and server spans
+  /// stitch into a single trace. 0 (the default) disables — untraced
+  /// requests spend no wire bytes on it.
+  void set_trace_id(uint64_t trace_id) { trace_id_ = trace_id; }
+  uint64_t trace_id() const { return trace_id_; }
+
   /// Sends one request and blocks for its response. The request id is
   /// assigned by the client; mismatched response ids are Corruption.
   Result<Response> Call(Request req);
@@ -74,6 +81,10 @@ class Client {
   Result<TokenSequence> Read();
   Result<TokenSequence> Read(NodeId id);
   Result<std::vector<NodeId>> XPath(std::string expr);
+  /// The planner's verdict for `expr` as JSON — plan kind, per-step
+  /// index warmth, eligibility gate. `profile` additionally executes
+  /// the query and appends its timing + resource counters.
+  Result<std::string> Explain(std::string expr, bool profile = false);
   Result<std::string> GetStats();
   /// Full metrics exposition: registry counters/gauges/histograms plus
   /// the server's per-op latency table. `format` picks the rendering.
@@ -107,6 +118,7 @@ class Client {
   uint16_t port_ = 0;
   UniqueFd fd_;
   uint64_t next_request_id_ = 1;
+  uint64_t trace_id_ = 0;
   std::vector<uint8_t> rbuf_;
   size_t rpos_ = 0;
 };

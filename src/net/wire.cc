@@ -66,6 +66,11 @@ bool ReturnsTokens(OpCode op) {
   return op == OpCode::kRead || op == OpCode::kReadNode;
 }
 
+bool ReturnsText(OpCode op) {
+  return op == OpCode::kGetStats || op == OpCode::kGetMetrics ||
+         op == OpCode::kExplain;
+}
+
 // Wraps a finished body in a frame header in place: `dst` grew by the
 // body starting at `body_start`.
 void SealFrame(std::vector<uint8_t>* dst, size_t body_start) {
@@ -122,14 +127,18 @@ const char* OpCodeName(OpCode op) {
     case OpCode::kGetStats: return "GET_STATS";
     case OpCode::kCheckIntegrity: return "CHECK_INTEGRITY";
     case OpCode::kGetMetrics: return "GET_METRICS";
+    case OpCode::kExplain: return "EXPLAIN";
   }
   return "UNKNOWN";
 }
 
 void EncodeRequest(const Request& req, std::vector<uint8_t>* dst) {
   const size_t body_start = dst->size();
-  dst->push_back(static_cast<uint8_t>(req.op));
+  uint8_t op_byte = static_cast<uint8_t>(req.op);
+  if (req.trace_id != 0) op_byte |= kTraceRequestFlag;
+  dst->push_back(op_byte);
   PutVarint64(dst, req.request_id);
+  if (req.trace_id != 0) PutVarint64(dst, req.trace_id);
   if (HasTarget(req.op)) PutVarint64(dst, req.target);
   if (HasFragment(req.op)) {
     for (const Token& t : req.data) EncodeToken(t, dst);
@@ -139,6 +148,10 @@ void EncodeRequest(const Request& req, std::vector<uint8_t>* dst) {
   }
   if (req.op == OpCode::kGetMetrics) {
     dst->push_back(static_cast<uint8_t>(req.metrics_format));
+  }
+  if (req.op == OpCode::kExplain) {
+    dst->push_back(static_cast<uint8_t>(req.explain_mode));
+    dst->insert(dst->end(), req.expr.begin(), req.expr.end());
   }
   SealFrame(dst, body_start);
 }
@@ -160,7 +173,7 @@ void EncodeResponse(const Response& resp, std::vector<uint8_t>* dst) {
       PutVarint64(dst, resp.ids.size());
       for (NodeId id : resp.ids) PutVarint64(dst, id);
     }
-    if (resp.op == OpCode::kGetStats || resp.op == OpCode::kGetMetrics) {
+    if (ReturnsText(resp.op)) {
       dst->insert(dst->end(), resp.text.begin(), resp.text.end());
     }
   }
@@ -170,9 +183,27 @@ void EncodeResponse(const Response& resp, std::vector<uint8_t>* dst) {
 Result<Request> DecodeRequest(Slice body) {
   size_t pos = 0;
   Request req;
-  LAXML_ASSIGN_OR_RETURN(req.op, DecodeOpCode(body, &pos));
+  if (body.empty()) {
+    return Status::Corruption("wire body truncated before opcode");
+  }
+  // The trace flag must come off before the opcode range check — a
+  // flagged byte is a valid opcode plus one extension varint.
+  uint8_t raw = body[pos++];
+  const bool traced = (raw & kTraceRequestFlag) != 0;
+  raw &= static_cast<uint8_t>(~kTraceRequestFlag);
+  if (raw > kMaxOpCode) {
+    return Status::Corruption("unknown opcode " + std::to_string(raw));
+  }
+  req.op = static_cast<OpCode>(raw);
   LAXML_ASSIGN_OR_RETURN(req.request_id,
                          DecodeVarint(body, &pos, "request id"));
+  if (traced) {
+    LAXML_ASSIGN_OR_RETURN(req.trace_id,
+                           DecodeVarint(body, &pos, "trace id"));
+    if (req.trace_id == 0) {
+      return Status::Corruption("traced request with zero trace id");
+    }
+  }
   if (HasTarget(req.op)) {
     LAXML_ASSIGN_OR_RETURN(req.target, DecodeVarint(body, &pos, "target"));
   }
@@ -197,6 +228,20 @@ Result<Request> DecodeRequest(Slice body) {
                                 std::to_string(fmt));
     }
     req.metrics_format = static_cast<MetricsFormat>(fmt);
+  }
+  if (req.op == OpCode::kExplain) {
+    if (pos >= body.size()) {
+      return Status::Corruption("wire body truncated before explain mode");
+    }
+    uint8_t mode = body[pos++];
+    if (mode > static_cast<uint8_t>(ExplainMode::kProfile)) {
+      return Status::Corruption("unknown explain mode " +
+                                std::to_string(mode));
+    }
+    req.explain_mode = static_cast<ExplainMode>(mode);
+    req.expr.assign(reinterpret_cast<const char*>(body.data()) + pos,
+                    body.size() - pos);
+    pos = body.size();
   }
   if (pos != body.size()) {
     return Status::Corruption("trailing bytes after request payload");
@@ -248,7 +293,7 @@ Result<Response> DecodeResponse(Slice body) {
         resp.ids.push_back(id);
       }
     }
-    if (resp.op == OpCode::kGetStats || resp.op == OpCode::kGetMetrics) {
+    if (ReturnsText(resp.op)) {
       resp.text.assign(reinterpret_cast<const char*>(body.data()) + pos,
                        body.size() - pos);
       pos = body.size();

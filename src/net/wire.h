@@ -12,6 +12,12 @@
 //
 //   [opcode u8][request_id varint][opcode-specific payload]
 //
+// The opcode byte's high bit (kTraceRequestFlag) is a frame extension:
+// when set, a trace_id varint follows request_id. Untraced requests are
+// byte-identical to the pre-flag format, and an old decoder rejects a
+// flagged opcode byte (value > kMaxOpCode) instead of misparsing it —
+// backward compatible both ways.
+//
 // Response body:
 //
 //   [opcode u8][request_id varint][status_code u8]
@@ -62,13 +68,25 @@ enum class OpCode : uint8_t {
   kGetStats = 12,
   kCheckIntegrity = 13,
   kGetMetrics = 14,  ///< Metrics registry + server stats exposition.
+  kExplain = 15,     ///< Query plan (and optional profile) for an XPath.
 };
-inline constexpr uint8_t kMaxOpCode = 14;
+inline constexpr uint8_t kMaxOpCode = 15;
+
+/// Request-opcode-byte flag: a trace_id varint follows request_id.
+/// High bit so flagged bytes land outside the opcode range for old
+/// decoders (see the frame layout comment above).
+inline constexpr uint8_t kTraceRequestFlag = 0x80;
 
 /// Rendering formats a kGetMetrics request can ask for.
 enum class MetricsFormat : uint8_t {
   kTable = 0,       ///< Human-readable aligned table.
   kPrometheus = 1,  ///< Prometheus text exposition format.
+};
+
+/// What a kExplain request asks the server to do.
+enum class ExplainMode : uint8_t {
+  kPlan = 0,     ///< Plan only; the query is NOT executed.
+  kProfile = 1,  ///< Execute too; include resource counters + timing.
 };
 
 /// Human-readable opcode name ("INSERT_BEFORE", ...).
@@ -80,10 +98,13 @@ const char* OpCodeName(OpCode op);
 struct Request {
   OpCode op = OpCode::kPing;
   uint64_t request_id = 0;
+  /// Client-assigned trace id; 0 = untraced (no wire bytes spent).
+  uint64_t trace_id = 0;
   NodeId target = kInvalidNodeId;  ///< Insert*/Delete/Replace*/ReadNode.
   TokenSequence data;              ///< Insert*/Replace* fragment payload.
-  std::string expr;                ///< XPath expression text.
+  std::string expr;                ///< XPath / Explain expression text.
   MetricsFormat metrics_format = MetricsFormat::kTable;  ///< GetMetrics.
+  ExplainMode explain_mode = ExplainMode::kPlan;         ///< Explain.
 };
 
 /// One decoded response. `status` carries the engine Status verbatim;
@@ -95,7 +116,7 @@ struct Response {
   NodeId id = kInvalidNodeId;   ///< Insert*/Replace* result id.
   TokenSequence tokens;         ///< Read/ReadNode payload.
   std::vector<NodeId> ids;      ///< XPath result set.
-  std::string text;             ///< GetStats / GetMetrics rendering.
+  std::string text;             ///< GetStats/GetMetrics/Explain payload.
 };
 
 /// Appends a complete frame (header + body) carrying `req` to `dst`.

@@ -147,6 +147,27 @@ void SplitMetricName(const std::string& name, std::string* family,
   }
 }
 
+std::string EscapePrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 /// "family{labels,extra}" or "family{extra}" or "family".

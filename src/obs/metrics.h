@@ -184,6 +184,12 @@ void AppendPrometheusHistogram(const std::string& name,
 void SplitMetricName(const std::string& name, std::string* family,
                      std::string* labels);
 
+/// Escapes `value` for use inside a Prometheus label value: backslash,
+/// double quote and newline become \\, \" and \n (the text-format
+/// escaping rules). Use when building a label block from data that is
+/// not a known-safe identifier.
+std::string EscapePrometheusLabelValue(std::string_view value);
+
 /// Steady-clock microseconds — the timebase of every latency histogram.
 inline uint64_t NowMicros() {
   return static_cast<uint64_t>(

@@ -1,0 +1,73 @@
+#include "obs/slow_log.h"
+
+#include <chrono>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace laxml {
+namespace obs {
+
+uint64_t UnixMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+SlowQueryLog::~SlowQueryLog() {
+  MutexLock lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SlowQueryLog::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ae");  // append + O_CLOEXEC
+  if (f == nullptr) {
+    return Status::IOError("cannot open slow-query log '" + path + "'");
+  }
+  MutexLock lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+std::string SlowQueryLog::FormatEntry(const Entry& entry) {
+  std::string line = "{\"unix_us\":" + std::to_string(entry.unix_micros);
+  line += ",\"op\":";
+  AppendJsonString(entry.op, &line);
+  line += ",\"request_id\":" + std::to_string(entry.request_id);
+  line += ",\"trace_id\":" + std::to_string(entry.trace_id);
+  line += ",\"query\":";
+  AppendJsonString(entry.query, &line);
+  line += ",\"plan\":";
+  AppendJsonString(entry.plan == nullptr ? "none" : entry.plan, &line);
+  line += ",\"status\":";
+  AppendJsonString(entry.status, &line);
+  line += ",\"elapsed_us\":" + std::to_string(entry.elapsed_us);
+  line += ",\"counters\":";
+  entry.counters.AppendJson(&line);
+  line += "}\n";
+  return line;
+}
+
+void SlowQueryLog::Append(const Entry& entry) {
+  if (!enabled()) return;
+  Entry stamped = entry;
+  if (stamped.unix_micros == 0) stamped.unix_micros = UnixMicros();
+  const std::string line = FormatEntry(stamped);
+  MutexLock lock(mu_);
+  if (file_ == nullptr) return;  // lost a race with a write error
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    // Never fail the request over its log entry: drop the log, loudly,
+    // once.
+    LAXML_LOG(kWarn) << "slow-query log write failed; disabling";
+    std::fclose(file_);
+    file_ = nullptr;
+    enabled_.store(false, std::memory_order_release);
+  }
+}
+
+}  // namespace obs
+}  // namespace laxml

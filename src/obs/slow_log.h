@@ -1,0 +1,86 @@
+// Structured slow-query log: one JSON object per line (JSONL) for every
+// request whose service time crosses the server's --slow-op-us
+// threshold. Where the WARN log line says "slow op", the slow log says
+// why: the query text, the plan the planner picked, the request's
+// resource counters, and the trace id that joins the entry to its
+// spans in a trace dump.
+//
+// Entry schema (all fields always present):
+//
+//   {"unix_us":..., "op":"XPATH", "request_id":N, "trace_id":N,
+//    "query":"//a//b", "plan":"stream-scan", "status":"OK",
+//    "elapsed_us":N, "counters":{"tokens_scanned":N, ...}}
+//
+// The writer is append-only with a line built off-lock and written
+// under a mutex (lines stay intact under concurrent workers), flushed
+// per entry — slow queries are rare by definition, so durability beats
+// batching. This layer is wire-agnostic: the server passes the opcode
+// as a string.
+
+#ifndef LAXML_OBS_SLOW_LOG_H_
+#define LAXML_OBS_SLOW_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/request_context.h"
+
+namespace laxml {
+namespace obs {
+
+class SlowQueryLog {
+ public:
+  SlowQueryLog() = default;
+  ~SlowQueryLog();
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Opens `path` for appending. Call once before threads share the
+  /// log; until then (and on error) the log stays disabled and Append
+  /// is a cheap no-op.
+  Status Open(const std::string& path);
+
+  /// Unlatched fast check: workers consult this before building an
+  /// entry string.
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  struct Entry {
+    uint64_t unix_micros = 0;  ///< 0: Append stamps the current time.
+    const char* op = "";       ///< Opcode name (server-provided).
+    uint64_t request_id = 0;
+    uint64_t trace_id = 0;
+    std::string query;          ///< Empty for non-query ops.
+    const char* plan = nullptr; ///< Planner label; nullptr = "none".
+    std::string status;         ///< "OK" or the error's ToString().
+    uint64_t elapsed_us = 0;
+    RequestCounters counters;
+  };
+
+  /// Appends one entry (no-op when disabled). Never fails the request:
+  /// a write error disables the log and logs once at WARN.
+  void Append(const Entry& entry);
+
+  /// Renders `entry` as its JSONL line, newline included (exposed for
+  /// tests; Append uses it).
+  static std::string FormatEntry(const Entry& entry);
+
+ private:
+  Mutex mu_;
+  std::FILE* file_ LAXML_GUARDED_BY(mu_) = nullptr;
+  std::atomic<bool> enabled_{false};
+};
+
+/// Wall-clock (system clock) microseconds since the Unix epoch — slow
+/// log entries are correlated with external logs, so wall time, not the
+/// spans' steady clock.
+uint64_t UnixMicros();
+
+}  // namespace obs
+}  // namespace laxml
+
+#endif  // LAXML_OBS_SLOW_LOG_H_

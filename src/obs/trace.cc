@@ -6,7 +6,9 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/json.h"
 #include "common/varint.h"
+#include "obs/metrics.h"
 
 namespace laxml {
 namespace obs {
@@ -14,7 +16,10 @@ namespace obs {
 namespace {
 
 constexpr uint32_t kTraceMagic = 0x5458414c;  // "LAXT" little-endian
-constexpr uint32_t kTraceVersion = 1;
+// Version 2 appended a trace_id varint to every event; version-1 dumps
+// still decode (trace_id = 0).
+constexpr uint32_t kTraceVersion = 2;
+constexpr uint32_t kTraceVersionV1 = 1;
 
 void PutFixed32(std::vector<uint8_t>* dst, uint32_t v) {
   dst->push_back(static_cast<uint8_t>(v));
@@ -27,28 +32,6 @@ uint32_t ReadFixed32(const uint8_t* p) {
   return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
          (static_cast<uint32_t>(p[2]) << 16) |
          (static_cast<uint32_t>(p[3]) << 24);
-}
-
-void JsonEscapeInto(const std::string& in, std::string* out) {
-  for (char c : in) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
 }
 
 }  // namespace
@@ -64,9 +47,14 @@ TraceRing::TraceRing(size_t capacity, uint64_t tid)
     : slots_(capacity == 0 ? 1 : capacity), tid_(tid) {}
 
 void TraceRing::Record(const char* name, uint64_t start_us,
-                       uint64_t dur_us) {
+                       uint64_t dur_us, uint64_t trace_id) {
   MutexLock lock(mu_);
-  slots_[next_] = Slot{name, start_us, dur_us};
+  if (slots_[next_].name != nullptr) {
+    // Overwriting a live slot: the ring lapped the last dump and the
+    // oldest span is gone. Make the loss countable.
+    LAXML_COUNTER_INC("laxml_trace_ring_dropped_total");
+  }
+  slots_[next_] = Slot{name, start_us, dur_us, trace_id};
   if (++next_ == slots_.size()) {
     next_ = 0;
     wrapped_ = true;
@@ -91,8 +79,8 @@ void TraceRing::Drain(TraceDump* dump) const {
                .first;
       dump->names.push_back(std::move(name));
     }
-    dump->events.push_back(
-        TraceEvent{tid_, it->second, slot.start_us, slot.dur_us});
+    dump->events.push_back(TraceEvent{tid_, it->second, slot.start_us,
+                                      slot.dur_us, slot.trace_id});
   };
   if (wrapped_) {
     for (size_t i = next_; i < slots_.size(); ++i) emit(slots_[i]);
@@ -161,6 +149,7 @@ std::vector<uint8_t> EncodeTraceDump(const TraceDump& dump) {
     PutVarint64(&out, ev.name_id);
     PutVarint64(&out, ev.start_us);
     PutVarint64(&out, ev.dur_us);
+    PutVarint64(&out, ev.trace_id);
   }
   return out;
 }
@@ -172,7 +161,8 @@ Result<TraceDump> DecodeTraceDump(const uint8_t* data, size_t size) {
   if (ReadFixed32(p) != kTraceMagic) {
     return Status::Corruption("bad trace dump magic");
   }
-  if (ReadFixed32(p + 4) != kTraceVersion) {
+  const uint32_t version = ReadFixed32(p + 4);
+  if (version != kTraceVersion && version != kTraceVersionV1) {
     return Status::Corruption("unsupported trace dump version");
   }
   p += 8;
@@ -218,6 +208,9 @@ Result<TraceDump> DecodeTraceDump(const uint8_t* data, size_t size) {
         !read_varint(&ev.start_us) || !read_varint(&ev.dur_us)) {
       return Status::Corruption("trace dump: truncated event");
     }
+    if (version >= kTraceVersion && !read_varint(&ev.trace_id)) {
+      return Status::Corruption("trace dump: truncated event trace id");
+    }
     if (name_id >= dump.names.size()) {
       return Status::Corruption("trace dump: event name id out of range");
     }
@@ -256,13 +249,47 @@ std::string TraceDump::ToChromeJson() const {
     if (!first) out += ",";
     first = false;
     out += "{\"name\":\"";
-    JsonEscapeInto(names[ev.name_id], &out);
+    AppendJsonEscaped(names[ev.name_id], &out);
     out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(ev.tid);
     out += ",\"ts\":" + std::to_string(ev.start_us);
-    out += ",\"dur\":" + std::to_string(ev.dur_us) + "}";
+    out += ",\"dur\":" + std::to_string(ev.dur_us);
+    if (ev.trace_id != 0) {
+      out += ",\"args\":{\"trace_id\":" + std::to_string(ev.trace_id) + "}";
+    }
+    out += "}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;
+}
+
+TraceDump MergeTraceDumps(const std::vector<TraceDump>& dumps) {
+  TraceDump merged;
+  std::unordered_map<std::string, uint32_t> interned;
+  uint64_t tid_base = 0;
+  for (const TraceDump& dump : dumps) {
+    uint64_t max_tid = 0;
+    for (const TraceEvent& ev : dump.events) {
+      TraceEvent copy = ev;
+      const std::string& name = dump.names[ev.name_id];
+      auto it = interned.find(name);
+      if (it == interned.end()) {
+        it = interned
+                 .emplace(name, static_cast<uint32_t>(merged.names.size()))
+                 .first;
+        merged.names.push_back(name);
+      }
+      copy.name_id = it->second;
+      copy.tid += tid_base;
+      if (ev.tid > max_tid) max_tid = ev.tid;
+      merged.events.push_back(copy);
+    }
+    tid_base += max_tid + 1;
+  }
+  std::sort(merged.events.begin(), merged.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return merged;
 }
 
 }  // namespace obs

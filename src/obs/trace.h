@@ -20,11 +20,22 @@
 // nothing; the Tracer itself stays linked so --trace-out degrades to an
 // empty dump instead of a build error.
 //
+// Spans carry the current request's trace id (obs/request_context.h):
+// the RAII span stamps CurrentTraceId() when it records, so one
+// request's spans — across client and server processes — share an id
+// and can be stitched into a single trace (tools/laxml_trace merges
+// multiple dumps and filters by --trace-id). Ring overflow is counted
+// in laxml_trace_ring_dropped_total instead of being silent.
+//
 // Binary dump format (all integers varint unless noted):
 //
 //   [magic "LAXT" u32][version u32]
 //   [name_count][name_count x (len, bytes)]
-//   [event_count][event_count x (tid, name_id, start_us, dur_us)]
+//   [event_count][event_count x
+//       (tid, name_id, start_us, dur_us, trace_id)]
+//
+// Version 2 added the per-event trace_id varint; version-1 dumps (four
+// varints per event) still decode, with trace_id = 0.
 
 #ifndef LAXML_OBS_TRACE_H_
 #define LAXML_OBS_TRACE_H_
@@ -37,6 +48,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/request_context.h"
 
 namespace laxml {
 namespace obs {
@@ -47,6 +59,7 @@ struct TraceEvent {
   uint32_t name_id = 0;   ///< Index into TraceDump::names.
   uint64_t start_us = 0;  ///< Steady-clock microseconds.
   uint64_t dur_us = 0;
+  uint64_t trace_id = 0;  ///< Request trace id; 0 = unattributed.
 };
 
 /// A decoded (or freshly collected) trace.
@@ -55,16 +68,26 @@ struct TraceDump {
   std::vector<TraceEvent> events;  ///< Sorted by start_us.
 
   /// Chrome trace-event JSON ("X" complete events), loadable in
-  /// chrome://tracing / Perfetto.
+  /// chrome://tracing / Perfetto. Spans with a trace id carry it as
+  /// args.trace_id.
   std::string ToChromeJson() const;
 };
+
+/// Merges `dumps` into one: names re-interned, per-dump tids offset so
+/// distinct processes' threads stay distinct lanes, events re-sorted by
+/// start. Trace ids pass through untouched — they are the cross-dump
+/// join key.
+TraceDump MergeTraceDumps(const std::vector<TraceDump>& dumps);
 
 /// One thread's span buffer. Created lazily by Tracer::ThreadRing().
 class TraceRing {
  public:
   explicit TraceRing(size_t capacity, uint64_t tid);
 
-  void Record(const char* name, uint64_t start_us, uint64_t dur_us);
+  /// Overwriting an undrained slot bumps laxml_trace_ring_dropped_total
+  /// — ring overflow loses the oldest span, visibly.
+  void Record(const char* name, uint64_t start_us, uint64_t dur_us,
+              uint64_t trace_id = 0);
 
   /// Appends this ring's spans (oldest first) to `dump`, interning
   /// names into dump->names.
@@ -77,6 +100,7 @@ class TraceRing {
     const char* name = nullptr;
     uint64_t start_us = 0;
     uint64_t dur_us = 0;
+    uint64_t trace_id = 0;
   };
 
   mutable Mutex mu_;
@@ -128,14 +152,16 @@ Result<TraceDump> ReadTraceFile(const std::string& path);
 /// Steady-clock microseconds (the span timebase).
 uint64_t TraceNowMicros();
 
-/// RAII span: records on destruction.
+/// RAII span: records on destruction, stamped with the current
+/// request's trace id so a request's spans stitch into one trace.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name)
       : name_(name), start_us_(TraceNowMicros()) {}
   ~ScopedSpan() {
     Tracer::Global().ThreadRing()->Record(name_, start_us_,
-                                          TraceNowMicros() - start_us_);
+                                          TraceNowMicros() - start_us_,
+                                          CurrentTraceId());
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;

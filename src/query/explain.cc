@@ -1,0 +1,87 @@
+#include "query/explain.h"
+
+#include "common/json.h"
+#include "index/structural_index.h"
+#include "query/xpath_parser.h"
+#include "query/xpath_stream.h"
+
+namespace laxml {
+
+std::string XPathPlan::ToJson() const {
+  std::string out = "{\"query\":";
+  AppendJsonString(query, &out);
+  out += ",\"plan\":";
+  AppendJsonString(plan, &out);
+  out += ",\"index_mode\":";
+  AppendJsonString(index_mode, &out);
+  out += ",\"eligible\":";
+  out += eligible ? "true" : "false";
+  out += ",\"gate\":";
+  AppendJsonString(gate, &out);
+  out += ",\"steps\":[";
+  bool first = true;
+  for (const XPathPlanStep& step : steps) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"axis\":";
+    AppendJsonString(step.axis, &out);
+    out += ",\"tag\":";
+    AppendJsonString(step.tag, &out);
+    out += ",\"warm\":";
+    out += step.warm ? "true" : "false";
+    out += ",\"postings\":" + std::to_string(step.postings);
+    out += "}";
+  }
+  out += "]";
+  if (!profile_json.empty()) {
+    out += ",\"profile\":" + profile_json;
+  }
+  out += "}";
+  return out;
+}
+
+Result<XPathPlan> ExplainXPath(const Store& store, std::string_view expr) {
+  LAXML_ASSIGN_OR_RETURN(XPathPath path, ParseXPath(expr));
+  XPathPlan plan;
+  plan.query.assign(expr.data(), expr.size());
+
+  const StructuralIndex* index = store.structural_index();
+  plan.index_mode = StructuralIndexModeName(index->mode());
+  const char* reason = StructuralIneligibilityReason(path);
+  plan.eligible = reason == nullptr;
+  if (!plan.eligible) {
+    plan.gate = reason;
+  } else if (!index->enabled()) {
+    plan.gate = "index off";
+  } else {
+    plan.gate = "eligible";
+  }
+
+  if (plan.eligible && index->enabled()) {
+    // The warm fork: EvaluateXPathStreaming joins posting lists iff
+    // every step's tag is warm; one cold tag sends it to the scan.
+    bool all_warm = true;
+    plan.steps.reserve(path.steps.size());
+    for (const XPathStep& step : path.steps) {
+      XPathPlanStep out;
+      out.axis =
+          step.axis == XPathAxis::kChild ? "child" : "descendant";
+      out.tag = step.name;
+      StructuralIndex::EntryList list = index->LookupTag(step.name);
+      out.warm = list != nullptr;
+      out.postings = list == nullptr ? 0 : list->size();
+      if (!out.warm) all_warm = false;
+      plan.steps.push_back(std::move(out));
+    }
+    plan.plan = all_warm ? "structural-join" : "stream-scan";
+  } else if (plan.eligible) {
+    // Gate passed but the index is off: Evaluate's routing check fails
+    // on enabled(), so the snapshot evaluator runs.
+    plan.plan = "snapshot";
+  } else {
+    plan.plan = "snapshot";
+  }
+  return plan;
+}
+
+}  // namespace laxml

@@ -1,0 +1,64 @@
+// EXPLAIN for XPath: reproduces the planner's routing decision —
+// structural join vs stream scan vs snapshot — for one expression
+// WITHOUT executing it, and reports why (eligibility-gate verdict,
+// per-step index warmth). The server's kExplain op serves the plan as
+// JSON; a profile variant executes afterwards and appends the request
+// counters (see server/server.cc — this module stays wire-agnostic by
+// layer rule).
+//
+// The decision logic here deliberately mirrors XPathEvaluator::Evaluate
+// + EvaluateXPathStreaming: same gate (StructuralIndexEligible), same
+// warmth test (LookupTag == nullptr means cold). xpath's explain_test
+// pins plan-vs-execution agreement so the two cannot drift.
+
+#ifndef LAXML_QUERY_EXPLAIN_H_
+#define LAXML_QUERY_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "store/store.h"
+
+namespace laxml {
+
+/// One location step as the planner sees it (populated only for
+/// structurally-eligible paths — the snapshot evaluator has no
+/// per-step index story to tell).
+struct XPathPlanStep {
+  std::string axis;      ///< "child" or "descendant".
+  std::string tag;
+  bool warm = false;     ///< Tag has a memoized posting list.
+  uint64_t postings = 0; ///< Posting-list length when warm.
+};
+
+/// The planner's verdict for one expression.
+struct XPathPlan {
+  std::string query;
+  /// "structural-join" | "stream-scan" | "snapshot" — the same labels
+  /// execution stamps into the request context (LAXML_RC_SET_PLAN).
+  std::string plan;
+  std::string index_mode;  ///< off | lazy | eager.
+  bool eligible = false;   ///< Passed the structural-index gate.
+  /// "eligible", or the gate's first disqualifying reason, or
+  /// "index off" when the mode forecloses the question.
+  std::string gate;
+  std::vector<XPathPlanStep> steps;
+  /// When non-empty, a pre-rendered JSON object the serializer embeds
+  /// as "profile": the kExplain profile variant fills it with elapsed
+  /// time, result count and the request counters.
+  std::string profile_json;
+
+  /// The plan as one JSON object (the kExplain response payload).
+  std::string ToJson() const;
+};
+
+/// Plans `expr` against the store's current index state. Read-only and
+/// side-effect-free: no scan runs, no tag warms, no counter moves.
+Result<XPathPlan> ExplainXPath(const Store& store, std::string_view expr);
+
+}  // namespace laxml
+
+#endif  // LAXML_QUERY_EXPLAIN_H_

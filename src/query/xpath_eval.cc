@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "index/structural_index.h"
+#include "obs/request_context.h"
 #include "query/xpath_parser.h"
 #include "query/xpath_stream.h"
 #include "store/cursor.h"
@@ -198,6 +199,7 @@ Result<std::vector<NodeId>> XPathEvaluator::Evaluate(
       StructuralIndexEligible(path)) {
     return EvaluateXPathStreaming(*store_, path);
   }
+  LAXML_RC_SET_PLAN("snapshot");
   if (!fresh_) {
     LAXML_RETURN_IF_ERROR(Refresh());
   }

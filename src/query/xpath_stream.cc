@@ -4,6 +4,7 @@
 #include <string>
 
 #include "index/structural_index.h"
+#include "obs/request_context.h"
 #include "query/xpath_parser.h"
 #include "store/cursor.h"
 
@@ -77,15 +78,19 @@ bool TryStructuralEvaluate(const StructuralIndex& index,
 }  // namespace
 
 bool StructuralIndexEligible(const XPathPath& path) {
-  if (path.steps.empty()) return false;
+  return StructuralIneligibilityReason(path) == nullptr;
+}
+
+const char* StructuralIneligibilityReason(const XPathPath& path) {
+  if (path.steps.empty()) return "empty path";
   for (const XPathStep& step : path.steps) {
-    if (!step.predicates.empty()) return false;
-    if (step.descendant_attr) return false;
+    if (!step.predicates.empty()) return "has predicates";
+    if (step.descendant_attr) return "descendant attribute step";
     if (step.axis != XPathAxis::kChild && step.axis != XPathAxis::kDescendant)
-      return false;
-    if (step.test != NodeTestKind::kName) return false;
+      return "non-child/descendant axis";
+    if (step.test != NodeTestKind::kName) return "non-name node test";
   }
-  return true;
+  return nullptr;
 }
 
 Result<std::vector<NodeId>> EvaluateXPathStreaming(
@@ -108,11 +113,14 @@ Result<std::vector<NodeId>> EvaluateXPathStreaming(
     std::vector<NodeId> joined;
     if (TryStructuralEvaluate(*index, path, &joined)) {
       index->RecordHit();
+      LAXML_RC_ADD(structural_index_hits, 1);
+      LAXML_RC_SET_PLAN("structural-join");
       return joined;
     }
     // Cold: the scan below is the fallback, and its by-product warms
     // the index — the queried tags in lazy mode, every tag in eager.
     index->RecordMiss();
+    LAXML_RC_ADD(structural_index_misses, 1);
     if (index->mode() == StructuralIndexMode::kEager) {
       warmer = std::make_unique<StructuralWarmer>(std::vector<std::string>(),
                                                   /*track_all=*/true);
@@ -130,6 +138,7 @@ Result<std::vector<NodeId>> EvaluateXPathStreaming(
   // here"). A matched non-final step arms i+1 one level down; a
   // recursive step re-arms itself at every level below where it became
   // pending.
+  LAXML_RC_SET_PLAN("stream-scan");
   using StateSet = std::vector<uint8_t>;  // bitset over step indices
   const size_t nsteps = path.steps.size();
   StateSet root_states(nsteps, 0);

@@ -36,6 +36,12 @@ namespace laxml {
 /// step a named child or descendant test, no predicates, no '//@attr'.
 bool StructuralIndexEligible(const XPathPath& path);
 
+/// The eligibility gate's verdict as a static string: nullptr when the
+/// path is eligible, otherwise the first disqualifying reason
+/// ("has predicates", ...). EXPLAIN surfaces this so "why did my query
+/// scan" has an answer.
+const char* StructuralIneligibilityReason(const XPathPath& path);
+
 /// Evaluates a predicate-free path in one streaming pass (or, for
 /// eligible paths over a warm structural index, a posting-list join).
 /// Returns matching node ids in document order (duplicate-free by

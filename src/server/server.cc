@@ -9,7 +9,9 @@
 #include "common/logging.h"
 #include "obs/engine_metrics.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
+#include "query/explain.h"
 #include "query/xpath_eval.h"
 
 namespace laxml {
@@ -41,6 +43,9 @@ Result<std::unique_ptr<Server>> Server::Start(std::unique_ptr<Store> store,
 Server::~Server() { Shutdown(); }
 
 Status Server::Init() {
+  if (!options_.slow_log_path.empty()) {
+    LAXML_RETURN_IF_ERROR(slow_log_.Open(options_.slow_log_path));
+  }
   LAXML_RETURN_IF_ERROR(poller_.Init());
   LAXML_ASSIGN_OR_RETURN(listen_fd_,
                          net::ListenTcp(options_.host, options_.port));
@@ -281,17 +286,37 @@ void Server::WorkerLoop() {
       continue;
     }
     net::Response resp;
+    // The request context threads the client's trace id and the
+    // resource accounting through every engine layer this request
+    // touches, without any signature carrying it (request_context.h).
+    obs::RequestContext rc;
+    rc.trace_id = item.request.trace_id;
     {
+      obs::ScopedRequestContext scoped_rc(&rc);
       LAXML_TRACE_SPAN(net::OpCodeName(item.request.op));
       resp = Execute(item.request);
     }
     const uint64_t micros = NowMicros() - item.enqueue_micros;
     stats_.Record(item.request.op, micros, !resp.status.ok());
     if (options_.slow_op_micros > 0 && micros >= options_.slow_op_micros) {
+      LAXML_COUNTER_INC("laxml_server_slow_ops_total");
       LAXML_LOG(kWarn) << "slow op: " << net::OpCodeName(item.request.op)
                        << " request_id=" << item.request.request_id
                        << " took " << micros << " us (threshold "
                        << options_.slow_op_micros << " us)";
+      if (slow_log_.enabled()) {
+        obs::SlowQueryLog::Entry entry;
+        entry.op = net::OpCodeName(item.request.op);
+        entry.request_id = item.request.request_id;
+        entry.trace_id = item.request.trace_id;
+        entry.query = item.request.expr;
+        entry.plan = rc.plan;
+        entry.status =
+            resp.status.ok() ? "OK" : resp.status.ToString();
+        entry.elapsed_us = micros;
+        entry.counters = rc.counters;
+        slow_log_.Append(entry);
+      }
     }
     std::vector<uint8_t> frame;
     net::EncodeResponse(resp, &frame);
@@ -429,6 +454,54 @@ net::Response Server::Execute(const net::Request& req) {
       } else {
         resp.text = registry.RenderTable() + server_snap.ToString();
       }
+      break;
+    }
+    case OpCode::kExplain: {
+      // Plan first (read-only, warms nothing), then — for the profile
+      // variant — execute under a nested request context so the
+      // counters cover the measured query alone, not this request's
+      // own bookkeeping.
+      auto plan = store_.WithShared(
+          [&req](Store& s) -> Result<XPathPlan> {
+            return ExplainXPath(s, req.expr);
+          });
+      if (!plan.ok()) {
+        resp.status = plan.status();
+        break;
+      }
+      if (req.explain_mode == net::ExplainMode::kProfile) {
+        obs::RequestContext prof;
+        prof.trace_id = obs::CurrentTraceId();
+        const uint64_t start_us = NowMicros();
+        Result<std::vector<NodeId>> r = [&] {
+          obs::ScopedRequestContext scoped(&prof);
+          LAXML_TRACE_SPAN("EXPLAIN_PROFILE_QUERY");
+          return store_.WithShared(
+              [&req](Store& s) -> Result<std::vector<NodeId>> {
+                XPathEvaluator eval(&s);
+                return eval.Evaluate(req.expr);
+              });
+        }();
+        const uint64_t elapsed_us = NowMicros() - start_us;
+        if (!r.ok()) {
+          resp.status = r.status();
+          break;
+        }
+        std::string profile =
+            "{\"elapsed_us\":" + std::to_string(elapsed_us);
+        profile += ",\"results\":" + std::to_string(r->size());
+        if (prof.plan != nullptr) {
+          // Execution's own verdict — lets clients catch the plan
+          // drifting from what actually ran.
+          profile += ",\"executed_plan\":\"" + std::string(prof.plan) +
+                     "\"";
+        }
+        profile += ",\"counters\":";
+        prof.counters.AppendJson(&profile);
+        profile += "}";
+        plan->profile_json = std::move(profile);
+      }
+      resp.text = plan->ToJson();
       break;
     }
   }

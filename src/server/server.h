@@ -46,6 +46,7 @@
 #include "net/poller.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/slow_log.h"
 #include "server/server_stats.h"
 
 namespace laxml {
@@ -70,6 +71,10 @@ struct ServerOptions {
   /// reaches this many microseconds is logged at WARN with its opcode
   /// and request id (laxml_server --slow-op-us).
   uint64_t slow_op_micros = 0;
+  /// When non-empty, every slow op (same threshold) additionally
+  /// appends a structured JSONL record — query, plan, resource
+  /// counters, trace id — here (laxml_server --slow-log).
+  std::string slow_log_path;
 };
 
 /// A running server. Create with Start(), stop with Shutdown() (the
@@ -142,6 +147,7 @@ class Server {
   ServerOptions options_;
   SharedStore store_;
   ServerStats stats_;
+  obs::SlowQueryLog slow_log_;
   net::Poller poller_;
   net::UniqueFd listen_fd_;
   uint16_t port_ = 0;

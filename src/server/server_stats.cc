@@ -54,8 +54,10 @@ std::string ServerStatsSnapshot::ToPrometheus() const {
     const OpStatsSnapshot& op = ops[i];
     if (op.requests == 0) continue;
     const std::string labels =
-        std::string("{op=\"") +
-        net::OpCodeName(static_cast<net::OpCode>(i)) + "\"}";
+        "{op=\"" +
+        obs::EscapePrometheusLabelValue(
+            net::OpCodeName(static_cast<net::OpCode>(i))) +
+        "\"}";
     obs::AppendPrometheusHistogram("laxml_server_op_us" + labels,
                                    op.latency, &out, &emitted);
     out += "laxml_server_requests_total" + labels + " " +

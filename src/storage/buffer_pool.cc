@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "obs/request_context.h"
 
 namespace laxml {
 
@@ -157,6 +158,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     auto it = page_table_.find(id);
     if (it != page_table_.end()) {
       ++stats_.hits;
+      LAXML_RC_ADD(pages_pinned, 1);
       PinLocked(frames_[it->second]);
       return PageHandle(this, it->second);
     }
@@ -167,10 +169,13 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
+    LAXML_RC_ADD(pages_pinned, 1);
     PinLocked(frames_[it->second]);
     return PageHandle(this, it->second);
   }
   ++stats_.misses;
+  LAXML_RC_ADD(pages_pinned, 1);
+  LAXML_RC_ADD(pages_missed, 1);
   LAXML_ASSIGN_OR_RETURN(size_t frame, GrabFrameLocked());
   Frame& f = frames_[frame];
   Status st = file_->ReadPage(id, f.data.get());

@@ -1,5 +1,7 @@
 #include "store/cursor.h"
 
+#include "obs/request_context.h"
+
 namespace laxml {
 
 Status TokenCursor::LoadRange(RangeId id) {
@@ -22,6 +24,7 @@ Status TokenCursor::SeekToFirst() {
 }
 
 Status TokenCursor::DecodeOne() {
+  LAXML_RC_ADD(tokens_scanned, 1);
   byte_offset_ = static_cast<uint32_t>(reader_.offset());
   LAXML_RETURN_IF_ERROR(reader_.Next(&token_));
   if (token_.BeginsNode()) {

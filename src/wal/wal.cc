@@ -1,6 +1,7 @@
 #include "wal/wal.h"
 
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 
 namespace laxml {
@@ -26,6 +27,7 @@ Status Wal::Append(const WalRecord& record, bool sync) {
   appended_lsn_.fetch_add(1, std::memory_order_acq_rel);
   LAXML_COUNTER_INC("laxml_wal_appends_total");
   LAXML_COUNTER_ADD("laxml_wal_bytes_appended_total", framed.size());
+  LAXML_RC_ADD(wal_bytes, framed.size());
   if (sync) {
     return this->Sync();
   }

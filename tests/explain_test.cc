@@ -1,0 +1,196 @@
+// Tests for query/explain: the EXPLAIN verdict must reproduce the
+// planner's actual routing (structural join vs stream scan vs
+// snapshot) without executing the query, and its per-step warmth must
+// track the lazy index's memoization state. The agreement tests here
+// are what keep ExplainXPath and the real planner fork in
+// XPathEvaluator::Evaluate from drifting apart.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "index/structural_index.h"
+#include "obs/request_context.h"
+#include "query/explain.h"
+#include "query/xpath_eval.h"
+#include "store/store.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+using testing::MustFragment;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void Open(StructuralIndexMode mode) {
+    StoreOptions options;
+    options.structural_index = mode;
+    ASSERT_OK_AND_ASSIGN(store_, Store::OpenInMemory(options));
+    ASSERT_LAXML_OK(store_
+                        ->InsertTopLevel(MustFragment(
+                            "<site><regions>"
+                            "<item><name>a</name><qty>1</qty></item>"
+                            "<item><name>b</name></item>"
+                            "</regions><people>"
+                            "<person><name>Ada</name></person>"
+                            "</people></site>"))
+                        .status());
+  }
+
+  XPathPlan MustExplain(const std::string& expr) {
+    auto plan = ExplainXPath(*store_, expr);
+    EXPECT_TRUE(plan.ok()) << expr << ": " << plan.status().ToString();
+    return plan.ok() ? std::move(plan).value() : XPathPlan{};
+  }
+
+  /// Runs `expr` through the real evaluator (warming the lazy index as
+  /// a side effect).
+  void MustExecute(const std::string& expr) {
+    XPathEvaluator eval(store_.get());
+    auto result = eval.Evaluate(expr);
+    EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+  }
+
+#if !defined(LAXML_TRACING_DISABLED)
+  /// Like MustExecute, but returns the plan label execution stamped
+  /// into the request context (needs the accounting compiled in).
+  std::string ExecutedPlan(const std::string& expr) {
+    obs::RequestContext rc;
+    obs::ScopedRequestContext scoped(&rc);
+    XPathEvaluator eval(store_.get());
+    auto result = eval.Evaluate(expr);
+    EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+    return rc.plan != nullptr ? rc.plan : "";
+  }
+#endif
+
+  std::unique_ptr<Store> store_;
+};
+
+TEST_F(ExplainTest, ColdEligiblePathIsStreamScan) {
+  Open(StructuralIndexMode::kLazy);
+  XPathPlan plan = MustExplain("//item//name");
+  EXPECT_EQ(plan.plan, "stream-scan");
+  EXPECT_TRUE(plan.eligible);
+  EXPECT_EQ(plan.gate, "eligible");
+  EXPECT_EQ(plan.index_mode, "lazy");
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].tag, "item");
+  EXPECT_EQ(plan.steps[0].axis, "descendant");
+  EXPECT_FALSE(plan.steps[0].warm);
+  EXPECT_FALSE(plan.steps[1].warm);
+}
+
+TEST_F(ExplainTest, WarmPathIsStructuralJoin) {
+  Open(StructuralIndexMode::kLazy);
+  // Execute once: the lazy index memoizes exactly the queried tags.
+  MustExecute("//item//name");
+  XPathPlan plan = MustExplain("//item//name");
+  EXPECT_EQ(plan.plan, "structural-join");
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_TRUE(plan.steps[0].warm);
+  EXPECT_EQ(plan.steps[0].postings, 2u);  // two <item> elements
+  EXPECT_TRUE(plan.steps[1].warm);
+  EXPECT_EQ(plan.steps[1].postings, 3u);  // three <name> elements
+  // A sibling tag the query never touched stays cold.
+  XPathPlan other = MustExplain("//person");
+  EXPECT_EQ(other.plan, "stream-scan");
+  EXPECT_FALSE(other.steps[0].warm);
+}
+
+TEST_F(ExplainTest, PartiallyWarmPathStaysStreamScan) {
+  Open(StructuralIndexMode::kLazy);
+  MustExecute("//item");  // warms only "item"
+  XPathPlan plan = MustExplain("//item//qty");
+  EXPECT_EQ(plan.plan, "stream-scan");
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_TRUE(plan.steps[0].warm);
+  EXPECT_FALSE(plan.steps[1].warm);
+}
+
+TEST_F(ExplainTest, IneligiblePathReportsGateReason) {
+  Open(StructuralIndexMode::kLazy);
+  XPathPlan pred = MustExplain("//item[1]");
+  EXPECT_EQ(pred.plan, "snapshot");
+  EXPECT_FALSE(pred.eligible);
+  EXPECT_EQ(pred.gate, "has predicates");
+  EXPECT_TRUE(pred.steps.empty());
+
+  XPathPlan attr = MustExplain("//item//@id");
+  EXPECT_FALSE(attr.eligible);
+  EXPECT_EQ(attr.gate, "descendant attribute step");
+}
+
+TEST_F(ExplainTest, IndexOffForeclosesTheQuestion) {
+  Open(StructuralIndexMode::kOff);
+  // The path shape is fine (eligible), but with the index disabled the
+  // evaluator's routing check fails and the snapshot evaluator runs.
+  XPathPlan plan = MustExplain("//item//name");
+  EXPECT_EQ(plan.plan, "snapshot");
+  EXPECT_TRUE(plan.eligible);
+  EXPECT_EQ(plan.gate, "index off");
+  EXPECT_EQ(plan.index_mode, "off");
+#if !defined(LAXML_TRACING_DISABLED)
+  EXPECT_EQ(ExecutedPlan("//item//name"), "snapshot");
+#endif
+}
+
+TEST_F(ExplainTest, ExplainDoesNotWarmOrExecute) {
+  Open(StructuralIndexMode::kLazy);
+  (void)MustExplain("//item//name");
+  (void)MustExplain("//item//name");
+  // Side-effect-free: no tag warmed, no index traffic recorded.
+  EXPECT_EQ(store_->structural_index()->warmed_tags(), 0u);
+  EXPECT_EQ(store_->structural_index()->stats().misses, 0u);
+  EXPECT_EQ(store_->structural_index()->stats().hits, 0u);
+}
+
+TEST_F(ExplainTest, BadExpressionPropagatesParseError) {
+  Open(StructuralIndexMode::kLazy);
+  EXPECT_FALSE(ExplainXPath(*store_, "//").ok());
+  EXPECT_FALSE(ExplainXPath(*store_, "").ok());
+}
+
+#if !defined(LAXML_TRACING_DISABLED)
+// The drift pin: for a matrix of expressions and warmth states, the
+// plan EXPLAIN predicts is the plan execution stamps.
+TEST_F(ExplainTest, PredictionMatchesExecutionStamp) {
+  Open(StructuralIndexMode::kLazy);
+  const char* exprs[] = {"//item//name", "/site/regions/item", "//person",
+                         "//item[1]", "//nosuch"};
+  for (const char* expr : exprs) {
+    // Cold round, then warm round: predict, execute, compare both times.
+    for (int round = 0; round < 2; ++round) {
+      XPathPlan predicted = MustExplain(expr);
+      std::string executed = ExecutedPlan(expr);
+      EXPECT_EQ(predicted.plan, executed)
+          << expr << " round " << round;
+    }
+  }
+}
+#endif  // !defined(LAXML_TRACING_DISABLED)
+
+TEST_F(ExplainTest, ToJsonShape) {
+  Open(StructuralIndexMode::kLazy);
+  MustExecute("//item");
+  XPathPlan plan = MustExplain("//item");
+  std::string json = plan.ToJson();
+  EXPECT_NE(json.find("\"query\":\"//item\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan\":\"structural-join\""), std::string::npos);
+  EXPECT_NE(json.find("\"index_mode\":\"lazy\""), std::string::npos);
+  EXPECT_NE(json.find("\"eligible\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"steps\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"axis\":\"descendant\""), std::string::npos);
+  EXPECT_NE(json.find("\"warm\":true"), std::string::npos);
+  EXPECT_EQ(json.find("\"profile\""), std::string::npos);
+
+  plan.profile_json = "{\"elapsed_us\":5}";
+  std::string with_profile = plan.ToJson();
+  EXPECT_NE(with_profile.find("\"profile\":{\"elapsed_us\":5}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace laxml

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
+#include "common/varint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "test_util.h"
@@ -278,6 +280,67 @@ TEST(Render, SplitMetricName) {
   EXPECT_EQ(labels, "");
 }
 
+TEST(Render, EscapePrometheusLabelValue) {
+  EXPECT_EQ(EscapePrometheusLabelValue("plain_value"), "plain_value");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapePrometheusLabelValue(""), "");
+  // All three at once, in order.
+  EXPECT_EQ(EscapePrometheusLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(Render, EmptyHistogramExposition) {
+  // A registered-but-never-recorded histogram must still render a
+  // well-formed family: the mandatory +Inf bucket, zero sum/count, and
+  // percentile gauges at 0 — not a truncated or absent family.
+  MetricsRegistry registry;
+  registry.GetHistogram("laxml_empty_us");
+  std::string text = RenderPrometheus(registry.TakeSnapshot());
+  EXPECT_NE(text.find("# TYPE laxml_empty_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("laxml_empty_us_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("laxml_empty_us_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("laxml_empty_us_count 0\n"), std::string::npos);
+  EXPECT_NE(text.find("laxml_empty_us_p50 0\n"), std::string::npos);
+}
+
+TEST(Render, PrometheusRoundTripParse) {
+  // The exposition must survive the same name/value split laxml_top
+  // applies (rsplit on the last space): every value parses back to the
+  // number that went in, including labeled series.
+  MetricsRegistry registry;
+  registry.GetCounter("laxml_rt_total")->Add(12345);
+  registry.GetCounter("laxml_rt_labeled_total{op=\"x\"}")->Add(7);
+  registry.GetGauge("laxml_rt_level")->Set(-3);
+  Histogram* h = registry.GetHistogram("laxml_rt_us{op=\"read\"}");
+  for (int i = 0; i < 10; ++i) h->Record(64);
+  std::string text = RenderPrometheus(registry.TakeSnapshot());
+
+  std::map<std::string, double> parsed;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* end = nullptr;
+    double value = std::strtod(line.c_str() + space + 1, &end);
+    ASSERT_TRUE(end != nullptr && *end == '\0') << line;
+    parsed[line.substr(0, space)] = value;
+  }
+  EXPECT_DOUBLE_EQ(parsed.at("laxml_rt_total"), 12345.0);
+  EXPECT_DOUBLE_EQ(parsed.at("laxml_rt_labeled_total{op=\"x\"}"), 7.0);
+  EXPECT_DOUBLE_EQ(parsed.at("laxml_rt_level"), -3.0);
+  EXPECT_DOUBLE_EQ(parsed.at("laxml_rt_us_count{op=\"read\"}"), 10.0);
+  EXPECT_DOUBLE_EQ(parsed.at("laxml_rt_us_sum{op=\"read\"}"), 640.0);
+  EXPECT_DOUBLE_EQ(parsed.at("laxml_rt_us_p50{op=\"read\"}"), 64.0);
+}
+
 // --------------------------------------------------------------------
 // Trace ring + dump codec
 
@@ -363,6 +426,117 @@ TEST(Trace, ChromeJsonHasEvents) {
   EXPECT_NE(json.find("\"ts\":123"), std::string::npos);
   EXPECT_NE(json.find("\"dur\":45"), std::string::npos);
   EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaped
+}
+
+TEST(Trace, TraceIdRoundTrip) {
+  TraceDump dump;
+  dump.names = {"traced_span"};
+  dump.events.push_back({1, 0, 1000, 50, 42});
+  dump.events.push_back({1, 0, 2000, 10, 0});  // unattributed
+  std::vector<uint8_t> encoded = EncodeTraceDump(dump);
+  auto decoded = DecodeTraceDump(encoded.data(), encoded.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->events.size(), 2u);
+  EXPECT_EQ(decoded->events[0].trace_id, 42u);
+  EXPECT_EQ(decoded->events[1].trace_id, 0u);
+}
+
+TEST(Trace, DecodesVersion1WithoutTraceIds) {
+  // Hand-build a version-1 dump (four varints per event, no trace_id):
+  // the decoder must accept it and default every trace id to 0.
+  std::vector<uint8_t> v1;
+  auto fixed32 = [&](uint32_t v) {
+    v1.push_back(static_cast<uint8_t>(v));
+    v1.push_back(static_cast<uint8_t>(v >> 8));
+    v1.push_back(static_cast<uint8_t>(v >> 16));
+    v1.push_back(static_cast<uint8_t>(v >> 24));
+  };
+  fixed32(0x5458414c);  // "LAXT"
+  fixed32(1);           // version 1
+  PutVarint64(&v1, 1);  // one name
+  PutVarint64(&v1, 3);
+  v1.push_back('o');
+  v1.push_back('l');
+  v1.push_back('d');
+  PutVarint64(&v1, 2);  // two events, four varints each
+  for (uint64_t start : {100u, 200u}) {
+    PutVarint64(&v1, 7);      // tid
+    PutVarint64(&v1, 0);      // name_id
+    PutVarint64(&v1, start);  // start_us
+    PutVarint64(&v1, 5);      // dur_us
+  }
+  auto decoded = DecodeTraceDump(v1.data(), v1.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->events.size(), 2u);
+  EXPECT_EQ(decoded->names[0], "old");
+  EXPECT_EQ(decoded->events[0].start_us, 100u);
+  EXPECT_EQ(decoded->events[0].trace_id, 0u);
+  EXPECT_EQ(decoded->events[1].trace_id, 0u);
+
+  // Truncating the trailing bytes of a v1 dump still fails cleanly.
+  auto truncated = DecodeTraceDump(v1.data(), v1.size() - 2);
+  EXPECT_FALSE(truncated.ok());
+}
+
+TEST(Trace, MergeTraceDumpsKeepsLanesAndTraceIds) {
+  // Two dumps (think: client process + server process) using the same
+  // tid numbers. The merge must keep their thread lanes distinct while
+  // trace ids pass through untouched as the cross-dump join key.
+  TraceDump client;
+  client.names = {"CLIENT_CALL"};
+  client.events.push_back({1, 0, 500, 80, 99});
+  TraceDump server;
+  server.names = {"XPATH", "CLIENT_CALL"};
+  server.events.push_back({1, 0, 520, 30, 99});
+  server.events.push_back({2, 1, 100, 10, 0});
+
+  TraceDump merged = MergeTraceDumps({client, server});
+  ASSERT_EQ(merged.events.size(), 3u);
+  // Sorted by start_us.
+  EXPECT_EQ(merged.events[0].start_us, 100u);
+  EXPECT_EQ(merged.events[1].start_us, 500u);
+  EXPECT_EQ(merged.events[2].start_us, 520u);
+  // The client's tid-1 and the server's tid-1 land in different lanes.
+  EXPECT_NE(merged.events[1].tid, merged.events[2].tid);
+  // Trace ids survive, and the duplicate name re-interned cleanly.
+  EXPECT_EQ(merged.events[1].trace_id, 99u);
+  EXPECT_EQ(merged.events[2].trace_id, 99u);
+  EXPECT_EQ(merged.names[merged.events[1].name_id], "CLIENT_CALL");
+  EXPECT_EQ(merged.names[merged.events[2].name_id], "XPATH");
+  // Both spans of trace 99 are recoverable by filtering — the
+  // laxml_trace --trace-id path.
+  size_t stitched = 0;
+  for (const TraceEvent& ev : merged.events) {
+    if (ev.trace_id == 99) ++stitched;
+  }
+  EXPECT_EQ(stitched, 2u);
+}
+
+#if !defined(LAXML_METRICS_DISABLED)
+TEST(Trace, RingOverflowBumpsDroppedCounter) {
+  Counter* dropped = MetricsRegistry::Global().GetCounter(
+      "laxml_trace_ring_dropped_total");
+  const uint64_t before = dropped->value();
+  TraceRing ring(2, /*tid=*/9);
+  for (int i = 0; i < 5; ++i) {
+    ring.Record("overflow", static_cast<uint64_t>(i), 1);
+  }
+  // Capacity 2, five records: three slots were overwritten undrained.
+  EXPECT_EQ(dropped->value() - before, 3u);
+}
+#endif  // !defined(LAXML_METRICS_DISABLED)
+
+TEST(Trace, ChromeJsonCarriesTraceIdArgs) {
+  TraceDump dump;
+  dump.names = {"span"};
+  dump.events.push_back({1, 0, 10, 5, 77});
+  dump.events.push_back({1, 0, 20, 5, 0});
+  std::string json = dump.ToChromeJson();
+  EXPECT_NE(json.find("\"args\":{\"trace_id\":77}"), std::string::npos);
+  // The unattributed event carries no args block: exactly one.
+  size_t first = json.find("\"args\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(json.find("\"args\"", first + 1), std::string::npos);
 }
 
 TEST(Trace, ScopedSpanLandsInGlobalTracer) {

@@ -1,0 +1,166 @@
+// Tests for the per-request accounting context (obs/request_context):
+// thread-local install/uninstall and nesting, attribution through the
+// LAXML_RC_* macros, the engine hooks (cursor tokens, buffer-pool
+// pins/misses, WAL bytes, index hits) actually crediting the installed
+// context, and the counters' JSON rendering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "concurrency/shared_store.h"
+#include "obs/request_context.h"
+#include "query/xpath_eval.h"
+#include "store/store.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace obs {
+namespace {
+
+using laxml::testing::MustFragment;
+
+#if !defined(LAXML_TRACING_DISABLED)
+
+TEST(RequestContext, InstallNestRestore) {
+  EXPECT_EQ(CurrentRequestContext(), nullptr);
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  RequestContext outer;
+  outer.trace_id = 7;
+  {
+    ScopedRequestContext a(&outer);
+    EXPECT_EQ(CurrentRequestContext(), &outer);
+    EXPECT_EQ(CurrentTraceId(), 7u);
+    RequestContext inner;
+    inner.trace_id = 9;
+    {
+      ScopedRequestContext b(&inner);
+      EXPECT_EQ(CurrentRequestContext(), &inner);
+      EXPECT_EQ(CurrentTraceId(), 9u);
+      LAXML_RC_ADD(tokens_scanned, 3);
+    }
+    EXPECT_EQ(CurrentRequestContext(), &outer);
+    EXPECT_EQ(inner.counters.tokens_scanned, 3u);
+    EXPECT_EQ(outer.counters.tokens_scanned, 0u);
+  }
+  EXPECT_EQ(CurrentRequestContext(), nullptr);
+}
+
+TEST(RequestContext, MacrosAreNoOpsWithoutContext) {
+  // Must not crash or leak into a later context.
+  LAXML_RC_ADD(pages_pinned, 5);
+  LAXML_RC_SET_PLAN("stream-scan");
+  RequestContext rc;
+  ScopedRequestContext scoped(&rc);
+  EXPECT_EQ(rc.counters.pages_pinned, 0u);
+  EXPECT_EQ(rc.plan, nullptr);
+}
+
+TEST(RequestContext, ContextIsPerThread) {
+  RequestContext rc;
+  ScopedRequestContext scoped(&rc);
+  RequestContext* seen_on_other_thread = &rc;
+  std::thread t([&] { seen_on_other_thread = CurrentRequestContext(); });
+  t.join();
+  EXPECT_EQ(seen_on_other_thread, nullptr);
+  EXPECT_EQ(CurrentRequestContext(), &rc);
+}
+
+TEST(RequestContext, LatchWaitHelpersSkipClockWithoutContext) {
+  EXPECT_EQ(RequestLatchWaitBegin(), 0u);
+  RequestLatchWaitEnd(0);  // no-op, no crash
+
+  RequestContext rc;
+  ScopedRequestContext scoped(&rc);
+  const uint64_t begin = RequestLatchWaitBegin();
+  EXPECT_GT(begin, 0u);
+  RequestLatchWaitEnd(begin);
+  // Wall time passed is tiny but non-negative; the field moved or
+  // stayed zero, never underflowed.
+  EXPECT_LT(rc.counters.latch_wait_us, 1000000u);
+}
+
+TEST(RequestContext, QueryExecutionAttributesWork) {
+  StoreOptions options;
+  options.structural_index = StructuralIndexMode::kLazy;
+  ASSERT_OK_AND_ASSIGN(auto store, Store::OpenInMemory(options));
+  ASSERT_LAXML_OK(store
+                      ->InsertTopLevel(MustFragment(
+                          "<a><b>one</b><b>two</b><c>three</c></a>"))
+                      .status());
+
+  RequestContext cold;
+  {
+    ScopedRequestContext scoped(&cold);
+    XPathEvaluator eval(store.get());
+    ASSERT_LAXML_OK(eval.Evaluate("//a//b").status());
+  }
+  // The cold pass scanned tokens and missed the structural index.
+  EXPECT_GT(cold.counters.tokens_scanned, 0u);
+  EXPECT_EQ(cold.counters.structural_index_misses, 1u);
+  EXPECT_EQ(cold.counters.structural_index_hits, 0u);
+  ASSERT_NE(cold.plan, nullptr);
+  EXPECT_STREQ(cold.plan, "stream-scan");
+
+  RequestContext warm;
+  {
+    ScopedRequestContext scoped(&warm);
+    XPathEvaluator eval(store.get());
+    ASSERT_LAXML_OK(eval.Evaluate("//a//b").status());
+  }
+  EXPECT_EQ(warm.counters.structural_index_hits, 1u);
+  ASSERT_NE(warm.plan, nullptr);
+  EXPECT_STREQ(warm.plan, "structural-join");
+  // The join never touches the token stream.
+  EXPECT_EQ(warm.counters.tokens_scanned, 0u);
+}
+
+TEST(RequestContext, WalBytesAttributedThroughSharedStore) {
+  testing::TempFile db("rc_wal");
+  StoreOptions options;
+  options.enable_wal = true;
+  ASSERT_OK_AND_ASSIGN(auto opened, Store::Open(db.path(), options));
+  SharedStore shared(std::move(opened));
+
+  RequestContext rc;
+  {
+    ScopedRequestContext scoped(&rc);
+    ASSERT_LAXML_OK(
+        shared.InsertTopLevel(MustFragment("<doc>payload</doc>")).status());
+  }
+  EXPECT_GT(rc.counters.wal_bytes, 0u);
+
+  // A second mutation outside any context credits nobody.
+  const uint64_t before = rc.counters.wal_bytes;
+  ASSERT_LAXML_OK(
+      shared.InsertTopLevel(MustFragment("<doc>more</doc>")).status());
+  EXPECT_EQ(rc.counters.wal_bytes, before);
+}
+
+#endif  // !defined(LAXML_TRACING_DISABLED)
+
+TEST(RequestCounters, AppendJsonShape) {
+  RequestCounters c;
+  c.tokens_scanned = 1;
+  c.pages_pinned = 2;
+  c.pages_missed = 3;
+  c.latch_wait_us = 4;
+  c.wal_bytes = 5;
+  c.partial_index_hits = 6;
+  c.partial_index_misses = 7;
+  c.structural_index_hits = 8;
+  c.structural_index_misses = 9;
+  std::string out;
+  c.AppendJson(&out);
+  EXPECT_EQ(out,
+            "{\"tokens_scanned\":1,\"pages_pinned\":2,\"pages_missed\":3,"
+            "\"latch_wait_us\":4,\"wal_bytes\":5,\"partial_index_hits\":6,"
+            "\"partial_index_misses\":7,\"structural_index_hits\":8,"
+            "\"structural_index_misses\":9}");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace laxml

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -15,6 +16,7 @@
 
 #include "common/random.h"
 #include "net/client.h"
+#include "obs/trace.h"
 #include "server/server.h"
 #include "store/store.h"
 #include "test_util.h"
@@ -323,6 +325,121 @@ TEST(ServerClientTest, BatchWithDependentOps) {
   expected.insert(expected.end() - 1, item.begin(), item.end());
   EXPECT_EQ(resps[2].tokens, expected);
   server->Shutdown();
+}
+
+TEST(ServerClientTest, ExplainOverTheWire) {
+  auto server = MustStartServer();
+  auto client = MustConnect(server->port());
+  ASSERT_OK_AND_ASSIGN(
+      NodeId root,
+      client->InsertTopLevel(testing::MustFragment(
+          "<r><a><b>x</b></a><a><b>y</b></a></r>")));
+  (void)root;
+
+  // Cold: the lazy index has memoized nothing, so the planner would
+  // stream-scan — and EXPLAIN says so without executing.
+  ASSERT_OK_AND_ASSIGN(std::string cold, client->Explain("//a//b"));
+  EXPECT_NE(cold.find("\"plan\":\"stream-scan\""), std::string::npos)
+      << cold;
+  EXPECT_NE(cold.find("\"query\":\"//a//b\""), std::string::npos);
+  EXPECT_EQ(cold.find("\"profile\""), std::string::npos);
+
+  // Execute once; the same path is now warm and EXPLAIN flips.
+  ASSERT_OK_AND_ASSIGN(std::vector<NodeId> hits, client->XPath("//a//b"));
+  EXPECT_EQ(hits.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(std::string warm, client->Explain("//a//b"));
+  EXPECT_NE(warm.find("\"plan\":\"structural-join\""), std::string::npos)
+      << warm;
+  EXPECT_NE(warm.find("\"warm\":true"), std::string::npos);
+
+  // Profile mode executes and embeds timing + resource counters.
+  ASSERT_OK_AND_ASSIGN(std::string profile,
+                       client->Explain("//a//b", /*profile=*/true));
+  EXPECT_NE(profile.find("\"profile\":{"), std::string::npos) << profile;
+  EXPECT_NE(profile.find("\"elapsed_us\":"), std::string::npos);
+  EXPECT_NE(profile.find("\"results\":2"), std::string::npos);
+  EXPECT_NE(profile.find("\"counters\":{"), std::string::npos);
+
+  // Parse errors come back as the usual Status, connection intact.
+  EXPECT_TRUE(client->Explain("///[[[").status().IsParseError());
+  ASSERT_LAXML_OK(client->Ping());
+  server->Shutdown();
+}
+
+#if !defined(LAXML_TRACING_DISABLED)
+TEST(ServerClientTest, TraceIdStitchesClientAndServerSpans) {
+  auto server = MustStartServer();
+  auto client = MustConnect(server->port());
+  ASSERT_OK_AND_ASSIGN(
+      NodeId root,
+      client->InsertTopLevel(testing::MustFragment("<t><u>1</u></t>")));
+  (void)root;
+
+  // Client and server run in one process here, so the global tracer
+  // sees both sides' rings; the distinctive trace id is the join key.
+  const uint64_t kTraceId = 0x7e57ab1eULL;
+  client->set_trace_id(kTraceId);
+  ASSERT_OK_AND_ASSIGN(std::vector<NodeId> hits, client->XPath("//u"));
+  EXPECT_EQ(hits.size(), 1u);
+  client->set_trace_id(0);
+
+  obs::TraceDump dump = obs::Tracer::Global().Collect();
+  bool saw_client = false;
+  bool saw_server = false;
+  for (const obs::TraceEvent& ev : dump.events) {
+    if (ev.trace_id != kTraceId) continue;
+    const std::string& name = dump.names[ev.name_id];
+    if (name == "CLIENT_CALL") saw_client = true;
+    if (name == "XPATH") saw_server = true;
+  }
+  EXPECT_TRUE(saw_client);
+  EXPECT_TRUE(saw_server);
+  server->Shutdown();
+}
+#endif  // !defined(LAXML_TRACING_DISABLED)
+
+TEST(ServerClientTest, SlowLogRecordsSlowOps) {
+  testing::TempFile log_file("server_slow_log");
+  ServerOptions options;
+  options.slow_op_micros = 1;  // everything is slow
+  options.slow_log_path = log_file.path();
+  auto server = MustStartServer(options);
+  auto client = MustConnect(server->port());
+
+  const uint64_t kTraceId = 424243;
+  client->set_trace_id(kTraceId);
+  ASSERT_OK_AND_ASSIGN(
+      NodeId root,
+      client->InsertTopLevel(testing::MustFragment("<s><q>z</q></s>")));
+  (void)root;
+  ASSERT_OK_AND_ASSIGN(std::vector<NodeId> hits, client->XPath("//q"));
+  EXPECT_EQ(hits.size(), 1u);
+  server->Shutdown();
+
+  std::FILE* f = std::fopen(log_file.path().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  // Both ops crossed the 1us threshold; the XPath entry carries the
+  // query text, the chosen plan, the trace id, and resource counters.
+  EXPECT_NE(text.find("\"op\":\"INSERT_TOP_LEVEL\""), std::string::npos)
+      << text;
+  size_t xpath_pos = text.find("\"op\":\"XPATH\"");
+  ASSERT_NE(xpath_pos, std::string::npos) << text;
+  std::string line = text.substr(text.rfind('\n', xpath_pos) + 1);
+  line = line.substr(0, line.find('\n'));
+  EXPECT_NE(line.find("\"query\":\"//q\""), std::string::npos) << line;
+#if !defined(LAXML_TRACING_DISABLED)
+  EXPECT_NE(line.find("\"plan\":\"stream-scan\""), std::string::npos);
+#endif
+  EXPECT_NE(line.find("\"trace_id\":424243"), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(line.find("\"counters\":{\"tokens_scanned\":"),
+            std::string::npos);
 }
 
 TEST(ServerClientTest, OversizedFrameClosesConnection) {

@@ -1,0 +1,187 @@
+// Tests for the structured slow-query log (obs/slow_log): the JSONL
+// entry format (schema fields, escaping, counter embedding), append
+// semantics (append-only across reopen, disabled-log no-ops), and
+// line integrity under concurrent writers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/slow_log.h"
+#include "test_util.h"
+
+namespace laxml {
+namespace obs {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;  // JSONL: every line terminated
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+TEST(SlowLogFormat, SchemaFieldsAlwaysPresent) {
+  SlowQueryLog::Entry entry;
+  entry.unix_micros = 1234567;
+  entry.op = "XPATH";
+  entry.request_id = 42;
+  entry.trace_id = 99;
+  entry.query = "//a//b";
+  entry.plan = "stream-scan";
+  entry.status = "OK";
+  entry.elapsed_us = 1500;
+  entry.counters.tokens_scanned = 10;
+  std::string line = SlowQueryLog::FormatEntry(entry);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"unix_us\":1234567"), std::string::npos);
+  EXPECT_NE(line.find("\"op\":\"XPATH\""), std::string::npos);
+  EXPECT_NE(line.find("\"request_id\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"trace_id\":99"), std::string::npos);
+  EXPECT_NE(line.find("\"query\":\"//a//b\""), std::string::npos);
+  EXPECT_NE(line.find("\"plan\":\"stream-scan\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(line.find("\"elapsed_us\":1500"), std::string::npos);
+  EXPECT_NE(line.find("\"counters\":{\"tokens_scanned\":10"),
+            std::string::npos);
+  // One line, no embedded newlines.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+}
+
+TEST(SlowLogFormat, NullPlanRendersAsNone) {
+  SlowQueryLog::Entry entry;
+  entry.unix_micros = 1;
+  EXPECT_NE(SlowQueryLog::FormatEntry(entry).find("\"plan\":\"none\""),
+            std::string::npos);
+}
+
+TEST(SlowLogFormat, QueryAndStatusAreJsonEscaped) {
+  SlowQueryLog::Entry entry;
+  entry.unix_micros = 1;
+  entry.query = "//a[@x=\"y\"]\\\n";
+  entry.status = "error: \"quoted\"";
+  std::string line = SlowQueryLog::FormatEntry(entry);
+  EXPECT_NE(line.find("\"query\":\"//a[@x=\\\"y\\\"]\\\\\\u000a\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"error: \\\"quoted\\\"\""),
+            std::string::npos);
+  // The escaped newline never split the line.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+}
+
+TEST(SlowLog, DisabledLogIsANoOp) {
+  SlowQueryLog log;
+  EXPECT_FALSE(log.enabled());
+  SlowQueryLog::Entry entry;
+  entry.op = "PING";
+  log.Append(entry);  // must not crash
+}
+
+TEST(SlowLog, AppendsAndStampsTime) {
+  testing::TempFile file("slow_log");
+  SlowQueryLog log;
+  ASSERT_LAXML_OK(log.Open(file.path()));
+  EXPECT_TRUE(log.enabled());
+
+  SlowQueryLog::Entry entry;
+  entry.op = "XPATH";
+  entry.query = "//x";
+  entry.status = "OK";
+  log.Append(entry);  // unix_micros == 0: stamped at append time
+
+  std::vector<std::string> lines = Lines(ReadAll(file.path()));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"op\":\"XPATH\""), std::string::npos);
+  // Stamped with a plausible wall clock (after 2020-01-01).
+  EXPECT_EQ(lines[0].find("\"unix_us\":0,"), std::string::npos);
+}
+
+TEST(SlowLog, ReopenAppendsRatherThanTruncates) {
+  testing::TempFile file("slow_log_reopen");
+  SlowQueryLog::Entry entry;
+  entry.unix_micros = 1;
+  entry.op = "PING";
+  entry.status = "OK";
+  {
+    SlowQueryLog log;
+    ASSERT_LAXML_OK(log.Open(file.path()));
+    log.Append(entry);
+  }
+  {
+    SlowQueryLog log;
+    ASSERT_LAXML_OK(log.Open(file.path()));
+    log.Append(entry);
+  }
+  EXPECT_EQ(Lines(ReadAll(file.path())).size(), 2u);
+}
+
+TEST(SlowLog, ConcurrentAppendsKeepLinesIntact) {
+  testing::TempFile file("slow_log_mt");
+  SlowQueryLog log;
+  ASSERT_LAXML_OK(log.Open(file.path()));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SlowQueryLog::Entry entry;
+        entry.unix_micros = 1;
+        entry.op = "XPATH";
+        entry.request_id = static_cast<uint64_t>(t * kPerThread + i);
+        entry.query = "//thread/" + std::to_string(t);
+        entry.status = "OK";
+        log.Append(entry);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<std::string> lines = Lines(ReadAll(file.path()));
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (const std::string& line : lines) {
+    // Every line is a complete entry: starts a JSON object, carries the
+    // schema keys, never interleaved with another writer's bytes.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"op\":\"XPATH\""), std::string::npos);
+    EXPECT_NE(line.find("\"query\":\"//thread/"), std::string::npos);
+  }
+}
+
+TEST(SlowLog, OpenFailureLeavesLogDisabled) {
+  SlowQueryLog log;
+  EXPECT_FALSE(log.Open("/nonexistent_dir_xyz/slow.jsonl").ok());
+  EXPECT_FALSE(log.enabled());
+}
+
+TEST(UnixMicros, LooksLikeWallClock) {
+  const uint64_t us = UnixMicros();
+  // After 2020-01-01 and before 2100-01-01, in microseconds.
+  EXPECT_GT(us, 1577836800ull * 1000000ull);
+  EXPECT_LT(us, 4102444800ull * 1000000ull);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace laxml

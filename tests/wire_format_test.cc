@@ -109,6 +109,101 @@ TEST(WireFormatTest, GetMetricsCarriesFormatAndText) {
   EXPECT_TRUE(DecodeRequest(Slice(short_body)).status().IsCorruption());
 }
 
+TEST(WireFormatTest, TraceIdTravelsViaOpcodeFlag) {
+  // trace_id == 0 (the default) encodes byte-identically to the
+  // pre-trace wire format: no flag bit, no extra varint.
+  Request plain;
+  plain.op = OpCode::kXPath;
+  plain.request_id = 5;
+  plain.expr = "//a";
+  std::vector<uint8_t> plain_wire;
+  EncodeRequest(plain, &plain_wire);
+  {
+    auto frame = TryDecodeFrame(Slice(plain_wire));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->body[0] & kTraceRequestFlag, 0);
+  }
+  EXPECT_EQ(MustRoundTrip(plain).trace_id, 0u);
+
+  // A nonzero trace id sets the flag bit and round-trips, for every
+  // opcode.
+  for (uint8_t raw = 0; raw <= kMaxOpCode; ++raw) {
+    Request req;
+    req.op = static_cast<OpCode>(raw);
+    req.request_id = 6;
+    req.trace_id = 0xDEADBEEFull + raw;
+    req.expr = "//a";
+    req.data = SampleFragment();
+    std::vector<uint8_t> wire;
+    EncodeRequest(req, &wire);
+    auto frame = TryDecodeFrame(Slice(wire));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_NE(frame->body[0] & kTraceRequestFlag, 0) << OpCodeName(req.op);
+    Request back = MustRoundTrip(req);
+    EXPECT_EQ(back.op, req.op);
+    EXPECT_EQ(back.trace_id, req.trace_id) << OpCodeName(req.op);
+  }
+}
+
+TEST(WireFormatTest, TracedRequestMalformedVariants) {
+  {
+    // Flag set but no trace id varint after the request id.
+    std::vector<uint8_t> body = {
+        static_cast<uint8_t>(static_cast<uint8_t>(OpCode::kPing) |
+                             kTraceRequestFlag),
+        1};
+    EXPECT_TRUE(DecodeRequest(Slice(body)).status().IsCorruption());
+  }
+  {
+    // Flag set with an explicit zero trace id: the encoder never emits
+    // this (zero means "untraced, no varint"), so it is Corruption.
+    std::vector<uint8_t> body = {
+        static_cast<uint8_t>(static_cast<uint8_t>(OpCode::kPing) |
+                             kTraceRequestFlag),
+        1, 0};
+    EXPECT_TRUE(DecodeRequest(Slice(body)).status().IsCorruption());
+  }
+  {
+    // Flag on an out-of-range base opcode still rejects.
+    std::vector<uint8_t> body = {
+        static_cast<uint8_t>((kMaxOpCode + 1) | kTraceRequestFlag), 1, 9};
+    EXPECT_TRUE(DecodeRequest(Slice(body)).status().IsCorruption());
+  }
+}
+
+TEST(WireFormatTest, ExplainCarriesModeAndExpr) {
+  for (ExplainMode mode : {ExplainMode::kPlan, ExplainMode::kProfile}) {
+    Request req;
+    req.op = OpCode::kExplain;
+    req.request_id = 31;
+    req.explain_mode = mode;
+    req.expr = "//a//b";
+    Request back = MustRoundTrip(req);
+    EXPECT_EQ(back.op, OpCode::kExplain);
+    EXPECT_EQ(back.explain_mode, mode);
+    EXPECT_EQ(back.expr, req.expr);
+  }
+  // The response reuses the text field (JSON payload).
+  Response resp;
+  resp.op = OpCode::kExplain;
+  resp.request_id = 32;
+  resp.text = "{\"plan\":\"stream-scan\"}";
+  Response back = MustRoundTrip(resp);
+  EXPECT_EQ(back.text, resp.text);
+
+  {
+    // Unknown mode byte is Corruption.
+    std::vector<uint8_t> body = {static_cast<uint8_t>(OpCode::kExplain), 1,
+                                 9, '/', '/', 'a'};
+    EXPECT_TRUE(DecodeRequest(Slice(body)).status().IsCorruption());
+  }
+  {
+    // Missing mode byte entirely.
+    std::vector<uint8_t> body = {static_cast<uint8_t>(OpCode::kExplain), 1};
+    EXPECT_TRUE(DecodeRequest(Slice(body)).status().IsCorruption());
+  }
+}
+
 TEST(WireFormatTest, ResponseRoundTripValueFields) {
   {
     Response resp;

@@ -20,6 +20,11 @@
 //   delete <id>
 //   read [id]                    whole store / one subtree, as XML
 //   xpath <expr>                 matching node ids
+//   explain [--profile] <expr>   the planner's verdict as JSON —
+//                                plan kind, per-step index warmth,
+//                                eligibility gate; --profile also
+//                                executes and appends timing +
+//                                resource counters
 //   stats                        server + store counters
 //   metrics [--prom]             full metrics exposition (table, or
 //                                Prometheus text format with --prom)
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "obs/trace.h"
 #include "xml/serializer.h"
 #include "xml/tokenizer.h"
 
@@ -45,11 +51,17 @@ using laxml::net::Client;
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host H] [--port N] [command args...]\n"
+               "usage: %s [--host H] [--port N] [--trace-id N]\n"
+               "       [--trace-out FILE] [command args...]\n"
                "With no command, reads one command per line from stdin.\n"
                "Commands: ping, load, insert-before, insert-after,\n"
                "insert-first, insert-last, replace, replace-content,\n"
-               "delete, read, xpath, stats, metrics [--prom], check\n",
+               "delete, read, xpath, explain [--profile], stats,\n"
+               "metrics [--prom], check\n"
+               "--trace-id N stamps every request with trace id N (see\n"
+               "laxml_trace --trace-id); --trace-out FILE dumps this\n"
+               "client's own spans at exit for merging with the\n"
+               "server's dump.\n",
                argv0);
 }
 
@@ -172,6 +184,19 @@ bool RunCommand(Client* client, const std::string& line) {
     std::printf("\n");
     return true;
   }
+  if (cmd.verb == "explain") {
+    bool profile = cmd.arg1 == "--profile";
+    std::string expr = profile ? cmd.rest : cmd.arg1;
+    if (!profile && !cmd.rest.empty()) expr += " " + cmd.rest;
+    if (expr.empty()) {
+      std::printf("error: 'explain' needs [--profile] <xpath>\n");
+      return false;
+    }
+    auto json = client->Explain(expr, profile);
+    if (!json.ok()) return fail(json.status());
+    std::printf("%s\n", json->c_str());
+    return true;
+  }
   if (cmd.verb == "stats") {
     auto text = client->GetStats();
     if (!text.ok()) return fail(text.status());
@@ -205,6 +230,8 @@ bool RunCommand(Client* client, const std::string& line) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   long port = 4891;
+  unsigned long long trace_id = 0;
+  std::string trace_out;
   int i = 1;
   for (; i < argc; ++i) {
     const char* arg = argv[i];
@@ -217,6 +244,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: bad port\n", argv[0]);
         return 2;
       }
+    } else if (std::strcmp(arg, "--trace-id") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      trace_id = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || trace_id == 0) {
+        std::fprintf(stderr, "%s: bad --trace-id (nonzero integer)\n",
+                     argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
       Usage(argv[0]);
       return 0;
@@ -235,6 +272,15 @@ int main(int argc, char** argv) {
                  client.status().ToString().c_str());
     return 1;
   }
+  if (trace_id != 0) client->get()->set_trace_id(trace_id);
+  auto dump_trace = [&]() {
+    if (trace_out.empty()) return;
+    laxml::Status st = laxml::obs::Tracer::Global().DumpBinary(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: trace dump: %s\n", argv[0],
+                   st.ToString().c_str());
+    }
+  };
 
   if (i < argc) {
     std::string line;
@@ -242,7 +288,9 @@ int main(int argc, char** argv) {
       if (!line.empty()) line += " ";
       line += argv[i];
     }
-    return RunCommand(client->get(), line) ? 0 : 1;
+    bool ok = RunCommand(client->get(), line);
+    dump_trace();
+    return ok ? 0 : 1;
   }
 
   bool all_ok = true;
@@ -253,5 +301,6 @@ int main(int argc, char** argv) {
     if (start == std::string::npos || line[start] == '#') continue;
     if (!RunCommand(client->get(), line.substr(start))) all_ok = false;
   }
+  dump_trace();
   return all_ok ? 0 : 1;
 }

@@ -50,6 +50,8 @@ void Usage(const char* argv0) {
       "                    committers share one fsync)\n"
       "  --pool-frames N   buffer pool frames (default 4096)\n"
       "  --slow-op-us N    log any request served in >= N microseconds\n"
+      "  --slow-log FILE   append slow ops (same threshold) as JSONL —\n"
+      "                    query, plan, resource counters, trace id\n"
       "  --trace-out FILE  write the engine trace (binary; render with\n"
       "                    laxml_trace) at shutdown and on SIGUSR1\n"
       "  -h, --help        this message\n",
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
   long threads = 4;
   long pool_frames = 4096;
   long slow_op_us = 0;
+  std::string slow_log_path;
   std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +115,8 @@ int main(int argc, char** argv) {
       pool_frames = next_number(arg, 8);
     } else if (std::strcmp(arg, "--slow-op-us") == 0) {
       slow_op_us = next_number(arg, 0);
+    } else if (std::strcmp(arg, "--slow-log") == 0) {
+      slow_log_path = next_value(arg);
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       trace_out = next_value(arg);
     } else if (std::strcmp(arg, "-h") == 0 ||
@@ -159,6 +164,12 @@ int main(int argc, char** argv) {
   server_options.port = static_cast<uint16_t>(port);
   server_options.num_workers = static_cast<int>(threads);
   server_options.slow_op_micros = static_cast<uint64_t>(slow_op_us);
+  server_options.slow_log_path = slow_log_path;
+  if (!slow_log_path.empty() && slow_op_us == 0) {
+    std::fprintf(stderr, "%s: --slow-log needs --slow-op-us > 0\n",
+                 argv[0]);
+    return 2;
+  }
   auto server =
       laxml::Server::Start(std::move(store).value(), server_options);
   if (!server.ok()) {

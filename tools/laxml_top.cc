@@ -1,6 +1,7 @@
 // laxml_top: live terminal view of a running laxml_server's metrics.
 //
 //   laxml_top [--host H] [--port N] [--interval-ms N] [--iterations N]
+//             [--slow-log FILE]
 //
 // Polls the kGetMetrics op in Prometheus format, parses the flat
 // name/value lines, and repaints a screenful every interval: server
@@ -8,6 +9,14 @@
 // sync latency, index hit rates, and the store's range/node levels.
 // Counter rows show a per-second rate computed from consecutive
 // samples; gauge rows show the level as-is.
+//
+// --slow-log FILE tails the server's structured slow-query log (the
+// file given to laxml_server --slow-log) and shows the most recent
+// entries — query, plan, elapsed time — as a bottom pane.
+//
+// A lost connection (server restart) is not fatal: laxml_top keeps
+// retrying with exponential backoff and resumes painting when the
+// server is back (rate windows restart from the reconnect).
 //
 // --iterations N exits after N repaints (scripts/CI use 1); --raw
 // skips the ANSI clear so output can be piped.
@@ -18,6 +27,7 @@
 #include <ctime>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "net/client.h"
 
@@ -29,9 +39,10 @@ using laxml::net::MetricsFormat;
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--interval-ms N]\n"
-               "          [--iterations N] [--raw]\n"
+               "          [--iterations N] [--slow-log FILE] [--raw]\n"
                "Live metrics view of a running laxml_server (kGetMetrics\n"
-               "poller). --iterations 1 --raw prints one sample and exits.\n",
+               "poller). --iterations 1 --raw prints one sample and exits.\n"
+               "--slow-log FILE tails the server's slow-query JSONL log.\n",
                argv0);
 }
 
@@ -82,8 +93,87 @@ double HitPct(const Sample& prev, const Sample& cur,
   return 100.0 * dh / dl;
 }
 
+/// Pulls the value of `"key":"..."` out of one JSONL slow-log line
+/// ("" when absent). No unescaping beyond stopping at the closing
+/// quote — good enough for a glanceable pane.
+std::string JsonField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  std::string out;
+  for (size_t i = at + needle.size(); i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out += line[++i];
+      continue;
+    }
+    if (line[i] == '"') break;
+    out += line[i];
+  }
+  return out;
+}
+
+/// Pulls the value of `"key":N` (0.0 when absent).
+double JsonNumber(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+/// The last `limit` lines of the slow-query log (reads only the file
+/// tail, so a long-lived log stays cheap to poll).
+std::vector<std::string> TailLines(const std::string& path, size_t limit) {
+  std::vector<std::string> lines;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return lines;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  const long want = 16 * 1024;
+  const long start = size > want ? size - want : 0;
+  std::fseek(f, start, SEEK_SET);
+  std::string buf(static_cast<size_t>(size - start), '\0');
+  const size_t got = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  buf.resize(got);
+  size_t pos = 0;
+  while (pos < buf.size()) {
+    size_t eol = buf.find('\n', pos);
+    if (eol == std::string::npos) eol = buf.size();
+    if (eol > pos) lines.emplace_back(buf.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  // A truncated first line (mid-file seek) is dropped unless the read
+  // started at offset 0.
+  if (start > 0 && !lines.empty()) lines.erase(lines.begin());
+  if (lines.size() > limit) {
+    lines.erase(lines.begin(),
+                lines.begin() + static_cast<long>(lines.size() - limit));
+  }
+  return lines;
+}
+
+void PaintSlowQueries(const std::string& path) {
+  std::printf("\nrecent slow queries (%s)\n", path.c_str());
+  const std::vector<std::string> lines = TailLines(path, 5);
+  if (lines.empty()) {
+    std::printf("  (none)\n");
+    return;
+  }
+  for (const std::string& line : lines) {
+    std::string query = JsonField(line, "query");
+    if (query.empty()) query = "-";
+    if (query.size() > 32) query = query.substr(0, 29) + "...";
+    std::string plan = JsonField(line, "plan");
+    if (plan.empty()) plan = "-";
+    std::printf("  %9.0fus  %-8s %-15s %s\n",
+                JsonNumber(line, "elapsed_us"),
+                JsonField(line, "op").c_str(), plan.c_str(),
+                query.c_str());
+  }
+}
+
 void Paint(const Sample& prev, const Sample& cur, double dt_sec,
-           bool first) {
+           bool first, const std::string& slow_log_path) {
   std::printf("laxml_top — %.1fs window\n", first ? 0.0 : dt_sec);
   std::printf("\nserver\n");
   double req_delta = 0.0;
@@ -167,6 +257,15 @@ void Paint(const Sample& prev, const Sample& cur, double dt_sec,
   std::printf("  %-28s %10.0f\n", "partial index entries",
               Get(cur, "laxml_partial_index_entries"));
 
+  std::printf("\nobservability\n");
+  // Span loss: rings overwrote undrained slots. Nonzero and growing
+  // means the trace window is shorter than the dump interval.
+  std::printf("  %-28s %10.0f  (%.1f /s)\n", "trace ring dropped",
+              Get(cur, "laxml_trace_ring_dropped_total"),
+              Rate(prev, cur, "laxml_trace_ring_dropped_total", dt_sec));
+  std::printf("  %-28s %10.0f\n", "slow ops",
+              Get(cur, "laxml_server_slow_ops_total"));
+
   std::printf("\nstore\n");
   std::printf("  %-28s %10.0f\n", "ranges", Get(cur, "laxml_store_ranges"));
   std::printf("  %-28s %10.0f\n", "live nodes",
@@ -175,6 +274,7 @@ void Paint(const Sample& prev, const Sample& cur, double dt_sec,
               Rate(prev, cur, "laxml_range_splits_total", dt_sec));
   std::printf("  %-28s %10.0f\n", "pool dirty frames",
               Get(cur, "laxml_pool_dirty_frames"));
+  if (!slow_log_path.empty()) PaintSlowQueries(slow_log_path);
   std::fflush(stdout);
 }
 
@@ -185,6 +285,11 @@ uint64_t NowMillis() {
          static_cast<uint64_t>(ts.tv_nsec) / 1'000'000u;
 }
 
+void SleepMillis(long ms) {
+  timespec nap{ms / 1000, (ms % 1000) * 1'000'000L};
+  ::nanosleep(&nap, nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,6 +298,7 @@ int main(int argc, char** argv) {
   long interval_ms = 1000;
   long iterations = -1;  // forever
   bool raw = false;
+  std::string slow_log_path;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -217,6 +323,8 @@ int main(int argc, char** argv) {
       interval_ms = next_number(arg, 10);
     } else if (std::strcmp(arg, "--iterations") == 0) {
       iterations = next_number(arg, 1);
+    } else if (std::strcmp(arg, "--slow-log") == 0 && i + 1 < argc) {
+      slow_log_path = argv[++i];
     } else if (std::strcmp(arg, "--raw") == 0) {
       raw = true;
     } else if (std::strcmp(arg, "-h") == 0 ||
@@ -241,29 +349,58 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Redial policy after a lost connection (server restart): exponential
+  // backoff, unbounded when watching forever, bounded for finite
+  // (scripted) runs so a dead server cannot hang CI.
+  laxml::net::ClientOptions redial;
+  redial.connect_attempts = 1;
+  const int max_redials = iterations >= 0 ? 10 : -1;
+
   Sample prev;
   uint64_t prev_ms = NowMillis();
   bool first = true;
   for (long n = 0; iterations < 0 || n < iterations; ++n) {
     auto text = (*client)->GetMetrics(MetricsFormat::kPrometheus);
     if (!text.ok()) {
-      std::fprintf(stderr, "%s: %s\n", argv[0],
-                   text.status().ToString().c_str());
-      return 1;
+      std::fprintf(stderr, "%s: lost server (%s); reconnecting\n",
+                   argv[0], text.status().ToString().c_str());
+      long backoff_ms = 250;
+      int attempts = 0;
+      for (;;) {
+        SleepMillis(backoff_ms);
+        auto again =
+            Client::Connect(host, static_cast<uint16_t>(port), redial);
+        if (again.ok()) {
+          client = std::move(again);
+          break;
+        }
+        if (max_redials >= 0 && ++attempts >= max_redials) {
+          std::fprintf(stderr, "%s: gave up after %d attempts: %s\n",
+                       argv[0], attempts,
+                       again.status().ToString().c_str());
+          return 1;
+        }
+        if (backoff_ms < 5000) backoff_ms *= 2;
+      }
+      // The new server's counters restart from zero; restart the rate
+      // window rather than painting huge negative deltas as zeros.
+      prev.clear();
+      prev_ms = NowMillis();
+      first = true;
+      --n;
+      continue;
     }
     Sample cur = ParseExposition(*text);
     const uint64_t now_ms = NowMillis();
     const double dt_sec =
         static_cast<double>(now_ms - prev_ms) / 1000.0;
     if (!raw) std::printf("\x1b[H\x1b[2J");  // home + clear
-    Paint(prev, cur, dt_sec, first);
+    Paint(prev, cur, dt_sec, first, slow_log_path);
     prev = std::move(cur);
     prev_ms = now_ms;
     first = false;
     if (iterations >= 0 && n + 1 >= iterations) break;
-    timespec nap{interval_ms / 1000,
-                 (interval_ms % 1000) * 1'000'000L};
-    ::nanosleep(&nap, nullptr);
+    SleepMillis(interval_ms);
   }
   return 0;
 }

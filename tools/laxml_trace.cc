@@ -1,33 +1,46 @@
-// laxml_trace: renders a binary trace dump (laxml_server --trace-out,
-// or obs::Tracer::DumpBinary) as Chrome trace-event JSON.
+// laxml_trace: renders binary trace dumps (laxml_server --trace-out,
+// laxml_cli --trace-out, or obs::Tracer::DumpBinary) as Chrome
+// trace-event JSON.
 //
-//   laxml_trace <trace.bin> [-o out.json]
+//   laxml_trace <trace.bin> [trace2.bin ...] [--trace-id N] [-o out.json]
 //
 // Load the output in chrome://tracing (or https://ui.perfetto.dev) to
 // see the engine's spans — per-op server execution, WAL fsyncs, range
 // splits, store syncs — on a per-thread timeline.
+//
+// Multiple inputs are merged onto one timeline with distinct thread
+// lanes per dump (client + server dumps of the same run stitch into a
+// single trace). --trace-id keeps only the spans a request stamped with
+// that id (see net::Client::set_trace_id), which is how one pipelined
+// request's client and server spans are isolated from the noise.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "obs/trace.h"
 
 namespace {
 
 void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <trace.bin> [-o out.json]\n"
-               "Converts a laxml binary trace dump to Chrome\n"
-               "trace-event JSON (chrome://tracing, perfetto).\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <trace.bin> [more.bin ...] [--trace-id N] [-o out.json]\n"
+      "Converts laxml binary trace dumps to Chrome trace-event JSON\n"
+      "(chrome://tracing, perfetto). Multiple dumps merge onto one\n"
+      "timeline; --trace-id keeps only that request's spans.\n",
+      argv0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string in_path;
+  std::vector<std::string> in_paths;
   std::string out_path;
+  uint64_t trace_id = 0;
+  bool filter = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "-o") == 0) {
@@ -36,6 +49,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       out_path = argv[++i];
+    } else if (std::strcmp(arg, "--trace-id") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --trace-id needs a value\n", argv[0]);
+        return 2;
+      }
+      char* end = nullptr;
+      trace_id = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || trace_id == 0) {
+        std::fprintf(stderr, "%s: bad --trace-id (nonzero integer)\n",
+                     argv[0]);
+        return 2;
+      }
+      filter = true;
     } else if (std::strcmp(arg, "-h") == 0 ||
                std::strcmp(arg, "--help") == 0) {
       Usage(argv[0]);
@@ -44,25 +70,37 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
       Usage(argv[0]);
       return 2;
-    } else if (in_path.empty()) {
-      in_path = arg;
     } else {
-      Usage(argv[0]);
-      return 2;
+      in_paths.push_back(arg);
     }
   }
-  if (in_path.empty()) {
+  if (in_paths.empty()) {
     Usage(argv[0]);
     return 2;
   }
 
-  auto dump = laxml::obs::ReadTraceFile(in_path);
-  if (!dump.ok()) {
-    std::fprintf(stderr, "%s: %s\n", argv[0],
-                 dump.status().ToString().c_str());
-    return 1;
+  std::vector<laxml::obs::TraceDump> dumps;
+  dumps.reserve(in_paths.size());
+  for (const std::string& path : in_paths) {
+    auto dump = laxml::obs::ReadTraceFile(path);
+    if (!dump.ok()) {
+      std::fprintf(stderr, "%s: %s: %s\n", argv[0], path.c_str(),
+                   dump.status().ToString().c_str());
+      return 1;
+    }
+    dumps.push_back(std::move(dump).value());
   }
-  const std::string json = dump->ToChromeJson();
+  laxml::obs::TraceDump merged =
+      dumps.size() == 1 ? std::move(dumps.front())
+                        : laxml::obs::MergeTraceDumps(dumps);
+  if (filter) {
+    std::vector<laxml::obs::TraceEvent> kept;
+    for (const laxml::obs::TraceEvent& ev : merged.events) {
+      if (ev.trace_id == trace_id) kept.push_back(ev);
+    }
+    merged.events = std::move(kept);
+  }
+  const std::string json = merged.ToChromeJson();
 
   if (out_path.empty()) {
     std::fwrite(json.data(), 1, json.size(), stdout);
@@ -78,7 +116,7 @@ int main(int argc, char** argv) {
     std::fputc('\n', f);
     std::fclose(f);
     std::fprintf(stderr, "%s: wrote %zu events to %s\n", argv[0],
-                 dump->events.size(), out_path.c_str());
+                 merged.events.size(), out_path.c_str());
   }
   return 0;
 }
