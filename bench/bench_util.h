@@ -8,6 +8,8 @@
 #ifndef LAXML_BENCH_BENCH_UTIL_H_
 #define LAXML_BENCH_BENCH_UTIL_H_
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -168,6 +170,34 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::string> rows_;
 };
+
+/// On-disk size of a file in bytes (0 when it cannot be stat'ed).
+inline uint64_t FileSizeBytes(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+/// Stamps a report's meta with the store's storage footprint: effective
+/// encoded bytes per stored token and the on-disk file size. Every
+/// bench that opens a file-backed store should call this so
+/// BENCH_*.json deltas make compression regressions visible. `suffix`
+/// distinguishes multiple stores in one report ("_v1", "_v2", "").
+template <typename StoreT>
+void AddStorageMeta(JsonReport* report, const StoreT& store,
+                    const std::string& db_path,
+                    const std::string& suffix = "") {
+  const uint64_t payload = store.range_manager().total_payload_bytes();
+  const uint64_t tokens = store.range_manager().total_tokens();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                tokens > 0 ? static_cast<double>(payload) / tokens : 0.0);
+  report->AddMeta("bytes_per_token" + suffix, buf);
+  report->AddMeta("file_size_bytes" + suffix,
+                  std::to_string(FileSizeBytes(db_path)));
+  report->AddMeta("dict_symbols" + suffix,
+                  std::to_string(store.name_dictionary()->size()));
+}
 
 /// A temp database path removed on destruction (plus WAL sidecar).
 class TempDb {

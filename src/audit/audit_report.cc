@@ -71,6 +71,8 @@ const char* AuditLayerName(AuditLayer layer) {
       return "wal";
     case AuditLayer::kBufferPool:
       return "buffer-pool";
+    case AuditLayer::kDictionary:
+      return "dictionary";
   }
   return "?";
 }
@@ -134,6 +136,9 @@ std::string AuditReport::ToString() const {
          std::to_string(full_entries) + " full-index entries, " +
          std::to_string(wal_records) + " wal records, " +
          std::to_string(pages_swept) + " pages swept\n";
+  out += "dictionary: " + std::to_string(dict_symbols) + " symbol(s), " +
+         std::to_string(dict_symbols_used) + " referenced, " +
+         std::to_string(dict_garbage_symbols) + " garbage\n";
   if (wal_torn_tail_bytes > 0) {
     out += "note: " + std::to_string(wal_torn_tail_bytes) +
            " torn byte(s) at the log tail (recovery will trim them)\n";
@@ -161,6 +166,10 @@ std::string AuditReport::ToJson() const {
   out += ",\"wal_records\":" + std::to_string(wal_records);
   out += ",\"pages_swept\":" + std::to_string(pages_swept);
   out += ",\"wal_torn_tail_bytes\":" + std::to_string(wal_torn_tail_bytes);
+  out += "},\"dictionary\":{";
+  out += "\"symbols\":" + std::to_string(dict_symbols);
+  out += ",\"symbols_used\":" + std::to_string(dict_symbols_used);
+  out += ",\"garbage_symbols\":" + std::to_string(dict_garbage_symbols);
   out += "}}";
   return out;
 }

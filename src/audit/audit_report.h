@@ -34,6 +34,7 @@ enum class AuditLayer {
   kFullIndex,     ///< Eager NodeId -> location baseline.
   kWal,           ///< Write-ahead log records.
   kBufferPool,    ///< Pin accounting at quiesce.
+  kDictionary,    ///< Name dictionary vs the symbols payloads reference.
 };
 
 const char* AuditLayerName(AuditLayer layer);
@@ -74,6 +75,12 @@ struct AuditReport {
   uint64_t full_entries = 0;
   uint64_t wal_records = 0;
   uint64_t pages_swept = 0;
+  uint64_t dict_symbols = 0;       ///< Symbols in the name dictionary.
+  uint64_t dict_symbols_used = 0;  ///< Distinct symbols payloads reference.
+  /// Symbols present in the dictionary but referenced by no payload.
+  /// Harmless (decode never touches them) but reported so operators see
+  /// dictionary growth that deletes/compaction left behind.
+  uint64_t dict_garbage_symbols = 0;
   /// Trailing log bytes that stopped verifying (torn tail): a normal
   /// crash artifact the next recovery trims, NOT corruption. Reported
   /// as a counter so operators see it; never an issue.

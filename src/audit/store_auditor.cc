@@ -31,6 +31,8 @@ AuditReport StoreAuditor::Run(const AuditOptions& options) {
   report_ = AuditReport{};
   owners_.clear();
   heap_pages_.clear();
+  used_symbols_.clear();
+  range_walk_intact_ = false;
 
   // Pin accounting first: a leaked pin means some earlier operation
   // aborted mid-flight, which taints everything the other legs read.
@@ -39,6 +41,8 @@ AuditReport StoreAuditor::Run(const AuditOptions& options) {
   if (options_.check_btrees) AuditBTrees();
   if (options_.check_heap) AuditHeapAndOverflow();
   if (options_.check_range_layer) AuditRangeLayer();
+  // Needs the symbol references the range walk just collected.
+  if (options_.check_range_layer) AuditDictionary();
   if (options_.check_partial_index) AuditPartialIndex();
   if (options_.check_structural_index) AuditStructuralIndex();
   if (options_.check_wal) AuditWal();
@@ -113,6 +117,7 @@ void StoreAuditor::AuditRangeLayer() {
   uint64_t live_nodes = 0;
   int64_t depth = 0;
   bool chain_complete = true;
+  bool all_payloads_intact = true;
   // Interval starts seen on the chain, to detect range-index orphans.
   std::unordered_set<NodeId> chain_starts;
   std::unordered_set<RangeId> seen;
@@ -146,6 +151,7 @@ void StoreAuditor::AuditRangeLayer() {
       Add(AuditLayer::kRangeChain,
           "range payload unreadable: " + payload_r.status().ToString())
           .range = cur;
+      all_payloads_intact = false;
       prev = cur;
       cur = meta.next;
       continue;
@@ -159,8 +165,10 @@ void StoreAuditor::AuditRangeLayer() {
     }
 
     // One token walk checks nesting, counters, and (in full-index mode)
-    // every node's eager index entry.
-    TokenReader reader{Slice(payload)};
+    // every node's eager index entry. The reader carries the range's
+    // stamped codec, so a v2 payload referencing a symbol the dictionary
+    // does not hold fails right here as "token stream undecodable".
+    TokenReader reader{Slice(payload), rm.codec_for(meta)};
     uint64_t begins = 0;
     uint32_t tokens = 0;
     bool payload_intact = true;
@@ -168,6 +176,9 @@ void StoreAuditor::AuditRangeLayer() {
     while (!reader.AtEnd()) {
       size_t offset = reader.offset();
       Status st = reader.Skip(&type);
+      if (st.ok() && reader.last_name_symbol() != kNoNameSymbol) {
+        used_symbols_.insert(reader.last_name_symbol());
+      }
       if (!st.ok()) {
         AuditIssue& issue = Add(
             AuditLayer::kRangeChain,
@@ -176,6 +187,7 @@ void StoreAuditor::AuditRangeLayer() {
         issue.offset = offset;
         issue.has_offset = true;
         payload_intact = false;
+        all_payloads_intact = false;
         break;
       }
       Token probe;
@@ -231,7 +243,8 @@ void StoreAuditor::AuditRangeLayer() {
       }
       int32_t want_delta = 0, want_min = 0;
       Status st = ComputeDepthProfile(payload.data(), payload.size(),
-                                      &want_delta, &want_min);
+                                      rm.codec_for(meta), &want_delta,
+                                      &want_min);
       if (st.ok() &&
           (want_delta != meta.depth_delta || want_min != meta.min_depth)) {
         Add(AuditLayer::kRangeChain,
@@ -284,6 +297,7 @@ void StoreAuditor::AuditRangeLayer() {
     }
   }
   report_.ranges_walked = chain_ranges;
+  range_walk_intact_ = chain_complete && all_payloads_intact;
 
   if (chain_complete) {
     if (depth != 0) {
@@ -353,6 +367,57 @@ void StoreAuditor::AuditRangeLayer() {
   });
 }
 
+void StoreAuditor::AuditDictionary() {
+  const NameDictionary* dict = store_->name_dictionary();
+  report_.dict_symbols = dict->size();
+  report_.dict_symbols_used = used_symbols_.size();
+
+  // Dangling symbols (payload references id the dictionary lacks) were
+  // already reported by the range walk — the codec-aware Skip fails on
+  // them. This leg covers the opposite direction: the dictionary's own
+  // consistency and symbols nothing references.
+  for (uint32_t sym : used_symbols_) {
+    if (Full()) return;
+    if (dict->NameOf(sym) == nullptr) {
+      // Defensive: Skip should have failed already; an entry here means
+      // the walk and the dictionary disagree about the symbol space.
+      Add(AuditLayer::kDictionary,
+          "payload references symbol " + std::to_string(sym) +
+              " beyond the dictionary (" + std::to_string(dict->size()) +
+              " symbol(s))");
+    }
+  }
+  // Every interned name must resolve back to its own id — the in-memory
+  // maps were rebuilt from the persisted log, so a mismatch means the
+  // meta blob round-trip is broken.
+  for (uint32_t sym = 0; sym < dict->size(); ++sym) {
+    if (Full()) return;
+    const std::string* name = dict->NameOf(sym);
+    if (name == nullptr) {
+      Add(AuditLayer::kDictionary,
+          "symbol " + std::to_string(sym) + " has no name");
+      continue;
+    }
+    uint32_t back = dict->Find(*name);
+    if (back != sym) {
+      Add(AuditLayer::kDictionary,
+          "name \"" + *name + "\" resolves to symbol " +
+              std::to_string(back) + ", stored under " + std::to_string(sym));
+    }
+  }
+  // Garbage symbols — interned once, referenced by no surviving payload
+  // (deletes and inline fallbacks leave these behind). Counted, never an
+  // issue: decode never touches them and the append-only log cannot
+  // drop them without rewriting every v2 range.
+  if (range_walk_intact_) {
+    uint64_t garbage = 0;
+    for (uint32_t sym = 0; sym < dict->size(); ++sym) {
+      if (used_symbols_.find(sym) == used_symbols_.end()) ++garbage;
+    }
+    report_.dict_garbage_symbols = garbage;
+  }
+}
+
 void StoreAuditor::AuditPartialIndex() {
   const PartialIndex& pi = store_->partial_;
   if (!pi.enabled() || pi.size() == 0) return;
@@ -409,7 +474,7 @@ void StoreAuditor::AuditPartialIndex() {
       TokenType type;
     };
     std::unordered_map<uint32_t, TokenAt> boundaries;
-    TokenReader reader{Slice(payload)};
+    TokenReader reader{Slice(payload), store_->ranges_->codec_for(meta)};
     uint32_t index = 0;
     uint32_t begins = 0;
     TokenType type;

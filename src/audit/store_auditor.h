@@ -62,6 +62,7 @@ class StoreAuditor {
   void AuditBufferPool();
   void AuditBTrees();
   void AuditRangeLayer();
+  void AuditDictionary();
   void AuditPartialIndex();
   void AuditStructuralIndex();
   void AuditHeapAndOverflow();
@@ -75,6 +76,12 @@ class StoreAuditor {
   std::unordered_map<PageId, const char*> owners_;
   /// Pages of the heap chain (anchor validation for directory entries).
   std::unordered_set<PageId> heap_pages_;
+  /// Dictionary symbols referenced by any range payload (collected by
+  /// the range-layer walk, consumed by the dictionary leg).
+  std::unordered_set<uint32_t> used_symbols_;
+  /// True once the range walk covered every payload byte — only then is
+  /// "symbol never referenced" a meaningful claim.
+  bool range_walk_intact_ = false;
 };
 
 }  // namespace laxml

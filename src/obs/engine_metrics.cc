@@ -14,6 +14,18 @@ void CollectStoreMetrics(Store& store) {
 
   const RangeManager& ranges = store.range_manager();
   set("laxml_store_ranges", ranges.range_count());
+
+  // Name-dictionary compression: symbol count and the effective storage
+  // cost per token (fixed-point, x1000 — gauges are integral). The
+  // bytes/token gauge is THE compression health number: a regression
+  // here means scans re-pay name redundancy on every page.
+  set("laxml_dict_symbols", store.name_dictionary()->size());
+  uint64_t total_tokens = ranges.total_tokens();
+  set("laxml_storage_payload_bytes", ranges.total_payload_bytes());
+  set("laxml_storage_tokens", total_tokens);
+  set("laxml_storage_bytes_per_token_x1000",
+      total_tokens > 0 ? ranges.total_payload_bytes() * 1000 / total_tokens
+                       : 0);
   set("laxml_store_live_nodes", store.live_node_count());
   set("laxml_store_node_high_water", store.node_high_water());
   set("laxml_full_index_entries", store.full_index_size());

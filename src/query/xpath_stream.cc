@@ -12,20 +12,38 @@ namespace laxml {
 
 namespace {
 
+/// Name test against a decoded token. When the token came off a v2
+/// page its name is symbol-coded, and `step_symbol` is the step name's
+/// id in the same dictionary — one u32 compare replaces the string
+/// compare. A symbol-coded token whose symbol differs from the step's
+/// (including step_symbol == kNoNameSymbol: the step's name was never
+/// interned) cannot match byte-wise either, because interning is
+/// injective. Tokens without a symbol (v1 pages, inline fallbacks)
+/// take the string path.
+bool NameTest(const Token& token, const XPathStep& step,
+              uint32_t step_symbol) {
+  if (token.name_symbol != kNoNameSymbol) {
+    return token.name_symbol == step_symbol;
+  }
+  return token.name == step.name;
+}
+
 /// Does `token` (a node-beginning token) satisfy the step's node test,
 /// given the step's axis? Mirrors the snapshot evaluator's semantics:
 /// the attribute axis selects only attribute nodes; every other axis
 /// never does.
-bool StepMatches(const XPathStep& step, const Token& token) {
+bool StepMatches(const XPathStep& step, uint32_t step_symbol,
+                 const Token& token) {
   if (step.axis == XPathAxis::kAttribute) {
     if (token.type != TokenType::kBeginAttribute) return false;
-    return step.test == NodeTestKind::kWildcard || token.name == step.name;
+    return step.test == NodeTestKind::kWildcard ||
+           NameTest(token, step, step_symbol);
   }
   if (token.type == TokenType::kBeginAttribute) return false;
   switch (step.test) {
     case NodeTestKind::kName:
       return token.type == TokenType::kBeginElement &&
-             token.name == step.name;
+             NameTest(token, step, step_symbol);
     case NodeTestKind::kWildcard:
       return token.type == TokenType::kBeginElement;
     case NodeTestKind::kText:
@@ -141,6 +159,12 @@ Result<std::vector<NodeId>> EvaluateXPathStreaming(
   LAXML_RC_SET_PLAN("stream-scan");
   using StateSet = std::vector<uint8_t>;  // bitset over step indices
   const size_t nsteps = path.steps.size();
+  // Pre-resolve each step's name against the store dictionary so the
+  // per-token name test on v2 pages is a u32 compare.
+  std::vector<uint32_t> step_symbols(nsteps, kNoNameSymbol);
+  for (size_t i = 0; i < nsteps; ++i) {
+    step_symbols[i] = store.name_dictionary()->Find(path.steps[i].name);
+  }
   StateSet root_states(nsteps, 0);
   root_states[0] = 1;
 
@@ -163,7 +187,7 @@ Result<std::vector<NodeId>> EvaluateXPathStreaming(
         if (Recursive(path.steps[i])) {
           below[i] = 1;  // stays pending at deeper levels
         }
-        if (StepMatches(path.steps[i], token)) {
+        if (StepMatches(path.steps[i], step_symbols[i], token)) {
           if (i + 1 == nsteps) {
             out.push_back(cursor->node_id());
           } else {

@@ -10,7 +10,7 @@ Status TokenCursor::LoadRange(RangeId id) {
   range_ = id;
   next_range_ = meta.next;
   next_id_ = meta.start_id;
-  reader_ = TokenReader(Slice(payload_));
+  reader_ = TokenReader(Slice(payload_), ranges_->codec_for(meta));
   return Status::OK();
 }
 

@@ -48,6 +48,8 @@ RangeManagerState RangeManager::state() const {
 
 Status RangeManager::RebuildIndex() {
   index_.Clear();
+  total_payload_bytes_ = 0;
+  total_tokens_ = 0;
   BTree::Iterator it = meta_tree_.NewIterator();
   LAXML_RETURN_IF_ERROR(it.SeekToFirst());
   while (it.Valid()) {
@@ -56,6 +58,8 @@ Status RangeManager::RebuildIndex() {
       LAXML_RETURN_IF_ERROR(
           index_.Insert(meta.start_id, meta.end_id(), meta.id));
     }
+    total_payload_bytes_ += meta.byte_len;
+    total_tokens_ += meta.token_count;
     LAXML_RETURN_IF_ERROR(it.Next());
   }
   return Status::OK();
@@ -91,7 +95,8 @@ Status RangeManager::UpdatePayload(RangeId id, Slice payload) {
 Result<RangeId> RangeManager::InsertRangeAfter(RangeId left, Slice payload,
                                                NodeId start_id,
                                                uint64_t id_count,
-                                               uint32_t token_count) {
+                                               uint32_t token_count,
+                                               uint8_t codec) {
   LAXML_ASSIGN_OR_RETURN(RecordId rid, records_->Insert(payload));
   RangeMeta meta;
   meta.id = rid;
@@ -99,8 +104,10 @@ Result<RangeId> RangeManager::InsertRangeAfter(RangeId left, Slice payload,
   meta.id_count = id_count;
   meta.token_count = token_count;
   meta.byte_len = static_cast<uint32_t>(payload.size());
+  meta.codec = codec;
   LAXML_RETURN_IF_ERROR(ComputeDepthProfile(
-      payload.data(), payload.size(), &meta.depth_delta, &meta.min_depth));
+      payload.data(), payload.size(), codec_for(meta), &meta.depth_delta,
+      &meta.min_depth));
   meta.prev = left;
 
   if (left == kInvalidRangeId) {
@@ -128,6 +135,8 @@ Result<RangeId> RangeManager::InsertRangeAfter(RangeId left, Slice payload,
   }
   ++range_count_;
   ++stats_.ranges_created;
+  total_payload_bytes_ += meta.byte_len;
+  total_tokens_ += meta.token_count;
   LAXML_COUNTER_INC("laxml_ranges_created_total");
   return rid;
 }
@@ -164,11 +173,12 @@ Result<RangeId> RangeManager::Split(RangeId id, uint32_t byte_offset,
   }
 
   // Create the tail range right after the head (InsertRangeAfter also
-  // registers the tail interval).
+  // registers the tail interval). The tail inherits the head's codec —
+  // it is the same payload bytes.
   LAXML_ASSIGN_OR_RETURN(
       RangeId tail,
       InsertRangeAfter(id, tail_bytes, tail_start, tail_id_count,
-                       tail_tokens));
+                       tail_tokens, meta.codec));
 
   // Shrink the head payload and metadata.
   LAXML_RETURN_IF_ERROR(
@@ -179,8 +189,14 @@ Result<RangeId> RangeManager::Split(RangeId id, uint32_t byte_offset,
   head.id_count = begins_before;
   if (begins_before == 0) head.start_id = kInvalidNodeId;
   LAXML_RETURN_IF_ERROR(ComputeDepthProfile(
-      payload.data(), byte_offset, &head.depth_delta, &head.min_depth));
+      payload.data(), byte_offset, codec_for(head), &head.depth_delta,
+      &head.min_depth));
   LAXML_RETURN_IF_ERROR(PutMeta(head));
+
+  // InsertRangeAfter counted the tail's bytes/tokens on top of the
+  // (unshrunk) head's — the split moved them, it didn't add them.
+  total_payload_bytes_ -= tail_bytes.size();
+  total_tokens_ -= tail_tokens;
 
   ++stats_.splits;
   LAXML_COUNTER_INC("laxml_range_splits_total");
@@ -191,6 +207,8 @@ Result<bool> RangeManager::CanMergeWithNext(RangeId id) const {
   LAXML_ASSIGN_OR_RETURN(RangeMeta meta, GetMeta(id));
   if (meta.next == kInvalidRangeId) return false;
   LAXML_ASSIGN_OR_RETURN(RangeMeta next_meta, GetMeta(meta.next));
+  // Payload concatenation is byte-wise; mixed codecs would corrupt.
+  if (meta.codec != next_meta.codec) return false;
   if (!meta.has_ids() || !next_meta.has_ids()) return true;
   return next_meta.start_id == meta.start_id + meta.id_count;
 }
@@ -273,6 +291,8 @@ Status RangeManager::DeleteRange(RangeId id) {
   LAXML_RETURN_IF_ERROR(records_->Delete(id));
   LAXML_RETURN_IF_ERROR(meta_tree_.Delete(id));
   --range_count_;
+  total_payload_bytes_ -= meta.byte_len;
+  total_tokens_ -= meta.token_count;
   ++stats_.ranges_deleted;
   LAXML_COUNTER_INC("laxml_ranges_deleted_total");
   return Status::OK();

@@ -49,13 +49,15 @@ class RangeManager {
   /// Reads a range's encoded token payload.
   Result<std::vector<uint8_t>> ReadPayload(RangeId id) const;
 
-  /// Creates a new range from `payload` and links it into the chain
-  /// immediately after `left` (kInvalidRangeId = insert at chain head).
-  /// `start_id`/`id_count`/`token_count` describe the payload. Registers
-  /// the id interval in the Range Index when id_count > 0.
+  /// Creates a new range from `payload` (encoded with `codec`) and
+  /// links it into the chain immediately after `left` (kInvalidRangeId
+  /// = insert at chain head). `start_id`/`id_count`/`token_count`
+  /// describe the payload. Registers the id interval in the Range Index
+  /// when id_count > 0.
   Result<RangeId> InsertRangeAfter(RangeId left, Slice payload,
                                    NodeId start_id, uint64_t id_count,
-                                   uint32_t token_count);
+                                   uint32_t token_count,
+                                   uint8_t codec = kTokenCodecV1);
 
   /// Splits `id` at a token boundary: the head keeps the first
   /// `token_index` tokens (`byte_offset` bytes, `begins_before` of the
@@ -72,6 +74,8 @@ class RangeManager {
   /// True when `id` and its chain successor can be merged without
   /// breaking the consecutive-ids invariant: either side may be id-less,
   /// or the successor's ids must continue exactly where `id`'s end.
+  /// Payloads are concatenated byte-wise, so both sides must also share
+  /// a codec version.
   Result<bool> CanMergeWithNext(RangeId id) const;
 
   /// Merges the chain successor into `id` (payload concatenation, one
@@ -92,6 +96,22 @@ class RangeManager {
   RangeId first_range() const { return first_range_; }
   RangeId last_range() const { return last_range_; }
   uint64_t range_count() const { return range_count_; }
+
+  /// The dictionary that resolves v2 payloads; set once by the Store
+  /// right after construction (null => v2 symbols cannot be resolved).
+  void set_dictionary(const NameDictionary* dict) { dict_ = dict; }
+  const NameDictionary* dictionary() const { return dict_; }
+
+  /// Decode context for a range's payload.
+  TokenCodecContext codec_for(const RangeMeta& meta) const {
+    return TokenCodecContext(meta.codec, dict_);
+  }
+
+  /// Live totals across all range payloads — the numerator/denominator
+  /// of the effective bytes-per-token gauge. Maintained incrementally;
+  /// rebuilt from the directory on open.
+  uint64_t total_payload_bytes() const { return total_payload_bytes_; }
+  uint64_t total_tokens() const { return total_tokens_; }
 
   /// The coarse index (Section 4.3).
   RangeIndex& index() { return index_; }
@@ -129,6 +149,9 @@ class RangeManager {
   uint64_t range_count_;
   RangeIndex index_;
   RangeManagerStats stats_;
+  const NameDictionary* dict_ = nullptr;
+  uint64_t total_payload_bytes_ = 0;
+  uint64_t total_tokens_ = 0;
 };
 
 }  // namespace laxml

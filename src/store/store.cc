@@ -17,8 +17,12 @@ namespace laxml {
 namespace {
 constexpr uint32_t kStoreMagic = 0x4C585354u;  // "LXST"
 // Version 2 appended the checkpoint epoch (offset 104) that pairs with
-// the WAL's leading kCheckpoint record.
-constexpr uint32_t kStoreVersion = 2;
+// the WAL's leading kCheckpoint record. Version 3 appends the name
+// dictionary's symbol log after the fixed header; version-2 blobs are
+// still accepted (their stores predate the dictionary — every range is
+// v1 and the dictionary starts empty, to be populated by new writes).
+constexpr uint32_t kStoreVersion = 3;
+constexpr uint32_t kMinStoreVersion = 2;
 constexpr size_t kMetaBlobSize = 112;
 }  // namespace
 
@@ -61,11 +65,19 @@ const char* StructuralIndexModeName(StructuralIndexMode mode) {
 Store::Store(std::unique_ptr<Pager> pager, const StoreOptions& options)
     : pager_(std::move(pager)),
       options_(options),
+      dict_(std::make_unique<NameDictionary>()),
       partial_(options.index_mode == IndexMode::kRangeWithPartial
                    ? options.partial_index_capacity
                    : 0),
       structural_(
-          std::make_unique<StructuralIndex>(options.structural_index)) {}
+          std::make_unique<StructuralIndex>(options.structural_index)) {
+  // The serialized dictionary shares the pager meta area with the fixed
+  // store header; once the budget is hit, Intern refuses new symbols
+  // and v2 payloads fall back to inline names (still decodable).
+  uint32_t meta_cap = PageFile::MaxMetaSize(pager_->page_size());
+  dict_->set_byte_budget(
+      meta_cap > kMetaBlobSize ? meta_cap - kMetaBlobSize : 1);
+}
 
 Store::~Store() {
   if (crashed_ || read_only() || poisoned()) {
@@ -151,6 +163,7 @@ Result<std::unique_ptr<Store>> Store::OpenInMemory(
 Status Store::Bootstrap(bool fresh) {
   if (fresh) {
     LAXML_ASSIGN_OR_RETURN(ranges_, RangeManager::Create(pager_.get()));
+    ranges_->set_dictionary(dict_.get());
     if (options_.index_mode == IndexMode::kFullIndex) {
       LAXML_ASSIGN_OR_RETURN(full_, FullIndex::Create(pager_.get()));
     }
@@ -285,6 +298,10 @@ Status Store::PersistMeta() {
   PutFixed64(&blob, stats_.tokens_inserted);
   PutFixed64(&blob, stats_.bytes_inserted);
   PutFixed64(&blob, checkpoint_epoch_);
+  // v3: the dictionary's append-only symbol log rides after the fixed
+  // header. Intern's byte budget guarantees this stays within the
+  // pager's meta capacity.
+  dict_->Serialize(&blob);
   return pager_->WriteMeta(Slice(blob));
 }
 
@@ -296,7 +313,8 @@ Status Store::LoadMeta(const std::vector<uint8_t>& blob) {
   if (DecodeFixed32(p) != kStoreMagic) {
     return Status::Corruption("bad store magic");
   }
-  if (DecodeFixed32(p + 4) != kStoreVersion) {
+  uint32_t version = DecodeFixed32(p + 4);
+  if (version < kMinStoreVersion || version > kStoreVersion) {
     return Status::Corruption("unsupported store version");
   }
   IndexMode stored_mode = static_cast<IndexMode>(DecodeFixed32(p + 8));
@@ -320,7 +338,15 @@ Status Store::LoadMeta(const std::vector<uint8_t>& blob) {
   stats_.tokens_inserted = DecodeFixed64(p + 88);
   stats_.bytes_inserted = DecodeFixed64(p + 96);
   checkpoint_epoch_ = DecodeFixed64(p + 104);
+  if (version >= 3) {
+    LAXML_RETURN_IF_ERROR(dict_->Deserialize(
+        Slice(p + kMetaBlobSize, blob.size() - kMetaBlobSize)));
+  }
+  // A version-2 store simply starts with an empty dictionary: all its
+  // ranges are stamped v1 and decode without one. The next checkpoint
+  // rewrites the blob at version 3.
   LAXML_ASSIGN_OR_RETURN(ranges_, RangeManager::Open(pager_.get(), rs));
+  ranges_->set_dictionary(dict_.get());
   if (options_.index_mode == IndexMode::kFullIndex) {
     if (full_root == kInvalidPageId) {
       return Status::Corruption("full-index mode but no index root");
@@ -447,28 +473,33 @@ Status Store::LogOp(WalOp op, NodeId target, const TokenSequence& data) {
 // ---------------------------------------------------------------------------
 // Locating
 
-Result<Token> Store::FetchTokenAt(RangeId range,
-                                  uint32_t byte_offset) const {
-  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(range));
-  if (byte_offset >= meta.byte_len) {
+Status Store::FetchTokenAt(Located* loc) const {
+  LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(loc->range));
+  if (loc->byte_offset >= meta.byte_len) {
     return Status::Corruption("token offset past range end");
   }
-  size_t want = meta.byte_len - byte_offset;
+  loc->codec = meta.codec;
+  size_t want = meta.byte_len - loc->byte_offset;
   size_t probe = want < 512 ? want : 512;
   LAXML_ASSIGN_OR_RETURN(
       auto bytes,
-      ranges_->range_records()->ReadSlice(range, byte_offset, probe));
-  Token token;
-  TokenReader reader{Slice(bytes)};
-  Status st = reader.Next(&token);
-  if (st.ok()) return token;
+      ranges_->range_records()->ReadSlice(loc->range, loc->byte_offset,
+                                          probe));
+  TokenReader reader{Slice(bytes), CodecFor(meta)};
+  Status st = reader.Next(&loc->token);
+  if (st.ok()) {
+    loc->encoded_len = static_cast<uint32_t>(reader.offset());
+    return Status::OK();
+  }
   if (probe == want) return st;
   // The token is longer than the probe; read the full remainder.
-  LAXML_ASSIGN_OR_RETURN(
-      bytes, ranges_->range_records()->ReadSlice(range, byte_offset, want));
-  TokenReader full_reader{Slice(bytes)};
-  LAXML_RETURN_IF_ERROR(full_reader.Next(&token));
-  return token;
+  LAXML_ASSIGN_OR_RETURN(bytes,
+                         ranges_->range_records()->ReadSlice(
+                             loc->range, loc->byte_offset, want));
+  TokenReader full_reader{Slice(bytes), CodecFor(meta)};
+  LAXML_RETURN_IF_ERROR(full_reader.Next(&loc->token));
+  loc->encoded_len = static_cast<uint32_t>(full_reader.offset());
+  return Status::OK();
 }
 
 Result<Store::Located> Store::LocateBegin(NodeId id,
@@ -484,8 +515,7 @@ Result<Store::Located> Store::LocateBegin(NodeId id,
     loc.byte_offset = tl.byte_offset;
     loc.token_index = tl.token_index;
     loc.begins_before = static_cast<uint32_t>(id - meta.start_id);
-    LAXML_ASSIGN_OR_RETURN(loc.token,
-                           FetchTokenAt(tl.range_id, tl.byte_offset));
+    LAXML_RETURN_IF_ERROR(FetchTokenAt(&loc));
     return loc;
   }
   PartialEntry memo;
@@ -498,8 +528,7 @@ Result<Store::Located> Store::LocateBegin(NodeId id,
       LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(loc.range));
       loc.begins_before = static_cast<uint32_t>(id - meta.start_id);
     }
-    LAXML_ASSIGN_OR_RETURN(loc.token,
-                           FetchTokenAt(loc.range, loc.byte_offset));
+    LAXML_RETURN_IF_ERROR(FetchTokenAt(&loc));
     return loc;
   }
   // The lazy path: coarse index probe + counting scan (Section 4.3).
@@ -507,7 +536,7 @@ Result<Store::Located> Store::LocateBegin(NodeId id,
   LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(rid));
   LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(rid));
   uint64_t target_ordinal = id - meta.start_id;
-  TokenReader reader{Slice(payload)};
+  TokenReader reader{Slice(payload), CodecFor(meta)};
   uint64_t begins = 0;
   uint32_t index = 0;
   Token token;
@@ -523,6 +552,8 @@ Result<Store::Located> Store::LocateBegin(NodeId id,
         loc.token_index = index;
         loc.begins_before = static_cast<uint32_t>(begins);
         loc.token = std::move(token);
+        loc.encoded_len = static_cast<uint32_t>(reader.offset() - offset);
+        loc.codec = meta.codec;
         partial_.RecordBegin(id, rid, loc.byte_offset, loc.token_index);
         return loc;
       }
@@ -545,15 +576,16 @@ Result<Store::Located> Store::LocateEnd(NodeId id, const Located& begin) {
     loc.byte_offset = memo.end_offset;
     loc.token_index = memo.end_token_index;
     loc.begins_before = memo.end_begins_before;
-    LAXML_ASSIGN_OR_RETURN(loc.token,
-                           FetchTokenAt(loc.range, loc.byte_offset));
+    LAXML_RETURN_IF_ERROR(FetchTokenAt(&loc));
     return loc;
   }
   // Scan forward from the begin token, tracking scope depth, across
   // ranges when the subtree spans several.
   RangeId cur = begin.range;
+  uint8_t cur_codec = begin.codec;
   LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(cur));
-  TokenReader reader{Slice(payload)};
+  TokenReader reader{Slice(payload),
+                     TokenCodecContext(cur_codec, dict_.get())};
   reader.SeekTo(begin.byte_offset);
   Token token;
   LAXML_RETURN_IF_ERROR(reader.Next(&token));  // the begin token
@@ -573,6 +605,8 @@ Result<Store::Located> Store::LocateEnd(NodeId id, const Located& begin) {
           loc.token_index = index;
           loc.begins_before = static_cast<uint32_t>(begins);
           loc.token = std::move(token);
+          loc.encoded_len = static_cast<uint32_t>(reader.offset() - offset);
+          loc.codec = cur_codec;
           partial_.RecordEnd(id, cur, loc.byte_offset, loc.token_index,
                              loc.begins_before);
           return loc;
@@ -595,7 +629,10 @@ Result<Store::Located> Store::LocateEnd(NodeId id, const Located& begin) {
     // insertIntoLast(root) cheap on a store of thousands of ranges.
     while (true) {
       LAXML_ASSIGN_OR_RETURN(RangeMeta cur_meta, ranges_->GetMeta(cur));
-      if (depth + cur_meta.min_depth <= 0) break;  // end token inside
+      if (depth + cur_meta.min_depth <= 0) {  // end token inside
+        cur_codec = cur_meta.codec;
+        break;
+      }
       depth += cur_meta.depth_delta;
       if (cur_meta.next == kInvalidRangeId) {
         return Status::Corruption("node " + std::to_string(id) +
@@ -604,7 +641,8 @@ Result<Store::Located> Store::LocateEnd(NodeId id, const Located& begin) {
       cur = cur_meta.next;
     }
     LAXML_ASSIGN_OR_RETURN(payload, ranges_->ReadPayload(cur));
-    reader = TokenReader{Slice(payload)};
+    reader = TokenReader{Slice(payload),
+                         TokenCodecContext(cur_codec, dict_.get())};
     index = 0;
     begins = 0;
   }
@@ -634,15 +672,17 @@ Result<RangeId> Store::SplitRange(RangeId id, uint32_t byte_offset,
       LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(tail));
       LAXML_RETURN_IF_ERROR(ReindexRange(tail, payload.data(),
                                          payload.size(),
-                                         tail_meta.start_id));
+                                         tail_meta.start_id,
+                                         tail_meta.codec));
     }
   }
   return tail;
 }
 
 Status Store::ReindexRange(RangeId range, const uint8_t* payload,
-                           size_t len, NodeId start_id) {
-  TokenReader reader{Slice(payload, len)};
+                           size_t len, NodeId start_id, uint8_t codec) {
+  TokenReader reader{Slice(payload, len),
+                     TokenCodecContext(codec, dict_.get())};
   NodeId id = start_id;
   uint32_t index = 0;
   TokenType type;
@@ -688,8 +728,10 @@ Result<Store::Boundary> Store::EnsureBoundaryBefore(const Located& loc) {
 
 Result<Store::Boundary> Store::EnsureBoundaryAfter(const Located& loc) {
   LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(loc.range));
-  uint32_t after =
-      loc.byte_offset + static_cast<uint32_t>(EncodedTokenSize(loc.token));
+  // encoded_len, not EncodedTokenSize(loc.token): the latter is v1
+  // arithmetic and under-counts nothing but OVER-counts a v2
+  // symbol-coded name, landing the "boundary" mid-token.
+  uint32_t after = loc.byte_offset + loc.encoded_len;
   Boundary b;
   if (after >= meta.byte_len) {
     b.left = loc.range;
@@ -745,6 +787,7 @@ Result<NodeId> Store::StoreFragment(const TokenSequence& data,
   // the next query's scan re-warms exactly what it touches).
   if (!data.empty()) structural_->InvalidateAll();
   NodeId first_id = next_node_id_;
+  const uint8_t codec = write_codec();
   size_t i = 0;
   uint64_t total_begins = 0;
   uint64_t total_bytes = 0;
@@ -755,12 +798,12 @@ Result<NodeId> Store::StoreFragment(const TokenSequence& data,
     uint32_t tokens = 0;
     size_t j = i;
     while (j < data.size()) {
-      size_t tok_size = EncodedTokenSize(data[j]);
+      size_t tok_size = EncodedTokenSizeWith(data[j], codec, dict_.get());
       if (options_.max_range_bytes > 0 && tokens > 0 &&
           bytes.size() + tok_size > options_.max_range_bytes) {
         break;
       }
-      EncodeToken(data[j], &bytes);
+      EncodeTokenWith(data[j], codec, dict_.get(), &bytes);
       if (data[j].BeginsNode()) ++begins;
       ++tokens;
       ++j;
@@ -769,10 +812,10 @@ Result<NodeId> Store::StoreFragment(const TokenSequence& data,
     LAXML_ASSIGN_OR_RETURN(
         RangeId rid,
         ranges_->InsertRangeAfter(left, Slice(bytes), chunk_start, begins,
-                                  tokens));
+                                  tokens, codec));
     if (full_ != nullptr && begins > 0) {
-      LAXML_RETURN_IF_ERROR(
-          ReindexRange(rid, bytes.data(), bytes.size(), chunk_start));
+      LAXML_RETURN_IF_ERROR(ReindexRange(rid, bytes.data(), bytes.size(),
+                                         chunk_start, codec));
     }
     next_node_id_ += begins;
     total_begins += begins;
@@ -1021,7 +1064,7 @@ Result<TokenSequence> Store::ReadWithIds(std::vector<NodeId>* ids) {
   while (cur != kInvalidRangeId) {
     LAXML_ASSIGN_OR_RETURN(RangeMeta meta, ranges_->GetMeta(cur));
     LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(cur));
-    TokenReader reader{Slice(payload)};
+    TokenReader reader{Slice(payload), CodecFor(meta)};
     NodeId next_id = meta.start_id;
     Token token;
     while (!reader.AtEnd()) {
@@ -1048,7 +1091,9 @@ Status Store::ReadSubtree(const Located& start, NodeId id,
     return Status::OK();
   }
   RangeId cur = start.range;
-  size_t skip = start.byte_offset + EncodedTokenSize(start.token);
+  // encoded_len is the on-disk size under the range's codec; recomputing
+  // it from the materialized token would over-count for v2 ranges.
+  size_t skip = start.byte_offset + start.encoded_len;
   size_t take;
   if (first_range_byte_limit > 0 &&
       start.byte_offset + first_range_byte_limit >= skip) {
@@ -1061,7 +1106,8 @@ Status Store::ReadSubtree(const Located& start, NodeId id,
   }
   LAXML_ASSIGN_OR_RETURN(
       auto payload, ranges_->range_records()->ReadSlice(cur, skip, take));
-  TokenReader reader{Slice(payload)};
+  TokenReader reader{Slice(payload),
+                     TokenCodecContext(start.codec, dict_.get())};
   // Positions for end-memoization: offsets are relative to the range
   // payload (slice offset + skip within the first range).
   size_t slice_base = skip;
@@ -1098,8 +1144,9 @@ Status Store::ReadSubtree(const Located& start, NodeId id,
                                 " never closes");
     }
     cur = meta.next;
+    LAXML_ASSIGN_OR_RETURN(RangeMeta next_meta, ranges_->GetMeta(cur));
     LAXML_ASSIGN_OR_RETURN(payload, ranges_->ReadPayload(cur));
-    reader = TokenReader{Slice(payload)};
+    reader = TokenReader{Slice(payload), CodecFor(next_meta)};
     slice_base = 0;
     index = 0;
     begins = 0;
@@ -1207,8 +1254,8 @@ Result<uint64_t> Store::CompactRanges(uint32_t target_bytes) {
       if (merged.has_ids()) {
         LAXML_ASSIGN_OR_RETURN(auto payload, ranges_->ReadPayload(cur));
         LAXML_RETURN_IF_ERROR(ReindexRange(cur, payload.data(),
-                                           payload.size(),
-                                           merged.start_id));
+                                           payload.size(), merged.start_id,
+                                           merged.codec));
       }
     }
     ++merges;
@@ -1271,7 +1318,7 @@ Status Store::CheckInvariants() const {
     if (payload.size() != meta.byte_len) {
       return Status::Corruption("payload length != meta.byte_len");
     }
-    TokenReader reader{Slice(payload)};
+    TokenReader reader{Slice(payload), CodecFor(meta)};
     uint64_t begins = 0;
     uint32_t tokens = 0;
     TokenType type;
@@ -1292,7 +1339,8 @@ Status Store::CheckInvariants() const {
     }
     int32_t want_delta, want_min;
     LAXML_RETURN_IF_ERROR(ComputeDepthProfile(
-        payload.data(), payload.size(), &want_delta, &want_min));
+        payload.data(), payload.size(), CodecFor(meta), &want_delta,
+        &want_min));
     if (want_delta != meta.depth_delta || want_min != meta.min_depth) {
       return Status::Corruption("range depth profile stale");
     }

@@ -200,6 +200,7 @@ StoreOptions MakeStoreOptions(const TortureOptions& opts) {
   so.max_range_bytes = 4096;
   so.enable_wal = true;
   so.wal_sync = WalSyncMode::kEveryCommit;
+  so.token_codec = opts.token_codec;
   so.paranoid_audit_interval = 0;  // one explicit CheckIntegrity below
   return so;
 }
@@ -501,6 +502,9 @@ TortureReport RunTorture(const TortureOptions& options) {
   oracle_opts.pager.pool_frames = options.pool_frames;
   oracle_opts.index_mode = IndexMode::kRangeWithPartial;
   oracle_opts.max_range_bytes = 4096;
+  // Cross-codec oracle (see TortureOptions::token_codec): the mirror
+  // runs the codec the store under torture does NOT use.
+  oracle_opts.token_codec = options.token_codec >= 2 ? 1 : 2;
   oracle_opts.paranoid_audit_interval = 0;
   auto oracle = Store::OpenInMemory(oracle_opts);
   if (!oracle.ok()) {

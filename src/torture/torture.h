@@ -47,6 +47,11 @@ struct TortureOptions {
   uint32_t page_size = 512;
   /// Buffer pool frames; small pools force mid-operation write-back.
   size_t pool_frames = 64;
+  /// Token codec version for the store under torture (1 or 2). The
+  /// in-memory oracle always runs the OTHER codec, so every Verify is
+  /// also a v1-vs-v2 cross-codec comparison: both stores decode to the
+  /// same canonical (v1-encoded) token stream or the run fails.
+  uint32_t token_codec = 2;
   /// Print one progress line per iteration.
   bool verbose = false;
 };

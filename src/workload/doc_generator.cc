@@ -41,6 +41,31 @@ TokenSequence GeneratePurchaseOrdersDocument(Random* rng, int orders,
   return out;
 }
 
+TokenSequence GenerateCatalogDocument(Random* rng, int records) {
+  static const char* kStatuses[] = {"pending", "shipped", "billed",
+                                    "returned"};
+  static const char* kWarehouses[] = {"EAST-01", "EAST-02", "WEST-01",
+                                      "CENTRAL"};
+  SequenceBuilder b;
+  b.BeginElement("productCatalog");
+  for (int i = 0; i < records; ++i) {
+    b.BeginElement("lineItem")
+        .Attribute("itemNumber", std::to_string(i + 1))
+        .Attribute("quantityOrdered", std::to_string(1 + rng->Uniform(99)))
+        .Attribute("unitPriceAmount",
+                   std::to_string(1 + rng->Uniform(999)) + "." +
+                       std::to_string(10 + rng->Uniform(89)))
+        .Attribute("fulfillmentStatus", kStatuses[rng->Uniform(4)])
+        .LeafElement("productCode", rng->NextName(6))
+        .LeafElement("warehouseLocation", kWarehouses[rng->Uniform(4)])
+        .LeafElement("availableQuantity",
+                     std::to_string(rng->Uniform(1000)))
+        .End();
+  }
+  b.End();
+  return b.Build();
+}
+
 TokenSequence GenerateAuctionDocument(Random* rng, int scale) {
   static const char* kRegions[] = {"africa", "asia", "europe",
                                    "namerica", "samerica"};

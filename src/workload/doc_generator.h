@@ -30,6 +30,12 @@ TokenSequence GeneratePurchaseOrdersDocument(Random* rng, int orders,
 /// people, and open auctions with bids. `scale` ~ item count.
 TokenSequence GenerateAuctionDocument(Random* rng, int scale);
 
+/// An enterprise-feed-flavored product catalog: <productCatalog> with
+/// `records` <lineItem> children carrying verbose attribute and element
+/// names (the markup-heavy, repetitive-tag shape where dictionary name
+/// compression matters most — think SOAP/EDI exports, not prose).
+TokenSequence GenerateCatalogDocument(Random* rng, int records);
+
 /// A random well-formed element tree with approximately `target_nodes`
 /// nodes, depth <= max_depth, mixing elements, attributes, text and
 /// comments. Deterministic in `rng`.

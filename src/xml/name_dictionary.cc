@@ -1,0 +1,85 @@
+#include "xml/name_dictionary.h"
+
+#include "common/varint.h"
+
+namespace laxml {
+
+namespace {
+// Serialized cost of one symbol entry.
+size_t EntrySize(size_t name_len) {
+  return VarintLength(name_len) + name_len;
+}
+// Worst-case cost of the symbol-count header.
+constexpr size_t kCountHeaderSize = kMaxVarint32Bytes;
+}  // namespace
+
+uint32_t NameDictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  if (byte_budget_ > 0 &&
+      kCountHeaderSize + serialized_size_ + EntrySize(name.size()) >
+          byte_budget_) {
+    return kNoNameSymbol;
+  }
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  if (id == kNoNameSymbol) return kNoNameSymbol;  // id space exhausted
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  serialized_size_ += EntrySize(name.size());
+  return id;
+}
+
+size_t NameDictionary::SerializedSize() const {
+  return VarintLength(names_.size()) + serialized_size_;
+}
+
+uint32_t NameDictionary::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return kNoNameSymbol;
+  return it->second;
+}
+
+void NameDictionary::Serialize(std::vector<uint8_t>* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(names_.size()));
+  for (const std::string& name : names_) {
+    PutVarint64(dst, name.size());
+    dst->insert(dst->end(), name.begin(), name.end());
+  }
+}
+
+Status NameDictionary::Deserialize(Slice in) {
+  Clear();
+  const uint8_t* p = in.data();
+  const uint8_t* limit = p + in.size();
+  uint32_t count = 0;
+  p = GetVarint32(p, limit, &count);
+  if (p == nullptr) return Status::Corruption("dictionary count truncated");
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t len = 0;
+    p = GetVarint64(p, limit, &len);
+    if (p == nullptr || static_cast<uint64_t>(limit - p) < len) {
+      return Status::Corruption("dictionary symbol truncated");
+    }
+    std::string name(reinterpret_cast<const char*>(p), len);
+    p += len;
+    if (ids_.count(name) != 0) {
+      return Status::Corruption("dictionary symbol duplicated");
+    }
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(std::move(name), id);
+    serialized_size_ += EntrySize(names_.back().size());
+  }
+  if (p != limit) {
+    return Status::Corruption("dictionary trailing garbage");
+  }
+  return Status::OK();
+}
+
+void NameDictionary::Clear() {
+  names_.clear();
+  ids_.clear();
+  serialized_size_ = 0;
+}
+
+}  // namespace laxml

@@ -6,6 +6,17 @@
 
 namespace laxml {
 
+namespace {
+bool ValidTokenType(uint8_t t) {
+  return t <= static_cast<uint8_t>(TokenType::kProcessingInstruction);
+}
+
+/// Token types whose name field is symbol-coded under v2.
+bool SymbolCodedName(TokenType t) {
+  return t == TokenType::kBeginElement || t == TokenType::kBeginAttribute;
+}
+}  // namespace
+
 void EncodeToken(const Token& token, std::vector<uint8_t>* dst) {
   dst->push_back(static_cast<uint8_t>(token.type));
   PutVarint64(dst, token.name.size());
@@ -30,28 +41,86 @@ std::vector<uint8_t> EncodeTokens(const std::vector<Token>& tokens) {
   return out;
 }
 
-namespace {
-bool ValidTokenType(uint8_t t) {
-  return t <= static_cast<uint8_t>(TokenType::kProcessingInstruction);
+void EncodeTokenWith(const Token& token, uint8_t codec,
+                     NameDictionary* dict, std::vector<uint8_t>* dst) {
+  if (codec == kTokenCodecV1 || !SymbolCodedName(token.type)) {
+    EncodeToken(token, dst);
+    return;
+  }
+  uint32_t sym = dict != nullptr ? dict->Intern(token.name) : kNoNameSymbol;
+  dst->push_back(static_cast<uint8_t>(token.type));
+  if (sym != kNoNameSymbol) {
+    PutVarint32(dst, sym + 1);
+  } else {
+    dst->push_back(0);  // inline-fallback marker
+    PutVarint64(dst, token.name.size());
+    dst->insert(dst->end(), token.name.begin(), token.name.end());
+  }
+  PutVarint64(dst, token.value.size());
+  dst->insert(dst->end(), token.value.begin(), token.value.end());
+  PutVarint64(dst, token.psvi_type);
 }
-}  // namespace
+
+size_t EncodedTokenSizeWith(const Token& token, uint8_t codec,
+                            NameDictionary* dict) {
+  if (codec == kTokenCodecV1 || !SymbolCodedName(token.type)) {
+    return EncodedTokenSize(token);
+  }
+  uint32_t sym = dict != nullptr ? dict->Intern(token.name) : kNoNameSymbol;
+  size_t name_bytes =
+      sym != kNoNameSymbol
+          ? VarintLength(sym + 1)
+          : 1 + VarintLength(token.name.size()) + token.name.size();
+  return 1 + name_bytes + VarintLength(token.value.size()) +
+         token.value.size() + VarintLength(token.psvi_type);
+}
 
 Status TokenReader::Next(Token* token) {
   const uint8_t* base = buf_.data();
   const uint8_t* limit = base + buf_.size();
   const uint8_t* p = base + pos_;
+  last_name_symbol_ = kNoNameSymbol;
   if (p >= limit) return Status::Corruption("token read past end");
   uint8_t type = *p++;
   if (!ValidTokenType(type)) {
     return Status::Corruption("invalid token type byte");
   }
-  uint64_t name_len, value_len, psvi;
-  p = GetVarint64(p, limit, &name_len);
-  if (p == nullptr || static_cast<uint64_t>(limit - p) < name_len) {
-    return Status::Corruption("token name truncated");
+  token->name_symbol = kNoNameSymbol;
+  if (ctx_.version >= kTokenCodecV2 &&
+      SymbolCodedName(static_cast<TokenType>(type))) {
+    uint32_t code = 0;
+    p = GetVarint32(p, limit, &code);
+    if (p == nullptr) return Status::Corruption("token symbol truncated");
+    if (code != 0) {
+      uint32_t sym = code - 1;
+      const std::string* name =
+          ctx_.dict != nullptr ? ctx_.dict->NameOf(sym) : nullptr;
+      if (name == nullptr) {
+        return Status::Corruption("dangling dictionary symbol " +
+                                  std::to_string(sym));
+      }
+      token->name = *name;
+      token->name_symbol = sym;
+      last_name_symbol_ = sym;
+    } else {
+      uint64_t name_len = 0;
+      p = GetVarint64(p, limit, &name_len);
+      if (p == nullptr || static_cast<uint64_t>(limit - p) < name_len) {
+        return Status::Corruption("token name truncated");
+      }
+      token->name.assign(reinterpret_cast<const char*>(p), name_len);
+      p += name_len;
+    }
+  } else {
+    uint64_t name_len = 0;
+    p = GetVarint64(p, limit, &name_len);
+    if (p == nullptr || static_cast<uint64_t>(limit - p) < name_len) {
+      return Status::Corruption("token name truncated");
+    }
+    token->name.assign(reinterpret_cast<const char*>(p), name_len);
+    p += name_len;
   }
-  token->name.assign(reinterpret_cast<const char*>(p), name_len);
-  p += name_len;
+  uint64_t value_len, psvi;
   p = GetVarint64(p, limit, &value_len);
   if (p == nullptr || static_cast<uint64_t>(limit - p) < value_len) {
     return Status::Corruption("token value truncated");
@@ -72,17 +141,41 @@ Status TokenReader::Skip(TokenType* type) {
   const uint8_t* base = buf_.data();
   const uint8_t* limit = base + buf_.size();
   const uint8_t* p = base + pos_;
+  last_name_symbol_ = kNoNameSymbol;
   if (p >= limit) return Status::Corruption("token skip past end");
   uint8_t t = *p++;
   if (!ValidTokenType(t)) {
     return Status::Corruption("invalid token type byte");
   }
-  uint64_t name_len, value_len, psvi;
-  p = GetVarint64(p, limit, &name_len);
-  if (p == nullptr || static_cast<uint64_t>(limit - p) < name_len) {
-    return Status::Corruption("token name truncated");
+  if (ctx_.version >= kTokenCodecV2 &&
+      SymbolCodedName(static_cast<TokenType>(t))) {
+    uint32_t code = 0;
+    p = GetVarint32(p, limit, &code);
+    if (p == nullptr) return Status::Corruption("token symbol truncated");
+    if (code != 0) {
+      uint32_t sym = code - 1;
+      if (ctx_.dict != nullptr && ctx_.dict->NameOf(sym) == nullptr) {
+        return Status::Corruption("dangling dictionary symbol " +
+                                  std::to_string(sym));
+      }
+      last_name_symbol_ = sym;
+    } else {
+      uint64_t name_len = 0;
+      p = GetVarint64(p, limit, &name_len);
+      if (p == nullptr || static_cast<uint64_t>(limit - p) < name_len) {
+        return Status::Corruption("token name truncated");
+      }
+      p += name_len;
+    }
+  } else {
+    uint64_t name_len = 0;
+    p = GetVarint64(p, limit, &name_len);
+    if (p == nullptr || static_cast<uint64_t>(limit - p) < name_len) {
+      return Status::Corruption("token name truncated");
+    }
+    p += name_len;
   }
-  p += name_len;
+  uint64_t value_len, psvi;
   p = GetVarint64(p, limit, &value_len);
   if (p == nullptr || static_cast<uint64_t>(limit - p) < value_len) {
     return Status::Corruption("token value truncated");
@@ -96,8 +189,13 @@ Status TokenReader::Skip(TokenType* type) {
 }
 
 Result<std::vector<Token>> DecodeTokens(Slice buffer) {
+  return DecodeTokens(buffer, TokenCodecContext());
+}
+
+Result<std::vector<Token>> DecodeTokens(Slice buffer,
+                                        TokenCodecContext ctx) {
   std::vector<Token> out;
-  TokenReader reader(buffer);
+  TokenReader reader(buffer, ctx);
   Token t;
   while (!reader.AtEnd()) {
     LAXML_RETURN_IF_ERROR(reader.Next(&t));

@@ -4,9 +4,23 @@
 // NOT part of the format — they are regenerated from the Range's start
 // id (Section 4.3).
 //
-// Wire format per token:
+// Two on-disk versions, selected per range (the range directory stamps
+// each payload's codec):
+//
+// v1 — inline names, the original format and still the WAL / wire form:
 //   [type u8][name_len varint][name bytes][value_len varint][value bytes]
 //   [psvi_type varint]
+//
+// v2 — dictionary-coded names: identical to v1 except that for
+// kBeginElement / kBeginAttribute the name field becomes
+//   [name_code varint]            code >= 1: symbol id (code - 1) in the
+//                                 store's NameDictionary
+//   [0 varint][name_len][bytes]   code == 0: inline fallback (dictionary
+//                                 full — budget-bounded, see
+//                                 name_dictionary.h)
+// Every other token type (PI targets included) keeps inline names, and
+// value / psvi fields are unchanged. A begin-element token for an
+// interned tag costs 4 bytes instead of 4 + len(tag).
 
 #ifndef LAXML_XML_TOKEN_CODEC_H_
 #define LAXML_XML_TOKEN_CODEC_H_
@@ -16,24 +30,54 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "xml/name_dictionary.h"
 #include "xml/token.h"
 
 namespace laxml {
 
-/// Appends the encoded form of `token` to `dst`.
+/// On-disk codec versions. Append-only.
+inline constexpr uint8_t kTokenCodecV1 = 1;
+inline constexpr uint8_t kTokenCodecV2 = 2;
+
+/// How to interpret an encoded payload: the codec version plus the
+/// dictionary that resolves v2 symbol ids. v1 needs no dictionary.
+struct TokenCodecContext {
+  uint8_t version = kTokenCodecV1;
+  const NameDictionary* dict = nullptr;
+
+  TokenCodecContext() = default;
+  TokenCodecContext(uint8_t v, const NameDictionary* d)
+      : version(v), dict(d) {}
+};
+
+/// Appends the v1 encoding of `token` to `dst` (WAL / wire form).
 void EncodeToken(const Token& token, std::vector<uint8_t>* dst);
 
-/// Encoded size of a token without encoding it.
+/// v1 encoded size of a token without encoding it.
 size_t EncodedTokenSize(const Token& token);
 
-/// Encodes a whole sequence.
+/// Encodes a whole sequence in v1.
 std::vector<uint8_t> EncodeTokens(const std::vector<Token>& tokens);
+
+/// Appends the encoding of `token` under `codec` to `dst`. For v2,
+/// `dict` (may be null => always inline) interns element/attribute
+/// names; a name the budget-full dictionary refuses is written inline.
+void EncodeTokenWith(const Token& token, uint8_t codec,
+                     NameDictionary* dict, std::vector<uint8_t>* dst);
+
+/// Encoded size of `token` under `codec`. NOTE: for v2 this interns the
+/// name exactly as EncodeTokenWith would (interning is idempotent), so
+/// size-then-encode pairs always agree.
+size_t EncodedTokenSizeWith(const Token& token, uint8_t codec,
+                            NameDictionary* dict);
 
 /// Streaming decoder over an encoded token buffer. Tracks the byte
 /// offset of each token, which is what the partial index memoizes.
 class TokenReader {
  public:
   explicit TokenReader(Slice buffer) : buf_(buffer) {}
+  TokenReader(Slice buffer, TokenCodecContext ctx)
+      : buf_(buffer), ctx_(ctx) {}
 
   /// True when at least one more token is available.
   bool AtEnd() const { return pos_ >= buf_.size(); }
@@ -43,13 +87,18 @@ class TokenReader {
   size_t offset() const { return pos_; }
 
   /// Decodes the next token into *token. Fails with Corruption on
-  /// malformed input.
+  /// malformed input — including a v2 symbol id the dictionary cannot
+  /// resolve (dangling symbol).
   Status Next(Token* token);
 
   /// Skips the next token without materializing strings; stores its
   /// decoded header in *type. Faster than Next() for scans that only
   /// count ids / depth.
   Status Skip(TokenType* type);
+
+  /// Symbol id of the name of the token most recently consumed by
+  /// Next() or Skip(); kNoNameSymbol when it was v1 / inline / nameless.
+  uint32_t last_name_symbol() const { return last_name_symbol_; }
 
   /// Resets to the beginning.
   void Rewind() { pos_ = 0; }
@@ -60,11 +109,17 @@ class TokenReader {
 
  private:
   Slice buf_;
+  TokenCodecContext ctx_;
   size_t pos_ = 0;
+  uint32_t last_name_symbol_ = kNoNameSymbol;
 };
 
-/// Decodes an entire buffer into a token vector.
+/// Decodes an entire buffer into a token vector (v1).
 Result<std::vector<Token>> DecodeTokens(Slice buffer);
+
+/// Decodes an entire buffer under an explicit codec context.
+Result<std::vector<Token>> DecodeTokens(Slice buffer,
+                                        TokenCodecContext ctx);
 
 }  // namespace laxml
 

@@ -5,7 +5,7 @@
 
 namespace laxml {
 
-namespace {
+namespace xmldetail {
 
 bool IsXmlWhitespace(char c) {
   return c == ' ' || c == '\t' || c == '\n' || c == '\r';
@@ -19,6 +19,77 @@ bool IsNameChar(char c) {
   return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
          c == '-' || c == '.';
 }
+
+Status DecodeEntities(std::string_view raw, std::string* out) {
+  out->clear();
+  out->reserve(raw.size());
+  size_t i = 0;
+  while (i < raw.size()) {
+    char c = raw[i];
+    if (c != '&') {
+      out->push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out->push_back('&');
+    } else if (ent == "lt") {
+      out->push_back('<');
+    } else if (ent == "gt") {
+      out->push_back('>');
+    } else if (ent == "quot") {
+      out->push_back('"');
+    } else if (ent == "apos") {
+      out->push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      long code;
+      std::string digits(ent.substr(1));
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        code = std::strtol(digits.c_str() + 1, nullptr, 16);
+      } else {
+        code = std::strtol(digits.c_str(), nullptr, 10);
+      }
+      if (code <= 0 || code > 0x10FFFF) {
+        return Status::ParseError("bad character reference");
+      }
+      // UTF-8 encode.
+      unsigned cp = static_cast<unsigned>(code);
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    } else {
+      return Status::ParseError("unknown entity '&" + std::string(ent) +
+                                ";'");
+    }
+    i = semi + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace xmldetail
+
+namespace {
+
+using xmldetail::IsNameChar;
+using xmldetail::IsNameStartChar;
+using xmldetail::IsXmlWhitespace;
 
 /// Recursive-descent scanner over the input text.
 class Scanner {
@@ -115,67 +186,11 @@ class Scanner {
   }
 
   /// Decodes entity and character references in [start, end) of the
-  /// input into `out`.
+  /// input into `out`, adding position info to any error.
   Status DecodeText(std::string_view raw, std::string* out) {
-    out->clear();
-    out->reserve(raw.size());
-    size_t i = 0;
-    while (i < raw.size()) {
-      char c = raw[i];
-      if (c != '&') {
-        out->push_back(c);
-        ++i;
-        continue;
-      }
-      size_t semi = raw.find(';', i);
-      if (semi == std::string_view::npos) {
-        return Fail("unterminated entity reference");
-      }
-      std::string_view ent = raw.substr(i + 1, semi - i - 1);
-      if (ent == "amp") {
-        out->push_back('&');
-      } else if (ent == "lt") {
-        out->push_back('<');
-      } else if (ent == "gt") {
-        out->push_back('>');
-      } else if (ent == "quot") {
-        out->push_back('"');
-      } else if (ent == "apos") {
-        out->push_back('\'');
-      } else if (!ent.empty() && ent[0] == '#') {
-        long code;
-        std::string digits(ent.substr(1));
-        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
-          code = std::strtol(digits.c_str() + 1, nullptr, 16);
-        } else {
-          code = std::strtol(digits.c_str(), nullptr, 10);
-        }
-        if (code <= 0 || code > 0x10FFFF) {
-          return Fail("bad character reference");
-        }
-        // UTF-8 encode.
-        unsigned cp = static_cast<unsigned>(code);
-        if (cp < 0x80) {
-          out->push_back(static_cast<char>(cp));
-        } else if (cp < 0x800) {
-          out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
-          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-        } else if (cp < 0x10000) {
-          out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
-          out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-        } else {
-          out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
-          out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
-          out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-        }
-      } else {
-        return Fail("unknown entity '&" + std::string(ent) + ";'");
-      }
-      i = semi + 1;
-    }
-    return Status::OK();
+    Status st = xmldetail::DecodeEntities(raw, out);
+    if (!st.ok()) return Fail(st.message());
+    return st;
   }
 
   Status ParseText(TokenSequence* out) {

@@ -36,6 +36,21 @@ Result<TokenSequence> ParseDocument(std::string_view xml,
 Result<TokenSequence> ParseFragment(std::string_view xml,
                                     const TokenizerOptions& options = {});
 
+/// Shared lexical helpers — one definition serving both the batch
+/// Scanner above and the incremental StreamTokenizer (stream_loader.h),
+/// so the two agree byte-for-byte on names and entity decoding.
+namespace xmldetail {
+
+bool IsXmlWhitespace(char c);
+bool IsNameStartChar(char c);
+bool IsNameChar(char c);
+
+/// Decodes entity and character references in `raw` into `out`.
+/// Positionless ParseError on bad references; callers add line info.
+Status DecodeEntities(std::string_view raw, std::string* out);
+
+}  // namespace xmldetail
+
 }  // namespace laxml
 
 #endif  // LAXML_XML_TOKENIZER_H_

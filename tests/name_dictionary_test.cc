@@ -1,0 +1,114 @@
+// Name dictionary unit tests: interning determinism, the byte budget's
+// inline-fallback contract, and serialization round-trips including
+// rejection of corrupt symbol logs.
+
+#include "xml/name_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace laxml {
+namespace {
+
+TEST(NameDictionaryTest, InternAssignsDenseIdsInFirstSeenOrder) {
+  NameDictionary dict;
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("beta"), 1u);
+  EXPECT_EQ(dict.Intern("alpha"), 0u);  // idempotent
+  EXPECT_EQ(dict.Intern("gamma"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(*dict.NameOf(1), "beta");
+  EXPECT_EQ(dict.NameOf(3), nullptr);
+}
+
+TEST(NameDictionaryTest, FindNeverInterns) {
+  NameDictionary dict;
+  EXPECT_EQ(dict.Find("tag"), kNoNameSymbol);
+  EXPECT_EQ(dict.size(), 0u);
+  dict.Intern("tag");
+  EXPECT_EQ(dict.Find("tag"), 0u);
+}
+
+TEST(NameDictionaryTest, BudgetExhaustionFallsBackWithoutForgetting) {
+  NameDictionary dict;
+  dict.set_byte_budget(24);
+  uint32_t a = dict.Intern("aaaa");
+  ASSERT_NE(a, kNoNameSymbol);
+  // Burn the budget.
+  uint32_t last = a;
+  int interned = 1;
+  for (char c = 'b'; c <= 'z'; ++c) {
+    uint32_t sym = dict.Intern(std::string(4, c));
+    if (sym == kNoNameSymbol) break;
+    last = sym;
+    ++interned;
+  }
+  EXPECT_LT(interned, 25) << "budget never bit";
+  // Full: new names are refused, existing ones still resolve.
+  EXPECT_EQ(dict.Intern("overflowing-name"), kNoNameSymbol);
+  EXPECT_EQ(dict.Intern("aaaa"), a);
+  EXPECT_EQ(dict.Find(std::string(4, 'a' + interned - 1)), last);
+  // And the serialized form honors the budget.
+  std::vector<uint8_t> blob;
+  dict.Serialize(&blob);
+  EXPECT_LE(blob.size(), 24u);
+}
+
+TEST(NameDictionaryTest, SerializeRoundTripsIdsExactly) {
+  NameDictionary dict;
+  dict.Intern("order");
+  dict.Intern("item");
+  dict.Intern("");  // empty names are legal symbols
+  dict.Intern("Ünïcode-ñame");
+  std::vector<uint8_t> blob;
+  dict.Serialize(&blob);
+  EXPECT_EQ(blob.size(), dict.SerializedSize());
+
+  NameDictionary copy;
+  ASSERT_LAXML_OK(copy.Deserialize(Slice(blob)));
+  ASSERT_EQ(copy.size(), dict.size());
+  for (uint32_t s = 0; s < dict.size(); ++s) {
+    EXPECT_EQ(*copy.NameOf(s), *dict.NameOf(s)) << "symbol " << s;
+    EXPECT_EQ(copy.Find(*dict.NameOf(s)), s);
+  }
+}
+
+TEST(NameDictionaryTest, DeserializeRejectsTruncationAndTrailingGarbage) {
+  NameDictionary dict;
+  dict.Intern("one");
+  dict.Intern("two");
+  std::vector<uint8_t> blob;
+  dict.Serialize(&blob);
+
+  for (size_t cut = 1; cut < blob.size(); ++cut) {
+    NameDictionary copy;
+    EXPECT_FALSE(copy.Deserialize(Slice(blob.data(), cut)).ok())
+        << "accepted a " << cut << "-byte prefix";
+  }
+  std::vector<uint8_t> padded = blob;
+  padded.push_back(0x7);
+  NameDictionary copy;
+  EXPECT_FALSE(copy.Deserialize(Slice(padded)).ok());
+}
+
+TEST(NameDictionaryTest, DeserializeRejectsDuplicateSymbols) {
+  NameDictionary dict;
+  dict.Intern("dup");
+  dict.Intern("dup2");
+  std::vector<uint8_t> blob;
+  dict.Serialize(&blob);
+  // Forge a log that lists "dup" twice: count=2, entries dup, dup.
+  std::vector<uint8_t> forged;
+  forged.push_back(2);
+  for (int i = 0; i < 2; ++i) {
+    forged.push_back(3);
+    forged.insert(forged.end(), {'d', 'u', 'p'});
+  }
+  NameDictionary copy;
+  Status st = copy.Deserialize(Slice(forged));
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace laxml

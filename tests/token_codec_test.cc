@@ -132,6 +132,140 @@ TEST(TokenCodecTest, LargeTextRoundTrips) {
   EXPECT_EQ(decoded[0].value, big);
 }
 
+// ---------------------------------------------------------------------
+// v2 (dictionary-coded) codec.
+
+std::vector<uint8_t> EncodeV2(const TokenSequence& tokens,
+                              NameDictionary* dict) {
+  std::vector<uint8_t> buf;
+  for (const Token& t : tokens) {
+    EXPECT_EQ(EncodedTokenSizeWith(t, kTokenCodecV2, dict),
+              [&] {
+                std::vector<uint8_t> one;
+                EncodeTokenWith(t, kTokenCodecV2, dict, &one);
+                return one.size();
+              }())
+        << t.ToString();
+    EncodeTokenWith(t, kTokenCodecV2, dict, &buf);
+  }
+  return buf;
+}
+
+TEST(TokenCodecV2Test, RoundTripsWithDictionary) {
+  TokenSequence tokens = SampleTokens();
+  NameDictionary dict;
+  std::vector<uint8_t> encoded = EncodeV2(tokens, &dict);
+  EXPECT_GT(dict.size(), 0u);
+  ASSERT_OK_AND_ASSIGN(
+      TokenSequence decoded,
+      DecodeTokens(Slice(encoded), {kTokenCodecV2, &dict}));
+  EXPECT_EQ(decoded, tokens);
+  // Decoded begin tokens carry their symbol for symbol-aware matching.
+  EXPECT_EQ(decoded[0].name_symbol, dict.Find("ticket"));
+}
+
+TEST(TokenCodecV2Test, RepeatedTagsShrink) {
+  SequenceBuilder b;
+  for (int i = 0; i < 50; ++i) {
+    b.BeginElement("purchaseOrder").Attribute("status", "ok").End();
+  }
+  TokenSequence tokens = b.Build();
+  NameDictionary dict;
+  std::vector<uint8_t> v2 = EncodeV2(tokens, &dict);
+  std::vector<uint8_t> v1 = EncodeTokens(tokens);
+  EXPECT_LT(v2.size() * 13, v1.size() * 10)
+      << "expected >= 1.3x shrink: v1=" << v1.size() << " v2=" << v2.size();
+}
+
+TEST(TokenCodecV2Test, NullDictionaryMeansInlineNames) {
+  TokenSequence tokens = SampleTokens();
+  std::vector<uint8_t> encoded;
+  for (const Token& t : tokens) {
+    EncodeTokenWith(t, kTokenCodecV2, nullptr, &encoded);
+  }
+  // Still decodable with no dictionary: every name took the fallback.
+  ASSERT_OK_AND_ASSIGN(
+      TokenSequence decoded,
+      DecodeTokens(Slice(encoded), {kTokenCodecV2, nullptr}));
+  EXPECT_EQ(decoded, tokens);
+}
+
+TEST(TokenCodecV2Test, FullDictionaryFallsBackPerName) {
+  NameDictionary dict;
+  dict.Intern("known");
+  dict.set_byte_budget(dict.SerializedSize());  // no room for more
+  TokenSequence tokens = SequenceBuilder()
+                             .BeginElement("known")
+                             .BeginElement("unknown-name")
+                             .End()
+                             .End()
+                             .Build();
+  std::vector<uint8_t> encoded = EncodeV2(tokens, &dict);
+  EXPECT_EQ(dict.size(), 1u) << "budget-full dictionary must not grow";
+  ASSERT_OK_AND_ASSIGN(
+      TokenSequence decoded,
+      DecodeTokens(Slice(encoded), {kTokenCodecV2, &dict}));
+  EXPECT_EQ(decoded, tokens);
+  EXPECT_EQ(decoded[0].name_symbol, 0u);
+  EXPECT_EQ(decoded[1].name_symbol, kNoNameSymbol);
+}
+
+TEST(TokenCodecV2Test, DanglingSymbolIsCorruptionNotCrash) {
+  NameDictionary dict;
+  TokenSequence tokens{Token::BeginElement("tag"), Token::EndElement()};
+  std::vector<uint8_t> encoded = EncodeV2(tokens, &dict);
+  // Decode against an empty dictionary: symbol 0 dangles.
+  NameDictionary empty;
+  auto decoded = DecodeTokens(Slice(encoded), {kTokenCodecV2, &empty});
+  ASSERT_TRUE(decoded.status().IsCorruption()) << decoded.status().ToString();
+  EXPECT_NE(decoded.status().ToString().find("dangling"), std::string::npos);
+}
+
+TEST(TokenCodecV2Test, ByteFuzzNeverReadsOutOfBounds) {
+  NameDictionary dict;
+  TokenSequence tokens = SampleTokens();
+  std::vector<uint8_t> encoded = EncodeV2(tokens, &dict);
+  // Every single-byte mutation and every truncation must either decode
+  // cleanly or fail with Corruption — never crash or read OOB (run
+  // under ASan in CI).
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    for (uint8_t delta : {uint8_t{1}, uint8_t{0x7F}, uint8_t{0xFF}}) {
+      std::vector<uint8_t> mutated = encoded;
+      mutated[i] = static_cast<uint8_t>(mutated[i] + delta);
+      auto result = DecodeTokens(Slice(mutated), {kTokenCodecV2, &dict});
+      if (!result.ok()) {
+        EXPECT_TRUE(result.status().IsCorruption()) << "byte " << i;
+      }
+    }
+    auto truncated =
+        DecodeTokens(Slice(encoded.data(), i), {kTokenCodecV2, &dict});
+    if (!truncated.ok()) {
+      EXPECT_TRUE(truncated.status().IsCorruption());
+    }
+  }
+}
+
+TEST(TokenCodecV2Test, SkipTracksSymbolsWithoutDictionary) {
+  // Skip never resolves names, so a dictionary-less reader can still
+  // walk a v2 stream structurally (the auditor does this before the
+  // dictionary itself is trusted).
+  NameDictionary dict;
+  std::vector<uint8_t> encoded = EncodeV2(SampleTokens(), &dict);
+  TokenReader reader{Slice(encoded), {kTokenCodecV2, nullptr}};
+  TokenType type;
+  size_t n = 0;
+  while (!reader.AtEnd()) {
+    ASSERT_LAXML_OK(reader.Skip(&type));
+    ++n;
+  }
+  EXPECT_EQ(n, SampleTokens().size());
+  // With the dictionary, Skip reports each begin token's symbol.
+  TokenReader with{Slice(encoded), {kTokenCodecV2, &dict}};
+  ASSERT_LAXML_OK(with.Skip(&type));
+  EXPECT_EQ(type, TokenType::kBeginElement);
+  EXPECT_EQ(with.last_name_symbol(), dict.Find("ticket"));
+}
+
 TEST(TokenSequenceTest, CountNodeBegins) {
   EXPECT_EQ(CountNodeBegins(SampleTokens()), 6u);
   EXPECT_EQ(CountNodeBegins({}), 0u);

@@ -42,6 +42,21 @@ TEST(TortureSmokeTest, TwoHundredIterationsSurviveCleanly) {
   EXPECT_GT(report.torn_tail_crashes, 0u);
 }
 
+TEST(TortureSmokeTest, V1CodecStoreSurvivesAgainstV2Oracle) {
+  // The default run tortures a v2 store against a v1 oracle; flip it.
+  // Either way every Verify is a byte-for-byte v1-vs-v2 comparison of
+  // the decoded token streams under fault injection.
+  auto opts = SmokeOptions("v1codec");
+  opts.iterations = 60;
+  opts.token_codec = 1;
+  ASSERT_EQ(::mkdir(opts.dir.c_str(), 0755) == 0 || errno == EEXIST, true);
+  torture::TortureReport report = torture::RunTorture(opts);
+  EXPECT_TRUE(report.ok()) << report.error << " (iteration "
+                           << report.failed_iteration << ", seed "
+                           << report.failed_seed << ")";
+  EXPECT_GT(report.faults_fired, 0u);
+}
+
 TEST(TortureSmokeTest, SameSeedSameReport) {
   auto opts = SmokeOptions("determinism");
   opts.iterations = 40;

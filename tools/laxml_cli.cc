@@ -30,6 +30,15 @@
 //                                Prometheus text format with --prom)
 //   check                        run the integrity auditor
 //
+// Offline mode (no server): with --db PATH the only command is
+//
+//   laxml_cli --db store.db load --stream <file.xml>
+//
+// which stream-loads an XML document into a FRESH store file via
+// Store::BulkLoad — constant memory regardless of document size. The
+// store must not be open elsewhere (bulk load is an initial-ingest
+// operation; the server refuses a second opener anyway).
+//
 // Exit code 0 when every command succeeded, 1 otherwise.
 
 #include <cstdio>
@@ -42,6 +51,7 @@
 
 #include "net/client.h"
 #include "obs/trace.h"
+#include "store/store.h"
 #include "xml/serializer.h"
 #include "xml/tokenizer.h"
 
@@ -53,6 +63,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--trace-id N]\n"
                "       [--trace-out FILE] [command args...]\n"
+               "       %s --db STORE load --stream FILE   (offline)\n"
                "With no command, reads one command per line from stdin.\n"
                "Commands: ping, load, insert-before, insert-after,\n"
                "insert-first, insert-last, replace, replace-content,\n"
@@ -62,7 +73,7 @@ void Usage(const char* argv0) {
                "laxml_trace --trace-id); --trace-out FILE dumps this\n"
                "client's own spans at exit for merging with the\n"
                "server's dump.\n",
-               argv0);
+               argv0, argv0);
 }
 
 bool ParseId(const std::string& text, laxml::NodeId* id) {
@@ -225,11 +236,43 @@ bool RunCommand(Client* client, const std::string& line) {
   return false;
 }
 
+/// Offline `load --stream FILE`: BulkLoadFile into a fresh store and
+/// print the ingest summary (CI greps the bytes_per_token field).
+int RunOfflineLoad(const std::string& db, const std::string& file) {
+  laxml::StoreOptions options;
+  auto store = laxml::Store::Open(db, options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "laxml_cli: open %s: %s\n", db.c_str(),
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = (*store)->BulkLoadFile(file);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "laxml_cli: bulk load: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "bulk-load: bytes=%llu tokens=%llu nodes=%llu ranges=%llu "
+      "payload_bytes=%llu dict_symbols=%u bytes_per_token=%.2f\n",
+      static_cast<unsigned long long>(stats->xml_bytes),
+      static_cast<unsigned long long>(stats->tokens),
+      static_cast<unsigned long long>(stats->nodes),
+      static_cast<unsigned long long>(stats->ranges),
+      static_cast<unsigned long long>(stats->payload_bytes),
+      stats->dict_symbols,
+      stats->tokens > 0
+          ? static_cast<double>(stats->payload_bytes) / stats->tokens
+          : 0.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   long port = 4891;
+  std::string db;
   unsigned long long trace_id = 0;
   std::string trace_out;
   int i = 1;
@@ -254,6 +297,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(arg, "--db") == 0 && i + 1 < argc) {
+      db = argv[++i];
     } else if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
       Usage(argv[0]);
       return 0;
@@ -264,6 +309,17 @@ int main(int argc, char** argv) {
     } else {
       break;  // start of the command words
     }
+  }
+
+  if (!db.empty()) {
+    if (i + 2 != argc - 1 || std::strcmp(argv[i], "load") != 0 ||
+        std::strcmp(argv[i + 1], "--stream") != 0) {
+      std::fprintf(stderr,
+                   "%s: --db supports exactly: load --stream <file>\n",
+                   argv[0]);
+      return 2;
+    }
+    return RunOfflineLoad(db, argv[i + 2]);
   }
 
   auto client = Client::Connect(host, static_cast<uint16_t>(port));

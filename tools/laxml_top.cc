@@ -232,6 +232,12 @@ void Paint(const Sample& prev, const Sample& cur, double dt_sec,
     }
   }
 
+  // Compression health: encoded payload bytes per stored token (the
+  // name dictionary's whole point) and how many names it interned.
+  std::printf("  %-28s %10.2f  (%.0f symbols)\n", "storage bytes/token",
+              Get(cur, "laxml_storage_bytes_per_token_x1000") / 1000.0,
+              Get(cur, "laxml_dict_symbols"));
+
   std::printf("\nconcurrency\n");
   // Shared vs exclusive latch acquisitions over the window: how much of
   // the load rode the concurrent read path.

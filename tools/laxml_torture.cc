@@ -35,6 +35,9 @@ void Usage(const char* argv0) {
       "              exact flags that replay it\n"
       "  --ops N     workload operations per iteration (default 40)\n"
       "  --dir PATH  directory for the store files (default .)\n"
+      "  --codec N   token codec for the store under torture (1 or 2,\n"
+      "              default 2); the oracle runs the other codec, so\n"
+      "              every verify cross-checks v1 vs v2 byte-for-byte\n"
       "  -v          one progress line per iteration\n"
       "  -h, --help  this message\n",
       argv0);
@@ -73,6 +76,12 @@ int main(int argc, char** argv) {
       options.ops_per_iteration = static_cast<uint32_t>(v);
     } else if (std::strcmp(arg, "--dir") == 0) {
       options.dir = need_value("--dir");
+    } else if (std::strcmp(arg, "--codec") == 0) {
+      if (!ParseU64(need_value("--codec"), &v) || v < 1 || v > 2) {
+        Usage(argv[0]);
+        return 2;
+      }
+      options.token_codec = static_cast<uint32_t>(v);
     } else if (std::strcmp(arg, "-v") == 0) {
       options.verbose = true;
     } else if (std::strcmp(arg, "-h") == 0 ||
