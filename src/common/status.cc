@@ -2,8 +2,7 @@
 
 namespace laxml {
 
-namespace {
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -27,14 +26,17 @@ const char* CodeName(StatusCode code) {
       return "NoSpace";
     case StatusCode::kPoisoned:
       return "Poisoned";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kRetryLater:
+      return "RetryLater";
   }
   return "Unknown";
 }
-}  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

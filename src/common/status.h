@@ -29,7 +29,16 @@ enum class StatusCode : unsigned char {
   kResourceExhausted = 8, ///< Out of pages, frames, ids, or capacity.
   kNoSpace = 9,         ///< The device is out of space (ENOSPC-class).
   kPoisoned = 10,       ///< Store is fail-stopped after an earlier error.
+  kDeadlineExceeded = 11, ///< Request deadline expired before execution.
+  kRetryLater = 12,     ///< Server shed the request pre-execution; retry.
 };
+
+/// Number of StatusCode values (for per-code counter tables).
+inline constexpr int kStatusCodeCount = 13;
+
+/// Short name of a code ("OK", "RetryLater", ...); "Unknown" for an
+/// out-of-range byte.
+const char* StatusCodeName(StatusCode code);
 
 /// Return value of every fallible engine operation.
 ///
@@ -80,6 +89,12 @@ class [[nodiscard]] Status {
   static Status Poisoned(std::string msg) {
     return Status(StatusCode::kPoisoned, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status RetryLater(std::string msg) {
+    return Status(StatusCode::kRetryLater, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -97,6 +112,10 @@ class [[nodiscard]] Status {
   }
   bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
   bool IsPoisoned() const { return code_ == StatusCode::kPoisoned; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsRetryLater() const { return code_ == StatusCode::kRetryLater; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -51,18 +51,34 @@ Status PollUntil(int fd, short events, Clock::time_point deadline,
   }
 }
 
-// Dials the server once and flips the socket non-blocking so the
-// client's poll deadlines, not kernel socket timeouts, govern I/O.
-Result<UniqueFd> Dial(const std::string& host, uint16_t port,
-                      const ClientOptions& options) {
+// Dials the server once, flips the socket non-blocking so the
+// client's poll deadlines, not kernel socket timeouts, govern I/O,
+// and applies the decoration hook.
+Result<std::unique_ptr<Socket>> Dial(const std::string& host, uint16_t port,
+                                     const ClientOptions& options) {
   LAXML_ASSIGN_OR_RETURN(
       UniqueFd fd,
       ConnectTcp(host, port, options.connect_timeout_ms, /*io_timeout_ms=*/0));
   LAXML_RETURN_IF_ERROR(SetNonBlocking(fd.get(), true));
-  return fd;
+  return WrapSocket(std::move(fd), options.socket_wrapper);
 }
 
 }  // namespace
+
+Client::Client(std::unique_ptr<Socket> sock, std::string host, uint16_t port,
+               const ClientOptions& options)
+    : options_(options),
+      host_(std::move(host)),
+      port_(port),
+      sock_(std::move(sock)) {
+  jitter_state_ = options_.backoff_seed;
+  if (jitter_state_ == 0) {
+    jitter_state_ =
+        static_cast<uint64_t>(Clock::now().time_since_epoch().count()) ^
+        reinterpret_cast<uintptr_t>(this);
+  }
+  if (jitter_state_ == 0) jitter_state_ = 1;
+}
 
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
                                                 uint16_t port,
@@ -74,23 +90,23 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options.retry_delay_ms));
     }
-    auto fd = Dial(host, port, options);
-    if (fd.ok()) {
+    auto sock = Dial(host, port, options);
+    if (sock.ok()) {
       return std::unique_ptr<Client>(
-          new Client(std::move(fd).value(), host, port, options));
+          new Client(std::move(sock).value(), host, port, options));
     }
-    last = fd.status();
+    last = sock.status();
   }
   return last;
 }
 
 Status Client::Reconnect() {
-  fd_.Reset();
+  sock_.reset();
   rbuf_.clear();
   rpos_ = 0;
   std::this_thread::sleep_for(
       std::chrono::milliseconds(options_.retry_delay_ms));
-  LAXML_ASSIGN_OR_RETURN(fd_, Dial(host_, port_, options_));
+  LAXML_ASSIGN_OR_RETURN(sock_, Dial(host_, port_, options_));
   return Status::OK();
 }
 
@@ -98,15 +114,16 @@ Status Client::SendAll(const uint8_t* data, size_t len) {
   const Clock::time_point deadline = OpDeadline(options_.io_timeout_ms);
   size_t off = 0;
   while (off < len) {
-    ssize_t n = ::write(fd_.get(), data + off, len - off);
+    int err = 0;
+    ssize_t n = sock_->Write(data + off, len - off, &err);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (err == EINTR) continue;
+      if (err == EAGAIN || err == EWOULDBLOCK) {
         LAXML_RETURN_IF_ERROR(
-            PollUntil(fd_.get(), POLLOUT, deadline, "send"));
+            PollUntil(sock_->fd(), POLLOUT, deadline, "send"));
         continue;
       }
-      return Status::IOError(std::string("send: ") + std::strerror(errno));
+      return Status::IOError(std::string("send: ") + std::strerror(err));
     }
     off += static_cast<size_t>(n);
   }
@@ -129,7 +146,8 @@ Result<Response> Client::ReadResponse() {
       }
       return resp;
     }
-    ssize_t n = ::read(fd_.get(), tmp, sizeof(tmp));
+    int err = 0;
+    ssize_t n = sock_->Read(tmp, sizeof(tmp), &err);
     if (n > 0) {
       rbuf_.insert(rbuf_.end(), tmp, tmp + n);
       continue;
@@ -137,13 +155,13 @@ Result<Response> Client::ReadResponse() {
     if (n == 0) {
       return Status::IOError("server closed the connection");
     }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) {
       LAXML_RETURN_IF_ERROR(
-          PollUntil(fd_.get(), POLLIN, deadline, "receive"));
+          PollUntil(sock_->fd(), POLLIN, deadline, "receive"));
       continue;
     }
-    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    return Status::IOError(std::string("recv: ") + std::strerror(err));
   }
 }
 
@@ -161,9 +179,12 @@ Result<Response> Client::CallIdempotent(Request req) {
   return Call(std::move(copy));
 }
 
-Result<Response> Client::Call(Request req) {
+Result<Response> Client::CallOnce(Request req) {
   req.request_id = next_request_id_++;
   req.trace_id = trace_id_;
+  if (deadline_ms_ != 0 && req.deadline_ms == kNoDeadline) {
+    req.deadline_ms = deadline_ms_;
+  }
   // The client's own span carries the same trace id as the server's,
   // so merged dumps show the round trip around the server's execute.
   obs::RequestContext rc;
@@ -180,6 +201,39 @@ Result<Response> Client::Call(Request req) {
   return resp;
 }
 
+void Client::BackoffSleep(int attempt) {
+  uint64_t cap = static_cast<uint64_t>(
+      options_.retry_later_base_ms > 0 ? options_.retry_later_base_ms : 1);
+  cap <<= attempt > 20 ? 20 : attempt;
+  const uint64_t max_ms = static_cast<uint64_t>(
+      options_.retry_later_max_ms > 0 ? options_.retry_later_max_ms : 1);
+  if (cap > max_ms) cap = max_ms;
+  // Equal jitter: half deterministic, half uniform — retries from a
+  // fleet that was shed together spread out instead of re-stampeding.
+  uint64_t x = jitter_state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  jitter_state_ = x;
+  const uint64_t sleep_ms = cap / 2 + x % (cap / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
+Result<Response> Client::Call(Request req) {
+  for (int attempt = 0;; ++attempt) {
+    Request copy = req;  // CallOnce consumes; keep the retry's.
+    auto resp = CallOnce(std::move(copy));
+    // kRetryLater is the one server verdict that guarantees the op was
+    // NOT executed (admission control sheds before the store is
+    // touched), so retrying is safe for every opcode.
+    if (!resp.ok() || !resp->status.IsRetryLater() ||
+        attempt >= options_.retry_later_attempts) {
+      return resp;
+    }
+    BackoffSleep(attempt);
+  }
+}
+
 Result<std::vector<Response>> Client::CallBatch(std::vector<Request> reqs) {
   obs::RequestContext rc;
   rc.trace_id = trace_id_;
@@ -189,6 +243,9 @@ Result<std::vector<Response>> Client::CallBatch(std::vector<Request> reqs) {
   for (Request& req : reqs) {
     req.request_id = next_request_id_++;
     req.trace_id = trace_id_;
+    if (deadline_ms_ != 0 && req.deadline_ms == kNoDeadline) {
+      req.deadline_ms = deadline_ms_;
+    }
     EncodeRequest(req, &frames);
   }
   LAXML_RETURN_IF_ERROR(SendAll(frames.data(), frames.size()));

@@ -16,6 +16,12 @@
 // because re-running a read is safe. Mutations never retry — the
 // original may have been applied before the connection died.
 //
+// A kRetryLater response is different: the server sheds *before*
+// executing, so Call() transparently retries every op (mutations too)
+// with jittered exponential backoff under a bounded per-call budget
+// (ClientOptions::retry_later_*); only an exhausted budget surfaces
+// kRetryLater to the caller.
+//
 // Thread safety: none. One Client per thread; connections are cheap.
 
 #ifndef LAXML_NET_CLIENT_H_
@@ -45,6 +51,19 @@ struct ClientOptions {
   /// I/O error or timeout. Mutations are never retried.
   bool retry_idempotent = true;
   size_t max_frame_bytes = kMaxFrameBody;
+  /// An overloaded server answers kRetryLater *instead of executing*
+  /// (admission control sheds before the store is touched), so any op
+  /// — mutations included — may safely retry it. Call() does, with
+  /// jittered exponential backoff, up to this many extra attempts per
+  /// call. 0 surfaces kRetryLater to the caller immediately.
+  int retry_later_attempts = 4;
+  int retry_later_base_ms = 20;  ///< First backoff; doubles per attempt.
+  int retry_later_max_ms = 2000; ///< Backoff ceiling.
+  /// Seed for the backoff jitter; 0 derives one (tests pin it).
+  uint64_t backoff_seed = 0;
+  /// Decorates the connected socket (fault injection seam). Applied on
+  /// every dial, including reconnects.
+  SocketWrapper socket_wrapper;
 };
 
 class Client {
@@ -59,6 +78,13 @@ class Client {
   /// requests spend no wire bytes on it.
   void set_trace_id(uint64_t trace_id) { trace_id_ = trace_id; }
   uint64_t trace_id() const { return trace_id_; }
+
+  /// Deadline budget stamped on every subsequent request that does not
+  /// carry its own (wire varint; the server rejects the request with
+  /// DeadlineExceeded once the budget is spent, before touching the
+  /// store). 0 (the default) disables — no wire bytes spent.
+  void set_deadline_ms(uint64_t deadline_ms) { deadline_ms_ = deadline_ms; }
+  uint64_t deadline_ms() const { return deadline_ms_; }
 
   /// Sends one request and blocks for its response. The request id is
   /// assigned by the client; mismatched response ids are Corruption.
@@ -94,13 +120,11 @@ class Client {
   /// @}
 
  private:
-  Client(UniqueFd fd, std::string host, uint16_t port,
-         const ClientOptions& options)
-      : options_(options),
-        host_(std::move(host)),
-        port_(port),
-        fd_(std::move(fd)) {}
+  Client(std::unique_ptr<Socket> sock, std::string host, uint16_t port,
+         const ClientOptions& options);
 
+  /// One request/response exchange, no retry policy.
+  Result<Response> CallOnce(Request req);
   Status SendAll(const uint8_t* data, size_t len);
   /// Reads from the socket until one complete frame is buffered, then
   /// decodes it as a response.
@@ -112,13 +136,17 @@ class Client {
   Status Reconnect();
   /// Shorthand: run `req`, propagate errors, return the new node id.
   Result<NodeId> CallForId(Request req);
+  /// Sleeps the jittered exponential backoff for retry attempt `attempt`.
+  void BackoffSleep(int attempt);
 
   ClientOptions options_;
   std::string host_;
   uint16_t port_ = 0;
-  UniqueFd fd_;
+  std::unique_ptr<Socket> sock_;
   uint64_t next_request_id_ = 1;
   uint64_t trace_id_ = 0;
+  uint64_t deadline_ms_ = 0;
+  uint64_t jitter_state_ = 1;
   std::vector<uint8_t> rbuf_;
   size_t rpos_ = 0;
 };

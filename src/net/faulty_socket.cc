@@ -1,0 +1,164 @@
+#include "net/faulty_socket.h"
+
+#include <sys/socket.h>
+#include <time.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace laxml {
+namespace net {
+
+namespace {
+
+void NapMicros(uint32_t us) {
+  if (us == 0) return;
+  timespec ts{static_cast<time_t>(us / 1000000),
+              static_cast<long>(us % 1000000) * 1000};
+  ::nanosleep(&ts, nullptr);
+}
+
+// Stalled ops nap before reporting EAGAIN: a poll-readable fd would
+// otherwise spin the caller's read loop flat out until its deadline.
+constexpr uint32_t kStallNapMicros = 2000;
+
+void LingerReset(int fd) {
+  if (fd < 0) return;
+  linger lg{1, 0};
+  // Best effort: if the option fails the close below degrades to FIN.
+  (void)::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+}
+
+}  // namespace
+
+const char* SocketFaultOpName(SocketFaultOp op) {
+  switch (op) {
+    case SocketFaultOp::kConnect: return "connect";
+    case SocketFaultOp::kRead: return "read";
+    case SocketFaultOp::kWrite: return "write";
+    case SocketFaultOp::kClose: return "close";
+  }
+  return "unknown";
+}
+
+void SocketFaultPlan::FailNth(SocketFaultOp op, uint64_t nth, int error,
+                              bool sticky) {
+  Rule& rule = rules[static_cast<int>(op)];
+  rule.nth = nth;
+  rule.error = error;
+  rule.sticky = sticky;
+}
+
+FaultySocket::FaultySocket(std::unique_ptr<Socket> base, SocketFaultPlan plan)
+    : base_(std::move(base)),
+      plan_(std::move(plan)),
+      rng_state_(plan_.random_seed != 0 ? plan_.random_seed : 1) {
+  int err = CheckFault(SocketFaultOp::kConnect);
+  if (err != 0) {
+    born_dead_ = true;
+    born_dead_errno_ = err;
+  }
+}
+
+uint64_t FaultySocket::NextRandom() {
+  // xorshift64 — the same generator the storage injector uses.
+  uint64_t x = rng_state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  rng_state_ = x;
+  return x;
+}
+
+int FaultySocket::CheckFault(SocketFaultOp op) {
+  const int idx = static_cast<int>(op);
+  const uint64_t count = ++op_counts_[idx];
+  const SocketFaultPlan::Rule& rule = plan_.rules[idx];
+  if (rule.nth != 0 &&
+      (count == rule.nth || (rule.sticky && count > rule.nth))) {
+    ++injected_faults_;
+    return rule.error != 0 ? rule.error : ECONNRESET;
+  }
+  if (plan_.random_permille[idx] > 0 &&
+      NextRandom() % 1000 < plan_.random_permille[idx]) {
+    ++injected_faults_;
+    return plan_.random_error != 0 ? plan_.random_error : ECONNRESET;
+  }
+  return 0;
+}
+
+ssize_t FaultySocket::Read(uint8_t* buf, size_t len, int* err) {
+  if (born_dead_) {
+    if (err != nullptr) *err = born_dead_errno_;
+    return -1;
+  }
+  int injected = CheckFault(SocketFaultOp::kRead);
+  if (injected != 0) {
+    if (err != nullptr) *err = injected;
+    return -1;
+  }
+  if (plan_.stall_read_after_bytes != 0 &&
+      bytes_read_ >= plan_.stall_read_after_bytes) {
+    NapMicros(kStallNapMicros);
+    if (err != nullptr) *err = EAGAIN;
+    return -1;
+  }
+  NapMicros(plan_.read_delay_us);
+  size_t want = len;
+  if (plan_.max_read_bytes != 0 && want > plan_.max_read_bytes) {
+    want = plan_.max_read_bytes;
+  }
+  if (plan_.stall_read_after_bytes != 0) {
+    const uint64_t left = plan_.stall_read_after_bytes - bytes_read_;
+    if (want > left) want = static_cast<size_t>(left);
+  }
+  ssize_t n = base_->Read(buf, want, err);
+  if (n > 0) bytes_read_ += static_cast<uint64_t>(n);
+  return n;
+}
+
+ssize_t FaultySocket::Write(const uint8_t* buf, size_t len, int* err) {
+  if (born_dead_) {
+    if (err != nullptr) *err = born_dead_errno_;
+    return -1;
+  }
+  int injected = CheckFault(SocketFaultOp::kWrite);
+  if (injected != 0) {
+    if (err != nullptr) *err = injected;
+    return -1;
+  }
+  if (plan_.stall_write_after_bytes != 0 &&
+      bytes_written_ >= plan_.stall_write_after_bytes) {
+    NapMicros(kStallNapMicros);
+    if (err != nullptr) *err = EAGAIN;
+    return -1;
+  }
+  NapMicros(plan_.write_delay_us);
+  size_t want = len;
+  if (plan_.max_write_bytes != 0 && want > plan_.max_write_bytes) {
+    want = plan_.max_write_bytes;
+  }
+  if (plan_.stall_write_after_bytes != 0) {
+    const uint64_t left = plan_.stall_write_after_bytes - bytes_written_;
+    if (want > left) want = static_cast<size_t>(left);
+  }
+  ssize_t n = base_->Write(buf, want, err);
+  if (n > 0) bytes_written_ += static_cast<uint64_t>(n);
+  return n;
+}
+
+void FaultySocket::Reset() {
+  LingerReset(base_->fd());
+  base_->Close();
+}
+
+void FaultySocket::Close() {
+  int injected = CheckFault(SocketFaultOp::kClose);
+  if (injected != 0) {
+    LingerReset(base_->fd());
+  }
+  base_->Close();
+}
+
+}  // namespace net
+}  // namespace laxml

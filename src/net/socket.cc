@@ -49,6 +49,27 @@ void UniqueFd::Reset(int fd) {
   fd_ = fd;
 }
 
+ssize_t PlainSocket::Read(uint8_t* buf, size_t len, int* err) {
+  ssize_t n = ::read(fd_.get(), buf, len);
+  if (n < 0 && err != nullptr) *err = errno;
+  return n;
+}
+
+ssize_t PlainSocket::Write(const uint8_t* buf, size_t len, int* err) {
+  // MSG_NOSIGNAL: a peer that vanished mid-write (RST) must surface as
+  // EPIPE, not a process-killing SIGPIPE — neither the server nor any
+  // client tool installs a SIGPIPE handler.
+  ssize_t n = ::send(fd_.get(), buf, len, MSG_NOSIGNAL);
+  if (n < 0 && err != nullptr) *err = errno;
+  return n;
+}
+
+std::unique_ptr<Socket> WrapSocket(UniqueFd fd, const SocketWrapper& wrapper) {
+  std::unique_ptr<Socket> sock = std::make_unique<PlainSocket>(std::move(fd));
+  if (wrapper) sock = wrapper(std::move(sock));
+  return sock;
+}
+
 Status SetNonBlocking(int fd, bool nonblocking) {
   int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0) return Errno("fcntl(F_GETFL)");

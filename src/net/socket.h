@@ -7,7 +7,11 @@
 #ifndef LAXML_NET_SOCKET_H_
 #define LAXML_NET_SOCKET_H_
 
+#include <sys/types.h>
+
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -66,6 +70,50 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
 
 /// Flips O_NONBLOCK on `fd`.
 Status SetNonBlocking(int fd, bool nonblocking);
+
+/// Byte-stream seam over a connected socket. Client and server I/O go
+/// through this interface instead of raw read(2)/write(2), so a fault
+/// injector (FaultySocket, faulty_socket.h) can decorate either side
+/// without touching the framing or poll logic.
+///
+/// Read/Write follow the read(2)/write(2) contract: bytes moved on
+/// success, 0 = peer EOF (Read only), -1 with *err = errno on failure
+/// (EAGAIN/EINTR included — callers keep their existing retry loops).
+/// fd() stays visible for poll registration; a decorator must return
+/// the real descriptor. Not thread-safe: one owner at a time (the
+/// client thread, or the server's I/O thread).
+class Socket {
+ public:
+  virtual ~Socket() = default;
+  virtual int fd() const = 0;
+  virtual ssize_t Read(uint8_t* buf, size_t len, int* err) = 0;
+  virtual ssize_t Write(const uint8_t* buf, size_t len, int* err) = 0;
+  /// Closes the descriptor now (idempotent; the destructor closes too).
+  virtual void Close() = 0;
+};
+
+/// The production Socket: a thin pass-through over an owned fd.
+class PlainSocket : public Socket {
+ public:
+  explicit PlainSocket(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  int fd() const override { return fd_.get(); }
+  ssize_t Read(uint8_t* buf, size_t len, int* err) override;
+  ssize_t Write(const uint8_t* buf, size_t len, int* err) override;
+  void Close() override { fd_.Reset(); }
+
+ private:
+  UniqueFd fd_;
+};
+
+/// Decoration hook: given the freshly connected/accepted socket,
+/// returns the socket to actually use (tests interpose FaultySocket
+/// here). Null or empty wrapper = use the socket as-is.
+using SocketWrapper =
+    std::function<std::unique_ptr<Socket>(std::unique_ptr<Socket>)>;
+
+/// Wraps `fd` in a PlainSocket and applies `wrapper` when set.
+std::unique_ptr<Socket> WrapSocket(UniqueFd fd, const SocketWrapper& wrapper);
 
 }  // namespace net
 }  // namespace laxml

@@ -136,9 +136,11 @@ void EncodeRequest(const Request& req, std::vector<uint8_t>* dst) {
   const size_t body_start = dst->size();
   uint8_t op_byte = static_cast<uint8_t>(req.op);
   if (req.trace_id != 0) op_byte |= kTraceRequestFlag;
+  if (req.deadline_ms != kNoDeadline) op_byte |= kDeadlineRequestFlag;
   dst->push_back(op_byte);
   PutVarint64(dst, req.request_id);
   if (req.trace_id != 0) PutVarint64(dst, req.trace_id);
+  if (req.deadline_ms != kNoDeadline) PutVarint64(dst, req.deadline_ms);
   if (HasTarget(req.op)) PutVarint64(dst, req.target);
   if (HasFragment(req.op)) {
     for (const Token& t : req.data) EncodeToken(t, dst);
@@ -186,11 +188,12 @@ Result<Request> DecodeRequest(Slice body) {
   if (body.empty()) {
     return Status::Corruption("wire body truncated before opcode");
   }
-  // The trace flag must come off before the opcode range check — a
-  // flagged byte is a valid opcode plus one extension varint.
+  // The extension flags must come off before the opcode range check —
+  // a flagged byte is a valid opcode plus one extension varint each.
   uint8_t raw = body[pos++];
   const bool traced = (raw & kTraceRequestFlag) != 0;
-  raw &= static_cast<uint8_t>(~kTraceRequestFlag);
+  const bool has_deadline = (raw & kDeadlineRequestFlag) != 0;
+  raw &= static_cast<uint8_t>(~(kTraceRequestFlag | kDeadlineRequestFlag));
   if (raw > kMaxOpCode) {
     return Status::Corruption("unknown opcode " + std::to_string(raw));
   }
@@ -202,6 +205,13 @@ Result<Request> DecodeRequest(Slice body) {
                            DecodeVarint(body, &pos, "trace id"));
     if (req.trace_id == 0) {
       return Status::Corruption("traced request with zero trace id");
+    }
+  }
+  if (has_deadline) {
+    LAXML_ASSIGN_OR_RETURN(req.deadline_ms,
+                           DecodeVarint(body, &pos, "deadline"));
+    if (req.deadline_ms == kNoDeadline) {
+      return Status::Corruption("deadline varint is the no-deadline value");
     }
   }
   if (HasTarget(req.op)) {
@@ -360,6 +370,12 @@ Status StatusFromWire(uint8_t code, std::string message, Status* out) {
       return Status::OK();
     case StatusCode::kPoisoned:
       *out = Status::Poisoned(std::move(message));
+      return Status::OK();
+    case StatusCode::kDeadlineExceeded:
+      *out = Status::DeadlineExceeded(std::move(message));
+      return Status::OK();
+    case StatusCode::kRetryLater:
+      *out = Status::RetryLater(std::move(message));
       return Status::OK();
   }
   return Status::Corruption("unknown status code " + std::to_string(code));

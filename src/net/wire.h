@@ -77,6 +77,17 @@ inline constexpr uint8_t kMaxOpCode = 15;
 /// decoders (see the frame layout comment above).
 inline constexpr uint8_t kTraceRequestFlag = 0x80;
 
+/// Request-opcode-byte flag: a deadline varint (milliseconds of budget
+/// remaining, after the trace id if both flags are set) follows. Like
+/// the trace flag, a flagged byte lands outside the opcode range for
+/// old decoders, so they reject rather than misparse.
+inline constexpr uint8_t kDeadlineRequestFlag = 0x40;
+
+/// Request::deadline_ms value meaning "no deadline" (no wire bytes
+/// spent). An explicit 0 is legal and means already expired — the
+/// server rejects it before touching the store.
+inline constexpr uint64_t kNoDeadline = ~0ull;
+
 /// Rendering formats a kGetMetrics request can ask for.
 enum class MetricsFormat : uint8_t {
   kTable = 0,       ///< Human-readable aligned table.
@@ -100,6 +111,10 @@ struct Request {
   uint64_t request_id = 0;
   /// Client-assigned trace id; 0 = untraced (no wire bytes spent).
   uint64_t trace_id = 0;
+  /// Milliseconds of deadline budget remaining when the request was
+  /// encoded; kNoDeadline = none. The budget is relative (no clock
+  /// sync): the server starts its countdown at decode time.
+  uint64_t deadline_ms = kNoDeadline;
   NodeId target = kInvalidNodeId;  ///< Insert*/Delete/Replace*/ReadNode.
   TokenSequence data;              ///< Insert*/Replace* fragment payload.
   std::string expr;                ///< XPath / Explain expression text.

@@ -95,33 +95,60 @@ void Server::IoLoop() {
       }
     }
 
-    // Interest pass: prune finished connections, recompute poll masks.
+    // Interest pass: reap stalled/idle connections, prune finished
+    // ones, recompute poll masks.
     bool any_inflight = false;
+    bool have_conns = false;
+    const uint64_t now = NowMicros();
     {
       MutexLock lk(conns_mu_);
       for (auto it = conns_.begin(); it != conns_.end();) {
         Connection* c = it->second.get();
         const bool wbuf_empty = c->woff >= c->wbuf.size();
+        // Write-stall reap: responses are buffered but the peer has
+        // not accepted a byte for write_timeout_ms — a stalled reader
+        // holds buffer memory, never a worker.
+        if (!c->dead && options_.write_timeout_ms > 0 && !wbuf_empty &&
+            c->last_write_progress_micros != 0 &&
+            now > c->last_write_progress_micros +
+                      static_cast<uint64_t>(options_.write_timeout_ms) *
+                          1000) {
+          c->dead = true;
+          stats_.AddReaped();
+          stats_.AddDropped();
+        }
+        // Idle reap (slowloris guard): nothing in flight, nothing
+        // buffered, no read activity for idle_timeout_s.
+        if (!c->dead && options_.idle_timeout_s > 0 && c->inflight == 0 &&
+            wbuf_empty && !c->peer_closed &&
+            now > c->last_activity_micros +
+                      static_cast<uint64_t>(options_.idle_timeout_s) *
+                          1000000) {
+          c->dead = true;
+          stats_.AddReaped();
+          stats_.AddDropped();
+        }
         bool done = c->dead && c->inflight == 0;
         if (c->peer_closed && c->inflight == 0 && wbuf_empty) done = true;
         if (draining && c->inflight == 0 &&
-            (wbuf_empty || NowMicros() > drain_deadline_micros)) {
+            (wbuf_empty || now > drain_deadline_micros)) {
           done = true;
         }
         if (done) {
-          poller_.Unwatch(c->fd.get());
-          fd_index.erase(c->fd.get());
+          poller_.Unwatch(c->sock->fd());
+          fd_index.erase(c->sock->fd());
           it = conns_.erase(it);
           continue;
         }
         if (c->inflight > 0) any_inflight = true;
+        have_conns = true;
         const bool paused =
             c->inflight >= options_.max_inflight_per_conn ||
             (c->wbuf.size() - c->woff) > options_.max_write_buffer_bytes;
         const bool want_read =
             !draining && !c->peer_closed && !c->dead && !paused;
         const bool want_write = !c->dead && !wbuf_empty;
-        poller_.Watch(c->fd.get(), want_read, want_write);
+        poller_.Watch(c->sock->fd(), want_read, want_write);
         ++it;
       }
       if (draining) {
@@ -133,9 +160,18 @@ void Server::IoLoop() {
         if (queue_empty && !any_inflight && conns_.empty()) break;
       }
     }
+    // Hard drain deadline: past it, stop waiting on stragglers — the
+    // workers drain what is queued and DoShutdown closes the rest.
+    if (draining && now > drain_deadline_micros) break;
     if (!draining) poller_.Watch(listen_fd_.get(), true, false);
 
-    auto events = poller_.Wait(draining ? 50 : -1);
+    // Reap timers need a periodic tick; otherwise sleep until traffic.
+    int poll_ms = draining ? 50 : -1;
+    if (poll_ms < 0 && have_conns &&
+        (options_.write_timeout_ms > 0 || options_.idle_timeout_s > 0)) {
+      poll_ms = 100;
+    }
+    auto events = poller_.Wait(poll_ms);
     if (!events.ok()) break;  // poll itself failed; bail out
 
     for (const net::Poller::Event& ev : *events) {
@@ -145,9 +181,11 @@ void Server::IoLoop() {
           if (!accepted.ok()) break;
           auto conn = std::make_unique<Connection>();
           conn->id = next_conn_id_++;
-          conn->fd = std::move(accepted).value();
+          conn->sock = net::WrapSocket(std::move(accepted).value(),
+                                       options_.socket_wrapper);
+          conn->last_activity_micros = NowMicros();
           stats_.AddAccepted();
-          fd_index.emplace(conn->fd.get(), conn->id);
+          fd_index.emplace(conn->sock->fd(), conn->id);
           MutexLock lk(conns_mu_);
           conns_.emplace(conn->id, std::move(conn));
         }
@@ -179,9 +217,11 @@ void Server::IoLoop() {
 bool Server::HandleReadable(Connection* conn) {
   uint8_t tmp[16384];
   while (true) {
-    ssize_t n = ::read(conn->fd.get(), tmp, sizeof(tmp));
+    int err = 0;
+    ssize_t n = conn->sock->Read(tmp, sizeof(tmp), &err);
     if (n > 0) {
       stats_.AddBytesRead(static_cast<uint64_t>(n));
+      conn->last_activity_micros = NowMicros();
       conn->rbuf.insert(conn->rbuf.end(), tmp, tmp + n);
       while (true) {
         Slice rest(conn->rbuf.data() + conn->rpos,
@@ -196,6 +236,49 @@ bool Server::HandleReadable(Connection* conn) {
         WorkItem item;
         item.request = std::move(req).value();
         item.enqueue_micros = NowMicros();
+        // Deadline: the wire budget wins; absent one, the server
+        // default applies. An explicit 0 budget is already expired.
+        if (item.request.deadline_ms != net::kNoDeadline) {
+          item.deadline_micros =
+              item.enqueue_micros + item.request.deadline_ms * 1000;
+        } else if (options_.request_deadline_ms > 0) {
+          item.deadline_micros =
+              item.enqueue_micros + options_.request_deadline_ms * 1000;
+        }
+        // Admission control: over the global cap, mark the request
+        // shed — it rides the normal per-connection pipeline (so
+        // responses stay in request order) but is answered kRetryLater
+        // without ever touching the store.
+        const size_t depth =
+            queue_depth_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.max_queue > 0 && depth >= options_.max_queue) {
+          queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+          item.shed = true;
+          stats_.AddShed();
+        }
+        // A shed verdict at the head of this connection's pipeline is
+        // answered right here on the I/O thread: rejecting load must
+        // not consume the worker capacity it is protecting (a wedged
+        // pool would otherwise delay even the "retry later" answers).
+        // Mid-pipeline sheds still ride the queue for response order.
+        if (item.shed && !conn->executing && conn->pending.empty()) {
+          net::Response resp;
+          resp.op = item.request.op;
+          resp.request_id = item.request.request_id;
+          resp.status =
+              Status::RetryLater("server overloaded, retry later");
+          stats_.Record(item.request.op,
+                        NowMicros() - item.enqueue_micros,
+                        resp.status.code());
+          --conn->inflight;
+          if (conn->woff >= conn->wbuf.size()) {
+            conn->last_write_progress_micros = NowMicros();
+          }
+          std::vector<uint8_t> frame;
+          net::EncodeResponse(resp, &frame);
+          conn->wbuf.insert(conn->wbuf.end(), frame.begin(), frame.end());
+          continue;
+        }
         conn->pending.push_back(std::move(item));
         if (!conn->executing) {
           conn->executing = true;
@@ -221,8 +304,8 @@ bool Server::HandleReadable(Connection* conn) {
       conn->peer_closed = true;
       break;
     } else {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (err == EINTR) continue;
+      if (err == EAGAIN || err == EWOULDBLOCK) break;
       return false;
     }
   }
@@ -231,20 +314,25 @@ bool Server::HandleReadable(Connection* conn) {
 
 bool Server::HandleWritable(Connection* conn) {
   while (conn->woff < conn->wbuf.size()) {
-    ssize_t n = ::write(conn->fd.get(), conn->wbuf.data() + conn->woff,
-                        conn->wbuf.size() - conn->woff);
+    int err = 0;
+    ssize_t n = conn->sock->Write(conn->wbuf.data() + conn->woff,
+                                  conn->wbuf.size() - conn->woff, &err);
     if (n > 0) {
       stats_.AddBytesWritten(static_cast<uint64_t>(n));
       conn->woff += static_cast<size_t>(n);
+      const uint64_t prog = NowMicros();
+      conn->last_write_progress_micros = prog;
+      conn->last_activity_micros = prog;
     } else {
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && err == EINTR) continue;
+      if (n < 0 && (err == EAGAIN || err == EWOULDBLOCK)) break;
       return false;
     }
   }
   if (conn->woff >= conn->wbuf.size()) {
     conn->wbuf.clear();
     conn->woff = 0;
+    conn->last_write_progress_micros = 0;
   } else if (conn->woff > (1u << 20)) {
     conn->wbuf.erase(conn->wbuf.begin(),
                      conn->wbuf.begin() + static_cast<ptrdiff_t>(conn->woff));
@@ -291,13 +379,30 @@ void Server::WorkerLoop() {
     // touches, without any signature carrying it (request_context.h).
     obs::RequestContext rc;
     rc.trace_id = item.request.trace_id;
-    {
+    if (item.shed) {
+      // Admission control already rejected this request; answer
+      // kRetryLater in pipeline order without executing.
+      resp.op = item.request.op;
+      resp.request_id = item.request.request_id;
+      resp.status = Status::RetryLater("server overloaded, retry later");
+    } else if (item.deadline_micros != 0 &&
+               NowMicros() >= item.deadline_micros) {
+      // Budget spent while queued: reject before touching the store —
+      // the client has already given up on this response.
+      resp.op = item.request.op;
+      resp.request_id = item.request.request_id;
+      resp.status = Status::DeadlineExceeded(
+          "request deadline expired before execution");
+      stats_.AddDeadlineExceeded();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
       obs::ScopedRequestContext scoped_rc(&rc);
       LAXML_TRACE_SPAN(net::OpCodeName(item.request.op));
       resp = Execute(item.request);
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     }
     const uint64_t micros = NowMicros() - item.enqueue_micros;
-    stats_.Record(item.request.op, micros, !resp.status.ok());
+    stats_.Record(item.request.op, micros, resp.status.code());
     if (options_.slow_op_micros > 0 && micros >= options_.slow_op_micros) {
       LAXML_COUNTER_INC("laxml_server_slow_ops_total");
       LAXML_LOG(kWarn) << "slow op: " << net::OpCodeName(item.request.op)
@@ -328,6 +433,11 @@ void Server::WorkerLoop() {
         Connection* c = it->second.get();
         --c->inflight;
         if (!c->dead) {
+          // Start the write-stall clock when the buffer first goes
+          // non-empty; HandleWritable advances it on progress.
+          if (c->woff >= c->wbuf.size()) {
+            c->last_write_progress_micros = NowMicros();
+          }
           c->wbuf.insert(c->wbuf.end(), frame.begin(), frame.end());
         }
         if (!c->pending.empty()) {
@@ -422,7 +532,7 @@ net::Response Server::Execute(const net::Request& req) {
       break;
     }
     case OpCode::kGetStats:
-      resp.text = stats_.Snapshot().ToString() +
+      resp.text = stats().ToString() +
                   store_.WithShared(
                       [](Store& s) { return s.stats().ToString(); }) +
                   "\n";
@@ -447,7 +557,7 @@ net::Response Server::Execute(const net::Request& req) {
         LAXML_LOG(kWarn) << "metrics collection skipped: "
                          << collect.ToString();
       }
-      ServerStatsSnapshot server_snap = stats_.Snapshot();
+      ServerStatsSnapshot server_snap = stats();
       auto& registry = obs::MetricsRegistry::Global();
       if (req.metrics_format == net::MetricsFormat::kPrometheus) {
         resp.text = registry.RenderPrometheus() + server_snap.ToPrometheus();

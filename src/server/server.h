@@ -21,6 +21,14 @@
 // large an unflushed write buffer stops being read until it drains —
 // a slow or flooding client throttles itself, not the server.
 //
+// Overload: beyond per-connection backpressure, a global admission cap
+// (max_queue) bounds the total work queue; excess requests are shed
+// with kRetryLater before touching the store. Requests carry optional
+// deadlines (wire varint or the server default) and are answered
+// DeadlineExceeded once expired, again without touching the store.
+// Stalled writers and idle connections are reaped on a timer so a
+// slow peer costs a bounded amount of memory and never a worker.
+//
 // Graceful shutdown: Shutdown() stops accepting and reading, lets the
 // workers finish every queued request, flushes the responses (bounded
 // by drain_flush_timeout_ms against clients that never read), then
@@ -65,8 +73,33 @@ struct ServerOptions {
   size_t max_write_buffer_bytes = 8u << 20;
   size_t max_inflight_per_conn = 128;
   /// How long shutdown keeps flushing responses to clients that are
-  /// not reading before force-closing them.
+  /// not reading before force-closing them. Also the hard deadline on
+  /// the whole graceful drain: when it passes, remaining connections
+  /// are closed with whatever has flushed (laxml_server
+  /// --drain-timeout-s).
   int drain_flush_timeout_ms = 5000;
+  /// Admission control: cap on requests admitted (decoded and waiting
+  /// or executing) across all connections. Excess requests are
+  /// answered kRetryLater in arrival order without touching the store
+  /// — explicit shedding instead of unbounded queueing (laxml_server
+  /// --max-queue). 0 = unbounded.
+  size_t max_queue = 1024;
+  /// Default server-side deadline (ms) for requests that carry none on
+  /// the wire. A request whose budget is spent before a worker picks
+  /// it up is answered DeadlineExceeded without touching the store.
+  /// 0 = none (laxml_server --request-deadline-ms).
+  uint64_t request_deadline_ms = 0;
+  /// Reap a connection whose pending responses have made no write
+  /// progress for this long — a stalled or deliberately slow reader
+  /// holds buffer memory, never a worker. 0 disables (laxml_server
+  /// --write-timeout-ms).
+  int write_timeout_ms = 10000;
+  /// Reap a connection with nothing in flight and no read activity for
+  /// this long (slowloris guard). 0 disables (laxml_server
+  /// --idle-timeout-s).
+  int idle_timeout_s = 0;
+  /// Decorates every accepted socket (fault injection seam).
+  net::SocketWrapper socket_wrapper;
   /// When > 0, any request whose service time (queue + execute)
   /// reaches this many microseconds is logged at WARN with its opcode
   /// and request id (laxml_server --slow-op-us).
@@ -101,19 +134,30 @@ class Server {
   /// only access path.
   SharedStore* shared_store() { return &store_; }
 
-  ServerStatsSnapshot stats() const { return stats_.Snapshot(); }
+  ServerStatsSnapshot stats() const {
+    ServerStatsSnapshot snap = stats_.Snapshot();
+    snap.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+    return snap;
+  }
 
  private:
   struct WorkItem {
     net::Request request;
     uint64_t enqueue_micros = 0;
+    /// Absolute expiry (micros, NowMicros clock); 0 = no deadline. Set
+    /// at decode time from the wire budget or the server default.
+    uint64_t deadline_micros = 0;
+    /// Admission control rejected this request; the worker answers
+    /// kRetryLater without executing. Shed verdicts ride the normal
+    /// per-connection pipeline so responses stay in request order.
+    bool shed = false;
   };
 
   /// Per-connection state. `rbuf`/`rpos` belong to the I/O thread;
   /// everything else is guarded by conns_mu_.
   struct Connection {
     uint64_t id = 0;
-    net::UniqueFd fd;
+    std::unique_ptr<net::Socket> sock;
     std::vector<uint8_t> rbuf;
     size_t rpos = 0;
     std::vector<uint8_t> wbuf;
@@ -127,6 +171,11 @@ class Server {
     size_t inflight = 0;
     bool peer_closed = false;  ///< Read side saw EOF; finish responses.
     bool dead = false;         ///< Socket error; discard everything.
+    /// Last successful read or write (micros); drives idle reaping.
+    uint64_t last_activity_micros = 0;
+    /// Last time the write buffer advanced (or first went non-empty);
+    /// drives write-stall reaping. 0 = nothing buffered yet.
+    uint64_t last_write_progress_micros = 0;
   };
 
   Server(std::unique_ptr<Store> store, const ServerOptions& options);
@@ -167,6 +216,9 @@ class Server {
   std::deque<uint64_t> runnable_ LAXML_GUARDED_BY(queue_mu_);
   bool stop_workers_ LAXML_GUARDED_BY(queue_mu_) = false;
 
+  /// Requests admitted (decoded, not shed) and not yet completed, all
+  /// connections together — the quantity max_queue bounds.
+  std::atomic<size_t> queue_depth_{0};
   std::atomic<bool> draining_{false};
   std::once_flag shutdown_once_;
   std::thread io_thread_;

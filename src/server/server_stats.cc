@@ -30,6 +30,17 @@ std::string ServerStatsSnapshot::ToString() const {
                 static_cast<unsigned long long>(bytes_read),
                 static_cast<unsigned long long>(bytes_written));
   out += line;
+  if (sheds != 0 || deadline_exceeded != 0 || reaped_connections != 0 ||
+      queue_depth != 0) {
+    std::snprintf(line, sizeof(line),
+                  "overload: %llu shed, %llu deadline-exceeded, "
+                  "%llu reaped conns, queue depth %llu\n",
+                  static_cast<unsigned long long>(sheds),
+                  static_cast<unsigned long long>(deadline_exceeded),
+                  static_cast<unsigned long long>(reaped_connections),
+                  static_cast<unsigned long long>(queue_depth));
+    out += line;
+  }
   for (uint8_t i = 0; i <= net::kMaxOpCode; ++i) {
     const OpStatsSnapshot& op = ops[i];
     if (op.requests == 0) continue;
@@ -73,13 +84,30 @@ std::string ServerStatsSnapshot::ToPrometheus() const {
          "\n";
   out += "laxml_server_bytes_written_total " +
          std::to_string(bytes_written) + "\n";
+  for (int i = 0; i < kStatusCodeCount; ++i) {
+    if (responses_by_status[i] == 0) continue;
+    out += "laxml_server_responses_total{status=\"" +
+           obs::EscapePrometheusLabelValue(
+               StatusCodeName(static_cast<StatusCode>(i))) +
+           "\"} " + std::to_string(responses_by_status[i]) + "\n";
+  }
+  out += "laxml_server_shed_total " + std::to_string(sheds) + "\n";
+  out += "laxml_server_deadline_exceeded_total " +
+         std::to_string(deadline_exceeded) + "\n";
+  out += "laxml_server_reaped_connections_total " +
+         std::to_string(reaped_connections) + "\n";
+  out += "laxml_server_queue_depth " + std::to_string(queue_depth) + "\n";
   return out;
 }
 
-void ServerStats::Record(net::OpCode op, uint64_t micros, bool error) {
+void ServerStats::Record(net::OpCode op, uint64_t micros, StatusCode code) {
   OpCell& cell = ops_[static_cast<uint8_t>(op)];
-  if (error) cell.errors.fetch_add(1, kRelaxed);
+  if (code != StatusCode::kOk) cell.errors.fetch_add(1, kRelaxed);
   cell.latency.Record(micros);
+  const int idx = static_cast<int>(code);
+  if (idx >= 0 && idx < kStatusCodeCount) {
+    responses_by_status_[idx].fetch_add(1, kRelaxed);
+  }
 }
 
 ServerStatsSnapshot ServerStats::Snapshot() const {
@@ -93,6 +121,12 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
   snap.connections_dropped = connections_dropped_.load(kRelaxed);
   snap.bytes_read = bytes_read_.load(kRelaxed);
   snap.bytes_written = bytes_written_.load(kRelaxed);
+  for (int i = 0; i < kStatusCodeCount; ++i) {
+    snap.responses_by_status[i] = responses_by_status_[i].load(kRelaxed);
+  }
+  snap.sheds = sheds_.load(kRelaxed);
+  snap.deadline_exceeded = deadline_exceeded_.load(kRelaxed);
+  snap.reaped_connections = reaped_connections_.load(kRelaxed);
   return snap;
 }
 

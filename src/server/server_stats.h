@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 
@@ -40,6 +41,13 @@ struct ServerStatsSnapshot {
   uint64_t connections_dropped = 0;  ///< Protocol errors / overload closes.
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  /// Responses by status code (index = StatusCode value).
+  uint64_t responses_by_status[kStatusCodeCount] = {};
+  uint64_t sheds = 0;              ///< Requests answered kRetryLater.
+  uint64_t deadline_exceeded = 0;  ///< Requests expired pre-execution.
+  uint64_t reaped_connections = 0; ///< Write-stall + idle reaps.
+  /// Point-in-time admitted-queue depth (filled by Server::stats()).
+  uint64_t queue_depth = 0;
 
   uint64_t TotalRequests() const;
   uint64_t TotalErrors() const;
@@ -58,14 +66,17 @@ struct ServerStatsSnapshot {
 /// The live, thread-safe counter table.
 class ServerStats {
  public:
-  /// Records one served request (including error responses) of `op`
-  /// taking `micros`.
-  void Record(net::OpCode op, uint64_t micros, bool error);
+  /// Records one served request (including error, shed, and expired
+  /// responses) of `op` taking `micros`, answered with `code`.
+  void Record(net::OpCode op, uint64_t micros, StatusCode code);
 
   void AddAccepted() { connections_accepted_.fetch_add(1, kRelaxed); }
   void AddDropped() { connections_dropped_.fetch_add(1, kRelaxed); }
   void AddBytesRead(uint64_t n) { bytes_read_.fetch_add(n, kRelaxed); }
   void AddBytesWritten(uint64_t n) { bytes_written_.fetch_add(n, kRelaxed); }
+  void AddShed() { sheds_.fetch_add(1, kRelaxed); }
+  void AddDeadlineExceeded() { deadline_exceeded_.fetch_add(1, kRelaxed); }
+  void AddReaped() { reaped_connections_.fetch_add(1, kRelaxed); }
 
   ServerStatsSnapshot Snapshot() const;
 
@@ -82,6 +93,10 @@ class ServerStats {
   std::atomic<uint64_t> connections_dropped_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> responses_by_status_[kStatusCodeCount] = {};
+  std::atomic<uint64_t> sheds_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> reaped_connections_{0};
 };
 
 }  // namespace laxml

@@ -1,0 +1,224 @@
+// FaultySocket unit tests: every fault shape the plan can express,
+// exercised over a local socketpair so the injected behaviour is
+// observable from both ends — FailNth once and sticky, seeded-random
+// faults (deterministic per seed), born-dead connects, slow-byte
+// throttling, short writes, mid-frame stalls, and RST teardown.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "net/faulty_socket.h"
+#include "net/socket.h"
+
+namespace laxml {
+namespace net {
+namespace {
+
+/// A connected AF_UNIX stream pair; [0] is the end under test.
+struct SocketPair {
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = std::make_unique<PlainSocket>(UniqueFd(fds[0]));
+    b = std::make_unique<PlainSocket>(UniqueFd(fds[1]));
+  }
+  std::unique_ptr<Socket> a;
+  std::unique_ptr<Socket> b;
+};
+
+TEST(FaultySocketTest, PassThroughByDefault) {
+  SocketPair pair;
+  auto faulty = FaultySocket::Wrap(std::move(pair.a));
+  const uint8_t msg[] = "hello";
+  int err = 0;
+  ASSERT_EQ(faulty->Write(msg, sizeof(msg), &err),
+            static_cast<ssize_t>(sizeof(msg)));
+  uint8_t buf[16] = {};
+  ASSERT_EQ(pair.b->Read(buf, sizeof(buf), &err),
+            static_cast<ssize_t>(sizeof(msg)));
+  EXPECT_EQ(std::memcmp(buf, msg, sizeof(msg)), 0);
+  EXPECT_EQ(faulty->injected_faults(), 0u);
+  EXPECT_EQ(faulty->bytes_written(), sizeof(msg));
+}
+
+TEST(FaultySocketTest, FailNthReadOnceThenRecovers) {
+  SocketPair pair;
+  SocketFaultPlan plan;
+  plan.FailNth(SocketFaultOp::kRead, 2, ECONNRESET);
+  auto faulty = FaultySocket::Wrap(std::move(pair.a), plan);
+
+  const uint8_t msg[] = "xy";
+  int err = 0;
+  ASSERT_EQ(pair.b->Write(msg, 2, &err), 2);
+  uint8_t buf[8] = {};
+  // Read #1 succeeds, #2 injects, #3 works again (non-sticky).
+  EXPECT_EQ(faulty->Read(buf, 1, &err), 1);
+  err = 0;
+  EXPECT_EQ(faulty->Read(buf, 1, &err), -1);
+  EXPECT_EQ(err, ECONNRESET);
+  err = 0;
+  EXPECT_EQ(faulty->Read(buf, 1, &err), 1);
+  EXPECT_EQ(faulty->injected_faults(), 1u);
+  EXPECT_EQ(faulty->op_count(SocketFaultOp::kRead), 3u);
+}
+
+TEST(FaultySocketTest, StickyWriteFaultNeverHeals) {
+  SocketPair pair;
+  SocketFaultPlan plan;
+  plan.FailNth(SocketFaultOp::kWrite, 1, EPIPE, /*sticky=*/true);
+  auto faulty = FaultySocket::Wrap(std::move(pair.a), plan);
+  const uint8_t msg[] = "z";
+  for (int i = 0; i < 3; ++i) {
+    int err = 0;
+    EXPECT_EQ(faulty->Write(msg, 1, &err), -1);
+    EXPECT_EQ(err, EPIPE);
+  }
+  EXPECT_EQ(faulty->injected_faults(), 3u);
+}
+
+TEST(FaultySocketTest, ConnectFaultMakesSocketBornDead) {
+  SocketPair pair;
+  SocketFaultPlan plan;
+  plan.FailNth(SocketFaultOp::kConnect, 1, ETIMEDOUT);
+  auto faulty = FaultySocket::Wrap(std::move(pair.a), plan);
+  EXPECT_TRUE(faulty->born_dead());
+  uint8_t buf[4] = {};
+  int err = 0;
+  EXPECT_EQ(faulty->Read(buf, sizeof(buf), &err), -1);
+  EXPECT_EQ(err, ETIMEDOUT);
+  err = 0;
+  EXPECT_EQ(faulty->Write(buf, sizeof(buf), &err), -1);
+  EXPECT_EQ(err, ETIMEDOUT);
+}
+
+TEST(FaultySocketTest, RandomFaultsAreDeterministicPerSeed) {
+  auto schedule = [](uint64_t seed) {
+    SocketPair pair;
+    SocketFaultPlan plan;
+    plan.random_seed = seed;
+    plan.random_permille[static_cast<int>(SocketFaultOp::kWrite)] = 300;
+    plan.random_error = EIO;
+    auto faulty = FaultySocket::Wrap(std::move(pair.a), plan);
+    std::vector<bool> failed;
+    const uint8_t msg[] = "q";
+    for (int i = 0; i < 64; ++i) {
+      int err = 0;
+      failed.push_back(faulty->Write(msg, 1, &err) < 0);
+      if (failed.back()) {
+        EXPECT_EQ(err, EIO);
+      }
+    }
+    return failed;
+  };
+  std::vector<bool> first = schedule(99);
+  EXPECT_EQ(first, schedule(99));
+  EXPECT_NE(first, schedule(100));
+  // ~30% should fail; allow generous slack for a 64-sample run.
+  size_t failures = 0;
+  for (bool f : first) failures += f ? 1u : 0u;
+  EXPECT_GT(failures, 4u);
+  EXPECT_LT(failures, 40u);
+}
+
+TEST(FaultySocketTest, ThrottleClampsBytesPerCall) {
+  SocketPair pair;
+  SocketFaultPlan plan;
+  plan.max_read_bytes = 3;
+  plan.max_write_bytes = 2;
+  auto faulty = FaultySocket::Wrap(std::move(pair.a), plan);
+
+  const uint8_t msg[] = "0123456789";
+  int err = 0;
+  // Short write: only 2 of 10 bytes accepted per call.
+  EXPECT_EQ(faulty->Write(msg, 10, &err), 2);
+  EXPECT_EQ(faulty->Write(msg + 2, 8, &err), 2);
+  uint8_t buf[16] = {};
+  // Trickle read: 3 bytes max per call even with 4 buffered.
+  ASSERT_EQ(pair.b->Write(msg, 4, &err), 4);
+  EXPECT_EQ(faulty->Read(buf, sizeof(buf), &err), 3);
+  EXPECT_EQ(faulty->Read(buf + 3, sizeof(buf) - 3, &err), 1);
+  EXPECT_EQ(std::memcmp(buf, msg, 4), 0);
+}
+
+TEST(FaultySocketTest, MidFrameStallReportsEagainAfterBudget) {
+  SocketPair pair;
+  SocketFaultPlan plan;
+  plan.stall_read_after_bytes = 4;
+  auto faulty = FaultySocket::Wrap(std::move(pair.a), plan);
+
+  const uint8_t msg[] = "abcdefgh";
+  int err = 0;
+  ASSERT_EQ(pair.b->Write(msg, 8, &err), 8);
+  uint8_t buf[16] = {};
+  // The stall clamps the last pre-stall read to the byte budget, then
+  // goes permanently silent with data still buffered — the peer "went
+  // quiet" with a frame half delivered.
+  EXPECT_EQ(faulty->Read(buf, sizeof(buf), &err), 4);
+  for (int i = 0; i < 3; ++i) {
+    err = 0;
+    EXPECT_EQ(faulty->Read(buf, sizeof(buf), &err), -1);
+    EXPECT_EQ(err, EAGAIN);
+  }
+  EXPECT_EQ(faulty->bytes_read(), 4u);
+}
+
+TEST(FaultySocketTest, WriteStallGoesSilentMidFrame) {
+  SocketPair pair;
+  SocketFaultPlan plan;
+  plan.stall_write_after_bytes = 5;
+  auto faulty = FaultySocket::Wrap(std::move(pair.a), plan);
+  const uint8_t msg[] = "0123456789";
+  int err = 0;
+  EXPECT_EQ(faulty->Write(msg, 10, &err), 5);
+  err = 0;
+  EXPECT_EQ(faulty->Write(msg + 5, 5, &err), -1);
+  EXPECT_EQ(err, EAGAIN);
+}
+
+// RST semantics need real TCP (AF_UNIX has no RST): after Reset() the
+// peer's next write errs with EPIPE/ECONNRESET instead of delivering.
+TEST(FaultySocketTest, ResetTearsDownWithRst) {
+  auto listener = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  auto port = LocalPort(listener->get());
+  ASSERT_TRUE(port.ok());
+  auto dialed = ConnectTcp("127.0.0.1", *port, 1000, 1000);
+  ASSERT_TRUE(dialed.ok()) << dialed.status().ToString();
+  Result<UniqueFd> accepted = Result<UniqueFd>(UniqueFd());
+  for (int i = 0; i < 100; ++i) {
+    accepted = AcceptConn(listener->get());
+    if (accepted.ok()) break;
+    ::usleep(10'000);
+  }
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+
+  auto faulty = FaultySocket::Wrap(
+      std::make_unique<PlainSocket>(std::move(dialed).value()));
+  auto peer = std::make_unique<PlainSocket>(std::move(accepted).value());
+
+  faulty->Reset();
+  // Give the RST time to land, then write until the error surfaces
+  // (the first post-RST write may still be accepted locally).
+  const uint8_t msg[] = "x";
+  int err = 0;
+  bool saw_error = false;
+  for (int i = 0; i < 200 && !saw_error; ++i) {
+    ::usleep(5'000);
+    err = 0;
+    saw_error = peer->Write(msg, 1, &err) < 0;
+  }
+  EXPECT_TRUE(saw_error);
+  EXPECT_TRUE(err == EPIPE || err == ECONNRESET) << err;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace laxml

@@ -171,6 +171,75 @@ TEST(WireFormatTest, TracedRequestMalformedVariants) {
   }
 }
 
+TEST(WireFormatTest, DeadlineTravelsViaOpcodeFlag) {
+  // kNoDeadline (the default) encodes byte-identically to the
+  // pre-deadline format: no flag bit, no extra varint.
+  Request plain;
+  plain.op = OpCode::kPing;
+  plain.request_id = 8;
+  std::vector<uint8_t> plain_wire;
+  EncodeRequest(plain, &plain_wire);
+  {
+    auto frame = TryDecodeFrame(Slice(plain_wire));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->body[0] & kDeadlineRequestFlag, 0);
+  }
+  EXPECT_EQ(MustRoundTrip(plain).deadline_ms, kNoDeadline);
+
+  // Any explicit budget — zero ("already expired") included — sets the
+  // flag and round-trips, for every opcode, composed with tracing.
+  for (uint8_t raw = 0; raw <= kMaxOpCode; ++raw) {
+    for (uint64_t budget : {0ull, 1ull, 250ull, 86'400'000ull}) {
+      Request req;
+      req.op = static_cast<OpCode>(raw);
+      req.request_id = 9;
+      req.trace_id = raw % 2 == 0 ? 0 : 0xABCDull;
+      req.deadline_ms = budget;
+      req.expr = "//a";
+      req.data = SampleFragment();
+      std::vector<uint8_t> wire;
+      EncodeRequest(req, &wire);
+      auto frame = TryDecodeFrame(Slice(wire));
+      ASSERT_TRUE(frame.ok());
+      EXPECT_NE(frame->body[0] & kDeadlineRequestFlag, 0)
+          << OpCodeName(req.op);
+      Request back = MustRoundTrip(req);
+      EXPECT_EQ(back.deadline_ms, budget) << OpCodeName(req.op);
+      EXPECT_EQ(back.trace_id, req.trace_id) << OpCodeName(req.op);
+    }
+  }
+}
+
+TEST(WireFormatTest, DeadlineRequestMalformedVariants) {
+  {
+    // Flag set but no deadline varint after the request id.
+    std::vector<uint8_t> body = {
+        static_cast<uint8_t>(static_cast<uint8_t>(OpCode::kPing) |
+                             kDeadlineRequestFlag),
+        1};
+    EXPECT_TRUE(DecodeRequest(Slice(body)).status().IsCorruption());
+  }
+  {
+    // The kNoDeadline sentinel spelled out as a varint: the encoder
+    // never emits it (no deadline means no flag), so it is Corruption.
+    std::vector<uint8_t> body = {
+        static_cast<uint8_t>(static_cast<uint8_t>(OpCode::kPing) |
+                             kDeadlineRequestFlag),
+        1};
+    PutVarint64(&body, kNoDeadline);
+    EXPECT_TRUE(DecodeRequest(Slice(body)).status().IsCorruption());
+  }
+  {
+    // Both extension flags: trace id comes first, deadline second;
+    // dropping the second varint must be caught.
+    std::vector<uint8_t> body = {
+        static_cast<uint8_t>(static_cast<uint8_t>(OpCode::kPing) |
+                             kTraceRequestFlag | kDeadlineRequestFlag),
+        1, 9};
+    EXPECT_TRUE(DecodeRequest(Slice(body)).status().IsCorruption());
+  }
+}
+
 TEST(WireFormatTest, ExplainCarriesModeAndExpr) {
   for (ExplainMode mode : {ExplainMode::kPlan, ExplainMode::kProfile}) {
     Request req;
@@ -253,13 +322,13 @@ TEST(WireFormatTest, ErrorResponseCarriesStatusAndSuppressesPayload) {
 }
 
 TEST(WireFormatTest, StatusFromWireCoversEveryCode) {
-  for (uint8_t code = 0; code <= 10; ++code) {
+  for (uint8_t code = 0; code < kStatusCodeCount; ++code) {
     Status out;
     ASSERT_LAXML_OK(StatusFromWire(code, "m", &out));
     EXPECT_EQ(static_cast<uint8_t>(out.code()), code);
   }
   Status out;
-  EXPECT_TRUE(StatusFromWire(11, "m", &out).IsCorruption());
+  EXPECT_TRUE(StatusFromWire(kStatusCodeCount, "m", &out).IsCorruption());
   EXPECT_TRUE(StatusFromWire(255, "m", &out).IsCorruption());
 }
 

@@ -62,7 +62,7 @@ using laxml::net::Client;
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port N] [--trace-id N]\n"
-               "       [--trace-out FILE] [command args...]\n"
+               "       [--deadline-ms N] [--trace-out FILE] [command args...]\n"
                "       %s --db STORE load --stream FILE   (offline)\n"
                "With no command, reads one command per line from stdin.\n"
                "Commands: ping, load, insert-before, insert-after,\n"
@@ -72,8 +72,37 @@ void Usage(const char* argv0) {
                "--trace-id N stamps every request with trace id N (see\n"
                "laxml_trace --trace-id); --trace-out FILE dumps this\n"
                "client's own spans at exit for merging with the\n"
-               "server's dump.\n",
+               "server's dump. --deadline-ms N gives every request an\n"
+               "N ms budget: the server rejects it with DeadlineExceeded\n"
+               "once the budget is spent, before touching the store.\n",
                argv0, argv0);
+}
+
+/// One actionable line for operational failures instead of a raw status
+/// dump — the distinction a scripting user needs is "my command was
+/// wrong" vs "the server is down/overloaded, retry or fix the server".
+std::string FriendlyError(const laxml::Status& status,
+                          const std::string& host, long port) {
+  const std::string where = host + ":" + std::to_string(port);
+  if (status.IsRetryLater()) {
+    return "server at " + where +
+           " is overloaded and shed the request; retry shortly or raise "
+           "its --max-queue";
+  }
+  if (status.IsDeadlineExceeded()) {
+    return "request deadline expired before the server ran it; raise "
+           "--deadline-ms or retry when the server is less loaded";
+  }
+  if (status.IsAborted()) {
+    return "timed out waiting for " + where +
+           "; the server is unreachable or too slow — check it is "
+           "running and not overloaded";
+  }
+  if (status.IsIOError()) {
+    return "cannot talk to laxml_server at " + where +
+           "; check it is running and that --host/--port are right";
+  }
+  return status.ToString();
 }
 
 bool ParseId(const std::string& text, laxml::NodeId* id) {
@@ -103,14 +132,15 @@ CommandLine Split(const std::string& line) {
 }
 
 /// Runs one command; prints its outcome; false on failure.
-bool RunCommand(Client* client, const std::string& line) {
+bool RunCommand(Client* client, const std::string& line,
+                const std::string& host, long port) {
   CommandLine cmd = Split(line);
   auto fragment = [&](const std::string& xml)
       -> laxml::Result<laxml::TokenSequence> {
     return laxml::ParseFragment(xml);
   };
   auto fail = [&](const laxml::Status& status) {
-    std::printf("error: %s\n", status.ToString().c_str());
+    std::printf("error: %s\n", FriendlyError(status, host, port).c_str());
     return false;
   };
   auto print_id = [&](laxml::Result<laxml::NodeId> r) {
@@ -274,6 +304,7 @@ int main(int argc, char** argv) {
   long port = 4891;
   std::string db;
   unsigned long long trace_id = 0;
+  unsigned long long deadline_ms = 0;
   std::string trace_out;
   int i = 1;
   for (; i < argc; ++i) {
@@ -292,6 +323,14 @@ int main(int argc, char** argv) {
       trace_id = std::strtoull(argv[++i], &end, 10);
       if (end == nullptr || *end != '\0' || trace_id == 0) {
         std::fprintf(stderr, "%s: bad --trace-id (nonzero integer)\n",
+                     argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--deadline-ms") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      deadline_ms = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || deadline_ms == 0) {
+        std::fprintf(stderr, "%s: bad --deadline-ms (nonzero integer)\n",
                      argv[0]);
         return 2;
       }
@@ -325,10 +364,11 @@ int main(int argc, char** argv) {
   auto client = Client::Connect(host, static_cast<uint16_t>(port));
   if (!client.ok()) {
     std::fprintf(stderr, "%s: %s\n", argv[0],
-                 client.status().ToString().c_str());
+                 FriendlyError(client.status(), host, port).c_str());
     return 1;
   }
   if (trace_id != 0) client->get()->set_trace_id(trace_id);
+  if (deadline_ms != 0) client->get()->set_deadline_ms(deadline_ms);
   auto dump_trace = [&]() {
     if (trace_out.empty()) return;
     laxml::Status st = laxml::obs::Tracer::Global().DumpBinary(trace_out);
@@ -344,7 +384,7 @@ int main(int argc, char** argv) {
       if (!line.empty()) line += " ";
       line += argv[i];
     }
-    bool ok = RunCommand(client->get(), line);
+    bool ok = RunCommand(client->get(), line, host, port);
     dump_trace();
     return ok ? 0 : 1;
   }
@@ -355,7 +395,9 @@ int main(int argc, char** argv) {
     // Trim leading whitespace; skip blanks and comments.
     size_t start = line.find_first_not_of(" \t");
     if (start == std::string::npos || line[start] == '#') continue;
-    if (!RunCommand(client->get(), line.substr(start))) all_ok = false;
+    if (!RunCommand(client->get(), line.substr(start), host, port)) {
+      all_ok = false;
+    }
   }
   dump_trace();
   return all_ok ? 0 : 1;

@@ -49,6 +49,27 @@ void Usage(const char* argv0) {
       "                    commit sequencer (implies --wal; concurrent\n"
       "                    committers share one fsync)\n"
       "  --pool-frames N   buffer pool frames (default 4096)\n"
+      "  --max-queue N     admission cap: requests decoded and not yet\n"
+      "                    answered, across all connections; excess is\n"
+      "                    shed with kRetryLater before touching the\n"
+      "                    store (default 1024, 0 = unbounded)\n"
+      "  --request-deadline-ms N\n"
+      "                    default per-request budget for requests that\n"
+      "                    carry no deadline on the wire; expired ones\n"
+      "                    are answered DeadlineExceeded without\n"
+      "                    touching the store (default 0 = none)\n"
+      "  --write-timeout-ms N\n"
+      "                    reap a connection whose responses make no\n"
+      "                    write progress for N ms (default 10000,\n"
+      "                    0 = never)\n"
+      "  --idle-timeout-s N\n"
+      "                    reap a connection with nothing in flight and\n"
+      "                    no reads for N seconds (slowloris guard,\n"
+      "                    default 0 = never)\n"
+      "  --drain-timeout-s N\n"
+      "                    hard cap on the graceful-shutdown drain;\n"
+      "                    when it passes, remaining connections close\n"
+      "                    with whatever has flushed (default 5)\n"
       "  --slow-op-us N    log any request served in >= N microseconds\n"
       "  --slow-log FILE   append slow ops (same threshold) as JSONL —\n"
       "                    query, plan, resource counters, trace id\n"
@@ -70,6 +91,11 @@ int main(int argc, char** argv) {
   long port = 4891;
   long threads = 4;
   long pool_frames = 4096;
+  long max_queue = 1024;
+  long request_deadline_ms = 0;
+  long write_timeout_ms = 10000;
+  long idle_timeout_s = 0;
+  long drain_timeout_s = 5;
   long slow_op_us = 0;
   std::string slow_log_path;
   std::string trace_out;
@@ -113,6 +139,16 @@ int main(int argc, char** argv) {
       enable_wal = true;
     } else if (std::strcmp(arg, "--pool-frames") == 0) {
       pool_frames = next_number(arg, 8);
+    } else if (std::strcmp(arg, "--max-queue") == 0) {
+      max_queue = next_number(arg, 0);
+    } else if (std::strcmp(arg, "--request-deadline-ms") == 0) {
+      request_deadline_ms = next_number(arg, 0);
+    } else if (std::strcmp(arg, "--write-timeout-ms") == 0) {
+      write_timeout_ms = next_number(arg, 0);
+    } else if (std::strcmp(arg, "--idle-timeout-s") == 0) {
+      idle_timeout_s = next_number(arg, 0);
+    } else if (std::strcmp(arg, "--drain-timeout-s") == 0) {
+      drain_timeout_s = next_number(arg, 0);
     } else if (std::strcmp(arg, "--slow-op-us") == 0) {
       slow_op_us = next_number(arg, 0);
     } else if (std::strcmp(arg, "--slow-log") == 0) {
@@ -163,6 +199,13 @@ int main(int argc, char** argv) {
   server_options.host = host;
   server_options.port = static_cast<uint16_t>(port);
   server_options.num_workers = static_cast<int>(threads);
+  server_options.max_queue = static_cast<size_t>(max_queue);
+  server_options.request_deadline_ms =
+      static_cast<uint64_t>(request_deadline_ms);
+  server_options.write_timeout_ms = static_cast<int>(write_timeout_ms);
+  server_options.idle_timeout_s = static_cast<int>(idle_timeout_s);
+  server_options.drain_flush_timeout_ms =
+      static_cast<int>(drain_timeout_s * 1000);
   server_options.slow_op_micros = static_cast<uint64_t>(slow_op_us);
   server_options.slow_log_path = slow_log_path;
   if (!slow_log_path.empty() && slow_op_us == 0) {

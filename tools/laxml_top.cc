@@ -198,6 +198,30 @@ void Paint(const Sample& prev, const Sample& cur, double dt_sec,
                 Get(cur, "laxml_server_op_us_p99" + labels));
   }
 
+  std::printf("\noverload\n");
+  std::printf("  %-28s %10.0f\n", "queue depth",
+              Get(cur, "laxml_server_queue_depth"));
+  std::printf("  %-28s %10.0f  (%.1f /s)\n", "requests shed",
+              Get(cur, "laxml_server_shed_total"),
+              Rate(prev, cur, "laxml_server_shed_total", dt_sec));
+  std::printf("  %-28s %10.0f  (%.1f /s)\n", "deadline exceeded",
+              Get(cur, "laxml_server_deadline_exceeded_total"),
+              Rate(prev, cur, "laxml_server_deadline_exceeded_total",
+                   dt_sec));
+  std::printf("  %-28s %10.0f\n", "connections reaped",
+              Get(cur, "laxml_server_reaped_connections_total"));
+  // Response mix by status over the window — the at-a-glance answer to
+  // "is the server failing requests, and with what?".
+  for (const auto& [name, v] : cur) {
+    const std::string prefix = "laxml_server_responses_total{status=\"";
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::string status =
+        name.substr(prefix.size(), name.size() - prefix.size() - 2);
+    std::printf("  %-28s %10.0f  (%.1f /s)\n",
+                ("responses " + status).c_str(), v,
+                Rate(prev, cur, name, dt_sec));
+  }
+
   std::printf("\nstorage\n");
   // Pool hit rate over the window: hits / (hits + misses).
   {
